@@ -1,0 +1,49 @@
+# Convenience targets for the ACE reproduction. Everything is stdlib
+# Go; no external tools are required.
+
+GO ?= go
+
+.PHONY: all build test race short bench experiments examples fuzz fmt vet clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+short:
+	$(GO) test -short ./...
+
+# One testing.B benchmark per paper experiment plus the ablations.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every experiment table (E1–E15 paper, X1–X5 extensions).
+experiments:
+	$(GO) run ./cmd/acebench
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/conference
+	$(GO) run ./examples/audiopipeline
+	$(GO) run ./examples/robustapp
+	$(GO) run ./examples/futurework
+
+# Brief fuzzing of the wire-facing parsers.
+fuzz:
+	$(GO) test -fuzz=FuzzParse$$ -fuzztime=30s ./internal/cmdlang/
+	$(GO) test -fuzz=FuzzParseAssertion -fuzztime=30s ./internal/keynote/
+
+fmt:
+	gofmt -w .
+
+clean:
+	$(GO) clean -testcache

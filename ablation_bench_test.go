@@ -1,0 +1,189 @@
+package ace
+
+// Ablation benchmarks: quantify the architecture's individual design
+// choices by switching them off or varying them, complementing the
+// headline experiments in bench_test.go.
+
+import (
+	"fmt"
+	"testing"
+
+	"ace/internal/asd"
+	"ace/internal/cmdlang"
+	"ace/internal/daemon"
+	"ace/internal/hier"
+	"ace/internal/wire"
+)
+
+// BenchmarkAblationPooledVsFreshDial isolates the daemon.Pool
+// connection-reuse choice: lease renewals, lookups, and notifications
+// ride pooled sockets instead of dialing per command.
+func BenchmarkAblationPooledVsFreshDial(b *testing.B) {
+	d := daemon.New(daemon.Config{Name: "ablconn"})
+	if err := d.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer d.Stop()
+	cmd := cmdlang.New(daemon.CmdPing)
+
+	b.Run("pooled", func(b *testing.B) {
+		pool := daemon.NewPool(nil)
+		defer pool.Close()
+		if _, err := pool.Call(d.Addr(), cmd); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := pool.Call(d.Addr(), cmd); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fresh-dial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c, err := wire.Dial(nil, d.Addr())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := c.Call(cmd); err != nil {
+				b.Fatal(err)
+			}
+			c.Close()
+		}
+	})
+}
+
+// BenchmarkAblationSemanticValidation isolates the per-command cost
+// of validating against the declared command semantics (the receiving
+// side of Fig 5).
+func BenchmarkAblationSemanticValidation(b *testing.B) {
+	reg := cmdlang.NewRegistry().Declare(cmdlang.CommandSpec{
+		Name: "move",
+		Args: []cmdlang.ArgSpec{
+			{Name: "pan", Kind: cmdlang.KindFloat, Required: true},
+			{Name: "tilt", Kind: cmdlang.KindFloat, Required: true},
+			{Name: "zoom", Kind: cmdlang.KindFloat},
+		},
+	})
+	wireForm := cmdlang.New("move").SetFloat("pan", 10).SetFloat("tilt", 5).String()
+
+	b.Run("parse-only", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cmdlang.Parse(wireForm); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parse+validate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := reg.Parse(wireForm); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationNotifyTableSize isolates the control-thread cost
+// of the notification lookup for commands with 0, 8, and 64 listeners
+// registered on *other* commands (the executed command itself has
+// none — this is the tax every command pays for the feature).
+func BenchmarkAblationNotifyTableSize(b *testing.B) {
+	for _, others := range []int{0, 8, 64} {
+		b.Run(fmt.Sprintf("other-listeners-%d", others), func(b *testing.B) {
+			d := daemon.New(daemon.Config{Name: "ablnotify"})
+			d.Handle(cmdlang.CommandSpec{Name: "work"},
+				func(_ *daemon.Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) { return nil, nil })
+			d.Handle(cmdlang.CommandSpec{Name: "watched"},
+				func(_ *daemon.Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) { return nil, nil })
+			if err := d.Start(); err != nil {
+				b.Fatal(err)
+			}
+			defer d.Stop()
+			pool := daemon.NewPool(nil)
+			defer pool.Close()
+			for i := 0; i < others; i++ {
+				if _, err := pool.Call(d.Addr(), cmdlang.New(daemon.CmdAddNotification).
+					SetWord("cmd", "watched").
+					SetWord("service", fmt.Sprintf("l%d", i)).
+					SetString("addr", "127.0.0.1:1").
+					SetWord("method", "onWatched")); err != nil {
+					b.Fatal(err)
+				}
+			}
+			cmd := cmdlang.New("work")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pool.Call(d.Addr(), cmd); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationLookupByNameVsClass isolates the directory's two
+// query paths: indexed name lookup vs hierarchy-aware class scan.
+func BenchmarkAblationLookupByNameVsClass(b *testing.B) {
+	dir := asd.New(asd.Config{})
+	if err := dir.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer dir.Stop()
+	for i := 0; i < 500; i++ {
+		dir.Directory().Register(asd.Entry{ //nolint:errcheck
+			Name: fmt.Sprintf("svc%03d", i), Addr: "h:1",
+			Class: hier.ClassVCC3, Lease: 1 << 40,
+		})
+	}
+	pool := daemon.NewPool(nil)
+	defer pool.Close()
+
+	b.Run("by-name", func(b *testing.B) {
+		cmd := cmdlang.New(daemon.CmdLookup).SetWord("name", "svc250")
+		for i := 0; i < b.N; i++ {
+			if _, err := pool.Call(dir.Addr(), cmd); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("by-class", func(b *testing.B) {
+		cmd := cmdlang.New(daemon.CmdLookup).SetString("class", hier.ClassPTZCamera).SetInt("limit", 1)
+		for i := 0; i < b.N; i++ {
+			if _, err := pool.Call(dir.Addr(), cmd); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationTextVsPrebuiltCmd isolates how much of a call is
+// command (re)construction: reusing one CmdLine vs building it fresh
+// per call.
+func BenchmarkAblationTextVsPrebuiltCmd(b *testing.B) {
+	d := daemon.New(daemon.Config{Name: "ablbuild"})
+	d.Handle(cmdlang.CommandSpec{Name: "move", AllowExtra: true},
+		func(_ *daemon.Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) { return nil, nil })
+	if err := d.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer d.Stop()
+	pool := daemon.NewPool(nil)
+	defer pool.Close()
+
+	b.Run("prebuilt", func(b *testing.B) {
+		cmd := cmdlang.New("move").SetFloat("pan", 1).SetFloat("tilt", 2)
+		for i := 0; i < b.N; i++ {
+			if _, err := pool.Call(d.Addr(), cmd); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rebuilt-per-call", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cmd := cmdlang.New("move").SetFloat("pan", float64(i)).SetFloat("tilt", 2)
+			if _, err := pool.Call(d.Addr(), cmd); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

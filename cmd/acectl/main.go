@@ -1,0 +1,123 @@
+// Command acectl is the terminal counterpart of the Fig 2 ACE control
+// GUI: it browses the service tree through the ASD, inspects a
+// service's command semantics, and issues ACE commands to any daemon.
+//
+// Usage (ASD address from aced's output):
+//
+//	acectl -asd HOST:PORT tree
+//	acectl -asd HOST:PORT lookup [-name N] [-class C] [-room R]
+//	acectl -asd HOST:PORT commands SERVICE
+//	acectl -asd HOST:PORT call SERVICE 'move pan=10 tilt=5;'
+//	acectl -asd HOST:PORT raw ADDR 'ping;'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ace/internal/asd"
+	"ace/internal/cmdlang"
+	"ace/internal/daemon"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "acectl: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	asdAddr := flag.String("asd", "", "ASD address (host:port)")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fail("missing subcommand (tree | lookup | commands | call | raw)")
+	}
+	if *asdAddr == "" && args[0] != "raw" {
+		fail("-asd is required")
+	}
+
+	pool := daemon.NewPool(nil)
+	defer pool.Close()
+
+	switch args[0] {
+	case "tree":
+		reply, err := pool.Call(*asdAddr, cmdlang.New("list"))
+		if err != nil {
+			fail("list: %v", err)
+		}
+		names := reply.Strings("names")
+		fmt.Printf("%d services\n", len(names))
+		for _, name := range names {
+			info, err := pool.Call(*asdAddr, cmdlang.New(daemon.CmdLookup).SetWord("name", name))
+			if err != nil {
+				continue
+			}
+			fmt.Printf("  %-20s %-45s room=%-8s %s\n",
+				name, info.Str("class", ""), info.Str("room", "-"), info.Str("addr", ""))
+		}
+
+	case "lookup":
+		fs := flag.NewFlagSet("lookup", flag.ExitOnError)
+		name := fs.String("name", "", "service name")
+		class := fs.String("class", "", "service class (matches subclasses)")
+		room := fs.String("room", "", "room")
+		fs.Parse(args[1:]) //nolint:errcheck
+		addrs, err := asd.ResolveAll(pool, *asdAddr, asd.Query{Name: *name, Class: *class, Room: *room})
+		if err != nil {
+			fail("lookup: %v", err)
+		}
+		for _, a := range addrs {
+			fmt.Println(a)
+		}
+
+	case "commands":
+		if len(args) < 2 {
+			fail("commands SERVICE")
+		}
+		addr, err := asd.Resolve(pool, *asdAddr, asd.Query{Name: args[1]})
+		if err != nil {
+			fail("resolve %s: %v", args[1], err)
+		}
+		reply, err := pool.Call(addr, cmdlang.New(daemon.CmdCommands))
+		if err != nil {
+			fail("commands: %v", err)
+		}
+		fmt.Print(reply.Str("describe", ""))
+
+	case "call":
+		if len(args) < 3 {
+			fail("call SERVICE 'command args;'")
+		}
+		addr, err := asd.Resolve(pool, *asdAddr, asd.Query{Name: args[1]})
+		if err != nil {
+			fail("resolve %s: %v", args[1], err)
+		}
+		sendRaw(pool, addr, strings.Join(args[2:], " "))
+
+	case "raw":
+		if len(args) < 3 {
+			fail("raw ADDR 'command args;'")
+		}
+		sendRaw(pool, args[1], strings.Join(args[2:], " "))
+
+	default:
+		fail("unknown subcommand %q", args[0])
+	}
+}
+
+func sendRaw(pool *daemon.Pool, addr, text string) {
+	if !strings.HasSuffix(strings.TrimSpace(text), ";") {
+		text += ";"
+	}
+	cmd, err := cmdlang.Parse(text)
+	if err != nil {
+		fail("parse: %v", err)
+	}
+	reply, err := pool.Call(addr, cmd)
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Println(reply.String())
+}

@@ -1,0 +1,134 @@
+// Command aced boots a complete Ambient Computational Environment —
+// service directory, room/user/authorization databases, network
+// logger, persistent store cluster, resource monitors and launchers,
+// workspace servers, and (optionally) identification devices — and
+// serves until interrupted. It prints the service table so acectl and
+// custom daemons can join.
+//
+// Usage:
+//
+//	aced [-tls] [-ident] [-rooms hawk,eagle] [-hosts bar:400,tube:250] [-store-dir DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"ace/internal/core"
+	"ace/internal/media"
+	"ace/internal/roomdb"
+	"ace/internal/taskauto"
+	"ace/internal/tracker"
+	"ace/internal/vidmon"
+)
+
+func main() {
+	tls := flag.Bool("tls", false, "mutually authenticated TLS on every daemon")
+	ident := flag.Bool("ident", true, "start identification services (FIU, iButton, ID monitor)")
+	rooms := flag.String("rooms", "hawk", "comma-separated room names to seed")
+	hosts := flag.String("hosts", "bar:400,tube:250", "comma-separated host:bogomips specs")
+	storeDir := flag.String("store-dir", "", "directory for persistent-store WALs (empty = memory)")
+	vncServers := flag.Int("vnc", 1, "number of workspace (vncsim) servers")
+	extras := flag.Bool("extras", false, "also start personnel tracker, task automation, converter, and video monitor")
+	flag.Parse()
+
+	opts := core.Options{
+		Name:       "aced",
+		TLS:        *tls,
+		WithIdent:  *ident,
+		StoreDir:   *storeDir,
+		VNCServers: *vncServers,
+	}
+	for _, r := range strings.Split(*rooms, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			opts.Rooms = append(opts.Rooms, roomdb.Room{Name: r, Dims: roomdb.Point{X: 10, Y: 8, Z: 3}})
+		}
+	}
+	for _, h := range strings.Split(*hosts, ",") {
+		name, speedStr, ok := strings.Cut(strings.TrimSpace(h), ":")
+		if !ok || name == "" {
+			continue
+		}
+		speed, err := strconv.ParseFloat(speedStr, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aced: bad host spec %q: %v\n", h, err)
+			os.Exit(2)
+		}
+		opts.Hosts = append(opts.Hosts, core.HostSpec{Name: name, Speed: speed, Mem: 1 << 30})
+	}
+
+	env, err := core.Start(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aced: %v\n", err)
+		os.Exit(1)
+	}
+	defer env.Stop()
+
+	fmt.Println("ACE environment is up.")
+	fmt.Printf("  ASD (well-known socket): %s\n", env.ASD.Addr())
+	fmt.Printf("  room database:           %s\n", env.RoomDB.Addr())
+	fmt.Printf("  network logger:          %s\n", env.NetLog.Addr())
+	fmt.Printf("  user database (AUD):     %s\n", env.AUD.Addr())
+	fmt.Printf("  authorization database:  %s\n", env.AuthDB.Addr())
+	if env.Store != nil {
+		fmt.Printf("  persistent store:        %s\n", strings.Join(env.Store.Addrs(), " "))
+	}
+	fmt.Printf("  SAL:                     %s\n", env.SAL.Addr())
+	fmt.Printf("  WSS:                     %s\n", env.WSS.Addr())
+	if env.FIU != nil {
+		fmt.Printf("  FIU / iButton:           %s / %s\n", env.FIU.Addr(), env.IButton.Addr())
+	}
+	if *extras {
+		firstRoom := "hawk"
+		if len(opts.Rooms) > 0 {
+			firstRoom = opts.Rooms[0].Name
+		}
+		personnel := tracker.New(tracker.Config{
+			Daemon:  env.DaemonConfig("tracker", tracker.ClassTracker, ""),
+			ASDAddr: env.ASD.Addr(),
+		})
+		if err := personnel.Start(); err != nil {
+			fmt.Fprintf(os.Stderr, "aced: tracker: %v\n", err)
+			os.Exit(1)
+		}
+		defer personnel.Stop()
+
+		resolver := taskauto.NewResolver(env.Pool(), env.ASD.Addr(), env.RoomDB.Addr())
+		auto := taskauto.NewService(env.DaemonConfig("taskauto", "", ""), resolver)
+		if err := auto.Start(); err != nil {
+			fmt.Fprintf(os.Stderr, "aced: taskauto: %v\n", err)
+			os.Exit(1)
+		}
+		defer auto.Stop()
+
+		conv := media.NewConverter(env.DaemonConfig("converter", media.ClassConverter, ""))
+		if err := conv.Start(); err != nil {
+			fmt.Fprintf(os.Stderr, "aced: converter: %v\n", err)
+			os.Exit(1)
+		}
+		defer conv.Stop()
+
+		vm := vidmon.NewMonitor(env.DaemonConfig("vidmon_"+firstRoom, vidmon.ClassMonitor, firstRoom), nil)
+		if err := vm.Start(); err != nil {
+			fmt.Fprintf(os.Stderr, "aced: vidmon: %v\n", err)
+			os.Exit(1)
+		}
+		defer vm.Stop()
+		fmt.Printf("  extras:                  tracker %s · taskauto %s · converter %s · vidmon %s\n",
+			personnel.Addr(), auto.Addr(), conv.Addr(), vm.Addr())
+	}
+
+	fmt.Println("\nService tree:")
+	fmt.Print(env.ServiceTree())
+	fmt.Println("\naced: serving; Ctrl-C to stop.")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("\naced: shutting down.")
+}

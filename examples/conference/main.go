@@ -1,0 +1,92 @@
+// Conference walks the paper's five scenarios (§7) end to end: a new
+// employee gets an ACE account and default workspace; identifies
+// himself by fingerprint at the conference-room podium; his workspace
+// follows him there; he creates a second workspace; and he drives the
+// room's projector and PTZ camera for his presentation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+	"time"
+
+	"ace/internal/core"
+	"ace/internal/roomdb"
+)
+
+func main() {
+	env, err := core.Start(core.Options{
+		Name:      "conference",
+		WithIdent: true,
+		Rooms: []roomdb.Room{
+			{Name: "hawk", Building: "nichols", Dims: roomdb.Point{X: 10, Y: 8, Z: 3}},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer env.Stop()
+	rng := rand.New(rand.NewSource(7))
+
+	// ── Scenario 1: new user & user workspace ──────────────────────
+	fmt.Println("Scenario 1: the administrator registers John Doe.")
+	john, err := env.RegisterUser("john_doe", "John Doe", "hunter2", rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  AUD entry created; iButton %d bound; fingerprint enrolled.\n", john.IButton)
+	fmt.Printf("  default workspace housed at %s, server process on host %q (pid %d).\n\n",
+		john.Workspace.VNCAddr, john.Workspace.Host, john.Workspace.PID)
+
+	// ── Scenario 2: user identification ────────────────────────────
+	fmt.Println("Scenario 2: John presses his thumb to the podium scanner in hawk.")
+	reply, err := env.IdentifyByFingerprint(john, "hawk", rng, 0.03)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  FIU matched %q (Hamming distance %d bits).\n", reply.Str("username", ""), reply.Int("distance", 0))
+	if err := env.WaitLocation("john_doe", "hawk", 2*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("  ID monitor updated his location in the AUD: hawk.")
+
+	// ── Scenario 3: user workspace ─────────────────────────────────
+	fmt.Println("\nScenario 3: his workspace pops up at the podium.")
+	viewer, err := env.OpenViewer("john_doe", "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	viewer.Type("echo opening presentation.ppt") //nolint:errcheck
+	screen, err := viewer.Screen()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("  podium screen shows:")
+	for _, line := range screen {
+		fmt.Println("   |", line)
+	}
+
+	// ── Scenario 4: multiple user workspaces ───────────────────────
+	fmt.Println("\nScenario 4: John also has a separate slides workspace.")
+	if _, err := env.WSS.Create("john_doe", "slides"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  workspace selector offers: %s\n", strings.Join(env.WSS.List("john_doe"), ", "))
+
+	// ── Scenario 5: ACE services & devices ─────────────────────────
+	fmt.Println("\nScenario 5: projector on, workspace to the screen, camera to the podium.")
+	room, err := env.SetupConferenceRoom("hawk")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := env.Scenario5("hawk", "john_doe", [3]float64{5, 2, 1.2}); err != nil {
+		log.Fatal(err)
+	}
+	cam := room.Camera.State()
+	proj := room.Projector.State()
+	fmt.Printf("  projector: on=%v input=%q pip=%q\n", proj.On, proj.Input, proj.PIP)
+	fmt.Printf("  camera:    on=%v pan=%.1f° tilt=%.1f° zoom=%.0fx\n", cam.On, cam.Pan, cam.Tilt, cam.Zoom)
+	fmt.Println("\nJohn is now ready to give his presentation.")
+}

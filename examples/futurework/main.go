@@ -1,0 +1,137 @@
+// Futurework demonstrates the §9 "Improvements & Future Work" items
+// this reproduction implements beyond the paper's shipped system:
+//
+//  1. mobile sockets — a client transparently follows a service that
+//     crashes and comes back on a different port;
+//  2. automatic path creation (the Ninja idea) — a conversion path is
+//     planned across specialized converter services at run time;
+//  3. task automation — "print this out to the nearest printer";
+//  4. voice commanding — the same task spoken into a room microphone.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ace/internal/asd"
+	"ace/internal/cmdlang"
+	"ace/internal/daemon"
+	"ace/internal/device"
+	"ace/internal/media"
+	"ace/internal/mobile"
+	"ace/internal/pathcreate"
+	"ace/internal/roomdb"
+	"ace/internal/taskauto"
+	"ace/internal/voice"
+)
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func main() {
+	dir := asd.New(asd.Config{ReapInterval: 20 * time.Millisecond})
+	must(dir.Start())
+	defer dir.Stop()
+	pool := daemon.NewPool(nil)
+	defer pool.Close()
+
+	// ── 1. Mobile sockets ──────────────────────────────────────────
+	fmt.Println("1. mobile sockets")
+	svc := daemon.New(daemon.Config{Name: "tracker", ASDAddr: dir.Addr(), LeaseTTL: 50 * time.Millisecond})
+	must(svc.Start())
+	sock := mobile.NewSocket(pool, dir.Addr(), asd.Query{Name: "tracker"})
+	must(sock.Ping())
+	fmt.Println("   connected to tracker at", sock.Addr())
+
+	svc.Stop()
+	fmt.Println("   tracker crashed; restarting it elsewhere…")
+	svc2 := daemon.New(daemon.Config{Name: "tracker", ASDAddr: dir.Addr(), LeaseTTL: 50 * time.Millisecond})
+	must(svc2.Start())
+	defer svc2.Stop()
+	must(sock.Ping())
+	re, _ := sock.Stats()
+	fmt.Printf("   call succeeded at new address %s (re-resolved %d time(s))\n\n", sock.Addr(), re)
+
+	// ── 2. Automatic path creation ─────────────────────────────────
+	fmt.Println("2. automatic path creation (Ninja APC)")
+	// Two specialized converters: neither can do rle→mpegsim alone.
+	rleConv := media.NewConverter(daemon.Config{Name: "conv_rle", ASDAddr: dir.Addr()},
+		media.Pair{From: media.FormatRLE, To: media.FormatRaw},
+		media.Pair{From: media.FormatRaw, To: media.FormatRLE})
+	must(rleConv.Start())
+	defer rleConv.Stop()
+	mpegConv := media.NewConverter(daemon.Config{Name: "conv_mpeg", ASDAddr: dir.Addr()},
+		media.Pair{From: media.FormatRaw, To: media.FormatMPEG},
+		media.Pair{From: media.FormatMPEG, To: media.FormatRaw})
+	must(mpegConv.Start())
+	defer mpegConv.Stop()
+
+	planner := pathcreate.NewPlanner(pool, dir.Addr())
+	path, err := planner.Plan(media.FormatRLE, media.FormatMPEG)
+	must(err)
+	fmt.Println("   planned:", path)
+	payload, err := media.Convert([]byte("scanline scanline scanline scanline"), media.FormatRaw, media.FormatRLE)
+	must(err)
+	out, _, err := planner.Convert(payload, media.FormatRLE, media.FormatMPEG)
+	must(err)
+	fmt.Printf("   executed: %d RLE bytes → %d mpegsim bytes through 2 services\n\n", len(payload), len(out))
+
+	// ── 3 & 4. Task automation + voice ─────────────────────────────
+	fmt.Println("3. task automation: nearest printer")
+	rooms := roomdb.New(daemon.Config{ASDAddr: dir.Addr()}, nil)
+	must(rooms.Start())
+	defer rooms.Stop()
+	printerNear := device.NewPrinter(daemon.Config{Name: "printer_door", Room: "hawk",
+		ASDAddr: dir.Addr(), RoomDBAddr: rooms.Addr()})
+	must(printerNear.Start())
+	defer printerNear.Stop()
+	printerFar := device.NewPrinter(daemon.Config{Name: "printer_window", Room: "hawk",
+		ASDAddr: dir.Addr(), RoomDBAddr: rooms.Addr()})
+	must(printerFar.Start())
+	defer printerFar.Stop()
+	must(rooms.DB().SetPosition("hawk", "printer_door", roomdb.Point{X: 1, Y: 1, Z: 1}))
+	must(rooms.DB().SetPosition("hawk", "printer_window", roomdb.Point{X: 9, Y: 7, Z: 1}))
+
+	resolver := taskauto.NewResolver(pool, dir.Addr(), rooms.Addr())
+	auto := taskauto.NewService(daemon.Config{ASDAddr: dir.Addr()}, resolver)
+	must(auto.Start())
+	defer auto.Stop()
+
+	reply, err := pool.Call(auto.Addr(), cmdlang.New("task").
+		SetWord("name", "print").SetWord("user", "john_doe").
+		SetWord("room", "hawk").SetString("detail", "this document").
+		Set("pos", cmdlang.FloatVector(2, 2, 1)))
+	must(err)
+	fmt.Printf("   \"print this out to the nearest printer\" → %s (%.1f m away)\n\n",
+		reply.Str("device", ""), reply.Float("distance", 0))
+
+	fmt.Println("4. the same, spoken")
+	vc := voice.New(voice.Config{
+		Room: "hawk", Speaker: "john_doe",
+		Pos:          roomdb.Point{X: 2, Y: 2, Z: 1},
+		TaskAutoAddr: auto.Addr(),
+	})
+	must(vc.Start())
+	defer vc.Stop()
+	mic := media.NewAudioCapture(daemon.Config{})
+	must(mic.Start())
+	defer mic.Stop()
+	_, err = pool.Call(mic.Addr(), cmdlang.New("say").
+		SetString("dest", vc.DataAddr()).
+		SetString("text", "print meeting notes"))
+	must(err)
+	deadline := time.Now().Add(3 * time.Second)
+	for len(vc.Utterances()) == 0 {
+		if time.Now().After(deadline) {
+			log.Fatal("utterance never recognized")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	u := vc.Utterances()[0]
+	fmt.Printf("   recognized %q → dispatched=%v\n", u.Text, u.Dispatched)
+	fmt.Printf("   door printer queue: %d job(s)\n", len(printerNear.Queue()))
+}

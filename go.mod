@@ -1,0 +1,3 @@
+module ace
+
+go 1.22

@@ -1,0 +1,274 @@
+package ace
+
+// Whole-building integration test: one environment running every
+// subsystem at once — infrastructure, identification, workspaces,
+// devices, media, phones, task automation, path creation, and the
+// persistent store — exercised through a single user's day.
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"ace/internal/asd"
+	"ace/internal/cmdlang"
+	"ace/internal/core"
+	"ace/internal/device"
+	"ace/internal/media"
+	"ace/internal/mobile"
+	"ace/internal/ophone"
+	"ace/internal/pathcreate"
+	"ace/internal/roomdb"
+	"ace/internal/taskauto"
+	"ace/internal/tracker"
+	"ace/internal/triangulate"
+	"ace/internal/voice"
+)
+
+func TestWholeBuilding(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration-scale test")
+	}
+	env, err := core.Start(core.Options{
+		Name:      "building",
+		WithIdent: true,
+		Rooms: []roomdb.Room{
+			{Name: "hawk", Building: "nichols", Dims: roomdb.Point{X: 10, Y: 8, Z: 3}},
+			{Name: "eagle", Building: "nichols", Dims: roomdb.Point{X: 6, Y: 5, Z: 3}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Stop()
+	rng := rand.New(rand.NewSource(77))
+	pool := env.Pool()
+
+	// ── Two users join the company ─────────────────────────────────
+	john, err := env.RegisterUser("john_doe", "John Doe", "pw1", rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := env.RegisterUser("jane_roe", "Jane Roe", "pw2", rng); err != nil {
+		t.Fatal(err)
+	}
+
+	// ── Rooms get devices ──────────────────────────────────────────
+	if _, err := env.SetupConferenceRoom("hawk"); err != nil {
+		t.Fatal(err)
+	}
+	printer := device.NewPrinter(env.DaemonConfig("printer_hawk", device.ClassPrinter, "hawk"))
+	if err := printer.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer printer.Stop()
+	if err := env.RoomDB.DB().SetPosition("hawk", "printer_hawk", roomdb.Point{X: 1, Y: 1, Z: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	// ── John badges into hawk; his workspace follows ───────────────
+	if _, err := env.IdentifyByFingerprint(john, "hawk", rng, 0.02); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.WaitLocation("john_doe", "hawk", 3*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	viewer, err := env.OpenViewer("john_doe", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := viewer.Type("echo agenda"); err != nil {
+		t.Fatal(err)
+	}
+
+	// ── He runs Scenario 5 and prints to the nearest printer ───────
+	if err := env.Scenario5("hawk", "john_doe", [3]float64{5, 2, 1.2}); err != nil {
+		t.Fatal(err)
+	}
+	resolver := taskauto.NewResolver(pool, env.ASD.Addr(), env.RoomDB.Addr())
+	auto := taskauto.NewService(env.DaemonConfig("taskauto", "", ""), resolver)
+	if err := auto.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer auto.Stop()
+	if _, err := pool.Call(auto.Addr(), cmdlang.New("task").
+		SetWord("name", "print").SetWord("user", "john_doe").
+		SetWord("room", "hawk").SetString("detail", "agenda").
+		Set("pos", cmdlang.FloatVector(2, 2, 1))); err != nil {
+		t.Fatal(err)
+	}
+	if len(printer.Queue()) != 1 {
+		t.Fatalf("printer queue=%d", len(printer.Queue()))
+	}
+
+	// ── He calls Jane on the O-Phone ───────────────────────────────
+	johnPhone := ophone.New(ophone.Config{
+		Daemon: env.DaemonConfig("ophone_john_doe", ophone.ClassPhone, "hawk"),
+		Owner:  "john_doe", ASDAddr: env.ASD.Addr(),
+	})
+	if err := johnPhone.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer johnPhone.Stop()
+	janePhone := ophone.New(ophone.Config{
+		Daemon: env.DaemonConfig("ophone_jane_roe", ophone.ClassPhone, "eagle"),
+		Owner:  "jane_roe", ASDAddr: env.ASD.Addr(),
+		AutoAnswer: true,
+	})
+	if err := janePhone.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer janePhone.Stop()
+
+	if err := johnPhone.Dial("jane_roe"); err != nil {
+		t.Fatal(err)
+	}
+	if johnPhone.State() != ophone.Active {
+		t.Fatalf("call state=%s", johnPhone.State())
+	}
+	if _, err := johnPhone.Say("meeting at three"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for len(janePhone.Received()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("jane heard nothing")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := johnPhone.Hangup(); err != nil {
+		t.Fatal(err)
+	}
+
+	// ── A recording of the meeting is converted for archival via
+	//    automatic path creation ─────────────────────────────────────
+	conv := media.NewConverter(env.DaemonConfig("converter_main", media.ClassConverter, ""))
+	if err := conv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer conv.Stop()
+	planner := pathcreate.NewPlanner(pool, env.ASD.Addr())
+	recording := []byte(strings.Repeat("meeting audio ", 300))
+	archived, path, err := planner.Convert(recording, media.FormatRaw, media.FormatMPEG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 1 || len(archived) >= len(recording) {
+		t.Fatalf("path=%v size %d→%d", path, len(recording), len(archived))
+	}
+
+	// ── The archive goes into the persistent store and survives a
+	//    replica crash ──────────────────────────────────────────────
+	if _, err := env.StoreClient.Put("/archive/meeting1", archived); err != nil {
+		t.Fatal(err)
+	}
+	env.Store.Nodes[0].Stop()
+	got, _, ok, err := env.StoreClient.Get("/archive/meeting1")
+	if err != nil || !ok || len(got) != len(archived) {
+		t.Fatalf("archive lost: ok=%v err=%v", ok, err)
+	}
+
+	// ── Voice control still works through a room microphone ───────
+	vc := voice.New(voice.Config{
+		Daemon: env.DaemonConfig("voice_hawk", voice.ClassVoice, "hawk"),
+		Room:   "hawk", Speaker: "john_doe",
+		Pos:          roomdb.Point{X: 2, Y: 2, Z: 1},
+		TaskAutoAddr: auto.Addr(),
+	})
+	if err := vc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer vc.Stop()
+	mic := media.NewAudioCapture(env.DaemonConfig("mic_hawk", media.ClassCapture, "hawk"))
+	if err := mic.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer mic.Stop()
+	if _, err := pool.Call(mic.Addr(), cmdlang.New("say").
+		SetString("dest", vc.DataAddr()).
+		SetString("text", "print minutes")); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(3 * time.Second)
+	for len(printer.Queue()) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("spoken print never queued (utterances: %+v)", vc.Utterances())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// ── A mobile socket survives the camera being power-cycled ─────
+	sock := mobile.NewSocket(pool, env.ASD.Addr(), asd.Query{Name: "ptz_hawk"})
+	if err := sock.Ping(); err != nil {
+		t.Fatal(err)
+	}
+
+	// ── The network logger has the building's history ──────────────
+	events, err := pool.Call(env.NetLog.Addr(), cmdlang.New("query").SetWord("event", "started"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events.Int("count", 0) < 5 {
+		t.Fatalf("history too thin: %v", events.Int("count", 0))
+	}
+
+	// ── The building tracks personnel across devices ───────────────
+	personnel := tracker.New(tracker.Config{
+		Daemon:  env.DaemonConfig("tracker", tracker.ClassTracker, ""),
+		ASDAddr: env.ASD.Addr(),
+	})
+	if err := personnel.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer personnel.Stop()
+	// John badges into eagle with his iButton; the tracker sees it.
+	if _, err := pool.Call(env.IButton.Addr(), cmdlang.New("press").
+		SetInt("serial", int64(john.IButton)).SetWord("location", "eagle")); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(3 * time.Second)
+	for {
+		if s, ok := personnel.LastSeen("john_doe"); ok && s.Room == "eagle" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("tracker never saw john in eagle")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// ── A clap at the hawk podium is triangulated and the camera
+	//    turns toward it ─────────────────────────────────────────────
+	array, err := triangulate.RoomArray(roomdb.Point{X: 10, Y: 8, Z: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	locator := triangulate.NewLocator(env.DaemonConfig("soundlocator_hawk", triangulate.ClassLocator, "hawk"), array)
+	if err := locator.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer locator.Stop()
+	clap := roomdb.Point{X: 6, Y: 3, Z: 1.3}
+	for _, arr := range array.Simulate(clap, 42.0, nil) {
+		if _, err := pool.Call(locator.Addr(), cmdlang.New("reportArrival").
+			SetInt("burst", 1).SetWord("mic", arr.Mic).SetFloat("time", arr.Time)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fix, ok := locator.Fix(1)
+	if !ok {
+		t.Fatal("clap never located")
+	}
+	if d := (fix.Pos.X-clap.X)*(fix.Pos.X-clap.X) + (fix.Pos.Y-clap.Y)*(fix.Pos.Y-clap.Y); d > 0.01 {
+		t.Fatalf("clap located %.2f m² off at %+v", d, fix.Pos)
+	}
+
+	// ── Everything is in the tree ──────────────────────────────────
+	tree := env.ServiceTree()
+	for _, want := range []string{"ptz_hawk", "printer_hawk", "ophone_john_doe", "voice_hawk", "converter_main", "taskauto", "tracker", "soundlocator_hawk"} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("service tree missing %s", want)
+		}
+	}
+}

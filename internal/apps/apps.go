@@ -1,0 +1,337 @@
+// Package apps implements ACE application lifecycle management (§5):
+// temporary applications (allowed to die), restart applications
+// (watched and relaunched after a crash), and robust applications
+// (restarted with their state recovered from the persistent store).
+// The watcher service closes the gap the report identifies as "the
+// next step in our current development of ACE": it works with the ASD
+// to make sure applications that need to be up are always up.
+package apps
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"ace/internal/asd"
+	"ace/internal/cmdlang"
+	"ace/internal/daemon"
+	"ace/internal/hier"
+	"ace/internal/pstore"
+)
+
+// Class is an application's lifecycle class (§5.1–5.3).
+type Class int
+
+const (
+	// Temporary applications are irrelevant to the system as a whole;
+	// nobody restarts them.
+	Temporary Class = iota
+	// Restart applications must be running and are relaunched after a
+	// crash; work since the last run may be lost.
+	Restart
+	// Robust applications must not stay down and recover their last
+	// checkpointed state from the persistent store.
+	Robust
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case Temporary:
+		return "temporary"
+	case Restart:
+		return "restart"
+	case Robust:
+		return "robust"
+	default:
+		return "unknown"
+	}
+}
+
+// Startable is anything the watcher can bring back: typically an ACE
+// daemon (which re-registers with the ASD on Start).
+type Startable interface {
+	Start() error
+	Stop()
+}
+
+// Spec registers one application with the watcher.
+type Spec struct {
+	// Name is the application's ASD service name, the liveness probe.
+	Name string
+	// Class decides the reaction to absence.
+	Class Class
+	// Factory builds a replacement instance. It must configure the
+	// instance to register under Name.
+	Factory func() (Startable, error)
+}
+
+// Watcher polls the ASD for each registered application and restarts
+// those that have disappeared (their lease expired or they
+// deregistered by crashing).
+type Watcher struct {
+	*daemon.Daemon
+
+	asdAddr  string
+	interval time.Duration
+
+	mu       sync.Mutex
+	specs    map[string]Spec
+	running  map[string]Startable
+	restarts map[string]int
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	started  bool
+}
+
+// WatcherConfig wires the watcher.
+type WatcherConfig struct {
+	Daemon daemon.Config
+	// ASDAddr is the directory polled for liveness.
+	ASDAddr string
+	// Interval is the poll period.
+	Interval time.Duration
+}
+
+// NewWatcher constructs the watcher daemon.
+func NewWatcher(cfg WatcherConfig) *Watcher {
+	dcfg := cfg.Daemon
+	if dcfg.Name == "" {
+		dcfg.Name = "appwatcher"
+	}
+	if dcfg.Class == "" {
+		dcfg.Class = hier.Root + ".Watcher"
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 100 * time.Millisecond
+	}
+	w := &Watcher{
+		Daemon:   daemon.New(dcfg),
+		asdAddr:  cfg.ASDAddr,
+		interval: cfg.Interval,
+		specs:    make(map[string]Spec),
+		running:  make(map[string]Startable),
+		restarts: make(map[string]int),
+		stop:     make(chan struct{}),
+	}
+	w.install()
+	return w
+}
+
+// Watch registers an application. If inst is non-nil it is adopted as
+// the currently running instance.
+func (w *Watcher) Watch(spec Spec, inst Startable) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.specs[spec.Name] = spec
+	if inst != nil {
+		w.running[spec.Name] = inst
+	}
+}
+
+// Restarts returns how many times the named application has been
+// relaunched.
+func (w *Watcher) Restarts(name string) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.restarts[name]
+}
+
+// Start brings the watcher daemon online and begins polling.
+func (w *Watcher) Start() error {
+	if err := w.Daemon.Start(); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	w.started = true
+	w.mu.Unlock()
+	w.wg.Add(1)
+	go w.loop()
+	return nil
+}
+
+// Stop halts polling and the daemon. Watched instances are not
+// stopped — they are independent applications.
+func (w *Watcher) Stop() {
+	w.mu.Lock()
+	if w.started {
+		w.started = false
+		close(w.stop)
+	}
+	w.mu.Unlock()
+	w.wg.Wait()
+	w.Daemon.Stop()
+}
+
+func (w *Watcher) loop() {
+	defer w.wg.Done()
+	t := time.NewTicker(w.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			w.Sweep()
+		}
+	}
+}
+
+// Sweep checks every watched application once and restarts the
+// missing ones; it returns the names restarted.
+func (w *Watcher) Sweep() []string {
+	w.mu.Lock()
+	specs := make([]Spec, 0, len(w.specs))
+	for _, s := range w.specs {
+		specs = append(specs, s)
+	}
+	w.mu.Unlock()
+	sort.Slice(specs, func(i, j int) bool { return specs[i].Name < specs[j].Name })
+
+	var restarted []string
+	for _, spec := range specs {
+		if spec.Class == Temporary {
+			continue // allowed to die (§5.1)
+		}
+		if w.alive(spec.Name) {
+			continue
+		}
+		if err := w.restart(spec); err == nil {
+			restarted = append(restarted, spec.Name)
+		}
+	}
+	return restarted
+}
+
+func (w *Watcher) alive(name string) bool {
+	_, err := asd.Resolve(w.Pool(), w.asdAddr, asd.Query{Name: name})
+	return err == nil
+}
+
+func (w *Watcher) restart(spec Spec) error {
+	if spec.Factory == nil {
+		return fmt.Errorf("apps: %s has no factory", spec.Name)
+	}
+	inst, err := spec.Factory()
+	if err != nil {
+		return err
+	}
+	if err := inst.Start(); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	w.running[spec.Name] = inst
+	w.restarts[spec.Name]++
+	w.mu.Unlock()
+	return nil
+}
+
+func (w *Watcher) install() {
+	w.Handle(cmdlang.CommandSpec{Name: "watched", Doc: "list watched applications and restart counts"},
+		func(_ *daemon.Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+			w.mu.Lock()
+			names := make([]string, 0, len(w.specs))
+			for n := range w.specs {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			classes := make([]string, len(names))
+			counts := make([]int64, len(names))
+			for i, n := range names {
+				classes[i] = w.specs[n].Class.String()
+				counts[i] = int64(w.restarts[n])
+			}
+			w.mu.Unlock()
+			return cmdlang.OK().
+				Set("names", cmdlang.WordVector(names...)).
+				Set("classes", cmdlang.WordVector(classes...)).
+				Set("restarts", cmdlang.IntVector(counts...)), nil
+		})
+}
+
+// Checkpointer saves and restores a robust application's state in the
+// persistent store's object-oriented namespace.
+type Checkpointer struct {
+	Client *pstore.Client
+	Path   string
+}
+
+// Save checkpoints the state blob.
+func (c *Checkpointer) Save(state []byte) error {
+	_, err := c.Client.Put(c.Path, state)
+	return err
+}
+
+// Load returns the last checkpoint (ok=false when none exists).
+func (c *Checkpointer) Load() (state []byte, ok bool, err error) {
+	state, _, ok, err = c.Client.Get(c.Path)
+	return state, ok, err
+}
+
+// RobustCounter is a reference robust application (§5.3): a counter
+// service whose every increment is checkpointed, so a replacement
+// instance resumes from the exact last value. It is the shape every
+// robust ACE service follows: mutate → checkpoint → reply.
+type RobustCounter struct {
+	*daemon.Daemon
+	ckpt *Checkpointer
+
+	mu    sync.Mutex
+	value int64
+}
+
+// NewRobustCounter constructs the counter over a checkpointer.
+func NewRobustCounter(dcfg daemon.Config, ckpt *Checkpointer) *RobustCounter {
+	if dcfg.Name == "" {
+		dcfg.Name = "robust_counter"
+	}
+	r := &RobustCounter{Daemon: daemon.New(dcfg), ckpt: ckpt}
+	r.install()
+	return r
+}
+
+// Start restores the last checkpoint, then serves.
+func (r *RobustCounter) Start() error {
+	if blob, ok, err := r.ckpt.Load(); err != nil {
+		return err
+	} else if ok && len(blob) == 8 {
+		var v int64
+		for i := 0; i < 8; i++ {
+			v = v<<8 | int64(blob[i])
+		}
+		r.mu.Lock()
+		r.value = v
+		r.mu.Unlock()
+	}
+	return r.Daemon.Start()
+}
+
+// Value returns the current counter value.
+func (r *RobustCounter) Value() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.value
+}
+
+func (r *RobustCounter) install() {
+	r.Handle(cmdlang.CommandSpec{Name: "increment"},
+		func(_ *daemon.Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+			r.mu.Lock()
+			r.value++
+			v := r.value
+			r.mu.Unlock()
+			blob := make([]byte, 8)
+			for i := 0; i < 8; i++ {
+				blob[7-i] = byte(v >> (8 * i))
+			}
+			if err := r.ckpt.Save(blob); err != nil {
+				return nil, fmt.Errorf("checkpoint failed: %w", err)
+			}
+			return cmdlang.OK().SetInt("value", v), nil
+		})
+	r.Handle(cmdlang.CommandSpec{Name: "value"},
+		func(_ *daemon.Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+			return cmdlang.OK().SetInt("value", r.Value()), nil
+		})
+}

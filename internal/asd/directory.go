@@ -1,0 +1,217 @@
+// Package asd implements the ACE Service Directory (§2.4, Fig 7):
+// the central listing of services currently available in the
+// environment. Services register at startup, renew leases
+// periodically, and are reaped automatically when a lease expires —
+// the mechanism that removes daemons that died without unregistering.
+package asd
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"ace/internal/hier"
+)
+
+// DefaultLease is applied when a registration does not request one.
+const DefaultLease = 10 * time.Second
+
+// MaxLease caps requested leases so a buggy daemon cannot pin a dead
+// entry for hours.
+const MaxLease = 5 * time.Minute
+
+// Entry is one directory listing.
+type Entry struct {
+	Name       string
+	Host       string
+	Port       int
+	Addr       string // dialable "host:port"
+	Room       string
+	Class      string
+	Lease      time.Duration
+	Expires    time.Time
+	Registered time.Time
+	Renewals   int
+}
+
+// Directory is the lease-managed listing. It is independent of the
+// daemon shell so it can be unit-tested with a synthetic clock; the
+// Service type wraps it as an ACE daemon.
+type Directory struct {
+	mu      sync.Mutex
+	entries map[string]*Entry
+	now     func() time.Time
+
+	// onExpire, if set, is called (outside the lock) for each reaped
+	// entry.
+	onExpire func(Entry)
+
+	registrations int64
+	expirations   int64
+}
+
+// NewDirectory returns an empty directory using the real clock.
+func NewDirectory() *Directory {
+	return &Directory{entries: make(map[string]*Entry), now: time.Now}
+}
+
+// SetClock injects a time source (tests).
+func (d *Directory) SetClock(now func() time.Time) { d.now = now }
+
+// SetOnExpire installs the expiry callback.
+func (d *Directory) SetOnExpire(fn func(Entry)) {
+	d.mu.Lock()
+	d.onExpire = fn
+	d.mu.Unlock()
+}
+
+// Register inserts or replaces the named service's entry and returns
+// the granted lease.
+func (d *Directory) Register(e Entry) (time.Duration, error) {
+	if e.Name == "" {
+		return 0, fmt.Errorf("asd: registration without a name")
+	}
+	if e.Class == "" {
+		e.Class = hier.Root
+	}
+	if !hier.Valid(e.Class) {
+		return 0, fmt.Errorf("asd: invalid class %q", e.Class)
+	}
+	lease := clampLease(e.Lease)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	now := d.now()
+	e.Lease = lease
+	e.Registered = now
+	e.Expires = now.Add(lease)
+	d.entries[e.Name] = &e
+	d.registrations++
+	return lease, nil
+}
+
+func clampLease(l time.Duration) time.Duration {
+	switch {
+	case l <= 0:
+		return DefaultLease
+	case l > MaxLease:
+		return MaxLease
+	default:
+		return l
+	}
+}
+
+// Renew extends the named service's lease. It fails if the service is
+// not (or no longer) listed, prompting the daemon to re-register.
+func (d *Directory) Renew(name string, lease time.Duration) (time.Duration, error) {
+	lease = clampLease(lease)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e, ok := d.entries[name]
+	if !ok {
+		return 0, fmt.Errorf("asd: %q is not registered", name)
+	}
+	if d.now().After(e.Expires) {
+		// Lease already lapsed; treat as gone so the caller
+		// re-registers with fresh details.
+		delete(d.entries, name)
+		d.expirations++
+		return 0, fmt.Errorf("asd: lease of %q expired", name)
+	}
+	e.Expires = d.now().Add(lease)
+	e.Lease = lease
+	e.Renewals++
+	return lease, nil
+}
+
+// Unregister removes the named service; it reports whether the entry
+// existed.
+func (d *Directory) Unregister(name string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, ok := d.entries[name]
+	delete(d.entries, name)
+	return ok
+}
+
+// Get returns the live entry for name.
+func (d *Directory) Get(name string) (Entry, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e, ok := d.entries[name]
+	if !ok || d.now().After(e.Expires) {
+		return Entry{}, false
+	}
+	return *e, true
+}
+
+// Query describes a directory search: any non-zero field must match.
+// Class matches subclasses (asking for "Service.Device" finds every
+// device).
+type Query struct {
+	Name  string
+	Class string
+	Room  string
+}
+
+// Lookup returns all live entries matching q, sorted by name.
+func (d *Directory) Lookup(q Query) []Entry {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	now := d.now()
+	var out []Entry
+	for _, e := range d.entries {
+		if now.After(e.Expires) {
+			continue
+		}
+		if q.Name != "" && e.Name != q.Name {
+			continue
+		}
+		if q.Class != "" && !hier.IsSubclassOf(e.Class, q.Class) {
+			continue
+		}
+		if q.Room != "" && e.Room != q.Room {
+			continue
+		}
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Reap removes every expired entry and returns the reaped listings.
+func (d *Directory) Reap() []Entry {
+	d.mu.Lock()
+	now := d.now()
+	var reaped []Entry
+	for name, e := range d.entries {
+		if now.After(e.Expires) {
+			reaped = append(reaped, *e)
+			delete(d.entries, name)
+			d.expirations++
+		}
+	}
+	cb := d.onExpire
+	d.mu.Unlock()
+	if cb != nil {
+		for _, e := range reaped {
+			cb(e)
+		}
+	}
+	return reaped
+}
+
+// Len returns the number of listings (including not-yet-reaped
+// expired ones).
+func (d *Directory) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.entries)
+}
+
+// Counters returns lifetime registration and expiration counts.
+func (d *Directory) Counters() (registrations, expirations int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.registrations, d.expirations
+}

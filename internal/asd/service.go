@@ -1,0 +1,242 @@
+package asd
+
+import (
+	"time"
+
+	"ace/internal/cmdlang"
+	"ace/internal/daemon"
+	"ace/internal/hier"
+)
+
+// ServiceName is the conventional instance name of the directory
+// daemon.
+const ServiceName = "asd"
+
+// Service is the ACE Service Directory daemon: the Directory wrapped
+// in the standard daemon shell and exposed through ACE commands.
+type Service struct {
+	*daemon.Daemon
+	dir       *Directory
+	reapEvery time.Duration
+	stopReap  chan struct{}
+}
+
+// Config tailors the directory daemon.
+type Config struct {
+	// Daemon is the underlying shell configuration. ASDAddr is
+	// ignored — the directory never registers with itself.
+	Daemon daemon.Config
+	// ReapInterval is how often expired leases are collected.
+	ReapInterval time.Duration
+}
+
+// New constructs the directory service.
+func New(cfg Config) *Service {
+	dcfg := cfg.Daemon
+	dcfg.ASDAddr = "" // the ASD is the well-known root; it has no directory above it
+	if dcfg.Name == "" {
+		dcfg.Name = ServiceName
+	}
+	if dcfg.Class == "" {
+		dcfg.Class = hier.ClassServiceDirectory
+	}
+	if cfg.ReapInterval <= 0 {
+		cfg.ReapInterval = 250 * time.Millisecond
+	}
+	s := &Service{
+		Daemon:    daemon.New(dcfg),
+		dir:       NewDirectory(),
+		reapEvery: cfg.ReapInterval,
+		stopReap:  make(chan struct{}),
+	}
+	s.install()
+	return s
+}
+
+// Directory exposes the underlying listing (read-mostly; used by
+// in-process experiments).
+func (s *Service) Directory() *Directory { return s.dir }
+
+// Start brings the daemon online and starts the lease reaper.
+func (s *Service) Start() error {
+	if err := s.Daemon.Start(); err != nil {
+		return err
+	}
+	go s.reapLoop()
+	return nil
+}
+
+// Stop halts the reaper and the daemon.
+func (s *Service) Stop() {
+	close(s.stopReap)
+	s.Daemon.Stop()
+}
+
+func (s *Service) reapLoop() {
+	t := time.NewTicker(s.reapEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopReap:
+			return
+		case <-t.C:
+			s.dir.Reap()
+		}
+	}
+}
+
+func entryReply(e Entry) *cmdlang.CmdLine {
+	return cmdlang.OK().
+		SetWord("name", e.Name).
+		SetWord("host", e.Host).
+		SetInt("port", int64(e.Port)).
+		SetString("addr", e.Addr).
+		SetWord("room", e.Room).
+		SetString("class", e.Class).
+		SetInt("lease", int64(e.Lease/time.Millisecond))
+}
+
+func (s *Service) install() {
+	s.Handle(cmdlang.CommandSpec{
+		Name: daemon.CmdRegister,
+		Doc:  "enter the service directory with a lease",
+		Args: []cmdlang.ArgSpec{
+			{Name: "name", Kind: cmdlang.KindWord, Required: true},
+			{Name: "host", Kind: cmdlang.KindWord, Required: true},
+			{Name: "port", Kind: cmdlang.KindInt, Required: true},
+			{Name: "addr", Kind: cmdlang.KindString, Required: true},
+			{Name: "room", Kind: cmdlang.KindWord},
+			{Name: "class", Kind: cmdlang.KindString},
+			{Name: "lease", Kind: cmdlang.KindInt, Doc: "milliseconds"},
+		},
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		lease, err := s.dir.Register(Entry{
+			Name:  c.Str("name", ""),
+			Host:  c.Str("host", ""),
+			Port:  int(c.Int("port", 0)),
+			Addr:  c.Str("addr", ""),
+			Room:  c.Str("room", ""),
+			Class: c.Str("class", hier.Root),
+			Lease: time.Duration(c.Int("lease", 0)) * time.Millisecond,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return cmdlang.OK().SetInt("lease", int64(lease/time.Millisecond)), nil
+	})
+
+	s.Handle(cmdlang.CommandSpec{
+		Name: daemon.CmdRenew,
+		Doc:  "renew a service lease",
+		Args: []cmdlang.ArgSpec{
+			{Name: "name", Kind: cmdlang.KindWord, Required: true},
+			{Name: "lease", Kind: cmdlang.KindInt},
+		},
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		lease, err := s.dir.Renew(c.Str("name", ""), time.Duration(c.Int("lease", 0))*time.Millisecond)
+		if err != nil {
+			return cmdlang.Fail(cmdlang.CodeNotFound, err.Error()), nil
+		}
+		return cmdlang.OK().SetInt("lease", int64(lease/time.Millisecond)), nil
+	})
+
+	s.Handle(cmdlang.CommandSpec{
+		Name: daemon.CmdUnregister,
+		Doc:  "leave the directory",
+		Args: []cmdlang.ArgSpec{{Name: "name", Kind: cmdlang.KindWord, Required: true}},
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		existed := s.dir.Unregister(c.Str("name", ""))
+		return cmdlang.OK().SetBool("existed", existed), nil
+	})
+
+	s.Handle(cmdlang.CommandSpec{
+		Name: daemon.CmdLookup,
+		Doc:  "find services by name, class, and/or room (Fig 7)",
+		Args: []cmdlang.ArgSpec{
+			{Name: "name", Kind: cmdlang.KindWord},
+			{Name: "class", Kind: cmdlang.KindString},
+			{Name: "room", Kind: cmdlang.KindWord},
+			{Name: "limit", Kind: cmdlang.KindInt},
+		},
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		entries := s.dir.Lookup(Query{
+			Name:  c.Str("name", ""),
+			Class: c.Str("class", ""),
+			Room:  c.Str("room", ""),
+		})
+		if limit := int(c.Int("limit", 0)); limit > 0 && len(entries) > limit {
+			entries = entries[:limit]
+		}
+		if len(entries) == 0 {
+			return cmdlang.Fail(cmdlang.CodeNotFound, "no matching service"), nil
+		}
+		names := make([]string, len(entries))
+		addrs := make([]string, len(entries))
+		rooms := make([]string, len(entries))
+		classes := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name
+			addrs[i] = e.Addr
+			rooms[i] = e.Room
+			classes[i] = e.Class
+		}
+		reply := entryReply(entries[0])
+		reply.Set("names", cmdlang.WordVector(names...))
+		reply.Set("addrs", cmdlang.StringVector(addrs...))
+		reply.Set("rooms", cmdlang.WordVector(rooms...))
+		reply.Set("classes", cmdlang.StringVector(classes...))
+		reply.SetInt("count", int64(len(entries)))
+		return reply, nil
+	})
+
+	s.Handle(cmdlang.CommandSpec{
+		Name: "list",
+		Doc:  "list every live entry",
+	}, func(_ *daemon.Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		entries := s.dir.Lookup(Query{})
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name
+		}
+		return cmdlang.OK().Set("names", cmdlang.WordVector(names...)).SetInt("count", int64(len(entries))), nil
+	})
+}
+
+// Resolve is the client-side Fig 7 flow: ask the ASD at asdAddr for a
+// service matching the query and return its dialable address.
+func Resolve(p *daemon.Pool, asdAddr string, q Query) (string, error) {
+	cmd := cmdlang.New(daemon.CmdLookup)
+	if q.Name != "" {
+		cmd.SetWord("name", q.Name)
+	}
+	if q.Class != "" {
+		cmd.SetString("class", q.Class)
+	}
+	if q.Room != "" {
+		cmd.SetWord("room", q.Room)
+	}
+	reply, err := p.Call(asdAddr, cmd)
+	if err != nil {
+		return "", err
+	}
+	return reply.Str("addr", ""), nil
+}
+
+// ResolveAll returns the addresses of every matching service.
+func ResolveAll(p *daemon.Pool, asdAddr string, q Query) ([]string, error) {
+	cmd := cmdlang.New(daemon.CmdLookup)
+	if q.Name != "" {
+		cmd.SetWord("name", q.Name)
+	}
+	if q.Class != "" {
+		cmd.SetString("class", q.Class)
+	}
+	if q.Room != "" {
+		cmd.SetWord("room", q.Room)
+	}
+	reply, err := p.Call(asdAddr, cmd)
+	if err != nil {
+		return nil, err
+	}
+	return reply.Strings("addrs"), nil
+}

@@ -1,0 +1,301 @@
+// Package authdb implements the ACE Authorization Database Service
+// (§4.10) and the daemon-side KeyNote authorization gate (§3.2, Fig
+// 10). The database stores user and service authorization assertions;
+// ACE services consult it when a client attempts a command, pass the
+// retrieved credentials to the KeyNote compliance checker, and
+// execute or refuse accordingly.
+package authdb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ace/internal/cmdlang"
+	"ace/internal/daemon"
+	"ace/internal/hier"
+	"ace/internal/keynote"
+)
+
+// ServiceName is the conventional instance name of the authorization
+// database daemon.
+const ServiceName = "authdb"
+
+// Store holds credential assertions indexed by the principals they
+// license, supporting chain retrieval: fetching credentials "for" a
+// principal returns everything needed to build a delegation chain up
+// toward policy.
+type Store struct {
+	mu sync.RWMutex
+	// byLicensee maps principal name → credentials licensing it.
+	byLicensee map[string][]*keynote.Assertion
+	count      int
+}
+
+// NewStore returns an empty credential store.
+func NewStore() *Store {
+	return &Store{byLicensee: make(map[string][]*keynote.Assertion)}
+}
+
+// Add inserts a credential assertion. Policy assertions are rejected:
+// policy lives with each verifying service, not in the database.
+func (s *Store) Add(a *keynote.Assertion) error {
+	if a.IsPolicy() {
+		return fmt.Errorf("authdb: refusing to store a POLICY assertion")
+	}
+	principals := a.Licensees.Principals()
+	if len(principals) == 0 {
+		return fmt.Errorf("authdb: credential licenses nobody")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range principals {
+		s.byLicensee[p] = append(s.byLicensee[p], a)
+	}
+	s.count++
+	return nil
+}
+
+// CredentialsFor returns the transitive credential set relevant to
+// the principal: credentials licensing it, plus credentials licensing
+// those credentials' authorizers, and so on (Fig 10 step 3: "looks up
+// the necessary information").
+func (s *Store) CredentialsFor(principal string) []*keynote.Assertion {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	seen := map[*keynote.Assertion]bool{}
+	visited := map[string]bool{}
+	var out []*keynote.Assertion
+	frontier := []string{principal}
+	for len(frontier) > 0 {
+		p := frontier[0]
+		frontier = frontier[1:]
+		if visited[p] {
+			continue
+		}
+		visited[p] = true
+		for _, a := range s.byLicensee[p] {
+			if seen[a] {
+				continue
+			}
+			seen[a] = true
+			out = append(out, a)
+			frontier = append(frontier, a.Authorizer)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Encode() < out[j].Encode() })
+	return out
+}
+
+// Len returns the number of stored credentials.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.count
+}
+
+// Service is the authorization database wrapped as an ACE daemon.
+type Service struct {
+	*daemon.Daemon
+	store *Store
+}
+
+// New constructs the authorization database daemon.
+func New(dcfg daemon.Config, store *Store) *Service {
+	if store == nil {
+		store = NewStore()
+	}
+	if dcfg.Name == "" {
+		dcfg.Name = ServiceName
+	}
+	if dcfg.Class == "" {
+		dcfg.Class = hier.ClassAuthentication + ".AuthorizationDatabase"
+	}
+	s := &Service{Daemon: daemon.New(dcfg), store: store}
+	s.install()
+	return s
+}
+
+// Store exposes the underlying credential store.
+func (s *Service) Store() *Store { return s.store }
+
+func (s *Service) install() {
+	s.Handle(cmdlang.CommandSpec{
+		Name: "addCredential",
+		Doc:  "store a signed credential assertion (RFC 2704 text form)",
+		Args: []cmdlang.ArgSpec{{Name: "text", Kind: cmdlang.KindString, Required: true}},
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		a, err := keynote.ParseAssertion(c.Str("text", ""))
+		if err != nil {
+			return nil, err
+		}
+		if err := s.store.Add(a); err != nil {
+			return nil, err
+		}
+		return cmdlang.OK().SetInt("stored", int64(s.store.Len())), nil
+	})
+
+	s.Handle(cmdlang.CommandSpec{
+		Name: "credentialsFor",
+		Doc:  "retrieve the credential chain relevant to a principal (Fig 10 steps 2-4)",
+		Args: []cmdlang.ArgSpec{{Name: "principal", Kind: cmdlang.KindWord, Required: true}},
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		creds := s.store.CredentialsFor(c.Str("principal", ""))
+		texts := make([]string, len(creds))
+		for i, a := range creds {
+			texts[i] = a.Encode()
+		}
+		return cmdlang.OK().SetInt("count", int64(len(creds))).Set("credentials", cmdlang.StringVector(texts...)), nil
+	})
+}
+
+// AttributesFromCmd builds the KeyNote action attribute set for a
+// command attempt: the domain, the executing service, the requesting
+// principal, the command name, and every scalar argument value.
+func AttributesFromCmd(service, principal string, cmd *cmdlang.CmdLine) keynote.Attributes {
+	attrs := keynote.Attributes{
+		"app_domain": "ace",
+		"service":    service,
+		"principal":  principal,
+		"command":    cmd.Name(),
+	}
+	for _, a := range cmd.Args() {
+		switch a.Value.Kind() {
+		case cmdlang.KindInt, cmdlang.KindFloat, cmdlang.KindWord, cmdlang.KindString:
+			attrs["arg_"+a.Name] = a.Value.AsString()
+		}
+	}
+	return attrs
+}
+
+// Authorizer is the per-daemon authorization gate of Fig 10: on every
+// gated command it retrieves the client's credentials from the
+// authorization database service, runs the local KeyNote compliance
+// checker, and allows or refuses the command.
+//
+// Besides the command attributes, the gate contributes environmental
+// attributes ("hour", "weekday", "calls") so credentials can express
+// the §3.2 restrictions on *when* and *how much* a service may be
+// used, e.g. `command == "move" && hour >= 8 && hour < 18` or
+// `calls < 1000`.
+type Authorizer struct {
+	// Pool dials the database (usually the daemon's own pool).
+	Pool *daemon.Pool
+	// AuthDBAddr is the authorization database daemon. Empty disables
+	// remote retrieval (only cached/preloaded credentials are used).
+	AuthDBAddr string
+	// Checker holds this service's locally trusted policy.
+	Checker *keynote.Checker
+	// Service is the name reported in action attributes.
+	Service string
+	// CacheSize bounds the per-principal credential cache (0 = no
+	// caching; every command refetches, as the literal Fig 10 flow).
+	CacheSize int
+	// Now supplies the clock for time-of-day attributes (time.Now
+	// when nil).
+	Now func() time.Time
+
+	mu    sync.Mutex
+	cache map[string][]*keynote.Assertion
+	calls map[string]int64 // per-principal gated-command counter
+
+	fetches int64
+	hits    int64
+}
+
+var _ daemon.Authorizer = (*Authorizer)(nil)
+
+// Authorize implements daemon.Authorizer.
+func (a *Authorizer) Authorize(principal string, cmd *cmdlang.CmdLine) error {
+	creds, err := a.credentials(principal)
+	if err != nil {
+		return fmt.Errorf("authorization database unavailable: %w", err)
+	}
+	attrs := AttributesFromCmd(a.Service, principal, cmd)
+
+	// Environmental attributes for time- and usage-based conditions.
+	now := time.Now
+	if a.Now != nil {
+		now = a.Now
+	}
+	t := now()
+	attrs["hour"] = fmt.Sprint(t.Hour())
+	attrs["weekday"] = fmt.Sprint(int(t.Weekday()))
+	a.mu.Lock()
+	if a.calls == nil {
+		a.calls = make(map[string]int64)
+	}
+	attrs["calls"] = fmt.Sprint(a.calls[principal])
+	a.mu.Unlock()
+
+	if !a.Checker.Allowed([]string{principal}, creds, attrs) {
+		return fmt.Errorf("principal %q lacks credentials for %q on %q", principal, cmd.Name(), a.Service)
+	}
+	a.mu.Lock()
+	a.calls[principal]++
+	a.mu.Unlock()
+	return nil
+}
+
+func (a *Authorizer) credentials(principal string) ([]*keynote.Assertion, error) {
+	if a.CacheSize > 0 {
+		a.mu.Lock()
+		if creds, ok := a.cache[principal]; ok {
+			a.hits++
+			a.mu.Unlock()
+			return creds, nil
+		}
+		a.mu.Unlock()
+	}
+	if a.AuthDBAddr == "" {
+		return nil, nil
+	}
+	reply, err := a.Pool.Call(a.AuthDBAddr, cmdlang.New("credentialsFor").SetWord("principal", principal))
+	if err != nil {
+		return nil, err
+	}
+	var creds []*keynote.Assertion
+	for _, text := range reply.Strings("credentials") {
+		cred, perr := keynote.ParseAssertion(text)
+		if perr != nil {
+			continue // unverifiable text is simply not a usable credential
+		}
+		creds = append(creds, cred)
+	}
+	a.mu.Lock()
+	a.fetches++
+	if a.CacheSize > 0 {
+		if a.cache == nil {
+			a.cache = make(map[string][]*keynote.Assertion)
+		}
+		if len(a.cache) >= a.CacheSize {
+			// Simple full flush keeps the cache bounded without an
+			// eviction list; credential sets are tiny.
+			a.cache = make(map[string][]*keynote.Assertion)
+		}
+		a.cache[principal] = creds
+	}
+	a.mu.Unlock()
+	return creds, nil
+}
+
+// Invalidate drops the cached credentials for a principal (e.g. after
+// revocation).
+func (a *Authorizer) Invalidate(principal string) {
+	a.mu.Lock()
+	delete(a.cache, principal)
+	a.mu.Unlock()
+}
+
+// CacheStats reports fetches from the database and cache hits.
+func (a *Authorizer) CacheStats() (fetches, hits int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.fetches, a.hits
+}
+
+// EncodeCredential is a helper to render a signed assertion for the
+// addCredential command.
+func EncodeCredential(a *keynote.Assertion) string { return strings.TrimSpace(a.Encode()) }

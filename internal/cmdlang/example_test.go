@@ -1,0 +1,51 @@
+package cmdlang_test
+
+import (
+	"fmt"
+
+	"ace/internal/cmdlang"
+)
+
+// ExampleParse shows the Fig 5 receiving side: a wire string becomes
+// a CmdLine whose typed arguments are directly accessible.
+func ExampleParse() {
+	cmd, err := cmdlang.Parse(`move pan=45.5 tilt=-10.25 mode=fast;`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(cmd.Name())
+	fmt.Println(cmd.Float("pan", 0))
+	fmt.Println(cmd.Str("mode", ""))
+	// Output:
+	// move
+	// 45.5
+	// fast
+}
+
+// ExampleCmdLine_String shows the sending side: build a command
+// object, render it for transmission.
+func ExampleCmdLine_String() {
+	cmd := cmdlang.New("register").
+		SetWord("name", "ptz_cam_1").
+		SetInt("port", 1225).
+		Set("dims", cmdlang.IntVector(640, 480))
+	fmt.Println(cmd.String())
+	// Output:
+	// register name=ptz_cam_1 port=1225 dims={640,480};
+}
+
+// ExampleRegistry_Parse shows semantic validation against a daemon's
+// declared command set.
+func ExampleRegistry_Parse() {
+	reg := cmdlang.NewRegistry().Declare(cmdlang.CommandSpec{
+		Name: "zoom",
+		Args: []cmdlang.ArgSpec{{Name: "factor", Kind: cmdlang.KindFloat, Required: true}},
+	})
+	if _, err := reg.Parse("zoom factor=4;"); err != nil {
+		panic(err)
+	}
+	_, err := reg.Parse("zoom;")
+	fmt.Println(err)
+	// Output:
+	// cmdlang: semantic error in "zoom": missing required argument "factor"
+}

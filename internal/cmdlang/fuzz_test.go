@@ -1,0 +1,63 @@
+package cmdlang
+
+import "testing"
+
+// FuzzParse checks the parser's core invariant on arbitrary input:
+// anything that parses must re-encode to a string that parses back to
+// an equal command (and must never panic).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"ping;",
+		"move x=1 y=2;",
+		`register name=ptz host=m25 port=1225 class="Service.Device" lease=10000;`,
+		`say text="she said \"hi\"\n";`,
+		"cfg dims={640,480} rates={5,15,29.97} modes={auto,manual};",
+		"mat m={{1,2},{3,4}};",
+		"a b=1,c=2, d=3;",
+		"x y={};",
+		"neg a=-5 b=-2.5 c=1e9;",
+		"bad x=;",
+		"{;};",
+		`q s="unterminated`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := Parse(s)
+		if err != nil {
+			return // malformed input is fine; panics are not
+		}
+		enc := c.String()
+		back, err := Parse(enc)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q) failed: %v", enc, s, err)
+		}
+		if !c.Equal(back) {
+			t.Fatalf("re-encode not idempotent: %q -> %q", s, enc)
+		}
+	})
+}
+
+// FuzzParsePrefix checks that stream parsing never panics and always
+// consumes forward progress or fails.
+func FuzzParsePrefix(f *testing.F) {
+	f.Add("a x=1; b y=2; c;")
+	f.Add(";;;")
+	f.Fuzz(func(t *testing.T, s string) {
+		rest := s
+		for i := 0; i < 100 && rest != ""; i++ {
+			c, r, err := ParsePrefix(rest)
+			if err != nil {
+				return
+			}
+			if c == nil {
+				t.Fatal("nil command without error")
+			}
+			if len(r) >= len(rest) {
+				t.Fatalf("no forward progress on %q", rest)
+			}
+			rest = r
+		}
+	})
+}

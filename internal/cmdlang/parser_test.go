@@ -1,0 +1,202 @@
+package cmdlang
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, s string) *CmdLine {
+	t.Helper()
+	c, err := Parse(s)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", s, err)
+	}
+	return c
+}
+
+func TestParseBareCommand(t *testing.T) {
+	c := mustParse(t, "ping;")
+	if c.Name() != "ping" || c.NumArgs() != 0 {
+		t.Fatalf("got %v", c)
+	}
+}
+
+func TestParseWhitespaceTolerance(t *testing.T) {
+	c := mustParse(t, "  move \t x=1   y=2\n z=3 ;")
+	if c.Name() != "move" || c.Int("x", 0) != 1 || c.Int("y", 0) != 2 || c.Int("z", 0) != 3 {
+		t.Fatalf("got %v", c)
+	}
+}
+
+func TestParseCommaSeparatedArgs(t *testing.T) {
+	c := mustParse(t, "move x=1,y=2, z=3;")
+	if c.Int("x", 0) != 1 || c.Int("y", 0) != 2 || c.Int("z", 0) != 3 {
+		t.Fatalf("got %v", c)
+	}
+}
+
+func TestParseScalarKinds(t *testing.T) {
+	c := mustParse(t, `set i=-42 f=3.25 w=hello s="hello world" e=1e3 neg=-0.5;`)
+	cases := []struct {
+		arg  string
+		kind Kind
+	}{
+		{"i", KindInt}, {"f", KindFloat}, {"w", KindWord},
+		{"s", KindString}, {"e", KindFloat}, {"neg", KindFloat},
+	}
+	for _, tc := range cases {
+		v, ok := c.Get(tc.arg)
+		if !ok || v.Kind() != tc.kind {
+			t.Errorf("arg %s: kind=%v ok=%v, want %v", tc.arg, v.Kind(), ok, tc.kind)
+		}
+	}
+	if c.Int("i", 0) != -42 {
+		t.Errorf("i=%d", c.Int("i", 0))
+	}
+	if c.Float("f", 0) != 3.25 {
+		t.Errorf("f=%g", c.Float("f", 0))
+	}
+	if c.Str("s", "") != "hello world" {
+		t.Errorf("s=%q", c.Str("s", ""))
+	}
+	if c.Float("e", 0) != 1000 {
+		t.Errorf("e=%g", c.Float("e", 0))
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	c := mustParse(t, `log msg="a \"b\" \\ \n\t\r end";`)
+	want := "a \"b\" \\ \n\t\r end"
+	if got := c.Str("msg", ""); got != want {
+		t.Fatalf("got %q want %q", got, want)
+	}
+}
+
+func TestParseVectors(t *testing.T) {
+	c := mustParse(t, `set iv={1,2,3} fv={1.5,2.5} wv={a,b,c} sv={"x y","z"} ev={};`)
+	if got := c.Vector("iv"); len(got) != 3 || got[2].Kind() != KindInt {
+		t.Fatalf("iv=%v", got)
+	}
+	if got := c.Vector("fv"); len(got) != 2 || got[0].Kind() != KindFloat {
+		t.Fatalf("fv=%v", got)
+	}
+	if got := c.Strings("wv"); strings.Join(got, "") != "abc" {
+		t.Fatalf("wv=%v", got)
+	}
+	if got := c.Strings("sv"); got[0] != "x y" {
+		t.Fatalf("sv=%v", got)
+	}
+	if got := c.Vector("ev"); len(got) != 0 {
+		t.Fatalf("ev=%v", got)
+	}
+}
+
+func TestParseArray(t *testing.T) {
+	c := mustParse(t, "mat m={{1,2},{3,4},{5,6}};")
+	m, _ := c.Get("m")
+	if m.Kind() != KindArray || m.Len() != 3 {
+		t.Fatalf("m=%v", m)
+	}
+	row := m.Elems()[1]
+	if row.Kind() != KindVector {
+		t.Fatalf("row kind %v", row.Kind())
+	}
+	if n, _ := row.Elems()[0].AsInt(); n != 3 {
+		t.Fatalf("row[0]=%v", row.Elems()[0])
+	}
+}
+
+func TestParseHeterogeneousVectorRejected(t *testing.T) {
+	if _, err := Parse(`set v={1,a};`); err == nil {
+		t.Fatal("want error for heterogeneous vector")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",                 // empty
+		";",                // no name
+		"cmd",              // missing semicolon
+		"cmd x=;",          // missing value
+		"cmd x;",           // missing '='
+		"cmd =1;",          // missing name
+		`cmd s="abc;`,      // unterminated string
+		"cmd v={1,2;",      // unterminated vector
+		"cmd x=1 x=2;",     // duplicate arg
+		"cmd a=1; extra",   // trailing garbage
+		"cmd x=@;",         // bad char
+		`cmd s="a\q";`,     // bad escape
+		"cmd a={{1},2};",   // array mixing vector and scalar
+		"1cmd a=1;",        // name starts with digit
+		"cmd a={{1},{a}};", // fine per-vector but let's check homogeneous arrays allowed
+	}
+	for _, s := range bad[:len(bad)-1] {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q): want error, got nil", s)
+		}
+	}
+	// Arrays of differently-typed vectors are allowed (each vector is
+	// internally homogeneous).
+	if _, err := Parse(bad[len(bad)-1]); err != nil {
+		t.Errorf("Parse(%q): %v", bad[len(bad)-1], err)
+	}
+}
+
+func TestParseErrorOffset(t *testing.T) {
+	_, err := Parse("cmd x=@;")
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("want *ParseError, got %T", err)
+	}
+	if pe.Offset != 6 {
+		t.Fatalf("offset=%d want 6", pe.Offset)
+	}
+}
+
+func TestParsePrefixStream(t *testing.T) {
+	input := "a x=1; b y=2;  c;"
+	var names []string
+	rest := input
+	for strings.TrimSpace(rest) != "" {
+		c, r, err := ParsePrefix(rest)
+		if err != nil {
+			t.Fatalf("ParsePrefix(%q): %v", rest, err)
+		}
+		names = append(names, c.Name())
+		rest = r
+	}
+	if strings.Join(names, ",") != "a,b,c" {
+		t.Fatalf("names=%v", names)
+	}
+}
+
+func TestParseIntOverflowDegradesToFloat(t *testing.T) {
+	c := mustParse(t, "big n=99999999999999999999999999;")
+	v, _ := c.Get("n")
+	if v.Kind() != KindFloat {
+		t.Fatalf("kind=%v want float", v.Kind())
+	}
+}
+
+func TestRoundTripExamples(t *testing.T) {
+	cmds := []*CmdLine{
+		New("ping"),
+		New("move").SetInt("x", 5).SetFloat("y", -2.75).SetWord("mode", "fast"),
+		New("say").SetString("text", `she said "hi"`+"\n\\done"),
+		New("cfg").Set("dims", IntVector(640, 480)).Set("rates", FloatVector(29.97, 30)),
+		New("mat").Set("m", Array(IntVector(1, 2), IntVector(3, 4))),
+		New("mix").Set("names", StringVector("a b", "c")).SetBool("on", true),
+		New("empty").Set("v", Vector()),
+	}
+	for _, c := range cmds {
+		s := c.String()
+		back, err := Parse(s)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", s, err)
+			continue
+		}
+		if !c.Equal(back) {
+			t.Errorf("round trip mismatch: %v -> %q -> %v", c, s, back)
+		}
+	}
+}

@@ -1,0 +1,383 @@
+// Package core assembles a complete Ambient Computational Environment
+// from the substrate packages: the service directory, room database,
+// network logger, user and authorization databases, the persistent
+// store cluster, the resource-monitor/launcher plane, workspace
+// servers, and identification devices — the full Fig 18 topology —
+// behind one Environment type.
+//
+// The Environment is the library's main entry point: examples, the
+// aced/acectl tools, the scenario drivers, and the benchmark harness
+// all build on it.
+package core
+
+import (
+	"fmt"
+
+	"ace/internal/asd"
+	"ace/internal/authdb"
+	"ace/internal/daemon"
+	"ace/internal/ident"
+	"ace/internal/keynote"
+	"ace/internal/launcher"
+	"ace/internal/monitor"
+	"ace/internal/netlog"
+	"ace/internal/pstore"
+	"ace/internal/roomdb"
+	"ace/internal/simhost"
+	"ace/internal/userdb"
+	"ace/internal/wire"
+	"ace/internal/workspace"
+)
+
+// HostSpec describes one simulated compute host of the environment.
+type HostSpec struct {
+	Name  string
+	Speed float64 // bogomips
+	Mem   int64   // bytes
+}
+
+// Options configure an Environment. The zero value yields a useful
+// small environment: plaintext transport, three store nodes, two
+// hosts, one VNC server.
+type Options struct {
+	// Name labels the environment (CA name, logs).
+	Name string
+	// TLS enables mutually authenticated TLS on every daemon.
+	TLS bool
+	// StoreNodes is the persistent-store cluster size (default 3,
+	// Fig 17). 0 uses the default; negative disables the store.
+	StoreNodes int
+	// StoreDir enables on-disk WALs for the store when non-empty.
+	StoreDir string
+	// Hosts are the simulated machines (default: bar and tube).
+	Hosts []HostSpec
+	// VNCServers is how many workspace servers to run (default 1).
+	VNCServers int
+	// Rooms pre-seeds the room database.
+	Rooms []roomdb.Room
+	// WithIdent starts the FIU, iButton reader, and ID monitor.
+	WithIdent bool
+}
+
+// Environment is a running ACE.
+type Environment struct {
+	opts Options
+
+	// CA is the environment certificate authority (nil when TLS is
+	// off).
+	CA *wire.CA
+
+	// Infrastructure services.
+	ASD    *asd.Service
+	RoomDB *roomdb.Service
+	NetLog *netlog.Service
+	AUD    *userdb.Service
+	AuthDB *authdb.Service
+
+	// Persistent store (nil when disabled).
+	Store       *pstore.Cluster
+	StoreClient *pstore.Client
+
+	// Compute plane.
+	Cluster *simhost.Cluster
+	SRM     *monitor.SRM
+	SAL     *launcher.SAL
+	HRMs    []*monitor.HRM
+	HALs    []*launcher.HAL
+
+	// Workspaces.
+	VNCs []*workspace.VNCServer
+	WSS  *workspace.WSS
+
+	// Identification (when WithIdent).
+	FIU       *ident.FIU
+	IButton   *ident.IButtonReader
+	IDMonitor *ident.IDMonitor
+
+	// Admin is the root trust principal: environment policy
+	// delegates to it, and it signs user credentials.
+	Admin   *keynote.Principal
+	Keyring *keynote.Keyring
+	Policy  *keynote.Assertion
+
+	pool     *daemon.Pool
+	stoppers []func()
+}
+
+// Start builds and boots an environment.
+func Start(opts Options) (*Environment, error) {
+	if opts.Name == "" {
+		opts.Name = "ace"
+	}
+	if opts.StoreNodes == 0 {
+		opts.StoreNodes = 3
+	}
+	if len(opts.Hosts) == 0 {
+		opts.Hosts = []HostSpec{
+			{Name: "bar", Speed: 400, Mem: 1 << 30},
+			{Name: "tube", Speed: 250, Mem: 1 << 30},
+		}
+	}
+	if opts.VNCServers <= 0 {
+		opts.VNCServers = 1
+	}
+
+	e := &Environment{opts: opts, Cluster: simhost.NewCluster()}
+	ok := false
+	defer func() {
+		if !ok {
+			e.Stop()
+		}
+	}()
+
+	if opts.TLS {
+		ca, err := wire.NewCA(opts.Name)
+		if err != nil {
+			return nil, err
+		}
+		e.CA = ca
+	}
+
+	admin, err := keynote.NewPrincipal("admin")
+	if err != nil {
+		return nil, err
+	}
+	e.Admin = admin
+	e.Keyring = keynote.NewKeyring()
+	e.Keyring.Add(admin)
+	e.Policy = keynote.MustAssertion(keynote.Policy, `"admin"`, `app_domain == "ace"`, opts.Name+" root of trust")
+
+	clientT, err := e.transport(opts.Name + "_env")
+	if err != nil {
+		return nil, err
+	}
+	e.pool = daemon.NewPool(clientT)
+	e.stoppers = append(e.stoppers, e.pool.Close)
+
+	// Infrastructure, in Fig 9 dependency order: the ASD first (it is
+	// the well-known root), then room DB and logger, then the rest.
+	asdT, err := e.transport("asd")
+	if err != nil {
+		return nil, err
+	}
+	e.ASD = asd.New(asd.Config{Daemon: daemon.Config{Transport: asdT}})
+	if err := e.ASD.Start(); err != nil {
+		return nil, err
+	}
+	e.stoppers = append(e.stoppers, e.ASD.Stop)
+
+	roomDB := roomdb.NewDB()
+	for _, r := range opts.Rooms {
+		if err := roomDB.AddRoom(r); err != nil {
+			return nil, err
+		}
+	}
+	e.RoomDB = roomdb.New(e.daemonConfig("roomdb", "", ""), roomDB)
+	if err := e.RoomDB.Start(); err != nil {
+		return nil, err
+	}
+	e.stoppers = append(e.stoppers, e.RoomDB.Stop)
+
+	e.NetLog = netlog.New(e.daemonConfig("netlog", "", ""), 0)
+	if err := e.NetLog.Start(); err != nil {
+		return nil, err
+	}
+	e.stoppers = append(e.stoppers, e.NetLog.Stop)
+
+	e.AUD = userdb.New(e.DaemonConfig("aud", "", ""), nil)
+	if err := e.AUD.Start(); err != nil {
+		return nil, err
+	}
+	e.stoppers = append(e.stoppers, e.AUD.Stop)
+
+	e.AuthDB = authdb.New(e.DaemonConfig("authdb", "", ""), nil)
+	if err := e.AuthDB.Start(); err != nil {
+		return nil, err
+	}
+	e.stoppers = append(e.stoppers, e.AuthDB.Stop)
+
+	// Persistent store cluster (Fig 17).
+	if opts.StoreNodes > 0 {
+		cluster, err := pstore.StartClusterT(opts.StoreNodes, opts.StoreDir, 0, e.transportOrNil())
+		if err != nil {
+			return nil, err
+		}
+		e.Store = cluster
+		e.stoppers = append(e.stoppers, cluster.StopAll)
+		e.StoreClient = pstore.NewClient(e.pool, cluster.Addrs())
+	}
+
+	// Compute plane: one HRM + HAL per host, one SRM, one SAL.
+	e.SRM = monitor.NewSRM(e.DaemonConfig("srm", monitor.ClassSRM, ""), 1)
+	if err := e.SRM.Start(); err != nil {
+		return nil, err
+	}
+	e.stoppers = append(e.stoppers, e.SRM.Stop)
+	for _, hs := range opts.Hosts {
+		host := simhost.NewHost(hs.Name, hs.Speed, hs.Mem, 1<<40)
+		e.Cluster.Add(host)
+		hrm := monitor.NewHRM(e.DaemonConfig("hrm_"+hs.Name, monitor.ClassHRM, ""), host)
+		if err := hrm.Start(); err != nil {
+			return nil, err
+		}
+		e.stoppers = append(e.stoppers, hrm.Stop)
+		hal := launcher.NewHAL(e.DaemonConfig("hal_"+hs.Name, launcher.ClassHAL, ""), host)
+		if err := hal.Start(); err != nil {
+			return nil, err
+		}
+		e.stoppers = append(e.stoppers, hal.Stop)
+		e.HRMs = append(e.HRMs, hrm)
+		e.HALs = append(e.HALs, hal)
+		e.SRM.AddHost(hs.Name, hrm.Addr(), hal.Addr())
+	}
+	e.SAL = launcher.NewSAL(e.DaemonConfig("sal", launcher.ClassSAL, ""), e.SRM)
+	if err := e.SAL.Start(); err != nil {
+		return nil, err
+	}
+	e.stoppers = append(e.stoppers, e.SAL.Stop)
+
+	// Workspaces.
+	var vncAddrs []string
+	for i := 0; i < opts.VNCServers; i++ {
+		name := fmt.Sprintf("vncserver%d", i+1)
+		v := workspace.NewVNCServer(e.DaemonConfig(name, workspace.ClassVNCServer, ""))
+		if err := v.Start(); err != nil {
+			return nil, err
+		}
+		e.stoppers = append(e.stoppers, v.Stop)
+		e.VNCs = append(e.VNCs, v)
+		vncAddrs = append(vncAddrs, v.Addr())
+	}
+	e.WSS = workspace.NewWSS(workspace.WSSConfig{
+		Daemon:   e.DaemonConfig("wss", workspace.ClassWSS, ""),
+		VNCAddrs: vncAddrs,
+		SALAddr:  e.SAL.Addr(),
+		Store:    e.StoreClient,
+	})
+	if err := e.WSS.Start(); err != nil {
+		return nil, err
+	}
+	e.stoppers = append(e.stoppers, e.WSS.Stop)
+
+	// Identification devices and the ID monitor.
+	if opts.WithIdent {
+		e.FIU = ident.NewFIU(e.DaemonConfig("fiu", ident.ClassFIU, ""), e.AUD.Addr(), 0)
+		if err := e.FIU.Start(); err != nil {
+			return nil, err
+		}
+		e.stoppers = append(e.stoppers, e.FIU.Stop)
+
+		e.IButton = ident.NewIButtonReader(e.DaemonConfig("ibutton", ident.ClassIButton, ""), e.AUD.Addr())
+		if err := e.IButton.Start(); err != nil {
+			return nil, err
+		}
+		e.stoppers = append(e.stoppers, e.IButton.Stop)
+
+		e.IDMonitor = ident.NewIDMonitor(ident.IDMonitorConfig{
+			Daemon:  e.DaemonConfig("idmonitor", ident.ClassIDMonitor, ""),
+			AUDAddr: e.AUD.Addr(),
+			WSSAddr: e.WSS.Addr(),
+		})
+		if err := e.IDMonitor.Start(); err != nil {
+			return nil, err
+		}
+		e.stoppers = append(e.stoppers, e.IDMonitor.Stop)
+		if err := e.IDMonitor.SubscribeTo(e.FIU.Addr()); err != nil {
+			return nil, err
+		}
+		if err := e.IDMonitor.SubscribeTo(e.IButton.Addr()); err != nil {
+			return nil, err
+		}
+	}
+
+	ok = true
+	return e, nil
+}
+
+// transport issues a TLS identity (or nil in plaintext environments).
+func (e *Environment) transport(name string) (*wire.Transport, error) {
+	if e.CA == nil {
+		return nil, nil
+	}
+	return wire.NewTransport(e.CA, name)
+}
+
+// transportOrNil adapts transport for factories that accept nil in
+// plaintext environments.
+func (e *Environment) transportOrNil() func(string) (*wire.Transport, error) {
+	if e.CA == nil {
+		return nil
+	}
+	return e.transport
+}
+
+// daemonConfig builds an infrastructure daemon's config (registered
+// with the ASD but not gated — infrastructure must answer before
+// authorization can work).
+func (e *Environment) daemonConfig(name, class, room string) daemon.Config {
+	t, err := e.transport(name)
+	if err != nil {
+		t = nil
+	}
+	return daemon.Config{
+		Name:      name,
+		Class:     class,
+		Room:      room,
+		Transport: t,
+		ASDAddr:   e.ASD.Addr(),
+	}
+}
+
+// DaemonConfig returns a daemon configuration fully wired into the
+// environment (TLS identity, ASD registration, room database
+// placement, and network-logger lifecycle events) — what any new
+// service needs to join this ACE.
+func (e *Environment) DaemonConfig(name, class, room string) daemon.Config {
+	cfg := e.daemonConfig(name, class, room)
+	cfg.RoomDBAddr = e.RoomDB.Addr()
+	cfg.NetLogAddr = e.NetLog.Addr()
+	return cfg
+}
+
+// Authorizer builds a Fig 10 KeyNote gate for a service: the
+// environment policy plus credentials fetched from the authorization
+// database. Attach it to a daemon.Config before starting the daemon.
+func (e *Environment) Authorizer(serviceName string, cacheSize int) (*authdb.Authorizer, error) {
+	checker, err := keynote.NewChecker(e.Keyring, e.Policy)
+	if err != nil {
+		return nil, err
+	}
+	t, _ := e.transport(serviceName + "_authz")
+	return &authdb.Authorizer{
+		Pool:       daemon.NewPool(t),
+		AuthDBAddr: e.AuthDB.Addr(),
+		Checker:    checker,
+		Service:    serviceName,
+		CacheSize:  cacheSize,
+	}, nil
+}
+
+// GrantCredential signs (with the environment admin key) and stores a
+// credential licensing the principal under the given conditions.
+func (e *Environment) GrantCredential(principal, conditions, comment string) error {
+	cred, err := keynote.NewAssertion("admin", fmt.Sprintf("%q", principal), conditions, comment)
+	if err != nil {
+		return err
+	}
+	if err := cred.Sign(e.Admin); err != nil {
+		return err
+	}
+	_, err = e.pool.Call(e.AuthDB.Addr(), cmdAddCredential(cred.Encode()))
+	return err
+}
+
+// Pool returns the environment's shared client pool.
+func (e *Environment) Pool() *daemon.Pool { return e.pool }
+
+// Stop tears the environment down in reverse start order.
+func (e *Environment) Stop() {
+	for i := len(e.stoppers) - 1; i >= 0; i-- {
+		e.stoppers[i]()
+	}
+	e.stoppers = nil
+}

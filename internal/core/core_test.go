@@ -1,0 +1,203 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"ace/internal/asd"
+	"ace/internal/cmdlang"
+	"ace/internal/hier"
+	"ace/internal/netlog"
+	"ace/internal/roomdb"
+)
+
+func startEnv(t *testing.T, opts Options) *Environment {
+	t.Helper()
+	e, err := Start(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Stop)
+	return e
+}
+
+func TestEnvironmentBootsAndRegistersInfrastructure(t *testing.T) {
+	e := startEnv(t, Options{})
+	// Every infrastructure daemon is discoverable through the ASD.
+	for _, name := range []string{"roomdb", "netlog", "aud", "authdb", "srm", "sal", "wss", "vncserver1", "hrm_bar", "hal_tube"} {
+		if _, err := asd.Resolve(e.Pool(), e.ASD.Addr(), asd.Query{Name: name}); err != nil {
+			t.Errorf("%s not in directory: %v", name, err)
+		}
+	}
+	// Startup events reached the network logger.
+	if got := e.NetLog.Log().Search(netlog.Query{Source: "wss", Event: "started"}); len(got) != 1 {
+		t.Errorf("wss start not logged: %v", got)
+	}
+}
+
+func TestFullScenarioFlowPlaintext(t *testing.T) {
+	runFullScenario(t, Options{WithIdent: true, Rooms: []roomdb.Room{
+		{Name: "hawk", Building: "nichols", Dims: roomdb.Point{X: 10, Y: 8, Z: 3}},
+	}})
+}
+
+func TestFullScenarioFlowTLS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TLS environment boot is slow")
+	}
+	runFullScenario(t, Options{TLS: true, WithIdent: true, Rooms: []roomdb.Room{
+		{Name: "hawk", Building: "nichols", Dims: roomdb.Point{X: 10, Y: 8, Z: 3}},
+	}})
+}
+
+// runFullScenario drives Scenarios 1–5 end to end on one environment.
+func runFullScenario(t *testing.T, opts Options) {
+	t.Helper()
+	e := startEnv(t, opts)
+	rng := rand.New(rand.NewSource(42))
+
+	// Scenario 1: new user John Doe with a default workspace.
+	john, err := e.RegisterUser("john_doe", "John Doe", "hunter2", rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if john.Workspace.Host == "" {
+		t.Fatal("workspace server process not placed on any host")
+	}
+	// The VNC server application really runs on the reported host.
+	placed := false
+	for _, h := range e.Cluster.Hosts() {
+		if h.Name() == john.Workspace.Host {
+			_, placed = h.Find(john.Workspace.PID)
+		}
+	}
+	if !placed {
+		t.Fatalf("vncserver process missing on %s", john.Workspace.Host)
+	}
+
+	// Scenario 2: John identifies himself at the hawk podium.
+	reply, err := e.IdentifyByFingerprint(john, "hawk", rng, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Str("username", "") != "john_doe" {
+		t.Fatalf("scan reply=%v", reply)
+	}
+	if err := e.WaitLocation("john_doe", "hawk", 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Scenario 3: his workspace comes up at the podium.
+	viewer, err := e.OpenViewer("john_doe", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := viewer.Type("echo preparing presentation"); err != nil {
+		t.Fatal(err)
+	}
+	screen, err := viewer.Screen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.Join(screen, "\n"), "preparing presentation") {
+		t.Fatalf("screen=%v", screen)
+	}
+
+	// Scenario 4: a second workspace and the selector list.
+	if _, err := e.WSS.Create("john_doe", "slides"); err != nil {
+		t.Fatal(err)
+	}
+	if names := e.WSS.List("john_doe"); len(names) != 2 {
+		t.Fatalf("workspaces=%v", names)
+	}
+
+	// Scenario 5: conference room devices.
+	cr, err := e.SetupConferenceRoom("hawk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Scenario5("hawk", "john_doe", [3]float64{5, 2, 1.2}); err != nil {
+		t.Fatal(err)
+	}
+	cam := cr.Camera.State()
+	if !cam.On || cam.Zoom != 4 {
+		t.Fatalf("camera=%+v", cam)
+	}
+	proj := cr.Projector.State()
+	if !proj.On || proj.Input != "workspace_john_doe" || proj.PIP != "camera:hawk" {
+		t.Fatalf("projector=%+v", proj)
+	}
+}
+
+func TestAuthorizationIntegration(t *testing.T) {
+	e := startEnv(t, Options{TLS: true})
+	// A gated camera: only principals with admin-signed credentials
+	// may move it.
+	if err := e.GrantCredential("john_doe", `command == "move"`, "camera rights"); err != nil {
+		t.Fatal(err)
+	}
+	authz, err := e.Authorizer("cam1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := e.DaemonConfig("cam1", hier.ClassVCC3, "hawk")
+	cfg.Authorizer = authz
+	cam := newTestService(cfg)
+	if err := cam.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cam.Stop)
+
+	// john_doe (TLS identity) may move.
+	johnT, err := e.transport("john_doe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	johnPool := newPool(johnT)
+	defer johnPool.Close()
+	if _, err := johnPool.Call(cam.Addr(), cmdlang.New("move").SetFloat("x", 1)); err != nil {
+		t.Fatalf("john denied: %v", err)
+	}
+	// ...but not zoom.
+	if _, err := johnPool.Call(cam.Addr(), cmdlang.New("zoom")); !cmdlang.IsRemoteCode(err, cmdlang.CodeDenied) {
+		t.Fatalf("zoom err=%v", err)
+	}
+	// A stranger may do nothing.
+	stT, _ := e.transport("stranger")
+	stPool := newPool(stT)
+	defer stPool.Close()
+	if _, err := stPool.Call(cam.Addr(), cmdlang.New("move").SetFloat("x", 1)); !cmdlang.IsRemoteCode(err, cmdlang.CodeDenied) {
+		t.Fatalf("stranger err=%v", err)
+	}
+}
+
+func TestServiceTreeRendersRooms(t *testing.T) {
+	e := startEnv(t, Options{})
+	if _, err := e.SetupConferenceRoom("hawk"); err != nil {
+		t.Fatal(err)
+	}
+	tree := e.ServiceTree()
+	if !strings.Contains(tree, "hawk") || !strings.Contains(tree, "ptz_hawk") {
+		t.Fatalf("tree:\n%s", tree)
+	}
+	if !strings.Contains(tree, "(environment)") {
+		t.Fatalf("tree missing environment group:\n%s", tree)
+	}
+}
+
+func TestWSSRecoveryThroughEnvironmentStore(t *testing.T) {
+	e := startEnv(t, Options{})
+	if _, err := e.WSS.Create("alice", ""); err != nil {
+		t.Fatal(err)
+	}
+	// The registry checkpoint is in the replicated store.
+	paths, err := e.StoreClient.List("/wss/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 {
+		t.Fatalf("paths=%v", paths)
+	}
+}

@@ -1,0 +1,22 @@
+package core
+
+import (
+	"ace/internal/cmdlang"
+	"ace/internal/daemon"
+	"ace/internal/wire"
+)
+
+// newTestService builds a minimal camera-like daemon with move/zoom
+// commands for authorization tests.
+func newTestService(cfg daemon.Config) *daemon.Daemon {
+	d := daemon.New(cfg)
+	d.Handle(cmdlang.CommandSpec{
+		Name: "move",
+		Args: []cmdlang.ArgSpec{{Name: "x", Kind: cmdlang.KindFloat}},
+	}, func(_ *daemon.Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) { return nil, nil })
+	d.Handle(cmdlang.CommandSpec{Name: "zoom"},
+		func(_ *daemon.Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) { return nil, nil })
+	return d
+}
+
+func newPool(t *wire.Transport) *daemon.Pool { return daemon.NewPool(t) }

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"ace/internal/asd"
+	"ace/internal/cmdlang"
+	"ace/internal/device"
+	"ace/internal/hier"
+	"ace/internal/ident"
+	"ace/internal/userdb"
+	"ace/internal/workspace"
+)
+
+func cmdAddCredential(text string) *cmdlang.CmdLine {
+	return cmdlang.New("addCredential").SetString("text", text)
+}
+
+// User bundles what Scenario 1 creates for a new employee.
+type User struct {
+	Username    string
+	Fingerprint ident.Template
+	IButton     uint64
+	Workspace   workspace.Info
+}
+
+// RegisterUser runs Scenario 1: the administrator registers the user
+// in the AUD (password, iButton, scanned fingerprint) and the WSS
+// creates the user's constantly running default workspace through the
+// SAL/HAL/SRM/HRM chain.
+func (e *Environment) RegisterUser(username, fullName, password string, rng *rand.Rand) (*User, error) {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	u := &User{
+		Username:    username,
+		Fingerprint: ident.NewTemplate(rng),
+		IButton:     uint64(rng.Int63())/2 + 1,
+	}
+	if err := e.AUD.DB().Add(userdb.User{
+		Username:    username,
+		FullName:    fullName,
+		PassHash:    userdb.HashPassword(password),
+		IButton:     u.IButton,
+		Fingerprint: u.Fingerprint.Hex(),
+	}); err != nil {
+		return nil, err
+	}
+	info, err := e.WSS.Create(username, workspace.DefaultWorkspace)
+	if err != nil {
+		return nil, err
+	}
+	u.Workspace = info
+	if e.FIU != nil {
+		if err := e.FIU.ReloadTable(); err != nil {
+			return nil, err
+		}
+	}
+	return u, nil
+}
+
+// IdentifyByFingerprint runs Scenario 2: a (noisy) capture of the
+// user's finger is scanned at an access point in the given room; the
+// FIU identifies it, the ID monitor updates the AUD and brings up the
+// workspace. It returns the scan reply.
+func (e *Environment) IdentifyByFingerprint(u *User, room string, rng *rand.Rand, noise float64) (*cmdlang.CmdLine, error) {
+	if e.FIU == nil {
+		return nil, fmt.Errorf("core: environment started without identification services")
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	capture := u.Fingerprint.Noisy(rng, noise)
+	return e.pool.Call(e.FIU.Addr(), cmdlang.New(ident.CmdScan).
+		SetString("capture", capture.Hex()).
+		SetWord("location", room))
+}
+
+// OpenViewer runs Scenario 3's final step: attach a viewer to the
+// user's workspace using WSS-issued credentials.
+func (e *Environment) OpenViewer(username, wsName string) (*workspace.Viewer, error) {
+	info, err := e.WSS.Open(username, wsName)
+	if err != nil {
+		return nil, err
+	}
+	return workspace.NewViewer(e.pool, info), nil
+}
+
+// WaitLocation polls until the AUD records the user at the room
+// (Scenario 2's asynchronous completion), up to the timeout.
+func (e *Environment) WaitLocation(username, room string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		u, ok := e.AUD.DB().Get(username)
+		if ok && u.Location == room {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("core: %s never located in %s (last %q)", username, room, u.Location)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// ConferenceRoom bundles the Scenario 5 devices of one room.
+type ConferenceRoom struct {
+	Room      string
+	Camera    *device.PTZCamera
+	Projector *device.Projector
+}
+
+// SetupConferenceRoom starts a PTZ camera and a projector placed in
+// the named room, registered with the directory and room database.
+func (e *Environment) SetupConferenceRoom(room string) (*ConferenceRoom, error) {
+	cam := device.NewPTZCamera(e.DaemonConfig("ptz_"+room, hier.ClassVCC4, room), device.VCC4)
+	if err := cam.Start(); err != nil {
+		return nil, err
+	}
+	e.stoppers = append(e.stoppers, cam.Stop)
+	proj := device.NewProjector(e.DaemonConfig("projector_"+room, hier.ClassEpson7350, room))
+	if err := proj.Start(); err != nil {
+		return nil, err
+	}
+	e.stoppers = append(e.stoppers, proj.Stop)
+	return &ConferenceRoom{Room: room, Camera: cam, Projector: proj}, nil
+}
+
+// Scenario5 drives the presentation-prep flow: discover the room's
+// devices through the room database and ASD, power the projector,
+// route the workspace, PIP the camera, and point the camera at the
+// podium.
+func (e *Environment) Scenario5(room, username string, podium [3]float64) error {
+	// The device GUI asks the room database what is present.
+	info, err := e.pool.Call(e.RoomDB.Addr(), cmdlang.New("roomInfo").SetWord("room", room))
+	if err != nil {
+		return fmt.Errorf("scenario5: roomInfo: %w", err)
+	}
+	services := info.Strings("services")
+	classes := info.Strings("classes")
+
+	var camAddr, projAddr string
+	for i, svc := range services {
+		var class string
+		if i < len(classes) {
+			class = classes[i]
+		}
+		// Clients find daemons via the ASD (Fig 7).
+		addr, err := asd.Resolve(e.pool, e.ASD.Addr(), asd.Query{Name: svc})
+		if err != nil {
+			continue
+		}
+		switch {
+		case hier.IsSubclassOf(class, hier.ClassPTZCamera):
+			camAddr = addr
+		case hier.IsSubclassOf(class, hier.ClassProjector):
+			projAddr = addr
+		}
+	}
+	if camAddr == "" || projAddr == "" {
+		return fmt.Errorf("scenario5: devices not discoverable (cam=%q proj=%q)", camAddr, projAddr)
+	}
+
+	// Turn the projector on and output the workspace to the screen.
+	if _, err := e.pool.Call(projAddr, cmdlang.New("power").SetBool("on", true)); err != nil {
+		return err
+	}
+	if _, err := e.pool.Call(projAddr, cmdlang.New("display").
+		SetString("source", "workspace_"+username)); err != nil {
+		return err
+	}
+	// Select the camera output as picture-in-picture.
+	if _, err := e.pool.Call(projAddr, cmdlang.New("pip").
+		SetString("source", "camera:"+room)); err != nil {
+		return err
+	}
+	// Power the camera and pan/tilt/zoom it toward the podium.
+	if _, err := e.pool.Call(camAddr, cmdlang.New("power").SetBool("on", true)); err != nil {
+		return err
+	}
+	if _, err := e.pool.Call(camAddr, cmdlang.New("pointAt").
+		Set("target", cmdlang.FloatVector(podium[0], podium[1], podium[2]))); err != nil {
+		return err
+	}
+	if _, err := e.pool.Call(camAddr, cmdlang.New("zoom").SetFloat("factor", 4)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ServiceTree renders the Fig 2 left-hand pane: every live service
+// grouped by room, as acectl shows it.
+func (e *Environment) ServiceTree() string {
+	entries := e.ASD.Directory().Lookup(asd.Query{})
+	byRoom := map[string][]string{}
+	for _, en := range entries {
+		room := en.Room
+		if room == "" {
+			room = "(environment)"
+		}
+		byRoom[room] = append(byRoom[room], fmt.Sprintf("%s [%s] %s", en.Name, en.Class, en.Addr))
+	}
+	var rooms []string
+	for r := range byRoom {
+		rooms = append(rooms, r)
+	}
+	sort.Strings(rooms)
+	var b strings.Builder
+	for _, r := range rooms {
+		fmt.Fprintf(&b, "%s\n", r)
+		for _, line := range byRoom[r] {
+			fmt.Fprintf(&b, "  %s\n", line)
+		}
+	}
+	return b.String()
+}

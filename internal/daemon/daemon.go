@@ -1,0 +1,641 @@
+// Package daemon implements the basic ACE service daemon (§2.1): the
+// independent, multithreaded shell that every ACE service is built
+// on. A daemon runs four threads of execution joined by message
+// queues, exactly as the architecture report describes:
+//
+//   - the main thread initializes the daemon (room database
+//     registration, ASD registration, net-logger announcement — the
+//     Fig 9 startup sequence), renews the service lease, and manages
+//     the other threads;
+//   - a command thread per client connection accepts the socket,
+//     reads incoming command frames, and parses them;
+//   - the control thread executes commands serially and services
+//     notifications (§2.5);
+//   - the data thread handles datagram stream operations over a UDP
+//     channel.
+//
+// Services are implemented by declaring command semantics
+// (cmdlang.Registry) and registering handlers; everything else —
+// encrypted certified socket communications, service registration,
+// lease renewal, return commands, notifications — is provided by this
+// shell.
+package daemon
+
+import (
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ace/internal/cmdlang"
+	"ace/internal/wire"
+)
+
+// Well-known infrastructure command names used during the startup
+// sequence (Fig 9). The ASD, room database, and network logger
+// daemons declare handlers under these names.
+const (
+	CmdRegister        = "register"        // ASD: enter the service directory
+	CmdRenew           = "renew"           // ASD: renew the service lease
+	CmdUnregister      = "unregister"      // ASD: leave the directory
+	CmdLookup          = "lookup"          // ASD: find services
+	CmdRegisterService = "registerService" // room DB: record placement
+	CmdRemoveService   = "removeService"   // room DB: remove placement
+	CmdLogEvent        = "logEvent"        // net logger: record history
+)
+
+// DefaultLeaseTTL is the ASD lease duration requested by daemons that
+// do not configure their own.
+const DefaultLeaseTTL = 10 * time.Second
+
+// Handler executes one service command on the control thread. It
+// returns a return command ("ok" with result arguments) or an error,
+// which the shell converts to a "fail" return command. Returning
+// (nil, nil) is shorthand for a bare "ok".
+type Handler func(ctx *Ctx, cmd *cmdlang.CmdLine) (*cmdlang.CmdLine, error)
+
+// Authorizer gates command execution (§3.2). The daemon consults it
+// on the control thread before every non-built-in command; a non-nil
+// error refuses execution with a "denied" return command.
+type Authorizer interface {
+	Authorize(principal string, cmd *cmdlang.CmdLine) error
+}
+
+// Ctx carries per-invocation context to handlers.
+type Ctx struct {
+	// D is the executing daemon.
+	D *Daemon
+	// Principal is the authenticated peer identity (TLS certificate
+	// common name), or "anonymous" on plaintext transports.
+	Principal string
+	// RemoteAddr is the peer's network address.
+	RemoteAddr string
+}
+
+// Config describes one ACE service daemon.
+type Config struct {
+	// Name is the unique service instance name (e.g. "ptz_cam_1").
+	Name string
+	// Class is the position in the service daemon hierarchy (Fig 6),
+	// dotted from the root, e.g. "Service.Device.PTZCamera.VCC4".
+	Class string
+	// Room is the room this service lives in (Fig 9's "hawk").
+	Room string
+	// Host is the logical host machine name (Fig 9's "bar").
+	Host string
+	// Transport supplies TLS identity; nil means plaintext (tests and
+	// the E12 experiment only).
+	Transport *wire.Transport
+	// Registry declares the service's command semantics. The shell
+	// adds the built-in commands. Nil creates an empty registry.
+	Registry *cmdlang.Registry
+	// ASDAddr is the well-known socket of the ACE Service Directory;
+	// empty disables registration (the ASD itself does this).
+	ASDAddr string
+	// RoomDBAddr is the room database daemon; empty skips step 2 of
+	// the startup sequence.
+	RoomDBAddr string
+	// NetLogAddr is the network logger; empty skips step 5.
+	NetLogAddr string
+	// LeaseTTL is the directory lease requested at registration.
+	LeaseTTL time.Duration
+	// Authorizer gates command execution; nil allows everything.
+	Authorizer Authorizer
+	// DataHandler receives datagrams from the UDP data thread; nil
+	// installs a counting sink.
+	DataHandler func(pkt []byte, from net.Addr)
+	// ControlQueueLen sizes the command→control message queue.
+	ControlQueueLen int
+	// Listen is the TCP listen address; empty means "127.0.0.1:0".
+	Listen string
+}
+
+// Stats are the daemon's execution counters.
+type Stats struct {
+	Connections   int64
+	CommandsOK    int64
+	CommandsFail  int64
+	Denied        int64
+	Notifications int64
+	DataPackets   int64
+}
+
+// ctlMsg is the unit of work queued from a command thread to the
+// control thread.
+type ctlMsg struct {
+	cmd     *cmdlang.CmdLine
+	ctx     *Ctx
+	respond func(*cmdlang.CmdLine) // nil for one-way commands
+}
+
+// Daemon is a running ACE service daemon.
+type Daemon struct {
+	cfg      Config
+	registry *cmdlang.Registry
+	handlers map[string]Handler
+
+	listener net.Listener
+	udp      *net.UDPConn
+	ctlQ     chan ctlMsg
+	done     chan struct{}
+	wg       sync.WaitGroup
+	pool     *Pool
+
+	notify notifyTable
+
+	mu      sync.Mutex
+	started bool
+	stopped bool
+
+	connsMu sync.Mutex
+	conns   map[net.Conn]struct{}
+
+	nConns  atomic.Int64
+	nOK     atomic.Int64
+	nFail   atomic.Int64
+	nDenied atomic.Int64
+	nNotify atomic.Int64
+	nData   atomic.Int64
+}
+
+// New constructs a daemon from cfg and installs the built-in command
+// set. Handlers for the service's own commands are added with Handle
+// before Start.
+func New(cfg Config) *Daemon {
+	if cfg.Name == "" {
+		cfg.Name = "ace_service"
+	}
+	if cfg.Class == "" {
+		cfg.Class = "Service"
+	}
+	if cfg.Host == "" {
+		cfg.Host, _ = hostName()
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = DefaultLeaseTTL
+	}
+	if cfg.ControlQueueLen <= 0 {
+		cfg.ControlQueueLen = 256
+	}
+	if cfg.Listen == "" {
+		cfg.Listen = "127.0.0.1:0"
+	}
+	reg := cmdlang.NewRegistry()
+	if cfg.Registry != nil {
+		reg.Merge(cfg.Registry)
+	}
+	d := &Daemon{
+		cfg:      cfg,
+		registry: reg,
+		handlers: make(map[string]Handler),
+		ctlQ:     make(chan ctlMsg, cfg.ControlQueueLen),
+		done:     make(chan struct{}),
+		conns:    make(map[net.Conn]struct{}),
+		pool:     NewPool(cfg.Transport),
+	}
+	d.installBuiltins()
+	return d
+}
+
+func hostName() (string, error) { return "localhost", nil }
+
+// Handle registers a handler and (optionally) its command spec. It
+// must be called before Start.
+func (d *Daemon) Handle(spec cmdlang.CommandSpec, h Handler) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.started {
+		panic("daemon: Handle after Start")
+	}
+	d.registry.Declare(spec)
+	d.handlers[spec.Name] = h
+}
+
+// Name returns the service instance name.
+func (d *Daemon) Name() string { return d.cfg.Name }
+
+// Class returns the hierarchy class.
+func (d *Daemon) Class() string { return d.cfg.Class }
+
+// Room returns the configured room.
+func (d *Daemon) Room() string { return d.cfg.Room }
+
+// Registry exposes the daemon's command semantics (read-only after
+// Start).
+func (d *Daemon) Registry() *cmdlang.Registry { return d.registry }
+
+// Pool returns the daemon's outgoing client pool, for handlers that
+// need to call other services.
+func (d *Daemon) Pool() *Pool { return d.pool }
+
+// Addr returns the command socket address ("host:port"); valid after
+// Start.
+func (d *Daemon) Addr() string {
+	if d.listener == nil {
+		return ""
+	}
+	return d.listener.Addr().String()
+}
+
+// Port returns the TCP command port; valid after Start.
+func (d *Daemon) Port() int {
+	if d.listener == nil {
+		return 0
+	}
+	return d.listener.Addr().(*net.TCPAddr).Port
+}
+
+// DataAddr returns the UDP data channel address; valid after Start.
+func (d *Daemon) DataAddr() string {
+	if d.udp == nil {
+		return ""
+	}
+	return d.udp.LocalAddr().String()
+}
+
+// Stats snapshots the execution counters.
+func (d *Daemon) Stats() Stats {
+	return Stats{
+		Connections:   d.nConns.Load(),
+		CommandsOK:    d.nOK.Load(),
+		CommandsFail:  d.nFail.Load(),
+		Denied:        d.nDenied.Load(),
+		Notifications: d.nNotify.Load(),
+		DataPackets:   d.nData.Load(),
+	}
+}
+
+// Start brings the daemon online: it opens the command and data
+// sockets, starts the control and data threads, runs the Fig 9
+// startup sequence, and begins lease renewal. Start returns once the
+// daemon is registered and serving.
+func (d *Daemon) Start() error {
+	d.mu.Lock()
+	if d.started {
+		d.mu.Unlock()
+		return errors.New("daemon: already started")
+	}
+	d.started = true
+	d.mu.Unlock()
+
+	ln, err := net.Listen("tcp", d.cfg.Listen)
+	if err != nil {
+		return fmt.Errorf("daemon %s: listen: %w", d.cfg.Name, err)
+	}
+	d.listener = ln
+
+	udpAddr := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 0}
+	udp, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		ln.Close()
+		return fmt.Errorf("daemon %s: udp listen: %w", d.cfg.Name, err)
+	}
+	// Media streams arrive in bursts; a roomy socket buffer keeps the
+	// data thread from dropping frames while it dispatches.
+	udp.SetReadBuffer(4 << 20)  //nolint:errcheck — best effort
+	udp.SetWriteBuffer(4 << 20) //nolint:errcheck
+	d.udp = udp
+
+	// Control thread.
+	d.wg.Add(1)
+	go d.controlThread()
+	// Data thread.
+	d.wg.Add(1)
+	go d.dataThread()
+	// Accept loop feeding per-connection command threads.
+	d.wg.Add(1)
+	go d.acceptLoop()
+
+	if err := d.startupSequence(); err != nil {
+		d.Stop()
+		return err
+	}
+
+	// Main thread duties continue in the background: lease renewal.
+	if d.cfg.ASDAddr != "" {
+		d.wg.Add(1)
+		go d.leaseLoop()
+	}
+	return nil
+}
+
+// startupSequence performs Fig 9 steps 2–5: room database placement,
+// ASD registration (which may trigger notifications inside the ASD),
+// and the net-logger start record.
+func (d *Daemon) startupSequence() error {
+	if d.cfg.RoomDBAddr != "" {
+		cmd := cmdlang.New(CmdRegisterService).
+			SetWord("room", wordOr(d.cfg.Room)).
+			SetWord("service", wordOr(d.cfg.Name)).
+			SetWord("host", wordOr(d.cfg.Host)).
+			SetInt("port", int64(d.Port())).
+			SetString("class", d.cfg.Class)
+		if _, err := d.pool.Call(d.cfg.RoomDBAddr, cmd); err != nil {
+			return fmt.Errorf("daemon %s: room database: %w", d.cfg.Name, err)
+		}
+	}
+	if d.cfg.ASDAddr != "" {
+		if err := d.registerASD(); err != nil {
+			return err
+		}
+	}
+	if d.cfg.NetLogAddr != "" {
+		cmd := cmdlang.New(CmdLogEvent).
+			SetWord("source", wordOr(d.cfg.Name)).
+			SetWord("event", "started").
+			SetWord("host", wordOr(d.cfg.Host)).
+			SetString("detail", "service "+d.cfg.Name+" started on host "+d.cfg.Host)
+		if d.cfg.Room != "" {
+			cmd.SetWord("room", wordOr(d.cfg.Room))
+		}
+		if _, err := d.pool.Call(d.cfg.NetLogAddr, cmd); err != nil {
+			return fmt.Errorf("daemon %s: net logger: %w", d.cfg.Name, err)
+		}
+	}
+	return nil
+}
+
+func (d *Daemon) registerASD() error {
+	cmd := cmdlang.New(CmdRegister).
+		SetWord("name", wordOr(d.cfg.Name)).
+		SetWord("host", wordOr(d.cfg.Host)).
+		SetInt("port", int64(d.Port())).
+		SetString("addr", d.Addr()).
+		SetString("class", d.cfg.Class).
+		SetInt("lease", int64(d.cfg.LeaseTTL/time.Millisecond))
+	if d.cfg.Room != "" {
+		cmd.SetWord("room", wordOr(d.cfg.Room))
+	}
+	_, err := d.pool.Call(d.cfg.ASDAddr, cmd)
+	if err != nil {
+		return fmt.Errorf("daemon %s: ASD register: %w", d.cfg.Name, err)
+	}
+	return nil
+}
+
+// leaseLoop periodically renews the ASD lease; if a renewal finds the
+// registration gone (e.g. the ASD restarted), it re-registers.
+func (d *Daemon) leaseLoop() {
+	defer d.wg.Done()
+	interval := d.cfg.LeaseTTL / 3
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.done:
+			return
+		case <-t.C:
+			cmd := cmdlang.New(CmdRenew).
+				SetWord("name", d.cfg.Name).
+				SetInt("lease", int64(d.cfg.LeaseTTL/time.Millisecond))
+			if _, err := d.pool.Call(d.cfg.ASDAddr, cmd); err != nil {
+				if cmdlang.IsRemoteCode(err, cmdlang.CodeNotFound) {
+					d.registerASD() //nolint:errcheck — retried next tick
+				}
+			}
+		}
+	}
+}
+
+// Stop shuts the daemon down: it unregisters from the ASD and room
+// database, records the stop event, closes sockets, and joins all
+// threads.
+func (d *Daemon) Stop() {
+	d.mu.Lock()
+	if !d.started || d.stopped {
+		d.mu.Unlock()
+		return
+	}
+	d.stopped = true
+	d.mu.Unlock()
+
+	// Graceful deregistration (best effort; infrastructure daemons
+	// may already be gone).
+	if d.cfg.ASDAddr != "" {
+		d.pool.Call(d.cfg.ASDAddr, cmdlang.New(CmdUnregister).SetWord("name", wordOr(d.cfg.Name))) //nolint:errcheck
+	}
+	if d.cfg.RoomDBAddr != "" {
+		d.pool.Call(d.cfg.RoomDBAddr, cmdlang.New(CmdRemoveService).
+			SetWord("room", wordOr(d.cfg.Room)).SetWord("service", wordOr(d.cfg.Name))) //nolint:errcheck
+	}
+	if d.cfg.NetLogAddr != "" {
+		stopCmd := cmdlang.New(CmdLogEvent).
+			SetWord("source", wordOr(d.cfg.Name)).SetWord("event", "stopped").
+			SetWord("host", wordOr(d.cfg.Host)).
+			SetString("detail", "service "+d.cfg.Name+" stopped")
+		if d.cfg.Room != "" {
+			stopCmd.SetWord("room", wordOr(d.cfg.Room))
+		}
+		d.pool.Call(d.cfg.NetLogAddr, stopCmd) //nolint:errcheck
+	}
+
+	close(d.done)
+	d.listener.Close()
+	d.udp.Close()
+	d.connsMu.Lock()
+	for c := range d.conns {
+		c.Close()
+	}
+	d.connsMu.Unlock()
+	d.pool.Close()
+	d.wg.Wait()
+}
+
+// acceptLoop is run by the main thread's accept goroutine; each
+// accepted connection gets its own command thread.
+func (d *Daemon) acceptLoop() {
+	defer d.wg.Done()
+	tlsCfg := d.cfg.Transport.ServerConfig()
+	for {
+		raw, err := d.listener.Accept()
+		if err != nil {
+			return
+		}
+		d.nConns.Add(1)
+		var conn net.Conn = raw
+		if tlsCfg != nil {
+			conn = tls.Server(raw, tlsCfg)
+		}
+		d.connsMu.Lock()
+		d.conns[conn] = struct{}{}
+		d.connsMu.Unlock()
+		d.wg.Add(1)
+		go d.commandThread(conn)
+	}
+}
+
+// commandThread reads and parses commands from one client connection
+// and posts them to the control queue (Fig 5's receiving side).
+func (d *Daemon) commandThread(conn net.Conn) {
+	defer d.wg.Done()
+	defer func() {
+		conn.Close()
+		d.connsMu.Lock()
+		delete(d.conns, conn)
+		d.connsMu.Unlock()
+	}()
+
+	principal := "anonymous"
+	if tc, ok := conn.(*tls.Conn); ok {
+		if err := tc.Handshake(); err != nil {
+			return
+		}
+		state := tc.ConnectionState()
+		if len(state.PeerCertificates) > 0 {
+			principal = state.PeerCertificates[0].Subject.CommonName
+		}
+	}
+	ctx := &Ctx{D: d, Principal: principal, RemoteAddr: conn.RemoteAddr().String()}
+
+	var writeMu sync.Mutex
+	respond := func(reply *cmdlang.CmdLine) {
+		writeMu.Lock()
+		defer writeMu.Unlock()
+		wire.WriteCmd(conn, reply) //nolint:errcheck — peer may be gone
+	}
+
+	for {
+		payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		cmd, perr := cmdlang.Parse(string(payload))
+		if perr != nil {
+			// Syntactically broken input is answered directly by the
+			// command thread; it never reaches control.
+			respond(cmdlang.FailErr(perr))
+			continue
+		}
+		msg := ctlMsg{cmd: cmd, ctx: ctx}
+		if cmd.Has(cmdlang.SeqArg) {
+			seq := cmd.Int(cmdlang.SeqArg, 0)
+			msg.respond = func(reply *cmdlang.CmdLine) {
+				reply.SetInt(cmdlang.SeqArg, seq)
+				respond(reply)
+			}
+		}
+		select {
+		case d.ctlQ <- msg:
+		case <-d.done:
+			return
+		}
+	}
+}
+
+// controlThread executes commands serially and services
+// notifications, as §2.1.1 specifies.
+func (d *Daemon) controlThread() {
+	defer d.wg.Done()
+	for {
+		select {
+		case <-d.done:
+			return
+		case msg := <-d.ctlQ:
+			d.execute(msg)
+		}
+	}
+}
+
+func (d *Daemon) execute(msg ctlMsg) {
+	reply := d.dispatch(msg.ctx, msg.cmd)
+	if msg.respond != nil {
+		msg.respond(reply)
+	}
+	if cmdlang.IsOK(reply) {
+		d.nOK.Add(1)
+		d.dispatchNotifications(msg.cmd)
+	} else {
+		d.nFail.Add(1)
+	}
+}
+
+func (d *Daemon) dispatch(ctx *Ctx, cmd *cmdlang.CmdLine) *cmdlang.CmdLine {
+	name := cmd.Name()
+	h, ok := d.handlers[name]
+	if !ok {
+		return cmdlang.Fail(cmdlang.CodeUnknownCommand, "unknown command "+strconv.Quote(name))
+	}
+	// Semantic validation against the declared registry. The seq
+	// argument is protocol-level, so strip it for validation.
+	vc := cmd
+	if cmd.Has(cmdlang.SeqArg) {
+		vc = cmd.Clone()
+		vc.Del(cmdlang.SeqArg)
+	}
+	if err := d.registry.Validate(vc); err != nil {
+		return cmdlang.FailErr(err)
+	}
+	// Authorization gate (§3.2). Built-in protocol commands are
+	// always permitted; everything else consults the authorizer.
+	if d.cfg.Authorizer != nil && !builtinCommands[name] {
+		if err := d.cfg.Authorizer.Authorize(ctx.Principal, vc); err != nil {
+			d.nDenied.Add(1)
+			return cmdlang.Fail(cmdlang.CodeDenied, err.Error())
+		}
+	}
+	res, err := h(ctx, vc)
+	if err != nil {
+		return cmdlang.FailErr(err)
+	}
+	if res == nil {
+		res = cmdlang.OK()
+	}
+	return res
+}
+
+// ExecuteLocal runs a command through the daemon's own dispatch path
+// — validation, authorization, handler, notifications — on the
+// calling goroutine. It exists for handlers that need to execute
+// another of their daemon's commands (e.g. a device scan that
+// internally executes "identify" so its notification listeners fire):
+// calling the daemon over its own socket from the control thread
+// would deadlock, since the control thread is single.
+func (d *Daemon) ExecuteLocal(ctx *Ctx, cmd *cmdlang.CmdLine) *cmdlang.CmdLine {
+	if ctx == nil {
+		ctx = &Ctx{D: d, Principal: d.cfg.Name, RemoteAddr: "local"}
+	}
+	reply := d.dispatch(ctx, cmd)
+	if cmdlang.IsOK(reply) {
+		d.nOK.Add(1)
+		d.dispatchNotifications(cmd)
+	} else {
+		d.nFail.Add(1)
+	}
+	return reply
+}
+
+// dataThread receives datagrams on the UDP channel and hands them to
+// the configured data handler.
+func (d *Daemon) dataThread() {
+	defer d.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		n, from, err := d.udp.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		d.nData.Add(1)
+		if d.cfg.DataHandler != nil {
+			pkt := make([]byte, n)
+			copy(pkt, buf[:n])
+			d.cfg.DataHandler(pkt, from)
+		}
+	}
+}
+
+// SendData transmits a datagram to another daemon's data channel.
+func (d *Daemon) SendData(addr string, pkt []byte) error {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return err
+	}
+	_, err = d.udp.WriteToUDP(pkt, ua)
+	return err
+}

@@ -1,0 +1,120 @@
+package daemon
+
+import (
+	"sync"
+
+	"ace/internal/cmdlang"
+)
+
+// Notifications (§2.5, Fig 8): every daemon keeps a running list of
+// commands being "listened" for and the services to notify when such
+// commands execute. After the control thread successfully executes a
+// command, the listed command-interface methods are invoked on the
+// notified services.
+
+// NotifyMethodArgs are the arguments carried by an invoked
+// notification method: who notified, which command executed, and the
+// full original command string for the notified service to decompose.
+const (
+	NotifySourceArg = "source"
+	NotifyEventArg  = "event"
+	NotifyDetailArg = "detail"
+)
+
+type notifyTarget struct {
+	Service string
+	Addr    string
+	Method  string
+}
+
+type notifyTable struct {
+	mu      sync.Mutex
+	targets map[string][]notifyTarget // command name → targets
+}
+
+func (t *notifyTable) add(cmd string, nt notifyTarget) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.targets == nil {
+		t.targets = make(map[string][]notifyTarget)
+	}
+	for _, existing := range t.targets[cmd] {
+		if existing == nt {
+			return // idempotent
+		}
+	}
+	t.targets[cmd] = append(t.targets[cmd], nt)
+}
+
+func (t *notifyTable) remove(cmd, service, method string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	list := t.targets[cmd]
+	kept := list[:0]
+	removed := 0
+	for _, nt := range list {
+		if nt.Service == service && nt.Method == method {
+			removed++
+			continue
+		}
+		kept = append(kept, nt)
+	}
+	if len(kept) == 0 {
+		delete(t.targets, cmd)
+	} else {
+		t.targets[cmd] = kept
+	}
+	return removed
+}
+
+func (t *notifyTable) list(cmd string) []notifyTarget {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if cmd != "" {
+		return append([]notifyTarget(nil), t.targets[cmd]...)
+	}
+	var all []notifyTarget
+	for _, l := range t.targets {
+		all = append(all, l...)
+	}
+	return all
+}
+
+// dispatchNotifications runs on the control thread after a command
+// executes successfully (Fig 8 steps 2–3). Delivery itself happens
+// off-thread so a slow or dead listener cannot stall command
+// execution; invocation is one-way (no seq → no reply expected).
+func (d *Daemon) dispatchNotifications(cmd *cmdlang.CmdLine) {
+	targets := d.notify.list(cmd.Name())
+	if len(targets) == 0 {
+		return
+	}
+	detail := cmd.Clone()
+	detail.Del(cmdlang.SeqArg)
+	detailStr := detail.String()
+	for _, nt := range targets {
+		d.nNotify.Add(1)
+		msg := cmdlang.New(nt.Method).
+			SetWord(NotifySourceArg, wordOr(d.cfg.Name)).
+			SetWord(NotifyEventArg, cmd.Name()).
+			SetString(NotifyDetailArg, detailStr)
+		target := nt
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			d.pool.Send(target.Addr, msg) //nolint:errcheck — listeners may be gone; ASD lease expiry reaps them
+		}()
+	}
+}
+
+// Subscribe is the client-side convenience for §2.5: it asks the
+// daemon at addr to invoke method on subscriber (listening at
+// subscriberAddr) whenever cmd executes.
+func Subscribe(p *Pool, addr, cmd, subscriber, subscriberAddr, method string) error {
+	_, err := p.Call(addr, cmdlang.New(CmdAddNotification).
+		SetWord("cmd", cmd).
+		SetWord("service", subscriber).
+		SetString("addr", subscriberAddr).
+		SetWord("method", method))
+	return err
+}

@@ -1,0 +1,121 @@
+package daemon
+
+import (
+	"sync"
+
+	"ace/internal/cmdlang"
+	"ace/internal/wire"
+)
+
+// Pool caches outgoing client connections by address so that daemons
+// calling each other repeatedly (lease renewals, notifications,
+// lookups) reuse sockets instead of re-handshaking TLS per command.
+type Pool struct {
+	transport *wire.Transport
+
+	mu      sync.Mutex
+	clients map[string]*wire.Client
+	closed  bool
+}
+
+// NewPool returns a pool dialing with the given transport (nil =
+// plaintext).
+func NewPool(t *wire.Transport) *Pool {
+	return &Pool{transport: t, clients: make(map[string]*wire.Client)}
+}
+
+// Get returns a live client to addr, dialing if necessary.
+func (p *Pool) Get(addr string) (*wire.Client, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, wire.ErrClosed
+	}
+	if c, ok := p.clients[addr]; ok {
+		p.mu.Unlock()
+		return c, nil
+	}
+	p.mu.Unlock()
+
+	c, err := wire.Dial(p.transport, addr)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		c.Close()
+		return nil, wire.ErrClosed
+	}
+	if existing, ok := p.clients[addr]; ok {
+		p.mu.Unlock()
+		c.Close()
+		return existing, nil
+	}
+	p.clients[addr] = c
+	p.mu.Unlock()
+	return c, nil
+}
+
+// drop removes a client after a transport failure so the next call
+// redials.
+func (p *Pool) drop(addr string, c *wire.Client) {
+	p.mu.Lock()
+	if p.clients[addr] == c {
+		delete(p.clients, addr)
+	}
+	p.mu.Unlock()
+	c.Close()
+}
+
+// Call issues a request/response command to addr, transparently
+// redialing once if the pooled connection has died.
+func (p *Pool) Call(addr string, cmd *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+	c, err := p.Get(addr)
+	if err != nil {
+		return nil, err
+	}
+	reply, err := c.Call(cmd)
+	if err == nil {
+		return reply, nil
+	}
+	if _, isRemote := err.(*cmdlang.RemoteError); isRemote {
+		return nil, err // daemon answered; connection is fine
+	}
+	// Transport-level failure: retry once on a fresh connection.
+	p.drop(addr, c)
+	c, derr := p.Get(addr)
+	if derr != nil {
+		return nil, err
+	}
+	return c.Call(cmd)
+}
+
+// Send transmits a one-way command (no reply expected) to addr.
+func (p *Pool) Send(addr string, cmd *cmdlang.CmdLine) error {
+	c, err := p.Get(addr)
+	if err != nil {
+		return err
+	}
+	if err := c.Send(cmd); err != nil {
+		p.drop(addr, c)
+		c, derr := p.Get(addr)
+		if derr != nil {
+			return err
+		}
+		return c.Send(cmd)
+	}
+	return nil
+}
+
+// Close closes every pooled connection.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	clients := p.clients
+	p.clients = map[string]*wire.Client{}
+	p.mu.Unlock()
+	for _, c := range clients {
+		c.Close()
+	}
+}

@@ -1,0 +1,251 @@
+package daemon
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"ace/internal/cmdlang"
+	"ace/internal/wire"
+)
+
+// asdStub is a minimal directory: it accepts register/unregister and
+// fails renew for unknown names, which is all the lease loop needs.
+type asdStub struct {
+	*Daemon
+	mu         sync.Mutex
+	registered map[string]int
+}
+
+func (s *asdStub) count(name string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.registered[name]
+}
+
+func newASDStub(t *testing.T, listen string) *asdStub {
+	t.Helper()
+	s := &asdStub{registered: map[string]int{}}
+	d := New(Config{Name: "asdstub", Listen: listen})
+	d.Handle(cmdlang.CommandSpec{Name: CmdRegister, AllowExtra: true},
+		func(_ *Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+			s.mu.Lock()
+			s.registered[c.Str("name", "")]++
+			s.mu.Unlock()
+			return cmdlang.OK().SetInt("lease", c.Int("lease", 1000)), nil
+		})
+	d.Handle(cmdlang.CommandSpec{Name: CmdRenew, AllowExtra: true},
+		func(_ *Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+			if s.count(c.Str("name", "")) == 0 {
+				return cmdlang.Fail(cmdlang.CodeNotFound, "not registered"), nil
+			}
+			return cmdlang.OK().SetInt("lease", c.Int("lease", 1000)), nil
+		})
+	d.Handle(cmdlang.CommandSpec{Name: CmdUnregister, AllowExtra: true},
+		func(_ *Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+			s.mu.Lock()
+			delete(s.registered, c.Str("name", ""))
+			s.mu.Unlock()
+			return nil, nil
+		})
+	s.Daemon = d
+	return s
+}
+
+// TestReRegistersAfterDirectoryRestart: a daemon whose directory
+// forgot it (ASD crash/restart) re-registers on the next lease tick.
+func TestReRegistersAfterDirectoryRestart(t *testing.T) {
+	stub := newASDStub(t, "127.0.0.1:0")
+	if err := stub.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addr := stub.Addr()
+
+	d := New(Config{Name: "phoenix", ASDAddr: addr, LeaseTTL: 60 * time.Millisecond})
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Stop)
+	if stub.count("phoenix") != 1 {
+		t.Fatalf("initial registrations=%d", stub.count("phoenix"))
+	}
+
+	// The directory restarts empty at the SAME address.
+	stub.Stop()
+	stub2 := newASDStub(t, addr)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := stub2.Start(); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("could not rebind stub address")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Cleanup(stub2.Stop)
+
+	// The daemon's renewals now get not_found → it re-registers.
+	deadline = time.Now().Add(5 * time.Second)
+	for stub2.count("phoenix") == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never re-registered with the restarted directory")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestPoolRedialsAfterServerRestart: a pooled connection that dies is
+// transparently replaced on the next Call.
+func TestPoolRedialsAfterServerRestart(t *testing.T) {
+	d := New(Config{Name: "flappy", Listen: "127.0.0.1:0"})
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addr := d.Addr()
+
+	pool := NewPool(nil)
+	defer pool.Close()
+	if _, err := pool.Call(addr, cmdlang.New(CmdPing)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart the daemon on the same address.
+	d.Stop()
+	d2 := New(Config{Name: "flappy", Listen: addr})
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := d2.Start(); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("could not rebind")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Cleanup(d2.Stop)
+
+	// The pool's cached connection is dead; Call retries on a fresh
+	// one.
+	if _, err := pool.Call(addr, cmdlang.New(CmdPing)); err != nil {
+		t.Fatalf("pool did not recover: %v", err)
+	}
+}
+
+// TestOversizedFrameDropsConnectionGracefully: a client claiming an
+// absurd frame size is disconnected without harming the daemon.
+func TestOversizedFrameDropsConnectionGracefully(t *testing.T) {
+	d := New(Config{Name: "hardened"})
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Stop)
+
+	conn, err := net.Dial("tcp", d.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Header advertising 4 GiB.
+	if _, err := conn.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, 'x'}); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(time.Second))
+	buf := make([]byte, 16)
+	if _, err := conn.Read(buf); err == nil {
+		t.Log("daemon answered; acceptable as long as it stays alive")
+	}
+
+	// The daemon still serves other clients.
+	c, err := wire.Dial(nil, d.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Call(cmdlang.New(CmdPing)); err != nil {
+		t.Fatalf("daemon damaged by oversized frame: %v", err)
+	}
+}
+
+// TestControlQueueBackpressure: a flood of one-way commands neither
+// deadlocks nor crashes the daemon.
+func TestControlQueueBackpressure(t *testing.T) {
+	d := New(Config{Name: "flooded", ControlQueueLen: 4})
+	processed := make(chan struct{}, 4096)
+	d.Handle(cmdlang.CommandSpec{Name: "flood"},
+		func(_ *Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+			processed <- struct{}{}
+			return nil, nil
+		})
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Stop)
+
+	conn, err := net.Dial("tcp", d.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := wire.WriteCmd(conn, cmdlang.New("flood")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	got := 0
+	for got < n {
+		select {
+		case <-processed:
+			got++
+		default:
+			if time.Now().After(deadline) {
+				t.Fatalf("processed %d/%d", got, n)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// TestDataThreadSurvivesGarbage: random datagrams never kill the
+// data thread.
+func TestDataThreadSurvivesGarbage(t *testing.T) {
+	got := make(chan []byte, 16)
+	d := New(Config{Name: "udpsafe", DataHandler: func(pkt []byte, _ net.Addr) { got <- pkt }})
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Stop)
+
+	src := New(Config{Name: "udpsrc"})
+	if err := src.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(src.Stop)
+
+	for _, pkt := range [][]byte{{}, {0}, []byte("garbage"), make([]byte, 60000)} {
+		if err := src.SendData(d.DataAddr(), pkt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A normal packet still arrives afterwards.
+	if err := src.SendData(d.DataAddr(), []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		select {
+		case pkt := <-got:
+			if string(pkt) == "ok" {
+				return
+			}
+		default:
+			if time.Now().After(deadline) {
+				t.Fatal("normal packet never arrived after garbage")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}

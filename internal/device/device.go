@@ -1,0 +1,337 @@
+// Package device implements ACE-enabled devices (§1.2, Fig 6): PTZ
+// cameras (Canon VCC3 and VCC4 models) and projectors (Epson 7350).
+// The physical hardware is simulated with kinematic state; the device
+// daemons expose exactly the command surface the architecture needs —
+// the low-level interface software that makes a device ACE-enabled.
+package device
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"ace/internal/cmdlang"
+	"ace/internal/daemon"
+	"ace/internal/hier"
+)
+
+// PTZModel describes the capabilities of one camera model; the VCC3
+// and VCC4 differ in range and zoom, which is what makes their
+// daemons distinct leaves of the hierarchy (Fig 6).
+type PTZModel struct {
+	Name       string
+	Class      string
+	PanMin     float64 // degrees
+	PanMax     float64
+	TiltMin    float64
+	TiltMax    float64
+	ZoomMax    float64 // magnification factor
+	FrameRates []int64 // supported capture rates
+}
+
+// VCC3 is the Canon VCC3 model envelope.
+var VCC3 = PTZModel{
+	Name: "VCC3", Class: hier.ClassVCC3,
+	PanMin: -90, PanMax: 90, TiltMin: -25, TiltMax: 25,
+	ZoomMax: 10, FrameRates: []int64{5, 15, 30},
+}
+
+// VCC4 is the Canon VCC4 model envelope: wider sweep, longer zoom.
+var VCC4 = PTZModel{
+	Name: "VCC4", Class: hier.ClassVCC4,
+	PanMin: -100, PanMax: 100, TiltMin: -30, TiltMax: 90,
+	ZoomMax: 16, FrameRates: []int64{5, 15, 30, 60},
+}
+
+// PTZState is a camera's controllable state (the right-hand pane of
+// the Fig 2 GUI).
+type PTZState struct {
+	On        bool
+	Pan       float64 // degrees
+	Tilt      float64
+	Zoom      float64
+	FrameRate int64
+	ResX      int64
+	ResY      int64
+}
+
+// PTZCamera is a camera device daemon.
+type PTZCamera struct {
+	*daemon.Daemon
+	model PTZModel
+
+	mu    sync.Mutex
+	state PTZState
+	// pos is the camera's mount position in room coordinates, used
+	// by pointAt.
+	pos [3]float64
+}
+
+// NewPTZCamera constructs a camera daemon for the given model.
+func NewPTZCamera(dcfg daemon.Config, model PTZModel) *PTZCamera {
+	if dcfg.Name == "" {
+		dcfg.Name = "ptz_" + model.Name
+	}
+	if dcfg.Class == "" {
+		dcfg.Class = model.Class
+	}
+	c := &PTZCamera{
+		Daemon: daemon.New(dcfg),
+		model:  model,
+		state:  PTZState{Zoom: 1, FrameRate: model.FrameRates[0], ResX: 640, ResY: 480},
+	}
+	c.install()
+	return c
+}
+
+// Model returns the camera's model envelope.
+func (c *PTZCamera) Model() PTZModel { return c.model }
+
+// State snapshots the camera state.
+func (c *PTZCamera) State() PTZState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state
+}
+
+// SetMountPosition places the camera in its room's coordinate system.
+func (c *PTZCamera) SetMountPosition(x, y, z float64) {
+	c.mu.Lock()
+	c.pos = [3]float64{x, y, z}
+	c.mu.Unlock()
+}
+
+func clamp(v, lo, hi float64) float64 { return math.Max(lo, math.Min(hi, v)) }
+
+func (c *PTZCamera) stateReply() *cmdlang.CmdLine {
+	st := c.State()
+	return cmdlang.OK().
+		SetBool("on", st.On).
+		SetFloat("pan", st.Pan).
+		SetFloat("tilt", st.Tilt).
+		SetFloat("zoom", st.Zoom).
+		SetInt("rate", st.FrameRate).
+		Set("resolution", cmdlang.IntVector(st.ResX, st.ResY)).
+		SetWord("model", c.model.Name)
+}
+
+func (c *PTZCamera) install() {
+	c.Handle(cmdlang.CommandSpec{
+		Name: "power",
+		Args: []cmdlang.ArgSpec{{Name: "on", Kind: cmdlang.KindWord, Required: true}},
+	}, func(_ *daemon.Ctx, cl *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		on := cl.Bool("on", false)
+		c.mu.Lock()
+		c.state.On = on
+		c.mu.Unlock()
+		return nil, nil
+	})
+
+	c.Handle(cmdlang.CommandSpec{
+		Name: "move",
+		Doc:  "point the camera (pan/tilt degrees, clamped to the model envelope)",
+		Args: []cmdlang.ArgSpec{
+			{Name: "pan", Kind: cmdlang.KindFloat, Required: true},
+			{Name: "tilt", Kind: cmdlang.KindFloat, Required: true},
+		},
+	}, func(_ *daemon.Ctx, cl *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if !c.state.On {
+			return cmdlang.Fail(cmdlang.CodeUnavailable, "camera is powered off"), nil
+		}
+		c.state.Pan = clamp(cl.Float("pan", 0), c.model.PanMin, c.model.PanMax)
+		c.state.Tilt = clamp(cl.Float("tilt", 0), c.model.TiltMin, c.model.TiltMax)
+		return cmdlang.OK().SetFloat("pan", c.state.Pan).SetFloat("tilt", c.state.Tilt), nil
+	})
+
+	c.Handle(cmdlang.CommandSpec{
+		Name: "zoom",
+		Args: []cmdlang.ArgSpec{{Name: "factor", Kind: cmdlang.KindFloat, Required: true}},
+	}, func(_ *daemon.Ctx, cl *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if !c.state.On {
+			return cmdlang.Fail(cmdlang.CodeUnavailable, "camera is powered off"), nil
+		}
+		c.state.Zoom = clamp(cl.Float("factor", 1), 1, c.model.ZoomMax)
+		return cmdlang.OK().SetFloat("zoom", c.state.Zoom), nil
+	})
+
+	c.Handle(cmdlang.CommandSpec{
+		Name: "capture",
+		Doc:  "set frame rate and resolution",
+		Args: []cmdlang.ArgSpec{
+			{Name: "rate", Kind: cmdlang.KindInt},
+			{Name: "resolution", Kind: cmdlang.KindVector},
+		},
+	}, func(_ *daemon.Ctx, cl *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if rate := cl.Int("rate", 0); rate > 0 {
+			ok := false
+			for _, r := range c.model.FrameRates {
+				if r == rate {
+					ok = true
+				}
+			}
+			if !ok {
+				return nil, &cmdlang.SemanticError{Command: "capture",
+					Msg: fmt.Sprintf("rate %d unsupported by %s", rate, c.model.Name)}
+			}
+			c.state.FrameRate = rate
+		}
+		if res := cl.Vector("resolution"); len(res) == 2 {
+			x, _ := res[0].AsInt()
+			y, _ := res[1].AsInt()
+			if x > 0 && y > 0 {
+				c.state.ResX, c.state.ResY = x, y
+			}
+		}
+		return nil, nil
+	})
+
+	c.Handle(cmdlang.CommandSpec{
+		Name: "pointAt",
+		Doc:  "aim at a 3-D room coordinate (requires spatial awareness, §4.11)",
+		Args: []cmdlang.ArgSpec{{Name: "target", Kind: cmdlang.KindVector, Required: true}},
+	}, func(_ *daemon.Ctx, cl *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		tv := cl.Vector("target")
+		if len(tv) != 3 {
+			return nil, &cmdlang.SemanticError{Command: "pointAt", Msg: "target must be {x,y,z}"}
+		}
+		var tgt [3]float64
+		for i, v := range tv {
+			tgt[i], _ = v.AsFloat()
+		}
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if !c.state.On {
+			return cmdlang.Fail(cmdlang.CodeUnavailable, "camera is powered off"), nil
+		}
+		dx, dy, dz := tgt[0]-c.pos[0], tgt[1]-c.pos[1], tgt[2]-c.pos[2]
+		pan := math.Atan2(dy, dx) * 180 / math.Pi
+		tilt := math.Atan2(dz, math.Hypot(dx, dy)) * 180 / math.Pi
+		c.state.Pan = clamp(pan, c.model.PanMin, c.model.PanMax)
+		c.state.Tilt = clamp(tilt, c.model.TiltMin, c.model.TiltMax)
+		reachable := c.state.Pan == pan && c.state.Tilt == tilt
+		return cmdlang.OK().
+			SetFloat("pan", c.state.Pan).
+			SetFloat("tilt", c.state.Tilt).
+			SetBool("reachable", reachable), nil
+	})
+
+	c.Handle(cmdlang.CommandSpec{Name: "status"},
+		func(_ *daemon.Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+			return c.stateReply(), nil
+		})
+}
+
+// ProjectorState is a projector's controllable state.
+type ProjectorState struct {
+	On         bool
+	Input      string // routed source, e.g. "workspace_john" or "camera:ptz1"
+	PIP        string // picture-in-picture source (Scenario 5)
+	Brightness int64  // percent
+}
+
+// Projector is an Epson 7350 projector daemon.
+type Projector struct {
+	*daemon.Daemon
+	mu    sync.Mutex
+	state ProjectorState
+}
+
+// NewProjector constructs a projector daemon.
+func NewProjector(dcfg daemon.Config) *Projector {
+	if dcfg.Name == "" {
+		dcfg.Name = "projector"
+	}
+	if dcfg.Class == "" {
+		dcfg.Class = hier.ClassEpson7350
+	}
+	p := &Projector{Daemon: daemon.New(dcfg), state: ProjectorState{Brightness: 80}}
+	p.install()
+	return p
+}
+
+// State snapshots the projector state.
+func (p *Projector) State() ProjectorState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.state
+}
+
+func (p *Projector) install() {
+	p.Handle(cmdlang.CommandSpec{
+		Name: "power",
+		Args: []cmdlang.ArgSpec{{Name: "on", Kind: cmdlang.KindWord, Required: true}},
+	}, func(_ *daemon.Ctx, cl *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		on := cl.Bool("on", false)
+		p.mu.Lock()
+		p.state.On = on
+		if !on {
+			p.state.Input, p.state.PIP = "", ""
+		}
+		p.mu.Unlock()
+		return nil, nil
+	})
+
+	p.Handle(cmdlang.CommandSpec{
+		Name: "display",
+		Doc:  "route a source to the screen (Scenario 5: output the workspace)",
+		Args: []cmdlang.ArgSpec{{Name: "source", Kind: cmdlang.KindString, Required: true}},
+	}, func(_ *daemon.Ctx, cl *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		if !p.state.On {
+			return cmdlang.Fail(cmdlang.CodeUnavailable, "projector is powered off"), nil
+		}
+		p.state.Input = cl.Str("source", "")
+		return nil, nil
+	})
+
+	p.Handle(cmdlang.CommandSpec{
+		Name: "pip",
+		Doc:  "picture-in-picture a second source (Scenario 5: camera over slides)",
+		Args: []cmdlang.ArgSpec{{Name: "source", Kind: cmdlang.KindString, Required: true}},
+	}, func(_ *daemon.Ctx, cl *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		if !p.state.On {
+			return cmdlang.Fail(cmdlang.CodeUnavailable, "projector is powered off"), nil
+		}
+		if p.state.Input == "" {
+			return cmdlang.Fail(cmdlang.CodeConflict, "no main source routed"), nil
+		}
+		p.state.PIP = cl.Str("source", "")
+		return nil, nil
+	})
+
+	p.Handle(cmdlang.CommandSpec{
+		Name: "brightness",
+		Args: []cmdlang.ArgSpec{{Name: "percent", Kind: cmdlang.KindInt, Required: true}},
+	}, func(_ *daemon.Ctx, cl *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		pct := cl.Int("percent", 80)
+		if pct < 0 || pct > 100 {
+			return nil, &cmdlang.SemanticError{Command: "brightness", Msg: "percent must be 0..100"}
+		}
+		p.mu.Lock()
+		p.state.Brightness = pct
+		p.mu.Unlock()
+		return nil, nil
+	})
+
+	p.Handle(cmdlang.CommandSpec{Name: "status"},
+		func(_ *daemon.Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+			st := p.State()
+			r := cmdlang.OK().SetBool("on", st.On).SetInt("brightness", st.Brightness)
+			if st.Input != "" {
+				r.SetString("input", st.Input)
+			}
+			if st.PIP != "" {
+				r.SetString("pip", st.PIP)
+			}
+			return r, nil
+		})
+}

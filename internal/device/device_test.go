@@ -1,0 +1,204 @@
+package device
+
+import (
+	"math"
+	"testing"
+
+	"ace/internal/cmdlang"
+	"ace/internal/daemon"
+)
+
+func startCamera(t *testing.T, model PTZModel) (*PTZCamera, *daemon.Pool) {
+	t.Helper()
+	c := NewPTZCamera(daemon.Config{}, model)
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	pool := daemon.NewPool(nil)
+	t.Cleanup(pool.Close)
+	return c, pool
+}
+
+func TestCameraPowerGate(t *testing.T) {
+	c, pool := startCamera(t, VCC3)
+	// Moving while off is refused.
+	_, err := pool.Call(c.Addr(), cmdlang.New("move").SetFloat("pan", 10).SetFloat("tilt", 5))
+	if !cmdlang.IsRemoteCode(err, cmdlang.CodeUnavailable) {
+		t.Fatalf("err=%v", err)
+	}
+	if _, err := pool.Call(c.Addr(), cmdlang.New("power").SetBool("on", true)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Call(c.Addr(), cmdlang.New("move").SetFloat("pan", 10).SetFloat("tilt", 5)); err != nil {
+		t.Fatal(err)
+	}
+	st := c.State()
+	if st.Pan != 10 || st.Tilt != 5 {
+		t.Fatalf("state=%+v", st)
+	}
+}
+
+func TestCameraEnvelopeClamping(t *testing.T) {
+	c, pool := startCamera(t, VCC3)
+	pool.Call(c.Addr(), cmdlang.New("power").SetBool("on", true)) //nolint:errcheck
+	reply, err := pool.Call(c.Addr(), cmdlang.New("move").SetFloat("pan", 500).SetFloat("tilt", -500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Float("pan", 0) != VCC3.PanMax || reply.Float("tilt", 0) != VCC3.TiltMin {
+		t.Fatalf("reply=%v", reply)
+	}
+	// VCC4 has a wider envelope than VCC3.
+	c4, pool4 := startCamera(t, VCC4)
+	pool4.Call(c4.Addr(), cmdlang.New("power").SetBool("on", true)) //nolint:errcheck
+	reply4, err := pool4.Call(c4.Addr(), cmdlang.New("move").SetFloat("pan", 95).SetFloat("tilt", 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply4.Float("pan", 0) != 95 || reply4.Float("tilt", 0) != 60 {
+		t.Fatalf("VCC4 clamped a legal move: %v", reply4)
+	}
+}
+
+func TestCameraZoomAndCapture(t *testing.T) {
+	c, pool := startCamera(t, VCC4)
+	pool.Call(c.Addr(), cmdlang.New("power").SetBool("on", true)) //nolint:errcheck
+	reply, err := pool.Call(c.Addr(), cmdlang.New("zoom").SetFloat("factor", 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Float("zoom", 0) != VCC4.ZoomMax {
+		t.Fatalf("zoom=%v", reply)
+	}
+	// Supported frame rate accepted; unsupported rejected.
+	if _, err := pool.Call(c.Addr(), cmdlang.New("capture").SetInt("rate", 60).
+		Set("resolution", cmdlang.IntVector(1024, 768))); err != nil {
+		t.Fatal(err)
+	}
+	st := c.State()
+	if st.FrameRate != 60 || st.ResX != 1024 {
+		t.Fatalf("state=%+v", st)
+	}
+	_, err = pool.Call(c.Addr(), cmdlang.New("capture").SetInt("rate", 23))
+	if !cmdlang.IsRemoteCode(err, cmdlang.CodeBadArgument) {
+		t.Fatalf("err=%v", err)
+	}
+	// VCC3 lacks 60fps.
+	c3, pool3 := startCamera(t, VCC3)
+	if _, err := pool3.Call(c3.Addr(), cmdlang.New("capture").SetInt("rate", 60)); err == nil {
+		t.Fatal("VCC3 accepted 60fps")
+	}
+}
+
+func TestCameraPointAt(t *testing.T) {
+	c, pool := startCamera(t, VCC4)
+	c.SetMountPosition(0, 0, 2)
+	pool.Call(c.Addr(), cmdlang.New("power").SetBool("on", true)) //nolint:errcheck
+
+	// Target straight "east" at mount height: pan 0 (atan2(0,5)=0),
+	// tilt 0.
+	reply, err := pool.Call(c.Addr(), cmdlang.New("pointAt").
+		Set("target", cmdlang.FloatVector(5, 0, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(reply.Float("pan", 99)) > 1e-9 || math.Abs(reply.Float("tilt", 99)) > 1e-9 {
+		t.Fatalf("reply=%v", reply)
+	}
+	if !reply.Bool("reachable", false) {
+		t.Fatal("straight-ahead target unreachable")
+	}
+
+	// Target north: pan 90.
+	reply, _ = pool.Call(c.Addr(), cmdlang.New("pointAt").Set("target", cmdlang.FloatVector(0, 5, 2)))
+	if math.Abs(reply.Float("pan", 0)-90) > 1e-9 {
+		t.Fatalf("pan=%v", reply.Float("pan", 0))
+	}
+
+	// Target directly below a VCC3 (tilt -90) is out of envelope.
+	c3, pool3 := startCamera(t, VCC3)
+	c3.SetMountPosition(0, 0, 3)
+	pool3.Call(c3.Addr(), cmdlang.New("power").SetBool("on", true)) //nolint:errcheck
+	reply, err = pool3.Call(c3.Addr(), cmdlang.New("pointAt").Set("target", cmdlang.FloatVector(0, 0, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Bool("reachable", true) {
+		t.Fatal("floor target should be unreachable for VCC3 tilt envelope")
+	}
+	if reply.Float("tilt", 0) != VCC3.TiltMin {
+		t.Fatalf("tilt=%v", reply.Float("tilt", 0))
+	}
+}
+
+func TestProjectorScenario5(t *testing.T) {
+	p := NewProjector(daemon.Config{})
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Stop)
+	pool := daemon.NewPool(nil)
+	defer pool.Close()
+
+	// Display while off refused; PIP before main source refused.
+	_, err := pool.Call(p.Addr(), cmdlang.New("display").SetString("source", "workspace_john"))
+	if !cmdlang.IsRemoteCode(err, cmdlang.CodeUnavailable) {
+		t.Fatalf("err=%v", err)
+	}
+	pool.Call(p.Addr(), cmdlang.New("power").SetBool("on", true)) //nolint:errcheck
+	_, err = pool.Call(p.Addr(), cmdlang.New("pip").SetString("source", "camera:ptz1"))
+	if !cmdlang.IsRemoteCode(err, cmdlang.CodeConflict) {
+		t.Fatalf("err=%v", err)
+	}
+
+	// John turns the projector on, outputs the workspace, PIPs the
+	// camera.
+	if _, err := pool.Call(p.Addr(), cmdlang.New("display").SetString("source", "workspace_john")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Call(p.Addr(), cmdlang.New("pip").SetString("source", "camera:ptz1")); err != nil {
+		t.Fatal(err)
+	}
+	st := p.State()
+	if st.Input != "workspace_john" || st.PIP != "camera:ptz1" {
+		t.Fatalf("state=%+v", st)
+	}
+
+	// Brightness bounds.
+	if _, err := pool.Call(p.Addr(), cmdlang.New("brightness").SetInt("percent", 101)); err == nil {
+		t.Fatal("out-of-range brightness accepted")
+	}
+	if _, err := pool.Call(p.Addr(), cmdlang.New("brightness").SetInt("percent", 40)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Power off clears routing.
+	pool.Call(p.Addr(), cmdlang.New("power").SetBool("on", false)) //nolint:errcheck
+	if st := p.State(); st.Input != "" || st.PIP != "" {
+		t.Fatalf("routing survives power-off: %+v", st)
+	}
+
+	status, err := pool.Call(p.Addr(), cmdlang.New("status"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.Bool("on", true) {
+		t.Fatalf("status=%v", status)
+	}
+}
+
+func TestCameraStatusReportsModel(t *testing.T) {
+	c, pool := startCamera(t, VCC4)
+	st, err := pool.Call(c.Addr(), cmdlang.New("status"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Str("model", "") != "VCC4" {
+		t.Fatalf("status=%v", st)
+	}
+	res := st.Vector("resolution")
+	if len(res) != 2 {
+		t.Fatalf("resolution=%v", res)
+	}
+}

@@ -1,0 +1,123 @@
+package device
+
+import (
+	"fmt"
+	"sync"
+
+	"ace/internal/cmdlang"
+	"ace/internal/daemon"
+	"ace/internal/hier"
+)
+
+// ClassPrinter is the hierarchy class of printer devices.
+const ClassPrinter = hier.ClassDevice + ".Printer"
+
+// PrintJob is one queued document.
+type PrintJob struct {
+	ID    int64
+	Owner string
+	Title string
+	Pages int64
+}
+
+// Printer is a simulated network printer daemon — the target of the
+// §9 task-automation example ("print this out to the nearest
+// printer").
+type Printer struct {
+	*daemon.Daemon
+
+	mu      sync.Mutex
+	on      bool
+	nextID  int64
+	queue   []PrintJob
+	printed []PrintJob
+}
+
+// NewPrinter constructs a printer daemon.
+func NewPrinter(dcfg daemon.Config) *Printer {
+	if dcfg.Name == "" {
+		dcfg.Name = "printer"
+	}
+	if dcfg.Class == "" {
+		dcfg.Class = ClassPrinter
+	}
+	p := &Printer{Daemon: daemon.New(dcfg), on: true}
+	p.install()
+	return p
+}
+
+// Queue returns the pending jobs.
+func (p *Printer) Queue() []PrintJob {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]PrintJob(nil), p.queue...)
+}
+
+// Printed returns the completed jobs.
+func (p *Printer) Printed() []PrintJob {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]PrintJob(nil), p.printed...)
+}
+
+func (p *Printer) install() {
+	p.Handle(cmdlang.CommandSpec{
+		Name: "print",
+		Doc:  "queue a document",
+		Args: []cmdlang.ArgSpec{
+			{Name: "owner", Kind: cmdlang.KindWord},
+			{Name: "title", Kind: cmdlang.KindString, Required: true},
+			{Name: "pages", Kind: cmdlang.KindInt},
+		},
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		if !p.on {
+			return cmdlang.Fail(cmdlang.CodeUnavailable, "printer is powered off"), nil
+		}
+		p.nextID++
+		job := PrintJob{
+			ID:    p.nextID,
+			Owner: c.Str("owner", "anonymous"),
+			Title: c.Str("title", ""),
+			Pages: c.Int("pages", 1),
+		}
+		p.queue = append(p.queue, job)
+		return cmdlang.OK().SetInt("job", job.ID).SetInt("queued", int64(len(p.queue))), nil
+	})
+
+	p.Handle(cmdlang.CommandSpec{Name: "processQueue", Doc: "simulate the print engine draining the queue"},
+		func(_ *daemon.Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			n := len(p.queue)
+			p.printed = append(p.printed, p.queue...)
+			p.queue = nil
+			return cmdlang.OK().SetInt("printed", int64(n)), nil
+		})
+
+	p.Handle(cmdlang.CommandSpec{
+		Name: "power",
+		Args: []cmdlang.ArgSpec{{Name: "on", Kind: cmdlang.KindWord, Required: true}},
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		on := c.Bool("on", true)
+		p.mu.Lock()
+		p.on = on
+		p.mu.Unlock()
+		return nil, nil
+	})
+
+	p.Handle(cmdlang.CommandSpec{Name: "queueStatus"},
+		func(_ *daemon.Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			titles := make([]string, len(p.queue))
+			for i, j := range p.queue {
+				titles[i] = fmt.Sprintf("#%d %s (%s, %dp)", j.ID, j.Title, j.Owner, j.Pages)
+			}
+			return cmdlang.OK().
+				SetInt("queued", int64(len(p.queue))).
+				SetInt("printed", int64(len(p.printed))).
+				Set("jobs", cmdlang.StringVector(titles...)), nil
+		})
+}

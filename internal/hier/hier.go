@@ -1,0 +1,181 @@
+// Package hier models the ACE service daemon hierarchy (§2.3, Fig 6):
+// a tree of service classes rooted at "Service", in which child
+// classes inherit the command semantics and behaviour of their
+// parents. Classes are written as dotted paths from the root, e.g.
+// "Service.Device.PTZCamera.VCC4".
+package hier
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Root is the class every ACE service descends from.
+const Root = "Service"
+
+// Standard classes from Fig 6 of the report.
+const (
+	ClassDatabase         = "Service.Database"
+	ClassDevice           = "Service.Device"
+	ClassServiceDirectory = "Service.ServiceDirectory"
+	ClassAuthentication   = "Service.Authentication"
+	ClassPTZCamera        = "Service.Device.PTZCamera"
+	ClassVCC3             = "Service.Device.PTZCamera.VCC3"
+	ClassVCC4             = "Service.Device.PTZCamera.VCC4"
+	ClassProjector        = "Service.Device.Projector"
+	ClassEpson7350        = "Service.Device.Projector.Epson7350"
+)
+
+// Valid reports whether class is a well-formed dotted path rooted at
+// "Service" with non-empty word segments.
+func Valid(class string) bool {
+	if class == "" {
+		return false
+	}
+	segs := strings.Split(class, ".")
+	if segs[0] != Root {
+		return false
+	}
+	for _, s := range segs {
+		if s == "" {
+			return false
+		}
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_'
+			if !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Parent returns the parent class of class, or "" for the root.
+func Parent(class string) string {
+	i := strings.LastIndexByte(class, '.')
+	if i < 0 {
+		return ""
+	}
+	return class[:i]
+}
+
+// Depth returns the number of segments in the class path.
+func Depth(class string) int {
+	if class == "" {
+		return 0
+	}
+	return strings.Count(class, ".") + 1
+}
+
+// Leaf returns the final segment of the class path.
+func Leaf(class string) string {
+	i := strings.LastIndexByte(class, '.')
+	return class[i+1:]
+}
+
+// IsSubclassOf reports whether child is parent or a descendant of
+// parent. Every valid class is a subclass of "Service".
+func IsSubclassOf(child, parent string) bool {
+	if child == parent {
+		return true
+	}
+	return strings.HasPrefix(child, parent+".")
+}
+
+// Ancestors returns the chain from the root down to class itself.
+func Ancestors(class string) []string {
+	segs := strings.Split(class, ".")
+	out := make([]string, len(segs))
+	for i := range segs {
+		out[i] = strings.Join(segs[:i+1], ".")
+	}
+	return out
+}
+
+// Tree is a registry of known service classes. Registering a class
+// implicitly registers its ancestors, so the tree always stays
+// connected. Tree is safe for concurrent use.
+type Tree struct {
+	mu      sync.RWMutex
+	classes map[string]bool
+}
+
+// NewTree returns a tree pre-seeded with the Fig 6 standard classes.
+func NewTree() *Tree {
+	t := &Tree{classes: make(map[string]bool)}
+	for _, c := range []string{
+		Root, ClassDatabase, ClassDevice, ClassServiceDirectory,
+		ClassAuthentication, ClassPTZCamera, ClassVCC3, ClassVCC4,
+		ClassProjector, ClassEpson7350,
+	} {
+		t.classes[c] = true
+	}
+	return t
+}
+
+// Register adds a class (and its ancestors). It returns an error for
+// malformed class paths.
+func (t *Tree) Register(class string) error {
+	if !Valid(class) {
+		return fmt.Errorf("hier: invalid class %q", class)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, a := range Ancestors(class) {
+		t.classes[a] = true
+	}
+	return nil
+}
+
+// Known reports whether the class has been registered.
+func (t *Tree) Known(class string) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.classes[class]
+}
+
+// Children returns the direct children of class, sorted.
+func (t *Tree) Children(class string) []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []string
+	for c := range t.classes {
+		if Parent(c) == class {
+			out = append(out, c)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns every registered class, sorted.
+func (t *Tree) All() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]string, 0, len(t.classes))
+	for c := range t.classes {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Describe renders an indented tree rooted at "Service", as the
+// acectl service browser shows it (Fig 2's left pane).
+func (t *Tree) Describe() string {
+	var b strings.Builder
+	var walk func(class string, depth int)
+	walk = func(class string, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(Leaf(class))
+		b.WriteByte('\n')
+		for _, c := range t.Children(class) {
+			walk(c, depth+1)
+		}
+	}
+	walk(Root, 0)
+	return b.String()
+}

@@ -1,0 +1,102 @@
+package hier
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValid(t *testing.T) {
+	good := []string{Root, ClassDevice, ClassVCC4, "Service.X_1.y2"}
+	bad := []string{"", "Device", "Service.", ".Service", "Service..X", "Service.a-b", "service"}
+	for _, c := range good {
+		if !Valid(c) {
+			t.Errorf("Valid(%q)=false", c)
+		}
+	}
+	for _, c := range bad {
+		if Valid(c) {
+			t.Errorf("Valid(%q)=true", c)
+		}
+	}
+}
+
+func TestParentDepthLeaf(t *testing.T) {
+	if Parent(ClassVCC4) != ClassPTZCamera {
+		t.Fatal("parent")
+	}
+	if Parent(Root) != "" {
+		t.Fatal("root parent")
+	}
+	if Depth(ClassVCC4) != 4 || Depth(Root) != 1 || Depth("") != 0 {
+		t.Fatal("depth")
+	}
+	if Leaf(ClassVCC4) != "VCC4" || Leaf(Root) != "Service" {
+		t.Fatal("leaf")
+	}
+}
+
+func TestIsSubclassOf(t *testing.T) {
+	cases := []struct {
+		child, parent string
+		want          bool
+	}{
+		{ClassVCC4, ClassPTZCamera, true},
+		{ClassVCC4, ClassDevice, true},
+		{ClassVCC4, Root, true},
+		{ClassVCC4, ClassVCC4, true},
+		{ClassPTZCamera, ClassVCC4, false},
+		{ClassProjector, ClassPTZCamera, false},
+		// Prefix must respect segment boundaries.
+		{"Service.DeviceX", ClassDevice, false},
+	}
+	for _, tc := range cases {
+		if got := IsSubclassOf(tc.child, tc.parent); got != tc.want {
+			t.Errorf("IsSubclassOf(%q,%q)=%v want %v", tc.child, tc.parent, got, tc.want)
+		}
+	}
+}
+
+func TestAncestors(t *testing.T) {
+	got := Ancestors(ClassVCC3)
+	want := []string{Root, ClassDevice, ClassPTZCamera, ClassVCC3}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestTreeRegisterImplicitAncestors(t *testing.T) {
+	tr := NewTree()
+	if err := tr.Register("Service.Media.Audio.Mixer"); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []string{"Service.Media", "Service.Media.Audio", "Service.Media.Audio.Mixer"} {
+		if !tr.Known(c) {
+			t.Errorf("Known(%q)=false", c)
+		}
+	}
+	if err := tr.Register("NotService.X"); err == nil {
+		t.Fatal("invalid class accepted")
+	}
+}
+
+func TestTreeChildrenAndDescribe(t *testing.T) {
+	tr := NewTree()
+	kids := tr.Children(ClassPTZCamera)
+	if len(kids) != 2 || kids[0] != ClassVCC3 || kids[1] != ClassVCC4 {
+		t.Fatalf("children=%v", kids)
+	}
+	d := tr.Describe()
+	for _, want := range []string{"Service\n", "  Device\n", "    PTZCamera\n", "      VCC4\n"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("Describe missing %q:\n%s", want, d)
+		}
+	}
+	if len(tr.All()) < 9 {
+		t.Fatalf("All()=%v", tr.All())
+	}
+}

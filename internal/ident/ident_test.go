@@ -1,0 +1,301 @@
+package ident
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ace/internal/cmdlang"
+	"ace/internal/daemon"
+	"ace/internal/userdb"
+	"ace/internal/workspace"
+)
+
+func TestTemplateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tpl := NewTemplate(rng)
+	back, err := ParseTemplate(tpl.Hex())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Distance(tpl, back) != 0 {
+		t.Fatal("round trip changed template")
+	}
+	if _, err := ParseTemplate("zz"); err == nil {
+		t.Fatal("bad hex accepted")
+	}
+	if _, err := ParseTemplate("abcd"); err == nil {
+		t.Fatal("short template accepted")
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a, b := NewTemplate(rng), NewTemplate(rng)
+	if Distance(a, a) != 0 {
+		t.Fatal("self distance")
+	}
+	if Distance(a, b) != Distance(b, a) {
+		t.Fatal("asymmetric")
+	}
+	// Unrelated random 2048-bit templates differ in roughly half the
+	// bits.
+	d := Distance(a, b)
+	if d < 700 || d > 1350 {
+		t.Fatalf("unrelated distance=%d", d)
+	}
+	if Distance(a, a[:10]) <= DefaultThreshold {
+		t.Fatal("length mismatch should be distant")
+	}
+}
+
+func TestMatcherAcceptsNoisyRejectsForeign(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := NewMatcher(0)
+	users := []string{"alice", "bob", "carol"}
+	tpls := map[string]Template{}
+	for _, u := range users {
+		tpls[u] = NewTemplate(rng)
+		m.Enroll(u, tpls[u])
+	}
+	if m.Len() != 3 {
+		t.Fatalf("len=%d", m.Len())
+	}
+
+	// Clean and mildly noisy captures identify correctly.
+	for _, u := range users {
+		for _, noise := range []float64{0, 0.02, 0.05} {
+			got, _, ok := m.Identify(tpls[u].Noisy(rng, noise))
+			if !ok || got != u {
+				t.Fatalf("noise %.2f: got %q ok=%v want %q", noise, got, ok, u)
+			}
+		}
+	}
+	// A stranger's finger is rejected.
+	if got, d, ok := m.Identify(NewTemplate(rng)); ok {
+		t.Fatalf("stranger accepted as %q (distance %d)", got, d)
+	}
+	// A hopelessly noisy capture (false rejection) is rejected.
+	if _, _, ok := m.Identify(tpls["alice"].Noisy(rng, 0.45)); ok {
+		t.Fatal("garbage capture accepted")
+	}
+}
+
+// TestQuickMatcherNoFalseAccepts: random unenrolled fingers never
+// match an enrolled population.
+func TestQuickMatcherNoFalseAccepts(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := NewMatcher(0)
+	for i := 0; i < 20; i++ {
+		m.Enroll(string(rune('a'+i)), NewTemplate(rng))
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		_, _, ok := m.Identify(NewTemplate(r))
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// rig wires AUD + FIU + iButton + ID monitor + WSS + VNC, the Fig 18
+// identification topology.
+type rig struct {
+	aud     *userdb.Service
+	fiu     *FIU
+	ibutton *IButtonReader
+	monitor *IDMonitor
+	wss     *workspace.WSS
+	vnc     *workspace.VNCServer
+	pool    *daemon.Pool
+
+	johnTpl Template
+}
+
+func buildRig(t *testing.T, onWorkspace func(string, *cmdlang.CmdLine)) *rig {
+	t.Helper()
+	r := &rig{pool: daemon.NewPool(nil)}
+	t.Cleanup(r.pool.Close)
+
+	rng := rand.New(rand.NewSource(7))
+	r.johnTpl = NewTemplate(rng)
+
+	db := userdb.NewDB()
+	if err := db.Add(userdb.User{
+		Username:    "john_doe",
+		FullName:    "John Doe",
+		IButton:     4242,
+		Fingerprint: r.johnTpl.Hex(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r.aud = userdb.New(daemon.Config{}, db)
+	if err := r.aud.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.aud.Stop)
+
+	r.vnc = workspace.NewVNCServer(daemon.Config{})
+	if err := r.vnc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.vnc.Stop)
+
+	r.wss = workspace.NewWSS(workspace.WSSConfig{VNCAddrs: []string{r.vnc.Addr()}})
+	if err := r.wss.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.wss.Stop)
+	if _, err := r.wss.Create("john_doe", ""); err != nil {
+		t.Fatal(err)
+	}
+
+	r.fiu = NewFIU(daemon.Config{}, r.aud.Addr(), 0)
+	if err := r.fiu.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.fiu.Stop)
+
+	r.ibutton = NewIButtonReader(daemon.Config{}, r.aud.Addr())
+	if err := r.ibutton.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.ibutton.Stop)
+
+	r.monitor = NewIDMonitor(IDMonitorConfig{
+		AUDAddr:     r.aud.Addr(),
+		WSSAddr:     r.wss.Addr(),
+		OnWorkspace: onWorkspace,
+	})
+	if err := r.monitor.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.monitor.Stop)
+	if err := r.monitor.SubscribeTo(r.fiu.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.monitor.SubscribeTo(r.ibutton.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("timeout waiting for " + what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestFIULoadsTableFromAUD(t *testing.T) {
+	r := buildRig(t, nil)
+	if r.fiu.Enrolled() != 1 {
+		t.Fatalf("enrolled=%d", r.fiu.Enrolled())
+	}
+}
+
+func TestScenario2FingerprintIdentification(t *testing.T) {
+	workspaceOpened := make(chan *cmdlang.CmdLine, 1)
+	r := buildRig(t, func(user string, open *cmdlang.CmdLine) {
+		if user == "john_doe" {
+			workspaceOpened <- open
+		}
+	})
+
+	rng := rand.New(rand.NewSource(8))
+	capture := r.johnTpl.Noisy(rng, 0.03)
+	reply, err := r.pool.Call(r.fiu.Addr(), cmdlang.New(CmdScan).
+		SetString("capture", capture.Hex()).
+		SetWord("location", "hawk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Str("username", "") != "john_doe" {
+		t.Fatalf("reply=%v", reply)
+	}
+
+	// Fig 19: the ID monitor updates the AUD location...
+	waitFor(t, "AUD location update", func() bool {
+		got, err := r.pool.Call(r.aud.Addr(), cmdlang.New("getUser").SetWord("username", "john_doe"))
+		return err == nil && got.Str("location", "") == "hawk"
+	})
+	// ...and brings the workspace up at the access point.
+	select {
+	case open := <-workspaceOpened:
+		viewer := workspace.NewViewer(r.pool, workspace.Info{
+			Owner:    "john_doe",
+			Name:     open.Str("name", ""),
+			VNCAddr:  open.Str("vnc", ""),
+			Password: open.Str("password", ""),
+		})
+		if _, err := viewer.Screen(); err != nil {
+			t.Fatalf("viewer attach failed: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("workspace never brought up")
+	}
+	if loc, ok := r.monitor.LastLocation("john_doe"); !ok || loc != "hawk" {
+		t.Fatalf("monitor location=%q ok=%v", loc, ok)
+	}
+}
+
+func TestUnknownFingerprintRejected(t *testing.T) {
+	r := buildRig(t, nil)
+	rng := rand.New(rand.NewSource(9))
+	_, err := r.pool.Call(r.fiu.Addr(), cmdlang.New(CmdScan).
+		SetString("capture", NewTemplate(rng).Hex()).
+		SetWord("location", "hawk"))
+	if !cmdlang.IsRemoteCode(err, cmdlang.CodeNotFound) {
+		t.Fatalf("err=%v", err)
+	}
+	if r.monitor.Identified() != 0 {
+		t.Fatal("failed scan identified someone")
+	}
+}
+
+func TestIButtonIdentification(t *testing.T) {
+	r := buildRig(t, nil)
+	reply, err := r.pool.Call(r.ibutton.Addr(), cmdlang.New("press").
+		SetInt("serial", 4242).SetWord("location", "eagle"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Str("username", "") != "john_doe" {
+		t.Fatalf("reply=%v", reply)
+	}
+	waitFor(t, "monitor identification", func() bool {
+		loc, ok := r.monitor.LastLocation("john_doe")
+		return ok && loc == "eagle"
+	})
+
+	// Unknown serial fails.
+	_, err = r.pool.Call(r.ibutton.Addr(), cmdlang.New("press").SetInt("serial", 999))
+	if !cmdlang.IsRemoteCode(err, cmdlang.CodeNotFound) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestLateEnrollment(t *testing.T) {
+	r := buildRig(t, nil)
+	rng := rand.New(rand.NewSource(10))
+	newTpl := NewTemplate(rng)
+	// Enroll directly at the device.
+	if _, err := r.pool.Call(r.fiu.Addr(), cmdlang.New("enroll").
+		SetWord("username", "late_user").SetString("template", newTpl.Hex())); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := r.pool.Call(r.fiu.Addr(), cmdlang.New(CmdScan).
+		SetString("capture", newTpl.Noisy(rng, 0.02).Hex()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Str("username", "") != "late_user" {
+		t.Fatalf("reply=%v", reply)
+	}
+}

@@ -1,0 +1,118 @@
+package ident
+
+import (
+	"sync"
+
+	"ace/internal/cmdlang"
+	"ace/internal/daemon"
+)
+
+// IDMonitor is the ACE ID Monitor Service (§4.6): it receives user
+// identification notifications from identification devices and
+// initiates the appropriate actions — on a positive identification it
+// updates the user's location in the AUD and asks the WSS to bring
+// the user's workspace up at the access location (Fig 19 steps 2–5);
+// failures are reported to the network logger.
+type IDMonitor struct {
+	*daemon.Daemon
+	cfg IDMonitorConfig
+
+	mu     sync.Mutex
+	lastID map[string]string // username → last location
+
+	identified int64
+}
+
+// IDMonitorConfig wires the monitor to its collaborators; any empty
+// address disables that action.
+type IDMonitorConfig struct {
+	Daemon  daemon.Config
+	AUDAddr string
+	WSSAddr string
+	// OnWorkspace, if set, is invoked with the workspace credentials
+	// after a successful bring-up — the hook the access point's
+	// viewer launcher uses.
+	OnWorkspace func(user string, open *cmdlang.CmdLine)
+}
+
+// NewIDMonitor constructs the ID monitor daemon.
+func NewIDMonitor(cfg IDMonitorConfig) *IDMonitor {
+	dcfg := cfg.Daemon
+	if dcfg.Name == "" {
+		dcfg.Name = "idmonitor"
+	}
+	if dcfg.Class == "" {
+		dcfg.Class = ClassIDMonitor
+	}
+	m := &IDMonitor{Daemon: daemon.New(dcfg), cfg: cfg, lastID: make(map[string]string)}
+	m.install()
+	return m
+}
+
+// SubscribeTo registers this monitor for identification notifications
+// from a device daemon (FIU or iButton reader).
+func (m *IDMonitor) SubscribeTo(deviceAddr string) error {
+	return daemon.Subscribe(m.Pool(), deviceAddr, CmdIdentify, m.Name(), m.Addr(), "onIdentified")
+}
+
+// LastLocation returns the last location a user was identified at.
+func (m *IDMonitor) LastLocation(user string) (string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	loc, ok := m.lastID[user]
+	return loc, ok
+}
+
+// Identified returns the number of positive identifications handled.
+func (m *IDMonitor) Identified() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.identified
+}
+
+func (m *IDMonitor) install() {
+	// onIdentified is the command-interface method invoked by
+	// identification devices through daemon notifications (§2.5).
+	m.Handle(cmdlang.CommandSpec{
+		Name:       "onIdentified",
+		Doc:        "notification method: a device positively identified a user",
+		AllowExtra: true,
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		// The original identify command travels in the notification
+		// detail; decompose it (Fig 5).
+		detail := c.Str(daemon.NotifyDetailArg, "")
+		orig, err := cmdlang.Parse(detail)
+		if err != nil {
+			return nil, err
+		}
+		user := orig.Str("username", "")
+		location := orig.Str("location", "")
+		m.handleIdentification(user, location)
+		return nil, nil
+	})
+}
+
+// handleIdentification is Fig 19 steps 3–5.
+func (m *IDMonitor) handleIdentification(user, location string) {
+	if user == "" {
+		return
+	}
+	m.mu.Lock()
+	m.lastID[user] = location
+	m.identified++
+	m.mu.Unlock()
+
+	// Update the user's current location with the AUD (Scenario 2).
+	if m.cfg.AUDAddr != "" && location != "" {
+		m.Pool().Call(m.cfg.AUDAddr, cmdlang.New("setLocation").
+			SetWord("username", user).SetWord("room", location)) //nolint:errcheck — identification proceeds even if AUD is briefly down
+	}
+
+	// Bring the user's workspace up at the access point (Scenario 3).
+	if m.cfg.WSSAddr != "" {
+		open, err := m.Pool().Call(m.cfg.WSSAddr, cmdlang.New("openWorkspace").SetWord("user", user))
+		if err == nil && m.cfg.OnWorkspace != nil {
+			m.cfg.OnWorkspace(user, open)
+		}
+	}
+}

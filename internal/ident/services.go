@@ -1,0 +1,239 @@
+package ident
+
+import (
+	"strconv"
+	"sync"
+
+	"ace/internal/cmdlang"
+	"ace/internal/daemon"
+	"ace/internal/hier"
+)
+
+// Hierarchy classes for the identification daemons.
+const (
+	ClassFIU       = hier.ClassAuthentication + ".FIU"
+	ClassIButton   = hier.ClassAuthentication + ".IButton"
+	ClassIDMonitor = hier.ClassAuthentication + ".IDMonitor"
+)
+
+// Identification event names delivered through daemon notifications:
+// other services subscribe to the FIU/iButton "identify" command and
+// are invoked when it executes.
+const (
+	CmdIdentify = "identify"
+	CmdScan     = "scan"
+)
+
+// FIU is the fingerprint identification unit service: the interface
+// to the (simulated) Sony FIU device. It loads its table of known
+// fingerprints from the AUD, identifies user fingerprints, and serves
+// identification notifications.
+type FIU struct {
+	*daemon.Daemon
+	audAddr string
+
+	mu      sync.Mutex
+	matcher *Matcher
+}
+
+// NewFIU constructs the FIU service. audAddr is the user database it
+// loads enrolled fingerprints from.
+func NewFIU(dcfg daemon.Config, audAddr string, threshold int) *FIU {
+	if dcfg.Name == "" {
+		dcfg.Name = "fiu"
+	}
+	if dcfg.Class == "" {
+		dcfg.Class = ClassFIU
+	}
+	f := &FIU{Daemon: daemon.New(dcfg), audAddr: audAddr, matcher: NewMatcher(threshold)}
+	f.install()
+	return f
+}
+
+// Start loads the enrolled-fingerprint table from the AUD (the FIU
+// "loads its tables of known fingerprints", §4.8) and serves.
+func (f *FIU) Start() error {
+	if err := f.Daemon.Start(); err != nil {
+		return err
+	}
+	if f.audAddr != "" {
+		if err := f.ReloadTable(); err != nil {
+			f.Daemon.Stop()
+			return err
+		}
+	}
+	return nil
+}
+
+// ReloadTable refreshes the enrolled table from the AUD.
+func (f *FIU) ReloadTable() error {
+	reply, err := f.Pool().Call(f.audAddr, cmdlang.New("fingerprintTable"))
+	if err != nil {
+		return err
+	}
+	users := reply.Strings("usernames")
+	templates := reply.Strings("templates")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i, u := range users {
+		if i >= len(templates) {
+			break
+		}
+		t, perr := ParseTemplate(templates[i])
+		if perr != nil {
+			continue
+		}
+		f.matcher.Enroll(u, t)
+	}
+	return nil
+}
+
+// Enrolled returns the number of loaded templates.
+func (f *FIU) Enrolled() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.matcher.Len()
+}
+
+func (f *FIU) install() {
+	f.Handle(cmdlang.CommandSpec{
+		Name: "enroll",
+		Doc:  "enroll a fingerprint template directly",
+		Args: []cmdlang.ArgSpec{
+			{Name: "username", Kind: cmdlang.KindWord, Required: true},
+			{Name: "template", Kind: cmdlang.KindString, Required: true},
+		},
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		t, err := ParseTemplate(c.Str("template", ""))
+		if err != nil {
+			return nil, err
+		}
+		f.mu.Lock()
+		f.matcher.Enroll(c.Str("username", ""), t)
+		f.mu.Unlock()
+		return nil, nil
+	})
+
+	f.Handle(cmdlang.CommandSpec{Name: "reloadTable", Doc: "reload enrolled templates from the AUD"},
+		func(_ *daemon.Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+			if f.audAddr == "" {
+				return nil, nil
+			}
+			return nil, f.ReloadTable()
+		})
+
+	// scan: a finger is pressed to the device; the capture is matched
+	// against the enrolled table. A successful scan executes the
+	// "identify" command on ourselves so notification listeners on
+	// "identify" fire (the ID daemon "constantly polls the FIU"
+	// becomes: the ID monitor subscribes to identify).
+	f.Handle(cmdlang.CommandSpec{
+		Name: CmdScan,
+		Doc:  "process a fingerprint capture from the sensor",
+		Args: []cmdlang.ArgSpec{
+			{Name: "capture", Kind: cmdlang.KindString, Required: true},
+			{Name: "location", Kind: cmdlang.KindWord, Doc: "room of the sensor"},
+		},
+	}, func(ctx *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		capture, err := ParseTemplate(c.Str("capture", ""))
+		if err != nil {
+			return nil, err
+		}
+		f.mu.Lock()
+		user, dist, ok := f.matcher.Identify(capture)
+		f.mu.Unlock()
+		if !ok {
+			return cmdlang.Fail(cmdlang.CodeNotFound, "no matching fingerprint (distance "+strconv.Itoa(dist)+")"), nil
+		}
+		// Execute identify in-process so its notification list fires.
+		reply := f.runIdentify(ctx, user, c.Str("location", ""), "fingerprint")
+		return reply.SetInt("distance", int64(dist)), nil
+	})
+
+	f.Handle(identifySpec(), f.identifyHandler())
+}
+
+// identifySpec declares the shared "identify" command executed by
+// identification devices on a positive identification.
+func identifySpec() cmdlang.CommandSpec {
+	return cmdlang.CommandSpec{
+		Name: CmdIdentify,
+		Doc:  "record a positive user identification (notification source)",
+		Args: []cmdlang.ArgSpec{
+			{Name: "username", Kind: cmdlang.KindWord, Required: true},
+			{Name: "location", Kind: cmdlang.KindWord},
+			{Name: "device", Kind: cmdlang.KindWord},
+		},
+	}
+}
+
+func (f *FIU) identifyHandler() daemon.Handler {
+	return func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		return cmdlang.OK().
+			SetWord("username", c.Str("username", "")).
+			SetWord("location", c.Str("location", "unknown")).
+			SetWord("device", c.Str("device", "fingerprint")), nil
+	}
+}
+
+// runIdentify executes the identify command through the daemon's own
+// dispatch path so notifications fire exactly as for an external
+// command.
+func (f *FIU) runIdentify(ctx *daemon.Ctx, user, location, device string) *cmdlang.CmdLine {
+	cmd := cmdlang.New(CmdIdentify).SetWord("username", user).SetWord("device", device)
+	if location != "" {
+		cmd.SetWord("location", location)
+	}
+	return f.ExecuteLocal(ctx, cmd)
+}
+
+// IButtonReader is the iButton reader service: it reads serial
+// numbers from (simulated) iButtons, identifies users through the
+// AUD, and serves identification notifications like the FIU.
+type IButtonReader struct {
+	*daemon.Daemon
+	audAddr string
+}
+
+// NewIButtonReader constructs the reader; audAddr is the user
+// database used for serial→user resolution.
+func NewIButtonReader(dcfg daemon.Config, audAddr string) *IButtonReader {
+	if dcfg.Name == "" {
+		dcfg.Name = "ibutton"
+	}
+	if dcfg.Class == "" {
+		dcfg.Class = ClassIButton
+	}
+	r := &IButtonReader{Daemon: daemon.New(dcfg), audAddr: audAddr}
+	r.install()
+	return r
+}
+
+func (r *IButtonReader) install() {
+	r.Handle(cmdlang.CommandSpec{
+		Name: "press",
+		Doc:  "an iButton touches the reader",
+		Args: []cmdlang.ArgSpec{
+			{Name: "serial", Kind: cmdlang.KindInt, Required: true},
+			{Name: "location", Kind: cmdlang.KindWord},
+		},
+	}, func(ctx *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		reply, err := r.Pool().Call(r.audAddr, cmdlang.New("byIButton").SetInt("serial", c.Int("serial", 0)))
+		if err != nil {
+			return cmdlang.Fail(cmdlang.CodeNotFound, "unknown iButton serial"), nil
+		}
+		user := reply.Str("username", "")
+		cmd := cmdlang.New(CmdIdentify).SetWord("username", user).SetWord("device", "ibutton")
+		if loc := c.Str("location", ""); loc != "" {
+			cmd.SetWord("location", loc)
+		}
+		return r.ExecuteLocal(ctx, cmd), nil
+	})
+
+	r.Handle(identifySpec(), func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		return cmdlang.OK().
+			SetWord("username", c.Str("username", "")).
+			SetWord("location", c.Str("location", "unknown")).
+			SetWord("device", c.Str("device", "ibutton")), nil
+	})
+}

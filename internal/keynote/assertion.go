@@ -1,0 +1,148 @@
+package keynote
+
+import (
+	"bufio"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// Assertion is one KeyNote credential or policy: the authorizer
+// delegates, to the licensees, authority over actions satisfying the
+// conditions. Policy assertions (Authorizer == Policy) are locally
+// trusted and unsigned; credential assertions must carry a valid
+// signature by their authorizer.
+type Assertion struct {
+	Authorizer string
+	Licensees  *Licensees
+	Conditions *Condition
+	Comment    string
+	Signature  []byte
+}
+
+// NewAssertion builds an unsigned assertion from expression sources.
+func NewAssertion(authorizer, licensees, conditions, comment string) (*Assertion, error) {
+	lic, err := ParseLicensees(licensees)
+	if err != nil {
+		return nil, err
+	}
+	cond, err := ParseCondition(conditions)
+	if err != nil {
+		return nil, err
+	}
+	return &Assertion{Authorizer: authorizer, Licensees: lic, Conditions: cond, Comment: comment}, nil
+}
+
+// MustAssertion is NewAssertion for program literals; panics on error.
+func MustAssertion(authorizer, licensees, conditions, comment string) *Assertion {
+	a, err := NewAssertion(authorizer, licensees, conditions, comment)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// IsPolicy reports whether this is a locally trusted policy
+// assertion.
+func (a *Assertion) IsPolicy() bool { return a.Authorizer == Policy }
+
+// canonical returns the byte string that is signed: every field
+// except the signature, in fixed order.
+func (a *Assertion) canonical() []byte {
+	var b strings.Builder
+	b.WriteString("keynote-version: 2\n")
+	b.WriteString("authorizer: " + a.Authorizer + "\n")
+	b.WriteString("licensees: " + a.Licensees.Source() + "\n")
+	b.WriteString("conditions: " + a.Conditions.Source() + "\n")
+	if a.Comment != "" {
+		b.WriteString("comment: " + a.Comment + "\n")
+	}
+	return []byte(b.String())
+}
+
+// Sign attaches the authorizer's signature. The signing principal's
+// name must match the assertion's authorizer.
+func (a *Assertion) Sign(p *Principal) error {
+	if a.IsPolicy() {
+		return fmt.Errorf("keynote: policy assertions are not signed")
+	}
+	if p.Name != a.Authorizer {
+		return fmt.Errorf("keynote: signer %q is not the authorizer %q", p.Name, a.Authorizer)
+	}
+	if !p.CanSign() {
+		return fmt.Errorf("keynote: principal %q holds no private key", p.Name)
+	}
+	a.Signature = p.Sign(a.canonical())
+	return nil
+}
+
+// Verify checks the assertion's integrity against the keyring. Policy
+// assertions always verify; credentials need a valid authorizer
+// signature.
+func (a *Assertion) Verify(ring *Keyring) error {
+	if a.IsPolicy() {
+		return nil
+	}
+	if len(a.Signature) == 0 {
+		return fmt.Errorf("keynote: credential by %q is unsigned", a.Authorizer)
+	}
+	return ring.Verify(a.Authorizer, a.canonical(), a.Signature)
+}
+
+// Encode serializes the assertion in the RFC 2704-style textual
+// format, signature last.
+func (a *Assertion) Encode() string {
+	var b strings.Builder
+	b.Write(a.canonical())
+	if len(a.Signature) > 0 {
+		b.WriteString("signature: ed25519:" + hex.EncodeToString(a.Signature) + "\n")
+	}
+	return b.String()
+}
+
+// ParseAssertion parses the textual format produced by Encode.
+func ParseAssertion(text string) (*Assertion, error) {
+	fields := map[string]string{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		k, v, ok := strings.Cut(line, ":")
+		if !ok {
+			return nil, fmt.Errorf("keynote: malformed assertion line %q", line)
+		}
+		key := strings.ToLower(strings.TrimSpace(k))
+		if _, dup := fields[key]; dup {
+			return nil, fmt.Errorf("keynote: duplicate field %q", key)
+		}
+		fields[key] = strings.TrimSpace(v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if v := fields["keynote-version"]; v != "" && v != "2" {
+		return nil, fmt.Errorf("keynote: unsupported version %q", v)
+	}
+	auth := fields["authorizer"]
+	if auth == "" {
+		return nil, fmt.Errorf("keynote: assertion without authorizer")
+	}
+	a, err := NewAssertion(auth, fields["licensees"], fields["conditions"], fields["comment"])
+	if err != nil {
+		return nil, err
+	}
+	if sig := fields["signature"]; sig != "" {
+		hexsig, ok := strings.CutPrefix(sig, "ed25519:")
+		if !ok {
+			return nil, fmt.Errorf("keynote: unsupported signature algorithm in %q", sig)
+		}
+		raw, err := hex.DecodeString(hexsig)
+		if err != nil {
+			return nil, fmt.Errorf("keynote: bad signature hex: %w", err)
+		}
+		a.Signature = raw
+	}
+	return a, nil
+}

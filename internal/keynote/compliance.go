@@ -1,0 +1,118 @@
+package keynote
+
+import (
+	"fmt"
+)
+
+// Checker is the KeyNote compliance checker (Fig 10 step 5): given
+// locally trusted policy assertions, a set of credential assertions,
+// and the action attribute set, it decides whether the requesting
+// principals are authorized.
+//
+// Semantics: a principal is *supported* if it is one of the
+// requesters. The checker then takes the monotone fixpoint of: an
+// assertion whose conditions hold and whose licensee expression is
+// satisfied by supported principals makes its authorizer supported.
+// The request complies iff POLICY becomes supported — i.e. there is a
+// delegation chain from local policy down to the requester, every
+// link of which permits this action.
+type Checker struct {
+	ring     *Keyring
+	policies []*Assertion
+}
+
+// NewChecker builds a checker over the given keyring and policy
+// assertions. Non-policy assertions in policies are rejected: local
+// policy is exactly what the verifier chose to trust unconditionally.
+func NewChecker(ring *Keyring, policies ...*Assertion) (*Checker, error) {
+	for _, p := range policies {
+		if !p.IsPolicy() {
+			return nil, fmt.Errorf("keynote: %q assertion used as policy", p.Authorizer)
+		}
+	}
+	return &Checker{ring: ring, policies: policies}, nil
+}
+
+// Result explains a compliance decision.
+type Result struct {
+	Allowed bool
+	// Supported lists the principals that became supported during
+	// evaluation (requesters plus satisfied delegation hops).
+	Supported []string
+	// Rejected lists credentials that failed signature verification
+	// and were therefore ignored.
+	Rejected []string
+	// ChainDepth is the number of fixpoint rounds needed, i.e. the
+	// longest delegation chain exercised.
+	ChainDepth int
+}
+
+// Query runs the compliance check: do the requesters, presenting
+// credentials, comply with policy for the action described by attrs?
+func (c *Checker) Query(requesters []string, credentials []*Assertion, attrs Attributes) Result {
+	supported := make(map[string]bool, len(requesters))
+	for _, r := range requesters {
+		supported[r] = true
+	}
+	trusted := func(name string) bool { return supported[name] }
+
+	// Verify and condition-filter credentials once.
+	var res Result
+	var usable []*Assertion
+	for _, cred := range credentials {
+		if cred.IsPolicy() {
+			// Credentials presented by a requester cannot claim to be
+			// local policy.
+			res.Rejected = append(res.Rejected, "POLICY(credential)")
+			continue
+		}
+		if err := cred.Verify(c.ring); err != nil {
+			res.Rejected = append(res.Rejected, cred.Authorizer+": "+err.Error())
+			continue
+		}
+		if cred.Conditions.Eval(attrs) {
+			usable = append(usable, cred)
+		}
+	}
+
+	// Monotone fixpoint over the delegation graph.
+	for {
+		res.ChainDepth++
+		changed := false
+		for _, cred := range usable {
+			if supported[cred.Authorizer] {
+				continue
+			}
+			if cred.Licensees.Eval(trusted) {
+				supported[cred.Authorizer] = true
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		if res.ChainDepth > len(usable)+1 {
+			break // safety bound; cannot happen with monotone updates
+		}
+	}
+
+	// Finally: does any policy assertion, with its conditions
+	// satisfied, license a supported principal (directly or through
+	// the chain)?
+	for _, pol := range c.policies {
+		if pol.Conditions.Eval(attrs) && pol.Licensees.Eval(trusted) {
+			res.Allowed = true
+			break
+		}
+	}
+
+	for name := range supported {
+		res.Supported = append(res.Supported, name)
+	}
+	return res
+}
+
+// Allowed is Query reduced to its boolean.
+func (c *Checker) Allowed(requesters []string, credentials []*Assertion, attrs Attributes) bool {
+	return c.Query(requesters, credentials, attrs).Allowed
+}

@@ -1,0 +1,38 @@
+package keynote_test
+
+import (
+	"fmt"
+
+	"ace/internal/keynote"
+)
+
+// Example shows the full Fig 10 trust decision: local policy
+// delegates to an administrator, who signs a credential for a user;
+// the compliance checker then decides per-action.
+func Example() {
+	admin, _ := keynote.NewPrincipal("admin")
+	ring := keynote.NewKeyring()
+	ring.Add(admin)
+
+	policy := keynote.MustAssertion(keynote.Policy, `"admin"`, `app_domain == "ace"`, "root of trust")
+	checker, _ := keynote.NewChecker(ring, policy)
+
+	cred := keynote.MustAssertion("admin", `"john_doe"`,
+		`command == "move" && arg_pan < 90`, "camera delegation")
+	if err := cred.Sign(admin); err != nil {
+		panic(err)
+	}
+	creds := []*keynote.Assertion{cred}
+
+	allowed := func(attrs keynote.Attributes) bool {
+		attrs["app_domain"] = "ace"
+		return checker.Allowed([]string{"john_doe"}, creds, attrs)
+	}
+	fmt.Println(allowed(keynote.Attributes{"command": "move", "arg_pan": "45"}))
+	fmt.Println(allowed(keynote.Attributes{"command": "move", "arg_pan": "170"}))
+	fmt.Println(allowed(keynote.Attributes{"command": "shutdown"}))
+	// Output:
+	// true
+	// false
+	// false
+}

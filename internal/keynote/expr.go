@@ -1,0 +1,335 @@
+package keynote
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Attributes is the action attribute set a condition expression is
+// evaluated against: the properties of the requested action (command
+// name, argument values, target service, room, time of day, ...).
+type Attributes map[string]string
+
+// Condition expressions form a small boolean language over action
+// attributes:
+//
+//	expr   := or
+//	or     := and { "||" and }
+//	and    := not { "&&" not }
+//	not    := "!" not | "(" expr ")" | cmp | "true" | "false"
+//	cmp    := operand (== != < <= > >=) operand
+//	operand:= identifier | "string literal" | number
+//
+// Comparisons are numeric when both operands parse as numbers, and
+// lexicographic on strings otherwise — matching KeyNote's dual
+// string/number semantics. An identifier names an action attribute;
+// missing attributes evaluate as the empty string.
+
+type exprNode interface {
+	eval(a Attributes) bool
+	String() string
+}
+
+type boolLit bool
+
+func (b boolLit) eval(Attributes) bool { return bool(b) }
+func (b boolLit) String() string {
+	if b {
+		return "true"
+	}
+	return "false"
+}
+
+type notNode struct{ x exprNode }
+
+func (n notNode) eval(a Attributes) bool { return !n.x.eval(a) }
+func (n notNode) String() string         { return "!" + n.x.String() }
+
+type binNode struct {
+	op   string // "&&" or "||"
+	l, r exprNode
+}
+
+func (n binNode) eval(a Attributes) bool {
+	if n.op == "&&" {
+		return n.l.eval(a) && n.r.eval(a)
+	}
+	return n.l.eval(a) || n.r.eval(a)
+}
+func (n binNode) String() string {
+	return "(" + n.l.String() + " " + n.op + " " + n.r.String() + ")"
+}
+
+type operand struct {
+	attr    string // attribute reference, if lit == false
+	literal string // literal value, if lit == true
+	lit     bool
+}
+
+func (o operand) value(a Attributes) string {
+	if o.lit {
+		return o.literal
+	}
+	return a[o.attr]
+}
+func (o operand) String() string {
+	if o.lit {
+		return strconv.Quote(o.literal)
+	}
+	return o.attr
+}
+
+type cmpNode struct {
+	op   string
+	l, r operand
+}
+
+func (n cmpNode) eval(a Attributes) bool {
+	lv, rv := n.l.value(a), n.r.value(a)
+	lf, lerr := strconv.ParseFloat(lv, 64)
+	rf, rerr := strconv.ParseFloat(rv, 64)
+	if lerr == nil && rerr == nil {
+		switch n.op {
+		case "==":
+			return lf == rf
+		case "!=":
+			return lf != rf
+		case "<":
+			return lf < rf
+		case "<=":
+			return lf <= rf
+		case ">":
+			return lf > rf
+		case ">=":
+			return lf >= rf
+		}
+	}
+	switch n.op {
+	case "==":
+		return lv == rv
+	case "!=":
+		return lv != rv
+	case "<":
+		return lv < rv
+	case "<=":
+		return lv <= rv
+	case ">":
+		return lv > rv
+	case ">=":
+		return lv >= rv
+	}
+	return false
+}
+func (n cmpNode) String() string {
+	return n.l.String() + " " + n.op + " " + n.r.String()
+}
+
+// Condition is a compiled condition expression.
+type Condition struct {
+	src  string
+	root exprNode
+}
+
+// ParseCondition compiles a condition expression. The empty string is
+// the always-true condition.
+func ParseCondition(src string) (*Condition, error) {
+	trimmed := strings.TrimSpace(src)
+	if trimmed == "" {
+		return &Condition{src: src, root: boolLit(true)}, nil
+	}
+	p := &exprParser{src: trimmed}
+	root, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("keynote: trailing input in condition at %d: %q", p.pos, p.src[p.pos:])
+	}
+	return &Condition{src: src, root: root}, nil
+}
+
+// MustCondition is ParseCondition for literal program text; it panics
+// on error.
+func MustCondition(src string) *Condition {
+	c, err := ParseCondition(src)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Eval evaluates the condition over the action attribute set.
+func (c *Condition) Eval(a Attributes) bool { return c.root.eval(a) }
+
+// Source returns the original expression text.
+func (c *Condition) Source() string { return c.src }
+
+type exprParser struct {
+	src string
+	pos int
+}
+
+func (p *exprParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n' || p.src[p.pos] == '\r') {
+		p.pos++
+	}
+}
+
+func (p *exprParser) errf(format string, args ...any) error {
+	return fmt.Errorf("keynote: condition parse error at %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *exprParser) lookahead(s string) bool {
+	p.skipSpace()
+	return strings.HasPrefix(p.src[p.pos:], s)
+}
+
+func (p *exprParser) accept(s string) bool {
+	if p.lookahead(s) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+func (p *exprParser) parseOr() (exprNode, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("||") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = binNode{op: "||", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *exprParser) parseAnd() (exprNode, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("&&") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = binNode{op: "&&", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *exprParser) parseNot() (exprNode, error) {
+	if p.accept("!") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return notNode{x: x}, nil
+	}
+	if p.accept("(") {
+		x, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept(")") {
+			return nil, p.errf("missing ')'")
+		}
+		return x, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *exprParser) parseCmp() (exprNode, error) {
+	l, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	// Bare boolean words.
+	if !l.lit && (l.attr == "true" || l.attr == "false") {
+		p.skipSpace()
+		if p.pos >= len(p.src) || !isCmpStart(p.src[p.pos]) {
+			return boolLit(l.attr == "true"), nil
+		}
+	}
+	p.skipSpace()
+	var op string
+	for _, cand := range []string{"==", "!=", "<=", ">=", "<", ">"} {
+		if p.accept(cand) {
+			op = cand
+			break
+		}
+	}
+	if op == "" {
+		return nil, p.errf("expected comparison operator")
+	}
+	r, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	return cmpNode{op: op, l: l, r: r}, nil
+}
+
+func isCmpStart(c byte) bool {
+	return c == '=' || c == '!' || c == '<' || c == '>'
+}
+
+func (p *exprParser) parseOperand() (operand, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return operand{}, p.errf("expected operand")
+	}
+	c := p.src[p.pos]
+	switch {
+	case c == '"':
+		start := p.pos
+		p.pos++
+		var b strings.Builder
+		for p.pos < len(p.src) {
+			switch p.src[p.pos] {
+			case '"':
+				p.pos++
+				return operand{literal: b.String(), lit: true}, nil
+			case '\\':
+				if p.pos+1 >= len(p.src) {
+					return operand{}, p.errf("dangling escape")
+				}
+				p.pos++
+				b.WriteByte(p.src[p.pos])
+				p.pos++
+			default:
+				b.WriteByte(p.src[p.pos])
+				p.pos++
+			}
+		}
+		p.pos = start
+		return operand{}, p.errf("unterminated string")
+	case c >= '0' && c <= '9' || c == '-' || c == '+' || c == '.':
+		start := p.pos
+		for p.pos < len(p.src) && strings.ContainsRune("0123456789.eE+-", rune(p.src[p.pos])) {
+			p.pos++
+		}
+		lit := p.src[start:p.pos]
+		if _, err := strconv.ParseFloat(lit, 64); err != nil {
+			return operand{}, p.errf("bad number %q", lit)
+		}
+		return operand{literal: lit, lit: true}, nil
+	case isIdentByte(c):
+		start := p.pos
+		for p.pos < len(p.src) && isIdentByte(p.src[p.pos]) {
+			p.pos++
+		}
+		return operand{attr: p.src[start:p.pos]}, nil
+	default:
+		return operand{}, p.errf("unexpected character %q", rune(c))
+	}
+}
+
+func isIdentByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '.'
+}

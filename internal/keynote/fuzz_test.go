@@ -1,0 +1,63 @@
+package keynote
+
+import "testing"
+
+// FuzzParseCondition: conditions that parse must re-parse from their
+// source and evaluate without panicking.
+func FuzzParseCondition(f *testing.F) {
+	for _, s := range []string{
+		`app_domain == "ace" && command == "move"`,
+		`x < 100 || (y >= 2 && !z)`,
+		`true`, `!false`, `a != b`, `hour >= 9 && hour < 17`,
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := ParseCondition(s)
+		if err != nil {
+			return
+		}
+		c.Eval(Attributes{"x": "1", "command": "move"})
+		if _, err := ParseCondition(c.Source()); err != nil {
+			t.Fatalf("source %q does not re-parse: %v", c.Source(), err)
+		}
+	})
+}
+
+// FuzzParseLicensees mirrors the condition fuzz for licensee
+// expressions.
+func FuzzParseLicensees(f *testing.F) {
+	for _, s := range []string{
+		`"alice"`, `alice && bob`, `2-of(a, b, c)`, `(a || b) && c`,
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		l, err := ParseLicensees(s)
+		if err != nil {
+			return
+		}
+		l.Eval(func(string) bool { return true })
+		l.Principals()
+	})
+}
+
+// FuzzParseAssertion: assertion texts must parse or fail cleanly, and
+// parsed ones must round-trip through Encode.
+func FuzzParseAssertion(f *testing.F) {
+	f.Add("keynote-version: 2\nauthorizer: admin\nlicensees: \"user\"\nconditions: x < 5\n")
+	f.Add("authorizer: POLICY\nlicensees: a || b\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		a, err := ParseAssertion(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseAssertion(a.Encode())
+		if err != nil {
+			t.Fatalf("encode of parsed assertion does not re-parse: %v", err)
+		}
+		if back.Authorizer != a.Authorizer {
+			t.Fatalf("authorizer changed: %q -> %q", a.Authorizer, back.Authorizer)
+		}
+	})
+}

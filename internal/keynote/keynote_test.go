@@ -1,0 +1,371 @@
+package keynote
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestConditionEval(t *testing.T) {
+	attrs := Attributes{
+		"app_domain": "ace",
+		"command":    "move",
+		"x":          "45",
+		"room":       "hawk",
+		"service":    "ptz1",
+	}
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{``, true},
+		{`true`, true},
+		{`false`, false},
+		{`!false`, true},
+		{`app_domain == "ace"`, true},
+		{`app_domain == "oxygen"`, false},
+		{`app_domain != "oxygen"`, true},
+		{`x < 100`, true},
+		{`x >= 45`, true},
+		{`x > 45`, false},
+		{`x < 100 && command == "move"`, true},
+		{`command == "zoom" || command == "move"`, true},
+		{`command == "zoom" || command == "pan"`, false},
+		{`(command == "zoom" || command == "move") && room == "hawk"`, true},
+		{`!(room == "eagle")`, true},
+		// Missing attribute evaluates as empty string.
+		{`missing == ""`, true},
+		{`missing == "x"`, false},
+		// Numeric vs string comparison: both numeric → numeric.
+		{`x == 45.0`, true},
+		// One side non-numeric → lexicographic.
+		{`room > "e"`, true},
+	}
+	for _, tc := range cases {
+		c, err := ParseCondition(tc.src)
+		if err != nil {
+			t.Errorf("ParseCondition(%q): %v", tc.src, err)
+			continue
+		}
+		if got := c.Eval(attrs); got != tc.want {
+			t.Errorf("Eval(%q)=%v want %v", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestConditionParseErrors(t *testing.T) {
+	bad := []string{
+		`x ==`, `== 5`, `x = 5`, `(x == 5`, `x == 5)`,
+		`x == "unterminated`, `&& x == 5`, `x == 5 &&`, `x @ 5`,
+	}
+	for _, src := range bad {
+		if _, err := ParseCondition(src); err == nil {
+			t.Errorf("ParseCondition(%q): want error", src)
+		}
+	}
+}
+
+func TestLicenseesEval(t *testing.T) {
+	trustedSet := map[string]bool{"alice": true, "bob": true}
+	trusted := func(n string) bool { return trustedSet[n] }
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{`alice`, true},
+		{`"alice"`, true},
+		{`carol`, false},
+		{`alice && bob`, true},
+		{`alice && carol`, false},
+		{`carol || bob`, true},
+		{`(carol || dave) || (alice && bob)`, true},
+		{`2-of(alice, bob, carol)`, true},
+		{`3-of(alice, bob, carol)`, false},
+		{`1-of(carol, dave)`, false},
+		{``, false}, // empty licensees delegate to nobody
+	}
+	for _, tc := range cases {
+		l, err := ParseLicensees(tc.src)
+		if err != nil {
+			t.Errorf("ParseLicensees(%q): %v", tc.src, err)
+			continue
+		}
+		if got := l.Eval(trusted); got != tc.want {
+			t.Errorf("Eval(%q)=%v want %v", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestLicenseesPrincipalsAndErrors(t *testing.T) {
+	l := MustLicensees(`alice || 2-of(bob, "carol d", dave)`)
+	got := l.Principals()
+	if len(got) != 4 {
+		t.Fatalf("principals=%v", got)
+	}
+	for _, bad := range []string{`alice &&`, `0-of(a,b)`, `3-of(a,b)`, `(a || b`, `a ||`, `@`} {
+		if _, err := ParseLicensees(bad); err == nil {
+			t.Errorf("ParseLicensees(%q): want error", bad)
+		}
+	}
+}
+
+func TestAssertionSignVerifyRoundTrip(t *testing.T) {
+	admin, err := NewPrincipal("admin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := NewKeyring()
+	ring.Add(admin)
+
+	a := MustAssertion("admin", `"john_doe"`, `command == "move" && x < 90`, "camera delegation")
+	if err := a.Sign(admin); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Verify(ring); err != nil {
+		t.Fatal(err)
+	}
+
+	// Textual round trip preserves verifiability.
+	text := a.Encode()
+	back, err := ParseAssertion(text)
+	if err != nil {
+		t.Fatalf("ParseAssertion:\n%s\n%v", text, err)
+	}
+	if err := back.Verify(ring); err != nil {
+		t.Fatalf("round-tripped assertion fails verify: %v", err)
+	}
+	if back.Authorizer != "admin" || back.Comment != "camera delegation" {
+		t.Fatalf("back=%+v", back)
+	}
+
+	// Tampering with any field breaks the signature.
+	tampered, err := ParseAssertion(strings.Replace(text, "x < 90", "x < 900", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tampered.Verify(ring); err == nil {
+		t.Fatal("tampered assertion verified")
+	}
+}
+
+func TestAssertionSignErrors(t *testing.T) {
+	admin, _ := NewPrincipal("admin")
+	mallory, _ := NewPrincipal("mallory")
+
+	pol := MustAssertion(Policy, "admin", "", "")
+	if err := pol.Sign(admin); err == nil {
+		t.Fatal("policy signed")
+	}
+	a := MustAssertion("admin", "x", "", "")
+	if err := a.Sign(mallory); err == nil {
+		t.Fatal("foreign signer accepted")
+	}
+	pubOnly := admin.PublicOnly()
+	if err := a.Sign(pubOnly); err == nil {
+		t.Fatal("signing without private key accepted")
+	}
+	// Unsigned credential fails verification.
+	ring := NewKeyring()
+	ring.Add(admin)
+	if err := a.Verify(ring); err == nil {
+		t.Fatal("unsigned credential verified")
+	}
+	// Unknown authorizer fails verification.
+	b := MustAssertion("stranger", "x", "", "")
+	b.Signature = []byte("junk")
+	if err := b.Verify(ring); err == nil {
+		t.Fatal("unknown authorizer verified")
+	}
+}
+
+func TestParseAssertionErrors(t *testing.T) {
+	bad := []string{
+		"licensees: x\n",                           // no authorizer
+		"authorizer: a\nauthorizer: b\n",           // duplicate
+		"authorizer a\n",                           // no colon... actually "authorizer a" has no colon → error
+		"keynote-version: 3\nauthorizer: a\n",      // bad version
+		"authorizer: a\nsignature: rsa:abcd\n",     // unsupported alg
+		"authorizer: a\nsignature: ed25519:zzzz\n", // bad hex
+		"authorizer: a\nlicensees: b &&\n",         // bad expr
+	}
+	for _, text := range bad {
+		if _, err := ParseAssertion(text); err == nil {
+			t.Errorf("ParseAssertion(%q): want error", text)
+		}
+	}
+}
+
+// buildChain creates: POLICY → admin → lead → member, each hop
+// restricted to the ace domain.
+func buildChain(t *testing.T) (*Checker, []*Assertion) {
+	t.Helper()
+	ring := NewKeyring()
+	admin, _ := NewPrincipal("admin")
+	lead, _ := NewPrincipal("lead")
+	ring.Add(admin)
+	ring.Add(lead)
+
+	policy := MustAssertion(Policy, `"admin"`, `app_domain == "ace"`, "root of trust")
+	checker, err := NewChecker(ring, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c1 := MustAssertion("admin", `"lead"`, `app_domain == "ace" && command != "shutdown"`, "")
+	if err := c1.Sign(admin); err != nil {
+		t.Fatal(err)
+	}
+	c2 := MustAssertion("lead", `"member"`, `command == "move" || command == "zoom"`, "")
+	if err := c2.Sign(lead); err != nil {
+		t.Fatal(err)
+	}
+	return checker, []*Assertion{c1, c2}
+}
+
+func TestComplianceChain(t *testing.T) {
+	checker, creds := buildChain(t)
+
+	attrs := Attributes{"app_domain": "ace", "command": "move"}
+	if !checker.Allowed([]string{"member"}, creds, attrs) {
+		t.Fatal("chain-authorized request denied")
+	}
+	// Every link's conditions apply: "shutdown" is cut at hop 1,
+	// "pan" at hop 2.
+	if checker.Allowed([]string{"member"}, creds, Attributes{"app_domain": "ace", "command": "shutdown"}) {
+		t.Fatal("shutdown allowed through restricted chain")
+	}
+	if checker.Allowed([]string{"member"}, creds, Attributes{"app_domain": "ace", "command": "pan"}) {
+		t.Fatal("pan allowed through restricted chain")
+	}
+	// Policy's own condition applies.
+	if checker.Allowed([]string{"member"}, creds, Attributes{"app_domain": "other", "command": "move"}) {
+		t.Fatal("foreign domain allowed")
+	}
+	// The intermediate principal is allowed anything but shutdown.
+	if !checker.Allowed([]string{"lead"}, creds[:1], Attributes{"app_domain": "ace", "command": "pan"}) {
+		t.Fatal("lead denied")
+	}
+	// A stranger with no credentials is denied.
+	if checker.Allowed([]string{"stranger"}, nil, attrs) {
+		t.Fatal("stranger allowed")
+	}
+	// The root principal needs no credentials.
+	if !checker.Allowed([]string{"admin"}, nil, attrs) {
+		t.Fatal("admin denied")
+	}
+}
+
+func TestComplianceRejectsForgedCredential(t *testing.T) {
+	ring := NewKeyring()
+	admin, _ := NewPrincipal("admin")
+	ring.Add(admin)
+	policy := MustAssertion(Policy, `"admin"`, "", "")
+	checker, _ := NewChecker(ring, policy)
+
+	// Mallory forges a credential claiming admin delegated to her.
+	mallory, _ := NewPrincipal("mallory")
+	forged := MustAssertion("admin", `"mallory"`, "", "")
+	forged.Signature = mallory.Sign(forged.canonical())
+
+	res := checker.Query([]string{"mallory"}, []*Assertion{forged}, Attributes{})
+	if res.Allowed {
+		t.Fatal("forged credential accepted")
+	}
+	if len(res.Rejected) != 1 {
+		t.Fatalf("rejected=%v", res.Rejected)
+	}
+}
+
+func TestComplianceRejectsPolicyCredential(t *testing.T) {
+	ring := NewKeyring()
+	policy := MustAssertion(Policy, `"admin"`, "", "")
+	checker, _ := NewChecker(ring, policy)
+	// A requester presenting a "POLICY" assertion as a credential
+	// cannot self-authorize.
+	smuggled := MustAssertion(Policy, `"mallory"`, "", "")
+	if checker.Allowed([]string{"mallory"}, []*Assertion{smuggled}, Attributes{}) {
+		t.Fatal("smuggled policy accepted")
+	}
+}
+
+func TestNewCheckerRejectsNonPolicy(t *testing.T) {
+	ring := NewKeyring()
+	notPolicy := MustAssertion("admin", "x", "", "")
+	if _, err := NewChecker(ring, notPolicy); err == nil {
+		t.Fatal("non-policy accepted as policy")
+	}
+}
+
+func TestComplianceThresholdDelegation(t *testing.T) {
+	// Two-person rule: policy requires 2-of the three officers.
+	ring := NewKeyring()
+	policy := MustAssertion(Policy, `2-of("alice","bob","carol")`, "", "")
+	checker, _ := NewChecker(ring, policy)
+	if checker.Allowed([]string{"alice"}, nil, Attributes{}) {
+		t.Fatal("single officer allowed")
+	}
+	if !checker.Allowed([]string{"alice", "carol"}, nil, Attributes{}) {
+		t.Fatal("two officers denied")
+	}
+}
+
+func TestComplianceConjunctiveLicensees(t *testing.T) {
+	ring := NewKeyring()
+	policy := MustAssertion(Policy, `"alice" && "bob"`, "", "")
+	checker, _ := NewChecker(ring, policy)
+	if checker.Allowed([]string{"alice"}, nil, Attributes{}) {
+		t.Fatal("conjunction satisfied by one")
+	}
+	if !checker.Allowed([]string{"alice", "bob"}, nil, Attributes{}) {
+		t.Fatal("conjunction denied for both")
+	}
+}
+
+func TestQuickConditionParserNeverPanics(t *testing.T) {
+	f := func(src string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		if c, err := ParseCondition(src); err == nil {
+			c.Eval(Attributes{"x": "1"})
+		}
+		if l, err := ParseLicensees(src); err == nil {
+			l.Eval(func(string) bool { return true })
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSignedAssertionsAlwaysVerify(t *testing.T) {
+	admin, _ := NewPrincipal("admin")
+	ring := NewKeyring()
+	ring.Add(admin)
+	f := func(cmd string, x int16) bool {
+		cmd = strings.Map(func(r rune) rune {
+			if r >= 'a' && r <= 'z' {
+				return r
+			}
+			return 'q'
+		}, cmd)
+		a, err := NewAssertion("admin", `"user"`, "", "c:"+cmd)
+		if err != nil {
+			return false
+		}
+		if err := a.Sign(admin); err != nil {
+			return false
+		}
+		back, err := ParseAssertion(a.Encode())
+		if err != nil {
+			return false
+		}
+		return back.Verify(ring) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,242 @@
+package keynote
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Licensee expressions name the principals an assertion delegates to:
+//
+//	lexpr := lor
+//	lor   := land { "||" land }
+//	land  := lprim { "&&" lprim }
+//	lprim := principal | "(" lexpr ")" | k "-of" "(" lexpr {"," lexpr} ")"
+//
+// where principal is a quoted name ("john_doe") or a bare identifier.
+// "&&" means both licensees must support the request, "||" either,
+// and the k-of threshold form requires at least k of the listed
+// sub-expressions — KeyNote's conjunction, disjunction, and threshold
+// semantics.
+
+type licNode interface {
+	eval(trusted func(string) bool) bool
+	principals(set map[string]bool)
+	String() string
+}
+
+type licPrincipal string
+
+func (p licPrincipal) eval(trusted func(string) bool) bool { return trusted(string(p)) }
+func (p licPrincipal) principals(set map[string]bool)      { set[string(p)] = true }
+func (p licPrincipal) String() string                      { return strconv.Quote(string(p)) }
+
+type licBin struct {
+	op   string
+	l, r licNode
+}
+
+func (n licBin) eval(trusted func(string) bool) bool {
+	if n.op == "&&" {
+		return n.l.eval(trusted) && n.r.eval(trusted)
+	}
+	return n.l.eval(trusted) || n.r.eval(trusted)
+}
+func (n licBin) principals(set map[string]bool) {
+	n.l.principals(set)
+	n.r.principals(set)
+}
+func (n licBin) String() string {
+	return "(" + n.l.String() + " " + n.op + " " + n.r.String() + ")"
+}
+
+type licThreshold struct {
+	k    int
+	subs []licNode
+}
+
+func (n licThreshold) eval(trusted func(string) bool) bool {
+	count := 0
+	for _, s := range n.subs {
+		if s.eval(trusted) {
+			count++
+			if count >= n.k {
+				return true
+			}
+		}
+	}
+	return false
+}
+func (n licThreshold) principals(set map[string]bool) {
+	for _, s := range n.subs {
+		s.principals(set)
+	}
+}
+func (n licThreshold) String() string {
+	parts := make([]string, len(n.subs))
+	for i, s := range n.subs {
+		parts[i] = s.String()
+	}
+	return fmt.Sprintf("%d-of(%s)", n.k, strings.Join(parts, ", "))
+}
+
+// Licensees is a compiled licensee expression.
+type Licensees struct {
+	src  string
+	root licNode
+}
+
+// ParseLicensees compiles a licensee expression. The empty string
+// licenses nobody (the assertion delegates to no one).
+func ParseLicensees(src string) (*Licensees, error) {
+	trimmed := strings.TrimSpace(src)
+	if trimmed == "" {
+		return &Licensees{src: src}, nil
+	}
+	p := &licParser{exprParser{src: trimmed}}
+	root, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("keynote: trailing input in licensees at %d: %q", p.pos, p.src[p.pos:])
+	}
+	return &Licensees{src: src, root: root}, nil
+}
+
+// MustLicensees is ParseLicensees for program literals; it panics on
+// error.
+func MustLicensees(src string) *Licensees {
+	l, err := ParseLicensees(src)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Eval reports whether the expression is satisfied given the trusted
+// predicate over principal names.
+func (l *Licensees) Eval(trusted func(string) bool) bool {
+	if l.root == nil {
+		return false
+	}
+	return l.root.eval(trusted)
+}
+
+// Principals returns every principal named in the expression.
+func (l *Licensees) Principals() []string {
+	set := map[string]bool{}
+	if l.root != nil {
+		l.root.principals(set)
+	}
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Source returns the original expression text.
+func (l *Licensees) Source() string { return l.src }
+
+type licParser struct{ exprParser }
+
+func (p *licParser) parseOr() (licNode, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("||") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = licBin{op: "||", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *licParser) parseAnd() (licNode, error) {
+	l, err := p.parsePrim()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("&&") {
+		r, err := p.parsePrim()
+		if err != nil {
+			return nil, err
+		}
+		l = licBin{op: "&&", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *licParser) parsePrim() (licNode, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return nil, p.errf("expected licensee")
+	}
+	if p.accept("(") {
+		x, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept(")") {
+			return nil, p.errf("missing ')'")
+		}
+		return x, nil
+	}
+	c := p.src[p.pos]
+	if c == '"' {
+		op, err := p.parseOperand()
+		if err != nil {
+			return nil, err
+		}
+		return licPrincipal(op.literal), nil
+	}
+	if c >= '0' && c <= '9' {
+		// threshold form: k-of(e1, e2, ...)
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+			p.pos++
+		}
+		k, err := strconv.Atoi(p.src[start:p.pos])
+		if err != nil || k < 1 {
+			return nil, p.errf("bad threshold count")
+		}
+		if !p.accept("-of") {
+			return nil, p.errf("expected -of after threshold count")
+		}
+		if !p.accept("(") {
+			return nil, p.errf("expected '(' after -of")
+		}
+		var subs []licNode
+		for {
+			sub, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			subs = append(subs, sub)
+			if p.accept(",") {
+				continue
+			}
+			if p.accept(")") {
+				break
+			}
+			return nil, p.errf("expected ',' or ')' in threshold")
+		}
+		if k > len(subs) {
+			return nil, p.errf("threshold %d exceeds %d alternatives", k, len(subs))
+		}
+		return licThreshold{k: k, subs: subs}, nil
+	}
+	if isIdentByte(c) {
+		startPos := p.pos
+		for p.pos < len(p.src) && isIdentByte(p.src[p.pos]) {
+			p.pos++
+		}
+		return licPrincipal(p.src[startPos:p.pos]), nil
+	}
+	return nil, p.errf("unexpected character %q", rune(c))
+}

@@ -1,0 +1,123 @@
+// Package keynote implements the KeyNote-style trust-management
+// system that ACE integrates for service access control (§3.2, Fig
+// 10; RFC 2704). Both users and services hold credentials and
+// assertions defining what can and cannot be done in the environment:
+// which commands may be issued, which services accessed, and so on.
+//
+// The package provides principals (ed25519 key pairs), signed
+// assertions with licensee and condition expressions, and the
+// compliance checker that decides whether a requested action is
+// authorized by the policy plus a chain of credentials.
+package keynote
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Policy is the distinguished authorizer of unconditionally trusted
+// local policy assertions, which need no signature.
+const Policy = "POLICY"
+
+// Principal is an identity in the trust system: a symbolic name bound
+// to an ed25519 key pair. Credentials are signed by the authorizer's
+// private key and verified against the public key registered in a
+// Keyring.
+type Principal struct {
+	Name string
+	Pub  ed25519.PublicKey
+	priv ed25519.PrivateKey
+}
+
+// NewPrincipal generates a fresh principal with the given symbolic
+// name.
+func NewPrincipal(name string) (*Principal, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("keynote: generate key for %s: %w", name, err)
+	}
+	return &Principal{Name: name, Pub: pub, priv: priv}, nil
+}
+
+// KeyID returns the hex key identifier of the principal's public key.
+func (p *Principal) KeyID() string { return hex.EncodeToString(p.Pub) }
+
+// Sign signs msg with the principal's private key.
+func (p *Principal) Sign(msg []byte) []byte {
+	if p.priv == nil {
+		return nil
+	}
+	return ed25519.Sign(p.priv, msg)
+}
+
+// CanSign reports whether the principal holds its private key (a
+// verifier-side principal holds only the public half).
+func (p *Principal) CanSign() bool { return p.priv != nil }
+
+// PublicOnly returns a copy of the principal without the private key,
+// as stored by verifiers.
+func (p *Principal) PublicOnly() *Principal {
+	return &Principal{Name: p.Name, Pub: p.Pub}
+}
+
+// Keyring maps symbolic principal names to public keys. It is safe
+// for concurrent use.
+type Keyring struct {
+	mu   sync.RWMutex
+	keys map[string]ed25519.PublicKey
+}
+
+// NewKeyring returns an empty keyring.
+func NewKeyring() *Keyring {
+	return &Keyring{keys: make(map[string]ed25519.PublicKey)}
+}
+
+// Add registers a principal's public key under its name.
+func (k *Keyring) Add(p *Principal) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.keys[p.Name] = p.Pub
+}
+
+// AddKey registers a raw public key under a name.
+func (k *Keyring) AddKey(name string, pub ed25519.PublicKey) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.keys[name] = pub
+}
+
+// Lookup returns the public key for name.
+func (k *Keyring) Lookup(name string) (ed25519.PublicKey, bool) {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	pub, ok := k.keys[name]
+	return pub, ok
+}
+
+// Verify checks sig over msg against the named principal's key.
+func (k *Keyring) Verify(name string, msg, sig []byte) error {
+	pub, ok := k.Lookup(name)
+	if !ok {
+		return fmt.Errorf("keynote: unknown principal %q", name)
+	}
+	if !ed25519.Verify(pub, msg, sig) {
+		return fmt.Errorf("keynote: bad signature by %q", name)
+	}
+	return nil
+}
+
+// Names returns all registered principal names, sorted.
+func (k *Keyring) Names() []string {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	out := make([]string, 0, len(k.keys))
+	for n := range k.keys {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,173 @@
+// Package launcher implements the ACE application launchers: the HAL
+// — Host Application Launcher (§4.3), which runs applications on its
+// own host, and the SAL — System Application Launcher (§4.4), which
+// delegates launches to an appropriate HAL, choosing the host
+// randomly or by resource allocation through the SRM.
+package launcher
+
+import (
+	"fmt"
+	"sync"
+
+	"ace/internal/cmdlang"
+	"ace/internal/daemon"
+	"ace/internal/hier"
+	"ace/internal/monitor"
+	"ace/internal/simhost"
+)
+
+// Hierarchy classes for the launcher daemons.
+const (
+	ClassHAL = hier.Root + ".Launcher.HAL"
+	ClassSAL = hier.Root + ".Launcher.SAL"
+)
+
+// HAL is the host application launcher daemon for one host.
+type HAL struct {
+	*daemon.Daemon
+	host *simhost.Host
+}
+
+// NewHAL wraps a host in a HAL daemon.
+func NewHAL(dcfg daemon.Config, host *simhost.Host) *HAL {
+	if dcfg.Name == "" {
+		dcfg.Name = "hal_" + host.Name()
+	}
+	if dcfg.Class == "" {
+		dcfg.Class = ClassHAL
+	}
+	if dcfg.Host == "" {
+		dcfg.Host = host.Name()
+	}
+	h := &HAL{Daemon: daemon.New(dcfg), host: host}
+	h.install()
+	return h
+}
+
+// Host exposes the underlying host.
+func (h *HAL) Host() *simhost.Host { return h.host }
+
+func (h *HAL) install() {
+	h.Handle(cmdlang.CommandSpec{
+		Name: "launch",
+		Doc:  "run an application on this host using local resources",
+		Args: []cmdlang.ArgSpec{
+			{Name: "app", Kind: cmdlang.KindString, Required: true},
+			{Name: "work", Kind: cmdlang.KindFloat, Doc: "bogomips-seconds of compute"},
+			{Name: "mem", Kind: cmdlang.KindInt, Doc: "bytes resident"},
+		},
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		pid, err := h.host.Launch(c.Str("app", ""), c.Float("work", 1), c.Int("mem", 0))
+		if err != nil {
+			return cmdlang.Fail(cmdlang.CodeUnavailable, err.Error()), nil
+		}
+		return cmdlang.OK().SetInt("pid", int64(pid)).SetWord("host", h.host.Name()), nil
+	})
+
+	h.Handle(cmdlang.CommandSpec{
+		Name: "kill",
+		Args: []cmdlang.ArgSpec{{Name: "pid", Kind: cmdlang.KindInt, Required: true}},
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		killed := h.host.Kill(int(c.Int("pid", 0)))
+		return cmdlang.OK().SetBool("killed", killed), nil
+	})
+
+	h.Handle(cmdlang.CommandSpec{Name: "listApps"}, func(_ *daemon.Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		procs := h.host.Running()
+		pids := make([]int64, len(procs))
+		names := make([]string, len(procs))
+		for i, p := range procs {
+			pids[i] = int64(p.PID)
+			names[i] = p.Name
+		}
+		return cmdlang.OK().
+			SetInt("count", int64(len(procs))).
+			Set("pids", cmdlang.IntVector(pids...)).
+			Set("apps", cmdlang.StringVector(names...)), nil
+	})
+}
+
+// Placement records where the SAL launched an application.
+type Placement struct {
+	App  string
+	Host string
+	PID  int
+}
+
+// SAL is the system application launcher daemon.
+type SAL struct {
+	*daemon.Daemon
+
+	srm *monitor.SRM // in-process SRM for host selection
+
+	mu         sync.Mutex
+	placements []Placement
+}
+
+// NewSAL constructs the system launcher over an SRM (Fig 18: the SAL
+// works in conjunction with the HALs, SRM, and HRMs).
+func NewSAL(dcfg daemon.Config, srm *monitor.SRM) *SAL {
+	if dcfg.Name == "" {
+		dcfg.Name = "sal"
+	}
+	if dcfg.Class == "" {
+		dcfg.Class = ClassSAL
+	}
+	s := &SAL{Daemon: daemon.New(dcfg), srm: srm}
+	s.install()
+	return s
+}
+
+// Launch places the application on a host chosen by policy and
+// delegates the launch to that host's HAL.
+func (s *SAL) Launch(app string, work float64, mem int64, policy monitor.Policy) (Placement, error) {
+	s.srm.Refresh()
+	report, err := s.srm.Pick(policy, mem)
+	if err != nil {
+		return Placement{}, err
+	}
+	if report.HALAddr == "" {
+		return Placement{}, fmt.Errorf("sal: host %s has no HAL", report.Host)
+	}
+	reply, err := s.Pool().Call(report.HALAddr, cmdlang.New("launch").
+		SetString("app", app).SetFloat("work", work).SetInt("mem", mem))
+	if err != nil {
+		return Placement{}, fmt.Errorf("sal: HAL launch on %s: %w", report.Host, err)
+	}
+	p := Placement{App: app, Host: reply.Str("host", report.Host), PID: int(reply.Int("pid", 0))}
+	s.mu.Lock()
+	s.placements = append(s.placements, p)
+	s.mu.Unlock()
+	return p, nil
+}
+
+// Placements returns the launch history.
+func (s *SAL) Placements() []Placement {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Placement(nil), s.placements...)
+}
+
+func (s *SAL) install() {
+	s.Handle(cmdlang.CommandSpec{
+		Name: "launch",
+		Doc:  "run an application somewhere in the environment (§4.4)",
+		Args: []cmdlang.ArgSpec{
+			{Name: "app", Kind: cmdlang.KindString, Required: true},
+			{Name: "work", Kind: cmdlang.KindFloat},
+			{Name: "mem", Kind: cmdlang.KindInt},
+			{Name: "policy", Kind: cmdlang.KindWord},
+		},
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		p, err := s.Launch(
+			c.Str("app", ""),
+			c.Float("work", 1),
+			c.Int("mem", 0),
+			monitor.Policy(c.Str("policy", string(monitor.PolicyLeastLoaded))),
+		)
+		if err != nil {
+			return cmdlang.Fail(cmdlang.CodeUnavailable, err.Error()), nil
+		}
+		return cmdlang.OK().SetWord("host", p.Host).SetInt("pid", int64(p.PID)), nil
+	})
+}

@@ -1,0 +1,282 @@
+package launcher
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"ace/internal/cmdlang"
+	"ace/internal/daemon"
+	"ace/internal/monitor"
+	"ace/internal/simhost"
+)
+
+// rig is a small ACE compute plane: hosts, one HRM+HAL each, one SRM,
+// one SAL (Fig 11 / Fig 18 topology).
+type rig struct {
+	cluster *simhost.Cluster
+	hrms    []*monitor.HRM
+	hals    []*HAL
+	srm     *monitor.SRM
+	sal     *SAL
+}
+
+func buildRig(t *testing.T, speeds []float64) *rig {
+	t.Helper()
+	r := &rig{cluster: simhost.NewCluster()}
+	r.srm = monitor.NewSRM(daemon.Config{}, 1)
+	if err := r.srm.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.srm.Stop)
+
+	for i, sp := range speeds {
+		host := simhost.NewHost(fmt.Sprintf("host%d", i), sp, 1<<30, 1<<40)
+		r.cluster.Add(host)
+		hrm := monitor.NewHRM(daemon.Config{}, host)
+		if err := hrm.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(hrm.Stop)
+		hal := NewHAL(daemon.Config{}, host)
+		if err := hal.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(hal.Stop)
+		r.hrms = append(r.hrms, hrm)
+		r.hals = append(r.hals, hal)
+		r.srm.AddHost(host.Name(), hrm.Addr(), hal.Addr())
+	}
+
+	r.sal = NewSAL(daemon.Config{}, r.srm)
+	if err := r.sal.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.sal.Stop)
+	return r
+}
+
+func TestHALLaunchKillList(t *testing.T) {
+	host := simhost.NewHost("bar", 100, 1<<20, 0)
+	hal := NewHAL(daemon.Config{}, host)
+	if err := hal.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(hal.Stop)
+
+	pool := daemon.NewPool(nil)
+	defer pool.Close()
+
+	reply, err := pool.Call(hal.Addr(), cmdlang.New("launch").
+		SetString("app", "vncserver_john").SetFloat("work", 100).SetInt("mem", 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pid := reply.Int("pid", 0)
+	if pid == 0 || reply.Str("host", "") != "bar" {
+		t.Fatalf("reply=%v", reply)
+	}
+
+	list, err := pool.Call(hal.Addr(), cmdlang.New("listApps"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if list.Int("count", 0) != 1 || list.Strings("apps")[0] != "vncserver_john" {
+		t.Fatalf("list=%v", list)
+	}
+
+	killReply, err := pool.Call(hal.Addr(), cmdlang.New("kill").SetInt("pid", pid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !killReply.Bool("killed", false) {
+		t.Fatal("not killed")
+	}
+
+	// Memory exhaustion surfaces as unavailable.
+	_, err = pool.Call(hal.Addr(), cmdlang.New("launch").
+		SetString("app", "huge").SetInt("mem", 1<<30))
+	if !cmdlang.IsRemoteCode(err, cmdlang.CodeUnavailable) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestHRMStatusOverWire(t *testing.T) {
+	host := simhost.NewHost("bar", 450, 1<<30, 1<<40)
+	host.Launch("x", 1000, 1<<20) //nolint:errcheck
+	hrm := monitor.NewHRM(daemon.Config{}, host)
+	if err := hrm.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(hrm.Stop)
+
+	pool := daemon.NewPool(nil)
+	defer pool.Close()
+	st, err := pool.Call(hrm.Addr(), cmdlang.New("hostStatus"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Float("speed", 0) != 450 || st.Int("runnable", 0) != 1 {
+		t.Fatalf("status=%v", st)
+	}
+	if st.Int("memavail", 0) != 1<<30-1<<20 {
+		t.Fatalf("memavail=%d", st.Int("memavail", 0))
+	}
+}
+
+func TestSRMPickLeastLoadedIsSpeedAware(t *testing.T) {
+	r := buildRig(t, []float64{100, 400})
+	// Load the fast host with one job; empty slow host. Speed-aware
+	// least-loaded still prefers the fast host: (1+1)/400 < (0+1)/100.
+	r.cluster.Hosts()[1].Launch("busy", 1e6, 0) //nolint:errcheck
+	r.srm.Refresh()
+	pick, err := r.srm.Pick(monitor.PolicyLeastLoaded, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pick.Host != "host1" {
+		t.Fatalf("picked %s", pick.Host)
+	}
+	// Unknown policy is rejected.
+	if _, err := r.srm.Pick("psychic", 0); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestSRMPickRespectsMemory(t *testing.T) {
+	r := buildRig(t, []float64{100, 100})
+	// Fill host0's memory almost completely.
+	r.cluster.Hosts()[0].Launch("hog", 1e9, 1<<30-100) //nolint:errcheck
+	r.srm.Refresh()
+	for i := 0; i < 5; i++ {
+		pick, err := r.srm.Pick(monitor.PolicyRandom, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pick.Host != "host1" {
+			t.Fatalf("picked memory-starved host")
+		}
+	}
+	// Nothing fits an absurd demand.
+	if _, err := r.srm.Pick(monitor.PolicyLeastLoaded, 1<<40); err == nil {
+		t.Fatal("impossible demand satisfied")
+	}
+}
+
+func TestSALDelegatesToHAL(t *testing.T) {
+	r := buildRig(t, []float64{100, 100, 100})
+	pool := daemon.NewPool(nil)
+	defer pool.Close()
+
+	reply, err := pool.Call(r.sal.Addr(), cmdlang.New("launch").
+		SetString("app", "workspace_john").SetFloat("work", 50).SetInt("mem", 1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := reply.Str("host", "")
+	pid := int(reply.Int("pid", 0))
+	// The app must actually be running on the reported host.
+	found := false
+	for _, h := range r.cluster.Hosts() {
+		if h.Name() == host {
+			_, found = h.Find(pid)
+		}
+	}
+	if !found {
+		t.Fatalf("app not running on %s pid %d", host, pid)
+	}
+	if got := r.sal.Placements(); len(got) != 1 || got[0].App != "workspace_john" {
+		t.Fatalf("placements=%v", got)
+	}
+}
+
+func TestSALSpreadsLoadBetterThanRandom(t *testing.T) {
+	// E7's shape in miniature: least-loaded placement on heterogeneous
+	// hosts beats random placement on makespan.
+	speeds := []float64{100, 200, 400}
+	const jobs = 30
+	const work = 100.0
+
+	makespan := func(policy monitor.Policy) float64 {
+		r := buildRig(t, speeds)
+		for i := 0; i < jobs; i++ {
+			if _, err := r.sal.Launch(fmt.Sprintf("job%d", i), work, 0, policy); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return r.cluster.AdvanceUntilIdle(0.25, 10000)
+	}
+
+	mLL := makespan(monitor.PolicyLeastLoaded)
+	mRand := makespan(monitor.PolicyRandom)
+	// Ideal makespan: total work / total speed.
+	ideal := jobs * work / (100 + 200 + 400)
+	if mLL < ideal-1e-6 {
+		t.Fatalf("makespan %v below physical bound %v", mLL, ideal)
+	}
+	if mLL > mRand+1e-9 {
+		t.Fatalf("least-loaded (%.2f) worse than random (%.2f)", mLL, mRand)
+	}
+	// Least-loaded should be close to ideal.
+	if mLL > ideal*1.6 {
+		t.Fatalf("least-loaded makespan %.2f too far from ideal %.2f", mLL, ideal)
+	}
+}
+
+func TestSRMUnhealthyHostsExcluded(t *testing.T) {
+	r := buildRig(t, []float64{100, 100})
+	// Stop host0's HRM: refresh marks it unhealthy.
+	r.hrms[0].Stop()
+	r.srm.Refresh()
+	for i := 0; i < 4; i++ {
+		pick, err := r.srm.Pick(monitor.PolicyRandom, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pick.Host == "host0" {
+			t.Fatal("unhealthy host picked")
+		}
+	}
+	reports := r.srm.Reports()
+	if len(reports) != 2 || reports[0].Healthy || !reports[1].Healthy {
+		t.Fatalf("reports=%+v", reports)
+	}
+}
+
+func TestSystemStatusCommand(t *testing.T) {
+	r := buildRig(t, []float64{150, 250})
+	pool := daemon.NewPool(nil)
+	defer pool.Close()
+	st, err := pool.Call(r.srm.Addr(), cmdlang.New("systemStatus"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Int("count", 0) != 2 {
+		t.Fatalf("st=%v", st)
+	}
+	speeds := st.Vector("speeds")
+	sum := 0.0
+	for _, s := range speeds {
+		f, _ := s.AsFloat()
+		sum += f
+	}
+	if math.Abs(sum-400) > 1e-9 {
+		t.Fatalf("speeds=%v", speeds)
+	}
+}
+
+func TestBestHostCommand(t *testing.T) {
+	r := buildRig(t, []float64{100, 300})
+	pool := daemon.NewPool(nil)
+	defer pool.Close()
+	reply, err := pool.Call(r.srm.Addr(), cmdlang.New("bestHost").SetWord("policy", "least_loaded"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Str("host", "") != "host1" {
+		t.Fatalf("reply=%v", reply)
+	}
+	if reply.Str("hal", "") == "" {
+		t.Fatal("missing hal addr")
+	}
+}

@@ -1,0 +1,179 @@
+package media
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Additional formats understood by converter services. Every coded
+// format converts to and from FormatRaw; multi-format paths are
+// composed by the path-creation planner (internal/pathcreate).
+const (
+	// FormatMulaw is ITU-T G.711 µ-law companding: 16-bit PCM →
+	// 8-bit log-compressed samples (lossy, 2:1).
+	FormatMulaw = "mulaw"
+	// FormatRLE is byte run-length encoding (lossless; effective on
+	// synthetic video scanlines).
+	FormatRLE = "rle"
+)
+
+// codec converts between FormatRaw and one coded format.
+type codec struct {
+	encode func([]byte) ([]byte, error) // raw → coded
+	decode func([]byte) ([]byte, error) // coded → raw
+}
+
+var codecs = map[string]codec{
+	FormatMPEG:  {encode: flateEncode, decode: flateDecode},
+	FormatMulaw: {encode: mulawEncode, decode: mulawDecode},
+	FormatRLE:   {encode: rleEncode, decode: rleDecode},
+}
+
+// Formats lists every format converters understand, sorted, with
+// FormatRaw first.
+func Formats() []string {
+	out := []string{FormatRaw}
+	coded := make([]string, 0, len(codecs))
+	for name := range codecs {
+		coded = append(coded, name)
+	}
+	sort.Strings(coded)
+	return append(out, coded...)
+}
+
+// KnownFormat reports whether converters understand the format.
+func KnownFormat(f string) bool {
+	if f == FormatRaw {
+		return true
+	}
+	_, ok := codecs[f]
+	return ok
+}
+
+func flateEncode(payload []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func flateDecode(payload []byte) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(payload))
+	defer r.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("media: corrupt %s payload: %w", FormatMPEG, err)
+	}
+	return out, nil
+}
+
+// µ-law companding (G.711): 14-bit magnitude → 8-bit logarithmic.
+const (
+	mulawBias = 0x84
+	mulawClip = 32635
+)
+
+func mulawEncodeSample(s int16) byte {
+	sign := byte(0)
+	v := int32(s)
+	if v < 0 {
+		v = -v
+		sign = 0x80
+	}
+	if v > mulawClip {
+		v = mulawClip
+	}
+	v += mulawBias
+	exp := byte(7)
+	for mask := int32(0x4000); exp > 0 && v&mask == 0; mask >>= 1 {
+		exp--
+	}
+	mantissa := byte((v >> (exp + 3)) & 0x0F)
+	return ^(sign | exp<<4 | mantissa)
+}
+
+func mulawDecodeSample(b byte) int16 {
+	b = ^b
+	sign := b & 0x80
+	exp := (b >> 4) & 0x07
+	mantissa := b & 0x0F
+	v := ((int32(mantissa) << 3) + mulawBias) << exp
+	v -= mulawBias
+	if sign != 0 {
+		v = -v
+	}
+	if v > math.MaxInt16 {
+		v = math.MaxInt16
+	}
+	if v < math.MinInt16 {
+		v = math.MinInt16
+	}
+	return int16(v)
+}
+
+// mulawEncode treats the raw payload as big-endian int16 PCM and
+// compands it 2:1.
+func mulawEncode(payload []byte) ([]byte, error) {
+	if len(payload)%2 != 0 {
+		return nil, fmt.Errorf("media: µ-law input must be 16-bit PCM (odd length %d)", len(payload))
+	}
+	out := make([]byte, len(payload)/2)
+	for i := range out {
+		s := int16(binary.BigEndian.Uint16(payload[2*i:]))
+		out[i] = mulawEncodeSample(s)
+	}
+	return out, nil
+}
+
+func mulawDecode(payload []byte) ([]byte, error) {
+	out := make([]byte, len(payload)*2)
+	for i, b := range payload {
+		binary.BigEndian.PutUint16(out[2*i:], uint16(mulawDecodeSample(b)))
+	}
+	return out, nil
+}
+
+// rleEncode: (count,value) pairs with count 1..255.
+func rleEncode(payload []byte) ([]byte, error) {
+	var out []byte
+	for i := 0; i < len(payload); {
+		v := payload[i]
+		run := 1
+		for i+run < len(payload) && payload[i+run] == v && run < 255 {
+			run++
+		}
+		out = append(out, byte(run), v)
+		i += run
+	}
+	return out, nil
+}
+
+func rleDecode(payload []byte) ([]byte, error) {
+	if len(payload)%2 != 0 {
+		return nil, fmt.Errorf("media: corrupt RLE payload (odd length)")
+	}
+	var out []byte
+	for i := 0; i < len(payload); i += 2 {
+		run := int(payload[i])
+		if run == 0 {
+			return nil, fmt.Errorf("media: corrupt RLE payload (zero run)")
+		}
+		for j := 0; j < run; j++ {
+			out = append(out, payload[i+1])
+		}
+	}
+	return out, nil
+}

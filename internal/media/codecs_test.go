@@ -1,0 +1,145 @@
+package media
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFormatsRegistry(t *testing.T) {
+	fs := Formats()
+	if fs[0] != FormatRaw || len(fs) != 4 {
+		t.Fatalf("formats=%v", fs)
+	}
+	for _, f := range fs {
+		if !KnownFormat(f) {
+			t.Errorf("KnownFormat(%q)=false", f)
+		}
+	}
+	if KnownFormat("avi") {
+		t.Fatal("phantom format")
+	}
+}
+
+func TestRLERoundTrip(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{42},
+		bytes.Repeat([]byte{7}, 1000),
+		{1, 2, 3, 4, 5},
+		append(bytes.Repeat([]byte{0}, 300), bytes.Repeat([]byte{255}, 300)...),
+	}
+	for _, payload := range cases {
+		coded, err := Convert(payload, FormatRaw, FormatRLE)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Convert(coded, FormatRLE, FormatRaw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(back, payload) {
+			t.Fatalf("RLE lossy for %d bytes", len(payload))
+		}
+	}
+	// Long runs compress massively.
+	coded, _ := Convert(bytes.Repeat([]byte{9}, 10000), FormatRaw, FormatRLE)
+	if len(coded) > 100 {
+		t.Fatalf("10000-byte run coded to %d bytes", len(coded))
+	}
+	// Corrupt payloads are rejected.
+	if _, err := Convert([]byte{1}, FormatRLE, FormatRaw); err == nil {
+		t.Fatal("odd RLE accepted")
+	}
+	if _, err := Convert([]byte{0, 5}, FormatRLE, FormatRaw); err == nil {
+		t.Fatal("zero-run RLE accepted")
+	}
+}
+
+func TestQuickRLERoundTrip(t *testing.T) {
+	f := func(payload []byte) bool {
+		coded, err := Convert(payload, FormatRaw, FormatRLE)
+		if err != nil {
+			return false
+		}
+		back, err := Convert(coded, FormatRLE, FormatRaw)
+		return err == nil && bytes.Equal(back, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulawProperties(t *testing.T) {
+	// Odd-length input rejected.
+	if _, err := Convert([]byte{1, 2, 3}, FormatRaw, FormatMulaw); err == nil {
+		t.Fatal("odd PCM accepted")
+	}
+	// Companding halves the size; decoding doubles it back.
+	pcm := make([]byte, 2000)
+	for i := 0; i < 1000; i++ {
+		binary.BigEndian.PutUint16(pcm[2*i:], uint16(int16(i*30-15000)))
+	}
+	coded, err := Convert(pcm, FormatRaw, FormatMulaw)
+	if err != nil || len(coded) != 1000 {
+		t.Fatalf("coded=%d err=%v", len(coded), err)
+	}
+	back, err := Convert(coded, FormatMulaw, FormatRaw)
+	if err != nil || len(back) != 2000 {
+		t.Fatalf("back=%d err=%v", len(back), err)
+	}
+}
+
+// TestQuickMulawMonotoneAndBounded: companding preserves sign and
+// ordering of magnitudes, and decode(encode(x)) stays within the
+// segment's quantization error.
+func TestQuickMulawMonotoneAndBounded(t *testing.T) {
+	f := func(x int16) bool {
+		b := mulawEncodeSample(x)
+		y := mulawDecodeSample(b)
+		// Sign preserved (zero may decode slightly off zero).
+		if x > 100 && y <= 0 {
+			return false
+		}
+		if x < -100 && y >= 0 {
+			return false
+		}
+		// Quantization error bounded: µ-law segments grow with
+		// magnitude; the worst-case step at full scale is ~2048.
+		diff := math.Abs(float64(x) - float64(y))
+		mag := math.Abs(float64(x))
+		return diff <= 32+mag/8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConverterCapabilitySubset(t *testing.T) {
+	c := NewConverter(daemonConfigForTest("subset"),
+		Pair{From: FormatRaw, To: FormatRLE})
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	pool := poolForTest(t)
+
+	// Supported conversion works.
+	if _, err := pool.Call(c.Addr(), convertCmd([]byte{1, 1, 1}, FormatRaw, FormatRLE)); err != nil {
+		t.Fatal(err)
+	}
+	// Unsupported direction is refused even though the codec exists.
+	if _, err := pool.Call(c.Addr(), convertCmd([]byte{2, 1}, FormatRLE, FormatRaw)); err == nil {
+		t.Fatal("unadvertised conversion served")
+	}
+	// Capabilities advertise exactly the subset.
+	caps, err := pool.Call(c.Addr(), capabilitiesCmd())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := caps.Strings("from"); len(got) != 1 || got[0] != FormatRaw {
+		t.Fatalf("caps=%v", caps)
+	}
+}

@@ -1,0 +1,239 @@
+package media
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Tone synthesizes n samples of a sine at freq Hz with the given
+// amplitude, continuing from the given phase; it returns the samples
+// and the phase to continue with.
+func Tone(freq float64, amp float64, n int, phase float64) ([]int16, float64) {
+	out := make([]int16, n)
+	step := 2 * math.Pi * freq / SampleRate
+	for i := range out {
+		out[i] = int16(amp * math.Sin(phase))
+		phase += step
+	}
+	return out, math.Mod(phase, 2*math.Pi)
+}
+
+// ToneFrame builds one frame of a pure tone.
+func ToneFrame(seq uint32, freq, amp float64) Frame {
+	samples, _ := Tone(freq, amp, FrameSamples, 0)
+	return Frame{Seq: seq, Samples: samples}
+}
+
+// Mix sums aligned frames sample-by-sample with saturation — the
+// Audio Mixer element ("combines multiple audio signals into one").
+func Mix(frames ...Frame) Frame {
+	out := NewFrame(0)
+	if len(frames) > 0 {
+		out.Seq = frames[0].Seq
+	}
+	for i := range out.Samples {
+		var acc int32
+		for _, f := range frames {
+			if i < len(f.Samples) {
+				acc += int32(f.Samples[i])
+			}
+		}
+		out.Samples[i] = saturate(acc)
+	}
+	return out
+}
+
+func saturate(v int32) int16 {
+	switch {
+	case v > math.MaxInt16:
+		return math.MaxInt16
+	case v < math.MinInt16:
+		return math.MinInt16
+	default:
+		return int16(v)
+	}
+}
+
+// EchoCanceller removes a delayed copy of a known reference signal
+// from an input signal (the Echo Cancellation element: "removes
+// redundant audio signals (with an arbitrary amount of delay)").
+// Frames are processed in lockstep: each call feeds the far-end
+// reference frame that played locally while the mic frame was
+// captured; the canceller subtracts the reference, delayed by the
+// echo path and scaled by its gain.
+type EchoCanceller struct {
+	delay int // echo path delay in samples
+	gain  float64
+
+	hist      []int16 // reference sample history
+	histStart int     // absolute index of hist[0]
+	processed int     // absolute index of the next mic sample
+}
+
+// NewEchoCanceller builds a canceller for an echo path with the given
+// sample delay and amplitude gain.
+func NewEchoCanceller(delaySamples int, gain float64) *EchoCanceller {
+	if delaySamples < 0 {
+		delaySamples = 0
+	}
+	return &EchoCanceller{delay: delaySamples, gain: gain}
+}
+
+func (e *EchoCanceller) refAt(abs int) int16 {
+	i := abs - e.histStart
+	if i < 0 || i >= len(e.hist) {
+		return 0
+	}
+	return e.hist[i]
+}
+
+// Process feeds the far-end reference frame and cleans the aligned
+// mic frame, returning the echo-cancelled mic frame.
+func (e *EchoCanceller) Process(mic, reference Frame) Frame {
+	e.hist = append(e.hist, reference.Samples...)
+	out := mic.Clone()
+	for i := range out.Samples {
+		abs := e.processed + i
+		echoIdx := abs - e.delay
+		if echoIdx >= 0 {
+			echo := float64(e.refAt(echoIdx)) * e.gain
+			out.Samples[i] = saturate(int32(float64(out.Samples[i]) - echo))
+		}
+	}
+	e.processed += len(mic.Samples)
+	// Trim history to what future frames can still reference.
+	if keep := e.delay + 2*FrameSamples; len(e.hist) > keep {
+		drop := len(e.hist) - keep
+		e.hist = append(e.hist[:0], e.hist[drop:]...)
+		e.histStart += drop
+	}
+	return out
+}
+
+// goertzel returns the signal power at freq.
+func goertzel(samples []int16, freq float64) float64 {
+	k := 2 * math.Cos(2*math.Pi*freq/SampleRate)
+	var s0, s1, s2 float64
+	for _, x := range samples {
+		s0 = float64(x) + k*s1 - s2
+		s2 = s1
+		s1 = s0
+	}
+	power := s1*s1 + s2*s2 - k*s1*s2
+	return power / float64(len(samples))
+}
+
+// Letter tone code: each lower-case letter (plus '_' and the ';'
+// terminator) maps to a distinct voice-band frequency. This is the
+// simulated speech channel of the text-to-speech and
+// speech-to-command services.
+const (
+	toneBase = 400.0
+	toneStep = 60.0
+)
+
+// speech alphabet order: a..z, '_', ';'.
+const speechAlphabet = "abcdefghijklmnopqrstuvwxyz_;"
+
+// letterFreq returns the code frequency of a speech-alphabet rune.
+func letterFreq(r rune) (float64, bool) {
+	i := strings.IndexRune(speechAlphabet, r)
+	if i < 0 {
+		return 0, false
+	}
+	return toneBase + float64(i)*toneStep, true
+}
+
+// TextToSpeech converts a text message into an audible signal: one
+// frame per encodable rune (unsupported runes are skipped). The seq
+// numbers continue from startSeq.
+func TextToSpeech(text string, startSeq uint32) []Frame {
+	var frames []Frame
+	seq := startSeq
+	for _, r := range strings.ToLower(text) {
+		freq, ok := letterFreq(r)
+		if !ok {
+			continue
+		}
+		frames = append(frames, ToneFrame(seq, freq, 8000))
+		seq++
+	}
+	return frames
+}
+
+// SpeechDetectThreshold is the minimum Goertzel power for a frame to
+// count as a letter tone.
+const SpeechDetectThreshold = 1e6
+
+// DetectLetter identifies the speech-alphabet rune a frame encodes.
+// Off-grid tones (ordinary audio) leak comparable power into several
+// letter bins, so a detection additionally requires the best bin to
+// dominate the runner-up.
+func DetectLetter(f Frame) (rune, bool) {
+	best := -1
+	bestPower, secondPower := 0.0, 0.0
+	for i, r := range speechAlphabet {
+		freq := toneBase + float64(i)*toneStep
+		p := goertzel(f.Samples, freq)
+		if p > bestPower {
+			secondPower = bestPower
+			bestPower = p
+			best = int(r)
+		} else if p > secondPower {
+			secondPower = p
+		}
+	}
+	if best < 0 || bestPower < SpeechDetectThreshold {
+		return 0, false
+	}
+	// A coherent on-grid letter dominates its neighbours by ~40x;
+	// an off-grid tone (ordinary audio) by ~10x. Split the difference.
+	if secondPower > 0 && bestPower < 20*secondPower {
+		return 0, false // ambiguous: not a letter tone
+	}
+	return rune(best), true
+}
+
+// SpeechToCommand analyses an input audio signal for voice commands
+// and converts them to well-known ACE service command text: it
+// accumulates detected letters until the ';' terminator and returns
+// each complete command string. Letters separated by silence are
+// still assembled into one command until the terminator.
+type SpeechToCommand struct {
+	buf strings.Builder
+}
+
+// Feed processes one frame, returning a complete command string when
+// the terminator arrives.
+func (s *SpeechToCommand) Feed(f Frame) (cmd string, complete bool) {
+	r, ok := DetectLetter(f)
+	if !ok {
+		return "", false
+	}
+	if r == ';' {
+		text := s.buf.String()
+		s.buf.Reset()
+		if text == "" {
+			return "", false
+		}
+		return strings.ReplaceAll(text, "_", " ") + ";", true
+	}
+	s.buf.WriteRune(r)
+	return "", false
+}
+
+// Pending returns the letters accumulated so far (diagnostics).
+func (s *SpeechToCommand) Pending() string { return s.buf.String() }
+
+// EncodeCommand renders a spoken ACE command ("camera_on") as speech
+// frames ending with the terminator tone.
+func EncodeCommand(command string, startSeq uint32) ([]Frame, error) {
+	command = strings.TrimSuffix(strings.ToLower(command), ";")
+	for _, r := range command {
+		if _, ok := letterFreq(r); !ok && r != ' ' {
+			return nil, fmt.Errorf("media: rune %q not encodable as speech", r)
+		}
+	}
+	return TextToSpeech(strings.ReplaceAll(command, " ", "_")+";", startSeq), nil
+}

@@ -1,0 +1,79 @@
+// Package media implements the ACE media substrate: audio frames and
+// the processing services of §4.15/Fig 15 (capture, play, mixing,
+// echo cancellation, recording, text-to-speech, speech-to-command),
+// the ACE Converter service (§4.12, Fig 13), and the ACE Distribution
+// service (§4.13, Fig 14).
+//
+// Audio hardware is simulated: capture services synthesize PCM
+// tones in the voice band, and "speech" is a tone-per-letter code —
+// enough signal for the full pipeline (mix, cancel echo, detect
+// commands) to run end-to-end and be measured.
+package media
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// SampleRate is the pipeline's PCM rate in Hz.
+const SampleRate = 8000
+
+// FrameSamples is the number of samples per frame (20 ms at 8 kHz).
+const FrameSamples = 160
+
+// Frame is one PCM audio frame.
+type Frame struct {
+	Seq     uint32
+	Samples []int16
+}
+
+// NewFrame allocates a silent frame.
+func NewFrame(seq uint32) Frame {
+	return Frame{Seq: seq, Samples: make([]int16, FrameSamples)}
+}
+
+// Clone deep-copies the frame.
+func (f Frame) Clone() Frame {
+	out := Frame{Seq: f.Seq, Samples: make([]int16, len(f.Samples))}
+	copy(out.Samples, f.Samples)
+	return out
+}
+
+// Marshal renders the frame for the UDP data channel.
+func (f Frame) Marshal() []byte {
+	buf := make([]byte, 8+2*len(f.Samples))
+	binary.BigEndian.PutUint32(buf[0:4], f.Seq)
+	binary.BigEndian.PutUint32(buf[4:8], uint32(len(f.Samples)))
+	for i, s := range f.Samples {
+		binary.BigEndian.PutUint16(buf[8+2*i:], uint16(s))
+	}
+	return buf
+}
+
+// UnmarshalFrame parses a data-channel packet into a frame.
+func UnmarshalFrame(pkt []byte) (Frame, error) {
+	if len(pkt) < 8 {
+		return Frame{}, fmt.Errorf("media: short frame packet (%d bytes)", len(pkt))
+	}
+	n := binary.BigEndian.Uint32(pkt[4:8])
+	if int(n) > (len(pkt)-8)/2 || n > 1<<16 {
+		return Frame{}, fmt.Errorf("media: frame claims %d samples, packet holds %d bytes", n, len(pkt)-8)
+	}
+	f := Frame{Seq: binary.BigEndian.Uint32(pkt[0:4]), Samples: make([]int16, n)}
+	for i := range f.Samples {
+		f.Samples[i] = int16(binary.BigEndian.Uint16(pkt[8+2*i:]))
+	}
+	return f, nil
+}
+
+// Energy returns the frame's mean squared amplitude.
+func (f Frame) Energy() float64 {
+	if len(f.Samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range f.Samples {
+		sum += float64(s) * float64(s)
+	}
+	return sum / float64(len(f.Samples))
+}

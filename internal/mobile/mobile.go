@@ -1,0 +1,149 @@
+// Package mobile implements the "mobile sockets" the report lists as
+// required future work (§9): "research and development of mobile
+// sockets must be integrated with the current ACE service
+// infrastructure to handle downed ACE services, allowing clients to
+// quickly resume their tasks with other service instances and to
+// ensure service mobility."
+//
+// A mobile.Socket is a client handle bound to a *directory query*
+// rather than a network address: every call resolves the service
+// through the ASD (cached while healthy), and on transport failure it
+// re-resolves and retries — transparently following a service that
+// restarted on another host/port, or failing over to another live
+// instance of the same class.
+package mobile
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ace/internal/asd"
+	"ace/internal/cmdlang"
+	"ace/internal/daemon"
+)
+
+// Socket is a mobility-transparent client handle. It is safe for
+// concurrent use.
+type Socket struct {
+	pool    *daemon.Pool
+	asdAddr string
+	query   asd.Query
+
+	// RetryWindow bounds how long a call waits for the service to
+	// reappear in the directory after a failure.
+	RetryWindow time.Duration
+	// RetryInterval is the re-resolution poll period within the
+	// window.
+	RetryInterval time.Duration
+
+	mu       sync.Mutex
+	addr     string // cached resolved address
+	lastGood string // most recent address that resolved (for failover accounting)
+
+	reresolves atomic.Int64
+	failovers  atomic.Int64
+}
+
+// NewSocket binds a mobile socket to a directory query. The query
+// may name a specific service (mobility: follow it wherever it
+// re-registers) or a class (failover: any live instance will do).
+func NewSocket(pool *daemon.Pool, asdAddr string, query asd.Query) *Socket {
+	return &Socket{
+		pool:          pool,
+		asdAddr:       asdAddr,
+		query:         query,
+		RetryWindow:   3 * time.Second,
+		RetryInterval: 20 * time.Millisecond,
+	}
+}
+
+// Stats reports how often the socket had to re-resolve and how many
+// of those were failovers to a different address.
+func (s *Socket) Stats() (reresolves, failovers int64) {
+	return s.reresolves.Load(), s.failovers.Load()
+}
+
+// Addr returns the currently cached service address ("" if never
+// resolved).
+func (s *Socket) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.addr
+}
+
+// resolve returns a dialable address, preferring the cache; skip
+// lists addresses known to be bad in this attempt round.
+func (s *Socket) resolve(skip map[string]bool) (string, error) {
+	s.mu.Lock()
+	cached := s.addr
+	s.mu.Unlock()
+	if cached != "" && !skip[cached] {
+		return cached, nil
+	}
+	addrs, err := asd.ResolveAll(s.pool, s.asdAddr, s.query)
+	if err != nil {
+		return "", err
+	}
+	s.reresolves.Add(1)
+	for _, a := range addrs {
+		if skip[a] {
+			continue
+		}
+		s.mu.Lock()
+		if s.lastGood != "" && s.lastGood != a {
+			s.failovers.Add(1)
+		}
+		s.addr = a
+		s.lastGood = a
+		s.mu.Unlock()
+		return a, nil
+	}
+	return "", fmt.Errorf("mobile: every instance of %+v is excluded", s.query)
+}
+
+// Call issues the command, transparently re-resolving through the
+// directory when the current instance is unreachable. Remote "fail"
+// replies are returned immediately — the service answered; only
+// transport-level failures trigger mobility.
+func (s *Socket) Call(cmd *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+	deadline := time.Now().Add(s.RetryWindow)
+	skip := map[string]bool{}
+	var lastErr error
+	for {
+		addr, err := s.resolve(skip)
+		if err == nil {
+			reply, callErr := s.pool.Call(addr, cmd)
+			if callErr == nil {
+				return reply, nil
+			}
+			if _, isRemote := callErr.(*cmdlang.RemoteError); isRemote {
+				return nil, callErr
+			}
+			// Transport failure: this address is bad for now.
+			lastErr = callErr
+			skip[addr] = true
+			s.mu.Lock()
+			if s.addr == addr {
+				s.addr = ""
+			}
+			s.mu.Unlock()
+		} else {
+			lastErr = err
+			// The directory knows no (new) instance yet; widen the
+			// net again on the next round.
+			skip = map[string]bool{}
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("mobile: service %+v unreachable after %s: %w", s.query, s.RetryWindow, lastErr)
+		}
+		time.Sleep(s.RetryInterval)
+	}
+}
+
+// Ping verifies liveness through the mobility path.
+func (s *Socket) Ping() error {
+	_, err := s.Call(cmdlang.New(daemon.CmdPing))
+	return err
+}

@@ -1,0 +1,152 @@
+package mobile
+
+import (
+	"testing"
+	"time"
+
+	"ace/internal/asd"
+	"ace/internal/cmdlang"
+	"ace/internal/daemon"
+	"ace/internal/hier"
+)
+
+func startDir(t *testing.T) *asd.Service {
+	t.Helper()
+	dir := asd.New(asd.Config{ReapInterval: 10 * time.Millisecond})
+	if err := dir.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(dir.Stop)
+	return dir
+}
+
+func startEcho(t *testing.T, name, class, asdAddr string) *daemon.Daemon {
+	t.Helper()
+	d := daemon.New(daemon.Config{Name: name, Class: class, ASDAddr: asdAddr, LeaseTTL: 50 * time.Millisecond})
+	d.Handle(cmdlang.CommandSpec{Name: "whoami"},
+		func(_ *daemon.Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+			return cmdlang.OK().SetWord("name", name), nil
+		})
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestFollowsRestartedService(t *testing.T) {
+	dir := startDir(t)
+	inst := startEcho(t, "tracker", hier.Root+".Demo", dir.Addr())
+
+	pool := daemon.NewPool(nil)
+	defer pool.Close()
+	sock := NewSocket(pool, dir.Addr(), asd.Query{Name: "tracker"})
+
+	if err := sock.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	firstAddr := sock.Addr()
+
+	// The service "moves": it stops and a replacement with the same
+	// name comes up on a different port.
+	inst.Stop()
+	done := make(chan *daemon.Daemon, 1)
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		done <- startEcho(t, "tracker", hier.Root+".Demo", dir.Addr())
+	}()
+
+	// The next call transparently finds the new instance.
+	reply, err := sock.Call(cmdlang.New("whoami"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Str("name", "") != "tracker" {
+		t.Fatalf("reply=%v", reply)
+	}
+	if sock.Addr() == firstAddr {
+		t.Fatal("socket did not move with the service")
+	}
+	re, _ := sock.Stats()
+	if re < 1 {
+		t.Fatal("no re-resolution counted")
+	}
+	(<-done).Stop()
+}
+
+func TestFailsOverToAnotherInstance(t *testing.T) {
+	dir := startDir(t)
+	a := startEcho(t, "conv_a", hier.Root+".Media.Converter", dir.Addr())
+	b := startEcho(t, "conv_b", hier.Root+".Media.Converter", dir.Addr())
+	t.Cleanup(b.Stop)
+
+	pool := daemon.NewPool(nil)
+	defer pool.Close()
+	sock := NewSocket(pool, dir.Addr(), asd.Query{Class: hier.Root + ".Media.Converter"})
+
+	reply, err := sock.Call(cmdlang.New("whoami"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := reply.Str("name", "")
+
+	// Kill whichever instance we were using; calls continue against
+	// the other.
+	if first == "conv_a" {
+		a.Stop()
+	} else {
+		b.Stop()
+	}
+	reply, err = sock.Call(cmdlang.New("whoami"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := reply.Str("name", "")
+	if second == first {
+		t.Fatalf("still served by dead instance %q", first)
+	}
+	if first != "conv_a" {
+		a.Stop()
+	}
+	_, fo := sock.Stats()
+	if fo < 1 {
+		t.Fatal("failover not counted")
+	}
+}
+
+func TestRemoteErrorsDoNotTriggerMobility(t *testing.T) {
+	dir := startDir(t)
+	inst := startEcho(t, "svc", hier.Root+".Demo", dir.Addr())
+	t.Cleanup(inst.Stop)
+
+	pool := daemon.NewPool(nil)
+	defer pool.Close()
+	sock := NewSocket(pool, dir.Addr(), asd.Query{Name: "svc"})
+	start := time.Now()
+	_, err := sock.Call(cmdlang.New("nosuchcommand"))
+	if !cmdlang.IsRemoteCode(err, cmdlang.CodeUnknownCommand) {
+		t.Fatalf("err=%v", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("remote error burned the retry window")
+	}
+	re, _ := sock.Stats()
+	if re > 1 {
+		t.Fatalf("reresolves=%d for an answered call", re)
+	}
+}
+
+func TestGivesUpAfterRetryWindow(t *testing.T) {
+	dir := startDir(t)
+	pool := daemon.NewPool(nil)
+	defer pool.Close()
+	sock := NewSocket(pool, dir.Addr(), asd.Query{Name: "ghost"})
+	sock.RetryWindow = 150 * time.Millisecond
+	start := time.Now()
+	if err := sock.Ping(); err == nil {
+		t.Fatal("ghost ping succeeded")
+	}
+	elapsed := time.Since(start)
+	if elapsed < 100*time.Millisecond || elapsed > 2*time.Second {
+		t.Fatalf("window not honored: %v", elapsed)
+	}
+}

@@ -1,0 +1,291 @@
+// Package monitor implements the ACE resource monitors: the HRM —
+// Host Resource Monitor (§4.1), which reports one host's CPU load,
+// CPU speed (in bogomips), memory, disk, and network state, and the
+// SRM — System Resource Monitor (§4.2), which aggregates all HRMs to
+// provide uniform allocation of system resources (Fig 11).
+package monitor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"ace/internal/cmdlang"
+	"ace/internal/daemon"
+	"ace/internal/hier"
+	"ace/internal/simhost"
+)
+
+// Hierarchy classes for the monitor daemons.
+const (
+	ClassHRM = hier.Root + ".Monitor.HRM"
+	ClassSRM = hier.Root + ".Monitor.SRM"
+)
+
+// HRM is the host resource monitor daemon for one (simulated) host.
+type HRM struct {
+	*daemon.Daemon
+	host *simhost.Host
+}
+
+// NewHRM wraps a host in an HRM daemon.
+func NewHRM(dcfg daemon.Config, host *simhost.Host) *HRM {
+	if dcfg.Name == "" {
+		dcfg.Name = "hrm_" + host.Name()
+	}
+	if dcfg.Class == "" {
+		dcfg.Class = ClassHRM
+	}
+	if dcfg.Host == "" {
+		dcfg.Host = host.Name()
+	}
+	h := &HRM{Daemon: daemon.New(dcfg), host: host}
+	h.install()
+	return h
+}
+
+// Host exposes the monitored host.
+func (h *HRM) Host() *simhost.Host { return h.host }
+
+func statusReply(st simhost.Status) *cmdlang.CmdLine {
+	return cmdlang.OK().
+		SetWord("host", st.Host).
+		SetFloat("speed", st.Speed).
+		SetFloat("cpuload", st.CPULoad).
+		SetInt("runnable", int64(st.Runnable)).
+		SetInt("memtotal", st.MemTotal).
+		SetInt("memused", st.MemUsed).
+		SetInt("memavail", st.MemTotal-st.MemUsed).
+		SetInt("disktotal", st.DiskTotal).
+		SetFloat("netload", st.NetLoad)
+}
+
+func (h *HRM) install() {
+	h.Handle(cmdlang.CommandSpec{
+		Name: "hostStatus",
+		Doc:  "report this host's resource state (CPU load, bogomips, memory, disk, net)",
+	}, func(_ *daemon.Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		return statusReply(h.host.Status()), nil
+	})
+}
+
+// HostReport is the SRM's view of one host.
+type HostReport struct {
+	Host    string
+	HRMAddr string
+	HALAddr string
+	Status  simhost.Status
+	Healthy bool
+	LastErr string
+}
+
+// Policy selects how the SRM picks a host for a new application.
+type Policy string
+
+const (
+	// PolicyRandom places uniformly at random — the baseline the SAL
+	// may use "randomly or by resource allocation" (§4.4).
+	PolicyRandom Policy = "random"
+	// PolicyLeastLoaded minimizes expected completion share:
+	// (runnable+1)/speed, i.e. speed-aware least-loaded.
+	PolicyLeastLoaded Policy = "least_loaded"
+)
+
+// SRM is the system resource monitor daemon.
+type SRM struct {
+	*daemon.Daemon
+
+	mu    sync.Mutex
+	hosts map[string]*HostReport // host name → report
+	rng   *rand.Rand
+}
+
+// NewSRM constructs the system monitor.
+func NewSRM(dcfg daemon.Config, seed int64) *SRM {
+	if dcfg.Name == "" {
+		dcfg.Name = "srm"
+	}
+	if dcfg.Class == "" {
+		dcfg.Class = ClassSRM
+	}
+	s := &SRM{
+		Daemon: daemon.New(dcfg),
+		hosts:  make(map[string]*HostReport),
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+	s.install()
+	return s
+}
+
+// AddHost registers a host's HRM (and optionally HAL) address with
+// the system monitor.
+func (s *SRM) AddHost(host, hrmAddr, halAddr string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hosts[host] = &HostReport{Host: host, HRMAddr: hrmAddr, HALAddr: halAddr}
+}
+
+// RemoveHost drops a host from the pool.
+func (s *SRM) RemoveHost(host string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.hosts, host)
+}
+
+// Refresh polls every registered HRM for its status (the regular
+// communication the SRM holds with all the HRMs in the network).
+func (s *SRM) Refresh() {
+	s.mu.Lock()
+	hosts := make([]*HostReport, 0, len(s.hosts))
+	for _, h := range s.hosts {
+		hosts = append(hosts, h)
+	}
+	s.mu.Unlock()
+
+	for _, h := range hosts {
+		reply, err := s.Pool().Call(h.HRMAddr, cmdlang.New("hostStatus"))
+		s.mu.Lock()
+		if err != nil {
+			h.Healthy = false
+			h.LastErr = err.Error()
+		} else {
+			h.Healthy = true
+			h.LastErr = ""
+			h.Status = simhost.Status{
+				Host:     reply.Str("host", h.Host),
+				Speed:    reply.Float("speed", 0),
+				CPULoad:  reply.Float("cpuload", 0),
+				Runnable: int(reply.Int("runnable", 0)),
+				MemTotal: reply.Int("memtotal", 0),
+				MemUsed:  reply.Int("memused", 0),
+				NetLoad:  reply.Float("netload", 0),
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Reports returns the current per-host view, sorted by host name.
+func (s *SRM) Reports() []HostReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]HostReport, 0, len(s.hosts))
+	for _, h := range s.hosts {
+		out = append(out, *h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Host < out[j].Host })
+	return out
+}
+
+// Pick chooses a host for a new application under the given policy,
+// requiring minMem bytes available. It returns the chosen report.
+func (s *SRM) Pick(policy Policy, minMem int64) (HostReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var candidates []*HostReport
+	for _, h := range s.hosts {
+		if !h.Healthy {
+			continue
+		}
+		if minMem > 0 && h.Status.MemTotal-h.Status.MemUsed < minMem {
+			continue
+		}
+		candidates = append(candidates, h)
+	}
+	if len(candidates) == 0 {
+		return HostReport{}, fmt.Errorf("srm: no healthy host with %d bytes free", minMem)
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i].Host < candidates[j].Host })
+	switch policy {
+	case PolicyRandom:
+		return *candidates[s.rng.Intn(len(candidates))], nil
+	case PolicyLeastLoaded, "":
+		best := candidates[0]
+		bestScore := math.Inf(1)
+		for _, h := range candidates {
+			speed := h.Status.Speed
+			if speed <= 0 {
+				speed = 1
+			}
+			score := (float64(h.Status.Runnable) + 1) / speed
+			if score < bestScore {
+				bestScore = score
+				best = h
+			}
+		}
+		// Optimistically account for the placement so bursts spread
+		// out between refreshes.
+		best.Status.Runnable++
+		r := *best
+		r.Status.Runnable--
+		return r, nil
+	default:
+		return HostReport{}, fmt.Errorf("srm: unknown policy %q", policy)
+	}
+}
+
+func (s *SRM) install() {
+	s.Handle(cmdlang.CommandSpec{
+		Name: "addHost",
+		Doc:  "register a host's HRM (and optional HAL) with the system monitor",
+		Args: []cmdlang.ArgSpec{
+			{Name: "host", Kind: cmdlang.KindWord, Required: true},
+			{Name: "hrm", Kind: cmdlang.KindString, Required: true},
+			{Name: "hal", Kind: cmdlang.KindString},
+		},
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		s.AddHost(c.Str("host", ""), c.Str("hrm", ""), c.Str("hal", ""))
+		return nil, nil
+	})
+
+	s.Handle(cmdlang.CommandSpec{
+		Name: "removeHost",
+		Args: []cmdlang.ArgSpec{{Name: "host", Kind: cmdlang.KindWord, Required: true}},
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		s.RemoveHost(c.Str("host", ""))
+		return nil, nil
+	})
+
+	s.Handle(cmdlang.CommandSpec{
+		Name: "systemStatus",
+		Doc:  "refresh and report every host's resource state",
+	}, func(_ *daemon.Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		s.Refresh()
+		reports := s.Reports()
+		hosts := make([]string, len(reports))
+		loads := make([]float64, len(reports))
+		speeds := make([]float64, len(reports))
+		for i, r := range reports {
+			hosts[i] = r.Host
+			loads[i] = r.Status.CPULoad
+			speeds[i] = r.Status.Speed
+		}
+		return cmdlang.OK().
+			SetInt("count", int64(len(reports))).
+			Set("hosts", cmdlang.WordVector(hosts...)).
+			Set("loads", cmdlang.FloatVector(loads...)).
+			Set("speeds", cmdlang.FloatVector(speeds...)), nil
+	})
+
+	s.Handle(cmdlang.CommandSpec{
+		Name: "bestHost",
+		Doc:  "pick a host for a new application",
+		Args: []cmdlang.ArgSpec{
+			{Name: "policy", Kind: cmdlang.KindWord},
+			{Name: "mem", Kind: cmdlang.KindInt},
+		},
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		s.Refresh()
+		r, err := s.Pick(Policy(c.Str("policy", string(PolicyLeastLoaded))), c.Int("mem", 0))
+		if err != nil {
+			return cmdlang.Fail(cmdlang.CodeUnavailable, err.Error()), nil
+		}
+		reply := cmdlang.OK().SetWord("host", r.Host).SetString("hrm", r.HRMAddr)
+		if r.HALAddr != "" {
+			reply.SetString("hal", r.HALAddr)
+		}
+		return reply, nil
+	})
+}

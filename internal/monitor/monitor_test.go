@@ -1,0 +1,126 @@
+package monitor
+
+import (
+	"testing"
+
+	"ace/internal/cmdlang"
+	"ace/internal/daemon"
+	"ace/internal/simhost"
+)
+
+// Cross-daemon SRM/HAL behaviour is covered in the launcher package;
+// these tests pin the monitor-local logic.
+
+func TestHRMDefaults(t *testing.T) {
+	host := simhost.NewHost("bar", 450, 1<<30, 1<<40)
+	h := NewHRM(daemon.Config{}, host)
+	if h.Name() != "hrm_bar" || h.Class() != ClassHRM {
+		t.Fatalf("name=%q class=%q", h.Name(), h.Class())
+	}
+	if h.Host() != host {
+		t.Fatal("host not retained")
+	}
+}
+
+func TestSRMPickDeterministicWithSeed(t *testing.T) {
+	a := NewSRM(daemon.Config{Name: "srmA"}, 7)
+	b := NewSRM(daemon.Config{Name: "srmB"}, 7)
+	for _, s := range []*SRM{a, b} {
+		for i, name := range []string{"h1", "h2", "h3", "h4"} {
+			s.AddHost(name, "", "")
+			// Mark healthy by hand (no HRM in this unit test).
+			s.mu.Lock()
+			s.hosts[name].Healthy = true
+			s.hosts[name].Status.Speed = float64(100 * (i + 1))
+			s.mu.Unlock()
+		}
+	}
+	for i := 0; i < 10; i++ {
+		pa, errA := a.Pick(PolicyRandom, 0)
+		pb, errB := b.Pick(PolicyRandom, 0)
+		if errA != nil || errB != nil {
+			t.Fatal(errA, errB)
+		}
+		if pa.Host != pb.Host {
+			t.Fatalf("same-seed SRMs diverged: %s vs %s", pa.Host, pb.Host)
+		}
+	}
+}
+
+func TestSRMRemoveHost(t *testing.T) {
+	s := NewSRM(daemon.Config{}, 1)
+	s.AddHost("gone", "", "")
+	s.RemoveHost("gone")
+	if len(s.Reports()) != 0 {
+		t.Fatal("host not removed")
+	}
+	if _, err := s.Pick(PolicyLeastLoaded, 0); err == nil {
+		t.Fatal("pick from empty pool succeeded")
+	}
+}
+
+func TestSRMLeastLoadedPrefersFasterWhenEqualLoad(t *testing.T) {
+	s := NewSRM(daemon.Config{}, 1)
+	for name, speed := range map[string]float64{"slow": 100, "fast": 500} {
+		s.AddHost(name, "", "")
+		s.mu.Lock()
+		s.hosts[name].Healthy = true
+		s.hosts[name].Status.Speed = speed
+		s.mu.Unlock()
+	}
+	pick, err := s.Pick(PolicyLeastLoaded, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pick.Host != "fast" {
+		t.Fatalf("picked %s", pick.Host)
+	}
+}
+
+func TestSRMOptimisticAccounting(t *testing.T) {
+	// Repeated picks between refreshes should spread over hosts, not
+	// pile onto the same one.
+	s := NewSRM(daemon.Config{}, 1)
+	for _, name := range []string{"h1", "h2"} {
+		s.AddHost(name, "", "")
+		s.mu.Lock()
+		s.hosts[name].Healthy = true
+		s.hosts[name].Status.Speed = 100
+		s.mu.Unlock()
+	}
+	counts := map[string]int{}
+	for i := 0; i < 10; i++ {
+		p, err := s.Pick(PolicyLeastLoaded, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[p.Host]++
+	}
+	if counts["h1"] != 5 || counts["h2"] != 5 {
+		t.Fatalf("burst not spread: %v", counts)
+	}
+}
+
+func TestAddHostCommand(t *testing.T) {
+	s := NewSRM(daemon.Config{}, 1)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Stop)
+	pool := daemon.NewPool(nil)
+	defer pool.Close()
+	if _, err := pool.Call(s.Addr(), cmdlang.New("addHost").
+		SetWord("host", "remote1").SetString("hrm", "r:1").SetString("hal", "r:2")); err != nil {
+		t.Fatal(err)
+	}
+	reports := s.Reports()
+	if len(reports) != 1 || reports[0].HRMAddr != "r:1" || reports[0].HALAddr != "r:2" {
+		t.Fatalf("reports=%+v", reports)
+	}
+	if _, err := pool.Call(s.Addr(), cmdlang.New("removeHost").SetWord("host", "remote1")); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Reports()) != 0 {
+		t.Fatal("removeHost command failed")
+	}
+}

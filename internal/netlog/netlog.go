@@ -1,0 +1,188 @@
+// Package netlog implements the ACE Network Logger service (§4.14):
+// the environment's history. Services report lifecycle events and
+// security-relevant activity (failed identifications, denied
+// commands) so administrators can audit the system later.
+package netlog
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"ace/internal/cmdlang"
+	"ace/internal/daemon"
+	"ace/internal/hier"
+)
+
+// ServiceName is the conventional instance name of the logger daemon.
+const ServiceName = "netlog"
+
+// DefaultCapacity bounds the in-memory history ring.
+const DefaultCapacity = 65536
+
+// Entry is one logged event.
+type Entry struct {
+	Seq    int64
+	Time   time.Time
+	Source string
+	Event  string
+	Host   string
+	Room   string
+	Detail string
+}
+
+// Log is a bounded, append-only event history with query support.
+type Log struct {
+	mu      sync.Mutex
+	entries []Entry
+	start   int // ring start index
+	count   int
+	nextSeq int64
+	now     func() time.Time
+}
+
+// NewLog returns a log holding up to capacity entries (DefaultCapacity
+// if capacity <= 0).
+func NewLog(capacity int) *Log {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Log{entries: make([]Entry, capacity), now: time.Now, nextSeq: 1}
+}
+
+// SetClock injects a time source (tests).
+func (l *Log) SetClock(now func() time.Time) { l.now = now }
+
+// Append records an event and returns its sequence number.
+func (l *Log) Append(e Entry) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e.Seq = l.nextSeq
+	l.nextSeq++
+	if e.Time.IsZero() {
+		e.Time = l.now()
+	}
+	idx := (l.start + l.count) % len(l.entries)
+	if l.count == len(l.entries) {
+		l.start = (l.start + 1) % len(l.entries)
+		l.entries[idx] = e
+	} else {
+		l.entries[idx] = e
+		l.count++
+	}
+	return e.Seq
+}
+
+// Query filters the history. Zero fields match everything.
+type Query struct {
+	Source   string
+	Event    string
+	SinceSeq int64
+	Contains string
+	Limit    int
+}
+
+// Search returns matching entries in append order.
+func (l *Log) Search(q Query) []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Entry
+	for i := 0; i < l.count; i++ {
+		e := l.entries[(l.start+i)%len(l.entries)]
+		if q.Source != "" && e.Source != q.Source {
+			continue
+		}
+		if q.Event != "" && e.Event != q.Event {
+			continue
+		}
+		if q.SinceSeq > 0 && e.Seq <= q.SinceSeq {
+			continue
+		}
+		if q.Contains != "" && !strings.Contains(e.Detail, q.Contains) {
+			continue
+		}
+		out = append(out, e)
+		if q.Limit > 0 && len(out) >= q.Limit {
+			break
+		}
+	}
+	return out
+}
+
+// Len returns the number of retained entries.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.count
+}
+
+// Service is the logger wrapped as an ACE daemon.
+type Service struct {
+	*daemon.Daemon
+	log *Log
+}
+
+// New constructs the logger daemon.
+func New(dcfg daemon.Config, capacity int) *Service {
+	if dcfg.Name == "" {
+		dcfg.Name = ServiceName
+	}
+	if dcfg.Class == "" {
+		dcfg.Class = hier.Root + ".Logger"
+	}
+	s := &Service{Daemon: daemon.New(dcfg), log: NewLog(capacity)}
+	s.install()
+	return s
+}
+
+// Log exposes the underlying history.
+func (s *Service) Log() *Log { return s.log }
+
+func (s *Service) install() {
+	s.Handle(cmdlang.CommandSpec{
+		Name: daemon.CmdLogEvent,
+		Doc:  "record an event in the environment history",
+		Args: []cmdlang.ArgSpec{
+			{Name: "source", Kind: cmdlang.KindWord, Required: true},
+			{Name: "event", Kind: cmdlang.KindWord, Required: true},
+			{Name: "host", Kind: cmdlang.KindWord},
+			{Name: "room", Kind: cmdlang.KindWord},
+			{Name: "detail", Kind: cmdlang.KindString},
+		},
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		seq := s.log.Append(Entry{
+			Source: c.Str("source", ""),
+			Event:  c.Str("event", ""),
+			Host:   c.Str("host", ""),
+			Room:   c.Str("room", ""),
+			Detail: c.Str("detail", ""),
+		})
+		return cmdlang.OK().SetInt("logseq", seq), nil
+	})
+
+	s.Handle(cmdlang.CommandSpec{
+		Name: "query",
+		Doc:  "search the event history",
+		Args: []cmdlang.ArgSpec{
+			{Name: "source", Kind: cmdlang.KindWord},
+			{Name: "event", Kind: cmdlang.KindWord},
+			{Name: "since", Kind: cmdlang.KindInt},
+			{Name: "contains", Kind: cmdlang.KindString},
+			{Name: "limit", Kind: cmdlang.KindInt},
+		},
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		entries := s.log.Search(Query{
+			Source:   c.Str("source", ""),
+			Event:    c.Str("event", ""),
+			SinceSeq: c.Int("since", 0),
+			Contains: c.Str("contains", ""),
+			Limit:    int(c.Int("limit", 0)),
+		})
+		lines := make([]string, len(entries))
+		for i, e := range entries {
+			lines[i] = fmt.Sprintf("%d %s %s %s %s", e.Seq, e.Time.Format(time.RFC3339), e.Source, e.Event, e.Detail)
+		}
+		return cmdlang.OK().SetInt("count", int64(len(entries))).Set("lines", cmdlang.StringVector(lines...)), nil
+	})
+}

@@ -1,0 +1,124 @@
+package netlog
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"ace/internal/cmdlang"
+	"ace/internal/daemon"
+)
+
+func TestLogAppendAndSearch(t *testing.T) {
+	l := NewLog(16)
+	l.Append(Entry{Source: "fiu", Event: "id_failed", Detail: "unknown fingerprint at hawk door"})
+	l.Append(Entry{Source: "fiu", Event: "id_ok", Detail: "john_doe at hawk door"})
+	l.Append(Entry{Source: "asd", Event: "expired", Detail: "service cam1 lease expired"})
+
+	if got := l.Search(Query{Source: "fiu"}); len(got) != 2 {
+		t.Fatalf("fiu=%v", got)
+	}
+	if got := l.Search(Query{Event: "id_failed"}); len(got) != 1 {
+		t.Fatalf("failed=%v", got)
+	}
+	if got := l.Search(Query{Contains: "john_doe"}); len(got) != 1 {
+		t.Fatalf("contains=%v", got)
+	}
+	if got := l.Search(Query{SinceSeq: 2}); len(got) != 1 || got[0].Source != "asd" {
+		t.Fatalf("since=%v", got)
+	}
+	if got := l.Search(Query{Limit: 2}); len(got) != 2 {
+		t.Fatalf("limit=%v", got)
+	}
+	if l.Len() != 3 {
+		t.Fatalf("len=%d", l.Len())
+	}
+}
+
+func TestLogRingOverwrite(t *testing.T) {
+	l := NewLog(4)
+	for i := 0; i < 10; i++ {
+		l.Append(Entry{Source: "s", Event: "e", Detail: fmt.Sprintf("d%d", i)})
+	}
+	if l.Len() != 4 {
+		t.Fatalf("len=%d", l.Len())
+	}
+	got := l.Search(Query{})
+	if len(got) != 4 || got[0].Detail != "d6" || got[3].Detail != "d9" {
+		t.Fatalf("got=%v", got)
+	}
+	// Sequence numbers keep increasing monotonically.
+	for i := 1; i < len(got); i++ {
+		if got[i].Seq != got[i-1].Seq+1 {
+			t.Fatalf("seqs=%v", got)
+		}
+	}
+}
+
+func TestLogClockStamps(t *testing.T) {
+	l := NewLog(4)
+	fixed := time.Date(2000, 8, 21, 12, 0, 0, 0, time.UTC)
+	l.SetClock(func() time.Time { return fixed })
+	l.Append(Entry{Source: "x", Event: "y"})
+	got := l.Search(Query{})
+	if !got[0].Time.Equal(fixed) {
+		t.Fatalf("time=%v", got[0].Time)
+	}
+}
+
+func TestServiceLogAndQuery(t *testing.T) {
+	s := New(daemon.Config{}, 128)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Stop)
+
+	pool := daemon.NewPool(nil)
+	defer pool.Close()
+
+	reply, err := pool.Call(s.Addr(), cmdlang.New(daemon.CmdLogEvent).
+		SetWord("source", "foo").SetWord("event", "started").
+		SetWord("host", "bar").SetWord("room", "hawk").
+		SetString("detail", "service foo started on host bar"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Int("logseq", 0) != 1 {
+		t.Fatalf("seq=%v", reply)
+	}
+
+	res, err := pool.Call(s.Addr(), cmdlang.New("query").SetWord("source", "foo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Int("count", 0) != 1 {
+		t.Fatalf("count=%v", res)
+	}
+	lines := res.Strings("lines")
+	if len(lines) != 1 {
+		t.Fatalf("lines=%v", lines)
+	}
+}
+
+func TestDaemonStartupLogsEvent(t *testing.T) {
+	// Fig 9 step 5: a starting daemon records its start in the logger.
+	s := New(daemon.Config{}, 128)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Stop)
+
+	d := daemon.New(daemon.Config{Name: "foo", Host: "bar", Room: "hawk", NetLogAddr: s.Addr()})
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	started := s.Log().Search(Query{Source: "foo", Event: "started"})
+	if len(started) != 1 {
+		t.Fatalf("started events=%v", started)
+	}
+	d.Stop()
+	stopped := s.Log().Search(Query{Source: "foo", Event: "stopped"})
+	if len(stopped) != 1 {
+		t.Fatalf("stopped events=%v", stopped)
+	}
+}

@@ -1,0 +1,427 @@
+// Package ophone implements the O-Phone (§5.5): full-duplex telephone
+// communication over IP between ACE users. The original integrated
+// the open-source Gnome O-Phone as a workspace application; this
+// reproduction builds the equivalent natively on the ACE substrate —
+// a phone daemon per endpoint, call signalling over the command
+// channel (dial / ring / answer / hangup), and two-way audio over the
+// daemons' UDP data channels.
+//
+// Users are reachable wherever they are: a caller dials a *username*,
+// and the phone service locates the callee's current phone through
+// the ASD, freeing users from having to be near a particular phone.
+package ophone
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"ace/internal/asd"
+	"ace/internal/cmdlang"
+	"ace/internal/daemon"
+	"ace/internal/hier"
+	"ace/internal/media"
+)
+
+// ClassPhone is the hierarchy class of phone endpoints.
+const ClassPhone = hier.Root + ".Phone"
+
+// CallState is a phone's call state machine position.
+type CallState int
+
+const (
+	// Idle: no call.
+	Idle CallState = iota
+	// Ringing: an incoming call awaits answer.
+	Ringing
+	// Dialing: an outgoing call awaits the callee's answer.
+	Dialing
+	// Active: audio is flowing both ways.
+	Active
+)
+
+// String names the state.
+func (s CallState) String() string {
+	switch s {
+	case Idle:
+		return "idle"
+	case Ringing:
+		return "ringing"
+	case Dialing:
+		return "dialing"
+	case Active:
+		return "active"
+	default:
+		return "unknown"
+	}
+}
+
+// Phone is one O-Phone endpoint daemon, owned by a user.
+type Phone struct {
+	*daemon.Daemon
+
+	owner   string
+	asdAddr string
+
+	mu       sync.Mutex
+	state    CallState
+	peerUser string
+	peerCmd  string // peer's command address
+	peerData string // peer's audio (data channel) address
+	seq      uint32
+
+	received []media.Frame
+	// onFrame observes received audio (e.g. to drive a speaker).
+	onFrame func(media.Frame)
+	// autoAnswer answers incoming calls immediately (voicemail-style
+	// endpoints and tests).
+	autoAnswer bool
+}
+
+// Config describes a phone endpoint.
+type Config struct {
+	// Daemon is the shell configuration; Name defaults to
+	// "ophone_<owner>".
+	Daemon daemon.Config
+	// Owner is the ACE user this phone belongs to.
+	Owner string
+	// ASDAddr locates peers' phones by owner (required for Dial).
+	ASDAddr string
+	// AutoAnswer accepts incoming calls without an explicit answer
+	// command.
+	AutoAnswer bool
+}
+
+// New constructs a phone endpoint.
+func New(cfg Config) *Phone {
+	dcfg := cfg.Daemon
+	if dcfg.Name == "" {
+		dcfg.Name = "ophone_" + cfg.Owner
+	}
+	if dcfg.Class == "" {
+		dcfg.Class = ClassPhone
+	}
+	if dcfg.ASDAddr == "" {
+		dcfg.ASDAddr = cfg.ASDAddr
+	}
+	p := &Phone{owner: cfg.Owner, asdAddr: cfg.ASDAddr, autoAnswer: cfg.AutoAnswer}
+	dcfg.DataHandler = p.onData
+	p.Daemon = daemon.New(dcfg)
+	p.install()
+	return p
+}
+
+// Owner returns the phone's user.
+func (p *Phone) Owner() string { return p.owner }
+
+// State returns the call state.
+func (p *Phone) State() CallState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.state
+}
+
+// Peer returns the current peer user, if any.
+func (p *Phone) Peer() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.peerUser
+}
+
+// SetOnFrame installs the received-audio observer.
+func (p *Phone) SetOnFrame(fn func(media.Frame)) {
+	p.mu.Lock()
+	p.onFrame = fn
+	p.mu.Unlock()
+}
+
+// Received returns the audio received so far in the current or last
+// call.
+func (p *Phone) Received() []media.Frame {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]media.Frame(nil), p.received...)
+}
+
+func (p *Phone) onData(pkt []byte, _ net.Addr) {
+	f, err := media.UnmarshalFrame(pkt)
+	if err != nil {
+		return
+	}
+	p.mu.Lock()
+	if p.state != Active {
+		p.mu.Unlock()
+		return // not in a call: drop
+	}
+	p.received = append(p.received, f)
+	fn := p.onFrame
+	p.mu.Unlock()
+	if fn != nil {
+		fn(f)
+	}
+}
+
+// Dial places a call to another ACE user: the callee's phone is
+// located through the ASD by owner, then signalled with "ring".
+func (p *Phone) Dial(user string) error {
+	if p.asdAddr == "" {
+		return fmt.Errorf("ophone: no ASD configured")
+	}
+	p.mu.Lock()
+	if p.state != Idle {
+		st := p.state
+		p.mu.Unlock()
+		return fmt.Errorf("ophone: cannot dial while %s", st)
+	}
+	p.state = Dialing
+	p.mu.Unlock()
+
+	fail := func(err error) error {
+		p.mu.Lock()
+		p.state = Idle
+		p.mu.Unlock()
+		return err
+	}
+
+	// Find the callee's phone (any endpoint owned by the user).
+	entries, err := lookupPhones(p.Pool(), p.asdAddr)
+	if err != nil {
+		return fail(err)
+	}
+	var calleeAddr string
+	for _, e := range entries {
+		if e.owner == user {
+			calleeAddr = e.addr
+			break
+		}
+	}
+	if calleeAddr == "" {
+		return fail(fmt.Errorf("ophone: user %q has no reachable phone", user))
+	}
+
+	reply, err := p.Pool().Call(calleeAddr, cmdlang.New("ring").
+		SetWord("from", p.owner).
+		SetString("cmdAddr", p.Addr()).
+		SetString("dataAddr", p.DataAddr()))
+	if err != nil {
+		return fail(fmt.Errorf("ophone: ringing %s: %w", user, err))
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.peerUser = user
+	p.peerCmd = calleeAddr
+	p.peerData = reply.Str("dataAddr", "")
+	if reply.Bool("answered", false) {
+		p.state = Active
+		p.received = nil
+	}
+	return nil
+}
+
+// Answer accepts a ringing call.
+func (p *Phone) Answer() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.answerLocked()
+}
+
+func (p *Phone) answerLocked() error {
+	if p.state != Ringing {
+		return fmt.Errorf("ophone: nothing to answer (state %s)", p.state)
+	}
+	p.state = Active
+	p.received = nil
+	// Tell the caller we picked up.
+	go p.Pool().Call(p.peerCmd, cmdlang.New("answered"). //nolint:errcheck
+								SetWord("from", p.owner).
+								SetString("dataAddr", p.DataAddr()))
+	return nil
+}
+
+// Hangup ends the current call (both sides return to idle).
+func (p *Phone) Hangup() error {
+	p.mu.Lock()
+	if p.state == Idle {
+		p.mu.Unlock()
+		return nil
+	}
+	peer := p.peerCmd
+	p.state = Idle
+	p.peerUser, p.peerCmd, p.peerData = "", "", ""
+	p.mu.Unlock()
+	if peer != "" {
+		p.Pool().Call(peer, cmdlang.New("hangup").SetWord("from", p.owner)) //nolint:errcheck — peer may be gone
+	}
+	return nil
+}
+
+// Say speaks text into the call (text-to-speech frames over the data
+// channel).
+func (p *Phone) Say(text string) (int, error) {
+	p.mu.Lock()
+	if p.state != Active {
+		st := p.state
+		p.mu.Unlock()
+		return 0, fmt.Errorf("ophone: not in a call (state %s)", st)
+	}
+	dest := p.peerData
+	seq := p.seq
+	p.mu.Unlock()
+
+	// Spaces travel as the '_' tone (the speech alphabet has no
+	// silence symbol).
+	frames := media.TextToSpeech(strings.ReplaceAll(text, " ", "_"), seq)
+	for _, f := range frames {
+		if err := p.SendData(dest, f.Marshal()); err != nil {
+			return 0, err
+		}
+	}
+	p.mu.Lock()
+	p.seq += uint32(len(frames))
+	p.mu.Unlock()
+	return len(frames), nil
+}
+
+// SendTone streams n frames of a tone into the call (the "voice").
+func (p *Phone) SendTone(freq float64, n int) (int, error) {
+	p.mu.Lock()
+	if p.state != Active {
+		st := p.state
+		p.mu.Unlock()
+		return 0, fmt.Errorf("ophone: not in a call (state %s)", st)
+	}
+	dest := p.peerData
+	seq := p.seq
+	p.seq += uint32(n)
+	p.mu.Unlock()
+
+	phase := 0.0
+	for i := 0; i < n; i++ {
+		var samples []int16
+		samples, phase = media.Tone(freq, 6000, media.FrameSamples, phase)
+		f := media.Frame{Seq: seq + uint32(i), Samples: samples}
+		if err := p.SendData(dest, f.Marshal()); err != nil {
+			return i, err
+		}
+	}
+	return n, nil
+}
+
+type phoneEntry struct{ owner, addr string }
+
+func lookupPhones(pool *daemon.Pool, asdAddr string) ([]phoneEntry, error) {
+	reply, err := pool.Call(asdAddr, cmdlang.New(daemon.CmdLookup).SetString("class", ClassPhone))
+	if err != nil {
+		if cmdlang.IsRemoteCode(err, cmdlang.CodeNotFound) {
+			return nil, fmt.Errorf("ophone: no phones registered")
+		}
+		return nil, err
+	}
+	names := reply.Strings("names")
+	addrs := reply.Strings("addrs")
+	entries := make([]phoneEntry, 0, len(names))
+	for i, n := range names {
+		if i >= len(addrs) {
+			break
+		}
+		// Phones are named ophone_<owner> by convention; confirm with
+		// an info call only if the convention doesn't hold.
+		owner := n
+		if len(n) > 7 && n[:7] == "ophone_" {
+			owner = n[7:]
+		}
+		entries = append(entries, phoneEntry{owner: owner, addr: addrs[i]})
+	}
+	return entries, nil
+}
+
+func (p *Phone) install() {
+	p.Handle(cmdlang.CommandSpec{
+		Name: "ring",
+		Doc:  "incoming call signalling",
+		Args: []cmdlang.ArgSpec{
+			{Name: "from", Kind: cmdlang.KindWord, Required: true},
+			{Name: "cmdAddr", Kind: cmdlang.KindString, Required: true},
+			{Name: "dataAddr", Kind: cmdlang.KindString, Required: true},
+		},
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		if p.state != Idle {
+			return cmdlang.Fail(cmdlang.CodeConflict, "busy ("+p.state.String()+")"), nil
+		}
+		p.state = Ringing
+		p.peerUser = c.Str("from", "")
+		p.peerCmd = c.Str("cmdAddr", "")
+		p.peerData = c.Str("dataAddr", "")
+		reply := cmdlang.OK().SetString("dataAddr", p.DataAddr())
+		if p.autoAnswer {
+			if err := p.answerLocked(); err == nil {
+				reply.SetBool("answered", true)
+			}
+		} else {
+			reply.SetBool("answered", false)
+		}
+		return reply, nil
+	})
+
+	p.Handle(cmdlang.CommandSpec{
+		Name: "answered",
+		Doc:  "the callee picked up",
+		Args: []cmdlang.ArgSpec{
+			{Name: "from", Kind: cmdlang.KindWord, Required: true},
+			{Name: "dataAddr", Kind: cmdlang.KindString, Required: true},
+		},
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		if p.state != Dialing || c.Str("from", "") != p.peerUser {
+			return cmdlang.Fail(cmdlang.CodeConflict, "not dialing "+c.Str("from", "")), nil
+		}
+		p.state = Active
+		p.received = nil
+		p.peerData = c.Str("dataAddr", "")
+		return nil, nil
+	})
+
+	p.Handle(cmdlang.CommandSpec{
+		Name: "hangup",
+		Args: []cmdlang.ArgSpec{{Name: "from", Kind: cmdlang.KindWord}},
+	}, func(_ *daemon.Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		p.mu.Lock()
+		p.state = Idle
+		p.peerUser, p.peerCmd, p.peerData = "", "", ""
+		p.mu.Unlock()
+		return nil, nil
+	})
+
+	p.Handle(cmdlang.CommandSpec{
+		Name: "dial",
+		Doc:  "place a call to an ACE user, wherever their phone is",
+		Args: []cmdlang.ArgSpec{{Name: "user", Kind: cmdlang.KindWord, Required: true}},
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		if err := p.Dial(c.Str("user", "")); err != nil {
+			return nil, err
+		}
+		return cmdlang.OK().SetWord("state", p.State().String()), nil
+	})
+
+	p.Handle(cmdlang.CommandSpec{Name: "callStatus"},
+		func(_ *daemon.Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			r := cmdlang.OK().SetWord("state", p.state.String())
+			if p.peerUser != "" {
+				r.SetWord("peer", p.peerUser)
+			}
+			r.SetInt("receivedFrames", int64(len(p.received)))
+			return r, nil
+		})
+}
+
+// FindPhone resolves a user's phone command address through the ASD.
+func FindPhone(pool *daemon.Pool, asdAddr, user string) (string, error) {
+	return asd.Resolve(pool, asdAddr, asd.Query{Name: "ophone_" + user})
+}

@@ -1,0 +1,230 @@
+package ophone
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ace/internal/asd"
+	"ace/internal/cmdlang"
+	"ace/internal/daemon"
+	"ace/internal/media"
+)
+
+type rig struct {
+	dir   *asd.Service
+	alice *Phone
+	bob   *Phone
+	pool  *daemon.Pool
+}
+
+func buildRig(t *testing.T, bobAutoAnswer bool) *rig {
+	t.Helper()
+	r := &rig{}
+	r.dir = asd.New(asd.Config{})
+	if err := r.dir.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.dir.Stop)
+
+	r.alice = New(Config{Owner: "alice", ASDAddr: r.dir.Addr()})
+	if err := r.alice.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.alice.Stop)
+
+	r.bob = New(Config{Owner: "bob", ASDAddr: r.dir.Addr(), AutoAnswer: bobAutoAnswer})
+	if err := r.bob.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.bob.Stop)
+
+	r.pool = daemon.NewPool(nil)
+	t.Cleanup(r.pool.Close)
+	return r
+}
+
+func waitState(t *testing.T, p *Phone, want CallState) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for p.State() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s stuck in %s, want %s", p.Owner(), p.State(), want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestCallSetupAnswerHangup(t *testing.T) {
+	r := buildRig(t, false)
+
+	// Alice dials bob by username: the phone is found via the ASD.
+	if err := r.alice.Dial("bob"); err != nil {
+		t.Fatal(err)
+	}
+	if r.alice.State() != Dialing || r.bob.State() != Ringing {
+		t.Fatalf("alice=%s bob=%s", r.alice.State(), r.bob.State())
+	}
+	if r.bob.Peer() != "alice" {
+		t.Fatalf("bob's peer=%q", r.bob.Peer())
+	}
+
+	// Bob answers; both go active.
+	if err := r.bob.Answer(); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, r.alice, Active)
+	waitState(t, r.bob, Active)
+
+	// Alice hangs up; both return to idle.
+	if err := r.alice.Hangup(); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, r.alice, Idle)
+	waitState(t, r.bob, Idle)
+}
+
+func TestFullDuplexAudio(t *testing.T) {
+	r := buildRig(t, true) // bob auto-answers
+	if err := r.alice.Dial("bob"); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, r.alice, Active)
+	waitState(t, r.bob, Active)
+
+	// Both directions simultaneously.
+	if _, err := r.alice.SendTone(700, 30); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.bob.SendTone(900, 30); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for len(r.alice.Received()) < 30 || len(r.bob.Received()) < 30 {
+		if time.Now().After(deadline) {
+			t.Fatalf("audio incomplete: alice=%d bob=%d", len(r.alice.Received()), len(r.bob.Received()))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if r.alice.Received()[0].Energy() < 1e6 {
+		t.Fatal("received silence")
+	}
+}
+
+func TestSpokenTextArrivesIntact(t *testing.T) {
+	r := buildRig(t, true)
+	if err := r.alice.Dial("bob"); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, r.alice, Active)
+
+	msg := "meet me in hawk"
+	n, err := r.alice.Say(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for len(r.bob.Received()) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("got %d/%d frames", len(r.bob.Received()), n)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	var got strings.Builder
+	for _, f := range r.bob.Received() {
+		if ch, ok := media.DetectLetter(f); ok {
+			got.WriteRune(ch)
+		}
+	}
+	want := strings.ReplaceAll(msg, " ", "_")
+	if got.String() != want {
+		t.Fatalf("decoded %q want %q", got.String(), want)
+	}
+}
+
+func TestBusyPhoneRefusesSecondCall(t *testing.T) {
+	r := buildRig(t, true)
+	carol := New(Config{Owner: "carol", ASDAddr: r.dir.Addr()})
+	if err := carol.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(carol.Stop)
+
+	if err := r.alice.Dial("bob"); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, r.alice, Active)
+
+	// Carol calls bob, who is busy.
+	err := carol.Dial("bob")
+	if err == nil {
+		t.Fatal("busy phone accepted a second call")
+	}
+	if carol.State() != Idle {
+		t.Fatalf("carol=%s after refused call", carol.State())
+	}
+	// Alice also cannot dial while active.
+	if err := r.alice.Dial("carol"); err == nil {
+		t.Fatal("dial while active accepted")
+	}
+}
+
+func TestDialUnknownUser(t *testing.T) {
+	r := buildRig(t, false)
+	if err := r.alice.Dial("nobody"); err == nil {
+		t.Fatal("dialed a ghost")
+	}
+	if r.alice.State() != Idle {
+		t.Fatalf("state=%s", r.alice.State())
+	}
+}
+
+func TestAnswerWithoutRinging(t *testing.T) {
+	r := buildRig(t, false)
+	if err := r.alice.Answer(); err == nil {
+		t.Fatal("answered silence")
+	}
+	if _, err := r.alice.Say("hi"); err == nil {
+		t.Fatal("spoke outside a call")
+	}
+	if err := r.alice.Hangup(); err != nil {
+		t.Fatal("idle hangup should be a no-op")
+	}
+}
+
+func TestAudioDroppedWhenIdle(t *testing.T) {
+	r := buildRig(t, true)
+	// Send a frame directly to bob's data channel while idle.
+	f := media.ToneFrame(0, 500, 5000)
+	if err := r.alice.SendData(r.bob.DataAddr(), f.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if len(r.bob.Received()) != 0 {
+		t.Fatal("idle phone recorded audio")
+	}
+}
+
+func TestCommandSurface(t *testing.T) {
+	r := buildRig(t, true)
+	// Dial via the command channel (as a workspace GUI would).
+	reply, err := r.pool.Call(r.alice.Addr(), cmdlang.New("dial").SetWord("user", "bob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Str("state", "") != "active" {
+		t.Fatalf("reply=%v", reply)
+	}
+	status, err := r.pool.Call(r.bob.Addr(), cmdlang.New("callStatus"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.Str("state", "") != "active" || status.Str("peer", "") != "alice" {
+		t.Fatalf("status=%v", status)
+	}
+	// FindPhone helper.
+	addr, err := FindPhone(r.pool, r.dir.Addr(), "bob")
+	if err != nil || addr != r.bob.Addr() {
+		t.Fatalf("addr=%q err=%v", addr, err)
+	}
+}

@@ -1,0 +1,209 @@
+package pathcreate
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"ace/internal/asd"
+	"ace/internal/daemon"
+	"ace/internal/media"
+)
+
+// rig starts an ASD and specialized converters: one that only speaks
+// RLE, one that only speaks mpegsim, one µ-law decoder — so most
+// format pairs need multi-hop paths across services.
+type rig struct {
+	dir     *asd.Service
+	pool    *daemon.Pool
+	planner *Planner
+	convs   map[string]*media.Converter
+}
+
+func buildRig(t *testing.T) *rig {
+	t.Helper()
+	r := &rig{convs: map[string]*media.Converter{}}
+	r.dir = asd.New(asd.Config{ReapInterval: 20 * time.Millisecond})
+	if err := r.dir.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.dir.Stop)
+	r.pool = daemon.NewPool(nil)
+	t.Cleanup(r.pool.Close)
+	r.planner = NewPlanner(r.pool, r.dir.Addr())
+
+	specs := map[string][]media.Pair{
+		"conv_rle": {
+			{From: media.FormatRaw, To: media.FormatRLE},
+			{From: media.FormatRLE, To: media.FormatRaw},
+		},
+		"conv_mpeg": {
+			{From: media.FormatRaw, To: media.FormatMPEG},
+			{From: media.FormatMPEG, To: media.FormatRaw},
+		},
+		"conv_mulaw_dec": {
+			{From: media.FormatMulaw, To: media.FormatRaw},
+		},
+	}
+	for name, pairs := range specs {
+		c := media.NewConverter(daemon.Config{
+			Name:     name,
+			ASDAddr:  r.dir.Addr(),
+			LeaseTTL: 100 * time.Millisecond,
+		}, pairs...)
+		if err := c.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(c.Stop)
+		r.convs[name] = c
+	}
+	return r
+}
+
+func TestPlanSingleHop(t *testing.T) {
+	r := buildRig(t)
+	path, err := r.planner.Plan(media.FormatRaw, media.FormatRLE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 1 || path[0].Service != "conv_rle" {
+		t.Fatalf("path=%v", path)
+	}
+}
+
+func TestPlanIdentity(t *testing.T) {
+	r := buildRig(t)
+	path, err := r.planner.Plan(media.FormatRaw, media.FormatRaw)
+	if err != nil || len(path) != 0 {
+		t.Fatalf("path=%v err=%v", path, err)
+	}
+	out, err := r.planner.Execute(path, []byte("unchanged"))
+	if err != nil || string(out) != "unchanged" {
+		t.Fatalf("out=%q err=%v", out, err)
+	}
+}
+
+func TestPlanMultiHopAcrossServices(t *testing.T) {
+	// rle→mpegsim has no single converter: the planner must chain
+	// conv_rle (rle→raw) and conv_mpeg (raw→mpegsim).
+	r := buildRig(t)
+	path, err := r.planner.Plan(media.FormatRLE, media.FormatMPEG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 2 || path[0].Service != "conv_rle" || path[1].Service != "conv_mpeg" {
+		t.Fatalf("path=%v", path)
+	}
+	if !strings.Contains(path.String(), "-[conv_rle]-> raw") {
+		t.Fatalf("render=%q", path.String())
+	}
+
+	// Execute it end to end, losslessly.
+	original := bytes.Repeat([]byte{7, 7, 7, 9, 9, 1}, 500)
+	rleForm, err := media.Convert(original, media.FormatRaw, media.FormatRLE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpegForm, gotPath, err := r.planner.Convert(rleForm, media.FormatRLE, media.FormatMPEG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotPath) != 2 {
+		t.Fatalf("gotPath=%v", gotPath)
+	}
+	back, err := media.Convert(mpegForm, media.FormatMPEG, media.FormatRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, original) {
+		t.Fatal("multi-hop path corrupted the payload")
+	}
+}
+
+func TestPlanUsesDirectionality(t *testing.T) {
+	// conv_mulaw_dec only decodes: mulaw→raw exists, raw→mulaw does
+	// not.
+	r := buildRig(t)
+	if _, err := r.planner.Plan(media.FormatMulaw, media.FormatRaw); err != nil {
+		t.Fatalf("decode path missing: %v", err)
+	}
+	if _, err := r.planner.Plan(media.FormatRaw, media.FormatMulaw); err == nil {
+		t.Fatal("encode path invented out of thin air")
+	}
+}
+
+func TestPlanReactsToServiceDeath(t *testing.T) {
+	r := buildRig(t)
+	if _, err := r.planner.Plan(media.FormatRLE, media.FormatMPEG); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the RLE converter; once the lease is reaped, the path is
+	// gone.
+	r.convs["conv_rle"].Stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := r.planner.Plan(media.FormatRLE, media.FormatMPEG); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("planner keeps routing through a dead converter")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Other paths still work.
+	if _, err := r.planner.Plan(media.FormatRaw, media.FormatMPEG); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoConvertersAtAll(t *testing.T) {
+	dir := asd.New(asd.Config{})
+	if err := dir.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(dir.Stop)
+	pool := daemon.NewPool(nil)
+	defer pool.Close()
+	planner := NewPlanner(pool, dir.Addr())
+	if _, err := planner.Plan(media.FormatRaw, media.FormatMPEG); err == nil {
+		t.Fatal("planned through an empty environment")
+	}
+}
+
+func TestMulawCodecQuality(t *testing.T) {
+	// µ-law is lossy; verify the SNR is speech-grade rather than
+	// byte equality.
+	tone := media.ToneFrame(0, 440, 8000)
+	raw := make([]byte, 2*len(tone.Samples))
+	for i, s := range tone.Samples {
+		raw[2*i] = byte(uint16(s) >> 8)
+		raw[2*i+1] = byte(uint16(s))
+	}
+	coded, err := media.Convert(raw, media.FormatRaw, media.FormatMulaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coded) != len(raw)/2 {
+		t.Fatalf("companding ratio wrong: %d -> %d", len(raw), len(coded))
+	}
+	back, err := media.Convert(coded, media.FormatMulaw, media.FormatRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var signal, noise float64
+	for i := 0; i < len(raw); i += 2 {
+		orig := float64(int16(uint16(raw[i])<<8 | uint16(raw[i+1])))
+		dec := float64(int16(uint16(back[i])<<8 | uint16(back[i+1])))
+		signal += orig * orig
+		noise += (orig - dec) * (orig - dec)
+	}
+	if noise == 0 {
+		t.Fatal("µ-law was lossless?!")
+	}
+	snr := 10 * math.Log10(signal/noise)
+	if snr < 30 {
+		t.Fatalf("µ-law SNR %.1f dB, want ≥30 dB", snr)
+	}
+}

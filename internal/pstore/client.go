@@ -1,0 +1,331 @@
+package pstore
+
+import (
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+
+	"ace/internal/cmdlang"
+	"ace/internal/daemon"
+	"ace/internal/wire"
+)
+
+func encodeValue(b []byte) string { return hex.EncodeToString(b) }
+
+func decodeValue(s string) []byte {
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return nil
+	}
+	return b
+}
+
+// Client reads and writes the replicated store through majority
+// quorums. It is safe for concurrent use.
+type Client struct {
+	pool     *daemon.Pool
+	replicas []string
+}
+
+// NewClient builds a client over the given replica addresses,
+// dialing through pool.
+func NewClient(pool *daemon.Pool, replicas []string) *Client {
+	return &Client{pool: pool, replicas: append([]string(nil), replicas...)}
+}
+
+// Quorum returns the majority size for the configured replica set.
+func (c *Client) Quorum() int { return len(c.replicas)/2 + 1 }
+
+// Replicas returns the configured replica addresses.
+func (c *Client) Replicas() []string { return append([]string(nil), c.replicas...) }
+
+type versioned struct {
+	item Item
+	ok   bool
+	err  error
+}
+
+// fanout runs fn against every replica concurrently.
+func (c *Client) fanout(fn func(addr string) versioned) []versioned {
+	out := make([]versioned, len(c.replicas))
+	var wg sync.WaitGroup
+	for i, addr := range c.replicas {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			out[i] = fn(addr)
+		}(i, addr)
+	}
+	wg.Wait()
+	return out
+}
+
+// Get performs a quorum read: it queries all replicas, requires a
+// majority of responses, and returns the highest-versioned live
+// value. It returns ok=false (with nil error) when a majority agrees
+// the path holds nothing. Replicas observed to lag behind the winning
+// version are read-repaired in the background, tightening the window
+// anti-entropy would otherwise close later.
+func (c *Client) Get(path string) (value []byte, version uint64, ok bool, err error) {
+	results := c.fanout(func(addr string) versioned {
+		reply, callErr := c.pool.Call(addr, cmdlang.New("psget").SetString("path", path))
+		if callErr != nil {
+			if cmdlang.IsRemoteCode(callErr, cmdlang.CodeNotFound) {
+				return versioned{ok: false}
+			}
+			return versioned{err: callErr}
+		}
+		return versioned{
+			ok: true,
+			item: Item{
+				Path:    path,
+				Value:   decodeValue(reply.Str("value", "")),
+				Version: uint64(reply.Int("version", 0)),
+			},
+		}
+	})
+	responded := 0
+	var best Item
+	found := false
+	for _, r := range results {
+		if r.err != nil {
+			continue
+		}
+		responded++
+		if r.ok && (!found || newer(r.item, best)) {
+			best = r.item
+			found = true
+		}
+	}
+	if responded < c.Quorum() {
+		return nil, 0, false, fmt.Errorf("pstore: quorum read failed: %d/%d replicas reachable", responded, len(c.replicas))
+	}
+	if !found {
+		return nil, 0, false, nil
+	}
+	// Read repair: push the winning item to replicas that answered
+	// with an older (or no) version.
+	repair := cmdlang.New("psput").
+		SetString("path", path).
+		SetString("value", encodeValue(best.Value)).
+		SetInt("version", int64(best.Version))
+	for i, r := range results {
+		if r.err == nil && (!r.ok || r.item.Version < best.Version) {
+			addr := c.replicas[i]
+			go c.pool.Call(addr, repair.Clone()) //nolint:errcheck — best effort; anti-entropy is the backstop
+		}
+	}
+	return best.Value, best.Version, true, nil
+}
+
+// GetAny reads from the first reachable replica without waiting for a
+// quorum — the paper's bottleneck-removal read path, which may return
+// slightly stale data during synchronization windows.
+func (c *Client) GetAny(path string) (value []byte, version uint64, ok bool, err error) {
+	var lastErr error
+	for _, addr := range c.replicas {
+		reply, callErr := c.pool.Call(addr, cmdlang.New("psget").SetString("path", path))
+		if callErr == nil {
+			return decodeValue(reply.Str("value", "")), uint64(reply.Int("version", 0)), true, nil
+		}
+		if cmdlang.IsRemoteCode(callErr, cmdlang.CodeNotFound) {
+			return nil, 0, false, nil
+		}
+		lastErr = callErr
+	}
+	return nil, 0, false, fmt.Errorf("pstore: no replica reachable: %w", lastErr)
+}
+
+// currentVersion determines the highest version any replica holds at
+// path, including tombstones (a quorum read hides deletions, but a
+// new write must still supersede the tombstone's version).
+func (c *Client) currentVersion(path string) (uint64, error) {
+	results := c.fanout(func(addr string) versioned {
+		reply, callErr := c.pool.Call(addr, cmdlang.New("psfetch").SetString("path", path))
+		if callErr != nil {
+			if cmdlang.IsRemoteCode(callErr, cmdlang.CodeNotFound) {
+				return versioned{ok: false}
+			}
+			return versioned{err: callErr}
+		}
+		return versioned{ok: true, item: Item{Version: uint64(reply.Int("version", 0))}}
+	})
+	responded := 0
+	var max uint64
+	for _, r := range results {
+		if r.err != nil {
+			continue
+		}
+		responded++
+		if r.ok && r.item.Version > max {
+			max = r.item.Version
+		}
+	}
+	if responded < c.Quorum() {
+		return 0, fmt.Errorf("pstore: quorum version probe failed: %d/%d replicas reachable", responded, len(c.replicas))
+	}
+	return max, nil
+}
+
+// Put writes value at path: it determines the next version from a
+// quorum probe, then writes to all replicas, succeeding once a
+// majority has accepted. Anti-entropy carries the write to replicas
+// that missed it.
+func (c *Client) Put(path string, value []byte) (uint64, error) {
+	if err := ValidatePath(path); err != nil {
+		return 0, err
+	}
+	cur, err := c.currentVersion(path)
+	if err != nil {
+		return 0, err
+	}
+	next := cur + 1
+	acked := c.writeAll(cmdlang.New("psput").
+		SetString("path", path).
+		SetString("value", encodeValue(value)).
+		SetInt("version", int64(next)))
+	if acked < c.Quorum() {
+		return 0, fmt.Errorf("pstore: quorum write failed: %d/%d acks", acked, len(c.replicas))
+	}
+	return next, nil
+}
+
+// Delete writes a tombstone at path through a quorum.
+func (c *Client) Delete(path string) error {
+	cur, err := c.currentVersion(path)
+	if err != nil {
+		return err
+	}
+	acked := c.writeAll(cmdlang.New("psdel").
+		SetString("path", path).
+		SetInt("version", int64(cur+1)))
+	if acked < c.Quorum() {
+		return fmt.Errorf("pstore: quorum delete failed: %d/%d acks", acked, len(c.replicas))
+	}
+	return nil
+}
+
+func (c *Client) writeAll(cmd *cmdlang.CmdLine) int {
+	results := c.fanout(func(addr string) versioned {
+		_, err := c.pool.Call(addr, cmd.Clone())
+		return versioned{err: err}
+	})
+	acked := 0
+	for _, r := range results {
+		if r.err == nil {
+			acked++
+		}
+	}
+	return acked
+}
+
+// List unions the live paths under prefix across all reachable
+// replicas (a recovering replica may not hold everything yet).
+func (c *Client) List(prefix string) ([]string, error) {
+	set := map[string]bool{}
+	reachable := 0
+	for _, addr := range c.replicas {
+		reply, err := c.pool.Call(addr, cmdlang.New("pslist").SetString("prefix", prefix))
+		if err != nil {
+			continue
+		}
+		reachable++
+		for _, p := range reply.Strings("paths") {
+			set[p] = true
+		}
+	}
+	if reachable == 0 {
+		return nil, fmt.Errorf("pstore: no replica reachable for list")
+	}
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Cluster is a convenience for building and running an N-node store
+// in one process (tests, examples, benches).
+type Cluster struct {
+	Nodes []*Node
+}
+
+// StartCluster starts n nodes (n=3 reproduces Fig 17), wires them as
+// peers, and returns the cluster. dir enables per-node WALs when
+// non-empty; syncInterval drives anti-entropy.
+func StartCluster(n int, dir string, syncInterval int64) (*Cluster, error) {
+	return StartClusterT(n, dir, syncInterval, nil)
+}
+
+// StartClusterT is StartCluster with a transport factory so the store
+// can run inside a TLS environment; transportFor may be nil for
+// plaintext.
+func StartClusterT(n int, dir string, syncInterval int64, transportFor func(name string) (*wire.Transport, error)) (*Cluster, error) {
+	c := &Cluster{}
+	for i := 0; i < n; i++ {
+		cfg := Config{
+			Daemon: daemon.Config{Name: fmt.Sprintf("pstore%d", i+1)},
+		}
+		if transportFor != nil {
+			t, err := transportFor(cfg.Daemon.Name)
+			if err != nil {
+				c.StopAll()
+				return nil, err
+			}
+			cfg.Daemon.Transport = t
+		}
+		if dir != "" {
+			cfg.Dir = dir
+		}
+		node, err := NewNode(cfg)
+		if err != nil {
+			c.StopAll()
+			return nil, err
+		}
+		if err := node.Start(); err != nil {
+			c.StopAll()
+			return nil, err
+		}
+		c.Nodes = append(c.Nodes, node)
+	}
+	addrs := c.Addrs()
+	for i, node := range c.Nodes {
+		var peers []string
+		for j, a := range addrs {
+			if j != i {
+				peers = append(peers, a)
+			}
+		}
+		node.SetPeers(peers)
+	}
+	return c, nil
+}
+
+// Addrs returns every node's command address.
+func (c *Cluster) Addrs() []string {
+	out := make([]string, len(c.Nodes))
+	for i, n := range c.Nodes {
+		out[i] = n.Addr()
+	}
+	return out
+}
+
+// StopAll stops every node.
+func (c *Cluster) StopAll() {
+	for _, n := range c.Nodes {
+		if n != nil {
+			n.Stop()
+		}
+	}
+}
+
+// SyncRound runs one full anti-entropy round on every node.
+func (c *Cluster) SyncRound() int {
+	total := 0
+	for _, n := range c.Nodes {
+		total += n.SyncAll()
+	}
+	return total
+}

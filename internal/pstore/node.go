@@ -1,0 +1,426 @@
+// Package pstore implements the ACE Persistent Store (§6, Fig 17):
+// a cluster of three completely redundant storage servers that
+// perform constant data synchronization so ACE services, user
+// workspaces, and robust applications can always recover their last
+// known state, even when one or two of the servers fail.
+//
+// Each node is an ACE daemon holding a versioned, hierarchical
+// object-oriented namespace ("/wss/workspaces/john_doe/1"). Clients
+// write through a majority quorum and read the highest version seen
+// by a majority; nodes run anti-entropy synchronization so a crashed
+// and restarted (or wiped) node converges back to its peers. Nodes
+// optionally persist every accepted write to an on-disk write-ahead
+// log that is replayed at startup.
+package pstore
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ace/internal/cmdlang"
+	"ace/internal/daemon"
+	"ace/internal/hier"
+)
+
+// Item is one versioned object in the namespace.
+type Item struct {
+	Path    string
+	Value   []byte
+	Version uint64
+	Deleted bool
+}
+
+// newer reports whether a beats b under last-writer-wins with a
+// deterministic value tiebreak (so all replicas converge on the same
+// winner for equal versions).
+func newer(a, b Item) bool {
+	if a.Version != b.Version {
+		return a.Version > b.Version
+	}
+	if a.Deleted != b.Deleted {
+		return a.Deleted // deletes win ties
+	}
+	return string(a.Value) > string(b.Value)
+}
+
+// walRecord is the on-disk form of one accepted write.
+type walRecord struct {
+	Path    string
+	Value   []byte
+	Version uint64
+	Deleted bool
+}
+
+// Node is one persistent-store server.
+type Node struct {
+	*daemon.Daemon
+
+	mu    sync.Mutex
+	items map[string]Item
+
+	walPath string
+	walFile *os.File
+	walEnc  *gob.Encoder
+
+	peers    []string
+	syncStop chan struct{}
+	syncWG   sync.WaitGroup
+
+	accepted int64 // writes applied (local or via sync)
+	synced   int64 // items pulled by anti-entropy
+}
+
+// Config describes one store node.
+type Config struct {
+	// Daemon is the underlying shell configuration.
+	Daemon daemon.Config
+	// Dir, when non-empty, enables the write-ahead log in this
+	// directory (replayed at startup).
+	Dir string
+	// SyncInterval is the anti-entropy period; 0 disables the
+	// background loop (Sync can still be driven manually).
+	SyncInterval time.Duration
+}
+
+// NewNode constructs a store node. If cfg.Dir is set, previous WAL
+// contents are replayed before the node serves.
+func NewNode(cfg Config) (*Node, error) {
+	dcfg := cfg.Daemon
+	if dcfg.Name == "" {
+		dcfg.Name = "pstore"
+	}
+	if dcfg.Class == "" {
+		dcfg.Class = hier.ClassDatabase + ".PersistentStore"
+	}
+	n := &Node{
+		Daemon:   daemon.New(dcfg),
+		items:    make(map[string]Item),
+		syncStop: make(chan struct{}),
+	}
+	if cfg.Dir != "" {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("pstore: %w", err)
+		}
+		n.walPath = filepath.Join(cfg.Dir, dcfg.Name+".wal")
+		if err := n.replayWAL(); err != nil {
+			return nil, err
+		}
+		f, err := os.OpenFile(n.walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("pstore: open wal: %w", err)
+		}
+		n.walFile = f
+		n.walEnc = gob.NewEncoder(f)
+	}
+	n.install()
+	if cfg.SyncInterval > 0 {
+		n.syncWG.Add(1)
+		go n.syncLoop(cfg.SyncInterval)
+	}
+	return n, nil
+}
+
+func (n *Node) replayWAL() error {
+	f, err := os.Open(n.walPath)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("pstore: open wal for replay: %w", err)
+	}
+	defer f.Close()
+	dec := gob.NewDecoder(f)
+	for {
+		var rec walRecord
+		if derr := dec.Decode(&rec); derr != nil {
+			// EOF (clean) or a torn tail record (crash mid-write):
+			// stop replaying either way.
+			return nil
+		}
+		n.applyLocked(Item{Path: rec.Path, Value: rec.Value, Version: rec.Version, Deleted: rec.Deleted}, false)
+	}
+}
+
+// SetPeers configures the other replicas this node synchronizes with.
+func (n *Node) SetPeers(addrs []string) {
+	n.mu.Lock()
+	n.peers = append([]string(nil), addrs...)
+	n.mu.Unlock()
+}
+
+// Stop halts synchronization, the daemon, and the WAL.
+func (n *Node) Stop() {
+	select {
+	case <-n.syncStop:
+	default:
+		close(n.syncStop)
+	}
+	n.syncWG.Wait()
+	n.Daemon.Stop()
+	n.mu.Lock()
+	if n.walFile != nil {
+		n.walFile.Close()
+		n.walFile = nil
+	}
+	n.mu.Unlock()
+}
+
+// apply installs the item if it is newer than what the node holds,
+// returning whether it was applied. Writes are logged to the WAL when
+// toWAL is set.
+func (n *Node) apply(it Item, toWAL bool) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.applyLocked(it, toWAL)
+}
+
+func (n *Node) applyLocked(it Item, toWAL bool) bool {
+	cur, exists := n.items[it.Path]
+	if exists && !newer(it, cur) {
+		return false
+	}
+	n.items[it.Path] = it
+	n.accepted++
+	if toWAL && n.walEnc != nil {
+		n.walEnc.Encode(walRecord(it)) //nolint:errcheck — a lost tail record is recovered by anti-entropy
+	}
+	return true
+}
+
+// get returns the live item at path.
+func (n *Node) get(path string) (Item, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	it, ok := n.items[path]
+	if !ok || it.Deleted {
+		return Item{}, false
+	}
+	return it, true
+}
+
+// Digest returns every path's version (including tombstones), the
+// anti-entropy exchange unit.
+func (n *Node) Digest() map[string]uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[string]uint64, len(n.items))
+	for p, it := range n.items {
+		out[p] = it.Version
+	}
+	return out
+}
+
+// Len returns the number of live (non-tombstone) items.
+func (n *Node) Len() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	c := 0
+	for _, it := range n.items {
+		if !it.Deleted {
+			c++
+		}
+	}
+	return c
+}
+
+// Counters returns lifetime accepted-write and synced-item counts.
+func (n *Node) Counters() (accepted, synced int64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.accepted, n.synced
+}
+
+// SyncWith pulls every item the peer holds at a newer version than
+// this node (one direction of Fig 17's constant data
+// synchronization). It returns the number of items pulled.
+func (n *Node) SyncWith(peerAddr string) (int, error) {
+	reply, err := n.Pool().Call(peerAddr, cmdlang.New("psdigest"))
+	if err != nil {
+		return 0, err
+	}
+	paths := reply.Strings("paths")
+	versions := reply.Vector("versions")
+	if len(paths) != len(versions) {
+		return 0, fmt.Errorf("pstore: malformed digest from %s", peerAddr)
+	}
+	pulled := 0
+	for i, p := range paths {
+		v, _ := versions[i].AsInt()
+		n.mu.Lock()
+		cur, exists := n.items[p]
+		n.mu.Unlock()
+		if exists && cur.Version >= uint64(v) {
+			continue
+		}
+		itemReply, err := n.Pool().Call(peerAddr, cmdlang.New("psfetch").SetString("path", p))
+		if err != nil {
+			return pulled, err
+		}
+		it := Item{
+			Path:    p,
+			Value:   decodeValue(itemReply.Str("value", "")),
+			Version: uint64(itemReply.Int("version", 0)),
+			Deleted: itemReply.Bool("deleted", false),
+		}
+		if n.apply(it, true) {
+			pulled++
+			n.mu.Lock()
+			n.synced++
+			n.mu.Unlock()
+		}
+	}
+	return pulled, nil
+}
+
+// SyncAll runs SyncWith against every configured peer.
+func (n *Node) SyncAll() int {
+	n.mu.Lock()
+	peers := append([]string(nil), n.peers...)
+	n.mu.Unlock()
+	total := 0
+	for _, p := range peers {
+		if pulled, err := n.SyncWith(p); err == nil {
+			total += pulled
+		}
+	}
+	return total
+}
+
+func (n *Node) syncLoop(interval time.Duration) {
+	defer n.syncWG.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.syncStop:
+			return
+		case <-t.C:
+			n.SyncAll()
+		}
+	}
+}
+
+func (n *Node) install() {
+	n.Handle(cmdlang.CommandSpec{
+		Name: "psput",
+		Doc:  "store an object at a namespace path",
+		Args: []cmdlang.ArgSpec{
+			{Name: "path", Kind: cmdlang.KindString, Required: true},
+			{Name: "value", Kind: cmdlang.KindString, Required: true, Doc: "hex-encoded bytes"},
+			{Name: "version", Kind: cmdlang.KindInt, Required: true},
+		},
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		path := c.Str("path", "")
+		if err := ValidatePath(path); err != nil {
+			return nil, err
+		}
+		it := Item{
+			Path:    path,
+			Value:   decodeValue(c.Str("value", "")),
+			Version: uint64(c.Int("version", 0)),
+		}
+		applied := n.apply(it, true)
+		return cmdlang.OK().SetBool("applied", applied).SetInt("version", int64(it.Version)), nil
+	})
+
+	n.Handle(cmdlang.CommandSpec{
+		Name: "psget",
+		Args: []cmdlang.ArgSpec{{Name: "path", Kind: cmdlang.KindString, Required: true}},
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		it, ok := n.get(c.Str("path", ""))
+		if !ok {
+			return cmdlang.Fail(cmdlang.CodeNotFound, "no object at path"), nil
+		}
+		return cmdlang.OK().
+			SetString("value", encodeValue(it.Value)).
+			SetInt("version", int64(it.Version)), nil
+	})
+
+	n.Handle(cmdlang.CommandSpec{
+		Name: "psdel",
+		Doc:  "delete an object (writes a tombstone)",
+		Args: []cmdlang.ArgSpec{
+			{Name: "path", Kind: cmdlang.KindString, Required: true},
+			{Name: "version", Kind: cmdlang.KindInt, Required: true},
+		},
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		it := Item{
+			Path:    c.Str("path", ""),
+			Version: uint64(c.Int("version", 0)),
+			Deleted: true,
+		}
+		applied := n.apply(it, true)
+		return cmdlang.OK().SetBool("applied", applied), nil
+	})
+
+	n.Handle(cmdlang.CommandSpec{
+		Name: "pslist",
+		Doc:  "list live paths under a prefix",
+		Args: []cmdlang.ArgSpec{{Name: "prefix", Kind: cmdlang.KindString}},
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		prefix := c.Str("prefix", "")
+		n.mu.Lock()
+		var paths []string
+		for p, it := range n.items {
+			if !it.Deleted && strings.HasPrefix(p, prefix) {
+				paths = append(paths, p)
+			}
+		}
+		n.mu.Unlock()
+		sort.Strings(paths)
+		return cmdlang.OK().SetInt("count", int64(len(paths))).Set("paths", cmdlang.StringVector(paths...)), nil
+	})
+
+	n.Handle(cmdlang.CommandSpec{
+		Name: "psdigest",
+		Doc:  "anti-entropy digest: every path and its version",
+	}, func(_ *daemon.Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		digest := n.Digest()
+		paths := make([]string, 0, len(digest))
+		for p := range digest {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		versions := make([]int64, len(paths))
+		for i, p := range paths {
+			versions[i] = int64(digest[p])
+		}
+		return cmdlang.OK().
+			Set("paths", cmdlang.StringVector(paths...)).
+			Set("versions", cmdlang.IntVector(versions...)), nil
+	})
+
+	n.Handle(cmdlang.CommandSpec{
+		Name: "psfetch",
+		Doc:  "fetch an item verbatim (including tombstones) for sync",
+		Args: []cmdlang.ArgSpec{{Name: "path", Kind: cmdlang.KindString, Required: true}},
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		n.mu.Lock()
+		it, ok := n.items[c.Str("path", "")]
+		n.mu.Unlock()
+		if !ok {
+			return cmdlang.Fail(cmdlang.CodeNotFound, "no item"), nil
+		}
+		return cmdlang.OK().
+			SetString("value", encodeValue(it.Value)).
+			SetInt("version", int64(it.Version)).
+			SetBool("deleted", it.Deleted), nil
+	})
+}
+
+// ValidatePath checks a namespace path: absolute, no empty segments.
+func ValidatePath(path string) error {
+	if !strings.HasPrefix(path, "/") {
+		return fmt.Errorf("pstore: path %q is not absolute", path)
+	}
+	if strings.Contains(path, "//") || path == "/" {
+		return fmt.Errorf("pstore: path %q has empty segments", path)
+	}
+	return nil
+}

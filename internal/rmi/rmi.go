@@ -1,0 +1,264 @@
+// Package rmi is the comparison baseline for the ACE command
+// language's lightweightness claim (§2.2, §8.1): an RMI-style remote
+// invocation system built on object serialization (encoding/gob — the
+// closest stdlib analogue of Java serialization) and reflective
+// method dispatch. ACE deliberately chose its textual command
+// language over this style; experiment E2 measures the difference in
+// wire bytes and call latency.
+package rmi
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"reflect"
+	"sync"
+	"sync/atomic"
+)
+
+// Request is the serialized invocation envelope.
+type Request struct {
+	Seq     uint64
+	Service string
+	Method  string
+	Args    []any
+}
+
+// Response is the serialized result envelope.
+type Response struct {
+	Seq     uint64
+	Results []any
+	Err     string
+}
+
+func init() {
+	// Common argument types, mirroring Java serialization's
+	// self-describing streams.
+	gob.Register(int(0))
+	gob.Register(int64(0))
+	gob.Register(float64(0))
+	gob.Register("")
+	gob.Register(true)
+	gob.Register([]int64(nil))
+	gob.Register([]float64(nil))
+	gob.Register([]string(nil))
+	gob.Register(map[string]any(nil))
+}
+
+// Server dispatches serialized invocations to registered objects via
+// reflection.
+type Server struct {
+	mu   sync.Mutex
+	ln   net.Listener
+	svcs map[string]reflect.Value
+	wg   sync.WaitGroup
+}
+
+// NewServer returns an empty server.
+func NewServer() *Server {
+	return &Server{svcs: make(map[string]reflect.Value)}
+}
+
+// Register exposes every exported method of impl under the service
+// name.
+func (s *Server) Register(name string, impl any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.svcs[name] = reflect.ValueOf(impl)
+}
+
+// Start listens on addr ("127.0.0.1:0" typical) and serves until
+// Stop.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return nil
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Stop closes the listener and waits for connection handlers.
+func (s *Server) Stop() {
+	s.mu.Lock()
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := s.invoke(&req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) invoke(req *Request) (resp *Response) {
+	resp = &Response{Seq: req.Seq}
+	s.mu.Lock()
+	svc, ok := s.svcs[req.Service]
+	s.mu.Unlock()
+	if !ok {
+		resp.Err = fmt.Sprintf("rmi: unknown service %q", req.Service)
+		return resp
+	}
+	method := svc.MethodByName(req.Method)
+	if !method.IsValid() {
+		resp.Err = fmt.Sprintf("rmi: %s has no method %q", req.Service, req.Method)
+		return resp
+	}
+	mt := method.Type()
+	if mt.NumIn() != len(req.Args) {
+		resp.Err = fmt.Sprintf("rmi: %s.%s takes %d args, got %d", req.Service, req.Method, mt.NumIn(), len(req.Args))
+		return resp
+	}
+	in := make([]reflect.Value, len(req.Args))
+	for i, a := range req.Args {
+		av := reflect.ValueOf(a)
+		want := mt.In(i)
+		if !av.IsValid() {
+			av = reflect.Zero(want)
+		} else if av.Type() != want {
+			if av.Type().ConvertibleTo(want) {
+				av = av.Convert(want)
+			} else {
+				resp.Err = fmt.Sprintf("rmi: arg %d is %T, want %s", i, a, want)
+				return resp
+			}
+		}
+		in[i] = av
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			resp.Err = fmt.Sprintf("rmi: invocation panic: %v", r)
+			resp.Results = nil
+		}
+	}()
+	out := method.Call(in)
+	resp.Results = make([]any, 0, len(out))
+	for _, o := range out {
+		// The Java-ish convention: a trailing error return becomes the
+		// remote exception.
+		if err, isErr := o.Interface().(error); isErr {
+			if err != nil {
+				resp.Err = err.Error()
+			}
+			continue
+		}
+		resp.Results = append(resp.Results, o.Interface())
+	}
+	return resp
+}
+
+// countingConn tallies wire traffic for the E2 comparison.
+type countingConn struct {
+	net.Conn
+	sent, recv *atomic.Int64
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.sent.Add(int64(n))
+	return n, err
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.recv.Add(int64(n))
+	return n, err
+}
+
+// Client invokes methods on a remote Server. It is safe for
+// sequential use; guard with a mutex for concurrency (the bench
+// compares single-stream behaviour).
+type Client struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	seq  uint64
+
+	sent atomic.Int64
+	recv atomic.Int64
+	mu   sync.Mutex
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn}
+	cc := &countingConn{Conn: conn, sent: &c.sent, recv: &c.recv}
+	c.enc = gob.NewEncoder(cc)
+	c.dec = gob.NewDecoder(cc)
+	return c, nil
+}
+
+// Call invokes service.method with args and returns the results.
+func (c *Client) Call(service, method string, args ...any) ([]any, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	req := Request{Seq: c.seq, Service: service, Method: method, Args: args}
+	if err := c.enc.Encode(&req); err != nil {
+		return nil, err
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return resp.Results, fmt.Errorf("rmi: remote: %s", resp.Err)
+	}
+	return resp.Results, nil
+}
+
+// Traffic returns total bytes sent and received on this connection.
+func (c *Client) Traffic() (sent, recv int64) {
+	return c.sent.Load(), c.recv.Load()
+}
+
+// Close tears the connection down.
+func (c *Client) Close() error { return c.conn.Close() }

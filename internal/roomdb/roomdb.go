@@ -1,0 +1,322 @@
+// Package roomdb implements the ACE Room Database service (§4.11):
+// the spatial model of the environment. It stores buildings, rooms,
+// room geometry, and the physical placement of services inside rooms,
+// so that device daemons (cameras, projectors) can be spatially aware
+// and user-facing services can enumerate what a room offers.
+package roomdb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"ace/internal/cmdlang"
+	"ace/internal/daemon"
+	"ace/internal/hier"
+)
+
+// ServiceName is the conventional instance name of the room database
+// daemon.
+const ServiceName = "roomdb"
+
+// Point is a 3-D coordinate in a room's local reference frame
+// (meters).
+type Point struct{ X, Y, Z float64 }
+
+// Room describes one physical room.
+type Room struct {
+	Name     string
+	Building string
+	// Dims are the room's width, depth, and height in meters,
+	// establishing its coordinate system for device control.
+	Dims Point
+}
+
+// Placement records one service's physical position in a room.
+type Placement struct {
+	Service string
+	Host    string
+	Port    int
+	Class   string
+	Pos     Point
+}
+
+// DB is the in-memory spatial database, usable directly in-process
+// and wrapped by Service as an ACE daemon.
+type DB struct {
+	mu     sync.Mutex
+	rooms  map[string]*Room
+	placed map[string]map[string]*Placement // room → service → placement
+}
+
+// NewDB returns an empty spatial database.
+func NewDB() *DB {
+	return &DB{rooms: make(map[string]*Room), placed: make(map[string]map[string]*Placement)}
+}
+
+// AddRoom inserts or updates a room definition.
+func (db *DB) AddRoom(r Room) error {
+	if r.Name == "" {
+		return fmt.Errorf("roomdb: room without a name")
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	cp := r
+	db.rooms[r.Name] = &cp
+	if db.placed[r.Name] == nil {
+		db.placed[r.Name] = make(map[string]*Placement)
+	}
+	return nil
+}
+
+// Room returns the named room definition.
+func (db *DB) Room(name string) (Room, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	r, ok := db.rooms[name]
+	if !ok {
+		return Room{}, false
+	}
+	return *r, true
+}
+
+// Rooms lists all room names, sorted.
+func (db *DB) Rooms() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]string, 0, len(db.rooms))
+	for name := range db.rooms {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Place records a service's presence in a room. Unknown rooms are
+// created implicitly (daemons may start before an administrator
+// defines the room geometry).
+func (db *DB) Place(room string, p Placement) error {
+	if room == "" || p.Service == "" {
+		return fmt.Errorf("roomdb: placement needs room and service names")
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.rooms[room]; !ok {
+		db.rooms[room] = &Room{Name: room}
+	}
+	if db.placed[room] == nil {
+		db.placed[room] = make(map[string]*Placement)
+	}
+	cp := p
+	db.placed[room][p.Service] = &cp
+	return nil
+}
+
+// Remove deletes a service's placement from a room, reporting whether
+// it existed.
+func (db *DB) Remove(room, service string) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	m := db.placed[room]
+	if m == nil {
+		return false
+	}
+	_, ok := m[service]
+	delete(m, service)
+	return ok
+}
+
+// Services lists the placements in a room, sorted by service name.
+func (db *DB) Services(room string) []Placement {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	m := db.placed[room]
+	out := make([]Placement, 0, len(m))
+	for _, p := range m {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Service < out[j].Service })
+	return out
+}
+
+// WhereIs finds the room containing the named service.
+func (db *DB) WhereIs(service string) (room string, p Placement, ok bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for rname, m := range db.placed {
+		if pl, found := m[service]; found {
+			return rname, *pl, true
+		}
+	}
+	return "", Placement{}, false
+}
+
+// SetPosition updates a placed service's physical coordinates.
+func (db *DB) SetPosition(room, service string, pos Point) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	m := db.placed[room]
+	if m == nil || m[service] == nil {
+		return fmt.Errorf("roomdb: %s is not placed in %s", service, room)
+	}
+	m[service].Pos = pos
+	return nil
+}
+
+// Service is the room database wrapped as an ACE daemon.
+type Service struct {
+	*daemon.Daemon
+	db *DB
+}
+
+// New constructs the room database daemon around an existing DB
+// (which may be pre-seeded with room geometry).
+func New(dcfg daemon.Config, db *DB) *Service {
+	if db == nil {
+		db = NewDB()
+	}
+	if dcfg.Name == "" {
+		dcfg.Name = ServiceName
+	}
+	if dcfg.Class == "" {
+		dcfg.Class = hier.ClassDatabase + ".Room"
+	}
+	s := &Service{Daemon: daemon.New(dcfg), db: db}
+	s.install()
+	return s
+}
+
+// DB exposes the underlying database.
+func (s *Service) DB() *DB { return s.db }
+
+func (s *Service) install() {
+	s.Handle(cmdlang.CommandSpec{
+		Name: "addRoom",
+		Doc:  "define a room and its geometry",
+		Args: []cmdlang.ArgSpec{
+			{Name: "room", Kind: cmdlang.KindWord, Required: true},
+			{Name: "building", Kind: cmdlang.KindWord},
+			{Name: "dims", Kind: cmdlang.KindVector, Doc: "{w,d,h} meters"},
+		},
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		r := Room{Name: c.Str("room", ""), Building: c.Str("building", "")}
+		if dims := c.Vector("dims"); len(dims) == 3 {
+			x, _ := dims[0].AsFloat()
+			y, _ := dims[1].AsFloat()
+			z, _ := dims[2].AsFloat()
+			r.Dims = Point{x, y, z}
+		}
+		return nil, s.db.AddRoom(r)
+	})
+
+	s.Handle(cmdlang.CommandSpec{
+		Name: daemon.CmdRegisterService,
+		Doc:  "record a service's placement (startup step 2, Fig 9)",
+		Args: []cmdlang.ArgSpec{
+			{Name: "room", Kind: cmdlang.KindWord, Required: true},
+			{Name: "service", Kind: cmdlang.KindWord, Required: true},
+			{Name: "host", Kind: cmdlang.KindWord},
+			{Name: "port", Kind: cmdlang.KindInt},
+			{Name: "class", Kind: cmdlang.KindString},
+			{Name: "pos", Kind: cmdlang.KindVector},
+		},
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		p := Placement{
+			Service: c.Str("service", ""),
+			Host:    c.Str("host", ""),
+			Port:    int(c.Int("port", 0)),
+			Class:   c.Str("class", ""),
+		}
+		if pos := c.Vector("pos"); len(pos) == 3 {
+			x, _ := pos[0].AsFloat()
+			y, _ := pos[1].AsFloat()
+			z, _ := pos[2].AsFloat()
+			p.Pos = Point{x, y, z}
+		}
+		return nil, s.db.Place(c.Str("room", ""), p)
+	})
+
+	s.Handle(cmdlang.CommandSpec{
+		Name: daemon.CmdRemoveService,
+		Args: []cmdlang.ArgSpec{
+			{Name: "room", Kind: cmdlang.KindWord, Required: true},
+			{Name: "service", Kind: cmdlang.KindWord, Required: true},
+		},
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		existed := s.db.Remove(c.Str("room", ""), c.Str("service", ""))
+		return cmdlang.OK().SetBool("existed", existed), nil
+	})
+
+	s.Handle(cmdlang.CommandSpec{Name: "listRooms"}, func(_ *daemon.Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		return cmdlang.OK().Set("rooms", cmdlang.WordVector(s.db.Rooms()...)), nil
+	})
+
+	s.Handle(cmdlang.CommandSpec{
+		Name: "roomInfo",
+		Doc:  "geometry and service inventory of a room",
+		Args: []cmdlang.ArgSpec{{Name: "room", Kind: cmdlang.KindWord, Required: true}},
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		name := c.Str("room", "")
+		r, ok := s.db.Room(name)
+		if !ok {
+			return cmdlang.Fail(cmdlang.CodeNotFound, "no room "+name), nil
+		}
+		placements := s.db.Services(name)
+		services := make([]string, len(placements))
+		classes := make([]string, len(placements))
+		for i, p := range placements {
+			services[i] = p.Service
+			classes[i] = p.Class
+		}
+		return cmdlang.OK().
+			SetWord("room", r.Name).
+			SetWord("building", wordOrUnset(r.Building)).
+			Set("dims", cmdlang.FloatVector(r.Dims.X, r.Dims.Y, r.Dims.Z)).
+			Set("services", cmdlang.WordVector(services...)).
+			Set("classes", cmdlang.StringVector(classes...)), nil
+	})
+
+	s.Handle(cmdlang.CommandSpec{
+		Name: "whereIs",
+		Doc:  "locate a service in the environment",
+		Args: []cmdlang.ArgSpec{{Name: "service", Kind: cmdlang.KindWord, Required: true}},
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		room, p, ok := s.db.WhereIs(c.Str("service", ""))
+		if !ok {
+			return cmdlang.Fail(cmdlang.CodeNotFound, "service not placed"), nil
+		}
+		return cmdlang.OK().
+			SetWord("room", room).
+			SetWord("host", wordOrUnset(p.Host)).
+			Set("pos", cmdlang.FloatVector(p.Pos.X, p.Pos.Y, p.Pos.Z)), nil
+	})
+
+	s.Handle(cmdlang.CommandSpec{
+		Name: "setPosition",
+		Args: []cmdlang.ArgSpec{
+			{Name: "room", Kind: cmdlang.KindWord, Required: true},
+			{Name: "service", Kind: cmdlang.KindWord, Required: true},
+			{Name: "pos", Kind: cmdlang.KindVector, Required: true},
+		},
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		pos := c.Vector("pos")
+		if len(pos) != 3 {
+			return nil, &cmdlang.SemanticError{Command: "setPosition", Msg: "pos must be {x,y,z}"}
+		}
+		x, _ := pos[0].AsFloat()
+		y, _ := pos[1].AsFloat()
+		z, _ := pos[2].AsFloat()
+		err := s.db.SetPosition(c.Str("room", ""), c.Str("service", ""), Point{x, y, z})
+		if err != nil {
+			return cmdlang.Fail(cmdlang.CodeNotFound, err.Error()), nil
+		}
+		return nil, nil
+	})
+}
+
+func wordOrUnset(s string) string {
+	if s == "" {
+		return "unset"
+	}
+	return s
+}

@@ -1,0 +1,155 @@
+package roomdb
+
+import (
+	"testing"
+
+	"ace/internal/cmdlang"
+	"ace/internal/daemon"
+	"ace/internal/hier"
+)
+
+func TestDBRoomsAndPlacement(t *testing.T) {
+	db := NewDB()
+	if err := db.AddRoom(Room{Name: "hawk", Building: "nichols", Dims: Point{8, 6, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddRoom(Room{}); err == nil {
+		t.Fatal("nameless room accepted")
+	}
+	r, ok := db.Room("hawk")
+	if !ok || r.Dims.X != 8 {
+		t.Fatalf("room=%+v", r)
+	}
+
+	if err := db.Place("hawk", Placement{Service: "cam1", Host: "bar", Class: hier.ClassVCC3, Pos: Point{1, 2, 2.5}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Place("hawk", Placement{Service: "proj1", Host: "bar"}); err != nil {
+		t.Fatal(err)
+	}
+	// Placement into an undefined room creates it implicitly.
+	if err := db.Place("eagle", Placement{Service: "cam2"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Rooms()) != 2 {
+		t.Fatalf("rooms=%v", db.Rooms())
+	}
+
+	svcs := db.Services("hawk")
+	if len(svcs) != 2 || svcs[0].Service != "cam1" {
+		t.Fatalf("services=%v", svcs)
+	}
+
+	room, p, ok := db.WhereIs("cam2")
+	if !ok || room != "eagle" {
+		t.Fatalf("whereIs: %s %+v %v", room, p, ok)
+	}
+	if _, _, ok := db.WhereIs("ghost"); ok {
+		t.Fatal("phantom placement")
+	}
+
+	if err := db.SetPosition("hawk", "cam1", Point{3, 3, 2}); err != nil {
+		t.Fatal(err)
+	}
+	_, p, _ = db.WhereIs("cam1")
+	if p.Pos.X != 3 {
+		t.Fatalf("pos=%+v", p.Pos)
+	}
+	if err := db.SetPosition("hawk", "ghost", Point{}); err == nil {
+		t.Fatal("positioning a ghost accepted")
+	}
+
+	if !db.Remove("hawk", "cam1") || db.Remove("hawk", "cam1") {
+		t.Fatal("remove semantics")
+	}
+}
+
+func startRoomDB(t *testing.T) *Service {
+	t.Helper()
+	s := New(daemon.Config{}, nil)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Stop)
+	return s
+}
+
+func TestServiceCommands(t *testing.T) {
+	s := startRoomDB(t)
+	pool := daemon.NewPool(nil)
+	defer pool.Close()
+
+	if _, err := pool.Call(s.Addr(), cmdlang.New("addRoom").
+		SetWord("room", "hawk").SetWord("building", "nichols").
+		Set("dims", cmdlang.FloatVector(8, 6, 3))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Call(s.Addr(), cmdlang.New(daemon.CmdRegisterService).
+		SetWord("room", "hawk").SetWord("service", "cam1").
+		SetWord("host", "bar").SetInt("port", 1234).
+		SetString("class", hier.ClassVCC3).
+		Set("pos", cmdlang.FloatVector(1, 2, 2.5))); err != nil {
+		t.Fatal(err)
+	}
+
+	info, err := pool.Call(s.Addr(), cmdlang.New("roomInfo").SetWord("room", "hawk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := info.Strings("services"); len(got) != 1 || got[0] != "cam1" {
+		t.Fatalf("services=%v", got)
+	}
+	dims := info.Vector("dims")
+	if len(dims) != 3 {
+		t.Fatalf("dims=%v", dims)
+	}
+	if w, _ := dims[0].AsFloat(); w != 8 {
+		t.Fatalf("width=%v", dims[0])
+	}
+
+	where, err := pool.Call(s.Addr(), cmdlang.New("whereIs").SetWord("service", "cam1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if where.Str("room", "") != "hawk" {
+		t.Fatalf("where=%v", where)
+	}
+
+	if _, err := pool.Call(s.Addr(), cmdlang.New("setPosition").
+		SetWord("room", "hawk").SetWord("service", "cam1").
+		Set("pos", cmdlang.FloatVector(4, 4, 2))); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = pool.Call(s.Addr(), cmdlang.New("roomInfo").SetWord("room", "void"))
+	if !cmdlang.IsRemoteCode(err, cmdlang.CodeNotFound) {
+		t.Fatalf("err=%v", err)
+	}
+
+	rooms, err := pool.Call(s.Addr(), cmdlang.New("listRooms"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rooms.Strings("rooms"); len(got) != 1 || got[0] != "hawk" {
+		t.Fatalf("rooms=%v", got)
+	}
+}
+
+func TestDaemonStartupRegistersPlacement(t *testing.T) {
+	// Fig 9 step 2: a starting daemon records itself in the room
+	// database.
+	s := startRoomDB(t)
+	d := daemon.New(daemon.Config{Name: "foo", Room: "hawk", Host: "bar", RoomDBAddr: s.Addr()})
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	room, p, ok := s.DB().WhereIs("foo")
+	if !ok || room != "hawk" || p.Host != "bar" {
+		t.Fatalf("placement: %s %+v %v", room, p, ok)
+	}
+	// Stop removes the placement.
+	d.Stop()
+	if _, _, ok := s.DB().WhereIs("foo"); ok {
+		t.Fatal("placement survives stop")
+	}
+}

@@ -1,0 +1,256 @@
+// Package simhost simulates the machines of an ACE environment. The
+// paper's HRM/SRM/HAL/SAL stack managed real Unix workstations; the
+// reproduction substitutes a deterministic host model: each host has
+// a CPU speed (the paper reports speeds in bogomips), memory, disk,
+// and network capacity, and executes simulated processes that consume
+// a fair share of the CPU until their work is done.
+//
+// Time is virtual and advanced explicitly, so experiments measuring
+// placement quality (E7) are exact and reproducible.
+package simhost
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Proc is one simulated process.
+type Proc struct {
+	PID  int
+	Name string
+	// Work is the remaining abstract work (bogomips-seconds).
+	Work float64
+	// Mem is the resident memory demand in bytes.
+	Mem int64
+	// Started and Finished are virtual timestamps (seconds).
+	Started  float64
+	Finished float64
+}
+
+// Host is one simulated machine.
+type Host struct {
+	name  string
+	speed float64 // bogomips: work units per virtual second, shared fairly
+	mem   int64   // bytes
+	disk  int64   // bytes
+
+	mu        sync.Mutex
+	clock     float64
+	nextPID   int
+	procs     map[int]*Proc
+	completed []Proc
+	memUsed   int64
+	netLoad   float64 // synthetic network utilization, 0..1
+}
+
+// NewHost creates a host with the given capacity.
+func NewHost(name string, speed float64, mem, disk int64) *Host {
+	if speed <= 0 {
+		speed = 1
+	}
+	return &Host{name: name, speed: speed, mem: mem, disk: disk, procs: make(map[int]*Proc)}
+}
+
+// Name returns the host name.
+func (h *Host) Name() string { return h.name }
+
+// Speed returns the host's CPU speed in bogomips.
+func (h *Host) Speed() float64 { return h.speed }
+
+// Launch starts a process; it fails when memory is exhausted.
+func (h *Host) Launch(name string, work float64, mem int64) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.memUsed+mem > h.mem {
+		return 0, fmt.Errorf("simhost %s: out of memory (%d used, %d requested, %d total)", h.name, h.memUsed, mem, h.mem)
+	}
+	if work <= 0 {
+		work = math.SmallestNonzeroFloat64
+	}
+	h.nextPID++
+	p := &Proc{PID: h.nextPID, Name: name, Work: work, Mem: mem, Started: h.clock, Finished: -1}
+	h.procs[p.PID] = p
+	h.memUsed += mem
+	return p.PID, nil
+}
+
+// Kill terminates a running process; it reports whether the PID was
+// running.
+func (h *Host) Kill(pid int) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p, ok := h.procs[pid]
+	if !ok {
+		return false
+	}
+	delete(h.procs, pid)
+	h.memUsed -= p.Mem
+	return true
+}
+
+// Advance progresses virtual time by dt seconds, running the fair-
+// share scheduler: the host's speed is divided equally among runnable
+// processes; completions inside the interval are handled exactly.
+func (h *Host) Advance(dt float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for dt > 1e-12 && len(h.procs) > 0 {
+		share := h.speed / float64(len(h.procs))
+		// Time until the next completion at the current share.
+		next := math.Inf(1)
+		for _, p := range h.procs {
+			if t := p.Work / share; t < next {
+				next = t
+			}
+		}
+		step := math.Min(dt, next)
+		for pid, p := range h.procs {
+			p.Work -= share * step
+			if p.Work <= 1e-12 {
+				p.Work = 0
+				p.Finished = h.clock + step
+				h.memUsed -= p.Mem
+				h.completed = append(h.completed, *p)
+				delete(h.procs, pid)
+			}
+		}
+		h.clock += step
+		dt -= step
+	}
+	h.clock += dt
+}
+
+// Clock returns the host's virtual time.
+func (h *Host) Clock() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.clock
+}
+
+// Status is a point-in-time resource report, the HRM's raw material.
+type Status struct {
+	Host      string
+	Speed     float64 // bogomips
+	Runnable  int     // processes sharing the CPU
+	CPULoad   float64 // runnable count (Unix-style load)
+	MemTotal  int64
+	MemUsed   int64
+	DiskTotal int64
+	NetLoad   float64
+	Clock     float64
+}
+
+// Status reports the host's current resource state.
+func (h *Host) Status() Status {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return Status{
+		Host:      h.name,
+		Speed:     h.speed,
+		Runnable:  len(h.procs),
+		CPULoad:   float64(len(h.procs)),
+		MemTotal:  h.mem,
+		MemUsed:   h.memUsed,
+		DiskTotal: h.disk,
+		NetLoad:   h.netLoad,
+		Clock:     h.clock,
+	}
+}
+
+// SetNetLoad sets the synthetic network utilization (0..1).
+func (h *Host) SetNetLoad(u float64) {
+	h.mu.Lock()
+	h.netLoad = math.Max(0, math.Min(1, u))
+	h.mu.Unlock()
+}
+
+// Running lists the running processes sorted by PID.
+func (h *Host) Running() []Proc {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]Proc, 0, len(h.procs))
+	for _, p := range h.procs {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PID < out[j].PID })
+	return out
+}
+
+// Completed returns the finished-process log.
+func (h *Host) Completed() []Proc {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]Proc(nil), h.completed...)
+}
+
+// Find returns a running process by PID.
+func (h *Host) Find(pid int) (Proc, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p, ok := h.procs[pid]
+	if !ok {
+		return Proc{}, false
+	}
+	return *p, true
+}
+
+// Cluster is a set of hosts advanced together.
+type Cluster struct {
+	mu    sync.Mutex
+	hosts []*Host
+}
+
+// NewCluster groups hosts.
+func NewCluster(hosts ...*Host) *Cluster {
+	return &Cluster{hosts: append([]*Host(nil), hosts...)}
+}
+
+// Add appends a host.
+func (c *Cluster) Add(h *Host) {
+	c.mu.Lock()
+	c.hosts = append(c.hosts, h)
+	c.mu.Unlock()
+}
+
+// Hosts returns the host list.
+func (c *Cluster) Hosts() []*Host {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*Host(nil), c.hosts...)
+}
+
+// Advance progresses every host by dt.
+func (c *Cluster) Advance(dt float64) {
+	for _, h := range c.Hosts() {
+		h.Advance(dt)
+	}
+}
+
+// AdvanceUntilIdle advances in dt steps until no host has runnable
+// processes (or maxSteps is hit) and returns the largest host clock —
+// the makespan.
+func (c *Cluster) AdvanceUntilIdle(dt float64, maxSteps int) float64 {
+	for step := 0; step < maxSteps; step++ {
+		busy := false
+		for _, h := range c.Hosts() {
+			if h.Status().Runnable > 0 {
+				busy = true
+			}
+		}
+		if !busy {
+			break
+		}
+		c.Advance(dt)
+	}
+	makespan := 0.0
+	for _, h := range c.Hosts() {
+		for _, p := range h.Completed() {
+			if p.Finished > makespan {
+				makespan = p.Finished
+			}
+		}
+	}
+	return makespan
+}

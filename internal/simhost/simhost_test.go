@@ -1,0 +1,176 @@
+package simhost
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLaunchAndAdvanceSingleProc(t *testing.T) {
+	h := NewHost("bar", 100, 1<<30, 1<<40)
+	pid, err := h.Launch("job", 200, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := h.Find(pid); !ok {
+		t.Fatal("proc not running")
+	}
+	// 200 work at speed 100 → 2 seconds.
+	h.Advance(1.0)
+	p, ok := h.Find(pid)
+	if !ok || math.Abs(p.Work-100) > 1e-9 {
+		t.Fatalf("p=%+v", p)
+	}
+	h.Advance(1.5)
+	if _, ok := h.Find(pid); ok {
+		t.Fatal("proc should have completed")
+	}
+	done := h.Completed()
+	if len(done) != 1 || math.Abs(done[0].Finished-2.0) > 1e-9 {
+		t.Fatalf("done=%+v", done)
+	}
+	// Clock keeps moving when idle.
+	if math.Abs(h.Clock()-2.5) > 1e-9 {
+		t.Fatalf("clock=%v", h.Clock())
+	}
+}
+
+func TestFairShareTwoProcs(t *testing.T) {
+	h := NewHost("bar", 100, 1<<30, 0)
+	h.Launch("a", 100, 0) //nolint:errcheck
+	h.Launch("b", 300, 0) //nolint:errcheck
+	// Share is 50 each: "a" finishes at t=2; then "b" alone at speed
+	// 100 with 200 left → finishes at t=4.
+	h.Advance(10)
+	done := h.Completed()
+	if len(done) != 2 {
+		t.Fatalf("done=%+v", done)
+	}
+	byName := map[string]Proc{}
+	for _, p := range done {
+		byName[p.Name] = p
+	}
+	if math.Abs(byName["a"].Finished-2.0) > 1e-9 {
+		t.Fatalf("a=%+v", byName["a"])
+	}
+	if math.Abs(byName["b"].Finished-4.0) > 1e-9 {
+		t.Fatalf("b=%+v", byName["b"])
+	}
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	h := NewHost("bar", 1, 100, 0)
+	if _, err := h.Launch("big", 1, 101); err == nil {
+		t.Fatal("over-memory launch accepted")
+	}
+	pid, err := h.Launch("a", 1e9, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Launch("b", 1, 60); err == nil {
+		t.Fatal("second launch should exhaust memory")
+	}
+	if st := h.Status(); st.MemUsed != 60 {
+		t.Fatalf("memused=%d", st.MemUsed)
+	}
+	if !h.Kill(pid) {
+		t.Fatal("kill failed")
+	}
+	if st := h.Status(); st.MemUsed != 0 {
+		t.Fatalf("memused after kill=%d", st.MemUsed)
+	}
+	if h.Kill(pid) {
+		t.Fatal("double kill")
+	}
+	// Completion releases memory too.
+	h.Launch("c", 10, 70) //nolint:errcheck
+	h.Advance(100)
+	if st := h.Status(); st.MemUsed != 0 {
+		t.Fatalf("memused after completion=%d", st.MemUsed)
+	}
+}
+
+func TestKillRemovesWithoutCompletion(t *testing.T) {
+	h := NewHost("bar", 100, 1<<20, 0)
+	pid, _ := h.Launch("doomed", 1000, 1)
+	h.Advance(1)
+	h.Kill(pid)
+	h.Advance(100)
+	if len(h.Completed()) != 0 {
+		t.Fatal("killed proc completed")
+	}
+}
+
+// TestQuickWorkConservation: total completed work equals total
+// injected work, and completion times are consistent with capacity
+// (makespan ≥ total work / speed).
+func TestQuickWorkConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		h := NewHost("h", 50+float64(r.Intn(100)), 1<<40, 0)
+		n := 1 + r.Intn(8)
+		total := 0.0
+		for i := 0; i < n; i++ {
+			w := 1 + r.Float64()*100
+			total += w
+			h.Launch("p", w, 0) //nolint:errcheck
+		}
+		h.Advance(total/h.Speed() + 1)
+		done := h.Completed()
+		if len(done) != n {
+			return false
+		}
+		makespan := 0.0
+		for _, p := range done {
+			if p.Finished > makespan {
+				makespan = p.Finished
+			}
+		}
+		lower := total / h.Speed()
+		return makespan >= lower-1e-6 && makespan <= lower+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterAdvanceUntilIdle(t *testing.T) {
+	fast := NewHost("fast", 200, 1<<30, 0)
+	slow := NewHost("slow", 50, 1<<30, 0)
+	c := NewCluster(fast, slow)
+	fast.Launch("a", 400, 0) //nolint:errcheck
+	slow.Launch("b", 100, 0) //nolint:errcheck
+	makespan := c.AdvanceUntilIdle(0.5, 1000)
+	if math.Abs(makespan-2.0) > 1e-9 {
+		t.Fatalf("makespan=%v", makespan)
+	}
+	if len(c.Hosts()) != 2 {
+		t.Fatal("hosts")
+	}
+	c.Add(NewHost("extra", 1, 1, 0))
+	if len(c.Hosts()) != 3 {
+		t.Fatal("add")
+	}
+}
+
+func TestZeroWorkCompletesImmediately(t *testing.T) {
+	h := NewHost("h", 100, 1<<20, 0)
+	h.Launch("instant", 0, 0) //nolint:errcheck
+	h.Advance(0.001)
+	if len(h.Completed()) != 1 {
+		t.Fatal("zero-work proc never completed")
+	}
+}
+
+func TestNetLoadClamped(t *testing.T) {
+	h := NewHost("h", 1, 1, 1)
+	h.SetNetLoad(7)
+	if h.Status().NetLoad != 1 {
+		t.Fatal("netload not clamped high")
+	}
+	h.SetNetLoad(-3)
+	if h.Status().NetLoad != 0 {
+		t.Fatal("netload not clamped low")
+	}
+}

@@ -1,0 +1,202 @@
+// Package taskauto implements the task-automation direction the ACE
+// report sketches for the environment's future (§9): "task automation
+// (e.g. properly executing the command 'print this out to the nearest
+// printer')". It combines the room database's spatial model (§4.11)
+// with the service directory to resolve "the nearest X to me" and
+// dispatch a command to it.
+package taskauto
+
+import (
+	"fmt"
+	"math"
+
+	"ace/internal/asd"
+	"ace/internal/cmdlang"
+	"ace/internal/daemon"
+	"ace/internal/hier"
+	"ace/internal/roomdb"
+)
+
+// Candidate is one spatially resolved service.
+type Candidate struct {
+	Service  string
+	Addr     string
+	Room     string
+	Class    string
+	Pos      roomdb.Point
+	Distance float64
+}
+
+// Resolver answers nearest-service queries against the room database
+// and the ASD.
+type Resolver struct {
+	pool       *daemon.Pool
+	asdAddr    string
+	roomDBAddr string
+}
+
+// NewResolver builds a resolver over the environment's directories.
+func NewResolver(pool *daemon.Pool, asdAddr, roomDBAddr string) *Resolver {
+	return &Resolver{pool: pool, asdAddr: asdAddr, roomDBAddr: roomDBAddr}
+}
+
+func dist(a, b roomdb.Point) float64 {
+	dx, dy, dz := a.X-b.X, a.Y-b.Y, a.Z-b.Z
+	return math.Sqrt(dx*dx + dy*dy + dz*dz)
+}
+
+// Nearest finds the closest live service of the given class to the
+// position in the room. Only services that are both placed in the
+// room database AND alive in the ASD qualify.
+func (r *Resolver) Nearest(room, class string, pos roomdb.Point) (Candidate, error) {
+	info, err := r.pool.Call(r.roomDBAddr, cmdlang.New("roomInfo").SetWord("room", room))
+	if err != nil {
+		return Candidate{}, fmt.Errorf("taskauto: roomInfo(%s): %w", room, err)
+	}
+	services := info.Strings("services")
+	classes := info.Strings("classes")
+
+	best := Candidate{Distance: math.Inf(1)}
+	for i, svc := range services {
+		var svcClass string
+		if i < len(classes) {
+			svcClass = classes[i]
+		}
+		if !hier.IsSubclassOf(svcClass, class) {
+			continue
+		}
+		// Liveness + address through the directory (Fig 7).
+		addr, err := asd.Resolve(r.pool, r.asdAddr, asd.Query{Name: svc})
+		if err != nil {
+			continue
+		}
+		// Position through the room database.
+		where, err := r.pool.Call(r.roomDBAddr, cmdlang.New("whereIs").SetWord("service", svc))
+		if err != nil {
+			continue
+		}
+		var p roomdb.Point
+		if v := where.Vector("pos"); len(v) == 3 {
+			p.X, _ = v[0].AsFloat()
+			p.Y, _ = v[1].AsFloat()
+			p.Z, _ = v[2].AsFloat()
+		}
+		d := dist(p, pos)
+		if d < best.Distance {
+			best = Candidate{Service: svc, Addr: addr, Room: room, Class: svcClass, Pos: p, Distance: d}
+		}
+	}
+	if math.IsInf(best.Distance, 1) {
+		return Candidate{}, fmt.Errorf("taskauto: no live %s in %s", class, room)
+	}
+	return best, nil
+}
+
+// Task is a registered automation: a phrase maps to a device class
+// and a command builder.
+type Task struct {
+	// Class of device the task targets.
+	Class string
+	// Build constructs the device command from the task detail.
+	Build func(user, detail string) *cmdlang.CmdLine
+}
+
+// Service is the task-automation daemon: it accepts high-level task
+// commands ("print this"), resolves the nearest capable device to the
+// user's location, and dispatches the device command.
+type Service struct {
+	*daemon.Daemon
+	resolver *Resolver
+	tasks    map[string]Task
+}
+
+// NewService constructs the automation daemon with the standard task
+// set (print / display / watch).
+func NewService(dcfg daemon.Config, resolver *Resolver) *Service {
+	if dcfg.Name == "" {
+		dcfg.Name = "taskauto"
+	}
+	if dcfg.Class == "" {
+		dcfg.Class = hier.Root + ".TaskAutomation"
+	}
+	s := &Service{
+		Daemon:   daemon.New(dcfg),
+		resolver: resolver,
+		tasks:    make(map[string]Task),
+	}
+	s.RegisterTask("print", Task{
+		Class: hier.ClassDevice + ".Printer",
+		Build: func(user, detail string) *cmdlang.CmdLine {
+			return cmdlang.New("print").SetWord("owner", user).SetString("title", detail)
+		},
+	})
+	s.RegisterTask("display", Task{
+		Class: hier.ClassProjector,
+		Build: func(user, detail string) *cmdlang.CmdLine {
+			return cmdlang.New("display").SetString("source", detail)
+		},
+	})
+	s.RegisterTask("watch", Task{
+		Class: hier.ClassPTZCamera,
+		Build: func(_, _ string) *cmdlang.CmdLine {
+			return cmdlang.New("power").SetBool("on", true)
+		},
+	})
+	s.install()
+	return s
+}
+
+// RegisterTask adds or replaces a task mapping.
+func (s *Service) RegisterTask(name string, t Task) { s.tasks[name] = t }
+
+// Execute runs a task for a user standing at pos in room: resolve the
+// nearest device of the task's class, then send it the built command.
+func (s *Service) Execute(task, user, room, detail string, pos roomdb.Point) (Candidate, *cmdlang.CmdLine, error) {
+	t, ok := s.tasks[task]
+	if !ok {
+		return Candidate{}, nil, fmt.Errorf("taskauto: unknown task %q", task)
+	}
+	target, err := s.resolver.Nearest(room, t.Class, pos)
+	if err != nil {
+		return Candidate{}, nil, err
+	}
+	reply, err := s.Pool().Call(target.Addr, t.Build(user, detail))
+	if err != nil {
+		return target, nil, fmt.Errorf("taskauto: %s on %s: %w", task, target.Service, err)
+	}
+	return target, reply, nil
+}
+
+func (s *Service) install() {
+	s.Handle(cmdlang.CommandSpec{
+		Name: "task",
+		Doc:  `run a high-level task on the nearest capable device (§9: "print this out to the nearest printer")`,
+		Args: []cmdlang.ArgSpec{
+			{Name: "name", Kind: cmdlang.KindWord, Required: true},
+			{Name: "user", Kind: cmdlang.KindWord},
+			{Name: "room", Kind: cmdlang.KindWord, Required: true},
+			{Name: "detail", Kind: cmdlang.KindString},
+			{Name: "pos", Kind: cmdlang.KindVector},
+		},
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		var pos roomdb.Point
+		if v := c.Vector("pos"); len(v) == 3 {
+			pos.X, _ = v[0].AsFloat()
+			pos.Y, _ = v[1].AsFloat()
+			pos.Z, _ = v[2].AsFloat()
+		}
+		target, deviceReply, err := s.Execute(
+			c.Str("name", ""), c.Str("user", "anonymous"),
+			c.Str("room", ""), c.Str("detail", ""), pos)
+		if err != nil {
+			return cmdlang.Fail(cmdlang.CodeNotFound, err.Error()), nil
+		}
+		r := cmdlang.OK().
+			SetWord("device", target.Service).
+			SetFloat("distance", target.Distance)
+		if deviceReply != nil {
+			r.SetString("deviceReply", deviceReply.String())
+		}
+		return r, nil
+	})
+}

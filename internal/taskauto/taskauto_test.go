@@ -1,0 +1,237 @@
+package taskauto
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ace/internal/asd"
+	"ace/internal/cmdlang"
+	"ace/internal/daemon"
+	"ace/internal/device"
+	"ace/internal/roomdb"
+)
+
+// rig builds a room with two printers at opposite ends, a projector,
+// and the automation service.
+type rig struct {
+	dir      *asd.Service
+	rooms    *roomdb.Service
+	near     *device.Printer
+	far      *device.Printer
+	proj     *device.Projector
+	auto     *Service
+	pool     *daemon.Pool
+	resolver *Resolver
+}
+
+func buildRig(t *testing.T) *rig {
+	t.Helper()
+	r := &rig{}
+	r.dir = asd.New(asd.Config{ReapInterval: 20 * time.Millisecond})
+	if err := r.dir.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.dir.Stop)
+
+	db := roomdb.NewDB()
+	db.AddRoom(roomdb.Room{Name: "hawk", Dims: roomdb.Point{X: 10, Y: 8, Z: 3}}) //nolint:errcheck
+	r.rooms = roomdb.New(daemon.Config{ASDAddr: r.dir.Addr()}, db)
+	if err := r.rooms.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.rooms.Stop)
+
+	cfg := func(name string) daemon.Config {
+		return daemon.Config{
+			Name:       name,
+			Room:       "hawk",
+			ASDAddr:    r.dir.Addr(),
+			RoomDBAddr: r.rooms.Addr(),
+			LeaseTTL:   100 * time.Millisecond,
+		}
+	}
+	r.near = device.NewPrinter(cfg("printer_door"))
+	if err := r.near.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.near.Stop)
+	r.far = device.NewPrinter(cfg("printer_window"))
+	if err := r.far.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.far.Stop)
+	r.proj = device.NewProjector(cfg("projector_hawk"))
+	if err := r.proj.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.proj.Stop)
+
+	// Physical placement.
+	db.SetPosition("hawk", "printer_door", roomdb.Point{X: 1, Y: 1, Z: 1})     //nolint:errcheck
+	db.SetPosition("hawk", "printer_window", roomdb.Point{X: 9, Y: 7, Z: 1})   //nolint:errcheck
+	db.SetPosition("hawk", "projector_hawk", roomdb.Point{X: 5, Y: 0, Z: 2.5}) //nolint:errcheck
+
+	r.pool = daemon.NewPool(nil)
+	t.Cleanup(r.pool.Close)
+	r.resolver = NewResolver(r.pool, r.dir.Addr(), r.rooms.Addr())
+
+	r.auto = NewService(daemon.Config{ASDAddr: r.dir.Addr()}, r.resolver)
+	if err := r.auto.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.auto.Stop)
+	return r
+}
+
+func TestNearestPicksByDistance(t *testing.T) {
+	r := buildRig(t)
+	// Standing by the door.
+	c, err := r.resolver.Nearest("hawk", device.ClassPrinter, roomdb.Point{X: 2, Y: 2, Z: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Service != "printer_door" {
+		t.Fatalf("picked %s", c.Service)
+	}
+	// Standing by the window.
+	c, err = r.resolver.Nearest("hawk", device.ClassPrinter, roomdb.Point{X: 8, Y: 7, Z: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Service != "printer_window" {
+		t.Fatalf("picked %s", c.Service)
+	}
+	// Class matching respects the hierarchy (Device finds printers
+	// and the projector; the projector at {5,0,2.5} is nearest to the
+	// room's front center).
+	c, err = r.resolver.Nearest("hawk", "Service.Device", roomdb.Point{X: 5, Y: 1, Z: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Service != "projector_hawk" {
+		t.Fatalf("picked %s", c.Service)
+	}
+}
+
+func TestNearestSkipsDeadServices(t *testing.T) {
+	r := buildRig(t)
+	r.near.Stop() // the door printer crashes
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		c, err := r.resolver.Nearest("hawk", device.ClassPrinter, roomdb.Point{X: 1, Y: 1, Z: 1})
+		if err == nil && c.Service == "printer_window" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dead printer still selected: %+v err=%v", c, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestNearestNoCandidates(t *testing.T) {
+	r := buildRig(t)
+	if _, err := r.resolver.Nearest("hawk", "Service.Device.Toaster", roomdb.Point{}); err == nil {
+		t.Fatal("found a toaster")
+	}
+	if _, err := r.resolver.Nearest("void", device.ClassPrinter, roomdb.Point{}); err == nil {
+		t.Fatal("found printers in a non-room")
+	}
+}
+
+func TestPrintToNearestPrinter(t *testing.T) {
+	// The paper's literal §9 example, end to end through the task
+	// command.
+	r := buildRig(t)
+	reply, err := r.pool.Call(r.auto.Addr(), cmdlang.New("task").
+		SetWord("name", "print").
+		SetWord("user", "john_doe").
+		SetWord("room", "hawk").
+		SetString("detail", "quarterly-report.pdf").
+		Set("pos", cmdlang.FloatVector(1.5, 1.5, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Str("device", "") != "printer_door" {
+		t.Fatalf("reply=%v", reply)
+	}
+	jobs := r.near.Queue()
+	if len(jobs) != 1 || jobs[0].Title != "quarterly-report.pdf" || jobs[0].Owner != "john_doe" {
+		t.Fatalf("queue=%v", jobs)
+	}
+	if len(r.far.Queue()) != 0 {
+		t.Fatal("far printer got the job")
+	}
+}
+
+func TestDisplayTask(t *testing.T) {
+	r := buildRig(t)
+	// The projector must be on for display to succeed.
+	addr, err := asd.Resolve(r.pool, r.dir.Addr(), asd.Query{Name: "projector_hawk"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.pool.Call(addr, cmdlang.New("power").SetBool("on", true)); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := r.pool.Call(r.auto.Addr(), cmdlang.New("task").
+		SetWord("name", "display").
+		SetWord("room", "hawk").
+		SetString("detail", "workspace_john").
+		Set("pos", cmdlang.FloatVector(5, 2, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Str("device", "") != "projector_hawk" {
+		t.Fatalf("reply=%v", reply)
+	}
+	if r.proj.State().Input != "workspace_john" {
+		t.Fatalf("projector=%+v", r.proj.State())
+	}
+}
+
+func TestUnknownTask(t *testing.T) {
+	r := buildRig(t)
+	_, err := r.pool.Call(r.auto.Addr(), cmdlang.New("task").
+		SetWord("name", "teleport").SetWord("room", "hawk"))
+	if !cmdlang.IsRemoteCode(err, cmdlang.CodeNotFound) || !strings.Contains(err.Error(), "unknown task") {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestPrinterDevice(t *testing.T) {
+	p := device.NewPrinter(daemon.Config{})
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Stop)
+	pool := daemon.NewPool(nil)
+	defer pool.Close()
+
+	for i := 0; i < 3; i++ {
+		if _, err := pool.Call(p.Addr(), cmdlang.New("print").
+			SetWord("owner", "u").SetString("title", "doc").SetInt("pages", 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := pool.Call(p.Addr(), cmdlang.New("queueStatus"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Int("queued", 0) != 3 {
+		t.Fatalf("status=%v", st)
+	}
+	if _, err := pool.Call(p.Addr(), cmdlang.New("processQueue")); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Queue()) != 0 || len(p.Printed()) != 3 {
+		t.Fatalf("queue=%d printed=%d", len(p.Queue()), len(p.Printed()))
+	}
+	// Powered-off printers refuse jobs.
+	pool.Call(p.Addr(), cmdlang.New("power").SetBool("on", false)) //nolint:errcheck
+	_, err = pool.Call(p.Addr(), cmdlang.New("print").SetString("title", "x"))
+	if !cmdlang.IsRemoteCode(err, cmdlang.CodeUnavailable) {
+		t.Fatalf("err=%v", err)
+	}
+}

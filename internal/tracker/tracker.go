@@ -1,0 +1,258 @@
+// Package tracker implements a personnel tracking system — the
+// report's canonical example of a *non-human ACE user* (§1.1:
+// "Non-human users are high-level applications that utilize ACE
+// services on their own to provide automation within an ACE.
+// Examples of this would be video monitoring systems, personnel
+// tracking systems"). The tracker discovers every identification
+// device through the ASD, subscribes to their "identify"
+// notifications (§2.5), and maintains who-was-where-when: current
+// occupancy per room, last known location per user, and a bounded
+// sighting history.
+package tracker
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"ace/internal/asd"
+	"ace/internal/cmdlang"
+	"ace/internal/daemon"
+	"ace/internal/hier"
+	"ace/internal/ident"
+)
+
+// ClassTracker is the hierarchy class of tracking services.
+const ClassTracker = hier.Root + ".Tracker"
+
+// DefaultHistory bounds the retained sighting log.
+const DefaultHistory = 10000
+
+// Sighting is one identification event.
+type Sighting struct {
+	Seq    int64
+	Time   time.Time
+	User   string
+	Room   string
+	Device string
+}
+
+// Tracker is the personnel tracking daemon.
+type Tracker struct {
+	*daemon.Daemon
+	asdAddr string
+
+	mu       sync.Mutex
+	nextSeq  int64
+	history  []Sighting
+	capacity int
+	lastSeen map[string]Sighting // user → latest sighting
+	now      func() time.Time
+
+	subscribed map[string]bool // device addr → subscribed
+}
+
+// Config describes a tracker.
+type Config struct {
+	// Daemon is the shell configuration.
+	Daemon daemon.Config
+	// ASDAddr is used to discover identification devices.
+	ASDAddr string
+	// History bounds the sighting log (DefaultHistory when 0).
+	History int
+}
+
+// New constructs a tracker daemon.
+func New(cfg Config) *Tracker {
+	dcfg := cfg.Daemon
+	if dcfg.Name == "" {
+		dcfg.Name = "tracker"
+	}
+	if dcfg.Class == "" {
+		dcfg.Class = ClassTracker
+	}
+	if dcfg.ASDAddr == "" {
+		dcfg.ASDAddr = cfg.ASDAddr
+	}
+	if cfg.History <= 0 {
+		cfg.History = DefaultHistory
+	}
+	tr := &Tracker{
+		asdAddr:    cfg.ASDAddr,
+		capacity:   cfg.History,
+		lastSeen:   make(map[string]Sighting),
+		now:        time.Now,
+		subscribed: make(map[string]bool),
+	}
+	tr.Daemon = daemon.New(dcfg)
+	tr.install()
+	return tr
+}
+
+// Start brings the daemon online and subscribes to every currently
+// registered identification device. Call Resubscribe later to pick up
+// devices that appeared afterwards.
+func (tr *Tracker) Start() error {
+	if err := tr.Daemon.Start(); err != nil {
+		return err
+	}
+	if tr.asdAddr != "" {
+		tr.Resubscribe() //nolint:errcheck — devices may appear later
+	}
+	return nil
+}
+
+// Resubscribe discovers identification devices (everything under the
+// Authentication class that executes "identify") and subscribes to
+// the ones not yet covered. It returns how many new subscriptions
+// were made.
+func (tr *Tracker) Resubscribe() (int, error) {
+	addrs, err := asd.ResolveAll(tr.Pool(), tr.asdAddr, asd.Query{Class: hier.ClassAuthentication})
+	if err != nil {
+		return 0, err
+	}
+	added := 0
+	for _, addr := range addrs {
+		tr.mu.Lock()
+		done := tr.subscribed[addr]
+		tr.mu.Unlock()
+		if done || addr == tr.Addr() {
+			continue
+		}
+		if err := daemon.Subscribe(tr.Pool(), addr, ident.CmdIdentify, tr.Name(), tr.Addr(), "onSighting"); err != nil {
+			continue // not an identify source (e.g. the ID monitor itself refuses unknown commands gracefully)
+		}
+		tr.mu.Lock()
+		tr.subscribed[addr] = true
+		tr.mu.Unlock()
+		added++
+	}
+	return added, nil
+}
+
+// record stores one sighting.
+func (tr *Tracker) record(user, room, device string) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	tr.nextSeq++
+	s := Sighting{Seq: tr.nextSeq, Time: tr.now(), User: user, Room: room, Device: device}
+	tr.history = append(tr.history, s)
+	if len(tr.history) > tr.capacity {
+		tr.history = tr.history[len(tr.history)-tr.capacity:]
+	}
+	tr.lastSeen[user] = s
+}
+
+// LastSeen returns a user's most recent sighting.
+func (tr *Tracker) LastSeen(user string) (Sighting, bool) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	s, ok := tr.lastSeen[user]
+	return s, ok
+}
+
+// Occupants returns the users whose latest sighting is in the room,
+// sorted.
+func (tr *Tracker) Occupants(room string) []string {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	var out []string
+	for user, s := range tr.lastSeen {
+		if s.Room == room {
+			out = append(out, user)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// History returns the most recent n sightings for a user ("" = all
+// users), newest last.
+func (tr *Tracker) History(user string, n int) []Sighting {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	var out []Sighting
+	for _, s := range tr.history {
+		if user == "" || s.User == user {
+			out = append(out, s)
+		}
+	}
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return out
+}
+
+func (tr *Tracker) install() {
+	// onSighting is the notification method invoked by identification
+	// devices.
+	tr.Handle(cmdlang.CommandSpec{
+		Name:       "onSighting",
+		Doc:        "notification method: a device identified a user",
+		AllowExtra: true,
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		orig, err := cmdlang.Parse(c.Str(daemon.NotifyDetailArg, ""))
+		if err != nil {
+			return nil, err
+		}
+		user := orig.Str("username", "")
+		if user == "" {
+			return nil, nil
+		}
+		tr.record(user, orig.Str("location", ""), orig.Str("device", ""))
+		return nil, nil
+	})
+
+	tr.Handle(cmdlang.CommandSpec{
+		Name: "whereIsUser",
+		Args: []cmdlang.ArgSpec{{Name: "user", Kind: cmdlang.KindWord, Required: true}},
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		s, ok := tr.LastSeen(c.Str("user", ""))
+		if !ok {
+			return cmdlang.Fail(cmdlang.CodeNotFound, "never sighted"), nil
+		}
+		return cmdlang.OK().
+			SetWord("room", s.Room).
+			SetWord("device", s.Device).
+			SetInt("sightingSeq", s.Seq), nil
+	})
+
+	tr.Handle(cmdlang.CommandSpec{
+		Name: "occupants",
+		Args: []cmdlang.ArgSpec{{Name: "room", Kind: cmdlang.KindWord, Required: true}},
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		users := tr.Occupants(c.Str("room", ""))
+		return cmdlang.OK().
+			SetInt("count", int64(len(users))).
+			Set("users", cmdlang.WordVector(users...)), nil
+	})
+
+	tr.Handle(cmdlang.CommandSpec{
+		Name: "sightings",
+		Args: []cmdlang.ArgSpec{
+			{Name: "user", Kind: cmdlang.KindWord},
+			{Name: "limit", Kind: cmdlang.KindInt},
+		},
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		hist := tr.History(c.Str("user", ""), int(c.Int("limit", 0)))
+		users := make([]string, len(hist))
+		rooms := make([]string, len(hist))
+		for i, s := range hist {
+			users[i] = s.User
+			rooms[i] = s.Room
+		}
+		return cmdlang.OK().
+			SetInt("count", int64(len(hist))).
+			Set("users", cmdlang.WordVector(users...)).
+			Set("rooms", cmdlang.WordVector(rooms...)), nil
+	})
+
+	tr.Handle(cmdlang.CommandSpec{Name: "resubscribe", Doc: "discover and subscribe to new identification devices"},
+		func(_ *daemon.Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+			added, err := tr.Resubscribe()
+			if err != nil {
+				return nil, err
+			}
+			return cmdlang.OK().SetInt("added", int64(added)), nil
+		})
+}

@@ -1,0 +1,168 @@
+package triangulate
+
+import (
+	"sync"
+
+	"ace/internal/cmdlang"
+	"ace/internal/daemon"
+	"ace/internal/hier"
+	"ace/internal/roomdb"
+)
+
+// ClassLocator is the hierarchy class of sound-locator services.
+const ClassLocator = hier.Root + ".SoundLocator"
+
+// Locator is the sound-triangulation daemon for one room: microphone
+// daemons report the arrival time of each sound burst, and once
+// enough microphones have reported, the burst can be located.
+type Locator struct {
+	*daemon.Daemon
+	array *Array
+
+	mu      sync.Mutex
+	pending map[int64][]Arrival
+	fixes   map[int64]Fix
+	// onFix observes each solved burst (e.g. to aim a camera).
+	onFix func(burst int64, fix Fix)
+}
+
+// NewLocator constructs the locator daemon over a calibrated array.
+func NewLocator(dcfg daemon.Config, array *Array) *Locator {
+	if dcfg.Name == "" {
+		dcfg.Name = "soundlocator"
+	}
+	if dcfg.Class == "" {
+		dcfg.Class = ClassLocator
+	}
+	l := &Locator{
+		Daemon:  daemon.New(dcfg),
+		array:   array,
+		pending: make(map[int64][]Arrival),
+		fixes:   make(map[int64]Fix),
+	}
+	l.install()
+	return l
+}
+
+// SetOnFix installs the fix observer.
+func (l *Locator) SetOnFix(fn func(burst int64, fix Fix)) {
+	l.mu.Lock()
+	l.onFix = fn
+	l.mu.Unlock()
+}
+
+// Fix returns the solved location of a burst, if available.
+func (l *Locator) Fix(burst int64) (Fix, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	f, ok := l.fixes[burst]
+	return f, ok
+}
+
+// report records one arrival and solves the burst once every array
+// microphone has reported; it returns the fix when one was just
+// produced. Waiting for the full array matters: a subset of mics may
+// be coplanar (the four ceiling corners) and therefore blind to the
+// source's mirror image about their plane.
+func (l *Locator) report(burst int64, arr Arrival) (Fix, bool) {
+	l.mu.Lock()
+	l.pending[burst] = append(l.pending[burst], arr)
+	arrivals := l.pending[burst]
+	_, solved := l.fixes[burst]
+	l.mu.Unlock()
+	if solved || len(arrivals) < len(l.array.mics) {
+		return Fix{}, false
+	}
+	fix, err := l.array.Locate(arrivals)
+	if err != nil {
+		return Fix{}, false
+	}
+	l.mu.Lock()
+	l.fixes[burst] = fix
+	cb := l.onFix
+	l.mu.Unlock()
+	if cb != nil {
+		cb(burst, fix)
+	}
+	return fix, true
+}
+
+func (l *Locator) install() {
+	l.Handle(cmdlang.CommandSpec{
+		Name: "reportArrival",
+		Doc:  "a microphone heard burst N at time T",
+		Args: []cmdlang.ArgSpec{
+			{Name: "burst", Kind: cmdlang.KindInt, Required: true},
+			{Name: "mic", Kind: cmdlang.KindWord, Required: true},
+			{Name: "time", Kind: cmdlang.KindFloat, Required: true},
+		},
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		fix, produced := l.report(c.Int("burst", 0), Arrival{
+			Mic:  c.Str("mic", ""),
+			Time: c.Float("time", 0),
+		})
+		reply := cmdlang.OK().SetBool("located", produced)
+		if produced {
+			reply.Set("pos", cmdlang.FloatVector(fix.Pos.X, fix.Pos.Y, fix.Pos.Z)).
+				SetFloat("residual", fix.Residual)
+		}
+		return reply, nil
+	})
+
+	l.Handle(cmdlang.CommandSpec{
+		Name: "whereWasBurst",
+		Args: []cmdlang.ArgSpec{{Name: "burst", Kind: cmdlang.KindInt, Required: true}},
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		fix, ok := l.Fix(c.Int("burst", 0))
+		if !ok {
+			return cmdlang.Fail(cmdlang.CodeNotFound, "burst not located"), nil
+		}
+		return cmdlang.OK().
+			Set("pos", cmdlang.FloatVector(fix.Pos.X, fix.Pos.Y, fix.Pos.Z)).
+			SetFloat("residual", fix.Residual), nil
+	})
+
+	l.Handle(cmdlang.CommandSpec{
+		Name: "locate",
+		Doc:  "one-shot: locate from parallel mic/time vectors",
+		Args: []cmdlang.ArgSpec{
+			{Name: "mics", Kind: cmdlang.KindVector, Required: true},
+			{Name: "times", Kind: cmdlang.KindVector, Required: true},
+		},
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		mics := c.Strings("mics")
+		times := c.Vector("times")
+		if len(mics) != len(times) {
+			return nil, &cmdlang.SemanticError{Command: "locate", Msg: "mics and times must be parallel"}
+		}
+		arrivals := make([]Arrival, len(mics))
+		for i := range mics {
+			tv, _ := times[i].AsFloat()
+			arrivals[i] = Arrival{Mic: mics[i], Time: tv}
+		}
+		fix, err := l.array.Locate(arrivals)
+		if err != nil {
+			return nil, err
+		}
+		return cmdlang.OK().
+			Set("pos", cmdlang.FloatVector(fix.Pos.X, fix.Pos.Y, fix.Pos.Z)).
+			SetFloat("residual", fix.Residual).
+			SetInt("iterations", int64(fix.Iterations)), nil
+	})
+}
+
+// RoomArray builds a standard microphone array for a room of the
+// given dimensions: four ceiling corners plus a podium-height mic.
+// The fifth mic is deliberately NOT on the ceiling plane — a coplanar
+// array cannot distinguish a source from its mirror image about that
+// plane (the TDOA residuals are identical), so vertical
+// observability requires breaking the plane.
+func RoomArray(dims roomdb.Point) (*Array, error) {
+	return NewArray(
+		Mic{Name: "mic_nw", Pos: roomdb.Point{X: 0, Y: dims.Y, Z: dims.Z}},
+		Mic{Name: "mic_ne", Pos: roomdb.Point{X: dims.X, Y: dims.Y, Z: dims.Z}},
+		Mic{Name: "mic_sw", Pos: roomdb.Point{X: 0, Y: 0, Z: dims.Z}},
+		Mic{Name: "mic_se", Pos: roomdb.Point{X: dims.X, Y: 0, Z: dims.Z}},
+		Mic{Name: "mic_podium", Pos: roomdb.Point{X: dims.X / 2, Y: dims.Y / 4, Z: 1.0}},
+	)
+}

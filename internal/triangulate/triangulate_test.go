@@ -1,0 +1,251 @@
+package triangulate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ace/internal/cmdlang"
+	"ace/internal/daemon"
+	"ace/internal/device"
+	"ace/internal/roomdb"
+)
+
+func testArray(t *testing.T) *Array {
+	t.Helper()
+	a, err := RoomArray(roomdb.Point{X: 10, Y: 8, Z: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestNewArrayRequiresFourMics(t *testing.T) {
+	_, err := NewArray(
+		Mic{Name: "a"}, Mic{Name: "b"}, Mic{Name: "c"},
+	)
+	if err == nil {
+		t.Fatal("3-mic array accepted")
+	}
+}
+
+func TestLocateExactArrivals(t *testing.T) {
+	a := testArray(t)
+	sources := []roomdb.Point{
+		{X: 5, Y: 4, Z: 1.2},
+		{X: 1, Y: 1, Z: 1.7},
+		{X: 9, Y: 7, Z: 0.5},
+		{X: 3.3, Y: 6.1, Z: 1.0},
+	}
+	for _, src := range sources {
+		arrivals := a.Simulate(src, 12.345, nil)
+		fix, err := a.Locate(arrivals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := dist3(fix.Pos, src); d > 0.01 {
+			t.Fatalf("source %+v located at %+v (%.3f m off, residual %.4f)", src, fix.Pos, d, fix.Residual)
+		}
+	}
+}
+
+func dist3(a, b roomdb.Point) float64 {
+	dx, dy, dz := a.X-b.X, a.Y-b.Y, a.Z-b.Z
+	return math.Sqrt(dx*dx + dy*dy + dz*dz)
+}
+
+func TestLocateWithTimingNoise(t *testing.T) {
+	a := testArray(t)
+	rng := rand.New(rand.NewSource(21))
+	src := roomdb.Point{X: 6, Y: 3, Z: 1.4}
+	// 20 µs timing noise ≈ 7 mm range noise per mic.
+	arrivals := a.Simulate(src, 0, func() float64 { return rng.NormFloat64() * 20e-6 })
+	fix, err := a.Locate(arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := dist3(fix.Pos, src); d > 0.15 {
+		t.Fatalf("noisy fix %.3f m off", d)
+	}
+}
+
+func TestLocateRejectsTooFewArrivals(t *testing.T) {
+	a := testArray(t)
+	arrivals := a.Simulate(roomdb.Point{X: 5, Y: 4, Z: 1}, 0, nil)
+	if _, err := a.Locate(arrivals[:3]); err == nil {
+		t.Fatal("3 arrivals accepted")
+	}
+	// Unknown mic names are ignored.
+	bad := append([]Arrival{{Mic: "ghost", Time: 1}}, arrivals[:3]...)
+	if _, err := a.Locate(bad); err == nil {
+		t.Fatal("3 usable arrivals accepted")
+	}
+}
+
+// TestLocateRegressionSeeds pins source positions that once trapped
+// the solver in a z-axis local minimum (weak vertical observability
+// near the podium mic) before the local re-seeding pass existed.
+func TestLocateRegressionSeeds(t *testing.T) {
+	a := testArray(t)
+	for _, seed := range []int64{-4297179432528614305, 6176484172444383342, 7123560477352335633, -4697296505626232485} {
+		rng := rand.New(rand.NewSource(seed))
+		src := roomdb.Point{
+			X: 0.5 + rng.Float64()*9,
+			Y: 0.5 + rng.Float64()*7,
+			Z: 0.2 + rng.Float64()*2,
+		}
+		fix, err := a.Locate(a.Simulate(src, rng.Float64()*100, nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := dist3(fix.Pos, src); d > 0.05 {
+			t.Errorf("seed %d: fix %.3f m off (src %+v, fix %+v, residual %g)",
+				seed, d, src, fix.Pos, fix.Residual)
+		}
+	}
+}
+
+// TestQuickLocateConverges: any source inside the room is recovered
+// from exact arrivals to centimeter accuracy.
+func TestQuickLocateConverges(t *testing.T) {
+	a, err := RoomArray(roomdb.Point{X: 10, Y: 8, Z: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := roomdb.Point{
+			X: 0.5 + rng.Float64()*9,
+			Y: 0.5 + rng.Float64()*7,
+			Z: 0.2 + rng.Float64()*2,
+		}
+		fix, err := a.Locate(a.Simulate(src, rng.Float64()*100, nil))
+		if err != nil {
+			return false
+		}
+		return dist3(fix.Pos, src) < 0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolve3Singular(t *testing.T) {
+	_, ok := solve3([3][3]float64{{1, 2, 3}, {2, 4, 6}, {0, 0, 0}}, [3]float64{1, 2, 3})
+	if ok {
+		t.Fatal("singular system solved")
+	}
+	x, ok := solve3([3][3]float64{{2, 0, 0}, {0, 3, 0}, {0, 0, 4}}, [3]float64{2, 6, 8})
+	if !ok || x[0] != 1 || x[1] != 2 || x[2] != 2 {
+		t.Fatalf("x=%v ok=%v", x, ok)
+	}
+}
+
+func TestLocatorServiceBurstFlow(t *testing.T) {
+	a := testArray(t)
+	loc := NewLocator(daemon.Config{}, a)
+
+	// Wire a camera: every fix aims it at the speaker.
+	cam := device.NewPTZCamera(daemon.Config{}, device.VCC4)
+	cam.SetMountPosition(0, 0, 2.5)
+	if err := cam.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cam.Stop)
+	pool := daemon.NewPool(nil)
+	defer pool.Close()
+	pool.Call(cam.Addr(), cmdlang.New("power").SetBool("on", true)) //nolint:errcheck
+
+	aimed := make(chan Fix, 1)
+	loc.SetOnFix(func(_ int64, fix Fix) {
+		pool.Call(cam.Addr(), cmdlang.New("pointAt").
+			Set("target", cmdlang.FloatVector(fix.Pos.X, fix.Pos.Y, fix.Pos.Z))) //nolint:errcheck
+		aimed <- fix
+	})
+	if err := loc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(loc.Stop)
+
+	// A speaker claps at the podium; each mic daemon reports its
+	// arrival.
+	src := roomdb.Point{X: 7, Y: 2, Z: 1.3}
+	for _, arr := range a.Simulate(src, 5.0, nil) {
+		reply, err := pool.Call(loc.Addr(), cmdlang.New("reportArrival").
+			SetInt("burst", 1).SetWord("mic", arr.Mic).SetFloat("time", arr.Time))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = reply
+	}
+
+	select {
+	case fix := <-aimed:
+		if d := dist3(fix.Pos, src); d > 0.05 {
+			t.Fatalf("fix %.3f m off", d)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("burst never located")
+	}
+	// The camera really turned toward the speaker.
+	st := cam.State()
+	wantPan := math.Atan2(src.Y-0, src.X-0) * 180 / math.Pi
+	if math.Abs(st.Pan-wantPan) > 1.0 {
+		t.Fatalf("camera pan %.1f° want ≈%.1f°", st.Pan, wantPan)
+	}
+
+	// The fix is queryable afterwards.
+	got, err := pool.Call(loc.Addr(), cmdlang.New("whereWasBurst").SetInt("burst", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Float("residual", 99) > 0.01 {
+		t.Fatalf("residual=%v", got)
+	}
+	_, err = pool.Call(loc.Addr(), cmdlang.New("whereWasBurst").SetInt("burst", 2))
+	if !cmdlang.IsRemoteCode(err, cmdlang.CodeNotFound) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestLocatorOneShotCommand(t *testing.T) {
+	a := testArray(t)
+	loc := NewLocator(daemon.Config{}, a)
+	if err := loc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(loc.Stop)
+	pool := daemon.NewPool(nil)
+	defer pool.Close()
+
+	src := roomdb.Point{X: 2, Y: 6, Z: 1}
+	arrivals := a.Simulate(src, 0, nil)
+	mics := make([]string, len(arrivals))
+	times := make([]float64, len(arrivals))
+	for i, arr := range arrivals {
+		mics[i] = arr.Mic
+		times[i] = arr.Time
+	}
+	reply, err := pool.Call(loc.Addr(), cmdlang.New("locate").
+		Set("mics", cmdlang.WordVector(mics...)).
+		Set("times", cmdlang.FloatVector(times...)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := reply.Vector("pos")
+	x, _ := pos[0].AsFloat()
+	y, _ := pos[1].AsFloat()
+	z, _ := pos[2].AsFloat()
+	if d := dist3(roomdb.Point{X: x, Y: y, Z: z}, src); d > 0.05 {
+		t.Fatalf("one-shot fix %.3f m off", d)
+	}
+	// Mismatched vectors rejected.
+	_, err = pool.Call(loc.Addr(), cmdlang.New("locate").
+		Set("mics", cmdlang.WordVector("a", "b")).
+		Set("times", cmdlang.FloatVector(1)))
+	if err == nil {
+		t.Fatal("mismatched vectors accepted")
+	}
+}

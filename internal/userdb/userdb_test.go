@@ -1,0 +1,194 @@
+package userdb
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"ace/internal/cmdlang"
+	"ace/internal/daemon"
+)
+
+func TestDBAddGetRemove(t *testing.T) {
+	db := NewDB()
+	u := User{Username: "john_doe", FullName: "John Doe", PassHash: HashPassword("hunter2"), IButton: 0xDEADBEEF, Fingerprint: "abcd"}
+	if err := db.Add(u); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Add(u); err == nil {
+		t.Fatal("duplicate username accepted")
+	}
+	if err := db.Add(User{}); err == nil {
+		t.Fatal("nameless user accepted")
+	}
+	if err := db.Add(User{Username: "other", IButton: 0xDEADBEEF}); err == nil {
+		t.Fatal("duplicate iButton accepted")
+	}
+
+	got, ok := db.Get("john_doe")
+	if !ok || got.FullName != "John Doe" {
+		t.Fatalf("got=%+v", got)
+	}
+	if _, ok := db.Get("ghost"); ok {
+		t.Fatal("phantom user")
+	}
+	if !db.Remove("john_doe") || db.Remove("john_doe") {
+		t.Fatal("remove semantics")
+	}
+}
+
+func TestPasswordCheck(t *testing.T) {
+	db := NewDB()
+	db.Add(User{Username: "u", PassHash: HashPassword("secret")}) //nolint:errcheck
+	if !db.CheckPassword("u", "secret") {
+		t.Fatal("correct password rejected")
+	}
+	if db.CheckPassword("u", "wrong") || db.CheckPassword("ghost", "secret") {
+		t.Fatal("bad credentials accepted")
+	}
+}
+
+func TestByIButtonAndLocation(t *testing.T) {
+	db := NewDB()
+	db.Add(User{Username: "a", IButton: 111}) //nolint:errcheck
+	db.Add(User{Username: "b", IButton: 222}) //nolint:errcheck
+	db.Add(User{Username: "c"})               //nolint:errcheck
+
+	u, ok := db.ByIButton(222)
+	if !ok || u.Username != "b" {
+		t.Fatalf("u=%+v", u)
+	}
+	if _, ok := db.ByIButton(999); ok {
+		t.Fatal("phantom serial")
+	}
+	if _, ok := db.ByIButton(0); ok {
+		t.Fatal("zero serial matched")
+	}
+
+	if err := db.SetLocation("a", "hawk"); err != nil {
+		t.Fatal(err)
+	}
+	u, _ = db.Get("a")
+	if u.Location != "hawk" {
+		t.Fatalf("location=%q", u.Location)
+	}
+	if err := db.SetLocation("ghost", "hawk"); err == nil {
+		t.Fatal("located a ghost")
+	}
+}
+
+func TestFingerprintTable(t *testing.T) {
+	db := NewDB()
+	db.Add(User{Username: "a", Fingerprint: "f1"}) //nolint:errcheck
+	db.Add(User{Username: "b"})                    //nolint:errcheck
+	db.Add(User{Username: "c", Fingerprint: "f3"}) //nolint:errcheck
+	table := db.Fingerprints()
+	if len(table) != 2 || table["a"] != "f1" || table["c"] != "f3" {
+		t.Fatalf("table=%v", table)
+	}
+}
+
+func TestQuickIButtonUniqueness(t *testing.T) {
+	// Property: at most one user per non-zero serial, regardless of
+	// insertion order.
+	f := func(serials []uint32) bool {
+		db := NewDB()
+		seen := map[uint64]bool{}
+		for i, s := range serials {
+			err := db.Add(User{Username: fmt.Sprintf("u%d", i), IButton: uint64(s)})
+			dup := s != 0 && seen[uint64(s)]
+			if dup != (err != nil) {
+				return false
+			}
+			if err == nil && s != 0 {
+				seen[uint64(s)] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func startAUD(t *testing.T) *Service {
+	t.Helper()
+	s := New(daemon.Config{}, nil)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Stop)
+	return s
+}
+
+func TestServiceScenario1NewUser(t *testing.T) {
+	// Scenario 1: the administrator registers John Doe via the AUD.
+	s := startAUD(t)
+	pool := daemon.NewPool(nil)
+	defer pool.Close()
+
+	if _, err := pool.Call(s.Addr(), cmdlang.New("addUser").
+		SetWord("username", "john_doe").
+		SetString("fullname", "John Doe").
+		SetString("password", "hunter2").
+		SetInt("ibutton", 12345).
+		SetString("fingerprint", "a1b2c3")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Duplicate registration conflicts.
+	_, err := pool.Call(s.Addr(), cmdlang.New("addUser").SetWord("username", "john_doe"))
+	if !cmdlang.IsRemoteCode(err, cmdlang.CodeConflict) {
+		t.Fatalf("err=%v", err)
+	}
+
+	got, err := pool.Call(s.Addr(), cmdlang.New("getUser").SetWord("username", "john_doe"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Str("fullname", "") != "John Doe" || got.Int("ibutton", 0) != 12345 {
+		t.Fatalf("got=%v", got)
+	}
+
+	chk, err := pool.Call(s.Addr(), cmdlang.New("checkPassword").
+		SetWord("username", "john_doe").SetString("password", "hunter2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !chk.Bool("valid", false) {
+		t.Fatal("password rejected")
+	}
+
+	by, err := pool.Call(s.Addr(), cmdlang.New("byIButton").SetInt("serial", 12345))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if by.Str("username", "") != "john_doe" {
+		t.Fatalf("by=%v", by)
+	}
+
+	if _, err := pool.Call(s.Addr(), cmdlang.New("setLocation").
+		SetWord("username", "john_doe").SetWord("room", "hawk")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = pool.Call(s.Addr(), cmdlang.New("getUser").SetWord("username", "john_doe"))
+	if got.Str("location", "") != "hawk" {
+		t.Fatalf("location=%v", got)
+	}
+
+	table, err := pool.Call(s.Addr(), cmdlang.New("fingerprintTable"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names := table.Strings("usernames"); len(names) != 1 || names[0] != "john_doe" {
+		t.Fatalf("table=%v", table)
+	}
+
+	list, err := pool.Call(s.Addr(), cmdlang.New("listUsers"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if list.Int("count", 0) != 1 {
+		t.Fatalf("list=%v", list)
+	}
+}

@@ -1,0 +1,287 @@
+// Package vidmon implements a video monitoring system — the other
+// non-human ACE user the report names alongside personnel tracking
+// (§1.1: "video monitoring systems"). A monitor daemon consumes a
+// camera's video stream on its data channel, runs motion detection
+// (adaptive background subtraction), and executes a "motionDetected"
+// command on itself whenever significant motion appears — so any
+// interested service can subscribe through ordinary ACE notifications
+// (§2.5): point a camera at the motion, start a recording, or page
+// security.
+package vidmon
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+
+	"ace/internal/cmdlang"
+	"ace/internal/daemon"
+	"ace/internal/hier"
+)
+
+// ClassMonitor is the hierarchy class of video monitoring services.
+const ClassMonitor = hier.Root + ".VideoMonitor"
+
+// VideoFrame is one grayscale frame.
+type VideoFrame struct {
+	Seq    uint32
+	W, H   int
+	Pixels []byte // row-major, W*H bytes
+}
+
+// NewVideoFrame allocates a black frame.
+func NewVideoFrame(seq uint32, w, h int) VideoFrame {
+	return VideoFrame{Seq: seq, W: w, H: h, Pixels: make([]byte, w*h)}
+}
+
+// At returns the pixel at (x, y).
+func (f VideoFrame) At(x, y int) byte { return f.Pixels[y*f.W+x] }
+
+// Set writes the pixel at (x, y).
+func (f VideoFrame) Set(x, y int, v byte) { f.Pixels[y*f.W+x] = v }
+
+// Marshal renders the frame for the UDP data channel.
+func (f VideoFrame) Marshal() []byte {
+	buf := make([]byte, 12+len(f.Pixels))
+	binary.BigEndian.PutUint32(buf[0:4], f.Seq)
+	binary.BigEndian.PutUint32(buf[4:8], uint32(f.W))
+	binary.BigEndian.PutUint32(buf[8:12], uint32(f.H))
+	copy(buf[12:], f.Pixels)
+	return buf
+}
+
+// UnmarshalVideoFrame parses a data-channel packet.
+func UnmarshalVideoFrame(pkt []byte) (VideoFrame, error) {
+	if len(pkt) < 12 {
+		return VideoFrame{}, fmt.Errorf("vidmon: short packet (%d bytes)", len(pkt))
+	}
+	w := int(binary.BigEndian.Uint32(pkt[4:8]))
+	h := int(binary.BigEndian.Uint32(pkt[8:12]))
+	if w <= 0 || h <= 0 || w*h != len(pkt)-12 || w*h > 1<<22 {
+		return VideoFrame{}, fmt.Errorf("vidmon: inconsistent dimensions %dx%d for %d pixel bytes", w, h, len(pkt)-12)
+	}
+	f := VideoFrame{Seq: binary.BigEndian.Uint32(pkt[0:4]), W: w, H: h, Pixels: make([]byte, w*h)}
+	copy(f.Pixels, pkt[12:])
+	return f, nil
+}
+
+// Motion is one detected motion event.
+type Motion struct {
+	Seq    uint32
+	Ratio  float64 // fraction of pixels in motion
+	CX, CY float64 // centroid of the moving pixels
+	Extent int     // moving pixel count
+	FrameW int
+	FrameH int
+}
+
+// Detector performs adaptive background subtraction: the background
+// model is a per-pixel exponential moving average, so slow lighting
+// drift is absorbed while fast changes (people) trigger.
+type Detector struct {
+	// PixelThreshold is the per-pixel |frame−background| level that
+	// counts as motion.
+	PixelThreshold int
+	// MotionRatio is the fraction of moving pixels above which a
+	// Motion event is produced.
+	MotionRatio float64
+	// Alpha is the background adaptation rate per frame (0..1).
+	Alpha float64
+
+	bg []float64
+	w  int
+	h  int
+}
+
+// NewDetector builds a detector with sensible defaults (threshold 25
+// levels, 0.5% of pixels, 5% adaptation).
+func NewDetector() *Detector {
+	return &Detector{PixelThreshold: 25, MotionRatio: 0.005, Alpha: 0.05}
+}
+
+// Process consumes one frame, updates the background model, and
+// reports motion if any. The first frame only initializes the model.
+func (d *Detector) Process(f VideoFrame) (Motion, bool) {
+	if d.bg == nil || d.w != f.W || d.h != f.H {
+		d.bg = make([]float64, len(f.Pixels))
+		for i, p := range f.Pixels {
+			d.bg[i] = float64(p)
+		}
+		d.w, d.h = f.W, f.H
+		return Motion{}, false
+	}
+	var moving, sumX, sumY float64
+	count := 0
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < f.W; x++ {
+			i := y*f.W + x
+			diff := math.Abs(float64(f.Pixels[i]) - d.bg[i])
+			if diff > float64(d.PixelThreshold) {
+				moving++
+				sumX += float64(x)
+				sumY += float64(y)
+				count++
+			}
+			d.bg[i] += d.Alpha * (float64(f.Pixels[i]) - d.bg[i])
+		}
+	}
+	ratio := moving / float64(len(f.Pixels))
+	if ratio < d.MotionRatio || count == 0 {
+		return Motion{}, false
+	}
+	return Motion{
+		Seq:    f.Seq,
+		Ratio:  ratio,
+		CX:     sumX / float64(count),
+		CY:     sumY / float64(count),
+		Extent: count,
+		FrameW: f.W,
+		FrameH: f.H,
+	}, true
+}
+
+// Monitor is the video monitoring daemon.
+type Monitor struct {
+	*daemon.Daemon
+
+	mu       sync.Mutex
+	detector *Detector
+	events   []Motion
+	frames   int64
+}
+
+// NewMonitor constructs a monitor daemon (a default Detector when det
+// is nil).
+func NewMonitor(dcfg daemon.Config, det *Detector) *Monitor {
+	if det == nil {
+		det = NewDetector()
+	}
+	if dcfg.Name == "" {
+		dcfg.Name = "vidmon"
+	}
+	if dcfg.Class == "" {
+		dcfg.Class = ClassMonitor
+	}
+	m := &Monitor{detector: det}
+	dcfg.DataHandler = m.onData
+	m.Daemon = daemon.New(dcfg)
+	m.install()
+	return m
+}
+
+// Events returns the detected motion events.
+func (m *Monitor) Events() []Motion {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Motion(nil), m.events...)
+}
+
+// Frames returns the number of processed frames.
+func (m *Monitor) Frames() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.frames
+}
+
+func (m *Monitor) onData(pkt []byte, _ net.Addr) {
+	f, err := UnmarshalVideoFrame(pkt)
+	if err != nil {
+		return
+	}
+	m.mu.Lock()
+	m.frames++
+	motion, detected := m.detector.Process(f)
+	if detected {
+		m.events = append(m.events, motion)
+	}
+	m.mu.Unlock()
+	if detected {
+		// Execute motionDetected on ourselves so §2.5 notification
+		// listeners fire.
+		m.ExecuteLocal(nil, cmdlang.New("motionDetected").
+			SetInt("frame", int64(motion.Seq)).
+			SetFloat("ratio", motion.Ratio).
+			SetFloat("cx", motion.CX).
+			SetFloat("cy", motion.CY).
+			SetInt("extent", int64(motion.Extent)))
+	}
+}
+
+func (m *Monitor) install() {
+	m.Handle(cmdlang.CommandSpec{
+		Name: "motionDetected",
+		Doc:  "executed by the monitor itself on each detection (subscribe to this)",
+		Args: []cmdlang.ArgSpec{
+			{Name: "frame", Kind: cmdlang.KindInt, Required: true},
+			{Name: "ratio", Kind: cmdlang.KindFloat, Required: true},
+			{Name: "cx", Kind: cmdlang.KindFloat, Required: true},
+			{Name: "cy", Kind: cmdlang.KindFloat, Required: true},
+			{Name: "extent", Kind: cmdlang.KindInt},
+		},
+	}, func(_ *daemon.Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		return nil, nil
+	})
+
+	m.Handle(cmdlang.CommandSpec{Name: "motionStatus", Doc: "frames processed and events detected"},
+		func(_ *daemon.Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			r := cmdlang.OK().
+				SetInt("frames", m.frames).
+				SetInt("events", int64(len(m.events)))
+			if n := len(m.events); n > 0 {
+				last := m.events[n-1]
+				r.SetFloat("lastCx", last.CX).SetFloat("lastCy", last.CY).SetInt("lastFrame", int64(last.Seq))
+			}
+			return r, nil
+		})
+}
+
+// Scene synthesizes camera footage: a textured static background with
+// an optional moving square intruder, for exercising the detector.
+type Scene struct {
+	W, H int
+	seq  uint32
+	base VideoFrame
+}
+
+// NewScene builds a scene with a deterministic textured background.
+func NewScene(w, h int) *Scene {
+	s := &Scene{W: w, H: h, base: NewVideoFrame(0, w, h)}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			s.base.Set(x, y, byte(60+(x*7+y*13)%60))
+		}
+	}
+	return s
+}
+
+// Frame renders the next frame. If intruder is true, a bright square
+// of the given size is drawn at (ix, iy). brightness shifts the whole
+// scene (lighting drift).
+func (s *Scene) Frame(intruder bool, ix, iy, size int, brightness int) VideoFrame {
+	s.seq++
+	f := NewVideoFrame(s.seq, s.W, s.H)
+	for i, p := range s.base.Pixels {
+		v := int(p) + brightness
+		if v < 0 {
+			v = 0
+		}
+		if v > 255 {
+			v = 255
+		}
+		f.Pixels[i] = byte(v)
+	}
+	if intruder {
+		for y := iy; y < iy+size && y < s.H; y++ {
+			for x := ix; x < ix+size && x < s.W; x++ {
+				if x >= 0 && y >= 0 {
+					f.Set(x, y, 230)
+				}
+			}
+		}
+	}
+	return f
+}

@@ -1,0 +1,209 @@
+package vidmon
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ace/internal/cmdlang"
+	"ace/internal/daemon"
+)
+
+func TestFrameMarshalRoundTrip(t *testing.T) {
+	f := NewVideoFrame(9, 32, 24)
+	f.Set(5, 7, 200)
+	back, err := UnmarshalVideoFrame(f.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Seq != 9 || back.W != 32 || back.H != 24 || back.At(5, 7) != 200 {
+		t.Fatalf("back=%+v", back)
+	}
+	// Malformed packets rejected.
+	if _, err := UnmarshalVideoFrame([]byte{1, 2}); err == nil {
+		t.Fatal("short packet accepted")
+	}
+	bad := f.Marshal()
+	binary := bad[4:8]
+	binary[0], binary[1], binary[2], binary[3] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, err := UnmarshalVideoFrame(bad); err == nil {
+		t.Fatal("dimension-lying packet accepted")
+	}
+}
+
+func TestQuickFrameRoundTrip(t *testing.T) {
+	f := func(seq uint32, pix []byte) bool {
+		if len(pix) == 0 {
+			return true
+		}
+		w := 8
+		h := len(pix) / w
+		if h == 0 {
+			return true
+		}
+		fr := VideoFrame{Seq: seq, W: w, H: h, Pixels: pix[:w*h]}
+		back, err := UnmarshalVideoFrame(fr.Marshal())
+		if err != nil || back.Seq != seq || back.W != w || back.H != h {
+			return false
+		}
+		for i := range back.Pixels {
+			if back.Pixels[i] != fr.Pixels[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetectorStaticSceneQuiet(t *testing.T) {
+	scene := NewScene(64, 48)
+	det := NewDetector()
+	for i := 0; i < 50; i++ {
+		if _, detected := det.Process(scene.Frame(false, 0, 0, 0, 0)); detected {
+			t.Fatalf("false motion on static frame %d", i)
+		}
+	}
+}
+
+func TestDetectorTracksIntruder(t *testing.T) {
+	scene := NewScene(64, 48)
+	det := NewDetector()
+	// Settle the background.
+	for i := 0; i < 5; i++ {
+		det.Process(scene.Frame(false, 0, 0, 0, 0))
+	}
+	// The intruder walks left to right; the centroid must follow.
+	var lastCX float64 = -1
+	detections := 0
+	for x := 5; x < 50; x += 5 {
+		motion, detected := det.Process(scene.Frame(true, x, 20, 8, 0))
+		if !detected {
+			continue
+		}
+		detections++
+		if lastCX >= 0 && motion.CX <= lastCX {
+			t.Fatalf("centroid not tracking: %.1f after %.1f", motion.CX, lastCX)
+		}
+		// The centroid should be near the square's center.
+		wantCX := float64(x) + 3.5
+		if math.Abs(motion.CX-wantCX) > 4 {
+			t.Fatalf("centroid %.1f want ≈%.1f", motion.CX, wantCX)
+		}
+		lastCX = motion.CX
+	}
+	if detections < 5 {
+		t.Fatalf("only %d detections", detections)
+	}
+}
+
+func TestDetectorAdaptsToLightingDrift(t *testing.T) {
+	scene := NewScene(64, 48)
+	det := NewDetector()
+	det.Process(scene.Frame(false, 0, 0, 0, 0))
+	// Brightness creeps up 1 level per frame — well under the pixel
+	// threshold each step; the EMA background absorbs it.
+	for b := 1; b <= 40; b++ {
+		if _, detected := det.Process(scene.Frame(false, 0, 0, 0, b)); detected {
+			t.Fatalf("lighting drift flagged as motion at +%d", b)
+		}
+	}
+	// A sudden lighting jump (lights switched on) IS motion.
+	if _, detected := det.Process(scene.Frame(false, 0, 0, 0, 120)); !detected {
+		t.Fatal("lights-on jump missed")
+	}
+}
+
+func TestMonitorNotifiesSubscribers(t *testing.T) {
+	monitor := NewMonitor(daemon.Config{}, nil)
+	if err := monitor.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(monitor.Stop)
+
+	// A security service subscribes to motion.
+	alerts := make(chan *cmdlang.CmdLine, 16)
+	security := daemon.New(daemon.Config{Name: "security"})
+	security.Handle(cmdlang.CommandSpec{Name: "onMotion", AllowExtra: true},
+		func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+			alerts <- c
+			return nil, nil
+		})
+	if err := security.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(security.Stop)
+	pool := daemon.NewPool(nil)
+	defer pool.Close()
+	if err := daemon.Subscribe(pool, monitor.Addr(), "motionDetected",
+		"security", security.Addr(), "onMotion"); err != nil {
+		t.Fatal(err)
+	}
+
+	// A camera streams: quiet scene, then an intruder.
+	source := daemon.New(daemon.Config{Name: "cam_src"})
+	if err := source.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(source.Stop)
+	scene := NewScene(64, 48)
+	for i := 0; i < 5; i++ {
+		if err := source.SendData(monitor.DataAddr(), scene.Frame(false, 0, 0, 0, 0).Marshal()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Wait until the background has settled (frames processed).
+	deadline := time.Now().Add(2 * time.Second)
+	for monitor.Frames() < 5 {
+		if time.Now().After(deadline) {
+			t.Fatalf("frames=%d", monitor.Frames())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := source.SendData(monitor.DataAddr(), scene.Frame(true, 30, 20, 10, 0).Marshal()); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case alert := <-alerts:
+		detail, err := cmdlang.Parse(alert.Str(daemon.NotifyDetailArg, ""))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cx := detail.Float("cx", 0)
+		if math.Abs(cx-34.5) > 4 {
+			t.Fatalf("alert cx=%.1f", cx)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("security never alerted")
+	}
+
+	// Status surfaces counts.
+	status, err := pool.Call(monitor.Addr(), cmdlang.New("motionStatus"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.Int("events", 0) < 1 || status.Int("frames", 0) < 6 {
+		t.Fatalf("status=%v", status)
+	}
+	if len(monitor.Events()) < 1 {
+		t.Fatal("no events recorded")
+	}
+}
+
+func TestDetectorReinitializesOnResolutionChange(t *testing.T) {
+	det := NewDetector()
+	small := NewScene(32, 24)
+	big := NewScene(64, 48)
+	det.Process(small.Frame(false, 0, 0, 0, 0))
+	// A resolution change must reinitialize, not panic or detect.
+	if _, detected := det.Process(big.Frame(false, 0, 0, 0, 0)); detected {
+		t.Fatal("resolution change flagged as motion")
+	}
+	if _, detected := det.Process(big.Frame(false, 0, 0, 0, 0)); detected {
+		t.Fatal("static frame after reinit flagged")
+	}
+}

@@ -1,0 +1,162 @@
+// Package voice implements the voice commanding the report names as
+// the next development stage (§7.5: "The next stage in development
+// for ACE is to have all the above described commands be given by
+// voice and gestures"). A VoiceControl daemon listens on its audio
+// data channel, runs the speech-to-command recognizer over incoming
+// frames, and turns recognized utterances into environment actions by
+// dispatching them to the task-automation service — so "print
+// quarterly report" spoken into a room microphone queues a job on the
+// nearest printer.
+package voice
+
+import (
+	"net"
+	"strings"
+	"sync"
+
+	"ace/internal/cmdlang"
+	"ace/internal/daemon"
+	"ace/internal/hier"
+	"ace/internal/media"
+	"ace/internal/roomdb"
+)
+
+// ClassVoice is the hierarchy class of voice-control services.
+const ClassVoice = hier.Root + ".VoiceControl"
+
+// Utterance records one recognized spoken command and what became of
+// it.
+type Utterance struct {
+	Text       string // recognized text (terminator stripped)
+	Task       string // dispatched task name, "" when unmapped
+	Dispatched bool
+	Error      string
+}
+
+// Config wires a voice-control endpoint.
+type Config struct {
+	// Daemon is the shell configuration.
+	Daemon daemon.Config
+	// Room is where this microphone lives; dispatched tasks resolve
+	// "nearest" devices here.
+	Room string
+	// Pos is the microphone's position in the room.
+	Pos roomdb.Point
+	// TaskAutoAddr is the task-automation daemon commands are
+	// dispatched to.
+	TaskAutoAddr string
+	// Speaker, when known, is attached as the task's user.
+	Speaker string
+}
+
+// VoiceControl is the voice-command daemon.
+type VoiceControl struct {
+	*daemon.Daemon
+	cfg Config
+
+	mu         sync.Mutex
+	stc        media.SpeechToCommand
+	utterances []Utterance
+}
+
+// New constructs a voice-control endpoint.
+func New(cfg Config) *VoiceControl {
+	dcfg := cfg.Daemon
+	if dcfg.Name == "" {
+		dcfg.Name = "voice_" + cfg.Room
+	}
+	if dcfg.Class == "" {
+		dcfg.Class = ClassVoice
+	}
+	v := &VoiceControl{cfg: cfg}
+	dcfg.DataHandler = v.onData
+	v.Daemon = daemon.New(dcfg)
+	v.install()
+	return v
+}
+
+// Utterances returns the recognition history.
+func (v *VoiceControl) Utterances() []Utterance {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return append([]Utterance(nil), v.utterances...)
+}
+
+func (v *VoiceControl) onData(pkt []byte, _ net.Addr) {
+	f, err := media.UnmarshalFrame(pkt)
+	if err != nil {
+		return
+	}
+	v.mu.Lock()
+	cmd, complete := v.stc.Feed(f)
+	v.mu.Unlock()
+	if complete {
+		v.handleUtterance(strings.TrimSuffix(cmd, ";"))
+	}
+}
+
+// verbTask maps an utterance's leading verb to a task-automation task
+// name. Everything after the verb travels as the task detail.
+var verbTask = map[string]string{
+	"print":   "print",
+	"display": "display",
+	"camera":  "watch",
+	"watch":   "watch",
+}
+
+// handleUtterance maps "print quarterly report" → task print,
+// detail "quarterly report" and dispatches it.
+func (v *VoiceControl) handleUtterance(text string) {
+	u := Utterance{Text: text}
+	defer func() {
+		v.mu.Lock()
+		v.utterances = append(v.utterances, u)
+		v.mu.Unlock()
+	}()
+
+	verb, detail, _ := strings.Cut(text, " ")
+	task, ok := verbTask[verb]
+	if !ok {
+		u.Error = "no task mapped to verb " + verb
+		return
+	}
+	u.Task = task
+	if v.cfg.TaskAutoAddr == "" {
+		u.Error = "no task-automation service configured"
+		return
+	}
+	speaker := v.cfg.Speaker
+	if speaker == "" {
+		speaker = "voice"
+	}
+	cmd := cmdlang.New("task").
+		SetWord("name", task).
+		SetWord("user", speaker).
+		SetWord("room", v.cfg.Room).
+		SetString("detail", detail).
+		Set("pos", cmdlang.FloatVector(v.cfg.Pos.X, v.cfg.Pos.Y, v.cfg.Pos.Z))
+	if _, err := v.Pool().Call(v.cfg.TaskAutoAddr, cmd); err != nil {
+		u.Error = err.Error()
+		return
+	}
+	u.Dispatched = true
+}
+
+func (v *VoiceControl) install() {
+	v.Handle(cmdlang.CommandSpec{Name: "heard", Doc: "recognition history"},
+		func(_ *daemon.Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+			v.mu.Lock()
+			lines := make([]string, len(v.utterances))
+			for i, u := range v.utterances {
+				status := "dispatched"
+				if !u.Dispatched {
+					status = "failed: " + u.Error
+				}
+				lines[i] = u.Text + " → " + status
+			}
+			v.mu.Unlock()
+			return cmdlang.OK().
+				SetInt("count", int64(len(lines))).
+				Set("utterances", cmdlang.StringVector(lines...)), nil
+		})
+}

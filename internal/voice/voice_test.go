@@ -1,0 +1,183 @@
+package voice
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ace/internal/asd"
+	"ace/internal/cmdlang"
+	"ace/internal/daemon"
+	"ace/internal/device"
+	"ace/internal/media"
+	"ace/internal/roomdb"
+	"ace/internal/taskauto"
+)
+
+// rig: room with a printer and projector, task automation, and a
+// voice endpoint at the podium.
+type rig struct {
+	dir     *asd.Service
+	printer *device.Printer
+	proj    *device.Projector
+	voice   *VoiceControl
+	capture *media.AudioCapture
+	pool    *daemon.Pool
+}
+
+func buildRig(t *testing.T) *rig {
+	t.Helper()
+	r := &rig{}
+	r.dir = asd.New(asd.Config{})
+	if err := r.dir.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.dir.Stop)
+
+	db := roomdb.NewDB()
+	db.AddRoom(roomdb.Room{Name: "hawk"}) //nolint:errcheck
+	rooms := roomdb.New(daemon.Config{ASDAddr: r.dir.Addr()}, db)
+	if err := rooms.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rooms.Stop)
+
+	r.printer = device.NewPrinter(daemon.Config{
+		Name: "printer_hawk", Room: "hawk",
+		ASDAddr: r.dir.Addr(), RoomDBAddr: rooms.Addr(),
+	})
+	if err := r.printer.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.printer.Stop)
+
+	r.proj = device.NewProjector(daemon.Config{
+		Name: "projector_hawk", Room: "hawk",
+		ASDAddr: r.dir.Addr(), RoomDBAddr: rooms.Addr(),
+	})
+	if err := r.proj.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.proj.Stop)
+
+	resolver := taskauto.NewResolver(daemon.NewPool(nil), r.dir.Addr(), rooms.Addr())
+	auto := taskauto.NewService(daemon.Config{ASDAddr: r.dir.Addr()}, resolver)
+	if err := auto.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(auto.Stop)
+
+	r.voice = New(Config{
+		Room:         "hawk",
+		Speaker:      "john_doe",
+		TaskAutoAddr: auto.Addr(),
+	})
+	if err := r.voice.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.voice.Stop)
+
+	r.capture = media.NewAudioCapture(daemon.Config{})
+	if err := r.capture.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.capture.Stop)
+
+	r.pool = daemon.NewPool(nil)
+	t.Cleanup(r.pool.Close)
+	return r
+}
+
+func (r *rig) speak(t *testing.T, text string) {
+	t.Helper()
+	if _, err := r.pool.Call(r.capture.Addr(), cmdlang.New("say").
+		SetString("dest", r.voice.DataAddr()).
+		SetString("text", text)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func waitUtterances(t *testing.T, v *VoiceControl, n int) []Utterance {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		us := v.Utterances()
+		if len(us) >= n {
+			return us
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d utterances recognized", len(us), n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestSpokenPrintQueuesJob(t *testing.T) {
+	r := buildRig(t)
+	r.speak(t, "print quarterly report")
+	us := waitUtterances(t, r.voice, 1)
+	if !us[0].Dispatched || us[0].Task != "print" {
+		t.Fatalf("utterance=%+v", us[0])
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for len(r.printer.Queue()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no job queued")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	job := r.printer.Queue()[0]
+	if job.Title != "quarterly report" || job.Owner != "john_doe" {
+		t.Fatalf("job=%+v", job)
+	}
+}
+
+func TestSpokenCameraAndDisplay(t *testing.T) {
+	r := buildRig(t)
+	// Power the projector so the display task can route.
+	projAddr, err := asd.Resolve(r.pool, r.dir.Addr(), asd.Query{Name: "projector_hawk"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.pool.Call(projAddr, cmdlang.New("power").SetBool("on", true)); err != nil {
+		t.Fatal(err)
+	}
+	// No camera in the room: "camera on" dispatches but fails at
+	// resolution; "display slides" succeeds.
+	r.speak(t, "camera on")
+	r.speak(t, "display slides")
+	us := waitUtterances(t, r.voice, 2)
+	byText := map[string]Utterance{}
+	for _, u := range us {
+		byText[u.Text] = u
+	}
+	if u := byText["camera on"]; u.Dispatched || !strings.Contains(u.Error, "no live") {
+		t.Fatalf("camera utterance=%+v", u)
+	}
+	if u := byText["display slides"]; !u.Dispatched {
+		t.Fatalf("display utterance=%+v", u)
+	}
+	if r.proj.State().Input != "slides" {
+		t.Fatalf("projector=%+v", r.proj.State())
+	}
+}
+
+func TestUnmappedVerbRecorded(t *testing.T) {
+	r := buildRig(t)
+	r.speak(t, "teleport me home")
+	us := waitUtterances(t, r.voice, 1)
+	if us[0].Dispatched || !strings.Contains(us[0].Error, "no task mapped") {
+		t.Fatalf("utterance=%+v", us[0])
+	}
+	// The history surfaces over the command channel.
+	reply, err := r.pool.Call(r.voice.Addr(), cmdlang.New("heard"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Int("count", 0) != 1 {
+		t.Fatalf("reply=%v", reply)
+	}
+	if !strings.Contains(reply.Strings("utterances")[0], "teleport me home") {
+		t.Fatalf("reply=%v", reply)
+	}
+}

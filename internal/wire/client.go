@@ -1,0 +1,197 @@
+package wire
+
+import (
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ace/internal/cmdlang"
+)
+
+// ErrClosed is returned by calls on a closed client.
+var ErrClosed = errors.New("wire: client closed")
+
+// DialTimeout bounds connection establishment to a daemon.
+const DialTimeout = 5 * time.Second
+
+// Client is a connection to one ACE service daemon's command port.
+// It is safe for concurrent use: calls are correlated by the "seq"
+// argument, so many goroutines can have requests in flight on the
+// same connection.
+type Client struct {
+	conn net.Conn
+
+	writeMu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	pending map[int64]chan *cmdlang.CmdLine
+	err     error
+	closed  bool
+
+	seq atomic.Int64
+
+	onPush func(*cmdlang.CmdLine)
+}
+
+// SetOnPush installs a handler for commands that arrive without a
+// matching pending sequence number (server pushes, e.g. streamed
+// notifications on a subscription channel). Pushes arriving before a
+// handler is installed are dropped.
+func (c *Client) SetOnPush(fn func(*cmdlang.CmdLine)) {
+	c.mu.Lock()
+	c.onPush = fn
+	c.mu.Unlock()
+}
+
+// Dial connects to a daemon command port using the transport's TLS
+// client configuration (or plaintext when the transport is nil or
+// plaintext).
+func Dial(t *Transport, addr string) (*Client, error) {
+	d := net.Dialer{Timeout: DialTimeout}
+	raw, err := d.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	cfg := t.ClientConfig("")
+	var conn net.Conn = raw
+	if cfg != nil {
+		tc := tls.Client(raw, cfg)
+		if err := tc.Handshake(); err != nil {
+			raw.Close()
+			return nil, fmt.Errorf("wire: TLS handshake with %s: %w", addr, err)
+		}
+		conn = tc
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (already TLS'd if
+// desired) and starts the reader goroutine.
+func NewClient(conn net.Conn) *Client {
+	c := &Client{conn: conn, pending: make(map[int64]chan *cmdlang.CmdLine)}
+	go c.readLoop()
+	return c
+}
+
+func (c *Client) readLoop() {
+	for {
+		cmd, err := ReadCmd(c.conn)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		seq := cmd.Int(cmdlang.SeqArg, -1)
+		c.mu.Lock()
+		ch, ok := c.pending[seq]
+		if ok {
+			delete(c.pending, seq)
+		}
+		push := c.onPush
+		c.mu.Unlock()
+		if ok {
+			ch <- cmd
+		} else if push != nil {
+			push(cmd)
+		}
+	}
+}
+
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err == nil {
+		c.err = err
+	}
+	for seq, ch := range c.pending {
+		delete(c.pending, seq)
+		close(ch)
+	}
+	c.closed = true
+	c.conn.Close()
+}
+
+// Call sends the command and waits for its return command. The "seq"
+// argument is added automatically. A "fail" reply is converted to a
+// *cmdlang.RemoteError; an "ok" reply is returned as-is so the caller
+// can read result arguments.
+func (c *Client) Call(cmd *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+	reply, err := c.CallRaw(cmd)
+	if err != nil {
+		return nil, err
+	}
+	if rerr := cmdlang.ReplyError(reply); rerr != nil {
+		return nil, rerr
+	}
+	return reply, nil
+}
+
+// CallRaw is Call without reply-status interpretation: it returns
+// whatever return command the daemon sent, including "fail".
+func (c *Client) CallRaw(cmd *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+	seq := c.seq.Add(1)
+	cmd = cmd.Clone()
+	cmd.SetInt(cmdlang.SeqArg, seq)
+
+	ch := make(chan *cmdlang.CmdLine, 1)
+	c.mu.Lock()
+	if c.closed {
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return nil, err
+	}
+	c.pending[seq] = ch
+	c.mu.Unlock()
+
+	c.writeMu.Lock()
+	err := WriteCmd(c.conn, cmd)
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, seq)
+		c.mu.Unlock()
+		return nil, err
+	}
+
+	reply, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return nil, err
+	}
+	return reply, nil
+}
+
+// Send transmits a command without waiting for any reply (one-way
+// notification delivery).
+func (c *Client) Send(cmd *cmdlang.CmdLine) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	return WriteCmd(c.conn, cmd)
+}
+
+// Close tears down the connection; outstanding calls fail.
+func (c *Client) Close() error {
+	c.fail(ErrClosed)
+	return nil
+}
+
+// Err returns the terminal error of the connection, if any.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err == ErrClosed {
+		return nil
+	}
+	return c.err
+}

@@ -1,0 +1,69 @@
+// Package wire provides the transport substrate for ACE daemon
+// communications: length-prefixed command frames, TLS identities
+// issued by an in-memory environment CA (the paper's "SSL at the
+// socket level", §3.1), and a concurrent request/response client.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"ace/internal/cmdlang"
+)
+
+// MaxFrameSize bounds a single command frame. ACE commands are small
+// control messages; bulk data travels on the UDP data channel.
+const MaxFrameSize = 1 << 20
+
+// ErrFrameTooLarge is returned when a peer sends an oversized frame.
+type ErrFrameTooLarge struct{ Size uint32 }
+
+func (e *ErrFrameTooLarge) Error() string {
+	return fmt.Sprintf("wire: frame of %d bytes exceeds limit %d", e.Size, MaxFrameSize)
+}
+
+// WriteFrame writes one length-prefixed payload.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return &ErrFrameTooLarge{Size: uint32(len(payload))}
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed payload.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, &ErrFrameTooLarge{Size: n}
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// WriteCmd renders the command line and writes it as one frame.
+func WriteCmd(w io.Writer, c *cmdlang.CmdLine) error {
+	return WriteFrame(w, []byte(c.String()))
+}
+
+// ReadCmd reads one frame and parses it as a command line.
+func ReadCmd(r io.Reader) (*cmdlang.CmdLine, error) {
+	payload, err := ReadFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	return cmdlang.Parse(string(payload))
+}

@@ -1,0 +1,322 @@
+// Package workspace implements ACE user workspaces: the WSS —
+// Workspace Server (§4.5) — and a VNC substitute, vncsim (§5.4, Fig
+// 16). The real system used AT&T VNC: a server housing the user's
+// workspace and redirecting all I/O to remote viewers after password
+// verification. vncsim preserves that contract — sessions live on a
+// server daemon, keep their full state while detached, are gated by a
+// per-session password, and redirect input/output to any viewer —
+// without emulating the RFB pixel protocol: the "framebuffer" is a
+// scrollback of terminal lines plus the set of running applications.
+package workspace
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"ace/internal/cmdlang"
+	"ace/internal/daemon"
+	"ace/internal/hier"
+)
+
+// ClassVNCServer is the hierarchy class of vncsim server daemons.
+const ClassVNCServer = hier.Root + ".Workspace.VNCServer"
+
+// MaxScrollback bounds a session's retained screen lines.
+const MaxScrollback = 1000
+
+// Session is one user workspace living on a VNC server.
+type Session struct {
+	Owner    string
+	Name     string
+	password string
+
+	mu     sync.Mutex
+	screen []string
+	apps   map[string]bool
+	// attached counts connected viewers (a workspace may be viewed
+	// from several access points).
+	attached int
+}
+
+// snapshot returns the screen and app list.
+func (s *Session) snapshot() (screen []string, apps []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	screen = append(screen, s.screen...)
+	for a := range s.apps {
+		apps = append(apps, a)
+	}
+	sort.Strings(apps)
+	return screen, apps
+}
+
+func (s *Session) appendLine(line string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.screen = append(s.screen, line)
+	if len(s.screen) > MaxScrollback {
+		s.screen = s.screen[len(s.screen)-MaxScrollback:]
+	}
+}
+
+// VNCServer is the vncsim server daemon: it houses user workspaces
+// and redirects their I/O to viewers.
+type VNCServer struct {
+	*daemon.Daemon
+
+	mu       sync.Mutex
+	sessions map[string]*Session // key: owner+"/"+name
+}
+
+// NewVNCServer constructs a vncsim server daemon.
+func NewVNCServer(dcfg daemon.Config) *VNCServer {
+	if dcfg.Name == "" {
+		dcfg.Name = "vncserver"
+	}
+	if dcfg.Class == "" {
+		dcfg.Class = ClassVNCServer
+	}
+	v := &VNCServer{Daemon: daemon.New(dcfg), sessions: make(map[string]*Session)}
+	v.install()
+	return v
+}
+
+func sessionKey(owner, name string) string { return owner + "/" + name }
+
+// session returns the named session after password verification.
+func (v *VNCServer) session(owner, name, password string) (*Session, error) {
+	v.mu.Lock()
+	s, ok := v.sessions[sessionKey(owner, name)]
+	v.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("vncsim: no session %s/%s", owner, name)
+	}
+	if s.password != password {
+		return nil, fmt.Errorf("vncsim: bad password for %s/%s", owner, name)
+	}
+	return s, nil
+}
+
+// SessionCount returns the number of housed sessions.
+func (v *VNCServer) SessionCount() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.sessions)
+}
+
+func (v *VNCServer) install() {
+	v.Handle(cmdlang.CommandSpec{
+		Name: "vncCreate",
+		Doc:  "create a workspace session (invoked by the WSS)",
+		Args: []cmdlang.ArgSpec{
+			{Name: "owner", Kind: cmdlang.KindWord, Required: true},
+			{Name: "name", Kind: cmdlang.KindWord, Required: true},
+			{Name: "password", Kind: cmdlang.KindString, Required: true},
+		},
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		owner, name := c.Str("owner", ""), c.Str("name", "")
+		v.mu.Lock()
+		defer v.mu.Unlock()
+		key := sessionKey(owner, name)
+		if _, exists := v.sessions[key]; exists {
+			return cmdlang.Fail(cmdlang.CodeConflict, "session exists"), nil
+		}
+		v.sessions[key] = &Session{
+			Owner:    owner,
+			Name:     name,
+			password: c.Str("password", ""),
+			screen:   []string{"Welcome to workspace " + name + " of " + owner},
+			apps:     make(map[string]bool),
+		}
+		return nil, nil
+	})
+
+	v.Handle(cmdlang.CommandSpec{
+		Name: "vncDelete",
+		Args: []cmdlang.ArgSpec{
+			{Name: "owner", Kind: cmdlang.KindWord, Required: true},
+			{Name: "name", Kind: cmdlang.KindWord, Required: true},
+			{Name: "password", Kind: cmdlang.KindString, Required: true},
+		},
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		if _, err := v.session(c.Str("owner", ""), c.Str("name", ""), c.Str("password", "")); err != nil {
+			return cmdlang.Fail(cmdlang.CodeDenied, err.Error()), nil
+		}
+		v.mu.Lock()
+		delete(v.sessions, sessionKey(c.Str("owner", ""), c.Str("name", "")))
+		v.mu.Unlock()
+		return nil, nil
+	})
+
+	v.Handle(cmdlang.CommandSpec{
+		Name: "vncSetPassword",
+		Doc:  "direct password-file manipulation, as the WSS performs on VNC (§5.4)",
+		Args: []cmdlang.ArgSpec{
+			{Name: "owner", Kind: cmdlang.KindWord, Required: true},
+			{Name: "name", Kind: cmdlang.KindWord, Required: true},
+			{Name: "old", Kind: cmdlang.KindString, Required: true},
+			{Name: "new", Kind: cmdlang.KindString, Required: true},
+		},
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		s, err := v.session(c.Str("owner", ""), c.Str("name", ""), c.Str("old", ""))
+		if err != nil {
+			return cmdlang.Fail(cmdlang.CodeDenied, err.Error()), nil
+		}
+		s.password = c.Str("new", "")
+		return nil, nil
+	})
+
+	view := func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		s, err := v.session(c.Str("owner", ""), c.Str("name", ""), c.Str("password", ""))
+		if err != nil {
+			return cmdlang.Fail(cmdlang.CodeDenied, err.Error()), nil
+		}
+		screen, apps := s.snapshot()
+		return cmdlang.OK().
+			Set("screen", cmdlang.StringVector(screen...)).
+			Set("apps", cmdlang.StringVector(apps...)).
+			SetInt("lines", int64(len(screen))), nil
+	}
+	v.Handle(cmdlang.CommandSpec{
+		Name: "vncView",
+		Doc:  "attach a viewer: returns the workspace's current display",
+		Args: []cmdlang.ArgSpec{
+			{Name: "owner", Kind: cmdlang.KindWord, Required: true},
+			{Name: "name", Kind: cmdlang.KindWord, Required: true},
+			{Name: "password", Kind: cmdlang.KindString, Required: true},
+		},
+	}, view)
+
+	v.Handle(cmdlang.CommandSpec{
+		Name: "vncInput",
+		Doc:  "viewer input redirected into the workspace",
+		Args: []cmdlang.ArgSpec{
+			{Name: "owner", Kind: cmdlang.KindWord, Required: true},
+			{Name: "name", Kind: cmdlang.KindWord, Required: true},
+			{Name: "password", Kind: cmdlang.KindString, Required: true},
+			{Name: "line", Kind: cmdlang.KindString, Required: true},
+		},
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		s, err := v.session(c.Str("owner", ""), c.Str("name", ""), c.Str("password", ""))
+		if err != nil {
+			return cmdlang.Fail(cmdlang.CodeDenied, err.Error()), nil
+		}
+		line := c.Str("line", "")
+		s.appendLine("$ " + line)
+		// Minimal shell emulation so workspaces feel alive.
+		switch {
+		case strings.HasPrefix(line, "echo "):
+			s.appendLine(strings.TrimPrefix(line, "echo "))
+		case line == "apps":
+			_, apps := s.snapshot()
+			s.appendLine(strings.Join(apps, " "))
+		}
+		return nil, nil
+	})
+
+	v.Handle(cmdlang.CommandSpec{
+		Name: "vncRun",
+		Doc:  "start an application inside the workspace",
+		Args: []cmdlang.ArgSpec{
+			{Name: "owner", Kind: cmdlang.KindWord, Required: true},
+			{Name: "name", Kind: cmdlang.KindWord, Required: true},
+			{Name: "password", Kind: cmdlang.KindString, Required: true},
+			{Name: "app", Kind: cmdlang.KindString, Required: true},
+		},
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		s, err := v.session(c.Str("owner", ""), c.Str("name", ""), c.Str("password", ""))
+		if err != nil {
+			return cmdlang.Fail(cmdlang.CodeDenied, err.Error()), nil
+		}
+		app := c.Str("app", "")
+		s.mu.Lock()
+		s.apps[app] = true
+		s.mu.Unlock()
+		s.appendLine("[started " + app + "]")
+		return nil, nil
+	})
+
+	v.Handle(cmdlang.CommandSpec{
+		Name: "vncExport",
+		Doc:  "export a session's full state for migration (§5.3: moved from one host to another)",
+		Args: []cmdlang.ArgSpec{
+			{Name: "owner", Kind: cmdlang.KindWord, Required: true},
+			{Name: "name", Kind: cmdlang.KindWord, Required: true},
+			{Name: "password", Kind: cmdlang.KindString, Required: true},
+		},
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		s, err := v.session(c.Str("owner", ""), c.Str("name", ""), c.Str("password", ""))
+		if err != nil {
+			return cmdlang.Fail(cmdlang.CodeDenied, err.Error()), nil
+		}
+		screen, apps := s.snapshot()
+		return cmdlang.OK().
+			Set("screen", cmdlang.StringVector(screen...)).
+			Set("apps", cmdlang.StringVector(apps...)), nil
+	})
+
+	v.Handle(cmdlang.CommandSpec{
+		Name: "vncImport",
+		Doc:  "create a session from exported state (migration target side)",
+		Args: []cmdlang.ArgSpec{
+			{Name: "owner", Kind: cmdlang.KindWord, Required: true},
+			{Name: "name", Kind: cmdlang.KindWord, Required: true},
+			{Name: "password", Kind: cmdlang.KindString, Required: true},
+			{Name: "screen", Kind: cmdlang.KindVector, Required: true},
+			{Name: "apps", Kind: cmdlang.KindVector},
+		},
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		owner, name := c.Str("owner", ""), c.Str("name", "")
+		v.mu.Lock()
+		defer v.mu.Unlock()
+		key := sessionKey(owner, name)
+		if _, exists := v.sessions[key]; exists {
+			return cmdlang.Fail(cmdlang.CodeConflict, "session exists"), nil
+		}
+		s := &Session{
+			Owner:    owner,
+			Name:     name,
+			password: c.Str("password", ""),
+			apps:     make(map[string]bool),
+		}
+		s.screen = append(s.screen, c.Strings("screen")...)
+		for _, app := range c.Strings("apps") {
+			s.apps[app] = true
+		}
+		v.sessions[key] = s
+		return nil, nil
+	})
+
+	v.Handle(cmdlang.CommandSpec{
+		Name: "vncList",
+		Args: []cmdlang.ArgSpec{{Name: "owner", Kind: cmdlang.KindWord, Required: true}},
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		owner := c.Str("owner", "")
+		v.mu.Lock()
+		var names []string
+		for _, s := range v.sessions {
+			if s.Owner == owner {
+				names = append(names, s.Name)
+			}
+		}
+		v.mu.Unlock()
+		sort.Strings(names)
+		return cmdlang.OK().SetInt("count", int64(len(names))).Set("names", cmdlang.WordVector(names...)), nil
+	})
+}
+
+// randomPassword generates a session password for WSS-managed
+// sessions; the user never sees it (the WSS performs password
+// verification invisibly, §5.4).
+func randomPassword() string {
+	var b [12]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failure is unrecoverable for password generation.
+		panic(err)
+	}
+	return hex.EncodeToString(b[:])
+}

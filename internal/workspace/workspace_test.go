@@ -1,0 +1,381 @@
+package workspace
+
+import (
+	"strings"
+	"testing"
+
+	"ace/internal/cmdlang"
+	"ace/internal/daemon"
+	"ace/internal/pstore"
+)
+
+func startVNC(t *testing.T) *VNCServer {
+	t.Helper()
+	v := NewVNCServer(daemon.Config{})
+	if err := v.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(v.Stop)
+	return v
+}
+
+func startWSS(t *testing.T, cfg WSSConfig) *WSS {
+	t.Helper()
+	w := NewWSS(cfg)
+	if err := w.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Stop)
+	return w
+}
+
+func TestVNCSessionLifecycle(t *testing.T) {
+	v := startVNC(t)
+	pool := daemon.NewPool(nil)
+	defer pool.Close()
+
+	if _, err := pool.Call(v.Addr(), cmdlang.New("vncCreate").
+		SetWord("owner", "john").SetWord("name", "default").
+		SetString("password", "pw1")); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate creation conflicts.
+	_, err := pool.Call(v.Addr(), cmdlang.New("vncCreate").
+		SetWord("owner", "john").SetWord("name", "default").SetString("password", "x"))
+	if !cmdlang.IsRemoteCode(err, cmdlang.CodeConflict) {
+		t.Fatalf("err=%v", err)
+	}
+
+	// Wrong password is refused for every session operation.
+	_, err = pool.Call(v.Addr(), cmdlang.New("vncView").
+		SetWord("owner", "john").SetWord("name", "default").SetString("password", "wrong"))
+	if !cmdlang.IsRemoteCode(err, cmdlang.CodeDenied) {
+		t.Fatalf("err=%v", err)
+	}
+
+	// Input/output redirection with state retention.
+	for _, line := range []string{"echo hello world", "apps"} {
+		if _, err := pool.Call(v.Addr(), cmdlang.New("vncInput").
+			SetWord("owner", "john").SetWord("name", "default").
+			SetString("password", "pw1").SetString("line", line)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := pool.Call(v.Addr(), cmdlang.New("vncRun").
+		SetWord("owner", "john").SetWord("name", "default").
+		SetString("password", "pw1").SetString("app", "o-phone")); err != nil {
+		t.Fatal(err)
+	}
+
+	view, err := pool.Call(v.Addr(), cmdlang.New("vncView").
+		SetWord("owner", "john").SetWord("name", "default").SetString("password", "pw1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	screen := strings.Join(view.Strings("screen"), "\n")
+	if !strings.Contains(screen, "hello world") || !strings.Contains(screen, "[started o-phone]") {
+		t.Fatalf("screen:\n%s", screen)
+	}
+	if apps := view.Strings("apps"); len(apps) != 1 || apps[0] != "o-phone" {
+		t.Fatalf("apps=%v", apps)
+	}
+
+	// Password change via the WSS-style direct manipulation.
+	if _, err := pool.Call(v.Addr(), cmdlang.New("vncSetPassword").
+		SetWord("owner", "john").SetWord("name", "default").
+		SetString("old", "pw1").SetString("new", "pw2")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Call(v.Addr(), cmdlang.New("vncView").
+		SetWord("owner", "john").SetWord("name", "default").SetString("password", "pw1")); err == nil {
+		t.Fatal("old password still valid")
+	}
+
+	// Delete.
+	if _, err := pool.Call(v.Addr(), cmdlang.New("vncDelete").
+		SetWord("owner", "john").SetWord("name", "default").SetString("password", "pw2")); err != nil {
+		t.Fatal(err)
+	}
+	if v.SessionCount() != 0 {
+		t.Fatalf("sessions=%d", v.SessionCount())
+	}
+}
+
+func TestWSSCreateOpenListDelete(t *testing.T) {
+	v := startVNC(t)
+	w := startWSS(t, WSSConfig{VNCAddrs: []string{v.Addr()}})
+	pool := daemon.NewPool(nil)
+	defer pool.Close()
+
+	// Scenario 1: a default workspace for a new user.
+	created, err := pool.Call(w.Addr(), cmdlang.New("createWorkspace").SetWord("user", "john"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created.Str("name", "") != DefaultWorkspace {
+		t.Fatalf("created=%v", created)
+	}
+
+	// Scenario 4: a second workspace, then the selector list.
+	if _, err := pool.Call(w.Addr(), cmdlang.New("createWorkspace").
+		SetWord("user", "john").SetWord("name", "presentation")); err != nil {
+		t.Fatal(err)
+	}
+	list, err := pool.Call(w.Addr(), cmdlang.New("listWorkspaces").SetWord("user", "john"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names := list.Strings("names"); len(names) != 2 || names[0] != DefaultWorkspace || names[1] != "presentation" {
+		t.Fatalf("names=%v", names)
+	}
+
+	// Scenario 3: open and attach a viewer; the user never handles
+	// the password.
+	opened, err := pool.Call(w.Addr(), cmdlang.New("openWorkspace").
+		SetWord("user", "john").SetWord("name", "presentation"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	viewer := NewViewer(pool, Info{
+		Owner:    "john",
+		Name:     opened.Str("name", ""),
+		VNCAddr:  opened.Str("vnc", ""),
+		Password: opened.Str("password", ""),
+	})
+	if err := viewer.Type("echo setting up slides"); err != nil {
+		t.Fatal(err)
+	}
+	screen, err := viewer.Screen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.Join(screen, "\n"), "setting up slides") {
+		t.Fatalf("screen=%v", screen)
+	}
+	if err := viewer.Run("slides"); err != nil {
+		t.Fatal(err)
+	}
+	apps, err := viewer.Apps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apps) != 1 || apps[0] != "slides" {
+		t.Fatalf("apps=%v", apps)
+	}
+
+	// Workspace state survives detach: a second viewer sees it.
+	viewer2 := NewViewer(pool, Info{
+		Owner: "john", Name: "presentation",
+		VNCAddr: opened.Str("vnc", ""), Password: opened.Str("password", ""),
+	})
+	screen2, err := viewer2.Screen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.Join(screen2, "\n"), "setting up slides") {
+		t.Fatal("state lost across viewers")
+	}
+
+	// Duplicate creation fails; opening a missing workspace fails.
+	if _, err := pool.Call(w.Addr(), cmdlang.New("createWorkspace").
+		SetWord("user", "john").SetWord("name", "presentation")); err == nil {
+		t.Fatal("duplicate created")
+	}
+	_, err = pool.Call(w.Addr(), cmdlang.New("openWorkspace").SetWord("user", "ghost"))
+	if !cmdlang.IsRemoteCode(err, cmdlang.CodeNotFound) {
+		t.Fatalf("err=%v", err)
+	}
+
+	// Delete removes both the record and the VNC session.
+	if _, err := pool.Call(w.Addr(), cmdlang.New("deleteWorkspace").
+		SetWord("user", "john").SetWord("name", "presentation")); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 1 || v.SessionCount() != 1 {
+		t.Fatalf("wss=%d vnc=%d", w.Count(), v.SessionCount())
+	}
+}
+
+func TestWSSRoundRobinAcrossVNCServers(t *testing.T) {
+	v1 := startVNC(t)
+	v2 := startVNC(t)
+	w := startWSS(t, WSSConfig{VNCAddrs: []string{v1.Addr(), v2.Addr()}})
+	for i, user := range []string{"a", "b", "c", "d"} {
+		if _, err := w.Create(user, DefaultWorkspace); err != nil {
+			t.Fatalf("create %d: %v", i, err)
+		}
+	}
+	if v1.SessionCount() != 2 || v2.SessionCount() != 2 {
+		t.Fatalf("distribution: %d/%d", v1.SessionCount(), v2.SessionCount())
+	}
+}
+
+func TestWSSIsRobustViaPersistentStore(t *testing.T) {
+	// §5.3: the WSS is a robust application — its registry survives a
+	// crash through the persistent store.
+	cluster, err := pstore.StartCluster(3, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.StopAll)
+	pool := daemon.NewPool(nil)
+	defer pool.Close()
+	store := pstore.NewClient(pool, cluster.Addrs())
+
+	v := startVNC(t)
+	w1 := NewWSS(WSSConfig{VNCAddrs: []string{v.Addr()}, Store: store})
+	if err := w1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := w1.Create("john", "default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1.Stop() // crash
+
+	// A replacement WSS instance recovers the registry and can hand
+	// out working credentials for the still-running session.
+	w2 := NewWSS(WSSConfig{VNCAddrs: []string{v.Addr()}, Store: store})
+	if err := w2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w2.Stop)
+	recovered, err := w2.Open("john", "default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered.Password != info.Password || recovered.VNCAddr != info.VNCAddr {
+		t.Fatalf("recovered=%+v want %+v", recovered, info)
+	}
+	viewer := NewViewer(pool, recovered)
+	if _, err := viewer.Screen(); err != nil {
+		t.Fatalf("recovered credentials rejected: %v", err)
+	}
+}
+
+func TestWSSNoVNCServers(t *testing.T) {
+	w := startWSS(t, WSSConfig{})
+	if _, err := w.Create("john", ""); err == nil {
+		t.Fatal("create without VNC servers succeeded")
+	}
+}
+
+func TestWorkspaceMigration(t *testing.T) {
+	// §5.3: vital applications "can be moved from one host to another
+	// with minimal to no interruption of service".
+	v1 := startVNC(t)
+	v2 := startVNC(t)
+	w := startWSS(t, WSSConfig{VNCAddrs: []string{v1.Addr(), v2.Addr()}})
+	pool := daemon.NewPool(nil)
+	defer pool.Close()
+
+	info, err := w.Create("john", "default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build up state to carry across.
+	viewer := NewViewer(pool, info)
+	if err := viewer.Type("echo precious work"); err != nil {
+		t.Fatal(err)
+	}
+	if err := viewer.Run("editor"); err != nil {
+		t.Fatal(err)
+	}
+
+	moved, err := w.Migrate("john", "default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved.VNCAddr == info.VNCAddr {
+		t.Fatal("migration stayed on the same server")
+	}
+	if moved.Password == info.Password {
+		t.Fatal("password not rotated on migration")
+	}
+
+	// The state followed the workspace.
+	viewer2 := NewViewer(pool, moved)
+	screen, err := viewer2.Screen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.Join(screen, "\n"), "precious work") {
+		t.Fatalf("screen lost: %v", screen)
+	}
+	apps, err := viewer2.Apps()
+	if err != nil || len(apps) != 1 || apps[0] != "editor" {
+		t.Fatalf("apps=%v err=%v", apps, err)
+	}
+
+	// Old session gone, old credentials dead, WSS hands out the new
+	// location.
+	if v1.SessionCount()+v2.SessionCount() != 1 {
+		t.Fatalf("sessions: %d + %d", v1.SessionCount(), v2.SessionCount())
+	}
+	if _, err := NewViewer(pool, info).Screen(); err == nil {
+		t.Fatal("old credentials still valid")
+	}
+	opened, err := w.Open("john", "default")
+	if err != nil || opened.VNCAddr != moved.VNCAddr {
+		t.Fatalf("opened=%+v err=%v", opened, err)
+	}
+}
+
+func TestMigrationNeedsSecondServer(t *testing.T) {
+	v := startVNC(t)
+	w := startWSS(t, WSSConfig{VNCAddrs: []string{v.Addr()}})
+	if _, err := w.Create("john", "default"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Migrate("john", "default"); err == nil {
+		t.Fatal("migrated with a single server")
+	}
+	if _, err := w.Migrate("ghost", "default"); err == nil {
+		t.Fatal("migrated a ghost workspace")
+	}
+}
+
+func TestMigrationCommandAndRobustness(t *testing.T) {
+	// Migration survives a WSS crash: the checkpointed registry names
+	// the new server.
+	cluster, err := pstore.StartCluster(3, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.StopAll)
+	pool := daemon.NewPool(nil)
+	defer pool.Close()
+	store := pstore.NewClient(pool, cluster.Addrs())
+
+	v1 := startVNC(t)
+	v2 := startVNC(t)
+	w1 := NewWSS(WSSConfig{VNCAddrs: []string{v1.Addr(), v2.Addr()}, Store: store})
+	if err := w1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w1.Create("john", "default"); err != nil {
+		t.Fatal(err)
+	}
+	moved, err := pool.Call(w1.Addr(), cmdlang.New("migrateWorkspace").
+		SetWord("user", "john").SetWord("name", "default"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1.Stop() // crash after migration
+
+	w2 := NewWSS(WSSConfig{VNCAddrs: []string{v1.Addr(), v2.Addr()}, Store: store})
+	if err := w2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w2.Stop)
+	recovered, err := w2.Open("john", "default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered.VNCAddr != moved.Str("vnc", "") {
+		t.Fatalf("recovered addr %q want %q", recovered.VNCAddr, moved.Str("vnc", ""))
+	}
+	if _, err := NewViewer(pool, recovered).Screen(); err != nil {
+		t.Fatalf("recovered migrated credentials rejected: %v", err)
+	}
+}

@@ -1,0 +1,434 @@
+package workspace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"ace/internal/cmdlang"
+	"ace/internal/daemon"
+	"ace/internal/hier"
+	"ace/internal/pstore"
+)
+
+// ClassWSS is the hierarchy class of the workspace server.
+const ClassWSS = hier.Root + ".Workspace.WSS"
+
+// DefaultWorkspace is the name of the workspace every user gets at
+// registration (Scenario 1).
+const DefaultWorkspace = "default"
+
+// Info describes one managed workspace instance: whose it is, what it
+// is called, which VNC server houses it, and the password the WSS
+// manages on the user's behalf.
+type Info struct {
+	Owner    string
+	Name     string
+	VNCAddr  string
+	Password string
+	// Host is where the session's server application was launched
+	// (resource accounting via the SAL, when configured).
+	Host string
+	PID  int
+}
+
+// WSSConfig wires the workspace server to its collaborators.
+type WSSConfig struct {
+	// Daemon is the underlying shell configuration.
+	Daemon daemon.Config
+	// VNCAddrs are the vncsim servers available to house sessions
+	// (round-robin placement across them).
+	VNCAddrs []string
+	// SALAddr, when set, launches a simulated "vncserver" process per
+	// workspace through the system application launcher (Scenario 1).
+	SALAddr string
+	// Store, when set, checkpoints the workspace registry into the
+	// persistent store, making the WSS a robust application (§5.3):
+	// a restarted WSS recovers every workspace record.
+	Store *pstore.Client
+	// StorePath is the namespace path of the registry checkpoint.
+	StorePath string
+}
+
+// WSS is the Workspace Server daemon: it creates, names, tracks, and
+// removes user workspace instances (§4.5).
+type WSS struct {
+	*daemon.Daemon
+	cfg WSSConfig
+
+	mu         sync.Mutex
+	workspaces map[string]*Info // key: owner+"/"+name
+	rrNext     int
+}
+
+// NewWSS constructs the workspace server.
+func NewWSS(cfg WSSConfig) *WSS {
+	dcfg := cfg.Daemon
+	if dcfg.Name == "" {
+		dcfg.Name = "wss"
+	}
+	if dcfg.Class == "" {
+		dcfg.Class = ClassWSS
+	}
+	if cfg.StorePath == "" {
+		cfg.StorePath = "/wss/registry"
+	}
+	w := &WSS{Daemon: daemon.New(dcfg), cfg: cfg, workspaces: make(map[string]*Info)}
+	w.install()
+	return w
+}
+
+// Start restores the registry from the persistent store (if
+// configured) and brings the daemon online.
+func (w *WSS) Start() error {
+	if w.cfg.Store != nil {
+		if err := w.restore(); err != nil {
+			return err
+		}
+	}
+	return w.Daemon.Start()
+}
+
+// restore loads the checkpointed registry.
+func (w *WSS) restore() error {
+	blob, _, ok, err := w.cfg.Store.Get(w.cfg.StorePath)
+	if err != nil {
+		return fmt.Errorf("wss: restore: %w", err)
+	}
+	if !ok {
+		return nil
+	}
+	var infos []Info
+	if err := json.Unmarshal(blob, &infos); err != nil {
+		return fmt.Errorf("wss: corrupt registry checkpoint: %w", err)
+	}
+	w.mu.Lock()
+	for i := range infos {
+		in := infos[i]
+		w.workspaces[sessionKey(in.Owner, in.Name)] = &in
+	}
+	w.mu.Unlock()
+	return nil
+}
+
+// checkpoint persists the registry after every mutation.
+func (w *WSS) checkpoint() error {
+	if w.cfg.Store == nil {
+		return nil
+	}
+	w.mu.Lock()
+	infos := make([]Info, 0, len(w.workspaces))
+	for _, in := range w.workspaces {
+		infos = append(infos, *in)
+	}
+	w.mu.Unlock()
+	sort.Slice(infos, func(i, j int) bool {
+		return sessionKey(infos[i].Owner, infos[i].Name) < sessionKey(infos[j].Owner, infos[j].Name)
+	})
+	blob, err := json.Marshal(infos)
+	if err != nil {
+		return err
+	}
+	_, err = w.cfg.Store.Put(w.cfg.StorePath, blob)
+	return err
+}
+
+// Create builds a new workspace for the user: it picks a VNC server,
+// creates the session with a WSS-managed password, optionally
+// launches a server process through the SAL, records the instance,
+// and checkpoints.
+func (w *WSS) Create(owner, name string) (Info, error) {
+	if name == "" {
+		name = DefaultWorkspace
+	}
+	if len(w.cfg.VNCAddrs) == 0 {
+		return Info{}, fmt.Errorf("wss: no VNC servers configured")
+	}
+	w.mu.Lock()
+	if _, exists := w.workspaces[sessionKey(owner, name)]; exists {
+		w.mu.Unlock()
+		return Info{}, fmt.Errorf("wss: workspace %s/%s already exists", owner, name)
+	}
+	vncAddr := w.cfg.VNCAddrs[w.rrNext%len(w.cfg.VNCAddrs)]
+	w.rrNext++
+	w.mu.Unlock()
+
+	info := Info{Owner: owner, Name: name, VNCAddr: vncAddr, Password: randomPassword()}
+
+	// Scenario 1: the SAL finds a suitable host and its HAL launches
+	// the VNC server application there.
+	if w.cfg.SALAddr != "" {
+		reply, err := w.Pool().Call(w.cfg.SALAddr, cmdlang.New("launch").
+			SetString("app", "vncserver_"+owner+"_"+name).
+			SetFloat("work", 1e12). // long-running service process
+			SetInt("mem", 32<<20))
+		if err != nil {
+			return Info{}, fmt.Errorf("wss: SAL launch: %w", err)
+		}
+		info.Host = reply.Str("host", "")
+		info.PID = int(reply.Int("pid", 0))
+	}
+
+	if _, err := w.Pool().Call(vncAddr, cmdlang.New("vncCreate").
+		SetWord("owner", owner).SetWord("name", name).
+		SetString("password", info.Password)); err != nil {
+		return Info{}, fmt.Errorf("wss: vncCreate: %w", err)
+	}
+
+	w.mu.Lock()
+	w.workspaces[sessionKey(owner, name)] = &info
+	w.mu.Unlock()
+	if err := w.checkpoint(); err != nil {
+		return Info{}, err
+	}
+	return info, nil
+}
+
+// Open returns the access credentials for a user's workspace so a
+// viewer at the user's location can attach; password verification is
+// invisible to the user (§5.4).
+func (w *WSS) Open(owner, name string) (Info, error) {
+	if name == "" {
+		name = DefaultWorkspace
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	info, ok := w.workspaces[sessionKey(owner, name)]
+	if !ok {
+		return Info{}, fmt.Errorf("wss: no workspace %s/%s", owner, name)
+	}
+	return *info, nil
+}
+
+// List names the user's workspace instances (the workspace selector
+// of Scenario 4).
+func (w *WSS) List(owner string) []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var names []string
+	for _, in := range w.workspaces {
+		if in.Owner == owner {
+			names = append(names, in.Name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Migrate moves a workspace to a different VNC server with its full
+// state — the §5.3 requirement that vital applications "can be moved
+// from one host to another with minimal to no interruption of
+// service". The session is exported from its current server, imported
+// on the target, and only then removed from the source; the registry
+// is checkpointed so the move survives a WSS crash.
+func (w *WSS) Migrate(owner, name string) (Info, error) {
+	w.mu.Lock()
+	info, ok := w.workspaces[sessionKey(owner, name)]
+	if !ok {
+		w.mu.Unlock()
+		return Info{}, fmt.Errorf("wss: no workspace %s/%s", owner, name)
+	}
+	cur := *info
+	var target string
+	for _, addr := range w.cfg.VNCAddrs {
+		if addr != cur.VNCAddr {
+			target = addr
+			break
+		}
+	}
+	w.mu.Unlock()
+	if target == "" {
+		return Info{}, fmt.Errorf("wss: no other VNC server to migrate %s/%s to", owner, name)
+	}
+
+	// Export the full session state from the source server.
+	exported, err := w.Pool().Call(cur.VNCAddr, cmdlang.New("vncExport").
+		SetWord("owner", owner).SetWord("name", name).
+		SetString("password", cur.Password))
+	if err != nil {
+		return Info{}, fmt.Errorf("wss: export for migration: %w", err)
+	}
+
+	// Import on the target (fresh password: migration is a natural
+	// rotation point).
+	moved := cur
+	moved.VNCAddr = target
+	moved.Password = randomPassword()
+	importCmd := cmdlang.New("vncImport").
+		SetWord("owner", owner).SetWord("name", name).
+		SetString("password", moved.Password).
+		Set("screen", cmdlang.StringVector(exported.Strings("screen")...)).
+		Set("apps", cmdlang.StringVector(exported.Strings("apps")...))
+	if _, err := w.Pool().Call(target, importCmd); err != nil {
+		return Info{}, fmt.Errorf("wss: import on %s: %w", target, err)
+	}
+
+	// Swap the registry entry, checkpoint, then tear down the source
+	// copy (source teardown is best-effort: worst case it lingers
+	// until its server restarts).
+	w.mu.Lock()
+	*info = moved
+	w.mu.Unlock()
+	if err := w.checkpoint(); err != nil {
+		return Info{}, err
+	}
+	w.Pool().Call(cur.VNCAddr, cmdlang.New("vncDelete").
+		SetWord("owner", owner).SetWord("name", name).
+		SetString("password", cur.Password)) //nolint:errcheck
+	return moved, nil
+}
+
+// Delete removes a workspace and its VNC session.
+func (w *WSS) Delete(owner, name string) error {
+	w.mu.Lock()
+	info, ok := w.workspaces[sessionKey(owner, name)]
+	if ok {
+		delete(w.workspaces, sessionKey(owner, name))
+	}
+	w.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("wss: no workspace %s/%s", owner, name)
+	}
+	w.Pool().Call(info.VNCAddr, cmdlang.New("vncDelete").
+		SetWord("owner", owner).SetWord("name", name).
+		SetString("password", info.Password)) //nolint:errcheck — session may be gone with its server
+	return w.checkpoint()
+}
+
+// Count returns the number of managed workspaces.
+func (w *WSS) Count() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.workspaces)
+}
+
+func infoReply(in Info) *cmdlang.CmdLine {
+	r := cmdlang.OK().
+		SetWord("owner", in.Owner).
+		SetWord("name", in.Name).
+		SetString("vnc", in.VNCAddr).
+		SetString("password", in.Password)
+	if in.Host != "" {
+		r.SetWord("host", in.Host).SetInt("pid", int64(in.PID))
+	}
+	return r
+}
+
+func (w *WSS) install() {
+	w.Handle(cmdlang.CommandSpec{
+		Name: "createWorkspace",
+		Doc:  "create (and house) a new workspace for a user",
+		Args: []cmdlang.ArgSpec{
+			{Name: "user", Kind: cmdlang.KindWord, Required: true},
+			{Name: "name", Kind: cmdlang.KindWord},
+		},
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		info, err := w.Create(c.Str("user", ""), c.Str("name", ""))
+		if err != nil {
+			return nil, err
+		}
+		return infoReply(info), nil
+	})
+
+	w.Handle(cmdlang.CommandSpec{
+		Name: "openWorkspace",
+		Doc:  "return viewer credentials for a user's workspace (Scenario 3)",
+		Args: []cmdlang.ArgSpec{
+			{Name: "user", Kind: cmdlang.KindWord, Required: true},
+			{Name: "name", Kind: cmdlang.KindWord},
+		},
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		info, err := w.Open(c.Str("user", ""), c.Str("name", ""))
+		if err != nil {
+			return cmdlang.Fail(cmdlang.CodeNotFound, err.Error()), nil
+		}
+		return infoReply(info), nil
+	})
+
+	w.Handle(cmdlang.CommandSpec{
+		Name: "listWorkspaces",
+		Doc:  "the workspace selector list (Scenario 4)",
+		Args: []cmdlang.ArgSpec{{Name: "user", Kind: cmdlang.KindWord, Required: true}},
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		names := w.List(c.Str("user", ""))
+		return cmdlang.OK().SetInt("count", int64(len(names))).Set("names", cmdlang.WordVector(names...)), nil
+	})
+
+	w.Handle(cmdlang.CommandSpec{
+		Name: "migrateWorkspace",
+		Doc:  "move a workspace to another VNC server with its state (§5.3)",
+		Args: []cmdlang.ArgSpec{
+			{Name: "user", Kind: cmdlang.KindWord, Required: true},
+			{Name: "name", Kind: cmdlang.KindWord, Required: true},
+		},
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		info, err := w.Migrate(c.Str("user", ""), c.Str("name", ""))
+		if err != nil {
+			return cmdlang.Fail(cmdlang.CodeUnavailable, err.Error()), nil
+		}
+		return infoReply(info), nil
+	})
+
+	w.Handle(cmdlang.CommandSpec{
+		Name: "deleteWorkspace",
+		Args: []cmdlang.ArgSpec{
+			{Name: "user", Kind: cmdlang.KindWord, Required: true},
+			{Name: "name", Kind: cmdlang.KindWord, Required: true},
+		},
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		if err := w.Delete(c.Str("user", ""), c.Str("name", "")); err != nil {
+			return cmdlang.Fail(cmdlang.CodeNotFound, err.Error()), nil
+		}
+		return nil, nil
+	})
+}
+
+// Viewer is the access-point side of Fig 16: a thin client that
+// attaches to a workspace through credentials handed out by the WSS.
+type Viewer struct {
+	pool *daemon.Pool
+	info Info
+}
+
+// NewViewer attaches to the workspace described by info.
+func NewViewer(pool *daemon.Pool, info Info) *Viewer {
+	return &Viewer{pool: pool, info: info}
+}
+
+func (v *Viewer) base(cmd string) *cmdlang.CmdLine {
+	return cmdlang.New(cmd).
+		SetWord("owner", v.info.Owner).
+		SetWord("name", v.info.Name).
+		SetString("password", v.info.Password)
+}
+
+// Screen returns the workspace's current display lines.
+func (v *Viewer) Screen() ([]string, error) {
+	reply, err := v.pool.Call(v.info.VNCAddr, v.base("vncView"))
+	if err != nil {
+		return nil, err
+	}
+	return reply.Strings("screen"), nil
+}
+
+// Apps returns the applications running in the workspace.
+func (v *Viewer) Apps() ([]string, error) {
+	reply, err := v.pool.Call(v.info.VNCAddr, v.base("vncView"))
+	if err != nil {
+		return nil, err
+	}
+	return reply.Strings("apps"), nil
+}
+
+// Type sends an input line into the workspace.
+func (v *Viewer) Type(line string) error {
+	_, err := v.pool.Call(v.info.VNCAddr, v.base("vncInput").SetString("line", line))
+	return err
+}
+
+// Run starts an application inside the workspace.
+func (v *Viewer) Run(app string) error {
+	_, err := v.pool.Call(v.info.VNCAddr, v.base("vncRun").SetString("app", app))
+	return err
+}

@@ -1,0 +1,126 @@
+package ace
+
+// Soak test for the §9 long-lived-system requirement: "Central
+// services such as the ASD, AUD, WSS, etc must be fully tested for
+// large communication loads, persistence, and extended execution
+// time." A full environment runs under sustained mixed load while we
+// watch for errors, goroutine leaks, and stuck counters.
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ace/internal/asd"
+	"ace/internal/cmdlang"
+	"ace/internal/core"
+	"ace/internal/daemon"
+)
+
+func TestSoakMixedLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	env, err := core.Start(core.Options{Name: "soak", WithIdent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Stop()
+	rng := rand.New(rand.NewSource(99))
+	if _, err := env.RegisterUser("soaker", "Soak User", "pw", rng); err != nil {
+		t.Fatal(err)
+	}
+
+	const duration = 5 * time.Second
+	const workers = 6
+	deadline := time.Now().Add(duration)
+
+	var ops, failures atomic.Int64
+	var wg sync.WaitGroup
+
+	// Mixed workload: directory lookups, user reads, workspace opens,
+	// store writes/reads, notifications subscriptions churn.
+	workloads := []func(p *daemon.Pool, i int) error{
+		func(p *daemon.Pool, _ int) error {
+			_, err := asd.Resolve(p, env.ASD.Addr(), asd.Query{Name: "wss"})
+			return err
+		},
+		func(p *daemon.Pool, _ int) error {
+			_, err := p.Call(env.AUD.Addr(), cmdlang.New("getUser").SetWord("username", "soaker"))
+			return err
+		},
+		func(p *daemon.Pool, _ int) error {
+			_, err := p.Call(env.WSS.Addr(), cmdlang.New("openWorkspace").SetWord("user", "soaker"))
+			return err
+		},
+		func(p *daemon.Pool, i int) error {
+			if _, err := env.StoreClient.Put("/soak/key", []byte{byte(i)}); err != nil {
+				return err
+			}
+			_, _, _, err := env.StoreClient.Get("/soak/key")
+			return err
+		},
+		func(p *daemon.Pool, _ int) error {
+			_, err := p.Call(env.NetLog.Addr(), cmdlang.New(daemon.CmdLogEvent).
+				SetWord("source", "soaker").SetWord("event", "tick"))
+			return err
+		},
+		func(p *daemon.Pool, _ int) error {
+			_, err := p.Call(env.SAL.Addr(), cmdlang.New(daemon.CmdPing))
+			return err
+		},
+	}
+
+	goroutinesBefore := runtime.NumGoroutine()
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pool := daemon.NewPool(nil)
+			defer pool.Close()
+			i := 0
+			for time.Now().Before(deadline) {
+				if err := workloads[(w+i)%len(workloads)](pool, i); err != nil {
+					failures.Add(1)
+					if failures.Load() < 4 {
+						t.Errorf("worker %d op %d: %v", w, i, err)
+					}
+				}
+				ops.Add(1)
+				i++
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total := ops.Load()
+	if total < 1000 {
+		t.Fatalf("soak only completed %d ops in %s", total, duration)
+	}
+	if f := failures.Load(); f > 0 {
+		t.Fatalf("%d/%d soak operations failed", f, total)
+	}
+
+	// The environment still answers cleanly after the load.
+	pool := daemon.NewPool(nil)
+	defer pool.Close()
+	if _, err := pool.Call(env.ASD.Addr(), cmdlang.New(daemon.CmdPing)); err != nil {
+		t.Fatalf("ASD unresponsive after soak: %v", err)
+	}
+
+	// No unbounded goroutine growth: allow generous slack for pooled
+	// connections and GC laziness, but catch leaks proportional to
+	// op count (tens of thousands of ops ran).
+	time.Sleep(200 * time.Millisecond)
+	runtime.GC()
+	goroutinesAfter := runtime.NumGoroutine()
+	if goroutinesAfter > goroutinesBefore+100 {
+		t.Fatalf("goroutine leak: %d → %d across %d ops", goroutinesBefore, goroutinesAfter, total)
+	}
+	t.Logf("soak: %d ops in %s across %d workers (%.0f ops/s), goroutines %d → %d",
+		total, duration, workers, float64(total)/duration.Seconds(), goroutinesBefore, goroutinesAfter)
+}
