@@ -3,9 +3,13 @@
 
 GO ?= go
 
-.PHONY: all build test race short bench experiments examples fuzz fmt vet clean
+.PHONY: all check build test race test-race chaos short bench experiments examples fuzz fmt vet clean
 
 all: build vet test
+
+# The full pre-merge gate: build, vet, plain tests, race-enabled
+# tests, and the deterministic chaos suite.
+check: build vet test test-race chaos
 
 build:
 	$(GO) build ./...
@@ -18,6 +22,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+test-race: race
+
+# Deterministic fault-injection suite: proxies, partitions, corrupted
+# frames, and the chaos integration tests. Fixed seeds inside the
+# tests make any failure reproducible run-to-run.
+chaos:
+	$(GO) test -race -count=1 ./internal/chaos/
 
 short:
 	$(GO) test -short ./...

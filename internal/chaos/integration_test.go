@@ -1,0 +1,364 @@
+package chaos_test
+
+// Chaos-driven integration tests for the resilience layer: the
+// paper's robustness claims (services survive daemon crashes, state
+// lives in the replicated persistent store, leases heal directory
+// state) exercised under injected partitions, stalls, and restarts.
+// All fault schedules derive from fixed seeds, so a failure here
+// reproduces exactly.
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ace/internal/asd"
+	"ace/internal/chaos"
+	"ace/internal/cmdlang"
+	"ace/internal/daemon"
+	"ace/internal/pstore"
+)
+
+const chaosSeed = 20260806 // fixed: schedules must reproduce run-to-run
+
+// chaosPool builds a client pool tight enough that injected faults
+// surface in milliseconds, not dial-timeout seconds.
+func chaosPool() *daemon.Pool {
+	return daemon.NewPoolConfig(daemon.PoolConfig{
+		DialTimeout:     300 * time.Millisecond,
+		CallTimeout:     time.Second,
+		MaxRetries:      1,
+		BackoffBase:     5 * time.Millisecond,
+		BackoffMax:      20 * time.Millisecond,
+		BreakerCooldown: 100 * time.Millisecond,
+		Seed:            chaosSeed,
+	})
+}
+
+// TestChaosPstoreQuorumUnderPartition: with one replica partitioned
+// away, quorum reads and writes stay correct and prompt; after the
+// partition heals, read repair converges the lagging replica without
+// anti-entropy running.
+func TestChaosPstoreQuorumUnderPartition(t *testing.T) {
+	cluster, err := pstore.StartCluster(3, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.StopAll()
+
+	fabric := chaos.NewFabric(chaosSeed)
+	defer fabric.Close()
+	var proxied []string
+	for i, addr := range cluster.Addrs() {
+		name := fmt.Sprintf("r%d", i+1)
+		if _, err := fabric.Proxy(name, addr); err != nil {
+			t.Fatal(err)
+		}
+		proxied = append(proxied, fabric.Addr(name))
+	}
+
+	pool := chaosPool()
+	defer pool.Close()
+	client := pstore.NewClient(pool, proxied)
+
+	if _, err := client.Put("/chaos/x", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Partition replica 3 and keep writing/reading through the
+	// remaining majority.
+	fabric.Partition("r3")
+	start := time.Now()
+	v2, err := client.Put("/chaos/x", []byte("v2"))
+	if err != nil {
+		t.Fatalf("quorum write with one replica partitioned: %v", err)
+	}
+	got, gotVer, ok, err := client.Get("/chaos/x")
+	if err != nil || !ok {
+		t.Fatalf("quorum read with one replica partitioned: ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(got, []byte("v2")) || gotVer != v2 {
+		t.Fatalf("read %q@%d, want v2@%d", got, gotVer, v2)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("degraded quorum round took %v; partition is not cheap", elapsed)
+	}
+
+	// Heal. The lagging replica catches up through client read repair
+	// alone (the cluster runs no background anti-entropy here).
+	fabric.Heal("r3")
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		client.Get("/chaos/x") //nolint:errcheck — each read triggers repair of laggards
+		reply, err := pool.Call(proxied[2], cmdlang.New("psget").SetString("path", "/chaos/x"))
+		if err == nil && reply.Str("value", "") != "" && uint64(reply.Int("version", 0)) == v2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica 3 never converged after heal (err=%v)", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestChaosPstoreQuorumFailsClosedWithoutMajority: with two of three
+// replicas partitioned, reads and writes fail promptly and
+// explicitly rather than hanging or returning stale data as fresh.
+func TestChaosPstoreQuorumFailsClosedWithoutMajority(t *testing.T) {
+	cluster, err := pstore.StartCluster(3, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.StopAll()
+
+	fabric := chaos.NewFabric(chaosSeed)
+	defer fabric.Close()
+	var proxied []string
+	for i, addr := range cluster.Addrs() {
+		name := fmt.Sprintf("r%d", i+1)
+		if _, err := fabric.Proxy(name, addr); err != nil {
+			t.Fatal(err)
+		}
+		proxied = append(proxied, fabric.Addr(name))
+	}
+	pool := chaosPool()
+	defer pool.Close()
+	client := pstore.NewClient(pool, proxied)
+
+	if _, err := client.Put("/chaos/y", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	fabric.Partition("r1", "r2")
+	start := time.Now()
+	if _, err := client.Put("/chaos/y", []byte("v2")); err == nil {
+		t.Fatal("minority write succeeded")
+	}
+	if _, _, _, err := client.Get("/chaos/y"); err == nil {
+		t.Fatal("minority read reported a quorum")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("minority round took %v; failures are not prompt", elapsed)
+	}
+}
+
+// TestChaosASDLeaseSurvivesDirectoryRestart: a daemon keeps its
+// directory entry alive across an ASD crash and restart on a new
+// port (the proxy keeps the well-known address stable), via lease
+// renewal discovering the restart and re-registering.
+func TestChaosASDLeaseSurvivesDirectoryRestart(t *testing.T) {
+	dir1 := asd.New(asd.Config{ReapInterval: 20 * time.Millisecond})
+	if err := dir1.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	proxy, err := chaos.NewProxy(dir1.Addr(), chaosSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	d := daemon.New(daemon.Config{
+		Name:     "phoenix_chaos",
+		ASDAddr:  proxy.Addr(),
+		LeaseTTL: 200 * time.Millisecond,
+		PoolConfig: &daemon.PoolConfig{
+			DialTimeout:     200 * time.Millisecond,
+			CallTimeout:     500 * time.Millisecond,
+			MaxRetries:      -1,
+			BreakerCooldown: 100 * time.Millisecond,
+			Seed:            chaosSeed,
+		},
+	})
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Stop)
+	if got := dir1.Directory().Lookup(asd.Query{Name: "phoenix_chaos"}); len(got) != 1 {
+		t.Fatalf("initial registration missing: %v", got)
+	}
+
+	// The directory crashes; renewals fail at the transport level
+	// until a fresh, empty directory comes up behind the same proxy
+	// address.
+	dir1.Stop()
+	time.Sleep(300 * time.Millisecond) // several failed renewals accrue
+	dir2 := asd.New(asd.Config{ReapInterval: 20 * time.Millisecond})
+	if err := dir2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(dir2.Stop)
+	proxy.SetTarget(dir2.Addr())
+
+	// The daemon's next renewal gets not_found from the new directory
+	// and re-registers.
+	deadline := time.Now().Add(10 * time.Second)
+	for len(dir2.Directory().Lookup(asd.Query{Name: "phoenix_chaos"})) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never re-registered with the restarted directory")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// And when the daemon stops, its lease expires from the live
+	// directory (no zombie entries).
+	d.Stop()
+	deadline = time.Now().Add(10 * time.Second)
+	for len(dir2.Directory().Lookup(asd.Query{Name: "phoenix_chaos"})) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stopped daemon's lease never expired")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestChaosNotificationDeliveryDegradesGracefully: a blackholed
+// listener neither stalls nor crashes the notifying daemon; once the
+// path heals, later notifications flow again (delivery is
+// at-least-once with no replay of lost ones).
+func TestChaosNotificationDeliveryDegradesGracefully(t *testing.T) {
+	source := daemon.New(daemon.Config{
+		Name: "cam_chaos",
+		PoolConfig: &daemon.PoolConfig{
+			DialTimeout:     200 * time.Millisecond,
+			CallTimeout:     500 * time.Millisecond,
+			BreakerCooldown: 100 * time.Millisecond,
+			Seed:            chaosSeed,
+		},
+	})
+	source.Handle(cmdlang.CommandSpec{Name: "move", Args: []cmdlang.ArgSpec{{Name: "x", Kind: cmdlang.KindInt}}},
+		func(_ *daemon.Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) { return nil, nil })
+	if err := source.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(source.Stop)
+
+	var mu sync.Mutex
+	seen := 0
+	listener := daemon.New(daemon.Config{Name: "tracker_chaos"})
+	listener.Handle(cmdlang.CommandSpec{Name: "onMoved", AllowExtra: true},
+		func(_ *daemon.Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+			mu.Lock()
+			seen++
+			mu.Unlock()
+			return nil, nil
+		})
+	if err := listener.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(listener.Stop)
+
+	proxy, err := chaos.NewProxy(listener.Addr(), chaosSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	pool := chaosPool()
+	defer pool.Close()
+	if err := daemon.Subscribe(pool, source.Addr(), "move", "tracker_chaos", proxy.Addr(), "onMoved"); err != nil {
+		t.Fatal(err)
+	}
+
+	count := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		return seen
+	}
+
+	// Baseline delivery works.
+	if _, err := pool.Call(source.Addr(), cmdlang.New("move").SetInt("x", 1)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for count() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("baseline notification never delivered")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Blackhole the listener. Commands on the source must stay fast —
+	// notification delivery is off the command path.
+	proxy.SetFaults(chaos.Faults{Blackhole: true})
+	for i := 0; i < 5; i++ {
+		start := time.Now()
+		if _, err := pool.Call(source.Addr(), cmdlang.New("move").SetInt("x", 2)); err != nil {
+			t.Fatalf("source call failed while listener blackholed: %v", err)
+		}
+		if elapsed := time.Since(start); elapsed > 2*time.Second {
+			t.Fatalf("source call took %v with a blackholed listener", elapsed)
+		}
+	}
+
+	// Heal and keep executing: delivery must resume. (Notifications
+	// swallowed during the blackhole stay lost — at-least-once, not
+	// replayed — so we only demand that *new* executions get through.)
+	proxy.Heal()
+	before := count()
+	deadline = time.Now().Add(10 * time.Second)
+	for count() <= before {
+		if _, err := pool.Call(source.Addr(), cmdlang.New("move").SetInt("x", 3)); err != nil {
+			t.Fatal(err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("notifications never resumed after heal")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestChaosPstoreCorruptReplicaCannotWinQuorum: a replica answering
+// with corrupt (non-hex) values is treated as failed — it neither
+// wins the read nor counts toward the majority — while the healthy
+// majority still serves the true value.
+func TestChaosPstoreCorruptReplicaCannotWinQuorum(t *testing.T) {
+	cluster, err := pstore.StartCluster(3, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.StopAll()
+
+	pool := chaosPool()
+	defer pool.Close()
+
+	// A rogue "replica": speaks the psget protocol but returns
+	// garbage hex at a sky-high version, simulating on-disk
+	// corruption.
+	rogue := daemon.New(daemon.Config{Name: "rogue_replica"})
+	rogue.Handle(cmdlang.CommandSpec{Name: "psget", AllowExtra: true},
+		func(_ *daemon.Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+			return cmdlang.OK().SetString("value", "zz_not_hex").SetInt("version", 1<<40), nil
+		})
+	rogue.Handle(cmdlang.CommandSpec{Name: "psfetch", AllowExtra: true},
+		func(_ *daemon.Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+			return cmdlang.OK().SetString("value", "zz_not_hex").SetInt("version", 1<<40), nil
+		})
+	rogue.Handle(cmdlang.CommandSpec{Name: "psput", AllowExtra: true},
+		func(_ *daemon.Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+			return cmdlang.OK().SetBool("applied", true), nil
+		})
+	if err := rogue.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rogue.Stop)
+
+	// Seed the healthy pair through a client that doesn't know the
+	// rogue.
+	healthy := pstore.NewClient(pool, cluster.Addrs()[:2])
+	version, err := healthy.Put("/chaos/z", []byte("truth"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Now read through a set where the rogue replaces replica 3.
+	mixed := pstore.NewClient(pool, []string{cluster.Addrs()[0], cluster.Addrs()[1], rogue.Addr()})
+	got, gotVer, ok, err := mixed.Get("/chaos/z")
+	if err != nil || !ok {
+		t.Fatalf("read with corrupt replica: ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(got, []byte("truth")) || gotVer != version {
+		t.Fatalf("corrupt replica won the read: %q@%d", got, gotVer)
+	}
+}

@@ -1,0 +1,115 @@
+package daemon
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrCircuitOpen is returned (wrapped, with the address) when a call
+// is refused because the per-address circuit breaker is open: the
+// peer has failed consecutively and the cooldown has not yet elapsed.
+// Failing fast here is the point — a dead pstore replica or ASD costs
+// the caller microseconds instead of a full dial timeout per call.
+var ErrCircuitOpen = errors.New("daemon: circuit breaker open")
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is a per-address circuit breaker: closed → open after
+// `threshold` consecutive transport failures → half-open after
+// `cooldown`, admitting a single probe → closed on probe success,
+// back to open on probe failure. Remote errors (the daemon answered)
+// never trip it; only transport-level trouble does.
+type breaker struct {
+	mu        sync.Mutex
+	state     breakerState
+	failures  int
+	openedAt  time.Time
+	probing   bool
+	threshold int
+	cooldown  time.Duration
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether a call may proceed right now. In half-open
+// state only one probe is admitted at a time.
+func (b *breaker) allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return nil
+	case breakerOpen:
+		if time.Since(b.openedAt) < b.cooldown {
+			return ErrCircuitOpen
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return nil
+	default: // half-open
+		if b.probing {
+			return ErrCircuitOpen
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// success records a completed exchange and closes the breaker.
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.state = breakerClosed
+	b.failures = 0
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// failure records a transport failure, opening the breaker when the
+// consecutive-failure threshold is reached (or immediately when a
+// half-open probe fails).
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = time.Now()
+		b.probing = false
+	case breakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = time.Now()
+		}
+	case breakerOpen:
+		// Already open; a straggling in-flight failure keeps it open.
+		b.openedAt = time.Now()
+	}
+}
+
+// currentState snapshots the state (for stats and tests).
+func (b *breaker) currentState() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

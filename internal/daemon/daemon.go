@@ -112,6 +112,10 @@ type Config struct {
 	ControlQueueLen int
 	// Listen is the TCP listen address; empty means "127.0.0.1:0".
 	Listen string
+	// PoolConfig optionally tunes the daemon's outgoing connection
+	// pool (timeouts, retries, circuit breaker). Nil uses defaults.
+	// Its Transport field is overwritten with Config.Transport.
+	PoolConfig *PoolConfig
 }
 
 // Stats are the daemon's execution counters.
@@ -188,6 +192,11 @@ func New(cfg Config) *Daemon {
 	if cfg.Registry != nil {
 		reg.Merge(cfg.Registry)
 	}
+	pc := PoolConfig{Transport: cfg.Transport}
+	if cfg.PoolConfig != nil {
+		pc = *cfg.PoolConfig
+		pc.Transport = cfg.Transport
+	}
 	d := &Daemon{
 		cfg:      cfg,
 		registry: reg,
@@ -195,7 +204,7 @@ func New(cfg Config) *Daemon {
 		ctlQ:     make(chan ctlMsg, cfg.ControlQueueLen),
 		done:     make(chan struct{}),
 		conns:    make(map[net.Conn]struct{}),
-		pool:     NewPool(cfg.Transport),
+		pool:     NewPoolConfig(pc),
 	}
 	d.installBuiltins()
 	return d

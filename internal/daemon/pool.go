@@ -1,31 +1,186 @@
 package daemon
 
 import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
 	"sync"
+	"time"
 
 	"ace/internal/cmdlang"
 	"ace/internal/wire"
 )
 
+// Pool resilience defaults. All are overridable through PoolConfig.
+const (
+	// DefaultPoolRetries is how many times a Call is retried after a
+	// transport failure (so up to 1+DefaultPoolRetries attempts).
+	DefaultPoolRetries = 2
+	// DefaultBackoffBase is the first retry delay; it doubles per
+	// retry up to DefaultBackoffMax, with ±50% jitter.
+	DefaultBackoffBase = 10 * time.Millisecond
+	// DefaultBackoffMax caps the exponential backoff.
+	DefaultBackoffMax = 500 * time.Millisecond
+	// DefaultBreakerThreshold is the consecutive transport failures
+	// that open an address's circuit breaker.
+	DefaultBreakerThreshold = 3
+	// DefaultBreakerCooldown is how long an open breaker refuses
+	// calls before admitting a half-open probe.
+	DefaultBreakerCooldown = 500 * time.Millisecond
+)
+
+// PoolConfig tunes a Pool's connection handling and resilience
+// behavior. The zero value (plus a Transport) gives the defaults
+// above with the wire package's default timeouts.
+type PoolConfig struct {
+	// Transport supplies TLS identity; nil means plaintext.
+	Transport *wire.Transport
+	// DialTimeout bounds connection establishment; 0 falls back to
+	// the transport's DialTimeout, then wire.DefaultDialTimeout.
+	DialTimeout time.Duration
+	// CallTimeout is the default per-call deadline applied when a
+	// caller's context has none; 0 falls back to the transport's
+	// CallTimeout, then wire.DefaultCallTimeout.
+	CallTimeout time.Duration
+	// MaxRetries is the number of transport-failure retries per Call;
+	// negative disables retries entirely. 0 means DefaultPoolRetries.
+	MaxRetries int
+	// BackoffBase and BackoffMax shape the capped exponential backoff
+	// between retries. 0 means the defaults.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// BreakerThreshold is the consecutive-failure count that opens an
+	// address's breaker; 0 means DefaultBreakerThreshold, negative
+	// disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is the open→half-open delay; 0 means
+	// DefaultBreakerCooldown.
+	BreakerCooldown time.Duration
+	// HeartbeatInterval, when positive, starts a liveness probe on
+	// every pooled connection so idle connections to dead peers are
+	// detected and dropped before the next real call.
+	HeartbeatInterval time.Duration
+	// Seed seeds the jitter PRNG, making retry schedules reproducible
+	// in tests; 0 means a fixed default seed.
+	Seed int64
+}
+
+func (cfg PoolConfig) withDefaults() PoolConfig {
+	if cfg.DialTimeout <= 0 {
+		if cfg.Transport != nil && cfg.Transport.DialTimeout > 0 {
+			cfg.DialTimeout = cfg.Transport.DialTimeout
+		} else {
+			cfg.DialTimeout = wire.DefaultDialTimeout
+		}
+	}
+	if cfg.CallTimeout <= 0 {
+		if cfg.Transport != nil && cfg.Transport.CallTimeout > 0 {
+			cfg.CallTimeout = cfg.Transport.CallTimeout
+		} else {
+			cfg.CallTimeout = wire.DefaultCallTimeout
+		}
+	}
+	switch {
+	case cfg.MaxRetries < 0:
+		cfg.MaxRetries = 0
+	case cfg.MaxRetries == 0:
+		cfg.MaxRetries = DefaultPoolRetries
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = DefaultBackoffBase
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = DefaultBackoffMax
+	}
+	switch {
+	case cfg.BreakerThreshold < 0:
+		cfg.BreakerThreshold = 0 // disabled
+	case cfg.BreakerThreshold == 0:
+		cfg.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = DefaultBreakerCooldown
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return cfg
+}
+
 // Pool caches outgoing client connections by address so that daemons
 // calling each other repeatedly (lease renewals, notifications,
 // lookups) reuse sockets instead of re-handshaking TLS per command.
+// Every address additionally carries a circuit breaker, and calls are
+// retried with capped exponential backoff, so a dead peer costs its
+// callers microseconds once the breaker opens instead of a dial
+// timeout per call.
 type Pool struct {
-	transport *wire.Transport
+	cfg PoolConfig
 
-	mu      sync.Mutex
-	clients map[string]*wire.Client
-	closed  bool
+	mu       sync.Mutex
+	clients  map[string]*wire.Client
+	breakers map[string]*breaker
+	closed   bool
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
 }
 
 // NewPool returns a pool dialing with the given transport (nil =
-// plaintext).
+// plaintext) and default resilience settings.
 func NewPool(t *wire.Transport) *Pool {
-	return &Pool{transport: t, clients: make(map[string]*wire.Client)}
+	return NewPoolConfig(PoolConfig{Transport: t})
 }
 
-// Get returns a live client to addr, dialing if necessary.
+// NewPoolConfig returns a pool with explicit resilience settings.
+func NewPoolConfig(cfg PoolConfig) *Pool {
+	cfg = cfg.withDefaults()
+	return &Pool{
+		cfg:      cfg,
+		clients:  make(map[string]*wire.Client),
+		breakers: make(map[string]*breaker),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// breakerFor returns the address's breaker, or nil when breakers are
+// disabled.
+func (p *Pool) breakerFor(addr string) *breaker {
+	if p.cfg.BreakerThreshold <= 0 {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	b, ok := p.breakers[addr]
+	if !ok {
+		b = newBreaker(p.cfg.BreakerThreshold, p.cfg.BreakerCooldown)
+		p.breakers[addr] = b
+	}
+	return b
+}
+
+// BreakerState reports the breaker state for addr ("closed", "open",
+// "half-open"); "closed" when breakers are disabled or addr unknown.
+func (p *Pool) BreakerState(addr string) string {
+	p.mu.Lock()
+	b := p.breakers[addr]
+	p.mu.Unlock()
+	if b == nil {
+		return breakerClosed.String()
+	}
+	return b.currentState().String()
+}
+
+// Get returns a live client to addr, dialing if necessary. Get does
+// not consult the breaker; Call/Send do.
 func (p *Pool) Get(addr string) (*wire.Client, error) {
+	return p.GetContext(context.Background(), addr)
+}
+
+// GetContext is Get with a dial bounded by ctx (and the pool's dial
+// timeout, whichever is sooner).
+func (p *Pool) GetContext(ctx context.Context, addr string) (*wire.Client, error) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -37,10 +192,13 @@ func (p *Pool) Get(addr string) (*wire.Client, error) {
 	}
 	p.mu.Unlock()
 
-	c, err := wire.Dial(p.transport, addr)
+	dctx, cancel := context.WithTimeout(ctx, p.cfg.DialTimeout)
+	defer cancel()
+	c, err := wire.DialContext(dctx, p.cfg.Transport, addr)
 	if err != nil {
 		return nil, err
 	}
+	c.SetCallTimeout(p.cfg.CallTimeout)
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -54,6 +212,9 @@ func (p *Pool) Get(addr string) (*wire.Client, error) {
 	}
 	p.clients[addr] = c
 	p.mu.Unlock()
+	if p.cfg.HeartbeatInterval > 0 {
+		c.StartHeartbeat(p.cfg.HeartbeatInterval)
+	}
 	return c, nil
 }
 
@@ -68,44 +229,144 @@ func (p *Pool) drop(addr string, c *wire.Client) {
 	c.Close()
 }
 
-// Call issues a request/response command to addr, transparently
-// redialing once if the pooled connection has died.
+// backoff sleeps the capped exponential delay for retry attempt n
+// (1-based) with ±50% jitter, or returns early when ctx expires.
+func (p *Pool) backoff(ctx context.Context, attempt int) error {
+	d := p.cfg.BackoffBase << (attempt - 1)
+	if d > p.cfg.BackoffMax || d <= 0 {
+		d = p.cfg.BackoffMax
+	}
+	p.rngMu.Lock()
+	jitter := 0.5 + p.rng.Float64() // [0.5, 1.5)
+	p.rngMu.Unlock()
+	d = time.Duration(float64(d) * jitter)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Call issues a request/response command to addr under the pool's
+// default call timeout, retrying transport failures with backoff.
 func (p *Pool) Call(addr string, cmd *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
-	c, err := p.Get(addr)
+	return p.CallContext(context.Background(), addr, cmd)
+}
+
+// CallContext issues a request/response command to addr. The context
+// bounds the entire exchange including retries; when it carries no
+// deadline the pool's CallTimeout applies, so no call path can block
+// forever. Transport failures are retried up to MaxRetries times with
+// capped exponential backoff and jitter; remote errors (the daemon
+// answered "fail") are returned immediately and never retried. When
+// the address's circuit breaker is open the call fails fast with
+// ErrCircuitOpen without touching the network.
+func (p *Pool) CallContext(ctx context.Context, addr string, cmd *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.cfg.CallTimeout)
+		defer cancel()
+	}
+	br := p.breakerFor(addr)
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if err := p.backoff(ctx, attempt); err != nil {
+				return nil, lastErr
+			}
+		}
+		if br != nil {
+			if err := br.allow(); err != nil {
+				return nil, fmt.Errorf("daemon: %s: %w", addr, err)
+			}
+		}
+		reply, err := p.callOnce(ctx, addr, cmd)
+		if err == nil {
+			if br != nil {
+				br.success()
+			}
+			return reply, nil
+		}
+		if _, isRemote := err.(*cmdlang.RemoteError); isRemote {
+			// The daemon answered; the connection and peer are fine.
+			if br != nil {
+				br.success()
+			}
+			return nil, err
+		}
+		if br != nil {
+			br.failure()
+		}
+		lastErr = err
+		if ctx.Err() != nil || attempt >= p.cfg.MaxRetries {
+			return nil, lastErr
+		}
+	}
+}
+
+func (p *Pool) callOnce(ctx context.Context, addr string, cmd *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+	c, err := p.GetContext(ctx, addr)
 	if err != nil {
 		return nil, err
 	}
-	reply, err := c.Call(cmd)
-	if err == nil {
-		return reply, nil
-	}
-	if _, isRemote := err.(*cmdlang.RemoteError); isRemote {
-		return nil, err // daemon answered; connection is fine
-	}
-	// Transport-level failure: retry once on a fresh connection.
-	p.drop(addr, c)
-	c, derr := p.Get(addr)
-	if derr != nil {
+	reply, err := c.CallContext(ctx, cmd)
+	if err != nil {
+		if _, isRemote := err.(*cmdlang.RemoteError); !isRemote {
+			p.drop(addr, c)
+		}
 		return nil, err
 	}
-	return c.Call(cmd)
+	return reply, nil
 }
 
 // Send transmits a one-way command (no reply expected) to addr.
+//
+// Delivery is at-least-once: Send only retries when the pooled
+// connection was already known dead before anything was written
+// (wire.ErrClosed), in which case no bytes hit the wire and a resend
+// cannot duplicate. A failure mid-write is returned without retrying,
+// because part of the frame may have reached the peer and a blind
+// resend could deliver the notification twice. Callers that need
+// exactly-once must deduplicate on the receiving side.
 func (p *Pool) Send(addr string, cmd *cmdlang.CmdLine) error {
-	c, err := p.Get(addr)
-	if err != nil {
-		return err
-	}
-	if err := c.Send(cmd); err != nil {
-		p.drop(addr, c)
-		c, derr := p.Get(addr)
-		if derr != nil {
+	br := p.breakerFor(addr)
+	for attempt := 0; attempt < 2; attempt++ {
+		if br != nil {
+			if err := br.allow(); err != nil {
+				return fmt.Errorf("daemon: %s: %w", addr, err)
+			}
+		}
+		c, err := p.Get(addr)
+		if err != nil {
+			if br != nil {
+				br.failure()
+			}
 			return err
 		}
-		return c.Send(cmd)
+		err = c.Send(cmd)
+		if err == nil {
+			if br != nil {
+				br.success()
+			}
+			return nil
+		}
+		p.drop(addr, c)
+		if !errors.Is(err, wire.ErrClosed) {
+			// Bytes may have hit the wire: surface the failure rather
+			// than risk double delivery.
+			if br != nil {
+				br.failure()
+			}
+			return err
+		}
+		// Known-dead before the write: nothing was sent; safe to retry
+		// once on a fresh connection. Not a peer failure, so the
+		// breaker is not charged.
 	}
-	return nil
+	return wire.ErrClosed
 }
 
 // Close closes every pooled connection.

@@ -1,0 +1,262 @@
+package daemon
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"ace/internal/cmdlang"
+)
+
+// tightPool returns a pool tuned so that failures are cheap and the
+// breaker's lifecycle is observable within a fast test.
+func tightPool(cfg PoolConfig) *Pool {
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 200 * time.Millisecond
+	}
+	if cfg.CallTimeout == 0 {
+		cfg.CallTimeout = 300 * time.Millisecond
+	}
+	if cfg.BackoffBase == 0 {
+		cfg.BackoffBase = time.Millisecond
+	}
+	if cfg.BackoffMax == 0 {
+		cfg.BackoffMax = 5 * time.Millisecond
+	}
+	return NewPoolConfig(cfg)
+}
+
+// deadAddr reserves a loopback port and releases it, yielding an
+// address that refuses connections.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestBreakerOpensAfterConsecutiveFailures: transport failures open
+// the per-address breaker, after which calls fail fast without
+// paying the dial timeout.
+func TestBreakerOpensAfterConsecutiveFailures(t *testing.T) {
+	p := tightPool(PoolConfig{
+		MaxRetries:       -1, // isolate breaker behavior from retries
+		BreakerThreshold: 3,
+		BreakerCooldown:  time.Hour, // stay open for the whole test
+	})
+	defer p.Close()
+	addr := deadAddr(t)
+
+	for i := 0; i < 3; i++ {
+		if _, err := p.Call(addr, cmdlang.New(CmdPing)); err == nil {
+			t.Fatal("call to dead address succeeded")
+		}
+	}
+	if st := p.BreakerState(addr); st != "open" {
+		t.Fatalf("breaker state after %d failures: %s", 3, st)
+	}
+
+	start := time.Now()
+	_, err := p.Call(addr, cmdlang.New(CmdPing))
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("want ErrCircuitOpen, got %v", err)
+	}
+	if elapsed > 50*time.Millisecond {
+		t.Fatalf("open-breaker call took %v; not failing fast", elapsed)
+	}
+}
+
+// TestBreakerHalfOpenProbeRecovers: once the peer is back, the
+// half-open probe closes the breaker and traffic flows again.
+func TestBreakerHalfOpenProbeRecovers(t *testing.T) {
+	p := tightPool(PoolConfig{
+		MaxRetries:       -1,
+		BreakerThreshold: 2,
+		BreakerCooldown:  50 * time.Millisecond,
+	})
+	defer p.Close()
+	addr := deadAddr(t)
+
+	for i := 0; i < 2; i++ {
+		p.Call(addr, cmdlang.New(CmdPing)) //nolint:errcheck
+	}
+	if st := p.BreakerState(addr); st != "open" {
+		t.Fatalf("breaker state: %s", st)
+	}
+
+	// Resurrect the peer on the same address.
+	d := New(Config{Name: "lazarus", Listen: addr})
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := d.Start(); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("could not rebind address")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Cleanup(d.Stop)
+
+	// After the cooldown, a half-open probe must succeed and close
+	// the breaker.
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		if _, err := p.Call(addr, cmdlang.New(CmdPing)); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("breaker never recovered after peer came back")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if st := p.BreakerState(addr); st != "closed" {
+		t.Fatalf("breaker state after recovery: %s", st)
+	}
+}
+
+// TestBreakerFailedProbeReopens: a failed half-open probe snaps the
+// breaker back to open rather than letting traffic through.
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	p := tightPool(PoolConfig{
+		MaxRetries:       -1,
+		BreakerThreshold: 1,
+		BreakerCooldown:  30 * time.Millisecond,
+	})
+	defer p.Close()
+	addr := deadAddr(t)
+
+	p.Call(addr, cmdlang.New(CmdPing)) //nolint:errcheck
+	if st := p.BreakerState(addr); st != "open" {
+		t.Fatalf("breaker state: %s", st)
+	}
+	time.Sleep(50 * time.Millisecond)
+	// Cooldown elapsed → this call is admitted as the half-open probe
+	// and fails (peer still dead) → breaker reopens.
+	if _, err := p.Call(addr, cmdlang.New(CmdPing)); err == nil {
+		t.Fatal("probe against dead peer succeeded")
+	}
+	if st := p.BreakerState(addr); st != "open" {
+		t.Fatalf("breaker state after failed probe: %s", st)
+	}
+}
+
+// TestCallRetriesTransportFailureWithBackoff: a flaky peer that dies
+// once is reached on the retry, and remote errors are never retried.
+func TestCallRetriesTransportFailureWithBackoff(t *testing.T) {
+	d := New(Config{Name: "flaky"})
+	calls := 0
+	var mu sync.Mutex
+	d.Handle(cmdlang.CommandSpec{Name: "once"},
+		func(_ *Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+			mu.Lock()
+			calls++
+			mu.Unlock()
+			return cmdlang.Fail(cmdlang.CodeConflict, "no retries please"), nil
+		})
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Stop)
+
+	p := tightPool(PoolConfig{MaxRetries: 2})
+	defer p.Close()
+
+	// Seed the pool with a connection, then kill it server-side so the
+	// next call hits a dead pooled connection and must retry.
+	if _, err := p.Call(d.Addr(), cmdlang.New(CmdPing)); err != nil {
+		t.Fatal(err)
+	}
+	d.connsMu.Lock()
+	for c := range d.conns {
+		c.Close()
+	}
+	d.connsMu.Unlock()
+	time.Sleep(20 * time.Millisecond)
+
+	if _, err := p.Call(d.Addr(), cmdlang.New(CmdPing)); err != nil {
+		t.Fatalf("retry did not recover dead pooled connection: %v", err)
+	}
+
+	// Remote errors pass through exactly once.
+	_, err := p.Call(d.Addr(), cmdlang.New("once"))
+	if !cmdlang.IsRemoteCode(err, cmdlang.CodeConflict) {
+		t.Fatalf("err=%v", err)
+	}
+	mu.Lock()
+	n := calls
+	mu.Unlock()
+	if n != 1 {
+		t.Fatalf("remote error was retried: handler ran %d times", n)
+	}
+}
+
+// TestCallContextDeadlineBoundsRetries: the caller's deadline caps
+// the whole retry loop, not each attempt.
+func TestCallContextDeadlineBoundsRetries(t *testing.T) {
+	p := tightPool(PoolConfig{
+		MaxRetries:       10,
+		BackoffBase:      50 * time.Millisecond,
+		BackoffMax:       time.Second,
+		BreakerThreshold: -1, // let retries run without the breaker cutting in
+	})
+	defer p.Close()
+	addr := deadAddr(t)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := p.CallContext(ctx, addr, cmdlang.New(CmdPing)); err == nil {
+		t.Fatal("call to dead address succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("retry loop ran %v past the deadline", elapsed)
+	}
+}
+
+// TestSendRetriesOnlyKnownDeadConnections: Send redials when the
+// pooled connection was closed before the write (nothing hit the
+// wire), which is the only safe retry under at-least-once delivery.
+func TestSendRetriesOnlyKnownDeadConnections(t *testing.T) {
+	d := New(Config{Name: "sink"})
+	got := make(chan string, 16)
+	d.Handle(cmdlang.CommandSpec{Name: "note", AllowExtra: true},
+		func(_ *Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+			got <- c.Str("id", "")
+			return nil, nil
+		})
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Stop)
+
+	p := tightPool(PoolConfig{})
+	defer p.Close()
+
+	// Seed the pool, then close the client locally: the pool holds a
+	// known-dead connection, so Send must transparently redial.
+	c, err := p.Get(d.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if err := p.Send(d.Addr(), cmdlang.New("note").SetString("id", "after_dead")); err != nil {
+		t.Fatalf("Send did not recover known-dead connection: %v", err)
+	}
+	select {
+	case id := <-got:
+		if id != "after_dead" {
+			t.Fatalf("got %q", id)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("notification never delivered")
+	}
+}

@@ -13,12 +13,23 @@ import (
 
 func encodeValue(b []byte) string { return hex.EncodeToString(b) }
 
-func decodeValue(s string) []byte {
+// decodeValue decodes a replica's hex-encoded value. Corruption must
+// surface as an error: silently returning nil would let a bad replica
+// masquerade as holding a missing/empty value and win (or skew) a
+// quorum read.
+func decodeValue(s string) ([]byte, error) {
 	b, err := hex.DecodeString(s)
 	if err != nil {
-		return nil
+		return nil, fmt.Errorf("pstore: corrupt replica value %q: %w", truncateForErr(s), err)
 	}
-	return b
+	return b, nil
+}
+
+func truncateForErr(s string) string {
+	if len(s) > 32 {
+		return s[:32] + "…"
+	}
+	return s
 }
 
 // Client reads and writes the replicated store through majority
@@ -76,11 +87,17 @@ func (c *Client) Get(path string) (value []byte, version uint64, ok bool, err er
 			}
 			return versioned{err: callErr}
 		}
+		val, decErr := decodeValue(reply.Str("value", ""))
+		if decErr != nil {
+			// A corrupt replica is a failed replica: it must not count
+			// toward the quorum, and its version must not win.
+			return versioned{err: fmt.Errorf("pstore: replica %s: %w", addr, decErr)}
+		}
 		return versioned{
 			ok: true,
 			item: Item{
 				Path:    path,
-				Value:   decodeValue(reply.Str("value", "")),
+				Value:   val,
 				Version: uint64(reply.Int("version", 0)),
 			},
 		}
@@ -127,7 +144,13 @@ func (c *Client) GetAny(path string) (value []byte, version uint64, ok bool, err
 	for _, addr := range c.replicas {
 		reply, callErr := c.pool.Call(addr, cmdlang.New("psget").SetString("path", path))
 		if callErr == nil {
-			return decodeValue(reply.Str("value", "")), uint64(reply.Int("version", 0)), true, nil
+			val, decErr := decodeValue(reply.Str("value", ""))
+			if decErr != nil {
+				// Corrupt replica: try the next one.
+				lastErr = fmt.Errorf("pstore: replica %s: %w", addr, decErr)
+				continue
+			}
+			return val, uint64(reply.Int("version", 0)), true, nil
 		}
 		if cmdlang.IsRemoteCode(callErr, cmdlang.CodeNotFound) {
 			return nil, 0, false, nil

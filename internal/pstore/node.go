@@ -262,9 +262,15 @@ func (n *Node) SyncWith(peerAddr string) (int, error) {
 		if err != nil {
 			return pulled, err
 		}
+		val, decErr := decodeValue(itemReply.Str("value", ""))
+		if decErr != nil {
+			// Never replicate corruption: abort the pull so the next
+			// anti-entropy round retries against a healthy peer.
+			return pulled, fmt.Errorf("pstore: sync with %s: %w", peerAddr, decErr)
+		}
 		it := Item{
 			Path:    p,
-			Value:   decodeValue(itemReply.Str("value", "")),
+			Value:   val,
 			Version: uint64(itemReply.Int("version", 0)),
 			Deleted: itemReply.Bool("deleted", false),
 		}
@@ -320,9 +326,13 @@ func (n *Node) install() {
 		if err := ValidatePath(path); err != nil {
 			return nil, err
 		}
+		val, decErr := decodeValue(c.Str("value", ""))
+		if decErr != nil {
+			return cmdlang.Fail(cmdlang.CodeBadArgument, decErr.Error()), nil
+		}
 		it := Item{
 			Path:    path,
-			Value:   decodeValue(c.Str("value", "")),
+			Value:   val,
 			Version: uint64(c.Int("version", 0)),
 		}
 		applied := n.apply(it, true)

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"context"
 	"crypto/tls"
 	"errors"
 	"fmt"
@@ -12,11 +13,27 @@ import (
 	"ace/internal/cmdlang"
 )
 
-// ErrClosed is returned by calls on a closed client.
+// ErrClosed is returned by calls on a closed client. A Send that
+// fails with ErrClosed is guaranteed to have written nothing: the
+// connection was already known dead before the attempt.
 var ErrClosed = errors.New("wire: client closed")
 
-// DialTimeout bounds connection establishment to a daemon.
-const DialTimeout = 5 * time.Second
+// Default timeouts. Both are configurable per Transport (and per
+// daemon.Pool) so tests and latency-sensitive daemons can tighten
+// them; the package constants are only the fallback.
+const (
+	// DefaultDialTimeout bounds connection establishment to a daemon.
+	DefaultDialTimeout = 5 * time.Second
+	// DefaultCallTimeout bounds one request/response exchange when the
+	// caller's context carries no deadline of its own. No Call may
+	// block forever: a stalled peer surfaces as
+	// context.DeadlineExceeded within this bound.
+	DefaultCallTimeout = 10 * time.Second
+)
+
+// DialTimeout is the historical name for the dial bound, kept for
+// callers that reference the package default directly.
+const DialTimeout = DefaultDialTimeout
 
 // Client is a connection to one ACE service daemon's command port.
 // It is safe for concurrent use: calls are correlated by the "seq"
@@ -35,6 +52,11 @@ type Client struct {
 	seq atomic.Int64
 
 	onPush func(*cmdlang.CmdLine)
+
+	callTimeout time.Duration
+
+	dead     chan struct{} // closed exactly once when the connection fails
+	deadOnce sync.Once
 }
 
 // SetOnPush installs a handler for commands that arrive without a
@@ -47,12 +69,41 @@ func (c *Client) SetOnPush(fn func(*cmdlang.CmdLine)) {
 	c.mu.Unlock()
 }
 
+// SetCallTimeout overrides the default per-call deadline applied when
+// a caller's context has none. d <= 0 restores DefaultCallTimeout.
+func (c *Client) SetCallTimeout(d time.Duration) {
+	if d <= 0 {
+		d = DefaultCallTimeout
+	}
+	c.mu.Lock()
+	c.callTimeout = d
+	c.mu.Unlock()
+}
+
+func (c *Client) getCallTimeout() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.callTimeout
+}
+
 // Dial connects to a daemon command port using the transport's TLS
 // client configuration (or plaintext when the transport is nil or
-// plaintext).
+// plaintext). The transport's DialTimeout and CallTimeout, when set,
+// configure the connection.
 func Dial(t *Transport, addr string) (*Client, error) {
-	d := net.Dialer{Timeout: DialTimeout}
-	raw, err := d.Dial("tcp", addr)
+	return DialContext(context.Background(), t, addr)
+}
+
+// DialContext is Dial bounded by ctx; when ctx carries no deadline
+// the transport's DialTimeout (default DefaultDialTimeout) applies.
+func DialContext(ctx context.Context, t *Transport, addr string) (*Client, error) {
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, t.dialTimeout())
+		defer cancel()
+	}
+	var d net.Dialer
+	raw, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
 	}
@@ -60,19 +111,28 @@ func Dial(t *Transport, addr string) (*Client, error) {
 	var conn net.Conn = raw
 	if cfg != nil {
 		tc := tls.Client(raw, cfg)
-		if err := tc.Handshake(); err != nil {
+		if err := tc.HandshakeContext(ctx); err != nil {
 			raw.Close()
 			return nil, fmt.Errorf("wire: TLS handshake with %s: %w", addr, err)
 		}
 		conn = tc
 	}
-	return NewClient(conn), nil
+	c := NewClient(conn)
+	if t != nil && t.CallTimeout > 0 {
+		c.SetCallTimeout(t.CallTimeout)
+	}
+	return c, nil
 }
 
 // NewClient wraps an established connection (already TLS'd if
 // desired) and starts the reader goroutine.
 func NewClient(conn net.Conn) *Client {
-	c := &Client{conn: conn, pending: make(map[int64]chan *cmdlang.CmdLine)}
+	c := &Client{
+		conn:        conn,
+		pending:     make(map[int64]chan *cmdlang.CmdLine),
+		callTimeout: DefaultCallTimeout,
+		dead:        make(chan struct{}),
+	}
 	go c.readLoop()
 	return c
 }
@@ -92,9 +152,14 @@ func (c *Client) readLoop() {
 		}
 		push := c.onPush
 		c.mu.Unlock()
-		if ok {
+		switch {
+		case ok:
 			ch <- cmd
-		} else if push != nil {
+		case seq >= 0:
+			// A reply whose call already gave up (deadline exceeded or
+			// cancelled). Dropping it keeps late replies from
+			// masquerading as server pushes.
+		case push != nil:
 			push(cmd)
 		}
 	}
@@ -111,15 +176,33 @@ func (c *Client) fail(err error) {
 		close(ch)
 	}
 	c.closed = true
+	c.deadOnce.Do(func() { close(c.dead) })
 	c.conn.Close()
 }
 
-// Call sends the command and waits for its return command. The "seq"
-// argument is added automatically. A "fail" reply is converted to a
+// Closed reports whether the connection has terminally failed (or was
+// closed). A closed client is guaranteed never to write again.
+func (c *Client) Closed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// Call sends the command and waits for its return command under the
+// client's default call timeout. The "seq" argument is added
+// automatically. A "fail" reply is converted to a
 // *cmdlang.RemoteError; an "ok" reply is returned as-is so the caller
 // can read result arguments.
 func (c *Client) Call(cmd *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
-	reply, err := c.CallRaw(cmd)
+	return c.CallContext(context.Background(), cmd)
+}
+
+// CallContext is Call bounded by ctx. When ctx has no deadline, the
+// client's call timeout applies, so no call can block forever.
+// Cancellation abandons the call immediately and removes its pending
+// sequence entry; a reply that arrives later is dropped.
+func (c *Client) CallContext(ctx context.Context, cmd *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+	reply, err := c.CallRawContext(ctx, cmd)
 	if err != nil {
 		return nil, err
 	}
@@ -132,6 +215,16 @@ func (c *Client) Call(cmd *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
 // CallRaw is Call without reply-status interpretation: it returns
 // whatever return command the daemon sent, including "fail".
 func (c *Client) CallRaw(cmd *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+	return c.CallRawContext(context.Background(), cmd)
+}
+
+// CallRawContext is CallRaw bounded by ctx (see CallContext).
+func (c *Client) CallRawContext(ctx context.Context, cmd *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.getCallTimeout())
+		defer cancel()
+	}
 	seq := c.seq.Add(1)
 	cmd = cmd.Clone()
 	cmd.SetInt(cmdlang.SeqArg, seq)
@@ -149,35 +242,105 @@ func (c *Client) CallRaw(cmd *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
 	c.pending[seq] = ch
 	c.mu.Unlock()
 
-	c.writeMu.Lock()
-	err := WriteCmd(c.conn, cmd)
-	c.writeMu.Unlock()
-	if err != nil {
+	if err := c.write(ctx, cmd); err != nil {
 		c.mu.Lock()
 		delete(c.pending, seq)
 		c.mu.Unlock()
 		return nil, err
 	}
 
-	reply, ok := <-ch
-	if !ok {
-		c.mu.Lock()
-		err := c.err
-		c.mu.Unlock()
-		if err == nil {
-			err = ErrClosed
+	select {
+	case reply, ok := <-ch:
+		if !ok {
+			return nil, c.terminalErr()
 		}
-		return nil, err
+		return reply, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, seq)
+		c.mu.Unlock()
+		return nil, ctx.Err()
 	}
-	return reply, nil
+}
+
+// write sends one frame under the context's deadline. A write error
+// is terminal for the whole connection: part of the frame may already
+// be on the wire, so the framing stream can no longer be trusted.
+func (c *Client) write(ctx context.Context, cmd *cmdlang.CmdLine) error {
+	deadline, hasDeadline := ctx.Deadline()
+	c.writeMu.Lock()
+	if hasDeadline {
+		c.conn.SetWriteDeadline(deadline) //nolint:errcheck — best effort on dying conns
+	}
+	err := WriteCmd(c.conn, cmd)
+	if hasDeadline {
+		c.conn.SetWriteDeadline(time.Time{}) //nolint:errcheck
+	}
+	c.writeMu.Unlock()
+	if err != nil {
+		c.fail(err)
+	}
+	return err
+}
+
+func (c *Client) terminalErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err == nil {
+		return ErrClosed
+	}
+	return c.err
 }
 
 // Send transmits a command without waiting for any reply (one-way
-// notification delivery).
+// notification delivery). The write is bounded by the client's call
+// timeout. If Send returns ErrClosed, nothing was written; any other
+// error means bytes may have reached the wire and the connection has
+// been torn down.
 func (c *Client) Send(cmd *cmdlang.CmdLine) error {
-	c.writeMu.Lock()
-	defer c.writeMu.Unlock()
-	return WriteCmd(c.conn, cmd)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.mu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), c.getCallTimeout())
+	defer cancel()
+	return c.write(ctx, cmd)
+}
+
+// StartHeartbeat begins liveness probing: every interval the client
+// issues a built-in "ping" and declares the connection dead if no
+// return command (of any kind) arrives within the interval. This
+// detects peers that accepted the connection but stopped servicing it
+// — the failure mode idle pooled connections otherwise only discover
+// on the next real call. Stopping is automatic when the connection
+// fails or is closed.
+func (c *Client) StartHeartbeat(interval time.Duration) {
+	if interval <= 0 {
+		return
+	}
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-c.dead:
+				return
+			case <-t.C:
+				ctx, cancel := context.WithTimeout(context.Background(), interval)
+				_, err := c.CallRawContext(ctx, cmdlang.New("ping"))
+				cancel()
+				if err != nil {
+					// Any reply — even "fail unknown_command" — proves
+					// liveness; CallRaw only errs on transport trouble
+					// or a missed deadline.
+					c.fail(fmt.Errorf("wire: heartbeat: %w", err))
+					return
+				}
+			}
+		}
+	}()
 }
 
 // Close tears down the connection; outstanding calls fail.
