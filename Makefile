@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all check build test race test-race chaos short bench experiments examples fuzz fmt vet clean
+.PHONY: all check build test race test-race chaos short bench bench-telemetry experiments examples fuzz fmt vet clean
 
 all: build vet test
 
@@ -37,6 +37,13 @@ short:
 # One testing.B benchmark per paper experiment plus the ablations.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Measure the cost of the always-on telemetry instrumentation against
+# the DisableTelemetry no-op configuration and record the comparison
+# in BENCH_telemetry.json. Fails if any hot path regresses over 5%.
+bench-telemetry:
+	ACE_BENCH_TELEMETRY=1 ACE_BENCH_TELEMETRY_OUT=$(CURDIR)/BENCH_telemetry.json \
+		$(GO) test -run 'TestBenchTelemetryOverhead$$' -count=1 -v ./internal/daemon/
 
 # Regenerate every experiment table (E1–E15 paper, X1–X5 extensions).
 experiments:

@@ -9,17 +9,27 @@
 //	acectl -asd HOST:PORT commands SERVICE
 //	acectl -asd HOST:PORT call SERVICE 'move pan=10 tilt=5;'
 //	acectl -asd HOST:PORT raw ADDR 'ping;'
+//	acectl -asd HOST:PORT stats SERVICE
+//	acectl -asd HOST:PORT trace TRACE_ID
+//
+// With -trace, call and raw originate a distributed trace and print
+// its id; `acectl trace ID` then assembles the spans every daemon
+// recorded for it.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
+	"time"
 
 	"ace/internal/asd"
 	"ace/internal/cmdlang"
 	"ace/internal/daemon"
+	"ace/internal/telemetry"
 )
 
 func fail(format string, args ...any) {
@@ -29,10 +39,11 @@ func fail(format string, args ...any) {
 
 func main() {
 	asdAddr := flag.String("asd", "", "ASD address (host:port)")
+	withTrace := flag.Bool("trace", false, "originate a distributed trace for call/raw and print its id")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fail("missing subcommand (tree | lookup | commands | call | raw)")
+		fail("missing subcommand (tree | lookup | commands | call | raw | stats | trace)")
 	}
 	if *asdAddr == "" && args[0] != "raw" {
 		fail("-asd is required")
@@ -94,20 +105,36 @@ func main() {
 		if err != nil {
 			fail("resolve %s: %v", args[1], err)
 		}
-		sendRaw(pool, addr, strings.Join(args[2:], " "))
+		sendRaw(pool, addr, strings.Join(args[2:], " "), *withTrace)
 
 	case "raw":
 		if len(args) < 3 {
 			fail("raw ADDR 'command args;'")
 		}
-		sendRaw(pool, args[1], strings.Join(args[2:], " "))
+		sendRaw(pool, args[1], strings.Join(args[2:], " "), *withTrace)
+
+	case "stats":
+		if len(args) < 2 {
+			fail("stats SERVICE")
+		}
+		addr, err := asd.Resolve(pool, *asdAddr, asd.Query{Name: args[1]})
+		if err != nil {
+			fail("resolve %s: %v", args[1], err)
+		}
+		printStats(pool, args[1], addr)
+
+	case "trace":
+		if len(args) < 2 {
+			fail("trace TRACE_ID")
+		}
+		printTrace(pool, *asdAddr, args[1])
 
 	default:
 		fail("unknown subcommand %q", args[0])
 	}
 }
 
-func sendRaw(pool *daemon.Pool, addr, text string) {
+func sendRaw(pool *daemon.Pool, addr, text string, withTrace bool) {
 	if !strings.HasSuffix(strings.TrimSpace(text), ";") {
 		text += ";"
 	}
@@ -115,9 +142,116 @@ func sendRaw(pool *daemon.Pool, addr, text string) {
 	if err != nil {
 		fail("parse: %v", err)
 	}
-	reply, err := pool.Call(addr, cmd)
+	ctx := context.Background()
+	var root telemetry.SpanContext
+	if withTrace {
+		root = telemetry.NewTrace()
+		ctx = telemetry.WithSpanContext(ctx, root)
+	}
+	reply, err := pool.CallContext(ctx, addr, cmd)
 	if err != nil {
 		fail("%v", err)
 	}
 	fmt.Println(reply.String())
+	if withTrace {
+		fmt.Printf("trace %s\n", telemetry.FormatID(root.TraceID))
+	}
+}
+
+// printStats fetches and prints a service's telemetry snapshot.
+func printStats(pool *daemon.Pool, name, addr string) {
+	reply, err := pool.Call(addr, cmdlang.New(daemon.CmdTelemetry).SetWord("op", "metrics"))
+	if err != nil {
+		fail("telemetry metrics: %v", err)
+	}
+	snap, err := telemetry.DecodeSnapshot(reply)
+	if err != nil {
+		fail("decode snapshot: %v", err)
+	}
+	fmt.Printf("%s @ %s\n", name, addr)
+	for _, c := range snap.Counters {
+		fmt.Printf("  counter    %-28s %d\n", c.Name, c.Value)
+	}
+	for _, g := range snap.Gauges {
+		fmt.Printf("  gauge      %-28s %d\n", g.Name, g.Value)
+	}
+	for _, h := range snap.Histograms {
+		avg := time.Duration(0)
+		if h.Count > 0 {
+			avg = time.Duration(int64(h.Sum) / h.Count)
+		}
+		fmt.Printf("  histogram  %-28s count=%d avg=%v\n", h.Name, h.Count, avg)
+	}
+}
+
+// printTrace asks every registered daemon (and the ASD itself) for
+// its spans of the given trace and prints the assembled tree.
+func printTrace(pool *daemon.Pool, asdAddr, id string) {
+	traceID, err := telemetry.ParseID(id)
+	if err != nil {
+		fail("bad trace id: %v", err)
+	}
+	addrs := map[string]bool{asdAddr: true}
+	if reply, err := pool.Call(asdAddr, cmdlang.New("list")); err == nil {
+		for _, name := range reply.Strings("names") {
+			if info, err := pool.Call(asdAddr, cmdlang.New(daemon.CmdLookup).SetWord("name", name)); err == nil {
+				if a := info.Str("addr", ""); a != "" {
+					addrs[a] = true
+				}
+			}
+		}
+	}
+	var spans []telemetry.Span
+	query := cmdlang.New(daemon.CmdTelemetry).SetWord("op", "trace").SetString("id", id)
+	for a := range addrs {
+		reply, err := pool.Call(a, query.Clone())
+		if err != nil {
+			continue // daemon gone or telemetry disabled
+		}
+		got, err := telemetry.DecodeSpans(reply)
+		if err != nil {
+			continue
+		}
+		spans = append(spans, got...)
+	}
+	if len(spans) == 0 {
+		fail("no spans recorded for trace %s", telemetry.FormatID(traceID))
+	}
+	fmt.Printf("trace %s: %d spans\n", telemetry.FormatID(traceID), len(spans))
+	printSpanTree(spans)
+}
+
+// printSpanTree prints spans as a parent/child tree ordered by start
+// time. Spans whose parent was not collected (e.g. the origin's
+// implicit root) print at the top level.
+func printSpanTree(spans []telemetry.Span) {
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+	known := make(map[uint64]bool, len(spans))
+	for _, s := range spans {
+		known[s.SpanID] = true
+	}
+	children := make(map[uint64][]telemetry.Span)
+	var roots []telemetry.Span
+	for _, s := range spans {
+		if known[s.Parent] && s.Parent != s.SpanID {
+			children[s.Parent] = append(children[s.Parent], s)
+		} else {
+			roots = append(roots, s)
+		}
+	}
+	var walk func(s telemetry.Span, depth int)
+	walk = func(s telemetry.Span, depth int) {
+		status := "ok"
+		if !s.OK {
+			status = "fail"
+		}
+		fmt.Printf("  %s%-*s %s %v %s\n",
+			strings.Repeat("  ", depth), 24-2*depth, s.Service+":"+s.Name, status, s.Duration, telemetry.FormatID(s.SpanID))
+		for _, c := range children[s.SpanID] {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
 }

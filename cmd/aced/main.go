@@ -125,6 +125,8 @@ func main() {
 
 	fmt.Println("\nService tree:")
 	fmt.Print(env.ServiceTree())
+	fmt.Printf("\nTelemetry: acectl -asd %s stats SERVICE · acectl -asd %s -trace call SERVICE 'cmd;' then acectl -asd %s trace ID\n",
+		env.ASD.Addr(), env.ASD.Addr(), env.ASD.Addr())
 	fmt.Println("\naced: serving; Ctrl-C to stop.")
 
 	sig := make(chan os.Signal, 1)

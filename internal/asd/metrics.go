@@ -1,0 +1,10 @@
+package asd
+
+// Metric names recorded by the directory daemon, in addition to the
+// shell's own daemon.* and wire.* instruments.
+const (
+	MetricRegistrations = "asd.registrations"
+	MetricRenewals      = "asd.renewals"
+	MetricExpirations   = "asd.expirations"
+	MetricLookupLatency = "asd.lookup.latency"
+)

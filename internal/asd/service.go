@@ -6,6 +6,7 @@ import (
 	"ace/internal/cmdlang"
 	"ace/internal/daemon"
 	"ace/internal/hier"
+	"ace/internal/telemetry"
 )
 
 // ServiceName is the conventional instance name of the directory
@@ -19,6 +20,10 @@ type Service struct {
 	dir       *Directory
 	reapEvery time.Duration
 	stopReap  chan struct{}
+
+	mRegistrations *telemetry.Counter
+	mRenewals      *telemetry.Counter
+	mLookupLatency *telemetry.Histogram
 }
 
 // Config tailors the directory daemon.
@@ -49,6 +54,12 @@ func New(cfg Config) *Service {
 		reapEvery: cfg.ReapInterval,
 		stopReap:  make(chan struct{}),
 	}
+	tel := s.Telemetry()
+	s.mRegistrations = tel.Counter(MetricRegistrations)
+	s.mRenewals = tel.Counter(MetricRenewals)
+	s.mLookupLatency = tel.Histogram(MetricLookupLatency)
+	expirations := tel.Counter(MetricExpirations)
+	s.dir.SetOnExpire(func(Entry) { expirations.Inc() })
 	s.install()
 	return s
 }
@@ -122,6 +133,7 @@ func (s *Service) install() {
 		if err != nil {
 			return nil, err
 		}
+		s.mRegistrations.Inc()
 		return cmdlang.OK().SetInt("lease", int64(lease/time.Millisecond)), nil
 	})
 
@@ -137,6 +149,7 @@ func (s *Service) install() {
 		if err != nil {
 			return cmdlang.Fail(cmdlang.CodeNotFound, err.Error()), nil
 		}
+		s.mRenewals.Inc()
 		return cmdlang.OK().SetInt("lease", int64(lease/time.Millisecond)), nil
 	})
 
@@ -159,11 +172,13 @@ func (s *Service) install() {
 			{Name: "limit", Kind: cmdlang.KindInt},
 		},
 	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		lookupStart := time.Now()
 		entries := s.dir.Lookup(Query{
 			Name:  c.Str("name", ""),
 			Class: c.Str("class", ""),
 			Room:  c.Str("room", ""),
 		})
+		s.mLookupLatency.Observe(time.Since(lookupStart))
 		if limit := int(c.Int("limit", 0)); limit > 0 && len(entries) > limit {
 			entries = entries[:limit]
 		}

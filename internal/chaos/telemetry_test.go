@@ -1,0 +1,151 @@
+package chaos_test
+
+// Chaos + telemetry: the metrics layer must faithfully reflect
+// injected faults. Latency injection shows up in the call-latency
+// histogram, a partitioned peer produces exactly the retry count the
+// deterministic schedule dictates, and a blackholed peer produces
+// exactly one recorded timeout per abandoned call.
+
+import (
+	"testing"
+	"time"
+
+	"ace/internal/chaos"
+	"ace/internal/cmdlang"
+	"ace/internal/daemon"
+	"ace/internal/telemetry"
+	"ace/internal/wire"
+)
+
+// startEchoDaemon runs a plain daemon for fault-injected traffic.
+func startEchoDaemon(t *testing.T) *daemon.Daemon {
+	t.Helper()
+	d := daemon.New(daemon.Config{Name: "echo"})
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Stop)
+	return d
+}
+
+// TestChaosLatencyShowsInHistogram: calls through a proxy that delays
+// every frame by a known amount must observe at least that delay in
+// the pool's call-latency histogram — the histogram is trustworthy
+// evidence of a slow path.
+func TestChaosLatencyShowsInHistogram(t *testing.T) {
+	d := startEchoDaemon(t)
+	proxy, err := chaos.NewProxy(d.Addr(), chaosSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	const injected = 25 * time.Millisecond
+	proxy.SetFaults(chaos.Faults{Latency: injected})
+
+	reg := telemetry.NewRegistry()
+	pool := daemon.NewPoolConfig(daemon.PoolConfig{
+		CallTimeout: 5 * time.Second,
+		MaxRetries:  -1,
+		Seed:        chaosSeed,
+		Telemetry:   reg,
+	})
+	defer pool.Close()
+
+	const calls = 3
+	for i := 0; i < calls; i++ {
+		if _, err := pool.Call(proxy.Addr(), cmdlang.New(daemon.CmdPing)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	h := reg.Histogram(wire.MetricCallLatency)
+	if h.Count() != calls {
+		t.Fatalf("latency observations = %d, want %d", h.Count(), calls)
+	}
+	// The proxy delays request and reply independently, so every call
+	// pays the injected latency at least once each way.
+	if min := h.Min(); min < injected {
+		t.Fatalf("histogram min %v below injected latency %v", min, injected)
+	}
+	if avg := time.Duration(int64(h.Sum()) / h.Count()); avg < 2*injected {
+		t.Fatalf("histogram avg %v below round-trip injected latency %v", avg, 2*injected)
+	}
+}
+
+// TestChaosPartitionRetriesMatchSchedule: against a refusing peer
+// with the breaker disabled, every call performs exactly MaxRetries
+// retries — the pool.retries counter must equal calls × MaxRetries,
+// nothing more, nothing less.
+func TestChaosPartitionRetriesMatchSchedule(t *testing.T) {
+	d := startEchoDaemon(t)
+	proxy, err := chaos.NewProxy(d.Addr(), chaosSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	proxy.Partition()
+
+	const maxRetries = 2
+	reg := telemetry.NewRegistry()
+	pool := daemon.NewPoolConfig(daemon.PoolConfig{
+		DialTimeout:      200 * time.Millisecond,
+		CallTimeout:      2 * time.Second,
+		MaxRetries:       maxRetries,
+		BackoffBase:      time.Millisecond,
+		BackoffMax:       2 * time.Millisecond,
+		BreakerThreshold: -1, // isolate the retry schedule from the breaker
+		Seed:             chaosSeed,
+		Telemetry:        reg,
+	})
+	defer pool.Close()
+
+	const calls = 4
+	for i := 0; i < calls; i++ {
+		if _, err := pool.Call(proxy.Addr(), cmdlang.New(daemon.CmdPing)); err == nil {
+			t.Fatal("call through partition succeeded")
+		}
+	}
+	if got := reg.Counter(daemon.MetricPoolRetries).Value(); got != calls*maxRetries {
+		t.Fatalf("pool retries = %d, want exactly %d", got, calls*maxRetries)
+	}
+}
+
+// TestChaosBlackholeCountsTimeouts: a blackholed peer swallows
+// requests, so every call dies on its deadline and the timeout
+// counter records exactly one timeout per call.
+func TestChaosBlackholeCountsTimeouts(t *testing.T) {
+	d := startEchoDaemon(t)
+	proxy, err := chaos.NewProxy(d.Addr(), chaosSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	proxy.SetFaults(chaos.Faults{Blackhole: true})
+
+	reg := telemetry.NewRegistry()
+	pool := daemon.NewPoolConfig(daemon.PoolConfig{
+		DialTimeout:      200 * time.Millisecond,
+		CallTimeout:      150 * time.Millisecond,
+		MaxRetries:       -1, // the pool deadline covers the whole call: no retries
+		BreakerThreshold: -1,
+		Seed:             chaosSeed,
+		Telemetry:        reg,
+	})
+	defer pool.Close()
+
+	const calls = 3
+	for i := 0; i < calls; i++ {
+		if _, err := pool.Call(proxy.Addr(), cmdlang.New(daemon.CmdPing)); err == nil {
+			t.Fatal("call through blackhole succeeded")
+		}
+	}
+	if got := reg.Counter(wire.MetricCallTimeouts).Value(); got != calls {
+		t.Fatalf("timeout counter = %d, want exactly %d", got, calls)
+	}
+	if sent := reg.Counter(wire.MetricFramesSent).Value(); sent != calls {
+		t.Fatalf("frames sent = %d, want %d (one swallowed request per call)", sent, calls)
+	}
+	if recv := reg.Counter(wire.MetricFramesRecv).Value(); recv != 0 {
+		t.Fatalf("frames recv = %d, want 0 through a blackhole", recv)
+	}
+}

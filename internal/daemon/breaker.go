@@ -37,6 +37,10 @@ func (s breakerState) String() string {
 // `cooldown`, admitting a single probe → closed on probe success,
 // back to open on probe failure. Remote errors (the daemon answered)
 // never trip it; only transport-level trouble does.
+//
+// onChange, when set, observes every state transition (telemetry,
+// tests). It fires exactly once per transition, after the breaker's
+// lock is released, so observers may freely query pool state.
 type breaker struct {
 	mu        sync.Mutex
 	state     breakerState
@@ -45,32 +49,54 @@ type breaker struct {
 	probing   bool
 	threshold int
 	cooldown  time.Duration
+
+	onChange func(from, to breakerState)
 }
 
 func newBreaker(threshold int, cooldown time.Duration) *breaker {
 	return &breaker{threshold: threshold, cooldown: cooldown}
 }
 
+// setLocked moves the breaker to `to` and returns the transition to
+// report after unlock (from == to means no transition happened).
+func (b *breaker) setLocked(to breakerState) (from, unused breakerState) {
+	from = b.state
+	b.state = to
+	return from, to
+}
+
+// fire invokes the observer for a real transition.
+func (b *breaker) fire(from, to breakerState) {
+	if from != to && b.onChange != nil {
+		b.onChange(from, to)
+	}
+}
+
 // allow reports whether a call may proceed right now. In half-open
 // state only one probe is admitted at a time.
 func (b *breaker) allow() error {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	switch b.state {
 	case breakerClosed:
+		b.mu.Unlock()
 		return nil
 	case breakerOpen:
 		if time.Since(b.openedAt) < b.cooldown {
+			b.mu.Unlock()
 			return ErrCircuitOpen
 		}
-		b.state = breakerHalfOpen
+		from, to := b.setLocked(breakerHalfOpen)
 		b.probing = true
+		b.mu.Unlock()
+		b.fire(from, to)
 		return nil
 	default: // half-open
 		if b.probing {
+			b.mu.Unlock()
 			return ErrCircuitOpen
 		}
 		b.probing = true
+		b.mu.Unlock()
 		return nil
 	}
 }
@@ -78,10 +104,11 @@ func (b *breaker) allow() error {
 // success records a completed exchange and closes the breaker.
 func (b *breaker) success() {
 	b.mu.Lock()
-	b.state = breakerClosed
+	from, to := b.setLocked(breakerClosed)
 	b.failures = 0
 	b.probing = false
 	b.mu.Unlock()
+	b.fire(from, to)
 }
 
 // failure records a transport failure, opening the breaker when the
@@ -89,22 +116,24 @@ func (b *breaker) success() {
 // half-open probe fails).
 func (b *breaker) failure() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from, to := b.state, b.state
 	switch b.state {
 	case breakerHalfOpen:
-		b.state = breakerOpen
+		from, to = b.setLocked(breakerOpen)
 		b.openedAt = time.Now()
 		b.probing = false
 	case breakerClosed:
 		b.failures++
 		if b.failures >= b.threshold {
-			b.state = breakerOpen
+			from, to = b.setLocked(breakerOpen)
 			b.openedAt = time.Now()
 		}
 	case breakerOpen:
 		// Already open; a straggling in-flight failure keeps it open.
 		b.openedAt = time.Now()
 	}
+	b.mu.Unlock()
+	b.fire(from, to)
 }
 
 // currentState snapshots the state (for stats and tests).

@@ -1,9 +1,11 @@
 package daemon
 
 import (
+	"strconv"
 	"strings"
 
 	"ace/internal/cmdlang"
+	"ace/internal/telemetry"
 )
 
 // Built-in command names provided by every ACE daemon shell.
@@ -15,6 +17,7 @@ const (
 	CmdAddNotification    = "addNotification"
 	CmdRemoveNotification = "removeNotification"
 	CmdListNotifications  = "listNotifications"
+	CmdTelemetry          = "telemetry"
 )
 
 // builtinCommands are exempt from the authorization gate: they are
@@ -28,6 +31,7 @@ var builtinCommands = map[string]bool{
 	CmdAddNotification:    true,
 	CmdRemoveNotification: true,
 	CmdListNotifications:  true,
+	CmdTelemetry:          true,
 }
 
 func (d *Daemon) installBuiltins() {
@@ -58,12 +62,20 @@ func (d *Daemon) installBuiltins() {
 			Name: CmdListNotifications,
 			Args: []cmdlang.ArgSpec{{Name: "cmd", Kind: cmdlang.KindWord}},
 		},
+		cmdlang.CommandSpec{
+			Name: CmdTelemetry,
+			Doc:  "introspect metrics and traces",
+			Args: []cmdlang.ArgSpec{
+				{Name: "op", Kind: cmdlang.KindWord, Required: true, Doc: "metrics | trace"},
+				{Name: "id", Kind: cmdlang.KindString, Doc: "trace id (16 hex digits), for op=trace"},
+			},
+		},
 	)
 
-	d.handlers[CmdPing] = func(_ *Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+	d.bind(CmdPing, func(_ *Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
 		return cmdlang.OK().SetWord("service", wordOr(d.cfg.Name)), nil
-	}
-	d.handlers[CmdInfo] = func(_ *Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+	})
+	d.bind(CmdInfo, func(_ *Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
 		return cmdlang.OK().
 			SetWord("name", wordOr(d.cfg.Name)).
 			SetString("class", d.cfg.Class).
@@ -71,13 +83,13 @@ func (d *Daemon) installBuiltins() {
 			SetWord("host", wordOr(d.cfg.Host)).
 			SetInt("port", int64(d.Port())).
 			SetString("dataAddr", d.DataAddr()), nil
-	}
-	d.handlers[CmdCommands] = func(_ *Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+	})
+	d.bind(CmdCommands, func(_ *Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
 		return cmdlang.OK().
 			Set("names", cmdlang.WordVector(d.registry.Names()...)).
 			SetString("describe", d.registry.Describe()), nil
-	}
-	d.handlers[CmdStats] = func(_ *Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+	})
+	d.bind(CmdStats, func(_ *Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
 		s := d.Stats()
 		return cmdlang.OK().
 			SetInt("connections", s.Connections).
@@ -86,27 +98,47 @@ func (d *Daemon) installBuiltins() {
 			SetInt("denied", s.Denied).
 			SetInt("notifications", s.Notifications).
 			SetInt("data", s.DataPackets), nil
-	}
-	d.handlers[CmdAddNotification] = func(_ *Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+	})
+	d.bind(CmdAddNotification, func(_ *Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
 		d.notify.add(c.Str("cmd", ""), notifyTarget{
 			Service: c.Str("service", ""),
 			Addr:    c.Str("addr", ""),
 			Method:  c.Str("method", ""),
 		})
 		return nil, nil
-	}
-	d.handlers[CmdRemoveNotification] = func(_ *Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+	})
+	d.bind(CmdRemoveNotification, func(_ *Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
 		removed := d.notify.remove(c.Str("cmd", ""), c.Str("service", ""), c.Str("method", ""))
 		return cmdlang.OK().SetInt("removed", int64(removed)), nil
-	}
-	d.handlers[CmdListNotifications] = func(_ *Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+	})
+	d.bind(CmdTelemetry, func(_ *Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		switch op := c.Str("op", ""); op {
+		case "metrics":
+			if d.tel == nil {
+				return cmdlang.Fail(cmdlang.CodeUnavailable, "telemetry disabled"), nil
+			}
+			return telemetry.EncodeSnapshot(d.tel.Snapshot(), cmdlang.OK()), nil
+		case "trace":
+			if d.traces == nil {
+				return cmdlang.Fail(cmdlang.CodeUnavailable, "telemetry disabled"), nil
+			}
+			id, err := telemetry.ParseID(c.Str("id", ""))
+			if err != nil {
+				return cmdlang.Fail(cmdlang.CodeBadArgument, "bad trace id: "+err.Error()), nil
+			}
+			return telemetry.EncodeSpans(d.traces.Trace(id), cmdlang.OK()), nil
+		default:
+			return cmdlang.Fail(cmdlang.CodeBadArgument, "op must be metrics or trace, got "+strconv.Quote(op)), nil
+		}
+	})
+	d.bind(CmdListNotifications, func(_ *Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
 		targets := d.notify.list(c.Str("cmd", ""))
 		descs := make([]string, len(targets))
 		for i, t := range targets {
 			descs[i] = t.Service + "@" + t.Addr + "#" + t.Method
 		}
 		return cmdlang.OK().Set("targets", cmdlang.StringVector(descs...)), nil
-	}
+	})
 }
 
 // wordOr substitutes a safe placeholder for values that are not legal

@@ -22,6 +22,7 @@
 package daemon
 
 import (
+	"context"
 	"crypto/tls"
 	"errors"
 	"fmt"
@@ -32,6 +33,7 @@ import (
 	"time"
 
 	"ace/internal/cmdlang"
+	"ace/internal/telemetry"
 	"ace/internal/wire"
 )
 
@@ -74,6 +76,21 @@ type Ctx struct {
 	Principal string
 	// RemoteAddr is the peer's network address.
 	RemoteAddr string
+	// Trace is the span context the command arrived under (the zero
+	// value when the caller sent no trace header). Handlers that call
+	// downstream services should pass TraceContext() so the remote
+	// spans join the same trace.
+	Trace telemetry.SpanContext
+}
+
+// TraceContext returns a context carrying the invocation's span
+// context, for handlers issuing downstream calls via the pool. With
+// no active trace it is a plain background context.
+func (c *Ctx) TraceContext() context.Context {
+	if c == nil || !c.Trace.Valid() {
+		return context.Background()
+	}
+	return telemetry.WithSpanContext(context.Background(), c.Trace)
 }
 
 // Config describes one ACE service daemon.
@@ -114,8 +131,19 @@ type Config struct {
 	Listen string
 	// PoolConfig optionally tunes the daemon's outgoing connection
 	// pool (timeouts, retries, circuit breaker). Nil uses defaults.
-	// Its Transport field is overwritten with Config.Transport.
+	// Its Transport, Telemetry and Metrics fields are overwritten so
+	// the pool records into the daemon's registry.
 	PoolConfig *PoolConfig
+	// Telemetry receives the daemon's metrics and spans; nil creates a
+	// private registry, so telemetry is on by default.
+	Telemetry *telemetry.Registry
+	// DisableTelemetry turns all instrumentation into no-ops. It
+	// exists for benchmarks measuring instrumentation overhead and for
+	// deployments that want the old zero-cost behavior.
+	DisableTelemetry bool
+	// TraceBufferSpans bounds the in-process span buffer; 0 means
+	// telemetry.DefaultTraceBufferSpans.
+	TraceBufferSpans int
 }
 
 // Stats are the daemon's execution counters.
@@ -136,11 +164,20 @@ type ctlMsg struct {
 	respond func(*cmdlang.CmdLine) // nil for one-way commands
 }
 
+// handlerEntry pairs a command handler with its per-verb dispatch
+// latency histogram. The histogram is filled in Start (handlers are
+// frozen by then), so the dispatch hot path resolves both with a
+// single map lookup.
+type handlerEntry struct {
+	fn   Handler
+	hist *telemetry.Histogram
+}
+
 // Daemon is a running ACE service daemon.
 type Daemon struct {
 	cfg      Config
 	registry *cmdlang.Registry
-	handlers map[string]Handler
+	handlers map[string]*handlerEntry
 
 	listener net.Listener
 	udp      *net.UDPConn
@@ -164,7 +201,26 @@ type Daemon struct {
 	nDenied atomic.Int64
 	nNotify atomic.Int64
 	nData   atomic.Int64
+
+	tel         *telemetry.Registry
+	traces      *telemetry.TraceBuffer
+	wireMetrics *wire.Metrics
+	// dispatchOther times commands without a registered handler;
+	// per-verb histograms live on each handlerEntry.
+	dispatchOther *telemetry.Histogram
+	notifySent    *telemetry.Counter
+	connsActive   *telemetry.Gauge
 }
+
+// Daemon metric names. Per-verb dispatch latency appears as
+// MetricDispatchPrefix + verb; commands without a handler fall into
+// MetricDispatchOther.
+const (
+	MetricDispatchPrefix = "daemon.dispatch."
+	MetricDispatchOther  = "daemon.dispatch.other"
+	MetricNotifySent     = "daemon.notify.sent"
+	MetricConnsActive    = "daemon.conns.active"
+)
 
 // New constructs a daemon from cfg and installs the built-in command
 // set. Handlers for the service's own commands are added with Handle
@@ -192,23 +248,52 @@ func New(cfg Config) *Daemon {
 	if cfg.Registry != nil {
 		reg.Merge(cfg.Registry)
 	}
+	var tel *telemetry.Registry
+	var traces *telemetry.TraceBuffer
+	if !cfg.DisableTelemetry {
+		tel = cfg.Telemetry
+		if tel == nil {
+			tel = telemetry.NewRegistry()
+		}
+		traces = telemetry.NewTraceBuffer(cfg.TraceBufferSpans)
+	}
+	wm := wire.NewMetrics(tel)
 	pc := PoolConfig{Transport: cfg.Transport}
 	if cfg.PoolConfig != nil {
 		pc = *cfg.PoolConfig
 		pc.Transport = cfg.Transport
 	}
+	// Server-side and pool-side wire traffic share one instrument
+	// group, so the wire.* metrics describe the daemon's whole
+	// footprint.
+	pc.Telemetry = tel
+	pc.Metrics = wm
 	d := &Daemon{
-		cfg:      cfg,
-		registry: reg,
-		handlers: make(map[string]Handler),
-		ctlQ:     make(chan ctlMsg, cfg.ControlQueueLen),
-		done:     make(chan struct{}),
-		conns:    make(map[net.Conn]struct{}),
-		pool:     NewPoolConfig(pc),
+		cfg:           cfg,
+		registry:      reg,
+		handlers:      make(map[string]*handlerEntry),
+		ctlQ:          make(chan ctlMsg, cfg.ControlQueueLen),
+		done:          make(chan struct{}),
+		conns:         make(map[net.Conn]struct{}),
+		pool:          NewPoolConfig(pc),
+		tel:           tel,
+		traces:        traces,
+		wireMetrics:   wm,
+		dispatchOther: tel.Histogram(MetricDispatchOther),
+		notifySent:    tel.Counter(MetricNotifySent),
+		connsActive:   tel.Gauge(MetricConnsActive),
 	}
 	d.installBuiltins()
 	return d
 }
+
+// Telemetry returns the daemon's metrics registry (nil when telemetry
+// is disabled).
+func (d *Daemon) Telemetry() *telemetry.Registry { return d.tel }
+
+// Traces returns the daemon's span buffer (nil when telemetry is
+// disabled).
+func (d *Daemon) Traces() *telemetry.TraceBuffer { return d.traces }
 
 func hostName() (string, error) { return "localhost", nil }
 
@@ -221,7 +306,12 @@ func (d *Daemon) Handle(spec cmdlang.CommandSpec, h Handler) {
 		panic("daemon: Handle after Start")
 	}
 	d.registry.Declare(spec)
-	d.handlers[spec.Name] = h
+	d.handlers[spec.Name] = &handlerEntry{fn: h}
+}
+
+// bind installs a built-in handler without re-declaring its spec.
+func (d *Daemon) bind(name string, h Handler) {
+	d.handlers[name] = &handlerEntry{fn: h}
 }
 
 // Name returns the service instance name.
@@ -290,6 +380,15 @@ func (d *Daemon) Start() error {
 	}
 	d.started = true
 	d.mu.Unlock()
+
+	// The handlers map is frozen now (Handle panics after Start), so
+	// the per-verb dispatch histograms can be materialized once and
+	// read lock-free by the control thread.
+	if d.tel != nil {
+		for name, e := range d.handlers {
+			e.hist = d.tel.Histogram(MetricDispatchPrefix + name)
+		}
+	}
 
 	ln, err := net.Listen("tcp", d.cfg.Listen)
 	if err != nil {
@@ -502,12 +601,17 @@ func (d *Daemon) commandThread(conn net.Conn) {
 		}
 	}
 	ctx := &Ctx{D: d, Principal: principal, RemoteAddr: conn.RemoteAddr().String()}
+	d.connsActive.Add(1)
+	defer d.connsActive.Add(-1)
 
 	var writeMu sync.Mutex
 	respond := func(reply *cmdlang.CmdLine) {
+		payload := []byte(reply.String())
 		writeMu.Lock()
 		defer writeMu.Unlock()
-		wire.WriteCmd(conn, reply) //nolint:errcheck — peer may be gone
+		if err := wire.WriteFrame(conn, payload); err == nil {
+			d.wireMetrics.FrameSent(len(payload))
+		} // peer may be gone; drop the reply
 	}
 
 	for {
@@ -515,14 +619,24 @@ func (d *Daemon) commandThread(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		cmd, perr := cmdlang.Parse(string(payload))
+		d.wireMetrics.FrameRecv(len(payload))
+		sc, text := wire.SplitPayload(payload)
+		cmd, perr := cmdlang.Parse(string(text))
 		if perr != nil {
 			// Syntactically broken input is answered directly by the
 			// command thread; it never reaches control.
 			respond(cmdlang.FailErr(perr))
 			continue
 		}
-		msg := ctlMsg{cmd: cmd, ctx: ctx}
+		mctx := ctx
+		if sc.Valid() {
+			// Per-message Ctx copy: the trace context differs call to
+			// call on one connection.
+			c := *ctx
+			c.Trace = sc
+			mctx = &c
+		}
+		msg := ctlMsg{cmd: cmd, ctx: mctx}
 		if cmd.Has(cmdlang.SeqArg) {
 			seq := cmd.Int(cmdlang.SeqArg, 0)
 			msg.respond = func(reply *cmdlang.CmdLine) {
@@ -553,22 +667,47 @@ func (d *Daemon) controlThread() {
 }
 
 func (d *Daemon) execute(msg ctlMsg) {
-	reply := d.dispatch(msg.ctx, msg.cmd)
+	start := time.Now()
+	e := d.handlers[msg.cmd.Name()]
+	reply := d.dispatch(e, msg.ctx, msg.cmd)
+	d.observe(e, msg.ctx, msg.cmd, reply, start)
 	if msg.respond != nil {
 		msg.respond(reply)
 	}
 	if cmdlang.IsOK(reply) {
 		d.nOK.Add(1)
-		d.dispatchNotifications(msg.cmd)
+		d.dispatchNotifications(msg.ctx, msg.cmd)
 	} else {
 		d.nFail.Add(1)
 	}
 }
 
-func (d *Daemon) dispatch(ctx *Ctx, cmd *cmdlang.CmdLine) *cmdlang.CmdLine {
+// observe records the dispatch latency and, for traced invocations,
+// a span in the daemon's trace buffer.
+func (d *Daemon) observe(e *handlerEntry, ctx *Ctx, cmd *cmdlang.CmdLine, reply *cmdlang.CmdLine, start time.Time) {
+	dur := time.Since(start)
+	if e != nil {
+		e.hist.Observe(dur)
+	} else {
+		d.dispatchOther.Observe(dur)
+	}
+	if tc := ctx.Trace; tc.Valid() {
+		d.traces.Record(telemetry.Span{
+			TraceID:  tc.TraceID,
+			SpanID:   tc.SpanID,
+			Parent:   tc.Parent,
+			Name:     cmd.Name(),
+			Service:  d.cfg.Name,
+			Start:    start,
+			Duration: dur,
+			OK:       cmdlang.IsOK(reply),
+		})
+	}
+}
+
+func (d *Daemon) dispatch(e *handlerEntry, ctx *Ctx, cmd *cmdlang.CmdLine) *cmdlang.CmdLine {
 	name := cmd.Name()
-	h, ok := d.handlers[name]
-	if !ok {
+	if e == nil {
 		return cmdlang.Fail(cmdlang.CodeUnknownCommand, "unknown command "+strconv.Quote(name))
 	}
 	// Semantic validation against the declared registry. The seq
@@ -589,7 +728,7 @@ func (d *Daemon) dispatch(ctx *Ctx, cmd *cmdlang.CmdLine) *cmdlang.CmdLine {
 			return cmdlang.Fail(cmdlang.CodeDenied, err.Error())
 		}
 	}
-	res, err := h(ctx, vc)
+	res, err := e.fn(ctx, vc)
 	if err != nil {
 		return cmdlang.FailErr(err)
 	}
@@ -610,10 +749,13 @@ func (d *Daemon) ExecuteLocal(ctx *Ctx, cmd *cmdlang.CmdLine) *cmdlang.CmdLine {
 	if ctx == nil {
 		ctx = &Ctx{D: d, Principal: d.cfg.Name, RemoteAddr: "local"}
 	}
-	reply := d.dispatch(ctx, cmd)
+	start := time.Now()
+	e := d.handlers[cmd.Name()]
+	reply := d.dispatch(e, ctx, cmd)
+	d.observe(e, ctx, cmd, reply, start)
 	if cmdlang.IsOK(reply) {
 		d.nOK.Add(1)
-		d.dispatchNotifications(cmd)
+		d.dispatchNotifications(ctx, cmd)
 	} else {
 		d.nFail.Add(1)
 	}

@@ -84,16 +84,21 @@ func (t *notifyTable) list(cmd string) []notifyTarget {
 // executes successfully (Fig 8 steps 2–3). Delivery itself happens
 // off-thread so a slow or dead listener cannot stall command
 // execution; invocation is one-way (no seq → no reply expected).
-func (d *Daemon) dispatchNotifications(cmd *cmdlang.CmdLine) {
+// When the triggering command was traced, each notification frame
+// carries that trace's context so the fan-out appears in the
+// assembled trace.
+func (d *Daemon) dispatchNotifications(ctx *Ctx, cmd *cmdlang.CmdLine) {
 	targets := d.notify.list(cmd.Name())
 	if len(targets) == 0 {
 		return
 	}
+	tctx := ctx.TraceContext()
 	detail := cmd.Clone()
 	detail.Del(cmdlang.SeqArg)
 	detailStr := detail.String()
 	for _, nt := range targets {
 		d.nNotify.Add(1)
+		d.notifySent.Inc()
 		msg := cmdlang.New(nt.Method).
 			SetWord(NotifySourceArg, wordOr(d.cfg.Name)).
 			SetWord(NotifyEventArg, cmd.Name()).
@@ -102,7 +107,7 @@ func (d *Daemon) dispatchNotifications(cmd *cmdlang.CmdLine) {
 		d.wg.Add(1)
 		go func() {
 			defer d.wg.Done()
-			d.pool.Send(target.Addr, msg) //nolint:errcheck — listeners may be gone; ASD lease expiry reaps them
+			d.pool.SendContext(tctx, target.Addr, msg) //nolint:errcheck — listeners may be gone; ASD lease expiry reaps them
 		}()
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"ace/internal/cmdlang"
+	"ace/internal/telemetry"
 	"ace/internal/wire"
 )
 
@@ -64,6 +65,18 @@ type PoolConfig struct {
 	// Seed seeds the jitter PRNG, making retry schedules reproducible
 	// in tests; 0 means a fixed default seed.
 	Seed int64
+	// Telemetry, when non-nil, receives the pool's counters
+	// (pool.retries, pool.breaker.transitions) and — unless Metrics is
+	// set explicitly — the wire instruments of every dialed client.
+	Telemetry *telemetry.Registry
+	// Metrics is the wire instrument group installed on dialed clients;
+	// nil derives one from Telemetry (or stays no-op when both are nil).
+	Metrics *wire.Metrics
+	// OnBreakerChange, when set, observes every circuit breaker state
+	// transition. It is called outside breaker locks, once per real
+	// transition, with the address and the "closed"/"open"/"half-open"
+	// state names.
+	OnBreakerChange func(addr, from, to string)
 }
 
 func (cfg PoolConfig) withDefaults() PoolConfig {
@@ -105,6 +118,9 @@ func (cfg PoolConfig) withDefaults() PoolConfig {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = wire.NewMetrics(cfg.Telemetry)
+	}
 	return cfg
 }
 
@@ -125,7 +141,16 @@ type Pool struct {
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
+
+	retries     *telemetry.Counter
+	transitions *telemetry.Counter
 }
+
+// Metric names recorded by the pool.
+const (
+	MetricPoolRetries        = "pool.retries"
+	MetricBreakerTransitions = "pool.breaker.transitions"
+)
 
 // NewPool returns a pool dialing with the given transport (nil =
 // plaintext) and default resilience settings.
@@ -137,11 +162,19 @@ func NewPool(t *wire.Transport) *Pool {
 func NewPoolConfig(cfg PoolConfig) *Pool {
 	cfg = cfg.withDefaults()
 	return &Pool{
-		cfg:      cfg,
-		clients:  make(map[string]*wire.Client),
-		breakers: make(map[string]*breaker),
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		cfg:         cfg,
+		clients:     make(map[string]*wire.Client),
+		breakers:    make(map[string]*breaker),
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		retries:     cfg.Telemetry.Counter(MetricPoolRetries),
+		transitions: cfg.Telemetry.Counter(MetricBreakerTransitions),
 	}
+}
+
+// Telemetry returns the registry the pool records into (nil when
+// telemetry is disabled).
+func (p *Pool) Telemetry() *telemetry.Registry {
+	return p.cfg.Telemetry
 }
 
 // breakerFor returns the address's breaker, or nil when breakers are
@@ -155,6 +188,12 @@ func (p *Pool) breakerFor(addr string) *breaker {
 	b, ok := p.breakers[addr]
 	if !ok {
 		b = newBreaker(p.cfg.BreakerThreshold, p.cfg.BreakerCooldown)
+		b.onChange = func(from, to breakerState) {
+			p.transitions.Inc()
+			if p.cfg.OnBreakerChange != nil {
+				p.cfg.OnBreakerChange(addr, from.String(), to.String())
+			}
+		}
 		p.breakers[addr] = b
 	}
 	return b
@@ -199,6 +238,7 @@ func (p *Pool) GetContext(ctx context.Context, addr string) (*wire.Client, error
 		return nil, err
 	}
 	c.SetCallTimeout(p.cfg.CallTimeout)
+	c.SetMetrics(p.cfg.Metrics)
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -277,6 +317,7 @@ func (p *Pool) CallContext(ctx context.Context, addr string, cmd *cmdlang.CmdLin
 			if err := p.backoff(ctx, attempt); err != nil {
 				return nil, lastErr
 			}
+			p.retries.Inc()
 		}
 		if br != nil {
 			if err := br.allow(); err != nil {
@@ -332,6 +373,14 @@ func (p *Pool) callOnce(ctx context.Context, addr string, cmd *cmdlang.CmdLine) 
 // resend could deliver the notification twice. Callers that need
 // exactly-once must deduplicate on the receiving side.
 func (p *Pool) Send(addr string, cmd *cmdlang.CmdLine) error {
+	return p.SendContext(context.Background(), addr, cmd)
+}
+
+// SendContext is Send with a caller context. The context is not a
+// deadline for the write (Send's at-least-once contract is unchanged);
+// it exists to carry a trace span context onto the one-way frame so
+// notifications join the trace of the command that triggered them.
+func (p *Pool) SendContext(ctx context.Context, addr string, cmd *cmdlang.CmdLine) error {
 	br := p.breakerFor(addr)
 	for attempt := 0; attempt < 2; attempt++ {
 		if br != nil {
@@ -346,7 +395,7 @@ func (p *Pool) Send(addr string, cmd *cmdlang.CmdLine) error {
 			}
 			return err
 		}
-		err = c.Send(cmd)
+		err = c.SendContext(ctx, cmd)
 		if err == nil {
 			if br != nil {
 				br.success()

@@ -1,0 +1,157 @@
+package daemon
+
+// Telemetry overhead benchmarks. The instrumented hot paths (dispatch
+// histogram, wire frame counters, span recording) must stay within a
+// few percent of the no-op configuration (DisableTelemetry), because
+// telemetry is on by default for every daemon.
+//
+// `make bench-telemetry` runs TestBenchTelemetryOverhead with
+// ACE_BENCH_TELEMETRY=1, which measures both configurations with
+// testing.Benchmark and writes the comparison to BENCH_telemetry.json
+// at the repo root. The plain test suite skips it so tier-1 runs stay
+// fast and deterministic.
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"ace/internal/cmdlang"
+	"ace/internal/telemetry"
+)
+
+// benchDaemon starts a daemon for dispatch benchmarking.
+func benchDaemon(b testing.TB, disabled bool) *Daemon {
+	d := New(Config{Name: "bench", DisableTelemetry: disabled})
+	if err := d.Start(); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(d.Stop)
+	return d
+}
+
+// runDispatch is the measured loop: a local dispatch of the ping
+// builtin — command lookup, handler, reply bookkeeping, and (when
+// enabled) the per-verb latency histogram.
+func runDispatch(b *testing.B, d *Daemon, ctx *Ctx) {
+	cmd := cmdlang.New(CmdPing)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if reply := d.ExecuteLocal(ctx, cmd); !cmdlang.IsOK(reply) {
+			b.Fatalf("ping failed: %v", reply)
+		}
+	}
+}
+
+func BenchmarkDispatchTelemetryOn(b *testing.B) {
+	d := benchDaemon(b, false)
+	runDispatch(b, d, nil)
+}
+
+func BenchmarkDispatchTelemetryOff(b *testing.B) {
+	d := benchDaemon(b, true)
+	runDispatch(b, d, nil)
+}
+
+// BenchmarkDispatchTraced adds an active span context, so every
+// dispatch also records a span into the trace buffer.
+func BenchmarkDispatchTraced(b *testing.B) {
+	d := benchDaemon(b, false)
+	runDispatch(b, d, &Ctx{D: d, Principal: "bench", RemoteAddr: "local", Trace: telemetry.NewTrace()})
+}
+
+// BenchmarkWireCallTelemetryOn/Off measure a full loopback round trip
+// through the connection pool, which exercises the wire frame and
+// call-latency instruments on top of dispatch.
+func benchWireCall(b *testing.B, disabled bool) {
+	d := benchDaemon(b, disabled)
+	var reg *telemetry.Registry
+	if !disabled {
+		reg = telemetry.NewRegistry()
+	}
+	pool := NewPoolConfig(PoolConfig{Telemetry: reg})
+	defer pool.Close()
+	cmd := cmdlang.New(CmdPing)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pool.Call(d.Addr(), cmd); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireCallTelemetryOn(b *testing.B)  { benchWireCall(b, false) }
+func BenchmarkWireCallTelemetryOff(b *testing.B) { benchWireCall(b, true) }
+
+// benchReport is one measured scenario in BENCH_telemetry.json.
+type benchReport struct {
+	Scenario    string  `json:"scenario"`
+	NsPerOpOn   float64 `json:"ns_per_op_telemetry_on"`
+	NsPerOpOff  float64 `json:"ns_per_op_telemetry_off"`
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// TestBenchTelemetryOverhead is the gate behind `make bench-telemetry`.
+// It is skipped unless ACE_BENCH_TELEMETRY=1 so the regular test
+// suite never pays for benchmarking.
+func TestBenchTelemetryOverhead(t *testing.T) {
+	if os.Getenv("ACE_BENCH_TELEMETRY") == "" {
+		t.Skip("set ACE_BENCH_TELEMETRY=1 (or run `make bench-telemetry`) to measure telemetry overhead")
+	}
+
+	measure := func(name string, run func(b *testing.B)) float64 {
+		// testing.Benchmark's own calibration ramp doubles as warmup;
+		// pool dials and lazy instrument creation happen in the short
+		// early rounds and are amortized away in the final one.
+		r := testing.Benchmark(run)
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		t.Logf("%-28s %10.1f ns/op  (%d iterations)", name, ns, r.N)
+		return ns
+	}
+
+	var reports []benchReport
+	for _, sc := range []struct {
+		name    string
+		on, off func(b *testing.B)
+		budget  float64 // max tolerated overhead, percent
+	}{
+		{"local-dispatch", BenchmarkDispatchTelemetryOn, BenchmarkDispatchTelemetryOff, 5},
+		{"wire-call", BenchmarkWireCallTelemetryOn, BenchmarkWireCallTelemetryOff, 5},
+	} {
+		on := measure(sc.name+"/on", sc.on)
+		off := measure(sc.name+"/off", sc.off)
+		pct := (on - off) / off * 100
+		reports = append(reports, benchReport{
+			Scenario:    sc.name,
+			NsPerOpOn:   on,
+			NsPerOpOff:  off,
+			OverheadPct: pct,
+		})
+		t.Logf("%-28s overhead %+.2f%% (budget %.0f%%)", sc.name, pct, sc.budget)
+		if pct > sc.budget {
+			t.Errorf("%s: telemetry overhead %.2f%% exceeds %.0f%% budget (on=%.1fns off=%.1fns)",
+				sc.name, pct, sc.budget, on, off)
+		}
+	}
+
+	out := os.Getenv("ACE_BENCH_TELEMETRY_OUT")
+	if out == "" {
+		out = "BENCH_telemetry.json"
+	}
+	payload := map[string]any{
+		"benchmark": "telemetry-overhead",
+		"date":      time.Now().UTC().Format(time.RFC3339),
+		"results":   reports,
+	}
+	data, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}

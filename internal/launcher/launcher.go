@@ -6,6 +6,7 @@
 package launcher
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -121,6 +122,12 @@ func NewSAL(dcfg daemon.Config, srm *monitor.SRM) *SAL {
 // Launch places the application on a host chosen by policy and
 // delegates the launch to that host's HAL.
 func (s *SAL) Launch(app string, work float64, mem int64, policy monitor.Policy) (Placement, error) {
+	return s.LaunchContext(context.Background(), app, work, mem, policy)
+}
+
+// LaunchContext is Launch with a caller context, so traced commands
+// carry their span onto the HAL hop.
+func (s *SAL) LaunchContext(ctx context.Context, app string, work float64, mem int64, policy monitor.Policy) (Placement, error) {
 	s.srm.Refresh()
 	report, err := s.srm.Pick(policy, mem)
 	if err != nil {
@@ -129,7 +136,7 @@ func (s *SAL) Launch(app string, work float64, mem int64, policy monitor.Policy)
 	if report.HALAddr == "" {
 		return Placement{}, fmt.Errorf("sal: host %s has no HAL", report.Host)
 	}
-	reply, err := s.Pool().Call(report.HALAddr, cmdlang.New("launch").
+	reply, err := s.Pool().CallContext(ctx, report.HALAddr, cmdlang.New("launch").
 		SetString("app", app).SetFloat("work", work).SetInt("mem", mem))
 	if err != nil {
 		return Placement{}, fmt.Errorf("sal: HAL launch on %s: %w", report.Host, err)
@@ -158,8 +165,9 @@ func (s *SAL) install() {
 			{Name: "mem", Kind: cmdlang.KindInt},
 			{Name: "policy", Kind: cmdlang.KindWord},
 		},
-	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
-		p, err := s.Launch(
+	}, func(ctx *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		p, err := s.LaunchContext(
+			ctx.TraceContext(),
 			c.Str("app", ""),
 			c.Float("work", 1),
 			c.Int("mem", 0),

@@ -1,13 +1,16 @@
 package pstore
 
 import (
+	"context"
 	"encoding/hex"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"ace/internal/cmdlang"
 	"ace/internal/daemon"
+	"ace/internal/telemetry"
 	"ace/internal/wire"
 )
 
@@ -37,12 +40,24 @@ func truncateForErr(s string) string {
 type Client struct {
 	pool     *daemon.Pool
 	replicas []string
+
+	mReadLatency  *telemetry.Histogram
+	mWriteLatency *telemetry.Histogram
+	mReadRepairs  *telemetry.Counter
 }
 
 // NewClient builds a client over the given replica addresses,
-// dialing through pool.
+// dialing through pool. Quorum latency histograms and the
+// read-repair counter land in the pool's telemetry registry.
 func NewClient(pool *daemon.Pool, replicas []string) *Client {
-	return &Client{pool: pool, replicas: append([]string(nil), replicas...)}
+	tel := pool.Telemetry()
+	return &Client{
+		pool:          pool,
+		replicas:      append([]string(nil), replicas...),
+		mReadLatency:  tel.Histogram(MetricReadLatency),
+		mWriteLatency: tel.Histogram(MetricWriteLatency),
+		mReadRepairs:  tel.Counter(MetricReadRepairs),
+	}
 }
 
 // Quorum returns the majority size for the configured replica set.
@@ -79,8 +94,17 @@ func (c *Client) fanout(fn func(addr string) versioned) []versioned {
 // version are read-repaired in the background, tightening the window
 // anti-entropy would otherwise close later.
 func (c *Client) Get(path string) (value []byte, version uint64, ok bool, err error) {
+	return c.GetContext(context.Background(), path)
+}
+
+// GetContext is Get bounded by ctx; a span context carried by ctx is
+// propagated to every replica call, so the whole quorum read appears
+// under one trace.
+func (c *Client) GetContext(ctx context.Context, path string) (value []byte, version uint64, ok bool, err error) {
+	start := time.Now()
+	defer func() { c.mReadLatency.Observe(time.Since(start)) }()
 	results := c.fanout(func(addr string) versioned {
-		reply, callErr := c.pool.Call(addr, cmdlang.New("psget").SetString("path", path))
+		reply, callErr := c.pool.CallContext(ctx, addr, cmdlang.New("psget").SetString("path", path))
 		if callErr != nil {
 			if cmdlang.IsRemoteCode(callErr, cmdlang.CodeNotFound) {
 				return versioned{ok: false}
@@ -122,7 +146,10 @@ func (c *Client) Get(path string) (value []byte, version uint64, ok bool, err er
 		return nil, 0, false, nil
 	}
 	// Read repair: push the winning item to replicas that answered
-	// with an older (or no) version.
+	// with an older (or no) version. The repair keeps the caller's
+	// span context but not its cancellation — it should finish (and be
+	// traced) even when the caller returns immediately.
+	repairCtx := telemetry.WithSpanContext(context.Background(), telemetry.FromContext(ctx))
 	repair := cmdlang.New("psput").
 		SetString("path", path).
 		SetString("value", encodeValue(best.Value)).
@@ -130,7 +157,8 @@ func (c *Client) Get(path string) (value []byte, version uint64, ok bool, err er
 	for i, r := range results {
 		if r.err == nil && (!r.ok || r.item.Version < best.Version) {
 			addr := c.replicas[i]
-			go c.pool.Call(addr, repair.Clone()) //nolint:errcheck — best effort; anti-entropy is the backstop
+			c.mReadRepairs.Inc()
+			go c.pool.CallContext(repairCtx, addr, repair.Clone()) //nolint:errcheck — best effort; anti-entropy is the backstop
 		}
 	}
 	return best.Value, best.Version, true, nil
@@ -163,9 +191,9 @@ func (c *Client) GetAny(path string) (value []byte, version uint64, ok bool, err
 // currentVersion determines the highest version any replica holds at
 // path, including tombstones (a quorum read hides deletions, but a
 // new write must still supersede the tombstone's version).
-func (c *Client) currentVersion(path string) (uint64, error) {
+func (c *Client) currentVersion(ctx context.Context, path string) (uint64, error) {
 	results := c.fanout(func(addr string) versioned {
-		reply, callErr := c.pool.Call(addr, cmdlang.New("psfetch").SetString("path", path))
+		reply, callErr := c.pool.CallContext(ctx, addr, cmdlang.New("psfetch").SetString("path", path))
 		if callErr != nil {
 			if cmdlang.IsRemoteCode(callErr, cmdlang.CodeNotFound) {
 				return versioned{ok: false}
@@ -196,15 +224,23 @@ func (c *Client) currentVersion(path string) (uint64, error) {
 // majority has accepted. Anti-entropy carries the write to replicas
 // that missed it.
 func (c *Client) Put(path string, value []byte) (uint64, error) {
+	return c.PutContext(context.Background(), path, value)
+}
+
+// PutContext is Put bounded by ctx, with span propagation to every
+// replica (the version probe and the write fan-out alike).
+func (c *Client) PutContext(ctx context.Context, path string, value []byte) (uint64, error) {
 	if err := ValidatePath(path); err != nil {
 		return 0, err
 	}
-	cur, err := c.currentVersion(path)
+	start := time.Now()
+	defer func() { c.mWriteLatency.Observe(time.Since(start)) }()
+	cur, err := c.currentVersion(ctx, path)
 	if err != nil {
 		return 0, err
 	}
 	next := cur + 1
-	acked := c.writeAll(cmdlang.New("psput").
+	acked := c.writeAll(ctx, cmdlang.New("psput").
 		SetString("path", path).
 		SetString("value", encodeValue(value)).
 		SetInt("version", int64(next)))
@@ -216,11 +252,18 @@ func (c *Client) Put(path string, value []byte) (uint64, error) {
 
 // Delete writes a tombstone at path through a quorum.
 func (c *Client) Delete(path string) error {
-	cur, err := c.currentVersion(path)
+	return c.DeleteContext(context.Background(), path)
+}
+
+// DeleteContext is Delete bounded by ctx with span propagation.
+func (c *Client) DeleteContext(ctx context.Context, path string) error {
+	start := time.Now()
+	defer func() { c.mWriteLatency.Observe(time.Since(start)) }()
+	cur, err := c.currentVersion(ctx, path)
 	if err != nil {
 		return err
 	}
-	acked := c.writeAll(cmdlang.New("psdel").
+	acked := c.writeAll(ctx, cmdlang.New("psdel").
 		SetString("path", path).
 		SetInt("version", int64(cur+1)))
 	if acked < c.Quorum() {
@@ -229,9 +272,9 @@ func (c *Client) Delete(path string) error {
 	return nil
 }
 
-func (c *Client) writeAll(cmd *cmdlang.CmdLine) int {
+func (c *Client) writeAll(ctx context.Context, cmd *cmdlang.CmdLine) int {
 	results := c.fanout(func(addr string) versioned {
-		_, err := c.pool.Call(addr, cmd.Clone())
+		_, err := c.pool.CallContext(ctx, addr, cmd.Clone())
 		return versioned{err: err}
 	})
 	acked := 0

@@ -1,0 +1,15 @@
+package pstore
+
+// Metric names recorded by the persistent store, in addition to the
+// shell's own daemon.* and wire.* instruments. The pstore.sync.* and
+// pstore.writes.* series live in each node's registry; the quorum
+// latency histograms and read-repair counter live in the registry of
+// the pool the Client dials through.
+const (
+	MetricSyncRounds    = "pstore.sync.rounds"
+	MetricSyncPulled    = "pstore.sync.pulled"
+	MetricWritesApplied = "pstore.writes.applied"
+	MetricReadLatency   = "pstore.read.latency"
+	MetricWriteLatency  = "pstore.write.latency"
+	MetricReadRepairs   = "pstore.read.repairs"
+)

@@ -26,6 +26,7 @@ import (
 	"ace/internal/cmdlang"
 	"ace/internal/daemon"
 	"ace/internal/hier"
+	"ace/internal/telemetry"
 )
 
 // Item is one versioned object in the namespace.
@@ -74,6 +75,10 @@ type Node struct {
 
 	accepted int64 // writes applied (local or via sync)
 	synced   int64 // items pulled by anti-entropy
+
+	mSyncRounds *telemetry.Counter
+	mSyncPulled *telemetry.Counter
+	mWrites     *telemetry.Counter
 }
 
 // Config describes one store node.
@@ -103,6 +108,10 @@ func NewNode(cfg Config) (*Node, error) {
 		items:    make(map[string]Item),
 		syncStop: make(chan struct{}),
 	}
+	tel := n.Telemetry()
+	n.mSyncRounds = tel.Counter(MetricSyncRounds)
+	n.mSyncPulled = tel.Counter(MetricSyncPulled)
+	n.mWrites = tel.Counter(MetricWritesApplied)
 	if cfg.Dir != "" {
 		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 			return nil, fmt.Errorf("pstore: %w", err)
@@ -187,6 +196,7 @@ func (n *Node) applyLocked(it Item, toWAL bool) bool {
 	}
 	n.items[it.Path] = it
 	n.accepted++
+	n.mWrites.Inc()
 	if toWAL && n.walEnc != nil {
 		n.walEnc.Encode(walRecord(it)) //nolint:errcheck — a lost tail record is recovered by anti-entropy
 	}
@@ -240,6 +250,7 @@ func (n *Node) Counters() (accepted, synced int64) {
 // this node (one direction of Fig 17's constant data
 // synchronization). It returns the number of items pulled.
 func (n *Node) SyncWith(peerAddr string) (int, error) {
+	n.mSyncRounds.Inc()
 	reply, err := n.Pool().Call(peerAddr, cmdlang.New("psdigest"))
 	if err != nil {
 		return 0, err
@@ -276,6 +287,7 @@ func (n *Node) SyncWith(peerAddr string) (int, error) {
 		}
 		if n.apply(it, true) {
 			pulled++
+			n.mSyncPulled.Inc()
 			n.mu.Lock()
 			n.synced++
 			n.mu.Unlock()

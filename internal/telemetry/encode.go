@@ -1,0 +1,183 @@
+package telemetry
+
+import (
+	"fmt"
+	"time"
+
+	"ace/internal/cmdlang"
+)
+
+// Command-language encoding of snapshots and traces: the `telemetry`
+// command every daemon answers returns these shapes, and acectl and
+// tests decode them. IDs travel as 16-hex-digit strings (uint64 does
+// not fit the language's signed integer), everything else as the
+// language's native vectors.
+
+// EncodeSnapshot writes the snapshot's instruments into reply.
+func EncodeSnapshot(s *Snapshot, reply *cmdlang.CmdLine) *cmdlang.CmdLine {
+	names := make([]string, len(s.Counters))
+	vals := make([]int64, len(s.Counters))
+	for i, p := range s.Counters {
+		names[i] = p.Name
+		vals[i] = p.Value
+	}
+	reply.Set("counters", cmdlang.StringVector(names...))
+	reply.Set("countervals", cmdlang.IntVector(vals...))
+
+	names = make([]string, len(s.Gauges))
+	vals = make([]int64, len(s.Gauges))
+	for i, p := range s.Gauges {
+		names[i] = p.Name
+		vals[i] = p.Value
+	}
+	reply.Set("gauges", cmdlang.StringVector(names...))
+	reply.Set("gaugevals", cmdlang.IntVector(vals...))
+
+	hnames := make([]string, len(s.Histograms))
+	hcounts := make([]int64, len(s.Histograms))
+	hsums := make([]int64, len(s.Histograms))
+	hbuckets := make([]cmdlang.Value, len(s.Histograms))
+	for i, p := range s.Histograms {
+		hnames[i] = p.Name
+		hcounts[i] = p.Count
+		hsums[i] = int64(p.Sum)
+		hbuckets[i] = cmdlang.IntVector(p.Buckets...)
+	}
+	reply.Set("hists", cmdlang.StringVector(hnames...))
+	reply.Set("histcounts", cmdlang.IntVector(hcounts...))
+	reply.Set("histsums", cmdlang.IntVector(hsums...))
+	reply.Set("histbuckets", cmdlang.Array(hbuckets...))
+	return reply
+}
+
+// DecodeSnapshot is the inverse of EncodeSnapshot.
+func DecodeSnapshot(c *cmdlang.CmdLine) (*Snapshot, error) {
+	s := &Snapshot{}
+	cn := c.Strings("counters")
+	cv := c.Vector("countervals")
+	if len(cn) != len(cv) {
+		return nil, fmt.Errorf("telemetry: counter names/values length mismatch")
+	}
+	for i, name := range cn {
+		v, _ := cv[i].AsInt()
+		s.Counters = append(s.Counters, ScalarPoint{Name: name, Value: v})
+	}
+	gn := c.Strings("gauges")
+	gv := c.Vector("gaugevals")
+	if len(gn) != len(gv) {
+		return nil, fmt.Errorf("telemetry: gauge names/values length mismatch")
+	}
+	for i, name := range gn {
+		v, _ := gv[i].AsInt()
+		s.Gauges = append(s.Gauges, ScalarPoint{Name: name, Value: v})
+	}
+	hn := c.Strings("hists")
+	hc := c.Vector("histcounts")
+	hs := c.Vector("histsums")
+	hb := c.Vector("histbuckets")
+	if len(hn) != len(hc) || len(hn) != len(hs) || (len(hn) > 0 && len(hn) != len(hb)) {
+		return nil, fmt.Errorf("telemetry: histogram vectors length mismatch")
+	}
+	for i, name := range hn {
+		count, _ := hc[i].AsInt()
+		sum, _ := hs[i].AsInt()
+		buckets := make([]int64, 0, NumBuckets)
+		for _, e := range hb[i].Elems() {
+			v, _ := e.AsInt()
+			buckets = append(buckets, v)
+		}
+		s.Histograms = append(s.Histograms, HistogramPoint{
+			Name: name, Count: count, Sum: time.Duration(sum), Buckets: buckets,
+		})
+	}
+	return s, nil
+}
+
+// EncodeSpans writes a trace's spans into reply.
+func EncodeSpans(spans []Span, reply *cmdlang.CmdLine) *cmdlang.CmdLine {
+	n := len(spans)
+	spanIDs := make([]string, n)
+	parents := make([]string, n)
+	names := make([]string, n)
+	services := make([]string, n)
+	starts := make([]int64, n)
+	durs := make([]int64, n)
+	oks := make([]string, n)
+	traceID := ""
+	for i, s := range spans {
+		if traceID == "" {
+			traceID = FormatID(s.TraceID)
+		}
+		spanIDs[i] = FormatID(s.SpanID)
+		parents[i] = FormatID(s.Parent)
+		names[i] = s.Name
+		services[i] = s.Service
+		starts[i] = s.Start.UnixNano()
+		durs[i] = int64(s.Duration)
+		if s.OK {
+			oks[i] = "true"
+		} else {
+			oks[i] = "false"
+		}
+	}
+	reply.SetInt("count", int64(n))
+	if traceID != "" {
+		reply.SetString("trace", traceID)
+	}
+	reply.Set("spanids", cmdlang.StringVector(spanIDs...))
+	reply.Set("parents", cmdlang.StringVector(parents...))
+	reply.Set("names", cmdlang.StringVector(names...))
+	reply.Set("services", cmdlang.StringVector(services...))
+	reply.Set("starts", cmdlang.IntVector(starts...))
+	reply.Set("durs", cmdlang.IntVector(durs...))
+	reply.Set("oks", cmdlang.WordVector(oks...))
+	return reply
+}
+
+// DecodeSpans is the inverse of EncodeSpans.
+func DecodeSpans(c *cmdlang.CmdLine) ([]Span, error) {
+	spanIDs := c.Strings("spanids")
+	parents := c.Strings("parents")
+	names := c.Strings("names")
+	services := c.Strings("services")
+	starts := c.Vector("starts")
+	durs := c.Vector("durs")
+	oks := c.Strings("oks")
+	n := len(spanIDs)
+	if len(parents) != n || len(names) != n || len(services) != n ||
+		len(starts) != n || len(durs) != n || len(oks) != n {
+		return nil, fmt.Errorf("telemetry: span vectors length mismatch")
+	}
+	var traceID uint64
+	if t := c.Str("trace", ""); t != "" {
+		id, err := ParseID(t)
+		if err != nil {
+			return nil, err
+		}
+		traceID = id
+	}
+	spans := make([]Span, 0, n)
+	for i := 0; i < n; i++ {
+		sid, err := ParseID(spanIDs[i])
+		if err != nil {
+			return nil, err
+		}
+		pid, err := ParseID(parents[i])
+		if err != nil {
+			return nil, err
+		}
+		start, _ := starts[i].AsInt()
+		dur, _ := durs[i].AsInt()
+		spans = append(spans, Span{
+			TraceID:  traceID,
+			SpanID:   sid,
+			Parent:   pid,
+			Name:     names[i],
+			Service:  services[i],
+			Start:    time.Unix(0, start),
+			Duration: time.Duration(dur),
+			OK:       oks[i] == "true",
+		})
+	}
+	return spans, nil
+}

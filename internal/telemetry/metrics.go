@@ -1,0 +1,329 @@
+// Package telemetry is the measurement substrate of the ACE
+// reproduction: a metrics registry (counters, gauges, fixed-bucket
+// latency histograms) with lock-free atomic hot paths, and a
+// distributed request-tracing facility (trace contexts propagated in
+// the wire frame, spans recorded into bounded per-daemon buffers).
+//
+// The paper's substrate reports host resources (HRM/SRM) and audit
+// events (netlog, §4.14) but nothing quantitative about the calls
+// themselves; this package supplies the numbers — call latency,
+// retry and breaker churn, quorum health, lease turnover — that the
+// "fast as the hardware allows" north star needs before any
+// performance change can be trusted.
+//
+// Instruments are created through a Registry and then used directly;
+// creation takes a lock, use never does. A nil *Registry (and the
+// nil instruments it hands out) is the no-op implementation: every
+// recording method is a nil-guarded no-op, so instrumented hot paths
+// can be compiled in unconditionally and disabled per daemon.
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing count. The zero value is
+// ready to use; a nil Counter discards all updates.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) {
+	if c == nil {
+		return
+	}
+	c.n.Add(delta)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.n.Load()
+}
+
+// Gauge is an instantaneous value (queue depth, open connections).
+// A nil Gauge discards all updates.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// LatencyBuckets are the fixed upper bounds of every latency
+// histogram, chosen to resolve both loopback microseconds and
+// multi-second timeout tails. The final implicit bucket is +Inf.
+var LatencyBuckets = []time.Duration{
+	50 * time.Microsecond,
+	100 * time.Microsecond,
+	250 * time.Microsecond,
+	500 * time.Microsecond,
+	1 * time.Millisecond,
+	2500 * time.Microsecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	25 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	250 * time.Millisecond,
+	500 * time.Millisecond,
+	1 * time.Second,
+	2500 * time.Millisecond,
+}
+
+// NumBuckets is the bucket count of every histogram, including the
+// +Inf overflow bucket.
+var NumBuckets = len(LatencyBuckets) + 1
+
+// Histogram is a fixed-bucket latency histogram. Observation is a
+// linear scan over 16 buckets plus two atomic adds — no locks, no
+// allocation. The total count is derived from the buckets on read,
+// keeping the write path as light as possible. A nil Histogram
+// discards all observations.
+type Histogram struct {
+	buckets [16]atomic.Int64 // len(LatencyBuckets)+1; last is +Inf
+	sum     atomic.Int64     // nanoseconds
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(LatencyBuckets) && d > LatencyBuckets[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.sum.Add(int64(d))
+}
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	var n int64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// Sum returns the total observed duration (0 for nil).
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
+// Buckets snapshots the per-bucket counts. The last element is the
+// +Inf overflow bucket.
+func (h *Histogram) Buckets() []int64 {
+	if h == nil {
+		return make([]int64, NumBuckets)
+	}
+	out := make([]int64, NumBuckets)
+	for i := range out {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// Min returns a lower bound for the smallest observation: the upper
+// bound of the bucket below the first non-empty one (0 for the first
+// bucket). Used by tests asserting injected latency is visible.
+func (h *Histogram) Min() time.Duration {
+	if h == nil {
+		return 0
+	}
+	for i := 0; i < NumBuckets; i++ {
+		if h.buckets[i].Load() > 0 {
+			if i == 0 {
+				return 0
+			}
+			return LatencyBuckets[i-1]
+		}
+	}
+	return 0
+}
+
+// Registry names and owns a daemon's instruments. Instrument lookup
+// is get-or-create under a mutex; the returned instrument is then
+// used lock-free. A nil *Registry is the disabled registry: it hands
+// out nil instruments and empty snapshots.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty, enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named latency histogram, creating it on
+// first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// ScalarPoint is one named counter or gauge value in a snapshot.
+type ScalarPoint struct {
+	Name  string
+	Value int64
+}
+
+// HistogramPoint is one named histogram in a snapshot.
+type HistogramPoint struct {
+	Name    string
+	Count   int64
+	Sum     time.Duration
+	Buckets []int64 // len == NumBuckets; last is +Inf
+}
+
+// Snapshot is a consistent-enough point-in-time copy of a registry:
+// each instrument is read atomically, instruments are not mutually
+// synchronized (they never are in any metrics system).
+type Snapshot struct {
+	Counters   []ScalarPoint
+	Gauges     []ScalarPoint
+	Histograms []HistogramPoint
+}
+
+// Counter returns the named counter's value from the snapshot (0
+// when absent).
+func (s *Snapshot) Counter(name string) int64 {
+	for _, p := range s.Counters {
+		if p.Name == name {
+			return p.Value
+		}
+	}
+	return 0
+}
+
+// Gauge returns the named gauge's value from the snapshot (0 when
+// absent).
+func (s *Snapshot) Gauge(name string) int64 {
+	for _, p := range s.Gauges {
+		if p.Name == name {
+			return p.Value
+		}
+	}
+	return 0
+}
+
+// Histogram returns the named histogram point and whether it exists.
+func (s *Snapshot) Histogram(name string) (HistogramPoint, bool) {
+	for _, p := range s.Histograms {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return HistogramPoint{}, false
+}
+
+// Snapshot copies every instrument, sorted by name.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, ScalarPoint{Name: name, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, ScalarPoint{Name: name, Value: g.Value()})
+	}
+	for name, h := range r.histograms {
+		s.Histograms = append(s.Histograms, HistogramPoint{
+			Name:    name,
+			Count:   h.Count(),
+			Sum:     h.Sum(),
+			Buckets: h.Buckets(),
+		})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}

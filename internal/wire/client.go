@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"ace/internal/cmdlang"
+	"ace/internal/telemetry"
 )
 
 // ErrClosed is returned by calls on a closed client. A Send that
@@ -55,6 +56,8 @@ type Client struct {
 
 	callTimeout time.Duration
 
+	metrics atomic.Pointer[Metrics]
+
 	dead     chan struct{} // closed exactly once when the connection fails
 	deadOnce sync.Once
 }
@@ -85,6 +88,14 @@ func (c *Client) getCallTimeout() time.Duration {
 	defer c.mu.Unlock()
 	return c.callTimeout
 }
+
+// SetMetrics installs the telemetry instrument group recording this
+// connection's traffic (nil disables). Safe to call concurrently
+// with in-flight traffic.
+func (c *Client) SetMetrics(m *Metrics) { c.metrics.Store(m) }
+
+// m returns the active instrument group; may be nil (no-op).
+func (c *Client) m() *Metrics { return c.metrics.Load() }
 
 // Dial connects to a daemon command port using the transport's TLS
 // client configuration (or plaintext when the transport is nil or
@@ -139,7 +150,14 @@ func NewClient(conn net.Conn) *Client {
 
 func (c *Client) readLoop() {
 	for {
-		cmd, err := ReadCmd(c.conn)
+		payload, err := ReadFrame(c.conn)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.m().FrameRecv(len(payload))
+		_, text := SplitPayload(payload)
+		cmd, err := cmdlang.Parse(string(text))
 		if err != nil {
 			c.fail(err)
 			return
@@ -218,7 +236,10 @@ func (c *Client) CallRaw(cmd *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
 	return c.CallRawContext(context.Background(), cmd)
 }
 
-// CallRawContext is CallRaw bounded by ctx (see CallContext).
+// CallRawContext is CallRaw bounded by ctx (see CallContext). When
+// ctx carries a telemetry span context, the outgoing frame carries a
+// trace header for a fresh child span, so the receiving daemon's
+// recorded span parents correctly under the caller's.
 func (c *Client) CallRawContext(ctx context.Context, cmd *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
 	if _, ok := ctx.Deadline(); !ok {
 		var cancel context.CancelFunc
@@ -228,6 +249,11 @@ func (c *Client) CallRawContext(ctx context.Context, cmd *cmdlang.CmdLine) (*cmd
 	seq := c.seq.Add(1)
 	cmd = cmd.Clone()
 	cmd.SetInt(cmdlang.SeqArg, seq)
+
+	var trace telemetry.SpanContext
+	if sc := telemetry.FromContext(ctx); sc.Valid() {
+		trace = sc.NewChild()
+	}
 
 	ch := make(chan *cmdlang.CmdLine, 1)
 	c.mu.Lock()
@@ -242,7 +268,8 @@ func (c *Client) CallRawContext(ctx context.Context, cmd *cmdlang.CmdLine) (*cmd
 	c.pending[seq] = ch
 	c.mu.Unlock()
 
-	if err := c.write(ctx, cmd); err != nil {
+	start := time.Now()
+	if err := c.write(ctx, EncodePayload(trace, cmd.String())); err != nil {
 		c.mu.Lock()
 		delete(c.pending, seq)
 		c.mu.Unlock()
@@ -254,11 +281,15 @@ func (c *Client) CallRawContext(ctx context.Context, cmd *cmdlang.CmdLine) (*cmd
 		if !ok {
 			return nil, c.terminalErr()
 		}
+		c.m().CallDone(time.Since(start))
 		return reply, nil
 	case <-ctx.Done():
 		c.mu.Lock()
 		delete(c.pending, seq)
 		c.mu.Unlock()
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			c.m().CallTimeout()
+		}
 		return nil, ctx.Err()
 	}
 }
@@ -266,21 +297,23 @@ func (c *Client) CallRawContext(ctx context.Context, cmd *cmdlang.CmdLine) (*cmd
 // write sends one frame under the context's deadline. A write error
 // is terminal for the whole connection: part of the frame may already
 // be on the wire, so the framing stream can no longer be trusted.
-func (c *Client) write(ctx context.Context, cmd *cmdlang.CmdLine) error {
+func (c *Client) write(ctx context.Context, payload []byte) error {
 	deadline, hasDeadline := ctx.Deadline()
 	c.writeMu.Lock()
 	if hasDeadline {
 		c.conn.SetWriteDeadline(deadline) //nolint:errcheck — best effort on dying conns
 	}
-	err := WriteCmd(c.conn, cmd)
+	err := WriteFrame(c.conn, payload)
 	if hasDeadline {
 		c.conn.SetWriteDeadline(time.Time{}) //nolint:errcheck
 	}
 	c.writeMu.Unlock()
 	if err != nil {
 		c.fail(err)
+		return err
 	}
-	return err
+	c.m().FrameSent(len(payload))
+	return nil
 }
 
 func (c *Client) terminalErr() error {
@@ -298,15 +331,29 @@ func (c *Client) terminalErr() error {
 // error means bytes may have reached the wire and the connection has
 // been torn down.
 func (c *Client) Send(cmd *cmdlang.CmdLine) error {
+	return c.SendContext(context.Background(), cmd)
+}
+
+// SendContext is Send with a caller context: its deadline (if any)
+// bounds the write, and a telemetry span context on it is propagated
+// as a trace header (a fresh child span per delivery).
+func (c *Client) SendContext(ctx context.Context, cmd *cmdlang.CmdLine) error {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return ErrClosed
 	}
 	c.mu.Unlock()
-	ctx, cancel := context.WithTimeout(context.Background(), c.getCallTimeout())
-	defer cancel()
-	return c.write(ctx, cmd)
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.getCallTimeout())
+		defer cancel()
+	}
+	var trace telemetry.SpanContext
+	if sc := telemetry.FromContext(ctx); sc.Valid() {
+		trace = sc.NewChild()
+	}
+	return c.write(ctx, EncodePayload(trace, cmd.String()))
 }
 
 // StartHeartbeat begins liveness probing: every interval the client
@@ -335,6 +382,7 @@ func (c *Client) StartHeartbeat(interval time.Duration) {
 					// Any reply — even "fail unknown_command" — proves
 					// liveness; CallRaw only errs on transport trouble
 					// or a missed deadline.
+					c.m().HeartbeatKill()
 					c.fail(fmt.Errorf("wire: heartbeat: %w", err))
 					return
 				}

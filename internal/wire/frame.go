@@ -10,6 +10,7 @@ import (
 	"io"
 
 	"ace/internal/cmdlang"
+	"ace/internal/telemetry"
 )
 
 // MaxFrameSize bounds a single command frame. ACE commands are small
@@ -54,16 +55,74 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 	return payload, nil
 }
 
+// Trace header. A frame payload optionally begins with a trace
+// header carrying the caller's span context:
+//
+//	[0x01][hdrlen:1][traceID:8][spanID:8][parent:8][command text]
+//
+// The marker byte 0x01 can never begin a headerless payload, because
+// command text always starts with a word character ([A-Za-z_]) or
+// whitespace — so readers accept both forms and old peers that send
+// plain payloads keep round-tripping unchanged. hdrlen counts the
+// bytes between it and the command text; readers skip bytes beyond
+// the 24 they understand, giving future versions room to extend the
+// header without breaking this one. Headers are only emitted for
+// traced calls, so untraced traffic is byte-identical to the old
+// format in both directions.
+const (
+	traceMagic     = 0x01
+	traceHeaderLen = 24
+)
+
+// EncodePayload renders a frame payload: the command text, prefixed
+// with a trace header when sc is valid.
+func EncodePayload(sc telemetry.SpanContext, cmdText string) []byte {
+	if !sc.Valid() {
+		return []byte(cmdText)
+	}
+	buf := make([]byte, 2+traceHeaderLen+len(cmdText))
+	buf[0] = traceMagic
+	buf[1] = traceHeaderLen
+	binary.BigEndian.PutUint64(buf[2:], sc.TraceID)
+	binary.BigEndian.PutUint64(buf[10:], sc.SpanID)
+	binary.BigEndian.PutUint64(buf[18:], sc.Parent)
+	copy(buf[2+traceHeaderLen:], cmdText)
+	return buf
+}
+
+// SplitPayload separates a frame payload into its trace context (the
+// zero SpanContext when the payload carries no header) and the
+// command text. Payloads that merely look like they start a header
+// but are malformed are returned whole, so the command parser
+// reports them instead of this layer guessing.
+func SplitPayload(payload []byte) (telemetry.SpanContext, []byte) {
+	if len(payload) < 2 || payload[0] != traceMagic {
+		return telemetry.SpanContext{}, payload
+	}
+	hlen := int(payload[1])
+	if hlen < traceHeaderLen || len(payload) < 2+hlen {
+		return telemetry.SpanContext{}, payload
+	}
+	sc := telemetry.SpanContext{
+		TraceID: binary.BigEndian.Uint64(payload[2:]),
+		SpanID:  binary.BigEndian.Uint64(payload[10:]),
+		Parent:  binary.BigEndian.Uint64(payload[18:]),
+	}
+	return sc, payload[2+hlen:]
+}
+
 // WriteCmd renders the command line and writes it as one frame.
 func WriteCmd(w io.Writer, c *cmdlang.CmdLine) error {
 	return WriteFrame(w, []byte(c.String()))
 }
 
-// ReadCmd reads one frame and parses it as a command line.
+// ReadCmd reads one frame, strips any trace header, and parses the
+// command line.
 func ReadCmd(r io.Reader) (*cmdlang.CmdLine, error) {
 	payload, err := ReadFrame(r)
 	if err != nil {
 		return nil, err
 	}
-	return cmdlang.Parse(string(payload))
+	_, text := SplitPayload(payload)
+	return cmdlang.Parse(string(text))
 }

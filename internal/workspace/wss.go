@@ -1,6 +1,7 @@
 package workspace
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -113,7 +114,7 @@ func (w *WSS) restore() error {
 }
 
 // checkpoint persists the registry after every mutation.
-func (w *WSS) checkpoint() error {
+func (w *WSS) checkpoint(ctx context.Context) error {
 	if w.cfg.Store == nil {
 		return nil
 	}
@@ -130,7 +131,7 @@ func (w *WSS) checkpoint() error {
 	if err != nil {
 		return err
 	}
-	_, err = w.cfg.Store.Put(w.cfg.StorePath, blob)
+	_, err = w.cfg.Store.PutContext(ctx, w.cfg.StorePath, blob)
 	return err
 }
 
@@ -139,6 +140,12 @@ func (w *WSS) checkpoint() error {
 // launches a server process through the SAL, records the instance,
 // and checkpoints.
 func (w *WSS) Create(owner, name string) (Info, error) {
+	return w.CreateContext(context.Background(), owner, name)
+}
+
+// CreateContext is Create with a caller context, so traced commands
+// carry their span onto the SAL, VNC, and store hops.
+func (w *WSS) CreateContext(ctx context.Context, owner, name string) (Info, error) {
 	if name == "" {
 		name = DefaultWorkspace
 	}
@@ -159,7 +166,7 @@ func (w *WSS) Create(owner, name string) (Info, error) {
 	// Scenario 1: the SAL finds a suitable host and its HAL launches
 	// the VNC server application there.
 	if w.cfg.SALAddr != "" {
-		reply, err := w.Pool().Call(w.cfg.SALAddr, cmdlang.New("launch").
+		reply, err := w.Pool().CallContext(ctx, w.cfg.SALAddr, cmdlang.New("launch").
 			SetString("app", "vncserver_"+owner+"_"+name).
 			SetFloat("work", 1e12). // long-running service process
 			SetInt("mem", 32<<20))
@@ -170,7 +177,7 @@ func (w *WSS) Create(owner, name string) (Info, error) {
 		info.PID = int(reply.Int("pid", 0))
 	}
 
-	if _, err := w.Pool().Call(vncAddr, cmdlang.New("vncCreate").
+	if _, err := w.Pool().CallContext(ctx, vncAddr, cmdlang.New("vncCreate").
 		SetWord("owner", owner).SetWord("name", name).
 		SetString("password", info.Password)); err != nil {
 		return Info{}, fmt.Errorf("wss: vncCreate: %w", err)
@@ -179,7 +186,7 @@ func (w *WSS) Create(owner, name string) (Info, error) {
 	w.mu.Lock()
 	w.workspaces[sessionKey(owner, name)] = &info
 	w.mu.Unlock()
-	if err := w.checkpoint(); err != nil {
+	if err := w.checkpoint(ctx); err != nil {
 		return Info{}, err
 	}
 	return info, nil
@@ -223,6 +230,12 @@ func (w *WSS) List(owner string) []string {
 // on the target, and only then removed from the source; the registry
 // is checkpointed so the move survives a WSS crash.
 func (w *WSS) Migrate(owner, name string) (Info, error) {
+	return w.MigrateContext(context.Background(), owner, name)
+}
+
+// MigrateContext is Migrate with a caller context, so traced commands
+// carry their span onto the export/import/teardown hops.
+func (w *WSS) MigrateContext(ctx context.Context, owner, name string) (Info, error) {
 	w.mu.Lock()
 	info, ok := w.workspaces[sessionKey(owner, name)]
 	if !ok {
@@ -243,7 +256,7 @@ func (w *WSS) Migrate(owner, name string) (Info, error) {
 	}
 
 	// Export the full session state from the source server.
-	exported, err := w.Pool().Call(cur.VNCAddr, cmdlang.New("vncExport").
+	exported, err := w.Pool().CallContext(ctx, cur.VNCAddr, cmdlang.New("vncExport").
 		SetWord("owner", owner).SetWord("name", name).
 		SetString("password", cur.Password))
 	if err != nil {
@@ -260,7 +273,7 @@ func (w *WSS) Migrate(owner, name string) (Info, error) {
 		SetString("password", moved.Password).
 		Set("screen", cmdlang.StringVector(exported.Strings("screen")...)).
 		Set("apps", cmdlang.StringVector(exported.Strings("apps")...))
-	if _, err := w.Pool().Call(target, importCmd); err != nil {
+	if _, err := w.Pool().CallContext(ctx, target, importCmd); err != nil {
 		return Info{}, fmt.Errorf("wss: import on %s: %w", target, err)
 	}
 
@@ -270,10 +283,10 @@ func (w *WSS) Migrate(owner, name string) (Info, error) {
 	w.mu.Lock()
 	*info = moved
 	w.mu.Unlock()
-	if err := w.checkpoint(); err != nil {
+	if err := w.checkpoint(ctx); err != nil {
 		return Info{}, err
 	}
-	w.Pool().Call(cur.VNCAddr, cmdlang.New("vncDelete").
+	w.Pool().CallContext(ctx, cur.VNCAddr, cmdlang.New("vncDelete").
 		SetWord("owner", owner).SetWord("name", name).
 		SetString("password", cur.Password)) //nolint:errcheck
 	return moved, nil
@@ -281,6 +294,11 @@ func (w *WSS) Migrate(owner, name string) (Info, error) {
 
 // Delete removes a workspace and its VNC session.
 func (w *WSS) Delete(owner, name string) error {
+	return w.DeleteContext(context.Background(), owner, name)
+}
+
+// DeleteContext is Delete with a caller context.
+func (w *WSS) DeleteContext(ctx context.Context, owner, name string) error {
 	w.mu.Lock()
 	info, ok := w.workspaces[sessionKey(owner, name)]
 	if ok {
@@ -290,10 +308,10 @@ func (w *WSS) Delete(owner, name string) error {
 	if !ok {
 		return fmt.Errorf("wss: no workspace %s/%s", owner, name)
 	}
-	w.Pool().Call(info.VNCAddr, cmdlang.New("vncDelete").
+	w.Pool().CallContext(ctx, info.VNCAddr, cmdlang.New("vncDelete").
 		SetWord("owner", owner).SetWord("name", name).
 		SetString("password", info.Password)) //nolint:errcheck — session may be gone with its server
-	return w.checkpoint()
+	return w.checkpoint(ctx)
 }
 
 // Count returns the number of managed workspaces.
@@ -323,8 +341,8 @@ func (w *WSS) install() {
 			{Name: "user", Kind: cmdlang.KindWord, Required: true},
 			{Name: "name", Kind: cmdlang.KindWord},
 		},
-	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
-		info, err := w.Create(c.Str("user", ""), c.Str("name", ""))
+	}, func(ctx *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		info, err := w.CreateContext(ctx.TraceContext(), c.Str("user", ""), c.Str("name", ""))
 		if err != nil {
 			return nil, err
 		}
@@ -362,8 +380,8 @@ func (w *WSS) install() {
 			{Name: "user", Kind: cmdlang.KindWord, Required: true},
 			{Name: "name", Kind: cmdlang.KindWord, Required: true},
 		},
-	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
-		info, err := w.Migrate(c.Str("user", ""), c.Str("name", ""))
+	}, func(ctx *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		info, err := w.MigrateContext(ctx.TraceContext(), c.Str("user", ""), c.Str("name", ""))
 		if err != nil {
 			return cmdlang.Fail(cmdlang.CodeUnavailable, err.Error()), nil
 		}
@@ -376,8 +394,8 @@ func (w *WSS) install() {
 			{Name: "user", Kind: cmdlang.KindWord, Required: true},
 			{Name: "name", Kind: cmdlang.KindWord, Required: true},
 		},
-	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
-		if err := w.Delete(c.Str("user", ""), c.Str("name", "")); err != nil {
+	}, func(ctx *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		if err := w.DeleteContext(ctx.TraceContext(), c.Str("user", ""), c.Str("name", "")); err != nil {
 			return cmdlang.Fail(cmdlang.CodeNotFound, err.Error()), nil
 		}
 		return nil, nil
