@@ -3,19 +3,25 @@
 
 GO ?= go
 
-.PHONY: all check build test race test-race chaos short bench bench-telemetry experiments examples fuzz fmt vet clean
+.PHONY: all check build test race test-race chaos short bench bench-telemetry experiments examples fuzz fmt vet lint clean
 
 all: build vet test
 
-# The full pre-merge gate: build, vet, plain tests, race-enabled
-# tests, and the deterministic chaos suite.
-check: build vet test test-race chaos
+# The full pre-merge gate: build, vet, the ACE-specific analyzers,
+# plain tests, race-enabled tests, and the deterministic chaos suite.
+check: build vet lint test test-race chaos
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# ACE-specific static analysis (docs/LINT.md): context propagation,
+# locks held across blocking I/O, discarded transport errors, verb
+# registration sanity, and nondeterminism in the chaos packages.
+lint:
+	$(GO) run ./cmd/acelint ./...
 
 test:
 	$(GO) test ./...

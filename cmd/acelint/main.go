@@ -1,0 +1,118 @@
+// Command acelint is ACE's static analyzer: five checks, built only
+// on the standard library's go/ast + go/parser + go/types, that
+// enforce the invariants PRs 1–2 introduced but nothing enforced
+// mechanically — context propagation on every RPC, no mutexes held
+// across wire I/O, no dropped transport errors, handler/semantics
+// registry agreement, and a deterministic chaos harness. See
+// docs/LINT.md.
+//
+// Usage:
+//
+//	acelint [-checks list] [packages]
+//
+// Findings print as "file:line: [check] message"; the exit status is
+// 1 when anything is found, 2 on usage or load errors. A finding is
+// suppressed by an `//acelint:ignore <check> <reason>` comment on the
+// flagged line or the line above; unused suppressions are themselves
+// findings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/scanner"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ace/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("acelint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	checks := fs.String("checks", "", "comma-separated checks to run (default: all)")
+	list := fs.Bool("list", false, "list available checks and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.All {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := lint.All
+	if *checks != "" {
+		var err error
+		analyzers, err = lint.ByName(*checks)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	prog, err := lint.Load(cwd, patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	bad := 0
+	for _, lerr := range prog.LoadErrors {
+		bad++
+		fmt.Fprintf(stdout, "%s\n", formatLoadError(cwd, lerr))
+	}
+	for _, finding := range lint.Run(prog, analyzers) {
+		bad++
+		pos := finding.Pos
+		fmt.Fprintf(stdout, "%s:%d: [%s] %s\n", relPath(cwd, pos.Filename), pos.Line, finding.Check, finding.Msg)
+	}
+	if bad > 0 {
+		fmt.Fprintf(stderr, "acelint: %d finding(s)\n", bad)
+		return 1
+	}
+	return 0
+}
+
+// formatLoadError renders parse and type errors in the same
+// file:line: [check] shape as analyzer findings.
+func formatLoadError(cwd string, err error) string {
+	switch e := err.(type) {
+	case types.Error:
+		pos := e.Fset.Position(e.Pos)
+		return fmt.Sprintf("%s:%d: [typecheck] %s", relPath(cwd, pos.Filename), pos.Line, e.Msg)
+	case scanner.ErrorList:
+		if len(e) > 0 {
+			return fmt.Sprintf("%s:%d: [parse] %s", relPath(cwd, e[0].Pos.Filename), e[0].Pos.Line, e[0].Msg)
+		}
+	case *scanner.Error:
+		return fmt.Sprintf("%s:%d: [parse] %s", relPath(cwd, e.Pos.Filename), e.Pos.Line, e.Msg)
+	}
+	return fmt.Sprintf("[load] %v", err)
+}
+
+// relPath shortens absolute finding paths relative to the working
+// directory for readable, clickable output.
+func relPath(cwd, path string) string {
+	if rel, err := filepath.Rel(cwd, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
+}

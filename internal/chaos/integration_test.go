@@ -183,7 +183,12 @@ func TestChaosASDLeaseSurvivesDirectoryRestart(t *testing.T) {
 	// until a fresh, empty directory comes up behind the same proxy
 	// address.
 	dir1.Stop()
-	time.Sleep(300 * time.Millisecond) // several failed renewals accrue
+	// Deliberate fault-window pacing, not synchronization: the test
+	// holds the directory down long enough for several renewal attempts
+	// (one per ~66 ms) to fail at the transport level. There is no
+	// externally observable state to poll for a failed renewal.
+	//acelint:ignore detrand fixed fault window; failed renewals are not observable to poll
+	time.Sleep(300 * time.Millisecond)
 	dir2 := asd.New(asd.Config{ReapInterval: 20 * time.Millisecond})
 	if err := dir2.Start(); err != nil {
 		t.Fatal(err)

@@ -209,6 +209,8 @@ type Daemon struct {
 	// per-verb histograms live on each handlerEntry.
 	dispatchOther *telemetry.Histogram
 	notifySent    *telemetry.Counter
+	notifyErrs    *telemetry.Counter
+	deregErrs     *telemetry.Counter
 	connsActive   *telemetry.Gauge
 }
 
@@ -219,6 +221,8 @@ const (
 	MetricDispatchPrefix = "daemon.dispatch."
 	MetricDispatchOther  = "daemon.dispatch.other"
 	MetricNotifySent     = "daemon.notify.sent"
+	MetricNotifyErrors   = "daemon.notify.errors"
+	MetricDeregErrors    = "daemon.stop.dereg_errors"
 	MetricConnsActive    = "daemon.conns.active"
 )
 
@@ -281,6 +285,8 @@ func New(cfg Config) *Daemon {
 		wireMetrics:   wm,
 		dispatchOther: tel.Histogram(MetricDispatchOther),
 		notifySent:    tel.Counter(MetricNotifySent),
+		notifyErrs:    tel.Counter(MetricNotifyErrors),
+		deregErrs:     tel.Counter(MetricDeregErrors),
 		connsActive:   tel.Gauge(MetricConnsActive),
 	}
 	d.installBuiltins()
@@ -525,13 +531,19 @@ func (d *Daemon) Stop() {
 	d.mu.Unlock()
 
 	// Graceful deregistration (best effort; infrastructure daemons
-	// may already be gone).
+	// may already be gone). Failures never block shutdown, but they
+	// are counted so an operator can see when services exit without
+	// cleanly leaving the directory.
 	if d.cfg.ASDAddr != "" {
-		d.pool.Call(d.cfg.ASDAddr, cmdlang.New(CmdUnregister).SetWord("name", wordOr(d.cfg.Name))) //nolint:errcheck
+		if _, err := d.pool.Call(d.cfg.ASDAddr, cmdlang.New(CmdUnregister).SetWord("name", wordOr(d.cfg.Name))); err != nil {
+			d.deregErrs.Inc()
+		}
 	}
 	if d.cfg.RoomDBAddr != "" {
-		d.pool.Call(d.cfg.RoomDBAddr, cmdlang.New(CmdRemoveService).
-			SetWord("room", wordOr(d.cfg.Room)).SetWord("service", wordOr(d.cfg.Name))) //nolint:errcheck
+		if _, err := d.pool.Call(d.cfg.RoomDBAddr, cmdlang.New(CmdRemoveService).
+			SetWord("room", wordOr(d.cfg.Room)).SetWord("service", wordOr(d.cfg.Name))); err != nil {
+			d.deregErrs.Inc()
+		}
 	}
 	if d.cfg.NetLogAddr != "" {
 		stopCmd := cmdlang.New(CmdLogEvent).
@@ -541,7 +553,9 @@ func (d *Daemon) Stop() {
 		if d.cfg.Room != "" {
 			stopCmd.SetWord("room", wordOr(d.cfg.Room))
 		}
-		d.pool.Call(d.cfg.NetLogAddr, stopCmd) //nolint:errcheck
+		if _, err := d.pool.Call(d.cfg.NetLogAddr, stopCmd); err != nil {
+			d.deregErrs.Inc()
+		}
 	}
 
 	close(d.done)

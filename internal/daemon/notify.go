@@ -107,7 +107,11 @@ func (d *Daemon) dispatchNotifications(ctx *Ctx, cmd *cmdlang.CmdLine) {
 		d.wg.Add(1)
 		go func() {
 			defer d.wg.Done()
-			d.pool.SendContext(tctx, target.Addr, msg) //nolint:errcheck — listeners may be gone; ASD lease expiry reaps them
+			// Listeners may be gone (ASD lease expiry reaps them);
+			// count the failure instead of stalling the fan-out.
+			if err := d.pool.SendContext(tctx, target.Addr, msg); err != nil {
+				d.notifyErrs.Inc()
+			}
 		}()
 	}
 }

@@ -242,12 +242,12 @@ func (p *Pool) GetContext(ctx context.Context, addr string) (*wire.Client, error
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
-		c.Close()
+		_ = c.Close()
 		return nil, wire.ErrClosed
 	}
 	if existing, ok := p.clients[addr]; ok {
 		p.mu.Unlock()
-		c.Close()
+		_ = c.Close()
 		return existing, nil
 	}
 	p.clients[addr] = c
@@ -266,7 +266,7 @@ func (p *Pool) drop(addr string, c *wire.Client) {
 		delete(p.clients, addr)
 	}
 	p.mu.Unlock()
-	c.Close()
+	_ = c.Close()
 }
 
 // backoff sleeps the capped exponential delay for retry attempt n
@@ -388,7 +388,7 @@ func (p *Pool) SendContext(ctx context.Context, addr string, cmd *cmdlang.CmdLin
 				return fmt.Errorf("daemon: %s: %w", addr, err)
 			}
 		}
-		c, err := p.Get(addr)
+		c, err := p.GetContext(ctx, addr)
 		if err != nil {
 			if br != nil {
 				br.failure()
@@ -426,6 +426,6 @@ func (p *Pool) Close() {
 	p.clients = map[string]*wire.Client{}
 	p.mu.Unlock()
 	for _, c := range clients {
-		c.Close()
+		_ = c.Close()
 	}
 }

@@ -87,7 +87,17 @@ func RunE6() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	baseline := timeOp(n, func() { basePool.Call(base.Addr(), cmd) }) //nolint:errcheck
+	// A failed call would make the latency sample meaningless, so the
+	// measurement loop records the first error and aborts the run.
+	var callErr error
+	baseline := timeOp(n, func() {
+		if _, err := basePool.Call(base.Addr(), cmd); err != nil && callErr == nil {
+			callErr = err
+		}
+	})
+	if callErr != nil {
+		return nil, fmt.Errorf("E6 baseline: %w", callErr)
+	}
 	basePool.Close()
 	base.Stop()
 	t.AddRow("ungated", 0, float64(baseline)/float64(time.Microsecond), "1.00x")
@@ -128,7 +138,15 @@ func RunE6() (*Table, error) {
 		if _, err := pool.Call(d.Addr(), cmd); err != nil {
 			return nil, fmt.Errorf("E6 %s depth %d: %w", cfg.label, cfg.depth, err)
 		}
-		lat := timeOp(n, func() { pool.Call(d.Addr(), cmd) }) //nolint:errcheck
+		callErr = nil
+		lat := timeOp(n, func() {
+			if _, err := pool.Call(d.Addr(), cmd); err != nil && callErr == nil {
+				callErr = err
+			}
+		})
+		if callErr != nil {
+			return nil, fmt.Errorf("E6 %s depth %d: %w", cfg.label, cfg.depth, callErr)
+		}
 		t.AddRow(cfg.label, cfg.depth,
 			float64(lat)/float64(time.Microsecond),
 			fmt.Sprintf("%.2fx", float64(lat)/float64(baseline)))

@@ -57,15 +57,25 @@ func RunE3() (*Table, error) {
 		}
 		regUs := float64(time.Since(regStart).Microseconds()) / float64(size)
 
+		// Record the first lookup failure: a dead directory would
+		// otherwise be reported as an impossibly fast lookup time.
+		var lookupErr error
 		const lookups = 2000
 		byName := timeOp(lookups, func() {
-			pool.Call(dir.Addr(), cmdlang.New(daemon.CmdLookup).
-				SetWord("name", fmt.Sprintf("svc%05d", size/2))) //nolint:errcheck
+			if _, err := pool.Call(dir.Addr(), cmdlang.New(daemon.CmdLookup).
+				SetWord("name", fmt.Sprintf("svc%05d", size/2))); err != nil && lookupErr == nil {
+				lookupErr = err
+			}
 		})
 		byClass := timeOp(200, func() {
-			pool.Call(dir.Addr(), cmdlang.New(daemon.CmdLookup).
-				SetString("class", hier.ClassDevice).SetInt("limit", 5)) //nolint:errcheck
+			if _, err := pool.Call(dir.Addr(), cmdlang.New(daemon.CmdLookup).
+				SetString("class", hier.ClassDevice).SetInt("limit", 5)); err != nil && lookupErr == nil {
+				lookupErr = err
+			}
 		})
+		if lookupErr != nil {
+			return nil, fmt.Errorf("E10 lookups at size %d: %w", size, lookupErr)
+		}
 
 		// Expire half the directory and reap.
 		for i := 0; i < size/2; i++ {
@@ -285,7 +295,7 @@ func RunE11() (*Table, error) {
 					errCh <- err
 					return
 				}
-				defer cl.Close()
+				defer func() { _ = cl.Close() }()
 				for i := 0; i < perClient; i++ {
 					if _, err := cl.Call(cmd()); err != nil {
 						errCh <- err
@@ -354,7 +364,7 @@ func RunE12() (*Table, error) {
 			if _, err := c.Call(cmdlang.New(daemon.CmdPing)); err != nil {
 				return err
 			}
-			c.Close()
+			_ = c.Close()
 		}
 		dialMs := float64(time.Since(dialStart)/dials) / float64(time.Millisecond)
 
@@ -362,8 +372,16 @@ func RunE12() (*Table, error) {
 		if err != nil {
 			return err
 		}
-		defer c.Close()
-		lat := timeOp(3000, func() { c.Call(cmdlang.New(daemon.CmdPing)) }) //nolint:errcheck
+		defer func() { _ = c.Close() }()
+		var pingErr error
+		lat := timeOp(3000, func() {
+			if _, err := c.Call(cmdlang.New(daemon.CmdPing)); err != nil && pingErr == nil {
+				pingErr = err
+			}
+		})
+		if pingErr != nil {
+			return pingErr
+		}
 		t.AddRow(label, dialMs, float64(lat)/float64(time.Microsecond))
 		return nil
 	}

@@ -146,7 +146,15 @@ func RunE2() (*Table, error) {
 		if _, err := pool.Call(d.Addr(), m.aceCmd); err != nil {
 			return nil, err
 		}
-		aceLat := timeOp(n, func() { pool.Call(d.Addr(), m.aceCmd) }) //nolint:errcheck
+		var aceErr error
+		aceLat := timeOp(n, func() {
+			if _, err := pool.Call(d.Addr(), m.aceCmd); err != nil && aceErr == nil {
+				aceErr = err
+			}
+		})
+		if aceErr != nil {
+			return nil, aceErr
+		}
 
 		// RMI bytes: measure the steady-state per-call delta (gob
 		// sends type descriptors once per stream, like Java's

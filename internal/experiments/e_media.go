@@ -182,7 +182,15 @@ func RunE14() (*Table, error) {
 		if _, err := pool.Call(conv.Addr(), callCmd); err != nil {
 			return nil, err
 		}
-		sd := timeOp(10, func() { pool.Call(conv.Addr(), callCmd) }) //nolint:errcheck
+		var convErr error
+		sd := timeOp(10, func() {
+			if _, err := pool.Call(conv.Addr(), callCmd); err != nil && convErr == nil {
+				convErr = err
+			}
+		})
+		if convErr != nil {
+			return nil, convErr
+		}
 
 		t.AddRow(kb, float64(len(out))/1024,
 			fmt.Sprintf("%.1f%%", 100*float64(len(out))/float64(len(payload))),

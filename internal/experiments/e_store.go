@@ -53,12 +53,20 @@ func RunE10() (*Table, error) {
 		}
 		res.putUs = float64(time.Since(putStart).Microseconds()) / items
 
+		var getErr error
 		res.getUs = float64(timeOp(500, func() {
-			client.Get("/e10/100") //nolint:errcheck
+			if _, _, _, err := client.Get("/e10/100"); err != nil && getErr == nil {
+				getErr = err
+			}
 		})) / float64(time.Microsecond)
 		res.getAnyUs = float64(timeOp(500, func() {
-			client.GetAny("/e10/100") //nolint:errcheck
+			if _, _, _, err := client.GetAny("/e10/100"); err != nil && getErr == nil {
+				getErr = err
+			}
 		})) / float64(time.Microsecond)
+		if getErr != nil {
+			return res, getErr
+		}
 
 		// Bottleneck removal: many concurrent readers, each using
 		// GetAny spread over its own replica-ordered client.
@@ -69,6 +77,7 @@ func RunE10() (*Table, error) {
 			before[i] = node.Stats().CommandsOK
 		}
 		var wg sync.WaitGroup
+		readErrs := make(chan error, readers)
 		start := time.Now()
 		for r := 0; r < readers; r++ {
 			wg.Add(1)
@@ -81,11 +90,19 @@ func RunE10() (*Table, error) {
 				defer p.Close()
 				c := pstore.NewClient(p, rot)
 				for i := 0; i < perReader; i++ {
-					c.GetAny(fmt.Sprintf("/e10/%03d", i%items)) //nolint:errcheck
+					if _, _, _, err := c.GetAny(fmt.Sprintf("/e10/%03d", i%items)); err != nil {
+						readErrs <- err
+						return
+					}
 				}
 			}(r)
 		}
 		wg.Wait()
+		select {
+		case err := <-readErrs:
+			return res, err
+		default:
+		}
 		res.parallelReadRate = float64(readers*perReader) / time.Since(start).Seconds()
 		var total, max int64
 		for i, node := range cluster.Nodes {
@@ -237,7 +254,9 @@ func RunE13() (*Table, error) {
 		}
 		restartTimes = append(restartTimes, time.Since(start))
 		// Crash it again for the next trial.
-		pool.Call(dir.Addr(), cmdlang.New(daemon.CmdUnregister).SetWord("name", "e13app")) //nolint:errcheck
+		if _, err := pool.Call(dir.Addr(), cmdlang.New(daemon.CmdUnregister).SetWord("name", "e13app")); err != nil {
+			return nil, fmt.Errorf("E13: deregistering e13app for trial %d: %w", i, err)
+		}
 	}
 	t.AddRow("restart (watcher relaunch)", trials,
 		meanMs(restartTimes), float64(percentile(restartTimes, 95))/float64(time.Millisecond), "n/a")

@@ -107,12 +107,18 @@ func RunX1() (*Table, error) {
 		var times []time.Duration
 		for i := 0; i < trials; i++ {
 			inst.Stop()
+			startErr := make(chan error, 1)
 			go func() {
 				time.Sleep(20 * time.Millisecond)
 				inst = newInst("x1b_solo", hier.Root+".X1B")
-				inst.Start() //nolint:errcheck
+				startErr <- inst.Start()
 			}()
 			start := time.Now()
+			// A failed respawn would leave Ping polling until its
+			// timeout; surface the root cause instead.
+			if err := <-startErr; err != nil {
+				return nil, fmt.Errorf("X1 cold restart trial %d: respawn: %w", i, err)
+			}
 			if err := sock.Ping(); err != nil {
 				return nil, fmt.Errorf("X1 cold restart trial %d: %w", i, err)
 			}

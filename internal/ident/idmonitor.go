@@ -33,6 +33,9 @@ type IDMonitorConfig struct {
 	// after a successful bring-up — the hook the access point's
 	// viewer launcher uses.
 	OnWorkspace func(user string, open *cmdlang.CmdLine)
+	// OnError, if set, receives errors from best-effort collaborator
+	// calls (AUD location updates) that do not abort identification.
+	OnError func(error)
 }
 
 // NewIDMonitor constructs the ID monitor daemon.
@@ -103,9 +106,13 @@ func (m *IDMonitor) handleIdentification(user, location string) {
 	m.mu.Unlock()
 
 	// Update the user's current location with the AUD (Scenario 2).
+	// Identification proceeds even if the AUD is briefly down; the
+	// stale-location window closes on the next sighting.
 	if m.cfg.AUDAddr != "" && location != "" {
-		m.Pool().Call(m.cfg.AUDAddr, cmdlang.New("setLocation").
-			SetWord("username", user).SetWord("room", location)) //nolint:errcheck — identification proceeds even if AUD is briefly down
+		if _, err := m.Pool().Call(m.cfg.AUDAddr, cmdlang.New("setLocation").
+			SetWord("username", user).SetWord("room", location)); err != nil && m.cfg.OnError != nil {
+			m.cfg.OnError(err)
+		}
 	}
 
 	// Bring the user's workspace up at the access point (Scenario 3).

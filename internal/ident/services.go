@@ -218,7 +218,7 @@ func (r *IButtonReader) install() {
 			{Name: "location", Kind: cmdlang.KindWord},
 		},
 	}, func(ctx *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
-		reply, err := r.Pool().Call(r.audAddr, cmdlang.New("byIButton").SetInt("serial", c.Int("serial", 0)))
+		reply, err := r.Pool().CallContext(ctx.TraceContext(), r.audAddr, cmdlang.New("byIButton").SetInt("serial", c.Int("serial", 0)))
 		if err != nil {
 			return cmdlang.Fail(cmdlang.CodeNotFound, "unknown iButton serial"), nil
 		}

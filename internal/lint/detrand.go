@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DetRand guards the determinism contract of the fault-injection
+// harness: chaos schedules replay byte-for-byte from a seed, so the
+// chaos packages (and their tests) must not smuggle in wall-clock or
+// process-global entropy. In any package whose import path contains
+// "chaos" it flags:
+//
+//   - time.Now() in non-test code — fault schedules must be derived
+//     from the seed, never from wall time (tests may poll wall-clock
+//     deadlines while waiting for real goroutines to converge);
+//   - the global math/rand source anywhere, tests included — only
+//     rand.New(rand.NewSource(seed)) streams replay;
+//   - sleep-based synchronization: time.Sleep with a compile-time
+//     constant duration outside any loop, tests included — "sleep 300ms
+//     and assume the fault fired" races the schedule; poll for the
+//     observable state instead (a constant sleep inside a polling loop
+//     is a poll interval and is fine).
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc:  "nondeterminism (wall clock, global rand, sleep sync) in the chaos harness",
+	Run:  runDetRand,
+}
+
+func runDetRand(pass *Pass) {
+	if !strings.Contains(pass.Pkg.Path, "chaos") {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		isTest := pass.Pkg.IsTestFile(pass.Fset, file.Pos())
+		checkDetRand(pass, file, isTest, 0)
+	}
+}
+
+// checkDetRand walks n tracking enclosing-loop depth, so constant
+// sleeps inside polling loops are not flagged.
+func checkDetRand(pass *Pass, n ast.Node, isTest bool, loopDepth int) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.ForStmt:
+			visitLoop(pass, m.Init, m.Cond, m.Post, isTest, loopDepth)
+			checkDetRand(pass, m.Body, isTest, loopDepth+1)
+			return false
+		case *ast.RangeStmt:
+			checkDetRand(pass, m.Body, isTest, loopDepth+1)
+			return false
+		case *ast.CallExpr:
+			checkDetRandCall(pass, m, isTest, loopDepth)
+		}
+		return true
+	})
+}
+
+// visitLoop checks the non-body clauses of a for statement at the
+// current (outer) loop depth.
+func visitLoop(pass *Pass, init, cond, post ast.Node, isTest bool, loopDepth int) {
+	for _, n := range []ast.Node{init, cond, post} {
+		if n != nil {
+			checkDetRand(pass, n, isTest, loopDepth)
+		}
+	}
+}
+
+func checkDetRandCall(pass *Pass, call *ast.CallExpr, isTest bool, loopDepth int) {
+	fn := pass.calleeFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	isMethod := sig != nil && sig.Recv() != nil
+
+	switch fn.Pkg().Path() {
+	case "time":
+		switch {
+		case fn.Name() == "Now" && !isTest:
+			pass.Reportf(call.Pos(), "time.Now() in the chaos harness: fault schedules must derive from the seed, not wall time")
+		case fn.Name() == "Sleep" && len(call.Args) == 1 && loopDepth == 0:
+			if tv, ok := pass.Pkg.Info.Types[call.Args[0]]; ok && tv.Value != nil {
+				pass.Reportf(call.Pos(), "constant time.Sleep used as synchronization races the fault schedule; poll for the observable state")
+			}
+		}
+	case "math/rand", "math/rand/v2":
+		if isMethod {
+			return // seeded *rand.Rand streams replay deterministically
+		}
+		switch fn.Name() {
+		case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+			return // constructors for seeded streams
+		}
+		pass.Reportf(call.Pos(), "global math/rand.%s is seeded from process entropy; use the schedule's seeded rand.New(rand.NewSource(seed))", fn.Name())
+	}
+}

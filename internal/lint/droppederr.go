@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DroppedErr flags error returns from the ACE transport and
+// persistence APIs (module-local wire, pstore, and daemon packages)
+// that are discarded in non-test code: a bare call statement, a call
+// under go/defer, or an error result assigned to the blank
+// identifier. A dropped transport error is how partitions and dead
+// peers turn into silent data loss.
+//
+// One deliberate carve-out: `_ = c.Close()` is accepted as an
+// explicit acknowledgment on teardown paths, but a bare `c.Close()`
+// or `defer c.Close()` on a wire connection is still flagged.
+var DroppedErr = &Analyzer{
+	Name: "droppederr",
+	Doc:  "discarded error return from a wire/pstore/daemon API",
+	Run:  runDroppedErr,
+}
+
+// errPkgs are the module-local package basenames whose error returns
+// must not be discarded.
+var errPkgs = map[string]bool{"wire": true, "pstore": true, "daemon": true}
+
+func runDroppedErr(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		if pass.Pkg.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				reportDropped(pass, n.X, "discarded")
+			case *ast.DeferStmt:
+				reportDropped(pass, n.Call, "discarded by defer")
+			case *ast.GoStmt:
+				reportDropped(pass, n.Call, "discarded by go")
+			case *ast.AssignStmt:
+				checkBlankErr(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// watchedCall resolves a call into an ACE transport/store/daemon
+// function or method whose results include an error, returning the
+// callee and the index of the error result (-1 if none).
+func watchedCall(pass *Pass, e ast.Expr) (*types.Func, int) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil, -1
+	}
+	fn := pass.calleeFunc(call)
+	if fn == nil || fn.Pkg() == nil || !pass.Prog.IsLocal(fn.Pkg().Path()) || !errPkgs[fn.Pkg().Name()] {
+		return nil, -1
+	}
+	if !fn.Exported() {
+		return nil, -1 // the API surface is the exported functions and methods
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil, -1
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			return fn, i
+		}
+	}
+	return nil, -1
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func describeCallee(pass *Pass, fn *types.Func) string {
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() != nil {
+		return "(" + pass.typeStr(sig.Recv().Type()) + ")." + fn.Name()
+	}
+	return fn.Pkg().Name() + "." + fn.Name()
+}
+
+func reportDropped(pass *Pass, e ast.Expr, how string) {
+	fn, errIdx := watchedCall(pass, e)
+	if fn == nil || errIdx < 0 {
+		return
+	}
+	pass.Reportf(e.Pos(), "error return of %s %s; handle it or assign it", describeCallee(pass, fn), how)
+}
+
+// checkBlankErr flags `_ = call()` and `x, _ := call()` where the
+// blank sits in the error result position, except `_ = Close()`.
+func checkBlankErr(pass *Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return // x, _ = a, b: the blank discards a value, not an error result
+	}
+	fn, errIdx := watchedCall(pass, as.Rhs[0])
+	if fn == nil || errIdx < 0 {
+		return
+	}
+	if fn.Name() == "Close" {
+		return // explicit `_ = c.Close()` acknowledges the teardown error
+	}
+	if errIdx >= len(as.Lhs) {
+		return
+	}
+	if id, ok := as.Lhs[errIdx].(*ast.Ident); ok && id.Name == "_" {
+		pass.Reportf(as.Pos(), "error return of %s assigned to _; handle it", describeCallee(pass, fn))
+	}
+}

@@ -1,0 +1,7 @@
+// Package bad fails to type-check: the driver must record the error
+// and keep analyzing the rest of the tree.
+package bad
+
+func Broken() int {
+	return undefinedIdentifier + 1
+}

@@ -1,0 +1,9 @@
+// Package chaos is healthy: its findings must still surface even
+// though a sibling package fails to type-check.
+package chaos
+
+import "time"
+
+func Tick() time.Time {
+	return time.Now() // the detrand violation the driver test expects
+}

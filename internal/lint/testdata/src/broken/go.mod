@@ -1,0 +1,3 @@
+module brokentest
+
+go 1.22

@@ -1,0 +1,7 @@
+// Package uses imports the broken package, so its own type checking
+// is degraded too; the driver must survive both.
+package uses
+
+import "brokentest/bad"
+
+func Depends() int { return bad.Broken() }

@@ -1,0 +1,19 @@
+// Package daemon is a stand-in for ace/internal/daemon: the handler
+// Ctx with TraceContext and a pool with context-aware variants.
+package daemon
+
+import "context"
+
+type Ctx struct{}
+
+func (c *Ctx) TraceContext() context.Context { return context.Background() }
+
+type Pool struct{}
+
+func (p *Pool) Send(addr, cmd string) error { return nil }
+
+func (p *Pool) SendContext(ctx context.Context, addr, cmd string) error { return nil }
+
+func (p *Pool) Call(addr, cmd string) (string, error) { return cmd, nil }
+
+func (p *Pool) CallContext(ctx context.Context, addr, cmd string) (string, error) { return cmd, nil }

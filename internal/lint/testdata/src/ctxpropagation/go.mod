@@ -1,0 +1,3 @@
+module ctxproptest
+
+go 1.22

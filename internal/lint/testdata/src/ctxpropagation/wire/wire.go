@@ -1,0 +1,15 @@
+// Package wire is a stand-in for ace/internal/wire: a client whose
+// Call has a context-aware sibling.
+package wire
+
+import "context"
+
+type Client struct{}
+
+func (c *Client) Call(cmd string) (string, error) { return cmd, nil }
+
+func (c *Client) CallContext(ctx context.Context, cmd string) (string, error) { return cmd, nil }
+
+// Ping has no *Context sibling, so calling it with a context in scope
+// is fine.
+func (c *Client) Ping() error { return nil }

@@ -1,0 +1,21 @@
+// Package chaos mirrors ace/internal/chaos: everything here must
+// replay deterministically from a seed.
+package chaos
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Schedule builds a fault schedule; all entropy must come from seed.
+func Schedule(seed int64) []time.Duration {
+	rng := rand.New(rand.NewSource(seed)) // seeded stream: fine
+	start := time.Now()                   // want `time\.Now\(\) in the chaos harness`
+	_ = start
+	jitter := rand.Intn(10) // want `global math/rand\.Intn is seeded from process entropy`
+	_ = jitter
+	time.Sleep(50 * time.Millisecond) // want `constant time\.Sleep used as synchronization`
+	d := time.Duration(rng.Intn(10)) * time.Millisecond
+	time.Sleep(d) // schedule-derived duration: fine
+	return []time.Duration{d}
+}

@@ -1,0 +1,22 @@
+package chaos
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// Tests may poll wall-clock deadlines while real goroutines converge,
+// but still may not use the global rand or bare synchronization
+// sleeps.
+func TestPolling(t *testing.T) {
+	deadline := time.Now().Add(time.Second) // wall-clock polling in tests: fine
+	for time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond) // poll interval inside a loop: fine
+		break
+	}
+	time.Sleep(20 * time.Millisecond) // want `constant time\.Sleep used as synchronization`
+	if rand.Intn(3) == 0 {            // want `global math/rand\.Intn is seeded from process entropy`
+		t.Log("unlucky")
+	}
+}

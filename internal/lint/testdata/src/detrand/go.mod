@@ -1,0 +1,3 @@
+module detrandtest
+
+go 1.22

@@ -1,0 +1,13 @@
+// Package other is outside the chaos harness: wall-clock and global
+// rand are out of detrand's scope here.
+package other
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Unscoped() int64 {
+	time.Sleep(time.Millisecond)
+	return time.Now().UnixNano() + int64(rand.Intn(3))
+}

@@ -1,0 +1,46 @@
+package app
+
+import (
+	"droppederrtest/daemon"
+	"droppederrtest/pstore"
+	"droppederrtest/wire"
+)
+
+// bareCalls discard the only failure signal the transport has.
+func bareCalls(c *wire.Client, p *daemon.Pool) {
+	c.Call("x")               // want `error return of \(\*wire\.Client\)\.Call discarded`
+	p.Call("asd", "register") // want `error return of \(\*daemon\.Pool\)\.Call discarded`
+	c.Closed()                // no error in the results: nothing to drop
+}
+
+// deferAndGo drop errors through defer and go statements.
+func deferAndGo(c *wire.Client, p *daemon.Pool) {
+	defer c.Close()            // want `error return of \(\*wire\.Client\)\.Close discarded by defer`
+	go p.Call("asd", "lookup") // want `error return of \(\*daemon\.Pool\)\.Call discarded by go`
+}
+
+// blanks assign the error result to _.
+func blanks(c *wire.Client, p *pstore.Client) {
+	_ = c.Send("x")           // want `error return of \(\*wire\.Client\)\.Send assigned to _`
+	v, _, _ := p.Get("k")     // want `error return of \(\*pstore\.Client\)\.Get assigned to _`
+	reply, _ := p.Put("k", v) // want `error return of \(\*pstore\.Client\)\.Put assigned to _`
+	_ = reply
+}
+
+// closeAcknowledged: `_ = Close()` is the explicit teardown form.
+func closeAcknowledged(c *wire.Client) {
+	_ = c.Close()
+}
+
+// handled is the correct shape everywhere else.
+func handled(c *wire.Client, p *pstore.Client) error {
+	if err := c.Send("x"); err != nil {
+		return err
+	}
+	v, ok, err := p.Get("k")
+	if err != nil || !ok {
+		return err
+	}
+	_, err = p.Put("k", v)
+	return err
+}

@@ -1,0 +1,10 @@
+package app
+
+import "droppederrtest/wire"
+
+// Test code is exempt: discarding errors in tests is the test
+// author's call.
+func helperForTests(c *wire.Client) {
+	c.Call("x")
+	defer c.Close()
+}

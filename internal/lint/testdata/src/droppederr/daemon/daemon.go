@@ -1,0 +1,12 @@
+// Package daemon is a stand-in for ace/internal/daemon.
+package daemon
+
+type Pool struct{}
+
+func (p *Pool) Call(addr, cmd string) (string, error) { return cmd, nil }
+
+// launder is unexported: not part of the API surface the check guards.
+func launder(err error) error { return err }
+
+// Helper calls launder so it is not unused.
+func Helper() error { return launder(nil) }

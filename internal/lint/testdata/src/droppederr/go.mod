@@ -1,0 +1,3 @@
+module droppederrtest
+
+go 1.22

@@ -1,0 +1,8 @@
+// Package pstore is a stand-in for ace/internal/pstore.
+package pstore
+
+type Client struct{}
+
+func (c *Client) Get(path string) (value string, ok bool, err error) { return "", false, nil }
+
+func (c *Client) Put(path, value string) (uint64, error) { return 0, nil }

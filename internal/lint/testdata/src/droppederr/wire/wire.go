@@ -1,0 +1,13 @@
+// Package wire is a stand-in for ace/internal/wire.
+package wire
+
+type Client struct{}
+
+func (c *Client) Call(cmd string) (string, error) { return cmd, nil }
+
+func (c *Client) Send(cmd string) error { return nil }
+
+func (c *Client) Close() error { return nil }
+
+// Closed returns no error; discarding its result is not an error drop.
+func (c *Client) Closed() bool { return false }

@@ -1,0 +1,3 @@
+module lockholdtest
+
+go 1.22

@@ -1,0 +1,37 @@
+package app
+
+import "suppresstest/wire"
+
+// trailingSuppression silences the finding on its own line.
+func trailingSuppression(c *wire.Client) {
+	c.Close() //acelint:ignore droppederr best-effort teardown probe, the error is uninteresting
+}
+
+// standaloneSuppression silences the finding on the next line.
+func standaloneSuppression(c *wire.Client) {
+	//acelint:ignore droppederr fire-and-forget wakeup, failure is retried by the scheduler
+	c.Call("wake")
+}
+
+// notSuppressed still reports: the suppression in the functions above
+// covers exactly one line each.
+func notSuppressed(c *wire.Client) {
+	c.Close() // want `error return of \(\*wire\.Client\)\.Close discarded`
+}
+
+// unusedSuppression names a check that finds nothing here, which is
+// itself an error so stale pragmas cannot accumulate.
+func unusedSuppression(c *wire.Client) error {
+	//acelint:ignore lockhold no lock is held anywhere near this call
+	// want-1 `unused acelint:ignore for "lockhold": no such finding here`
+	return c.Close()
+}
+
+// malformed directives: a missing reason and an unknown check name.
+func malformed(c *wire.Client) error {
+	//acelint:ignore droppederr
+	// want-1 `acelint:ignore droppederr needs a reason`
+	//acelint:ignore nosuchcheck because I said so
+	// want-1 `acelint:ignore names unknown check "nosuchcheck"`
+	return c.Close()
+}

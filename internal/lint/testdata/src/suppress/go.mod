@@ -1,0 +1,3 @@
+module suppresstest
+
+go 1.22

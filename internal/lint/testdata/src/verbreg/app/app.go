@@ -1,0 +1,32 @@
+package app
+
+import (
+	"verbregtest/cmdlang"
+	"verbregtest/daemon"
+)
+
+const verbStatus = "status"
+
+func register(d *daemon.Daemon, h daemon.Handler) {
+	d.Handle(cmdlang.CommandSpec{Name: "play"}, h)
+	d.Handle(cmdlang.CommandSpec{Name: verbStatus}, h) // constant names resolve through folding
+	d.Handle(cmdlang.CommandSpec{Doc: "nameless"}, h)  // want `d\.Handle registers a handler with no command name`
+	d.Handle(cmdlang.CommandSpec{Name: ""}, h)         // want `CommandSpec with empty Name declares no semantics entry`
+	d.Handle(cmdlang.CommandSpec{Name: "bad verb"}, h) // want `command name "bad verb" is not a legal cmdlang word`
+	d.Handle(cmdlang.CommandSpec{Name: "ok"}, h)       // want `command name "ok" collides with the reply encoders`
+	d.Handle(cmdlang.CommandSpec{Name: "play"}, h)     // want `duplicate registration of verb "play" on d`
+}
+
+// registerOther is a different daemon in a different function:
+// reusing the verb here is not a duplicate.
+func registerOther(d *daemon.Daemon, h daemon.Handler) {
+	d.Handle(cmdlang.CommandSpec{Name: "play"}, h)
+}
+
+// declaredSpecs: spec literals outside Handle calls get the same
+// well-formedness checks.
+var declaredSpecs = []cmdlang.CommandSpec{
+	{Name: "stop"},
+	{Name: "fail"},   // want `command name "fail" collides with the reply encoders`
+	{Name: "9lives"}, // want `command name "9lives" is not a legal cmdlang word`
+}

@@ -1,0 +1,13 @@
+// Package cmdlang is a stand-in for ace/internal/cmdlang.
+package cmdlang
+
+type ArgSpec struct {
+	Name     string
+	Required bool
+}
+
+type CommandSpec struct {
+	Name string
+	Args []ArgSpec
+	Doc  string
+}

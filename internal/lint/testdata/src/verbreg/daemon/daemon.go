@@ -1,0 +1,12 @@
+// Package daemon is a stand-in for ace/internal/daemon.
+package daemon
+
+import "verbregtest/cmdlang"
+
+type CmdLine struct{}
+
+type Handler func(cmd *CmdLine) (*CmdLine, error)
+
+type Daemon struct{}
+
+func (d *Daemon) Handle(spec cmdlang.CommandSpec, h Handler) {}

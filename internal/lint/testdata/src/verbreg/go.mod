@@ -1,0 +1,3 @@
+module verbregtest
+
+go 1.22

@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// VerbReg cross-checks daemon handler registrations against the
+// cmdlang command-semantics registry at the source level. Every
+// `d.Handle(cmdlang.CommandSpec{...}, h)` call (and every declared
+// CommandSpec literal) must carry a semantics entry the ACE command
+// parser can validate against:
+//
+//   - the spec names a verb (a missing or empty Name registers an
+//     unreachable handler);
+//   - the verb is a legal cmdlang word (Registry.Declare panics on
+//     anything else, but only at daemon construction time);
+//   - the verb does not collide with the reply encoders "ok"/"fail",
+//     whose names the return-command convention owns;
+//   - the same verb is not registered twice on one daemon within a
+//     function (the second Handle silently replaces the first).
+var VerbReg = &Analyzer{
+	Name: "verbreg",
+	Doc:  "handler registration without valid command semantics, or duplicate verb",
+	Run:  runVerbReg,
+}
+
+func runVerbReg(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkVerbRegs(pass, fd.Body)
+		}
+	}
+	// Spec-literal well-formedness applies everywhere a CommandSpec is
+	// built, including Declare/DeclareAll chains outside Handle calls.
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok || !isCommandSpec(pass, pass.TypeOf(cl)) {
+				return true
+			}
+			checkSpecLit(pass, cl)
+			return true
+		})
+	}
+}
+
+// checkVerbRegs tracks Handle calls per receiver within one function
+// body and reports duplicate verb registrations.
+func checkVerbRegs(pass *Pass, body *ast.BlockStmt) {
+	type regKey struct{ recv, verb string }
+	first := make(map[regKey]ast.Node)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, ok := handleCall(pass, call)
+		if !ok {
+			return true
+		}
+		lit, ok := ast.Unparen(call.Args[0]).(*ast.CompositeLit)
+		if !ok {
+			return true // spec built elsewhere; literal checks apply there
+		}
+		name, state := specName(pass, lit)
+		switch {
+		case state == nameAbsent:
+			pass.Reportf(call.Pos(), "%s.Handle registers a handler with no command name: no semantics entry is declared", recv)
+		case state == nameKnown && name != "": // empty name reported by the literal check
+			key := regKey{recv, name}
+			if prev, dup := first[key]; dup {
+				pass.Reportf(call.Pos(), "duplicate registration of verb %q on %s (previous at %s); the first handler is silently replaced",
+					name, recv, pass.Fset.Position(prev.Pos()))
+			} else {
+				first[key] = call
+			}
+		}
+		return true
+	})
+}
+
+// handleCall matches a `recv.Handle(spec, handler)` method call whose
+// first parameter is a cmdlang CommandSpec, returning the receiver's
+// printed form.
+func handleCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Handle" || len(call.Args) != 2 {
+		return "", false
+	}
+	fn := pass.calleeFunc(call)
+	if fn == nil {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Params().Len() != 2 {
+		return "", false
+	}
+	if !isCommandSpec(pass, sig.Params().At(0).Type()) {
+		return "", false
+	}
+	return types.ExprString(ast.Unparen(sel.X)), true
+}
+
+// isCommandSpec matches the cmdlang.CommandSpec type (by name, in a
+// module-local package, with Name/Args fields) so the golden-test
+// stand-ins qualify.
+func isCommandSpec(pass *Pass, t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Name() != "CommandSpec" || obj.Pkg() == nil || !pass.Prog.IsLocal(obj.Pkg().Path()) {
+		return false
+	}
+	s, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	hasName := false
+	for i := 0; i < s.NumFields(); i++ {
+		if s.Field(i).Name() == "Name" {
+			hasName = true
+		}
+	}
+	return hasName
+}
+
+// Name-field resolution states.
+const (
+	nameAbsent  = iota // no Name field in the literal
+	nameDynamic        // present but not a compile-time constant
+	nameKnown          // constant-folded to a string
+)
+
+// specName extracts the Name field from a CommandSpec composite
+// literal, resolving string literals and named constants (Name:
+// CmdPing) through the type checker's constant folding.
+func specName(pass *Pass, lit *ast.CompositeLit) (name string, state int) {
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != "Name" {
+			continue
+		}
+		if tv, ok := pass.Pkg.Info.Types[kv.Value]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+			return constant.StringVal(tv.Value), nameKnown
+		}
+		return "", nameDynamic
+	}
+	return "", nameAbsent
+}
+
+// reservedVerbs are owned by the reply-encoding convention: replies
+// are themselves command lines named "ok"/"fail", so a daemon that
+// registers them would shadow every return command it receives.
+var reservedVerbs = map[string]bool{"ok": true, "fail": true}
+
+// checkSpecLit validates one CommandSpec literal: named, a legal
+// cmdlang word, and not a reserved reply verb.
+func checkSpecLit(pass *Pass, lit *ast.CompositeLit) {
+	name, state := specName(pass, lit)
+	if state != nameKnown {
+		return // dynamic or absent name; Handle-level check reports absence
+	}
+	switch {
+	case name == "":
+		pass.Reportf(lit.Pos(), "CommandSpec with empty Name declares no semantics entry")
+	case !isCmdWord(name):
+		pass.Reportf(lit.Pos(), "command name %q is not a legal cmdlang word; Registry.Declare will panic at daemon construction", name)
+	case reservedVerbs[name]:
+		pass.Reportf(lit.Pos(), "command name %q collides with the reply encoders (ok/fail return commands)", name)
+	}
+}
+
+// isCmdWord mirrors cmdlang.IsWord: ASCII letters, digits, and
+// underscore, not starting with a digit.
+func isCmdWord(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -155,6 +155,7 @@ type Distribution struct {
 	sinks map[string]bool // data-channel addresses
 
 	forwarded int64
+	dropped   int64
 }
 
 // NewDistribution constructs the distribution daemon.
@@ -180,8 +181,14 @@ func (d *Distribution) onData(pkt []byte, _ net.Addr) {
 	}
 	d.forwarded++
 	d.mu.Unlock()
+	// Datagram semantics: a failed forward never stalls the stream,
+	// but drops are counted so sinks that fall off are visible.
 	for _, s := range sinks {
-		d.SendData(s, pkt) //nolint:errcheck — datagram semantics
+		if err := d.SendData(s, pkt); err != nil {
+			d.mu.Lock()
+			d.dropped++
+			d.mu.Unlock()
+		}
 	}
 }
 
@@ -190,6 +197,13 @@ func (d *Distribution) AddSink(addr string) {
 	d.mu.Lock()
 	d.sinks[addr] = true
 	d.mu.Unlock()
+}
+
+// Dropped returns the number of forwards that failed to send.
+func (d *Distribution) Dropped() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dropped
 }
 
 // Forwarded returns the number of packets fanned out.

@@ -220,11 +220,28 @@ func (p *Phone) Dial(user string) error {
 	return nil
 }
 
-// Answer accepts a ringing call.
+// Answer accepts a ringing call and notifies the caller. (The
+// auto-answer path skips the notification: the ring reply itself
+// carries answered=true.)
 func (p *Phone) Answer() error {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.answerLocked()
+	if err := p.answerLocked(); err != nil {
+		p.mu.Unlock()
+		return err
+	}
+	peer := p.peerCmd
+	p.mu.Unlock()
+	// Tell the caller we picked up. If the notification never lands
+	// the caller still thinks the phone is ringing, so tear the call
+	// back down rather than sit in a half-open Active state.
+	go func() {
+		if _, err := p.Pool().Call(peer, cmdlang.New("answered").
+			SetWord("from", p.owner).
+			SetString("dataAddr", p.DataAddr())); err != nil {
+			_ = p.Hangup()
+		}
+	}()
+	return nil
 }
 
 func (p *Phone) answerLocked() error {
@@ -233,10 +250,6 @@ func (p *Phone) answerLocked() error {
 	}
 	p.state = Active
 	p.received = nil
-	// Tell the caller we picked up.
-	go p.Pool().Call(p.peerCmd, cmdlang.New("answered"). //nolint:errcheck
-								SetWord("from", p.owner).
-								SetString("dataAddr", p.DataAddr()))
 	return nil
 }
 
@@ -252,7 +265,10 @@ func (p *Phone) Hangup() error {
 	p.peerUser, p.peerCmd, p.peerData = "", "", ""
 	p.mu.Unlock()
 	if peer != "" {
-		p.Pool().Call(peer, cmdlang.New("hangup").SetWord("from", p.owner)) //nolint:errcheck — peer may be gone
+		// The peer may already be gone; both sides have reset to idle
+		// regardless, so a failed notification needs no recovery.
+		//acelint:ignore droppederr hangup notification to a possibly-dead peer is fire-and-forget
+		p.Pool().Call(peer, cmdlang.New("hangup").SetWord("from", p.owner))
 	}
 	return nil
 }

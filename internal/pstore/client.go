@@ -44,6 +44,7 @@ type Client struct {
 	mReadLatency  *telemetry.Histogram
 	mWriteLatency *telemetry.Histogram
 	mReadRepairs  *telemetry.Counter
+	mRepairErrs   *telemetry.Counter
 }
 
 // NewClient builds a client over the given replica addresses,
@@ -57,6 +58,7 @@ func NewClient(pool *daemon.Pool, replicas []string) *Client {
 		mReadLatency:  tel.Histogram(MetricReadLatency),
 		mWriteLatency: tel.Histogram(MetricWriteLatency),
 		mReadRepairs:  tel.Counter(MetricReadRepairs),
+		mRepairErrs:   tel.Counter(MetricRepairErrors),
 	}
 }
 
@@ -158,7 +160,14 @@ func (c *Client) GetContext(ctx context.Context, path string) (value []byte, ver
 		if r.err == nil && (!r.ok || r.item.Version < best.Version) {
 			addr := c.replicas[i]
 			c.mReadRepairs.Inc()
-			go c.pool.CallContext(repairCtx, addr, repair.Clone()) //nolint:errcheck — best effort; anti-entropy is the backstop
+			// Best effort: anti-entropy is the backstop, but failed
+			// repairs are counted so a persistently sick replica shows
+			// up in the metrics.
+			go func() {
+				if _, err := c.pool.CallContext(repairCtx, addr, repair.Clone()); err != nil {
+					c.mRepairErrs.Inc()
+				}
+			}()
 		}
 	}
 	return best.Value, best.Version, true, nil

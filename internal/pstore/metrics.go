@@ -12,4 +12,5 @@ const (
 	MetricReadLatency   = "pstore.read.latency"
 	MetricWriteLatency  = "pstore.write.latency"
 	MetricReadRepairs   = "pstore.read.repairs"
+	MetricRepairErrors  = "pstore.read.repair_errors"
 )

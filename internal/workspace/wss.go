@@ -61,6 +61,7 @@ type WSS struct {
 	mu         sync.Mutex
 	workspaces map[string]*Info // key: owner+"/"+name
 	rrNext     int
+	orphaned   int64 // VNC sessions whose teardown call failed
 }
 
 // NewWSS constructs the workspace server.
@@ -286,9 +287,11 @@ func (w *WSS) MigrateContext(ctx context.Context, owner, name string) (Info, err
 	if err := w.checkpoint(ctx); err != nil {
 		return Info{}, err
 	}
-	w.Pool().CallContext(ctx, cur.VNCAddr, cmdlang.New("vncDelete").
+	if _, err := w.Pool().CallContext(ctx, cur.VNCAddr, cmdlang.New("vncDelete").
 		SetWord("owner", owner).SetWord("name", name).
-		SetString("password", cur.Password)) //nolint:errcheck
+		SetString("password", cur.Password)); err != nil {
+		w.noteOrphan()
+	}
 	return moved, nil
 }
 
@@ -308,9 +311,13 @@ func (w *WSS) DeleteContext(ctx context.Context, owner, name string) error {
 	if !ok {
 		return fmt.Errorf("wss: no workspace %s/%s", owner, name)
 	}
-	w.Pool().CallContext(ctx, info.VNCAddr, cmdlang.New("vncDelete").
+	// The session may be gone with its server; the workspace record is
+	// already removed, so a failed teardown only leaves an orphan.
+	if _, err := w.Pool().CallContext(ctx, info.VNCAddr, cmdlang.New("vncDelete").
 		SetWord("owner", owner).SetWord("name", name).
-		SetString("password", info.Password)) //nolint:errcheck — session may be gone with its server
+		SetString("password", info.Password)); err != nil {
+		w.noteOrphan()
+	}
 	return w.checkpoint(ctx)
 }
 
@@ -319,6 +326,22 @@ func (w *WSS) Count() int {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return len(w.workspaces)
+}
+
+// noteOrphan records a VNC session whose best-effort teardown failed;
+// the session lingers on its server until that server restarts.
+func (w *WSS) noteOrphan() {
+	w.mu.Lock()
+	w.orphaned++
+	w.mu.Unlock()
+}
+
+// Orphaned returns the number of VNC sessions left behind by failed
+// teardown calls.
+func (w *WSS) Orphaned() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.orphaned
 }
 
 func infoReply(in Info) *cmdlang.CmdLine {
