@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all check build test race test-race chaos short bench bench-telemetry experiments examples fuzz fmt vet lint clean
+.PHONY: all check build test race test-race chaos short bench bench-telemetry bench-pstore experiments examples fuzz fmt vet lint clean
 
 all: build vet test
 
@@ -50,6 +50,15 @@ bench:
 bench-telemetry:
 	ACE_BENCH_TELEMETRY=1 ACE_BENCH_TELEMETRY_OUT=$(CURDIR)/BENCH_telemetry.json \
 		$(GO) test -run 'TestBenchTelemetryOverhead$$' -count=1 -v ./internal/daemon/
+
+# Measure quorum read/write latency against a healthy 3-way cluster
+# and against the same cluster with one replica blackholed or dead,
+# recording the comparison in BENCH_pstore.json. Fails if a degraded
+# operation exceeds half the call timeout — i.e. if the slowest
+# replica is back to setting client-visible latency.
+bench-pstore:
+	ACE_BENCH_PSTORE=1 ACE_BENCH_PSTORE_OUT=$(CURDIR)/BENCH_pstore.json \
+		$(GO) test -run 'TestBenchPstoreQuorum$$' -count=1 -v ./internal/pstore/
 
 # Regenerate every experiment table (E1–E15 paper, X1–X5 extensions).
 experiments:

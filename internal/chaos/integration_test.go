@@ -19,6 +19,7 @@ import (
 	"ace/internal/cmdlang"
 	"ace/internal/daemon"
 	"ace/internal/pstore"
+	"ace/internal/telemetry"
 )
 
 const chaosSeed = 20260806 // fixed: schedules must reproduce run-to-run
@@ -62,6 +63,7 @@ func TestChaosPstoreQuorumUnderPartition(t *testing.T) {
 	pool := chaosPool()
 	defer pool.Close()
 	client := pstore.NewClient(pool, proxied)
+	defer client.Close()
 
 	if _, err := client.Put("/chaos/x", []byte("v1")); err != nil {
 		t.Fatal(err)
@@ -126,6 +128,7 @@ func TestChaosPstoreQuorumFailsClosedWithoutMajority(t *testing.T) {
 	pool := chaosPool()
 	defer pool.Close()
 	client := pstore.NewClient(pool, proxied)
+	defer client.Close()
 
 	if _, err := client.Put("/chaos/y", []byte("v1")); err != nil {
 		t.Fatal(err)
@@ -352,6 +355,7 @@ func TestChaosPstoreCorruptReplicaCannotWinQuorum(t *testing.T) {
 	// Seed the healthy pair through a client that doesn't know the
 	// rogue.
 	healthy := pstore.NewClient(pool, cluster.Addrs()[:2])
+	defer healthy.Close()
 	version, err := healthy.Put("/chaos/z", []byte("truth"))
 	if err != nil {
 		t.Fatal(err)
@@ -359,11 +363,96 @@ func TestChaosPstoreCorruptReplicaCannotWinQuorum(t *testing.T) {
 
 	// Now read through a set where the rogue replaces replica 3.
 	mixed := pstore.NewClient(pool, []string{cluster.Addrs()[0], cluster.Addrs()[1], rogue.Addr()})
+	defer mixed.Close()
 	got, gotVer, ok, err := mixed.Get("/chaos/z")
 	if err != nil || !ok {
 		t.Fatalf("read with corrupt replica: ok=%v err=%v", ok, err)
 	}
 	if !bytes.Equal(got, []byte("truth")) || gotVer != version {
 		t.Fatalf("corrupt replica won the read: %q@%d", got, gotVer)
+	}
+}
+
+// TestChaosPstoreBlackholedReplicaDoesNotSetQuorumLatency: the
+// regression test for the quorum fast-path. A blackholed replica
+// (connection up, bytes vanish) used to hold every Get and Put
+// hostage for the full call timeout because the fan-out joined all
+// replicas before returning. With the fast-path, the healthy
+// majority decides the outcome and the blackholed replica is
+// cancelled in the background: client-visible latency must stay far
+// under the call timeout, and the stragglers must show up in the
+// pool's telemetry.
+func TestChaosPstoreBlackholedReplicaDoesNotSetQuorumLatency(t *testing.T) {
+	cluster, err := pstore.StartCluster(3, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.StopAll()
+
+	fabric := chaos.NewFabric(chaosSeed)
+	defer fabric.Close()
+	var proxied []string
+	for i, addr := range cluster.Addrs() {
+		name := fmt.Sprintf("r%d", i+1)
+		if _, err := fabric.Proxy(name, addr); err != nil {
+			t.Fatal(err)
+		}
+		proxied = append(proxied, fabric.Addr(name))
+	}
+
+	const callTimeout = time.Second
+	reg := telemetry.NewRegistry()
+	pool := daemon.NewPoolConfig(daemon.PoolConfig{
+		DialTimeout:     300 * time.Millisecond,
+		CallTimeout:     callTimeout,
+		MaxRetries:      1,
+		BackoffBase:     5 * time.Millisecond,
+		BackoffMax:      20 * time.Millisecond,
+		BreakerCooldown: 100 * time.Millisecond,
+		Seed:            chaosSeed,
+		Telemetry:       reg,
+	})
+	defer pool.Close()
+	client := pstore.NewClient(pool, proxied)
+	defer client.Close()
+
+	// Healthy baseline.
+	if _, err := client.Put("/chaos/bh", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Blackhole replica 3: its connections stay up but every byte is
+	// discarded, so its calls stall until the deadline — the
+	// worst-case straggler.
+	fabric.Get("r3").SetFaults(chaos.Faults{Blackhole: true})
+
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		v, err := client.Put("/chaos/bh", []byte(fmt.Sprintf("v%d", i+2)))
+		if err != nil {
+			t.Fatalf("round %d: quorum write with blackholed replica: %v", i, err)
+		}
+		if elapsed := time.Since(start); elapsed > callTimeout/2 {
+			t.Fatalf("round %d: Put took %v with one blackholed replica (timeout %v); blackholed replica set the quorum latency", i, elapsed, callTimeout)
+		}
+		start = time.Now()
+		got, gotVer, ok, err := client.Get("/chaos/bh")
+		if err != nil || !ok || gotVer != v {
+			t.Fatalf("round %d: quorum read: ver=%d ok=%v err=%v", i, gotVer, ok, err)
+		}
+		if elapsed := time.Since(start); elapsed > callTimeout/2 {
+			t.Fatalf("round %d: Get took %v with one blackholed replica (timeout %v); blackholed replica set the quorum latency", i, elapsed, callTimeout)
+		}
+		if want := []byte(fmt.Sprintf("v%d", i+2)); !bytes.Equal(got, want) {
+			t.Fatalf("round %d: read %q, want %q", i, got, want)
+		}
+	}
+
+	snap := reg.Snapshot()
+	if n := snap.Counter(pstore.MetricReadStragglers); n < 1 {
+		t.Errorf("read stragglers = %d, want >= 1", n)
+	}
+	if n := snap.Counter(pstore.MetricWriteStragglers); n < 1 {
+		t.Errorf("write stragglers = %d, want >= 1", n)
 	}
 }

@@ -205,6 +205,9 @@ func Start(opts Options) (*Environment, error) {
 		e.Store = cluster
 		e.stoppers = append(e.stoppers, cluster.StopAll)
 		e.StoreClient = pstore.NewClient(e.pool, cluster.Addrs())
+		// Drain straggler fan-outs and in-flight read repairs before the
+		// cluster and pool (registered earlier, stopped later) go down.
+		e.stoppers = append(e.stoppers, e.StoreClient.Close)
 	}
 
 	// Compute plane: one HRM + HAL per host, one SRM, one SAL.

@@ -111,6 +111,17 @@ func (b *breaker) success() {
 	b.fire(from, to)
 }
 
+// abandon releases a probe slot without judging the peer: the caller
+// cancelled the call before it resolved (e.g. a quorum fast-path
+// dropping a straggler), which says nothing about the peer's health.
+// Without this, a cancelled half-open probe would leave `probing` set
+// and wedge the breaker open for every future caller.
+func (b *breaker) abandon() {
+	b.mu.Lock()
+	b.probing = false
+	b.mu.Unlock()
+}
+
 // failure records a transport failure, opening the breaker when the
 // consecutive-failure threshold is reached (or immediately when a
 // half-open probe fails).

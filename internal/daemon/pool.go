@@ -304,6 +304,12 @@ func (p *Pool) Call(addr string, cmd *cmdlang.CmdLine) (*cmdlang.CmdLine, error)
 // answered "fail") are returned immediately and never retried. When
 // the address's circuit breaker is open the call fails fast with
 // ErrCircuitOpen without touching the network.
+//
+// A cancelled context (context.Canceled, as opposed to a deadline)
+// means the caller abandoned the call: it is returned without retry,
+// without charging the breaker, and without dropping the pooled
+// connection — the pending reply is discarded by sequence number, so
+// the connection remains valid for other callers.
 func (p *Pool) CallContext(ctx context.Context, addr string, cmd *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
 	if _, ok := ctx.Deadline(); !ok {
 		var cancel context.CancelFunc
@@ -338,6 +344,18 @@ func (p *Pool) CallContext(ctx context.Context, addr string, cmd *cmdlang.CmdLin
 			}
 			return nil, err
 		}
+		if errors.Is(err, context.Canceled) {
+			// The caller abandoned the call — e.g. a quorum fast-path
+			// cancelling a straggler once the outcome was decided. The
+			// peer did nothing wrong, so the breaker is not charged and
+			// a retry would be pointless. The probe slot this call may
+			// hold in a half-open breaker is released unjudged, or the
+			// next probe would be refused forever.
+			if br != nil {
+				br.abandon()
+			}
+			return nil, err
+		}
 		if br != nil {
 			br.failure()
 		}
@@ -355,7 +373,14 @@ func (p *Pool) callOnce(ctx context.Context, addr string, cmd *cmdlang.CmdLine) 
 	}
 	reply, err := c.CallContext(ctx, cmd)
 	if err != nil {
-		if _, isRemote := err.(*cmdlang.RemoteError); !isRemote {
+		// A transport failure may have corrupted the framing stream, so
+		// the connection is dropped and the next call redials. A
+		// cancellation is different: the wire client removed the pending
+		// entry and will discard the late reply by its seq, the framing
+		// stream is intact, and tearing the (shared) connection down
+		// would punish every other caller multiplexed onto it.
+		_, isRemote := err.(*cmdlang.RemoteError)
+		if !isRemote && !errors.Is(err, context.Canceled) {
 			p.drop(addr, c)
 		}
 		return nil, err

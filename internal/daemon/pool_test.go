@@ -149,6 +149,99 @@ func TestBreakerFailedProbeReopens(t *testing.T) {
 	}
 }
 
+// TestCancelledCallDoesNotChargeBreakerOrDropConnection: a caller
+// abandoning a call mid-flight (the quorum fast-path cancelling a
+// straggler) is not evidence against the peer — the breaker stays
+// closed and the pooled connection survives for other callers.
+func TestCancelledCallDoesNotChargeBreakerOrDropConnection(t *testing.T) {
+	block := make(chan struct{})
+	d := New(Config{Name: "molasses"})
+	d.Handle(cmdlang.CommandSpec{Name: "slow"},
+		func(_ *Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+			<-block
+			return cmdlang.OK(), nil
+		})
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Stop)
+
+	p := tightPool(PoolConfig{
+		MaxRetries:       -1,
+		BreakerThreshold: 1, // a single charge would open it
+		BreakerCooldown:  time.Hour,
+	})
+	defer p.Close()
+
+	if _, err := p.Call(d.Addr(), cmdlang.New(CmdPing)); err != nil {
+		t.Fatal(err)
+	}
+	before, err := p.Get(d.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.CallContext(ctx, d.Addr(), cmdlang.New("slow"))
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the call reach the peer
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoned call returned %v, want context.Canceled", err)
+	}
+
+	if st := p.BreakerState(d.Addr()); st != "closed" {
+		t.Fatalf("breaker state after cancelled call: %s", st)
+	}
+	after, err := p.Get(d.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != after {
+		t.Fatal("cancelled call dropped the pooled connection")
+	}
+	// Unblock the handler (the daemon's control thread executes
+	// commands serially, so nothing else answers until it returns);
+	// its late reply must be discarded by seq, leaving the shared
+	// connection in sync for the next exchange.
+	close(block)
+	if _, err := p.Call(d.Addr(), cmdlang.New(CmdPing)); err != nil {
+		t.Fatalf("ping after cancelled call: %v", err)
+	}
+}
+
+// TestCancelledProbeReleasesHalfOpenSlot: abandoning the half-open
+// probe (cancelled, not failed) must free the slot for the next
+// caller instead of wedging the breaker open forever.
+func TestCancelledProbeReleasesHalfOpenSlot(t *testing.T) {
+	b := newBreaker(1, 0)
+	b.failure()
+	if st := b.currentState(); st != breakerOpen {
+		t.Fatalf("state after failure: %v", st)
+	}
+	// Cooldown 0: the next allow admits the half-open probe.
+	if err := b.allow(); err != nil {
+		t.Fatalf("probe refused: %v", err)
+	}
+	// While the probe is out, other callers are refused.
+	if err := b.allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("second probe admitted alongside the first: %v", err)
+	}
+	b.abandon()
+	// The slot is free again: a fresh probe is admitted and its
+	// success closes the breaker.
+	if err := b.allow(); err != nil {
+		t.Fatalf("probe after abandon refused: %v", err)
+	}
+	b.success()
+	if st := b.currentState(); st != breakerClosed {
+		t.Fatalf("state after successful probe: %v", st)
+	}
+}
+
 // TestCallRetriesTransportFailureWithBackoff: a flaky peer that dies
 // once is reached on the retry, and remote errors are never retried.
 func TestCallRetriesTransportFailureWithBackoff(t *testing.T) {

@@ -35,32 +35,72 @@ func truncateForErr(s string) string {
 	return s
 }
 
+// replyVersion extracts a reply's version argument. A negative
+// version is a corrupt-replica error, same treatment as bad hex: the
+// naive uint64 conversion would turn version=-1 into ~1.8e19, which
+// permanently wins every quorum read and poisons the next write's
+// version probe.
+func replyVersion(reply *cmdlang.CmdLine, addr string) (uint64, error) {
+	v := reply.Int("version", 0)
+	if v < 0 {
+		return 0, fmt.Errorf("pstore: replica %s: corrupt negative version %d", addr, v)
+	}
+	return uint64(v), nil
+}
+
 // Client reads and writes the replicated store through majority
 // quorums. It is safe for concurrent use.
 type Client struct {
 	pool     *daemon.Pool
 	replicas []string
 
-	mReadLatency  *telemetry.Histogram
-	mWriteLatency *telemetry.Histogram
-	mReadRepairs  *telemetry.Counter
-	mRepairErrs   *telemetry.Counter
+	// repairSem bounds concurrent background read repairs; bg tracks
+	// straggler drains and repairs so Close can wait for them.
+	repairSem chan struct{}
+	bg        sync.WaitGroup
+
+	mReadLatency      *telemetry.Histogram
+	mReadFullLatency  *telemetry.Histogram
+	mWriteLatency     *telemetry.Histogram
+	mWriteFullLatency *telemetry.Histogram
+	mReadStragglers   *telemetry.Counter
+	mWriteStragglers  *telemetry.Counter
+	mReadRepairs      *telemetry.Counter
+	mRepairErrs       *telemetry.Counter
+	mRepairsDropped   *telemetry.Counter
 }
 
 // NewClient builds a client over the given replica addresses,
-// dialing through pool. Quorum latency histograms and the
-// read-repair counter land in the pool's telemetry registry.
+// dialing through pool. Quorum latency histograms, straggler
+// counters, and the read-repair instruments land in the pool's
+// telemetry registry.
 func NewClient(pool *daemon.Pool, replicas []string) *Client {
 	tel := pool.Telemetry()
+	bound := 2 * len(replicas)
+	if bound < 4 {
+		bound = 4
+	}
 	return &Client{
-		pool:          pool,
-		replicas:      append([]string(nil), replicas...),
-		mReadLatency:  tel.Histogram(MetricReadLatency),
-		mWriteLatency: tel.Histogram(MetricWriteLatency),
-		mReadRepairs:  tel.Counter(MetricReadRepairs),
-		mRepairErrs:   tel.Counter(MetricRepairErrors),
+		pool:              pool,
+		replicas:          append([]string(nil), replicas...),
+		repairSem:         make(chan struct{}, bound),
+		mReadLatency:      tel.Histogram(MetricReadLatency),
+		mReadFullLatency:  tel.Histogram(MetricReadLatencyFull),
+		mWriteLatency:     tel.Histogram(MetricWriteLatency),
+		mWriteFullLatency: tel.Histogram(MetricWriteLatencyFull),
+		mReadStragglers:   tel.Counter(MetricReadStragglers),
+		mWriteStragglers:  tel.Counter(MetricWriteStragglers),
+		mReadRepairs:      tel.Counter(MetricReadRepairs),
+		mRepairErrs:       tel.Counter(MetricRepairErrors),
+		mRepairsDropped:   tel.Counter(MetricRepairsDropped),
 	}
 }
+
+// Close waits for the client's background work — straggler drains and
+// read repairs — to finish. Close the client before closing the pool
+// it dials through, so in-flight repairs don't race the pool's
+// teardown. Close does not invalidate the client; it only drains.
+func (c *Client) Close() { c.bg.Wait() }
 
 // Quorum returns the majority size for the configured replica set.
 func (c *Client) Quorum() int { return len(c.replicas)/2 + 1 }
@@ -68,25 +108,136 @@ func (c *Client) Quorum() int { return len(c.replicas)/2 + 1 }
 // Replicas returns the configured replica addresses.
 func (c *Client) Replicas() []string { return append([]string(nil), c.replicas...) }
 
-type versioned struct {
-	item Item
-	ok   bool
-	err  error
+// replicaReply is one replica's contribution to a streaming fan-out.
+type replicaReply struct {
+	idx   int
+	item  Item
+	paths []string // pslist fan-outs only
+	ok    bool     // well-formed response carrying data (vs not-found)
+	err   error
 }
 
-// fanout runs fn against every replica concurrently.
-func (c *Client) fanout(fn func(addr string) versioned) []versioned {
-	out := make([]versioned, len(c.replicas))
-	var wg sync.WaitGroup
-	for i, addr := range c.replicas {
-		wg.Add(1)
-		go func(i int, addr string) {
-			defer wg.Done()
-			out[i] = fn(addr)
-		}(i, addr)
+// fanout is one in-flight streaming fan-out: replica results arrive
+// on the buffered channel in completion order, and every replica call
+// runs under its own child context so stragglers can be cancelled the
+// moment the quorum outcome is decided.
+type fanout struct {
+	n       int
+	start   time.Time
+	results chan replicaReply
+	cancels []context.CancelFunc
+}
+
+// streamFanout launches fn against every replica. The results channel
+// is buffered for the full replica set, so replica goroutines never
+// block and never leak, whether or not anyone consumes the tail.
+func (c *Client) streamFanout(ctx context.Context, fn func(ctx context.Context, addr string) replicaReply) *fanout {
+	f := &fanout{
+		n:       len(c.replicas),
+		start:   time.Now(),
+		results: make(chan replicaReply, len(c.replicas)),
+		cancels: make([]context.CancelFunc, len(c.replicas)),
 	}
-	wg.Wait()
-	return out
+	for i, addr := range c.replicas {
+		cctx, cancel := context.WithCancel(ctx)
+		f.cancels[i] = cancel
+		go func(i int, addr string, cctx context.Context) {
+			r := fn(cctx, addr)
+			r.idx = i
+			f.results <- r
+		}(i, addr, cctx)
+	}
+	return f
+}
+
+func (f *fanout) cancelAll() {
+	for _, cancel := range f.cancels {
+		cancel()
+	}
+}
+
+// awaitQuorum consumes fan-out results until the outcome is decided:
+// `need` well-formed responses make a success, and failure is
+// declared as soon as so many replicas have failed that `need`
+// responses can no longer arrive — not after the last straggler rides
+// out its timeout. It returns every result consumed up to the
+// decision; the caller owns finishing the fan-out either way.
+func (f *fanout) awaitQuorum(need int, op string) ([]replicaReply, error) {
+	prefix := make([]replicaReply, 0, f.n)
+	responded, failed := 0, 0
+	for r := range f.results {
+		prefix = append(prefix, r)
+		if r.err != nil {
+			failed++
+			if failed > f.n-need {
+				return prefix, fmt.Errorf("pstore: %s failed: %d/%d replicas reachable", op, responded, f.n)
+			}
+			continue
+		}
+		responded++
+		if responded >= need {
+			return prefix, nil
+		}
+	}
+	return prefix, fmt.Errorf("pstore: %s failed: %d/%d replicas reachable", op, responded, f.n)
+}
+
+// finish cancels the fan-out's stragglers and detaches a drain
+// goroutine that consumes their late results, so they still feed
+// telemetry, the pool's per-address bookkeeping, and read repair.
+// winner, when non-nil, is the decided read's winning item: late
+// responders observed behind it are repaired exactly like the ones
+// that made the quorum prefix. The drain is tracked by the client's
+// background WaitGroup, so Close can wait for it.
+func (c *Client) finish(f *fanout, consumed int, stragglers *telemetry.Counter, full *telemetry.Histogram, winner *Item, repairCtx context.Context) {
+	remaining := f.n - consumed
+	f.cancelAll() // idempotent; also releases the child contexts of completed calls
+	if remaining == 0 {
+		full.Observe(time.Since(f.start))
+		return
+	}
+	stragglers.Add(int64(remaining))
+	c.bg.Add(1)
+	go func() {
+		defer c.bg.Done()
+		for i := 0; i < remaining; i++ {
+			r := <-f.results
+			if winner != nil && r.err == nil && (!r.ok || r.item.Version < winner.Version) {
+				c.repairAsync(repairCtx, c.replicas[r.idx], *winner)
+			}
+		}
+		full.Observe(time.Since(f.start))
+	}()
+}
+
+// repairAsync pushes the winning item to a lagging replica in the
+// background. Concurrent repairs are bounded by the repair semaphore:
+// over the bound the repair is dropped and counted rather than piling
+// goroutines up behind a sick replica — anti-entropy remains the
+// backstop. Repairs are tracked by the client's background WaitGroup
+// so Close doesn't race the pool teardown.
+func (c *Client) repairAsync(ctx context.Context, addr string, winner Item) {
+	select {
+	case c.repairSem <- struct{}{}:
+	default:
+		c.mRepairsDropped.Inc()
+		return
+	}
+	c.mReadRepairs.Inc()
+	repair := cmdlang.New("psput").
+		SetString("path", winner.Path).
+		SetString("value", encodeValue(winner.Value)).
+		SetInt("version", int64(winner.Version))
+	c.bg.Add(1)
+	go func() {
+		defer c.bg.Done()
+		defer func() { <-c.repairSem }()
+		// Best effort: failed repairs are counted so a persistently
+		// sick replica shows up in the metrics.
+		if _, err := c.pool.CallContext(ctx, addr, repair); err != nil {
+			c.mRepairErrs.Inc()
+		}
+	}()
 }
 
 // Get performs a quorum read: it queries all replicas, requires a
@@ -102,72 +253,65 @@ func (c *Client) Get(path string) (value []byte, version uint64, ok bool, err er
 // GetContext is Get bounded by ctx; a span context carried by ctx is
 // propagated to every replica call, so the whole quorum read appears
 // under one trace.
+//
+// The read is decided as soon as a majority has answered: because a
+// write commits only with majority acks, any majority of read
+// responses intersects the write majority of every committed write,
+// so the highest version among the first quorum of responses includes
+// the latest committed value. Stragglers are cancelled and drained in
+// the background — one blackholed replica no longer sets the latency
+// of every read.
 func (c *Client) GetContext(ctx context.Context, path string) (value []byte, version uint64, ok bool, err error) {
 	start := time.Now()
 	defer func() { c.mReadLatency.Observe(time.Since(start)) }()
-	results := c.fanout(func(addr string) versioned {
-		reply, callErr := c.pool.CallContext(ctx, addr, cmdlang.New("psget").SetString("path", path))
+	f := c.streamFanout(ctx, func(cctx context.Context, addr string) replicaReply {
+		reply, callErr := c.pool.CallContext(cctx, addr, cmdlang.New("psget").SetString("path", path))
 		if callErr != nil {
 			if cmdlang.IsRemoteCode(callErr, cmdlang.CodeNotFound) {
-				return versioned{ok: false}
+				return replicaReply{}
 			}
-			return versioned{err: callErr}
+			return replicaReply{err: callErr}
 		}
 		val, decErr := decodeValue(reply.Str("value", ""))
 		if decErr != nil {
 			// A corrupt replica is a failed replica: it must not count
 			// toward the quorum, and its version must not win.
-			return versioned{err: fmt.Errorf("pstore: replica %s: %w", addr, decErr)}
+			return replicaReply{err: fmt.Errorf("pstore: replica %s: %w", addr, decErr)}
 		}
-		return versioned{
-			ok: true,
-			item: Item{
-				Path:    path,
-				Value:   val,
-				Version: uint64(reply.Int("version", 0)),
-			},
+		ver, verErr := replyVersion(reply, addr)
+		if verErr != nil {
+			return replicaReply{err: verErr}
 		}
+		return replicaReply{ok: true, item: Item{Path: path, Value: val, Version: ver}}
 	})
-	responded := 0
+	// Repairs keep the caller's span context but not its cancellation —
+	// they should finish (and be traced) even when the caller returns
+	// immediately.
+	repairCtx := telemetry.WithSpanContext(context.Background(), telemetry.FromContext(ctx))
+	prefix, qErr := f.awaitQuorum(c.Quorum(), "quorum read")
+	if qErr != nil {
+		c.finish(f, len(prefix), c.mReadStragglers, c.mReadFullLatency, nil, repairCtx)
+		return nil, 0, false, qErr
+	}
 	var best Item
 	found := false
-	for _, r := range results {
-		if r.err != nil {
-			continue
-		}
-		responded++
-		if r.ok && (!found || newer(r.item, best)) {
+	for _, r := range prefix {
+		if r.err == nil && r.ok && (!found || newer(r.item, best)) {
 			best = r.item
 			found = true
 		}
 	}
-	if responded < c.Quorum() {
-		return nil, 0, false, fmt.Errorf("pstore: quorum read failed: %d/%d replicas reachable", responded, len(c.replicas))
-	}
 	if !found {
+		c.finish(f, len(prefix), c.mReadStragglers, c.mReadFullLatency, nil, repairCtx)
 		return nil, 0, false, nil
 	}
 	// Read repair: push the winning item to replicas that answered
-	// with an older (or no) version. The repair keeps the caller's
-	// span context but not its cancellation — it should finish (and be
-	// traced) even when the caller returns immediately.
-	repairCtx := telemetry.WithSpanContext(context.Background(), telemetry.FromContext(ctx))
-	repair := cmdlang.New("psput").
-		SetString("path", path).
-		SetString("value", encodeValue(best.Value)).
-		SetInt("version", int64(best.Version))
-	for i, r := range results {
+	// with an older (or no) version — here for quorum members, in the
+	// detached drain for stragglers that answer late.
+	c.finish(f, len(prefix), c.mReadStragglers, c.mReadFullLatency, &best, repairCtx)
+	for _, r := range prefix {
 		if r.err == nil && (!r.ok || r.item.Version < best.Version) {
-			addr := c.replicas[i]
-			c.mReadRepairs.Inc()
-			// Best effort: anti-entropy is the backstop, but failed
-			// repairs are counted so a persistently sick replica shows
-			// up in the metrics.
-			go func() {
-				if _, err := c.pool.CallContext(repairCtx, addr, repair.Clone()); err != nil {
-					c.mRepairErrs.Inc()
-				}
-			}()
+			c.repairAsync(repairCtx, c.replicas[r.idx], best)
 		}
 	}
 	return best.Value, best.Version, true, nil
@@ -187,7 +331,12 @@ func (c *Client) GetAny(path string) (value []byte, version uint64, ok bool, err
 				lastErr = fmt.Errorf("pstore: replica %s: %w", addr, decErr)
 				continue
 			}
-			return val, uint64(reply.Int("version", 0)), true, nil
+			ver, verErr := replyVersion(reply, addr)
+			if verErr != nil {
+				lastErr = verErr
+				continue
+			}
+			return val, ver, true, nil
 		}
 		if cmdlang.IsRemoteCode(callErr, cmdlang.CodeNotFound) {
 			return nil, 0, false, nil
@@ -199,31 +348,35 @@ func (c *Client) GetAny(path string) (value []byte, version uint64, ok bool, err
 
 // currentVersion determines the highest version any replica holds at
 // path, including tombstones (a quorum read hides deletions, but a
-// new write must still supersede the tombstone's version).
+// new write must still supersede the tombstone's version). Like
+// GetContext it decides at a majority of responses: the probe cannot
+// miss a committed version, because commitment itself requires a
+// majority.
 func (c *Client) currentVersion(ctx context.Context, path string) (uint64, error) {
-	results := c.fanout(func(addr string) versioned {
-		reply, callErr := c.pool.CallContext(ctx, addr, cmdlang.New("psfetch").SetString("path", path))
+	f := c.streamFanout(ctx, func(cctx context.Context, addr string) replicaReply {
+		reply, callErr := c.pool.CallContext(cctx, addr, cmdlang.New("psfetch").SetString("path", path))
 		if callErr != nil {
 			if cmdlang.IsRemoteCode(callErr, cmdlang.CodeNotFound) {
-				return versioned{ok: false}
+				return replicaReply{}
 			}
-			return versioned{err: callErr}
+			return replicaReply{err: callErr}
 		}
-		return versioned{ok: true, item: Item{Version: uint64(reply.Int("version", 0))}}
+		ver, verErr := replyVersion(reply, addr)
+		if verErr != nil {
+			return replicaReply{err: verErr}
+		}
+		return replicaReply{ok: true, item: Item{Version: ver}}
 	})
-	responded := 0
+	prefix, qErr := f.awaitQuorum(c.Quorum(), "quorum version probe")
+	c.finish(f, len(prefix), c.mWriteStragglers, c.mWriteFullLatency, nil, ctx)
+	if qErr != nil {
+		return 0, qErr
+	}
 	var max uint64
-	for _, r := range results {
-		if r.err != nil {
-			continue
-		}
-		responded++
-		if r.ok && r.item.Version > max {
+	for _, r := range prefix {
+		if r.err == nil && r.ok && r.item.Version > max {
 			max = r.item.Version
 		}
-	}
-	if responded < c.Quorum() {
-		return 0, fmt.Errorf("pstore: quorum version probe failed: %d/%d replicas reachable", responded, len(c.replicas))
 	}
 	return max, nil
 }
@@ -237,7 +390,9 @@ func (c *Client) Put(path string, value []byte) (uint64, error) {
 }
 
 // PutContext is Put bounded by ctx, with span propagation to every
-// replica (the version probe and the write fan-out alike).
+// replica (the version probe and the write fan-out alike). It returns
+// as soon as a majority has acked; replicas still in flight are
+// cancelled and left to read repair and anti-entropy.
 func (c *Client) PutContext(ctx context.Context, path string, value []byte) (uint64, error) {
 	if err := ValidatePath(path); err != nil {
 		return 0, err
@@ -281,13 +436,22 @@ func (c *Client) DeleteContext(ctx context.Context, path string) error {
 	return nil
 }
 
+// writeAll streams cmd to every replica and returns the ack count as
+// soon as the write quorum is reached — or provably unreachable —
+// cancelling and draining the stragglers in the background. A
+// cancelled straggler that already received the frame still applies
+// the write; one that didn't is healed by repair or anti-entropy.
 func (c *Client) writeAll(ctx context.Context, cmd *cmdlang.CmdLine) int {
-	results := c.fanout(func(addr string) versioned {
-		_, err := c.pool.CallContext(ctx, addr, cmd.Clone())
-		return versioned{err: err}
+	f := c.streamFanout(ctx, func(cctx context.Context, addr string) replicaReply {
+		if _, err := c.pool.CallContext(cctx, addr, cmd.Clone()); err != nil {
+			return replicaReply{err: err}
+		}
+		return replicaReply{ok: true}
 	})
+	prefix, _ := f.awaitQuorum(c.Quorum(), "quorum write")
+	c.finish(f, len(prefix), c.mWriteStragglers, c.mWriteFullLatency, nil, ctx)
 	acked := 0
-	for _, r := range results {
+	for _, r := range prefix {
 		if r.err == nil {
 			acked++
 		}
@@ -298,15 +462,38 @@ func (c *Client) writeAll(ctx context.Context, cmd *cmdlang.CmdLine) int {
 // List unions the live paths under prefix across all reachable
 // replicas (a recovering replica may not hold everything yet).
 func (c *Client) List(prefix string) ([]string, error) {
+	return c.ListContext(context.Background(), prefix)
+}
+
+// ListContext is List bounded by ctx. Replicas are probed through the
+// streaming fan-out — concurrently, not one by one — and only
+// well-formed replies count as reachable: a replica answering
+// garbage is a failed replica, not an empty union member.
+func (c *Client) ListContext(ctx context.Context, prefix string) ([]string, error) {
+	f := c.streamFanout(ctx, func(cctx context.Context, addr string) replicaReply {
+		reply, err := c.pool.CallContext(cctx, addr, cmdlang.New("pslist").SetString("prefix", prefix))
+		if err != nil {
+			return replicaReply{err: err}
+		}
+		paths := reply.Strings("paths")
+		if count := reply.Int("count", -1); count < 0 || count != int64(len(paths)) {
+			return replicaReply{err: fmt.Errorf("pstore: replica %s: malformed list reply (count=%d, %d paths)", addr, count, len(paths))}
+		}
+		return replicaReply{ok: true, paths: paths}
+	})
+	// A union wants every answer, so there is no early decision here —
+	// but the probes run concurrently, so the slowest replica bounds
+	// the latency once, not N times.
+	defer f.cancelAll()
 	set := map[string]bool{}
 	reachable := 0
-	for _, addr := range c.replicas {
-		reply, err := c.pool.Call(addr, cmdlang.New("pslist").SetString("prefix", prefix))
-		if err != nil {
+	for i := 0; i < f.n; i++ {
+		r := <-f.results
+		if r.err != nil {
 			continue
 		}
 		reachable++
-		for _, p := range reply.Strings("paths") {
+		for _, p := range r.paths {
 			set[p] = true
 		}
 	}

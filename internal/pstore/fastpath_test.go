@@ -1,0 +1,354 @@
+package pstore
+
+// Unit tests for the streaming quorum fast-path: the winner is fixed
+// as soon as a majority has answered, stragglers are cancelled rather
+// than ridden to their timeout, malformed replicas (negative
+// versions, bogus list replies) are failures instead of quorum
+// members, and background read repair is bounded.
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"ace/internal/cmdlang"
+	"ace/internal/daemon"
+	"ace/internal/telemetry"
+)
+
+// startStallReplica runs a daemon speaking the replica protocol whose
+// every request blocks until the returned release channel is closed —
+// an in-process stand-in for a blackholed replica. The release is
+// registered as a cleanup so a stuck handler can't wedge shutdown.
+func startStallReplica(t *testing.T) *daemon.Daemon {
+	t.Helper()
+	release := make(chan struct{})
+	d := daemon.New(daemon.Config{Name: "stall_replica"})
+	block := func(_ *daemon.Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		<-release
+		return cmdlang.Fail(cmdlang.CodeUnavailable, "stalled"), nil
+	}
+	for _, verb := range []string{"psget", "psfetch", "psput", "psdel", "pslist"} {
+		d.Handle(cmdlang.CommandSpec{Name: verb, AllowExtra: true}, block)
+	}
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Stop)
+	t.Cleanup(func() { close(release) }) // LIFO: unblocks handlers before d.Stop
+	return d
+}
+
+// telemetryPool builds a pool with a registry (so pstore.* instruments
+// are observable) and a deliberately long call timeout: if the fast
+// path ever waits for a straggler, the timing assertions blow up.
+func telemetryPool(t *testing.T, callTimeout time.Duration) (*daemon.Pool, *telemetry.Registry) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	pool := daemon.NewPoolConfig(daemon.PoolConfig{
+		CallTimeout: callTimeout,
+		MaxRetries:  -1,
+		Seed:        1,
+		Telemetry:   reg,
+	})
+	t.Cleanup(pool.Close)
+	return pool, reg
+}
+
+// TestFastPathDecidesBeforeStraggler: with two healthy replicas and
+// one that never answers, quorum Get and Put decide at the healthy
+// majority in a fraction of the call timeout, the stalled replica is
+// counted as a straggler, and its cancelled call does not keep Close
+// waiting for the timeout either.
+func TestFastPathDecidesBeforeStraggler(t *testing.T) {
+	cluster, err := StartCluster(2, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.StopAll)
+	const callTimeout = 5 * time.Second
+	pool, reg := telemetryPool(t, callTimeout)
+
+	// Seed through the healthy pair (its own majority).
+	seed := NewClient(pool, cluster.Addrs())
+	if _, err := seed.Put("/fp/x", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	seed.Close()
+
+	stall := startStallReplica(t)
+	mixed := NewClient(pool, append(cluster.Addrs(), stall.Addr()))
+
+	start := time.Now()
+	got, ver, ok, err := mixed.Get("/fp/x")
+	if err != nil || !ok || ver != 1 || !bytes.Equal(got, []byte("v1")) {
+		t.Fatalf("fast-path read: got=%q ver=%d ok=%v err=%v", got, ver, ok, err)
+	}
+	if _, err := mixed.Put("/fp/x", []byte("v2")); err != nil {
+		t.Fatalf("fast-path write: %v", err)
+	}
+	// The straggler's calls were cancelled, so draining them is quick:
+	// read + write + drain all land far inside the call timeout.
+	mixed.Close()
+	if elapsed := time.Since(start); elapsed > callTimeout/2 {
+		t.Fatalf("read+write+drain took %v with a stalled replica (timeout %v); stragglers not cancelled", elapsed, callTimeout)
+	}
+
+	snap := reg.Snapshot()
+	if n := snap.Counter(MetricReadStragglers); n < 1 {
+		t.Errorf("read stragglers = %d, want >= 1", n)
+	}
+	if n := snap.Counter(MetricWriteStragglers); n < 2 { // version probe + write fan-out
+		t.Errorf("write stragglers = %d, want >= 2", n)
+	}
+	if hp, ok := snap.Histogram(MetricReadLatencyFull); !ok || hp.Count < 1 {
+		t.Errorf("full-fanout read latency not observed: %+v ok=%v", hp, ok)
+	}
+	if hp, ok := snap.Histogram(MetricWriteLatencyFull); !ok || hp.Count < 1 {
+		t.Errorf("full-fanout write latency not observed: %+v ok=%v", hp, ok)
+	}
+}
+
+// startNegativeVersionReplica runs a rogue replica that answers every
+// read with version=-1 — the corrupt reply that used to wrap to
+// ~1.8e19 and win every quorum.
+func startNegativeVersionReplica(t *testing.T) *daemon.Daemon {
+	t.Helper()
+	d := daemon.New(daemon.Config{Name: "negative_replica"})
+	corrupt := func(_ *daemon.Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		return cmdlang.OK().SetString("value", "aa").SetInt("version", -1), nil
+	}
+	d.Handle(cmdlang.CommandSpec{Name: "psget", AllowExtra: true}, corrupt)
+	d.Handle(cmdlang.CommandSpec{Name: "psfetch", AllowExtra: true}, corrupt)
+	d.Handle(cmdlang.CommandSpec{Name: "psput", AllowExtra: true},
+		func(_ *daemon.Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+			return cmdlang.OK().SetBool("applied", true), nil
+		})
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Stop)
+	return d
+}
+
+// TestNegativeVersionIsCorruptReplica: a replica answering
+// version=-1 must be treated exactly like one answering bad hex — a
+// failed replica that neither wins the read nor poisons the write
+// path's version probe.
+func TestNegativeVersionIsCorruptReplica(t *testing.T) {
+	cluster, err := StartCluster(2, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.StopAll)
+	pool, _ := telemetryPool(t, time.Second)
+
+	seed := NewClient(pool, cluster.Addrs())
+	if _, err := seed.Put("/neg/x", []byte("truth")); err != nil {
+		t.Fatal(err)
+	}
+	seed.Close()
+
+	rogue := startNegativeVersionReplica(t)
+	mixed := NewClient(pool, append(cluster.Addrs(), rogue.Addr()))
+	defer mixed.Close()
+
+	got, ver, ok, err := mixed.Get("/neg/x")
+	if err != nil || !ok || ver != 1 || !bytes.Equal(got, []byte("truth")) {
+		t.Fatalf("negative-version replica skewed the read: got=%q ver=%d ok=%v err=%v", got, ver, ok, err)
+	}
+	// GetAny walks past the rogue instead of returning the wrapped
+	// version (the rogue is listed first here).
+	any := NewClient(pool, append([]string{rogue.Addr()}, cluster.Addrs()...))
+	defer any.Close()
+	got, ver, ok, err = any.GetAny("/neg/x")
+	if err != nil || !ok || ver != 1 || !bytes.Equal(got, []byte("truth")) {
+		t.Fatalf("GetAny trusted a negative version: got=%q ver=%d ok=%v err=%v", got, ver, ok, err)
+	}
+	// The version probe must not be poisoned: the next Put gets
+	// version 2, not ~1.8e19+1.
+	v2, err := mixed.Put("/neg/x", []byte("truth2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 != 2 {
+		t.Fatalf("next version = %d, want 2 (probe poisoned)", v2)
+	}
+}
+
+// TestNodeRejectsNegativeVersions: the store node itself refuses
+// negative versions on psput/psdel, and anti-entropy refuses to pull
+// from a peer advertising them.
+func TestNodeRejectsNegativeVersions(t *testing.T) {
+	cluster, _ := startCluster(t, 1, "")
+	addr := cluster.Nodes[0].Addr()
+	pool := daemon.NewPool(nil)
+	t.Cleanup(pool.Close)
+
+	put := cmdlang.New("psput").SetString("path", "/neg/n").SetString("value", "aa").SetInt("version", -5)
+	if _, err := pool.Call(addr, put); !cmdlang.IsRemoteCode(err, cmdlang.CodeBadArgument) {
+		t.Fatalf("psput version=-5: err=%v, want bad_argument", err)
+	}
+	del := cmdlang.New("psdel").SetString("path", "/neg/n").SetInt("version", -5)
+	if _, err := pool.Call(addr, del); !cmdlang.IsRemoteCode(err, cmdlang.CodeBadArgument) {
+		t.Fatalf("psdel version=-5: err=%v, want bad_argument", err)
+	}
+
+	// A peer whose digest advertises a negative version aborts the
+	// sync pull instead of propagating the poison.
+	rogue := daemon.New(daemon.Config{Name: "negative_peer"})
+	rogue.Handle(cmdlang.CommandSpec{Name: "psdigest", AllowExtra: true},
+		func(_ *daemon.Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+			return cmdlang.OK().
+				Set("paths", cmdlang.StringVector("/neg/p")).
+				Set("versions", cmdlang.IntVector(-3)), nil
+		})
+	if err := rogue.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rogue.Stop)
+	if _, err := cluster.Nodes[0].SyncWith(rogue.Addr()); err == nil {
+		t.Fatal("SyncWith accepted a negative digest version")
+	}
+}
+
+// TestReadRepairBoundedAndDropped: when the repair concurrency bound
+// is exhausted, further repairs are dropped and counted instead of
+// piling up goroutines.
+func TestReadRepairBoundedAndDropped(t *testing.T) {
+	cluster, err := StartCluster(2, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.StopAll)
+	pool, reg := telemetryPool(t, time.Second)
+	client := NewClient(pool, cluster.Addrs())
+
+	if _, err := client.Put("/rrb", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	client.Close()
+	// Advance replica 1 only, leaving replica 2 stale at v1, and make
+	// the third replica a stall: the read quorum is then guaranteed to
+	// be {fresh, stale}, so the stale laggard is seen at decision time
+	// (a cancelled straggler's reply might lose the race and never be
+	// repair-eligible — this arrangement is deterministic).
+	if !cluster.Nodes[0].apply(Item{Path: "/rrb", Value: []byte("v2"), Version: 2}, false) {
+		t.Fatal("direct apply failed")
+	}
+	stall := startStallReplica(t)
+	mixed := NewClient(pool, append(cluster.Addrs(), stall.Addr()))
+	defer mixed.Close()
+
+	// Saturate the repair semaphore: the read below must drop its
+	// repair rather than block or exceed the bound.
+	for i := 0; i < cap(mixed.repairSem); i++ {
+		mixed.repairSem <- struct{}{}
+	}
+	defer func() {
+		for i := 0; i < cap(mixed.repairSem); i++ {
+			<-mixed.repairSem
+		}
+	}()
+
+	if _, ver, ok, err := mixed.Get("/rrb"); err != nil || !ok || ver != 2 {
+		t.Fatalf("read: ver=%d ok=%v err=%v", ver, ok, err)
+	}
+	// The stale quorum member's repair was attempted (and dropped)
+	// before Get returned.
+	if got := reg.Snapshot().Counter(MetricRepairsDropped); got < 1 {
+		t.Fatalf("repairs dropped = %d, want >= 1", got)
+	}
+	if got := reg.Snapshot().Counter(MetricReadRepairs); got != 0 {
+		t.Fatalf("repairs started despite saturated bound: %d", got)
+	}
+}
+
+// TestListCountsOnlyWellFormedReplies: a replica whose pslist reply is
+// malformed is failed, not counted as an (empty) reachable member,
+// and the probes run through the fan-out rather than sequentially.
+func TestListCountsOnlyWellFormedReplies(t *testing.T) {
+	pool, _ := telemetryPool(t, time.Second)
+
+	rogue := daemon.New(daemon.Config{Name: "bogus_list_replica"})
+	rogue.Handle(cmdlang.CommandSpec{Name: "pslist", AllowExtra: true},
+		func(_ *daemon.Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+			// count disagrees with the paths vector: malformed.
+			return cmdlang.OK().SetInt("count", 3).Set("paths", cmdlang.StringVector("/bogus")), nil
+		})
+	if err := rogue.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rogue.Stop)
+
+	// Only the malformed replica: List must report nothing reachable.
+	alone := NewClient(pool, []string{rogue.Addr()})
+	defer alone.Close()
+	if _, err := alone.List("/"); err == nil {
+		t.Fatal("List counted a malformed reply as reachable")
+	}
+
+	// Malformed replica alongside healthy ones: the union is served by
+	// the healthy set and the bogus path never appears.
+	cluster, err := StartCluster(2, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.StopAll)
+	seed := NewClient(pool, cluster.Addrs())
+	defer seed.Close()
+	if _, err := seed.Put("/l/a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	mixed := NewClient(pool, append(cluster.Addrs(), rogue.Addr()))
+	defer mixed.Close()
+	paths, err := mixed.List("/l/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 || paths[0] != "/l/a" {
+		t.Fatalf("paths = %v, want [/l/a]", paths)
+	}
+}
+
+// TestFastPathFailsClosedPromptly: once enough replicas have failed
+// that a quorum is impossible, the operation fails immediately — it
+// does not wait for the remaining replicas to resolve.
+func TestFastPathFailsClosedPromptly(t *testing.T) {
+	cluster, err := StartCluster(1, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.StopAll)
+	const callTimeout = 5 * time.Second
+	pool, _ := telemetryPool(t, callTimeout)
+
+	// One live node plus two dead addresses: once the second dead
+	// replica fails, a quorum of 2/3 is arithmetically impossible and
+	// the call must fail right then, not after the call timeout.
+	dead1 := daemon.New(daemon.Config{Name: "dead1"})
+	if err := dead1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	dead1Addr := dead1.Addr()
+	dead1.Stop()
+	dead2 := daemon.New(daemon.Config{Name: "dead2"})
+	if err := dead2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	dead2Addr := dead2.Addr()
+	dead2.Stop()
+
+	client := NewClient(pool, []string{cluster.Nodes[0].Addr(), dead1Addr, dead2Addr})
+	defer client.Close()
+	start := time.Now()
+	if _, _, _, err := client.Get("/ff/x"); err == nil {
+		t.Fatal("minority read reported a quorum")
+	}
+	if _, err := client.Put("/ff/x", []byte("v")); err == nil {
+		t.Fatal("minority write succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > callTimeout/2 {
+		t.Fatalf("fail-closed took %v; not prompt", elapsed)
+	}
+}

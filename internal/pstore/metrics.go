@@ -3,14 +3,33 @@ package pstore
 // Metric names recorded by the persistent store, in addition to the
 // shell's own daemon.* and wire.* instruments. The pstore.sync.* and
 // pstore.writes.* series live in each node's registry; the quorum
-// latency histograms and read-repair counter live in the registry of
-// the pool the Client dials through.
+// latency histograms, straggler counters, and read-repair instruments
+// live in the registry of the pool the Client dials through.
+//
+// The latency histograms come in fast-path/full-fanout pairs: the
+// fast-path series (pstore.read.latency, pstore.write.latency)
+// observes the time until the quorum outcome was decided — what the
+// caller actually waits — while the _full series observes the time
+// until the last replica of a fan-out resolved, straggler timeouts
+// included. A widening gap between the two is a sick replica. The
+// full series is observed once per fan-out, so a Put contributes two
+// points (version probe + write) under pstore.write.latency_full.
+//
+// Straggler counters count replica calls that were still unresolved
+// when the quorum outcome was decided (and were therefore cancelled);
+// the probe and write halves of a Put/Delete both count under
+// pstore.write.stragglers.
 const (
-	MetricSyncRounds    = "pstore.sync.rounds"
-	MetricSyncPulled    = "pstore.sync.pulled"
-	MetricWritesApplied = "pstore.writes.applied"
-	MetricReadLatency   = "pstore.read.latency"
-	MetricWriteLatency  = "pstore.write.latency"
-	MetricReadRepairs   = "pstore.read.repairs"
-	MetricRepairErrors  = "pstore.read.repair_errors"
+	MetricSyncRounds       = "pstore.sync.rounds"
+	MetricSyncPulled       = "pstore.sync.pulled"
+	MetricWritesApplied    = "pstore.writes.applied"
+	MetricReadLatency      = "pstore.read.latency"
+	MetricReadLatencyFull  = "pstore.read.latency_full"
+	MetricWriteLatency     = "pstore.write.latency"
+	MetricWriteLatencyFull = "pstore.write.latency_full"
+	MetricReadStragglers   = "pstore.read.stragglers"
+	MetricWriteStragglers  = "pstore.write.stragglers"
+	MetricReadRepairs      = "pstore.read.repairs"
+	MetricRepairErrors     = "pstore.read.repair_errors"
+	MetricRepairsDropped   = "pstore.read.repairs_dropped"
 )

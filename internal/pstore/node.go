@@ -263,6 +263,11 @@ func (n *Node) SyncWith(peerAddr string) (int, error) {
 	pulled := 0
 	for i, p := range paths {
 		v, _ := versions[i].AsInt()
+		if v < 0 {
+			// A negative digest version would wrap to ~1.8e19 and make
+			// this node pull (and re-advertise) a poisoned item.
+			return pulled, fmt.Errorf("pstore: corrupt digest from %s: negative version %d at %s", peerAddr, v, p)
+		}
 		n.mu.Lock()
 		cur, exists := n.items[p]
 		n.mu.Unlock()
@@ -279,10 +284,14 @@ func (n *Node) SyncWith(peerAddr string) (int, error) {
 			// anti-entropy round retries against a healthy peer.
 			return pulled, fmt.Errorf("pstore: sync with %s: %w", peerAddr, decErr)
 		}
+		ver, verErr := replyVersion(itemReply, peerAddr)
+		if verErr != nil {
+			return pulled, fmt.Errorf("pstore: sync with %s: %w", peerAddr, verErr)
+		}
 		it := Item{
 			Path:    p,
 			Value:   val,
-			Version: uint64(itemReply.Int("version", 0)),
+			Version: ver,
 			Deleted: itemReply.Bool("deleted", false),
 		}
 		if n.apply(it, true) {
@@ -342,10 +351,16 @@ func (n *Node) install() {
 		if decErr != nil {
 			return cmdlang.Fail(cmdlang.CodeBadArgument, decErr.Error()), nil
 		}
+		version := c.Int("version", 0)
+		if version < 0 {
+			// Accepting a negative version would wrap to a huge uint64
+			// that wins every later quorum read.
+			return cmdlang.Fail(cmdlang.CodeBadArgument, fmt.Sprintf("negative version %d", version)), nil
+		}
 		it := Item{
 			Path:    path,
 			Value:   val,
-			Version: uint64(c.Int("version", 0)),
+			Version: uint64(version),
 		}
 		applied := n.apply(it, true)
 		return cmdlang.OK().SetBool("applied", applied).SetInt("version", int64(it.Version)), nil
@@ -372,9 +387,13 @@ func (n *Node) install() {
 			{Name: "version", Kind: cmdlang.KindInt, Required: true},
 		},
 	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		version := c.Int("version", 0)
+		if version < 0 {
+			return cmdlang.Fail(cmdlang.CodeBadArgument, fmt.Sprintf("negative version %d", version)), nil
+		}
 		it := Item{
 			Path:    c.Str("path", ""),
-			Version: uint64(c.Int("version", 0)),
+			Version: uint64(version),
 			Deleted: true,
 		}
 		applied := n.apply(it, true)

@@ -19,7 +19,9 @@ func startCluster(t *testing.T, n int, dir string) (*Cluster, *Client) {
 	t.Cleanup(c.StopAll)
 	pool := daemon.NewPool(nil)
 	t.Cleanup(pool.Close)
-	return c, NewClient(pool, c.Addrs())
+	client := NewClient(pool, c.Addrs())
+	t.Cleanup(client.Close) // LIFO: drain repairs/stragglers before the pool closes
+	return c, client
 }
 
 func TestPutGetRoundTrip(t *testing.T) {

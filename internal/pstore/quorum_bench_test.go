@@ -1,0 +1,168 @@
+package pstore
+
+// Quorum fast-path latency benchmarks. The point of the streaming
+// fan-out is that the slowest replica no longer sets client-visible
+// latency, so the gate measures Get and Put against a healthy 3-way
+// cluster and against the same cluster with one replica blackholed
+// (connection up, bytes vanish — the worst straggler) and with one
+// replica dead (prompt connection refusal).
+//
+// `make bench-pstore` runs TestBenchPstoreQuorum with
+// ACE_BENCH_PSTORE=1 and writes the comparison to BENCH_pstore.json
+// at the repo root. The degraded scenarios must stay under half the
+// call timeout — before the fast-path, a blackholed replica pinned
+// every operation to the full timeout. The plain test suite skips
+// this so tier-1 runs stay fast and deterministic.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"ace/internal/chaos"
+	"ace/internal/daemon"
+	"ace/internal/telemetry"
+)
+
+const benchCallTimeout = time.Second
+
+// benchPool mirrors the chaos-test pool: timeouts tight enough that a
+// pre-fast-path regression (straggler-bound latency) trips the gate
+// in milliseconds rather than minutes.
+func benchPool(b testing.TB) *daemon.Pool {
+	pool := daemon.NewPoolConfig(daemon.PoolConfig{
+		DialTimeout:     300 * time.Millisecond,
+		CallTimeout:     benchCallTimeout,
+		MaxRetries:      -1,
+		BreakerCooldown: time.Hour, // a blackholed replica must not flap mid-measurement
+		Seed:            1,
+		Telemetry:       telemetry.NewRegistry(),
+	})
+	b.Cleanup(pool.Close)
+	return pool
+}
+
+// benchClient builds a 3-replica cluster for one scenario. degrade
+// rewires or kills the third replica after the cluster is up.
+func benchClient(b testing.TB, degrade func(b testing.TB, cluster *Cluster, addrs []string) []string) *Client {
+	cluster, err := StartCluster(3, "", 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(cluster.StopAll)
+	addrs := cluster.Addrs()
+	if degrade != nil {
+		addrs = degrade(b, cluster, addrs)
+	}
+	client := NewClient(benchPool(b), addrs)
+	b.Cleanup(client.Close)
+	return client
+}
+
+func runQuorumOps(t testing.TB, client *Client) (getNs, putNs float64) {
+	if _, err := client.Put("/bench/q", []byte("warmup")); err != nil {
+		t.Fatal(err)
+	}
+	get := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, ok, err := client.Get("/bench/q"); err != nil || !ok {
+				b.Fatalf("get: ok=%v err=%v", ok, err)
+			}
+		}
+	})
+	put := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := client.Put("/bench/q", []byte(fmt.Sprintf("v%d", i))); err != nil {
+				b.Fatalf("put: %v", err)
+			}
+		}
+	})
+	getNs = float64(get.T.Nanoseconds()) / float64(get.N)
+	putNs = float64(put.T.Nanoseconds()) / float64(put.N)
+	return getNs, putNs
+}
+
+// quorumBenchReport is one measured scenario in BENCH_pstore.json.
+type quorumBenchReport struct {
+	Scenario   string  `json:"scenario"`
+	NsPerOpGet float64 `json:"ns_per_op_get"`
+	NsPerOpPut float64 `json:"ns_per_op_put"`
+}
+
+// TestBenchPstoreQuorum is the gate behind `make bench-pstore`. It is
+// skipped unless ACE_BENCH_PSTORE=1 so the regular test suite never
+// pays for benchmarking.
+func TestBenchPstoreQuorum(t *testing.T) {
+	if os.Getenv("ACE_BENCH_PSTORE") == "" {
+		t.Skip("set ACE_BENCH_PSTORE=1 (or run `make bench-pstore`) to measure quorum latency")
+	}
+
+	scenarios := []struct {
+		name    string
+		degrade func(b testing.TB, cluster *Cluster, addrs []string) []string
+		gated   bool // degraded scenarios must beat callTimeout/2
+	}{
+		{name: "healthy"},
+		{
+			name: "one-blackholed",
+			degrade: func(b testing.TB, _ *Cluster, addrs []string) []string {
+				proxy, err := chaos.NewProxy(addrs[2], 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(proxy.Close)
+				proxy.SetFaults(chaos.Faults{Blackhole: true})
+				return []string{addrs[0], addrs[1], proxy.Addr()}
+			},
+			gated: true,
+		},
+		{
+			name: "one-dead",
+			degrade: func(_ testing.TB, cluster *Cluster, addrs []string) []string {
+				cluster.Nodes[2].Stop()
+				return addrs
+			},
+			gated: true,
+		},
+	}
+
+	budget := float64(benchCallTimeout.Nanoseconds()) / 2
+	var reports []quorumBenchReport
+	for _, sc := range scenarios {
+		client := benchClient(t, sc.degrade)
+		getNs, putNs := runQuorumOps(t, client)
+		t.Logf("%-16s get %12.0f ns/op   put %12.0f ns/op", sc.name, getNs, putNs)
+		reports = append(reports, quorumBenchReport{Scenario: sc.name, NsPerOpGet: getNs, NsPerOpPut: putNs})
+		if sc.gated {
+			if getNs > budget {
+				t.Errorf("%s: Get %.0f ns/op exceeds callTimeout/2 (%.0f ns) — straggler sets quorum latency", sc.name, getNs, budget)
+			}
+			if putNs > budget {
+				t.Errorf("%s: Put %.0f ns/op exceeds callTimeout/2 (%.0f ns) — straggler sets quorum latency", sc.name, putNs, budget)
+			}
+		}
+	}
+
+	out := os.Getenv("ACE_BENCH_PSTORE_OUT")
+	if out == "" {
+		out = "BENCH_pstore.json"
+	}
+	payload := map[string]any{
+		"benchmark":       "pstore-quorum",
+		"date":            time.Now().UTC().Format(time.RFC3339),
+		"call_timeout_ms": benchCallTimeout.Milliseconds(),
+		"results":         reports,
+	}
+	data, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}
