@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all check build test race test-race chaos short bench bench-telemetry bench-pstore experiments examples fuzz fmt vet lint clean
+.PHONY: all check build test race test-race chaos short bench bench-telemetry bench-pstore bench-flow experiments examples fuzz fmt vet lint clean
 
 all: build vet test
 
@@ -59,6 +59,14 @@ bench-telemetry:
 bench-pstore:
 	ACE_BENCH_PSTORE=1 ACE_BENCH_PSTORE_OUT=$(CURDIR)/BENCH_pstore.json \
 		$(GO) test -run 'TestBenchPstoreQuorum$$' -count=1 -v ./internal/pstore/
+
+# Offer a pinned-capacity daemon 1x/2x/4x its capacity and record
+# goodput, shed counts, and p99 admitted latency in BENCH_flow.json.
+# Fails if goodput at 4x drops below 70% of the 1x baseline — i.e. if
+# overload degrades the work the daemon admits (congestion collapse).
+bench-flow:
+	ACE_BENCH_FLOW=1 ACE_BENCH_FLOW_OUT=$(CURDIR)/BENCH_flow.json \
+		$(GO) test -run 'TestBenchFlow$$' -count=1 -v .
 
 # Regenerate every experiment table (E1–E15 paper, X1–X5 extensions).
 experiments:

@@ -169,6 +169,7 @@ func printStats(pool *daemon.Pool, name, addr string) {
 		fail("decode snapshot: %v", err)
 	}
 	fmt.Printf("%s @ %s\n", name, addr)
+	printFlowSummary(snap)
 	for _, c := range snap.Counters {
 		fmt.Printf("  counter    %-28s %d\n", c.Name, c.Value)
 	}
@@ -182,6 +183,26 @@ func printStats(pool *daemon.Pool, name, addr string) {
 		}
 		fmt.Printf("  histogram  %-28s count=%d avg=%v\n", h.Name, h.Count, avg)
 	}
+}
+
+// printFlowSummary condenses the flow.* admission-control metrics
+// into an overload-at-a-glance block: current AIMD limit, inflight
+// work, queue depth, and admitted-vs-shed per priority class. The raw
+// counters still print below it; daemons running with flow disabled
+// (or predating it) have no flow.* metrics and print nothing here.
+func printFlowSummary(snap *telemetry.Snapshot) {
+	admC := snap.Counter("flow.admitted.control")
+	admD := snap.Counter("flow.admitted.data")
+	shedC := snap.Counter("flow.shed.control")
+	shedD := snap.Counter("flow.shed.data")
+	limit := snap.Gauge("flow.limit")
+	if admC+admD+shedC+shedD == 0 && limit == 0 {
+		return
+	}
+	fmt.Printf("  flow       limit=%d inflight=%d queued=%d\n",
+		limit, snap.Gauge("flow.inflight"), snap.Gauge("flow.queue.depth"))
+	fmt.Printf("  flow       control admitted=%d shed=%d   data admitted=%d shed=%d   conns shed=%d\n",
+		admC, shedC, admD, shedD, snap.Counter("flow.conns.shed"))
 }
 
 // printTrace asks every registered daemon (and the ASD itself) for

@@ -39,7 +39,7 @@ type Entry struct {
 // daemon shell so it can be unit-tested with a synthetic clock; the
 // Service type wraps it as an ACE daemon.
 type Directory struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	entries map[string]*Entry
 	now     func() time.Time
 
@@ -136,8 +136,8 @@ func (d *Directory) Unregister(name string) bool {
 
 // Get returns the live entry for name.
 func (d *Directory) Get(name string) (Entry, bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	e, ok := d.entries[name]
 	if !ok || d.now().After(e.Expires) {
 		return Entry{}, false
@@ -155,25 +155,55 @@ type Query struct {
 }
 
 // Lookup returns all live entries matching q, sorted by name.
+//
+// Lookups are the directory's hot path, and under a lookup storm any
+// time spent holding the write-excluding lock is time lease renewals
+// cannot run — exactly the window in which live services expire. So
+// Lookup takes only a read lock (lookups proceed in parallel with one
+// another), serves name queries with a single map probe, and for scan
+// queries snapshots the candidate entries under the lock while doing
+// the expensive part — class-hierarchy matching and sorting — outside
+// it.
 func (d *Directory) Lookup(q Query) []Entry {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	now := d.now()
-	var out []Entry
+	if q.Name != "" {
+		// Name is the unique key: one map probe, no scan, no sort.
+		d.mu.RLock()
+		e, ok := d.entries[q.Name]
+		var snap Entry
+		if ok {
+			snap = *e
+		}
+		d.mu.RUnlock()
+		if !ok || now.After(snap.Expires) ||
+			(q.Class != "" && !hier.IsSubclassOf(snap.Class, q.Class)) ||
+			(q.Room != "" && snap.Room != q.Room) {
+			return nil
+		}
+		return []Entry{snap}
+	}
+
+	d.mu.RLock()
+	candidates := make([]Entry, 0, len(d.entries))
 	for _, e := range d.entries {
+		// Cheap equality filters run under the lock (they shrink the
+		// copy); everything costlier waits until the lock is released.
 		if now.After(e.Expires) {
-			continue
-		}
-		if q.Name != "" && e.Name != q.Name {
-			continue
-		}
-		if q.Class != "" && !hier.IsSubclassOf(e.Class, q.Class) {
 			continue
 		}
 		if q.Room != "" && e.Room != q.Room {
 			continue
 		}
-		out = append(out, *e)
+		candidates = append(candidates, *e)
+	}
+	d.mu.RUnlock()
+
+	out := candidates[:0]
+	for i := range candidates {
+		if q.Class != "" && !hier.IsSubclassOf(candidates[i].Class, q.Class) {
+			continue
+		}
+		out = append(out, candidates[i])
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
@@ -204,14 +234,14 @@ func (d *Directory) Reap() []Entry {
 // Len returns the number of listings (including not-yet-reaped
 // expired ones).
 func (d *Directory) Len() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	return len(d.entries)
 }
 
 // Counters returns lifetime registration and expiration counts.
 func (d *Directory) Counters() (registrations, expirations int64) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	return d.registrations, d.expirations
 }

@@ -1,0 +1,118 @@
+package asd
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// seedDirectory fills d with n services spread over a class hierarchy
+// and a handful of rooms.
+func seedDirectory(b *testing.B, d *Directory, n int) {
+	b.Helper()
+	classes := []string{
+		"Service.Device.PTZCamera",
+		"Service.Device.Display",
+		"Service.Software.Recognizer",
+		"Service.Software.Logger",
+	}
+	for i := 0; i < n; i++ {
+		_, err := d.Register(Entry{
+			Name:  fmt.Sprintf("svc_%04d", i),
+			Host:  "bench",
+			Port:  1000 + i,
+			Addr:  "127.0.0.1:0",
+			Room:  fmt.Sprintf("room_%d", i%8),
+			Class: classes[i%len(classes)],
+			Lease: time.Hour,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLookupScan measures a class-filtered scan lookup by itself.
+func BenchmarkLookupScan(b *testing.B) {
+	d := NewDirectory()
+	seedDirectory(b, d, 1024)
+	q := Query{Class: "Service.Device"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := d.Lookup(q); len(got) == 0 {
+			b.Fatal("lookup found nothing")
+		}
+	}
+}
+
+// BenchmarkLookupByName measures the name fast path: one map probe
+// instead of a full scan and sort.
+func BenchmarkLookupByName(b *testing.B) {
+	d := NewDirectory()
+	seedDirectory(b, d, 1024)
+	q := Query{Name: "svc_0512"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := d.Lookup(q); len(got) != 1 {
+			b.Fatal("name lookup missed")
+		}
+	}
+}
+
+// BenchmarkRenewUnderLookupStorm is the regression scenario this
+// package's locking exists for: lease renewals racing a lookup storm.
+// The benchmark measures renew latency while GOMAXPROCS-many
+// goroutines run scan lookups flat out — the case where a mutex-held
+// full scan+sort previously serialized every renewal behind every
+// lookup. Reported as ns/op of Renew.
+func BenchmarkRenewUnderLookupStorm(b *testing.B) {
+	d := NewDirectory()
+	seedDirectory(b, d, 1024)
+
+	stop := make(chan struct{})
+	var storm sync.WaitGroup
+	var lookups atomic.Int64
+	for i := 0; i < runtime.GOMAXPROCS(0); i++ {
+		storm.Add(1)
+		go func() {
+			defer storm.Done()
+			q := Query{Class: "Service.Device"}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				d.Lookup(q)
+				lookups.Add(1)
+			}
+		}()
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Renew(fmt.Sprintf("svc_%04d", i%1024), time.Hour); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	storm.Wait()
+	b.ReportMetric(float64(lookups.Load())/b.Elapsed().Seconds(), "lookups/s")
+}
+
+// BenchmarkRenewIdle is the baseline: renewals with no competing
+// lookups, for comparison against BenchmarkRenewUnderLookupStorm.
+func BenchmarkRenewIdle(b *testing.B) {
+	d := NewDirectory()
+	seedDirectory(b, d, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Renew(fmt.Sprintf("svc_%04d", i%1024), time.Hour); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package cmdlang
 
-import "errors"
+import (
+	"errors"
+	"time"
+)
 
 // Return commands: the ACE convention for replying to an attempted
 // command. A reply is itself a command line named "ok" or "fail",
@@ -18,6 +21,9 @@ const (
 	ErrorArg = "error"
 	// CodeArg carries a machine-readable failure code on a "fail" reply.
 	CodeArg = "code"
+	// RetryAfterArg carries the server's suggested retry delay in
+	// milliseconds on a "busy" fail reply.
+	RetryAfterArg = "retry_after"
 )
 
 // Failure codes carried in the CodeArg of "fail" replies.
@@ -29,6 +35,11 @@ const (
 	CodeConflict       = "conflict"
 	CodeInternal       = "internal"
 	CodeUnavailable    = "unavailable"
+	// CodeBusy is the admission-control push-back: the daemon shed the
+	// command instead of queueing it. Unlike every other code it is
+	// retryable — the command was never executed, so clients retry with
+	// backoff, honoring the reply's retry_after hint when present.
+	CodeBusy = "busy"
 )
 
 // OK builds a successful return command. Result arguments are added
@@ -56,6 +67,19 @@ func FailErr(err error) *CmdLine {
 	return Fail(code, err.Error())
 }
 
+// Busy builds the overload push-back return command. A positive
+// retryAfter is the server's hint for when capacity should be back;
+// it rides along as retry_after in milliseconds (rounded up so a
+// sub-millisecond hint does not encode as "retry immediately").
+func Busy(retryAfter time.Duration) *CmdLine {
+	c := Fail(CodeBusy, "server overloaded; retry later")
+	if retryAfter > 0 {
+		ms := (retryAfter + time.Millisecond - 1) / time.Millisecond
+		c.SetInt(RetryAfterArg, int64(ms))
+	}
+	return c
+}
+
 // IsOK reports whether the command line is a successful return
 // command.
 func IsOK(c *CmdLine) bool { return c != nil && c.Name() == ReplyOKName }
@@ -76,7 +100,11 @@ func ReplyError(c *CmdLine) error {
 		return nil
 	}
 	if IsFail(c) {
-		return &RemoteError{Code: c.Str(CodeArg, CodeInternal), Msg: c.Str(ErrorArg, "unspecified failure")}
+		return &RemoteError{
+			Code:       c.Str(CodeArg, CodeInternal),
+			Msg:        c.Str(ErrorArg, "unspecified failure"),
+			RetryAfter: time.Duration(c.Int(RetryAfterArg, 0)) * time.Millisecond,
+		}
 	}
 	return errors.New("cmdlang: reply is not a return command: " + c.Name())
 }
@@ -86,6 +114,9 @@ func ReplyError(c *CmdLine) error {
 type RemoteError struct {
 	Code string
 	Msg  string
+	// RetryAfter is the server-suggested retry delay on CodeBusy
+	// replies (zero when the server sent no hint).
+	RetryAfter time.Duration
 }
 
 func (e *RemoteError) Error() string { return "ace: remote error (" + e.Code + "): " + e.Msg }

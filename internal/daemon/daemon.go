@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"ace/internal/cmdlang"
+	"ace/internal/flow"
 	"ace/internal/telemetry"
 	"ace/internal/wire"
 )
@@ -144,6 +145,20 @@ type Config struct {
 	// TraceBufferSpans bounds the in-process span buffer; 0 means
 	// telemetry.DefaultTraceBufferSpans.
 	TraceBufferSpans int
+	// Flow optionally tunes the daemon's admission controller. Nil
+	// takes flow.Config defaults, which are generous enough that an
+	// unloaded daemon never notices the controller.
+	Flow *flow.Config
+	// DisableFlow turns admission control off entirely (benchmarks and
+	// tests of the unprotected path).
+	DisableFlow bool
+	// ControlVerbs names additional commands classified as
+	// control-plane for admission: they are admitted into reserved
+	// headroom and bypass the rate limiter and fair-share accounting.
+	// The lease/heartbeat protocol verbs (register, renew, unregister,
+	// ping, telemetry, stats) are always control-plane; a pstore node
+	// adds its anti-entropy verbs here.
+	ControlVerbs []string
 }
 
 // Stats are the daemon's execution counters.
@@ -162,6 +177,7 @@ type ctlMsg struct {
 	cmd     *cmdlang.CmdLine
 	ctx     *Ctx
 	respond func(*cmdlang.CmdLine) // nil for one-way commands
+	ticket  *flow.Ticket           // admission slot; released after execution
 }
 
 // handlerEntry pairs a command handler with its per-verb dispatch
@@ -185,6 +201,15 @@ type Daemon struct {
 	done     chan struct{}
 	wg       sync.WaitGroup
 	pool     *Pool
+
+	// flow is the admission controller guarding the accept loop and
+	// dispatch path; nil when Config.DisableFlow is set (a nil
+	// controller admits everything).
+	flow         *flow.Controller
+	controlVerbs map[string]bool
+	// notifySem bounds concurrent notification deliveries; see
+	// dispatchNotifications.
+	notifySem chan struct{}
 
 	notify notifyTable
 
@@ -277,6 +302,7 @@ func New(cfg Config) *Daemon {
 		registry:      reg,
 		handlers:      make(map[string]*handlerEntry),
 		ctlQ:          make(chan ctlMsg, cfg.ControlQueueLen),
+		notifySem:     make(chan struct{}, notifySlots),
 		done:          make(chan struct{}),
 		conns:         make(map[net.Conn]struct{}),
 		pool:          NewPoolConfig(pc),
@@ -289,9 +315,32 @@ func New(cfg Config) *Daemon {
 		deregErrs:     tel.Counter(MetricDeregErrors),
 		connsActive:   tel.Gauge(MetricConnsActive),
 	}
+	if !cfg.DisableFlow {
+		fc := flow.Config{}
+		if cfg.Flow != nil {
+			fc = *cfg.Flow
+		}
+		d.flow = flow.NewController(fc, tel)
+	}
+	// The lease/heartbeat protocol is always control-plane: these verbs
+	// must survive overload or the directory forgets live services.
+	d.controlVerbs = map[string]bool{
+		CmdRegister:   true,
+		CmdRenew:      true,
+		CmdUnregister: true,
+		CmdPing:       true,
+		CmdStats:      true,
+		CmdTelemetry:  true,
+	}
+	for _, v := range cfg.ControlVerbs {
+		d.controlVerbs[v] = true
+	}
 	d.installBuiltins()
 	return d
 }
+
+// Flow returns the daemon's admission controller (nil when disabled).
+func (d *Daemon) Flow() *flow.Controller { return d.flow }
 
 // Telemetry returns the daemon's metrics registry (nil when telemetry
 // is disabled).
@@ -559,6 +608,9 @@ func (d *Daemon) Stop() {
 	}
 
 	close(d.done)
+	// Closing the flow controller wakes every queued waiter with
+	// ErrClosed, so no command thread blocks shutdown inside Admit.
+	d.flow.Close()
 	d.listener.Close()
 	d.udp.Close()
 	d.connsMu.Lock()
@@ -571,7 +623,9 @@ func (d *Daemon) Stop() {
 }
 
 // acceptLoop is run by the main thread's accept goroutine; each
-// accepted connection gets its own command thread.
+// admitted connection gets its own command thread. Connections beyond
+// the flow controller's cap are closed immediately — a bounded number
+// of command threads is the first line of overload defense.
 func (d *Daemon) acceptLoop() {
 	defer d.wg.Done()
 	tlsCfg := d.cfg.Transport.ServerConfig()
@@ -579,6 +633,10 @@ func (d *Daemon) acceptLoop() {
 		raw, err := d.listener.Accept()
 		if err != nil {
 			return
+		}
+		if !d.flow.AdmitConn() {
+			raw.Close()
+			continue
 		}
 		d.nConns.Add(1)
 		var conn net.Conn = raw
@@ -602,6 +660,7 @@ func (d *Daemon) commandThread(conn net.Conn) {
 		d.connsMu.Lock()
 		delete(d.conns, conn)
 		d.connsMu.Unlock()
+		d.flow.ReleaseConn()
 	}()
 
 	principal := "anonymous"
@@ -658,9 +717,33 @@ func (d *Daemon) commandThread(conn net.Conn) {
 				respond(reply)
 			}
 		}
+		// Admission control happens here, on the command thread, before
+		// the message reaches the serial control thread: shedding must
+		// not consume control-thread time, and a shed request is
+		// answered with a retryable busy reply instead of hanging.
+		pri := flow.Data
+		if d.controlVerbs[cmd.Name()] {
+			pri = flow.Control
+		}
+		ticket, err := d.flow.Admit(context.Background(), pri, mctx.Principal)
+		if err != nil {
+			if errors.Is(err, flow.ErrClosed) {
+				return // daemon is stopping
+			}
+			if msg.respond != nil {
+				var retry time.Duration
+				if re, ok := flow.IsRejected(err); ok {
+					retry = re.RetryAfter
+				}
+				msg.respond(cmdlang.Busy(retry))
+			}
+			continue
+		}
+		msg.ticket = ticket
 		select {
 		case d.ctlQ <- msg:
 		case <-d.done:
+			ticket.Done()
 			return
 		}
 	}
@@ -684,6 +767,9 @@ func (d *Daemon) execute(msg ctlMsg) {
 	start := time.Now()
 	e := d.handlers[msg.cmd.Name()]
 	reply := d.dispatch(e, msg.ctx, msg.cmd)
+	// The ticket's admit-to-Done latency (control-queue wait plus
+	// execution) is the congestion signal driving the adaptive limit.
+	msg.ticket.Done()
 	d.observe(e, msg.ctx, msg.cmd, reply, start)
 	if msg.respond != nil {
 		msg.respond(reply)

@@ -27,6 +27,14 @@ type notifyTarget struct {
 	Method  string
 }
 
+// notifySlots bounds the concurrent notification deliveries in
+// flight per daemon. When all slots are taken the delivery is dropped
+// and counted as a notify error: notifications are best-effort
+// one-way messages, and an unbounded fan-out goroutine per listener
+// is exactly the overload amplifier the flow subsystem exists to
+// prevent.
+const notifySlots = 64
+
 type notifyTable struct {
 	mu      sync.Mutex
 	targets map[string][]notifyTarget // command name → targets
@@ -97,16 +105,29 @@ func (d *Daemon) dispatchNotifications(ctx *Ctx, cmd *cmdlang.CmdLine) {
 	detail.Del(cmdlang.SeqArg)
 	detailStr := detail.String()
 	for _, nt := range targets {
-		d.nNotify.Add(1)
-		d.notifySent.Inc()
 		msg := cmdlang.New(nt.Method).
 			SetWord(NotifySourceArg, wordOr(d.cfg.Name)).
 			SetWord(NotifyEventArg, cmd.Name()).
 			SetString(NotifyDetailArg, detailStr)
 		target := nt
+		// Deliveries are bounded by the notify semaphore rather than the
+		// flow controller: notifications are outbound best-effort, so
+		// under overload they are dropped (and counted) instead of queued.
+		select {
+		case d.notifySem <- struct{}{}:
+		default:
+			d.notifyErrs.Inc()
+			continue
+		}
+		d.nNotify.Add(1)
+		d.notifySent.Inc()
 		d.wg.Add(1)
+		//acelint:ignore boundedspawn fan-out is bounded by notifySem above
 		go func() {
-			defer d.wg.Done()
+			defer func() {
+				<-d.notifySem
+				d.wg.Done()
+			}()
 			// Listeners may be gone (ASD lease expiry reaps them);
 			// count the failure instead of stalling the fan-out.
 			if err := d.pool.SendContext(tctx, target.Addr, msg); err != nil {

@@ -143,12 +143,14 @@ type Pool struct {
 	rng   *rand.Rand
 
 	retries     *telemetry.Counter
+	busyRetries *telemetry.Counter
 	transitions *telemetry.Counter
 }
 
 // Metric names recorded by the pool.
 const (
 	MetricPoolRetries        = "pool.retries"
+	MetricPoolBusyRetries    = "pool.busy_retries"
 	MetricBreakerTransitions = "pool.breaker.transitions"
 )
 
@@ -167,6 +169,7 @@ func NewPoolConfig(cfg PoolConfig) *Pool {
 		breakers:    make(map[string]*breaker),
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
 		retries:     cfg.Telemetry.Counter(MetricPoolRetries),
+		busyRetries: cfg.Telemetry.Counter(MetricPoolBusyRetries),
 		transitions: cfg.Telemetry.Counter(MetricBreakerTransitions),
 	}
 }
@@ -270,8 +273,10 @@ func (p *Pool) drop(addr string, c *wire.Client) {
 }
 
 // backoff sleeps the capped exponential delay for retry attempt n
-// (1-based) with ±50% jitter, or returns early when ctx expires.
-func (p *Pool) backoff(ctx context.Context, attempt int) error {
+// (1-based) with ±50% jitter, or returns early when ctx expires. A
+// positive floor (a server's retry_after hint) raises the delay so
+// the retry does not land before the server expects capacity back.
+func (p *Pool) backoff(ctx context.Context, attempt int, floor time.Duration) error {
 	d := p.cfg.BackoffBase << (attempt - 1)
 	if d > p.cfg.BackoffMax || d <= 0 {
 		d = p.cfg.BackoffMax
@@ -280,6 +285,9 @@ func (p *Pool) backoff(ctx context.Context, attempt int) error {
 	jitter := 0.5 + p.rng.Float64() // [0.5, 1.5)
 	p.rngMu.Unlock()
 	d = time.Duration(float64(d) * jitter)
+	if d < floor {
+		d = floor
+	}
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
@@ -301,8 +309,13 @@ func (p *Pool) Call(addr string, cmd *cmdlang.CmdLine) (*cmdlang.CmdLine, error)
 // deadline the pool's CallTimeout applies, so no call path can block
 // forever. Transport failures are retried up to MaxRetries times with
 // capped exponential backoff and jitter; remote errors (the daemon
-// answered "fail") are returned immediately and never retried. When
-// the address's circuit breaker is open the call fails fast with
+// answered "fail") are returned immediately and never retried — with
+// one exception: a "busy" reply is the server's admission controller
+// shedding load before execution, so it is retried like a transport
+// failure (same attempt budget, backoff raised to any server-supplied
+// retry_after hint) but never charges the circuit breaker or drops
+// the connection, because the peer is demonstrably alive. When the
+// address's circuit breaker is open the call fails fast with
 // ErrCircuitOpen without touching the network.
 //
 // A cancelled context (context.Canceled, as opposed to a deadline)
@@ -318,13 +331,15 @@ func (p *Pool) CallContext(ctx context.Context, addr string, cmd *cmdlang.CmdLin
 	}
 	br := p.breakerFor(addr)
 	var lastErr error
+	var retryFloor time.Duration // server-suggested wait before the next attempt
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
-			if err := p.backoff(ctx, attempt); err != nil {
+			if err := p.backoff(ctx, attempt, retryFloor); err != nil {
 				return nil, lastErr
 			}
 			p.retries.Inc()
 		}
+		retryFloor = 0
 		if br != nil {
 			if err := br.allow(); err != nil {
 				return nil, fmt.Errorf("daemon: %s: %w", addr, err)
@@ -337,12 +352,24 @@ func (p *Pool) CallContext(ctx context.Context, addr string, cmd *cmdlang.CmdLin
 			}
 			return reply, nil
 		}
-		if _, isRemote := err.(*cmdlang.RemoteError); isRemote {
+		if re, isRemote := err.(*cmdlang.RemoteError); isRemote {
 			// The daemon answered; the connection and peer are fine.
 			if br != nil {
 				br.success()
 			}
-			return nil, err
+			if re.Code != cmdlang.CodeBusy {
+				return nil, err
+			}
+			// Overload push-back: the command was shed before execution,
+			// so a retry cannot duplicate side effects. Honor the
+			// server's retry_after hint as the backoff floor.
+			lastErr = err
+			retryFloor = re.RetryAfter
+			if ctx.Err() != nil || attempt >= p.cfg.MaxRetries {
+				return nil, lastErr
+			}
+			p.busyRetries.Inc()
+			continue
 		}
 		if errors.Is(err, context.Canceled) {
 			// The caller abandoned the call — e.g. a quorum fast-path

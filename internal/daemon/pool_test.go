@@ -5,10 +5,12 @@ import (
 	"errors"
 	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"ace/internal/cmdlang"
+	"ace/internal/telemetry"
 )
 
 // tightPool returns a pool tuned so that failures are cheap and the
@@ -351,5 +353,100 @@ func TestSendRetriesOnlyKnownDeadConnections(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("notification never delivered")
+	}
+}
+
+// busyDaemon starts a daemon whose "work" handler answers busy (with
+// the given retry_after hint) for the first n calls and ok afterward.
+// It returns the daemon and a counter of handler invocations.
+func busyDaemon(t *testing.T, n int, hint time.Duration) (*Daemon, *atomic.Int64) {
+	t.Helper()
+	calls := &atomic.Int64{}
+	d := startTestDaemon(t, Config{Name: "swamped"}, func(d *Daemon) {
+		d.Handle(cmdlang.CommandSpec{Name: "work"}, func(_ *Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+			if calls.Add(1) <= int64(n) {
+				return cmdlang.Busy(hint), nil
+			}
+			return cmdlang.OK(), nil
+		})
+	})
+	return d, calls
+}
+
+// TestCallRetriesBusyHonoringRetryAfter: a busy reply is retried
+// within the same attempt budget, the server's retry_after hint
+// raises the backoff floor, and the breaker is never charged — the
+// peer is alive, just shedding.
+func TestCallRetriesBusyHonoringRetryAfter(t *testing.T) {
+	const hint = 40 * time.Millisecond
+	d, calls := busyDaemon(t, 2, hint)
+	p := tightPool(PoolConfig{MaxRetries: 5, Telemetry: telemetry.NewRegistry()})
+	defer p.Close()
+
+	start := time.Now()
+	reply, err := p.Call(d.Addr(), cmdlang.New("work"))
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("call should succeed after busy retries: %v", err)
+	}
+	if !cmdlang.IsOK(reply) {
+		t.Fatalf("reply: %v", reply)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("handler ran %d times, want 3 (2 busy + 1 ok)", got)
+	}
+	// Two busy replies → two waits of at least the server hint each.
+	if elapsed < 2*hint {
+		t.Fatalf("retries ignored retry_after: finished in %v, want >= %v", elapsed, 2*hint)
+	}
+	if st := p.BreakerState(d.Addr()); st != "closed" {
+		t.Fatalf("busy replies must not charge the breaker: state %s", st)
+	}
+	snap := p.Telemetry().Snapshot()
+	if got := snap.Counter(MetricPoolBusyRetries); got != 2 {
+		t.Fatalf("%s = %d, want 2", MetricPoolBusyRetries, got)
+	}
+}
+
+// TestCallBusyExhaustsBudget: a peer that never stops shedding
+// eventually surfaces the busy error to the caller instead of
+// spinning forever.
+func TestCallBusyExhaustsBudget(t *testing.T) {
+	d, _ := busyDaemon(t, 1<<30, time.Millisecond)
+	p := tightPool(PoolConfig{MaxRetries: 2})
+	defer p.Close()
+
+	_, err := p.Call(d.Addr(), cmdlang.New("work"))
+	if !cmdlang.IsRemoteCode(err, cmdlang.CodeBusy) {
+		t.Fatalf("want busy remote error, got %v", err)
+	}
+	var re *cmdlang.RemoteError
+	if !errors.As(err, &re) || re.RetryAfter != time.Millisecond {
+		t.Fatalf("busy error should carry retry_after, got %+v", re)
+	}
+	if st := p.BreakerState(d.Addr()); st != "closed" {
+		t.Fatalf("breaker charged by busy replies: %s", st)
+	}
+}
+
+// TestCallDoesNotRetryOtherRemoteErrors: only busy is retryable;
+// every other fail code is a definitive answer.
+func TestCallDoesNotRetryOtherRemoteErrors(t *testing.T) {
+	calls := &atomic.Int64{}
+	d := startTestDaemon(t, Config{Name: "nope"}, func(d *Daemon) {
+		d.Handle(cmdlang.CommandSpec{Name: "find"}, func(_ *Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+			calls.Add(1)
+			return cmdlang.Fail(cmdlang.CodeNotFound, "no such thing"), nil
+		})
+	})
+	p := tightPool(PoolConfig{MaxRetries: 5})
+	defer p.Close()
+
+	_, err := p.Call(d.Addr(), cmdlang.New("find"))
+	if !cmdlang.IsRemoteCode(err, cmdlang.CodeNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("non-busy remote error retried: handler ran %d times", got)
 	}
 }

@@ -1,0 +1,116 @@
+package flow
+
+import (
+	"sync"
+	"time"
+)
+
+// AIMDConfig tunes an AIMDLimiter. Zero fields take the defaults
+// noted on each field.
+type AIMDConfig struct {
+	// Initial seeds the limit (default 64).
+	Initial int
+	// Min and Max bound the limit (defaults 8 and 1024).
+	Min int
+	Max int
+	// Target is the latency the limiter steers toward (default 50ms).
+	Target time.Duration
+	// DecreaseFactor is the multiplicative backoff in (0,1)
+	// (default 0.75).
+	DecreaseFactor float64
+	// Cooldown spaces decreases: one congested burst produces one
+	// backoff, not one per in-flight request (default Target).
+	Cooldown time.Duration
+}
+
+func (c AIMDConfig) withDefaults() AIMDConfig {
+	if c.Initial <= 0 {
+		c.Initial = 64
+	}
+	if c.Min <= 0 {
+		c.Min = 8
+	}
+	if c.Max <= 0 {
+		c.Max = 1024
+	}
+	if c.Min > c.Max {
+		c.Min = c.Max
+	}
+	if c.Initial < c.Min {
+		c.Initial = c.Min
+	}
+	if c.Initial > c.Max {
+		c.Initial = c.Max
+	}
+	if c.Target <= 0 {
+		c.Target = 50 * time.Millisecond
+	}
+	if c.DecreaseFactor <= 0 || c.DecreaseFactor >= 1 {
+		c.DecreaseFactor = 0.75
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = c.Target
+	}
+	return c
+}
+
+// AIMDLimiter is an adaptive concurrency limit driven by observed
+// request latency, in the spirit of TCP congestion control and the
+// gradient/Vegas concurrency limiters: while completions come back
+// under the target latency the limit creeps up additively (~one slot
+// per limit-many completions, i.e. one per "round trip"); a
+// completion over the target cuts it multiplicatively, at most once
+// per cooldown so a single congested burst costs one backoff. The
+// limit therefore oscillates around the daemon's real capacity
+// instead of being a hand-tuned constant.
+type AIMDLimiter struct {
+	cfg AIMDConfig
+
+	mu           sync.Mutex
+	limit        float64
+	lastDecrease time.Time
+	decreases    int64
+}
+
+// NewAIMDLimiter builds a limiter from cfg.
+func NewAIMDLimiter(cfg AIMDConfig) *AIMDLimiter {
+	cfg = cfg.withDefaults()
+	return &AIMDLimiter{cfg: cfg, limit: float64(cfg.Initial)}
+}
+
+// Limit returns the current integer limit (never below Min).
+func (l *AIMDLimiter) Limit() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return int(l.limit)
+}
+
+// Decreases returns how many multiplicative backoffs have fired.
+func (l *AIMDLimiter) Decreases() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.decreases
+}
+
+// Observe feeds one completed request's latency at time now and
+// returns the (possibly adjusted) limit.
+func (l *AIMDLimiter) Observe(latency time.Duration, now time.Time) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if latency > l.cfg.Target {
+		if now.Sub(l.lastDecrease) >= l.cfg.Cooldown {
+			l.limit *= l.cfg.DecreaseFactor
+			if l.limit < float64(l.cfg.Min) {
+				l.limit = float64(l.cfg.Min)
+			}
+			l.lastDecrease = now
+			l.decreases++
+		}
+	} else {
+		l.limit += 1 / l.limit
+		if l.limit > float64(l.cfg.Max) {
+			l.limit = float64(l.cfg.Max)
+		}
+	}
+	return int(l.limit)
+}

@@ -1,0 +1,77 @@
+package flow
+
+import (
+	"sync"
+	"time"
+)
+
+// TokenBucket is a classic rate limiter: tokens refill continuously
+// at Rate per second up to Burst; each admission takes one. It
+// answers a failed take with the exact wait until enough tokens will
+// have refilled, which becomes the busy reply's retry_after hint.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+// NewTokenBucket returns a full bucket refilling at rate tokens per
+// second with the given burst capacity. clock injects a time source
+// (nil means time.Now).
+func NewTokenBucket(rate float64, burst int, clock func() time.Time) *TokenBucket {
+	if clock == nil {
+		clock = time.Now
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &TokenBucket{
+		rate:   rate,
+		burst:  float64(burst),
+		tokens: float64(burst),
+		last:   clock(),
+		now:    clock,
+	}
+}
+
+// Take attempts to remove n tokens. On success it returns (true, 0);
+// on failure, (false, wait) where wait is how long until the bucket
+// will hold n tokens at the current rate.
+func (b *TokenBucket) Take(n int) (bool, time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	elapsed := now.Sub(b.last)
+	if elapsed > 0 {
+		b.tokens += elapsed.Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+	need := float64(n)
+	if b.tokens >= need {
+		b.tokens -= need
+		return true, 0
+	}
+	wait := time.Duration((need - b.tokens) / b.rate * float64(time.Second))
+	if wait < time.Millisecond {
+		wait = time.Millisecond
+	}
+	return false, wait
+}
+
+// Tokens returns the current token count (after refill accounting).
+func (b *TokenBucket) Tokens() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	elapsed := b.now().Sub(b.last)
+	t := b.tokens + elapsed.Seconds()*b.rate
+	if t > b.burst {
+		t = b.burst
+	}
+	return t
+}

@@ -1,0 +1,629 @@
+// Package flow is the admission-control and overload-protection
+// subsystem of the ACE reproduction. Every daemon accepts commands
+// through a flow Controller, which decides — before any work is done
+// — whether a request is executed now, waits briefly in a bounded
+// queue, or is shed with a retryable "busy" push-back.
+//
+// The paper's room-scale substrate accepts unboundedly; at the
+// ROADMAP's millions-of-users scale that turns overload into
+// collapse (unbounded goroutines, unbounded queues, lease renewals
+// starved behind lookup storms). The Controller converts overload
+// into graceful degradation with four mechanisms:
+//
+//   - a token-bucket rate limiter bounding the data-plane admission
+//     rate (TokenBucket);
+//   - an adaptive concurrency limiter (AIMDLimiter) that probes for
+//     capacity additively while latency is below a target and backs
+//     off multiplicatively when it is above — in the spirit of
+//     TCP-Vegas/gradient concurrency limiters;
+//   - a bounded admission queue with per-request deadlines and a
+//     LIFO-on-overload policy: when the queue is saturated the
+//     oldest waiter (the one that has already burned most of its
+//     deadline) is shed and fresh work is served newest-first, so
+//     the daemon spends its capacity on requests whose callers are
+//     still listening;
+//   - priority classes with per-principal fair-share accounting:
+//     control-plane verbs (register/renew/heartbeat, pstore sync)
+//     admit into reserved headroom above the data-plane limit and
+//     bypass the rate and fair-share gates, so leases survive
+//     overload, while no single principal can hold more than its
+//     share of data-plane slots once the daemon is half full.
+//
+// Shed requests carry a retry-after hint; the daemon shell converts
+// a rejection into the cmdlang "busy" reply and daemon.Pool retries
+// it with backoff, so the environment degrades end-to-end instead of
+// hanging or dropping connections.
+package flow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ace/internal/telemetry"
+)
+
+// Priority classifies a request for admission. Control-plane traffic
+// keeps the environment alive (lease renewals, heartbeats, replica
+// sync) and is admitted into reserved headroom that data-plane
+// commands can never occupy.
+type Priority int
+
+const (
+	// Control is the infrastructure class: register/renew/heartbeat,
+	// pstore anti-entropy, introspection.
+	Control Priority = iota
+	// Data is every ordinary service command.
+	Data
+)
+
+// String names the priority ("control" / "data"), used as the metric
+// suffix.
+func (p Priority) String() string {
+	if p == Control {
+		return "control"
+	}
+	return "data"
+}
+
+// ErrClosed is returned by Admit after the controller shut down.
+var ErrClosed = errors.New("flow: controller closed")
+
+// Rejection reasons carried by RejectedError.
+const (
+	ReasonRate         = "rate"          // token bucket empty
+	ReasonFairShare    = "fair_share"    // principal over its share
+	ReasonQueueFull    = "queue_full"    // shed under the LIFO-on-overload policy
+	ReasonQueueTimeout = "queue_timeout" // deadline expired while queued
+	ReasonConnLimit    = "conn_limit"    // connection cap reached
+)
+
+// RejectedError is an admission refusal: the request was never
+// executed and the caller should retry after RetryAfter.
+type RejectedError struct {
+	Reason     string
+	RetryAfter time.Duration
+}
+
+func (e *RejectedError) Error() string {
+	return fmt.Sprintf("flow: admission rejected (%s), retry after %v", e.Reason, e.RetryAfter)
+}
+
+// IsRejected reports whether err is an admission rejection and
+// returns it.
+func IsRejected(err error) (*RejectedError, bool) {
+	var re *RejectedError
+	ok := errors.As(err, &re)
+	return re, ok
+}
+
+// Config tunes a Controller. The zero value takes every default; all
+// defaults are deliberately generous so an idle or lightly loaded
+// daemon never notices the controller.
+type Config struct {
+	// InitialLimit seeds the adaptive concurrency limit.
+	// Default 64.
+	InitialLimit int
+	// MinLimit / MaxLimit bound the adaptive limit. Defaults 8 / 1024.
+	MinLimit int
+	MaxLimit int
+	// TargetLatency is the admit-to-completion latency the adaptive
+	// limiter steers toward. Default 50ms.
+	TargetLatency time.Duration
+	// DecreaseFactor is the multiplicative backoff applied when
+	// latency exceeds the target (at most once per cooldown).
+	// Default 0.75.
+	DecreaseFactor float64
+	// DecreaseCooldown spaces multiplicative decreases so one
+	// congested burst does not collapse the limit. Default
+	// TargetLatency (one congestion interval).
+	DecreaseCooldown time.Duration
+	// Rate is the data-plane token-bucket refill rate in admissions
+	// per second; <= 0 disables rate limiting (the concurrency limit
+	// still applies). Default disabled.
+	Rate float64
+	// Burst is the token-bucket capacity; default max(1, Rate).
+	Burst int
+	// QueueLen bounds the admission queue per priority. Default 128.
+	QueueLen int
+	// MaxQueueWait is the per-request queueing deadline. Default
+	// 100ms.
+	MaxQueueWait time.Duration
+	// ControlReserve is the fraction of the data-plane limit reserved
+	// as extra headroom for control traffic. Default 0.25.
+	ControlReserve float64
+	// MaxConns caps concurrently admitted connections at the accept
+	// loop. Default 4096.
+	MaxConns int
+	// Clock injects a time source (tests). Default time.Now.
+	Clock func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.InitialLimit <= 0 {
+		c.InitialLimit = 64
+	}
+	if c.MinLimit <= 0 {
+		c.MinLimit = 8
+	}
+	if c.MaxLimit <= 0 {
+		c.MaxLimit = 1024
+	}
+	if c.MinLimit > c.MaxLimit {
+		c.MinLimit = c.MaxLimit
+	}
+	if c.InitialLimit < c.MinLimit {
+		c.InitialLimit = c.MinLimit
+	}
+	if c.InitialLimit > c.MaxLimit {
+		c.InitialLimit = c.MaxLimit
+	}
+	if c.TargetLatency <= 0 {
+		c.TargetLatency = 50 * time.Millisecond
+	}
+	if c.DecreaseFactor <= 0 || c.DecreaseFactor >= 1 {
+		c.DecreaseFactor = 0.75
+	}
+	if c.DecreaseCooldown <= 0 {
+		c.DecreaseCooldown = c.TargetLatency
+	}
+	if c.Burst <= 0 {
+		c.Burst = int(c.Rate)
+		if c.Burst < 1 {
+			c.Burst = 1
+		}
+	}
+	if c.QueueLen <= 0 {
+		c.QueueLen = 128
+	}
+	if c.MaxQueueWait <= 0 {
+		c.MaxQueueWait = 100 * time.Millisecond
+	}
+	if c.ControlReserve <= 0 {
+		c.ControlReserve = 0.25
+	}
+	if c.MaxConns <= 0 {
+		c.MaxConns = 4096
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c
+}
+
+// Metric names recorded by a Controller.
+const (
+	MetricAdmittedControl  = "flow.admitted.control"
+	MetricAdmittedData     = "flow.admitted.data"
+	MetricShedControl      = "flow.shed.control"
+	MetricShedData         = "flow.shed.data"
+	MetricQueueWaitControl = "flow.queue_wait.control"
+	MetricQueueWaitData    = "flow.queue_wait.data"
+	MetricLimit            = "flow.limit"
+	MetricInflight         = "flow.inflight"
+	MetricQueueDepth       = "flow.queue.depth"
+	MetricConnsShed        = "flow.conns.shed"
+)
+
+// Controller is one daemon's admission gate. A nil *Controller is
+// the disabled controller: it admits everything and all its methods
+// are no-ops, so call sites need no branches.
+type Controller struct {
+	cfg Config
+	now func() time.Time
+
+	mu           sync.Mutex
+	aimd         *AIMDLimiter
+	bucket       *TokenBucket
+	inflight     int
+	perPrincipal map[string]int
+	ctlQ         waitQueue
+	dataQ        waitQueue
+	conns        int
+	closed       bool
+
+	// lifetime counters (Snapshot reads these; telemetry mirrors them
+	// so they are observable remotely even though the registry may be
+	// nil).
+	nAdmitted [2]int64
+	nShed     [2]int64
+	nConnShed int64
+
+	mAdmitted  [2]*telemetry.Counter
+	mShed      [2]*telemetry.Counter
+	mQueueWait [2]*telemetry.Histogram
+	mLimit     *telemetry.Gauge
+	mInflight  *telemetry.Gauge
+	mQueueLen  *telemetry.Gauge
+	mConnsShed *telemetry.Counter
+}
+
+// NewController builds a controller from cfg, recording into reg
+// (nil disables telemetry but not the controller).
+func NewController(cfg Config, reg *telemetry.Registry) *Controller {
+	cfg = cfg.withDefaults()
+	c := &Controller{
+		cfg: cfg,
+		now: cfg.Clock,
+		aimd: NewAIMDLimiter(AIMDConfig{
+			Initial:        cfg.InitialLimit,
+			Min:            cfg.MinLimit,
+			Max:            cfg.MaxLimit,
+			Target:         cfg.TargetLatency,
+			DecreaseFactor: cfg.DecreaseFactor,
+			Cooldown:       cfg.DecreaseCooldown,
+		}),
+		perPrincipal: make(map[string]int),
+		mAdmitted:    [2]*telemetry.Counter{reg.Counter(MetricAdmittedControl), reg.Counter(MetricAdmittedData)},
+		mShed:        [2]*telemetry.Counter{reg.Counter(MetricShedControl), reg.Counter(MetricShedData)},
+		mQueueWait:   [2]*telemetry.Histogram{reg.Histogram(MetricQueueWaitControl), reg.Histogram(MetricQueueWaitData)},
+		mLimit:       reg.Gauge(MetricLimit),
+		mInflight:    reg.Gauge(MetricInflight),
+		mQueueLen:    reg.Gauge(MetricQueueDepth),
+		mConnsShed:   reg.Counter(MetricConnsShed),
+	}
+	if cfg.Rate > 0 {
+		c.bucket = NewTokenBucket(cfg.Rate, cfg.Burst, cfg.Clock)
+	}
+	c.mLimit.Set(int64(c.aimd.Limit()))
+	return c
+}
+
+// Ticket is one admitted request. Done must be called exactly when
+// the work completes; the admit-to-Done latency drives the adaptive
+// limit. A nil Ticket (from a nil Controller) is a no-op.
+type Ticket struct {
+	c         *Controller
+	pri       Priority
+	principal string
+	start     time.Time
+	once      sync.Once
+}
+
+// Done releases the ticket's concurrency slot and feeds the observed
+// latency to the adaptive limiter. It is idempotent.
+func (t *Ticket) Done() {
+	if t == nil {
+		return
+	}
+	t.once.Do(func() { t.c.release(t) })
+}
+
+// Admit asks for one slot. It returns immediately when capacity is
+// free, waits in the bounded admission queue (up to MaxQueueWait,
+// the ctx deadline, whichever is sooner) when the daemon is at its
+// limit, and fails with *RejectedError when the request is shed or
+// ErrClosed after shutdown. On a nil Controller it admits with a nil
+// (no-op) Ticket.
+func (c *Controller) Admit(ctx context.Context, pri Priority, principal string) (*Ticket, error) {
+	if c == nil {
+		return nil, nil
+	}
+	now := c.now()
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if pri == Control {
+		if c.inflight < c.hardCapLocked() {
+			t := c.admitLocked(pri, principal, now, now)
+			c.mu.Unlock()
+			return t, nil
+		}
+	} else {
+		if c.bucket != nil {
+			if ok, retry := c.bucket.Take(1); !ok {
+				err := c.shedLocked(pri, ReasonRate, retry)
+				c.mu.Unlock()
+				return nil, err
+			}
+		}
+		if c.fairShareExceededLocked(principal) {
+			err := c.shedLocked(pri, ReasonFairShare, c.retryHintLocked())
+			c.mu.Unlock()
+			return nil, err
+		}
+		if c.inflight < c.aimd.Limit() {
+			t := c.admitLocked(pri, principal, now, now)
+			c.mu.Unlock()
+			return t, nil
+		}
+	}
+
+	// At capacity: join the bounded queue.
+	deadline := now.Add(c.cfg.MaxQueueWait)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	w := &waiter{
+		ready:     make(chan struct{}),
+		pri:       pri,
+		principal: principal,
+		enq:       now,
+		deadline:  deadline,
+	}
+	q := &c.dataQ
+	if pri == Control {
+		q = &c.ctlQ
+	}
+	var dropped *waiter
+	if q.len() >= c.cfg.QueueLen {
+		// LIFO-on-overload drop policy: shed the oldest waiter — it
+		// has burned the most of its deadline and its caller is the
+		// least likely to still be listening — and keep the newcomer.
+		dropped = q.popOldest()
+		dropped.state = waiterRejected
+		dropped.reject = c.shedLocked(dropped.pri, ReasonQueueFull, c.retryHintLocked())
+	}
+	q.push(w)
+	c.mQueueLen.Set(int64(c.ctlQ.len() + c.dataQ.len()))
+	c.mu.Unlock()
+	if dropped != nil {
+		close(dropped.ready)
+	}
+
+	timer := time.NewTimer(deadline.Sub(now))
+	defer timer.Stop()
+	select {
+	case <-w.ready:
+	case <-ctx.Done():
+	case <-timer.C:
+	}
+
+	c.mu.Lock()
+	switch w.state {
+	case waiterAdmitted:
+		// Admission may have raced the timer; the slot is already
+		// held, so take it regardless of which select arm fired.
+		t := &Ticket{c: c, pri: pri, principal: principal, start: w.enq}
+		c.mQueueWait[pri].Observe(c.now().Sub(w.enq))
+		c.mu.Unlock()
+		return t, nil
+	case waiterRejected:
+		err := w.reject
+		c.mu.Unlock()
+		return nil, err
+	case waiterClosed:
+		c.mu.Unlock()
+		return nil, ErrClosed
+	default:
+		// Timed out (or ctx cancelled) while still queued.
+		q.remove(w)
+		err := c.shedLocked(pri, ReasonQueueTimeout, c.retryHintLocked())
+		c.mQueueLen.Set(int64(c.ctlQ.len() + c.dataQ.len()))
+		c.mu.Unlock()
+		return nil, err
+	}
+}
+
+// admitLocked hands out a slot. start is the admission request time
+// (queue wait baseline); the queue-wait histogram records now-start.
+func (c *Controller) admitLocked(pri Priority, principal string, start, now time.Time) *Ticket {
+	c.inflight++
+	c.perPrincipal[principal]++
+	c.nAdmitted[pri]++
+	c.mAdmitted[pri].Inc()
+	c.mInflight.Set(int64(c.inflight))
+	c.mQueueWait[pri].Observe(now.Sub(start))
+	return &Ticket{c: c, pri: pri, principal: principal, start: start}
+}
+
+// shedLocked counts a rejection and builds its error.
+func (c *Controller) shedLocked(pri Priority, reason string, retry time.Duration) *RejectedError {
+	c.nShed[pri]++
+	c.mShed[pri].Inc()
+	return &RejectedError{Reason: reason, RetryAfter: retry}
+}
+
+// retryHintLocked suggests when a shed caller should retry: one
+// target-latency interval — roughly the time a queue drain takes to
+// become visible. A precise estimate is not worth the bookkeeping;
+// the pool's jittered backoff spreads retries anyway.
+func (c *Controller) retryHintLocked() time.Duration {
+	return c.cfg.TargetLatency
+}
+
+// hardCapLocked is the control-plane ceiling: the data-plane limit
+// plus reserved headroom data traffic can never occupy.
+func (c *Controller) hardCapLocked() int {
+	limit := c.aimd.Limit()
+	reserve := int(float64(limit) * c.cfg.ControlReserve)
+	if reserve < 1 {
+		reserve = 1
+	}
+	return limit + reserve
+}
+
+// fairShareExceededLocked enforces per-principal fairness once the
+// data plane is at least half full: each active principal is entitled
+// to an equal share of the limit (at least one slot), so one noisy
+// client saturating the daemon cannot starve the rest.
+func (c *Controller) fairShareExceededLocked(principal string) bool {
+	limit := c.aimd.Limit()
+	if c.inflight*2 < limit {
+		return false
+	}
+	active := len(c.perPrincipal)
+	if c.perPrincipal[principal] == 0 {
+		active++ // this principal is about to become active
+	}
+	share := limit / active
+	if share < 1 {
+		share = 1
+	}
+	return c.perPrincipal[principal] >= share
+}
+
+// release returns t's slot, feeds the adaptive limiter, and admits
+// as many waiters as the new limit allows.
+func (c *Controller) release(t *Ticket) {
+	now := c.now()
+	c.mu.Lock()
+	c.inflight--
+	if n := c.perPrincipal[t.principal]; n <= 1 {
+		delete(c.perPrincipal, t.principal)
+	} else {
+		c.perPrincipal[t.principal] = n - 1
+	}
+	limit := c.aimd.Observe(now.Sub(t.start), now)
+	c.mLimit.Set(int64(limit))
+	wake := c.fillLocked(now)
+	c.mInflight.Set(int64(c.inflight))
+	c.mQueueLen.Set(int64(c.ctlQ.len() + c.dataQ.len()))
+	c.mu.Unlock()
+	for _, w := range wake {
+		close(w.ready)
+	}
+}
+
+// fillLocked admits queued waiters into freed capacity: control
+// first (into the hard cap), then data (into the adaptive limit).
+// Under overload — the data queue at least half full — data waiters
+// are served newest-first (LIFO), because the newest waiter has the
+// most deadline left and the freshest caller; under light queueing
+// FIFO preserves ordering. Expired waiters are shed on the way.
+func (c *Controller) fillLocked(now time.Time) []*waiter {
+	var wake []*waiter
+	for c.ctlQ.len() > 0 && c.inflight < c.hardCapLocked() {
+		w := c.ctlQ.popOldest()
+		wake = append(wake, c.fillOneLocked(w, now))
+	}
+	for c.dataQ.len() > 0 && c.inflight < c.aimd.Limit() {
+		var w *waiter
+		if c.dataQ.len()*2 >= c.cfg.QueueLen {
+			w = c.popNewest(&c.dataQ)
+		} else {
+			w = c.dataQ.popOldest()
+		}
+		wake = append(wake, c.fillOneLocked(w, now))
+	}
+	return wake
+}
+
+// popNewest is dataQ.popNewest, split out for symmetry with fill.
+func (c *Controller) popNewest(q *waitQueue) *waiter { return q.popNewest() }
+
+// fillOneLocked admits or expires one popped waiter.
+func (c *Controller) fillOneLocked(w *waiter, now time.Time) *waiter {
+	if now.After(w.deadline) {
+		w.state = waiterRejected
+		w.reject = c.shedLocked(w.pri, ReasonQueueTimeout, c.retryHintLocked())
+		return w
+	}
+	w.state = waiterAdmitted
+	c.inflight++
+	c.perPrincipal[w.principal]++
+	c.nAdmitted[w.pri]++
+	c.mAdmitted[w.pri].Inc()
+	return w
+}
+
+// AdmitConn gates the accept loop: it reports whether a new
+// connection may be served, counting a shed when not. A nil
+// controller admits everything.
+func (c *Controller) AdmitConn() bool {
+	if c == nil {
+		return true
+	}
+	c.mu.Lock()
+	if c.closed || c.conns >= c.cfg.MaxConns {
+		c.nConnShed++
+		c.mConnsShed.Inc()
+		c.mu.Unlock()
+		return false
+	}
+	c.conns++
+	c.mu.Unlock()
+	return true
+}
+
+// ReleaseConn returns a connection slot taken by AdmitConn.
+func (c *Controller) ReleaseConn() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.conns > 0 {
+		c.conns--
+	}
+	c.mu.Unlock()
+}
+
+// Close rejects every queued waiter with ErrClosed and makes all
+// future Admits fail. Held tickets may still call Done.
+func (c *Controller) Close() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	var wake []*waiter
+	for c.ctlQ.len() > 0 {
+		w := c.ctlQ.popOldest()
+		w.state = waiterClosed
+		wake = append(wake, w)
+	}
+	for c.dataQ.len() > 0 {
+		w := c.dataQ.popOldest()
+		w.state = waiterClosed
+		wake = append(wake, w)
+	}
+	c.mQueueLen.Set(0)
+	c.mu.Unlock()
+	for _, w := range wake {
+		close(w.ready)
+	}
+}
+
+// Snapshot is a point-in-time view of the controller.
+type Snapshot struct {
+	// Limit is the current adaptive data-plane concurrency limit.
+	Limit int
+	// HardCap is the control-plane ceiling (limit + reserve).
+	HardCap int
+	// Inflight is the number of admitted, uncompleted requests.
+	Inflight int
+	// QueueDepth is the number of queued waiters (both priorities).
+	QueueDepth int
+	// Conns is the number of admitted connections.
+	Conns int
+	// Principals is the number of principals holding slots.
+	Principals int
+	// AdmittedControl/AdmittedData/ShedControl/ShedData/ConnsShed are
+	// lifetime counters.
+	AdmittedControl int64
+	AdmittedData    int64
+	ShedControl     int64
+	ShedData        int64
+	ConnsShed       int64
+}
+
+// Snapshot returns the controller's current state (zero value for a
+// nil controller).
+func (c *Controller) Snapshot() Snapshot {
+	if c == nil {
+		return Snapshot{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Snapshot{
+		Limit:           c.aimd.Limit(),
+		HardCap:         c.hardCapLocked(),
+		Inflight:        c.inflight,
+		QueueDepth:      c.ctlQ.len() + c.dataQ.len(),
+		Conns:           c.conns,
+		Principals:      len(c.perPrincipal),
+		AdmittedControl: c.nAdmitted[Control],
+		AdmittedData:    c.nAdmitted[Data],
+		ShedControl:     c.nShed[Control],
+		ShedData:        c.nShed[Data],
+		ConnsShed:       c.nConnShed,
+	}
+}

@@ -1,0 +1,64 @@
+package flow
+
+import "time"
+
+// waiter states, guarded by the Controller mutex.
+const (
+	waiterQueued = iota
+	waiterAdmitted
+	waiterRejected
+	waiterClosed
+)
+
+// waiter is one request parked in the admission queue. The ready
+// channel is closed (outside the controller lock) once state leaves
+// waiterQueued; the waiting goroutine re-locks to read the outcome.
+type waiter struct {
+	ready     chan struct{}
+	pri       Priority
+	principal string
+	enq       time.Time
+	deadline  time.Time
+	state     int
+	reject    *RejectedError
+}
+
+// waitQueue is a slice-backed deque of waiters, oldest first. The
+// controller pops the oldest under light load (FIFO fairness), the
+// newest under overload (LIFO freshness), and sheds from the oldest
+// end when full.
+type waitQueue struct {
+	ws []*waiter
+}
+
+func (q *waitQueue) len() int { return len(q.ws) }
+
+func (q *waitQueue) push(w *waiter) { q.ws = append(q.ws, w) }
+
+func (q *waitQueue) popOldest() *waiter {
+	w := q.ws[0]
+	q.ws[0] = nil
+	q.ws = q.ws[1:]
+	return w
+}
+
+func (q *waitQueue) popNewest() *waiter {
+	i := len(q.ws) - 1
+	w := q.ws[i]
+	q.ws[i] = nil
+	q.ws = q.ws[:i]
+	return w
+}
+
+// remove deletes w wherever it sits (a waiter abandoning the queue
+// after its deadline fired). Order is preserved.
+func (q *waitQueue) remove(w *waiter) {
+	for i, x := range q.ws {
+		if x == w {
+			copy(q.ws[i:], q.ws[i+1:])
+			q.ws[len(q.ws)-1] = nil
+			q.ws = q.ws[:len(q.ws)-1]
+			return
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// BoundedSpawn flags `go` statements in accept/dispatch paths that
+// bypass the flow admission controller. The daemon shell's overload
+// story depends on every per-request goroutine being admitted: a
+// spawn in an accept loop or dispatch path that neither consults
+// ace/internal/flow nor is otherwise bounded recreates exactly the
+// goroutine-per-request amplifier the flow subsystem removed.
+//
+// The heuristic: any function whose name contains "accept" or
+// "dispatch" (case-insensitive) is an admission boundary. A `go`
+// statement inside one is flagged unless the function also calls into
+// a flow package (flow.Controller.Admit, AdmitConn, …), which marks
+// the spawn as limiter-gated. Spawns bounded some other way (a
+// semaphore channel, a fixed worker pool) are suppressed explicitly:
+//
+//	//acelint:ignore boundedspawn fan-out is bounded by notifySem
+var BoundedSpawn = &Analyzer{
+	Name: "boundedspawn",
+	Doc:  "goroutine spawned in an accept/dispatch path without consulting the flow limiter",
+	Run:  runBoundedSpawn,
+}
+
+func runBoundedSpawn(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := strings.ToLower(fd.Name.Name)
+			if !strings.Contains(name, "accept") && !strings.Contains(name, "dispatch") {
+				continue
+			}
+			if callsFlowPackage(pass, fd.Body) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				pass.Reportf(g.Pos(),
+					"%s spawns a goroutine without consulting the flow limiter; admit the work (flow.Controller) or bound the spawn and suppress",
+					fd.Name.Name)
+				return true
+			})
+		}
+	}
+}
+
+// callsFlowPackage reports whether any call in body resolves into a
+// flow package — the marker that the function's spawns are
+// limiter-gated.
+func callsFlowPackage(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := pass.calleeFunc(call); fn != nil && isFlowPackage(fn.Pkg()) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isFlowPackage matches the real ace/internal/flow package and the
+// golden tests' stand-in "flow" modules.
+func isFlowPackage(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	path := pkg.Path()
+	return path == "ace/internal/flow" || strings.HasSuffix(path, "/flow") || path == "flow"
+}

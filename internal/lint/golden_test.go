@@ -129,6 +129,9 @@ func TestGoldenLockHold(t *testing.T)   { runGolden(t, "lockhold", []*Analyzer{L
 func TestGoldenDroppedErr(t *testing.T) { runGolden(t, "droppederr", []*Analyzer{DroppedErr}) }
 func TestGoldenVerbReg(t *testing.T)    { runGolden(t, "verbreg", []*Analyzer{VerbReg}) }
 func TestGoldenDetRand(t *testing.T)    { runGolden(t, "detrand", []*Analyzer{DetRand}) }
+func TestGoldenBoundedSpawn(t *testing.T) {
+	runGolden(t, "boundedspawn", []*Analyzer{BoundedSpawn})
+}
 
 // TestGoldenSuppression is the suppression round trip: the suppress
 // module contains real violations silenced by acelint:ignore (which
@@ -141,7 +144,7 @@ func TestGoldenSuppression(t *testing.T) { runGolden(t, "suppress", All) }
 // proving the findings above come from the named check and not from
 // driver side effects.
 func TestChecksFireOnlyWhenEnabled(t *testing.T) {
-	for _, name := range []string{"ctxpropagation", "lockhold", "droppederr", "verbreg", "detrand"} {
+	for _, name := range []string{"ctxpropagation", "lockhold", "droppederr", "verbreg", "detrand", "boundedspawn"} {
 		dir, err := filepath.Abs(filepath.Join("testdata", "src", name))
 		if err != nil {
 			t.Fatal(err)

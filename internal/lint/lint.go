@@ -93,6 +93,7 @@ var All = []*Analyzer{
 	DroppedErr,
 	VerbReg,
 	DetRand,
+	BoundedSpawn,
 }
 
 // ByName resolves a comma-separated check list ("ctxpropagation,detrand")

@@ -1,0 +1,11 @@
+// Package flow is a stand-in for ace/internal/flow.
+package flow
+
+// Controller is the admission gate stand-in.
+type Controller struct{}
+
+// AdmitConn gates the accept loop.
+func (c *Controller) AdmitConn() bool { return true }
+
+// Admit gates the dispatch path.
+func (c *Controller) Admit(principal string) (func(), error) { return func() {}, nil }

@@ -1,0 +1,3 @@
+module boundedspawntest
+
+go 1.22

@@ -1,0 +1,69 @@
+// Package srv exercises the boundedspawn analyzer: goroutines spawned
+// in accept/dispatch paths must be gated by the flow limiter.
+package srv
+
+import "boundedspawntest/flow"
+
+type conn struct{}
+
+type server struct {
+	fl  *flow.Controller
+	sem chan struct{}
+}
+
+func (s *server) accept() conn { return conn{} }
+
+func (s *server) handle(c conn) {}
+
+// acceptLoop spawns per-connection work with no admission gate.
+func (s *server) acceptLoop() {
+	for {
+		c := s.accept()
+		go s.handle(c) // want `acceptLoop spawns a goroutine without consulting the flow limiter`
+	}
+}
+
+// acceptLoopGated consults the flow controller, so its spawn is fine.
+func (s *server) acceptLoopGated() {
+	for {
+		c := s.accept()
+		if !s.fl.AdmitConn() {
+			continue
+		}
+		go s.handle(c)
+	}
+}
+
+// dispatchAll fans out without a gate: flagged once per go statement.
+func (s *server) dispatchAll(cs []conn) {
+	for _, c := range cs {
+		c := c
+		go func() { // want `dispatchAll spawns a goroutine without consulting the flow limiter`
+			s.handle(c)
+		}()
+	}
+}
+
+// dispatchAdmitted is gated through flow.Controller.Admit.
+func (s *server) dispatchAdmitted(cs []conn) {
+	for _, c := range cs {
+		done, err := s.fl.Admit("peer")
+		if err != nil {
+			continue
+		}
+		c := c
+		go func() {
+			defer done()
+			s.handle(c)
+		}()
+	}
+}
+
+// workerPool is neither an accept nor a dispatch path, so its spawns
+// are out of scope.
+func (s *server) workerPool(cs []conn) {
+	for _, c := range cs {
+		c := c
+		go s.handle(c)
+	}
+}

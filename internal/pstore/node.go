@@ -103,6 +103,10 @@ func NewNode(cfg Config) (*Node, error) {
 	if dcfg.Class == "" {
 		dcfg.Class = hier.ClassDatabase + ".PersistentStore"
 	}
+	// Anti-entropy is control-plane: replica convergence must survive
+	// a client overload, so the sync verbs admit into the flow
+	// controller's reserved headroom alongside lease renewals.
+	dcfg.ControlVerbs = append(dcfg.ControlVerbs, "psdigest", "psfetch")
 	n := &Node{
 		Daemon:   daemon.New(dcfg),
 		items:    make(map[string]Item),

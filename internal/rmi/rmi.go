@@ -14,6 +14,8 @@ import (
 	"reflect"
 	"sync"
 	"sync/atomic"
+
+	"ace/internal/flow"
 )
 
 // Request is the serialized invocation envelope.
@@ -52,11 +54,17 @@ type Server struct {
 	ln   net.Listener
 	svcs map[string]reflect.Value
 	wg   sync.WaitGroup
+	// fl caps concurrent connections, like every other ACE daemon;
+	// the baseline should not be the one server that accepts unboundedly.
+	fl *flow.Controller
 }
 
 // NewServer returns an empty server.
 func NewServer() *Server {
-	return &Server{svcs: make(map[string]reflect.Value)}
+	return &Server{
+		svcs: make(map[string]reflect.Value),
+		fl:   flow.NewController(flow.Config{}, nil),
+	}
 }
 
 // Register exposes every exported method of impl under the service
@@ -110,9 +118,16 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		if err != nil {
 			return
 		}
+		if !s.fl.AdmitConn() {
+			conn.Close()
+			continue
+		}
 		s.wg.Add(1)
 		go func() {
-			defer s.wg.Done()
+			defer func() {
+				s.fl.ReleaseConn()
+				s.wg.Done()
+			}()
 			s.serveConn(conn)
 		}()
 	}

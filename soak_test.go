@@ -18,6 +18,7 @@ import (
 	"ace/internal/cmdlang"
 	"ace/internal/core"
 	"ace/internal/daemon"
+	"ace/internal/flow"
 )
 
 func TestSoakMixedLoad(t *testing.T) {
@@ -123,4 +124,118 @@ func TestSoakMixedLoad(t *testing.T) {
 	}
 	t.Logf("soak: %d ops in %s across %d workers (%.0f ops/s), goroutines %d → %d",
 		total, duration, workers, float64(total)/duration.Seconds(), goroutinesBefore, goroutinesAfter)
+}
+
+// TestSoakOverload sustains roughly twice a daemon's configured
+// capacity for several seconds and checks that overload stays
+// degradation, not collapse: goodput holds near the pinned rate, the
+// flow controller's shed counters grow (the excess is pushed back as
+// busy, not absorbed), and the goroutine count stays bounded — no
+// per-request goroutine or queue growth.
+func TestSoakOverload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+
+	const rate = 200 // pinned capacity, requests/s
+	d := daemon.New(daemon.Config{
+		Name: "soak_overload",
+		Flow: &flow.Config{
+			Rate:          rate,
+			Burst:         rate / 10,
+			InitialLimit:  8,
+			MinLimit:      4,
+			MaxLimit:      32,
+			TargetLatency: 20 * time.Millisecond,
+			QueueLen:      32,
+			MaxQueueWait:  25 * time.Millisecond,
+		},
+	})
+	d.Handle(cmdlang.CommandSpec{Name: "work"}, func(_ *daemon.Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		return cmdlang.OK(), nil
+	})
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer d.Stop()
+
+	goroutinesBefore := runtime.NumGoroutine()
+
+	const duration = 5 * time.Second
+	const workers = 4
+	// Pace each worker to ~rate/workers*2 so the offered load is
+	// roughly 2x capacity rather than whatever a spin loop produces.
+	pace := time.Duration(float64(workers) * float64(time.Second) / (2 * rate))
+	var ok, busy, other atomic.Int64
+	var maxGoroutines atomic.Int64
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(duration)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pool := daemon.NewPoolConfig(daemon.PoolConfig{
+				MaxRetries: -1, // surface busy rather than retrying
+				Seed:       int64(w + 1),
+			})
+			defer pool.Close()
+			next := time.Now()
+			for time.Now().Before(deadline) {
+				if sleep := time.Until(next); sleep > 0 {
+					time.Sleep(sleep)
+				}
+				next = next.Add(pace)
+				_, err := pool.Call(d.Addr(), cmdlang.New("work"))
+				switch {
+				case err == nil:
+					ok.Add(1)
+				case cmdlang.IsRemoteCode(err, cmdlang.CodeBusy):
+					busy.Add(1)
+				default:
+					other.Add(1)
+				}
+				if g := int64(runtime.NumGoroutine()); g > maxGoroutines.Load() {
+					maxGoroutines.Store(g)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	okN, busyN, otherN := ok.Load(), busy.Load(), other.Load()
+	goodput := float64(okN) / elapsed.Seconds()
+	t.Logf("overload soak: offered %.0f/s for %v, goodput %.0f/s (capacity %d/s), busy %d, other %d, max goroutines %d (start %d)",
+		float64(okN+busyN+otherN)/elapsed.Seconds(), elapsed, goodput, rate, busyN, otherN, maxGoroutines.Load(), goroutinesBefore)
+
+	if otherN > 0 {
+		t.Fatalf("%d requests failed with something other than busy", otherN)
+	}
+	// Shed counters must grow: ~2x capacity means roughly half the
+	// offered load is pushed back.
+	if busyN == 0 {
+		t.Fatal("no requests were shed at 2x capacity")
+	}
+	if s := d.Flow().Snapshot(); s.ShedData == 0 {
+		t.Fatalf("flow shed counter did not grow: %+v", s)
+	}
+	// Goodput holds: at least 70% of the pinned capacity.
+	if goodput < 0.7*rate {
+		t.Fatalf("goodput %.0f/s at 2x offered load, want >= %.0f/s", goodput, 0.7*rate)
+	}
+	// Bounded footprint: the storm must not have grown goroutines
+	// proportionally to offered load (4 workers, pooled connections,
+	// and the daemon's fixed thread set are all that is allowed).
+	if max := maxGoroutines.Load(); max > int64(goroutinesBefore)+60 {
+		t.Fatalf("goroutines grew under overload: %d -> %d", goroutinesBefore, max)
+	}
+	deadlineG := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > goroutinesBefore+20 && time.Now().Before(deadlineG) {
+		runtime.GC()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > goroutinesBefore+20 {
+		t.Fatalf("goroutine leak after overload: %d -> %d", goroutinesBefore, g)
+	}
 }
