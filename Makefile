@@ -55,7 +55,10 @@ bench-telemetry:
 # and against the same cluster with one replica blackholed or dead,
 # recording the comparison in BENCH_pstore.json. Fails if a degraded
 # operation exceeds half the call timeout — i.e. if the slowest
-# replica is back to setting client-visible latency.
+# replica is back to setting client-visible latency. Also measures a
+# fully durable cluster (every ack costs an fsync) plus single-node
+# recovery time, and fails if group commit stops amortizing fsyncs
+# across concurrent writers.
 bench-pstore:
 	ACE_BENCH_PSTORE=1 ACE_BENCH_PSTORE_OUT=$(CURDIR)/BENCH_pstore.json \
 		$(GO) test -run 'TestBenchPstoreQuorum$$' -count=1 -v ./internal/pstore/

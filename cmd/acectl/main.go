@@ -170,6 +170,7 @@ func printStats(pool *daemon.Pool, name, addr string) {
 	}
 	fmt.Printf("%s @ %s\n", name, addr)
 	printFlowSummary(snap)
+	printStorageSummary(snap)
 	for _, c := range snap.Counters {
 		fmt.Printf("  counter    %-28s %d\n", c.Name, c.Value)
 	}
@@ -203,6 +204,28 @@ func printFlowSummary(snap *telemetry.Snapshot) {
 		limit, snap.Gauge("flow.inflight"), snap.Gauge("flow.queue.depth"))
 	fmt.Printf("  flow       control admitted=%d shed=%d   data admitted=%d shed=%d   conns shed=%d\n",
 		admC, shedC, admD, shedD, snap.Counter("flow.conns.shed"))
+}
+
+// printStorageSummary condenses the pstore storage-engine metrics
+// into a durability-at-a-glance block: WAL traffic and its first
+// failed append (a sealed log), the snapshot/truncate cycle, and what
+// recovery saw at boot. In-memory daemons have no pstore.wal.* metrics
+// and print nothing here.
+func printStorageSummary(snap *telemetry.Snapshot) {
+	appends := snap.Counter("pstore.wal.appends")
+	appendErrs := snap.Counter("pstore.wal.append_errors")
+	if appends+appendErrs == 0 && snap.Gauge("pstore.wal.segments") == 0 {
+		return
+	}
+	fmt.Printf("  storage    wal appends=%d errors=%d syncs=%d bytes=%d segments=%d\n",
+		appends, appendErrs, snap.Counter("pstore.wal.syncs"),
+		snap.Gauge("pstore.wal.bytes"), snap.Gauge("pstore.wal.segments"))
+	fmt.Printf("  storage    snapshots=%d errors=%d truncated_segments=%d\n",
+		snap.Counter("pstore.snapshot.count"), snap.Counter("pstore.snapshot.errors"),
+		snap.Counter("pstore.snapshot.truncated_segments"))
+	fmt.Printf("  storage    recovery replayed=%d torn_tail=%d corrupt=%d bad_snapshots=%d\n",
+		snap.Counter("pstore.recovery.replayed"), snap.Counter("pstore.recovery.torn_tail"),
+		snap.Counter("pstore.recovery.corrupt_records"), snap.Counter("pstore.recovery.bad_snapshots"))
 }
 
 // printTrace asks every registered daemon (and the ASD itself) for

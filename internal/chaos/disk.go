@@ -1,0 +1,319 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+
+	"ace/internal/pstore/storage"
+)
+
+// DiskFS is a deterministic in-memory filesystem implementing the
+// storage engine's FS seam, with the failure modes a real disk has
+// and a unit test can't get from the real one on demand:
+//
+//   - fsync failures (FailSync): writes appear to succeed but
+//     durability is refused — the storage engine must stop
+//     acknowledging writes, not lie;
+//   - torn writes (TornWrites): a write persists only a prefix, then
+//     fails — the partial-flush artifact of a crashing kernel;
+//   - kill-and-restart (Crash): every byte written since the last
+//     successful Sync vanishes and every open handle dies, exactly
+//     the state a process kill leaves behind.
+//
+// Every file tracks two byte ranges: its volatile content (what reads
+// and the OS page cache would see) and its durable prefix-state (what
+// survives Crash). Sync promotes volatile to durable. Metadata
+// operations (create, rename, remove) are modeled as immediately
+// durable — the engine separately fsyncs directories on the real
+// filesystem, and modeling metadata loss would test the model, not
+// the engine.
+//
+// All behavior is a pure function of the call sequence — no clocks,
+// no randomness — so chaos schedules using it reproduce exactly.
+type DiskFS struct {
+	mu       sync.Mutex
+	files    map[string]*diskFile
+	failSync error
+	torn     bool
+	syncs    int64
+	writes   int64
+	crashes  int64
+}
+
+type diskFile struct {
+	volatile []byte
+	durable  []byte
+}
+
+// NewDiskFS returns an empty in-memory disk.
+func NewDiskFS() *DiskFS {
+	return &DiskFS{files: make(map[string]*diskFile)}
+}
+
+// FailSync makes every subsequent Sync (file or directory) fail with
+// err; nil heals the disk.
+func (d *DiskFS) FailSync(err error) {
+	d.mu.Lock()
+	d.failSync = err
+	d.mu.Unlock()
+}
+
+// TornWrites makes every subsequent write persist only the first half
+// of its buffer and then fail — the torn-write crash artifact.
+func (d *DiskFS) TornWrites(on bool) {
+	d.mu.Lock()
+	d.torn = on
+	d.mu.Unlock()
+}
+
+// Crash simulates a process kill plus page-cache loss: all volatile
+// (unsynced) content reverts to the last durable state and every open
+// handle becomes unusable. The DiskFS itself stays usable — reopen
+// files to "restart".
+func (d *DiskFS) Crash() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.crashes++
+	for _, f := range d.files {
+		f.volatile = append([]byte(nil), f.durable...)
+	}
+}
+
+// Syncs returns how many successful file Syncs the disk served.
+func (d *DiskFS) Syncs() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.syncs
+}
+
+// Corrupt flips one byte of name's content (volatile and durable) at
+// offset, for constructing mid-log damage deterministically.
+func (d *DiskFS) Corrupt(name string, offset int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[path.Clean(name)]
+	if !ok {
+		return fmt.Errorf("chaos: corrupt %s: no such file", name)
+	}
+	if offset < 0 || offset >= len(f.volatile) {
+		return fmt.Errorf("chaos: corrupt %s: offset %d out of range %d", name, offset, len(f.volatile))
+	}
+	f.volatile[offset] ^= 0xFF
+	if offset < len(f.durable) {
+		f.durable[offset] ^= 0xFF
+	}
+	return nil
+}
+
+// TruncateTo cuts name's content (volatile and durable) to size, for
+// constructing a torn tail deterministically.
+func (d *DiskFS) TruncateTo(name string, size int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[path.Clean(name)]
+	if !ok {
+		return fmt.Errorf("chaos: truncate %s: no such file", name)
+	}
+	if size < 0 || size > len(f.volatile) {
+		return fmt.Errorf("chaos: truncate %s: size %d out of range %d", name, size, len(f.volatile))
+	}
+	f.volatile = f.volatile[:size]
+	if size < len(f.durable) {
+		f.durable = f.durable[:size]
+	}
+	return nil
+}
+
+// Size returns name's current (volatile) length.
+func (d *DiskFS) Size(name string) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[path.Clean(name)]
+	if !ok {
+		return 0, fmt.Errorf("chaos: size %s: no such file", name)
+	}
+	return len(f.volatile), nil
+}
+
+// --- storage.FS implementation ---
+
+// MkdirAll is a no-op: the in-memory disk has a flat keyspace of full
+// paths and directories spring into being.
+func (d *DiskFS) MkdirAll(string) error { return nil }
+
+// List returns the names of files directly inside dir, sorted.
+func (d *DiskFS) List(dir string) ([]string, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	prefix := path.Clean(dir) + "/"
+	var names []string
+	for p := range d.files {
+		if strings.HasPrefix(p, prefix) && !strings.Contains(p[len(prefix):], "/") {
+			names = append(names, p[len(prefix):])
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Open opens name read-only at its current volatile content.
+func (d *DiskFS) Open(name string) (storage.File, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[path.Clean(name)]
+	if !ok {
+		return nil, fmt.Errorf("chaos: open %s: no such file", name)
+	}
+	return &diskHandle{fs: d, f: f, name: path.Clean(name), read: true, gen: d.crashes}, nil
+}
+
+// Create opens name for writing, truncating previous content. The
+// truncation is metadata: durable immediately, like the real engine's
+// create-then-SyncDir sequence.
+func (d *DiskFS) Create(name string) (storage.File, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f := &diskFile{}
+	d.files[path.Clean(name)] = f
+	return &diskHandle{fs: d, f: f, name: path.Clean(name), gen: d.crashes}, nil
+}
+
+// OpenAppend opens (creating if needed) name for appending.
+func (d *DiskFS) OpenAppend(name string) (storage.File, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[path.Clean(name)]
+	if !ok {
+		f = &diskFile{}
+		d.files[path.Clean(name)] = f
+	}
+	return &diskHandle{fs: d, f: f, name: path.Clean(name), gen: d.crashes}, nil
+}
+
+// Rename atomically and durably renames a file.
+func (d *DiskFS) Rename(oldname, newname string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[path.Clean(oldname)]
+	if !ok {
+		return fmt.Errorf("chaos: rename %s: no such file", oldname)
+	}
+	delete(d.files, path.Clean(oldname))
+	d.files[path.Clean(newname)] = f
+	return nil
+}
+
+// Remove durably deletes a file.
+func (d *DiskFS) Remove(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.files[path.Clean(name)]; !ok {
+		return fmt.Errorf("chaos: remove %s: no such file", name)
+	}
+	delete(d.files, path.Clean(name))
+	return nil
+}
+
+// SyncDir honors FailSync; metadata itself is always durable here.
+func (d *DiskFS) SyncDir(string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.failSync
+}
+
+// diskHandle is one open file. A Crash invalidates it.
+type diskHandle struct {
+	fs     *DiskFS
+	f      *diskFile
+	name   string
+	read   bool
+	off    int // read offset
+	closed bool
+	gen    int64 // crash count at open; stale handles fail
+}
+
+var errHandleDead = errors.New("chaos: file handle died in crash")
+
+func (h *diskHandle) live() error {
+	if h.closed {
+		return errors.New("chaos: file closed")
+	}
+	if h.fs.crashes != h.gen {
+		return errHandleDead
+	}
+	// A handle whose file was renamed/removed still points at the old
+	// inode, like a real fd — no staleness check needed for that.
+	return nil
+}
+
+func (h *diskHandle) Read(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.live(); err != nil {
+		return 0, err
+	}
+	if h.off >= len(h.f.volatile) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.f.volatile[h.off:])
+	h.off += n
+	return n, nil
+}
+
+func (h *diskHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.live(); err != nil {
+		return 0, err
+	}
+	h.fs.writes++
+	if h.fs.torn {
+		n := len(p) / 2
+		h.f.volatile = append(h.f.volatile, p[:n]...)
+		return n, errors.New("chaos: torn write")
+	}
+	h.f.volatile = append(h.f.volatile, p...)
+	return len(p), nil
+}
+
+func (h *diskHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.live(); err != nil {
+		return err
+	}
+	if h.fs.failSync != nil {
+		return h.fs.failSync
+	}
+	h.f.durable = append([]byte(nil), h.f.volatile...)
+	h.fs.syncs++
+	return nil
+}
+
+func (h *diskHandle) Truncate(size int64) error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.live(); err != nil {
+		return err
+	}
+	if size < 0 || size > int64(len(h.f.volatile)) {
+		return fmt.Errorf("chaos: truncate to %d outside [0,%d]", size, len(h.f.volatile))
+	}
+	h.f.volatile = h.f.volatile[:size]
+	if size < int64(len(h.f.durable)) {
+		h.f.durable = h.f.durable[:size]
+	}
+	return nil
+}
+
+func (h *diskHandle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.closed = true
+	return nil
+}

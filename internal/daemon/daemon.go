@@ -82,6 +82,58 @@ type Ctx struct {
 	// downstream services should pass TraceContext() so the remote
 	// spans join the same trace.
 	Trace telemetry.SpanContext
+
+	// async is armed by the control thread for the duration of one
+	// dispatch; Detach consumes it.
+	async *asyncInvocation
+}
+
+// asyncInvocation carries everything the control thread would have
+// done after the handler returned, so Detach can defer it to finish.
+type asyncInvocation struct {
+	detached bool
+	d        *Daemon
+	e        *handlerEntry
+	msg      ctlMsg
+	ctx      *Ctx
+	start    time.Time
+}
+
+// Detach releases the serial control thread from this invocation: the
+// handler returns immediately (its return value is discarded) and the
+// reply is delivered later, when the handler's continuation calls
+// finish with it — from any goroutine, exactly once. This is for
+// handlers whose commit point is genuinely slow (an fsync, a quorum
+// round): without detaching, that wait would stall every other
+// command on the daemon, and concurrent writes could never batch.
+// Admission tickets, dispatch latency, and notifications all account
+// to the moment finish is called, so flow control keeps seeing the
+// true cost.
+//
+// ok is false when the invocation cannot detach (ExecuteLocal, or a
+// nested dispatch): the handler must then do the work synchronously.
+func (c *Ctx) Detach() (finish func(reply *cmdlang.CmdLine), ok bool) {
+	a := c.async
+	if a == nil {
+		return nil, false
+	}
+	a.detached = true
+	return func(reply *cmdlang.CmdLine) {
+		if reply == nil {
+			reply = cmdlang.OK()
+		}
+		a.msg.ticket.Done()
+		a.d.observe(a.e, a.ctx, a.msg.cmd, reply, a.start)
+		if a.msg.respond != nil {
+			a.msg.respond(reply)
+		}
+		if cmdlang.IsOK(reply) {
+			a.d.nOK.Add(1)
+			a.d.dispatchNotifications(a.ctx, a.msg.cmd)
+		} else {
+			a.d.nFail.Add(1)
+		}
+	}, true
 }
 
 // TraceContext returns a context carrying the invocation's span
@@ -766,7 +818,18 @@ func (d *Daemon) controlThread() {
 func (d *Daemon) execute(msg ctlMsg) {
 	start := time.Now()
 	e := d.handlers[msg.cmd.Name()]
+	// Arm Detach for this dispatch. The control thread is serial, so
+	// stashing the invocation on the (possibly connection-shared) Ctx
+	// is race-free; it is cleared before the next dispatch.
+	a := &asyncInvocation{d: d, e: e, msg: msg, ctx: msg.ctx, start: start}
+	msg.ctx.async = a
 	reply := d.dispatch(e, msg.ctx, msg.cmd)
+	msg.ctx.async = nil
+	if a.detached {
+		// The handler owns the rest of the invocation: its finish
+		// callback will release the ticket and deliver the reply.
+		return
+	}
 	// The ticket's admit-to-Done latency (control-queue wait plus
 	// execution) is the congestion signal driving the adaptive limit.
 	msg.ticket.Done()

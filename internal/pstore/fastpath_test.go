@@ -233,7 +233,7 @@ func TestReadRepairBoundedAndDropped(t *testing.T) {
 	// be {fresh, stale}, so the stale laggard is seen at decision time
 	// (a cancelled straggler's reply might lose the race and never be
 	// repair-eligible — this arrangement is deterministic).
-	if !cluster.Nodes[0].apply(Item{Path: "/rrb", Value: []byte("v2"), Version: 2}, false) {
+	if !cluster.Nodes[0].apply(Item{Path: "/rrb", Value: []byte("v2"), Version: 2}) {
 		t.Fatal("direct apply failed")
 	}
 	stall := startStallReplica(t)

@@ -33,3 +33,25 @@ const (
 	MetricRepairErrors     = "pstore.read.repair_errors"
 	MetricRepairsDropped   = "pstore.read.repairs_dropped"
 )
+
+// Storage-engine metric names, recorded in each durable node's
+// registry (see internal/pstore/storage). The appends/syncs ratio is
+// the group-commit amortization factor; append_errors ticking means
+// the node's disk refused durability and the node has stopped acking
+// writes. The recovery.* series is written once, at startup:
+// torn_tail counts expected crash artifacts (repaired silently),
+// corrupt_records and bad_snapshots count real damage.
+const (
+	MetricWALAppends        = "pstore.wal.appends"
+	MetricWALAppendErrors   = "pstore.wal.append_errors"
+	MetricWALSyncs          = "pstore.wal.syncs"
+	MetricWALBytes          = "pstore.wal.bytes"
+	MetricWALSegments       = "pstore.wal.segments"
+	MetricSnapshots         = "pstore.snapshot.count"
+	MetricSnapshotErrors    = "pstore.snapshot.errors"
+	MetricSegmentsTruncated = "pstore.snapshot.truncated_segments"
+	MetricRecoveryReplayed  = "pstore.recovery.replayed"
+	MetricRecoveryTornTail  = "pstore.recovery.torn_tail"
+	MetricRecoveryCorrupt   = "pstore.recovery.corrupt_records"
+	MetricRecoveryBadSnaps  = "pstore.recovery.bad_snapshots"
+)

@@ -9,23 +9,26 @@
 // write through a majority quorum and read the highest version seen
 // by a majority; nodes run anti-entropy synchronization so a crashed
 // and restarted (or wiped) node converges back to its peers. Nodes
-// optionally persist every accepted write to an on-disk write-ahead
-// log that is replayed at startup.
+// optionally persist every accepted write through a durable storage
+// engine (internal/pstore/storage): a group-commit write-ahead log
+// with compacted snapshots, recovered at startup. A write is
+// acknowledged only after it is fsync-durable; a node whose log is
+// failing answers `busy` instead of lying about durability.
 package pstore
 
 import (
-	"encoding/gob"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ace/internal/cmdlang"
 	"ace/internal/daemon"
 	"ace/internal/hier"
+	"ace/internal/pstore/storage"
 	"ace/internal/telemetry"
 )
 
@@ -50,14 +53,6 @@ func newer(a, b Item) bool {
 	return string(a.Value) > string(b.Value)
 }
 
-// walRecord is the on-disk form of one accepted write.
-type walRecord struct {
-	Path    string
-	Value   []byte
-	Version uint64
-	Deleted bool
-}
-
 // Node is one persistent-store server.
 type Node struct {
 	*daemon.Daemon
@@ -65,9 +60,14 @@ type Node struct {
 	mu    sync.Mutex
 	items map[string]Item
 
-	walPath string
-	walFile *os.File
-	walEnc  *gob.Encoder
+	eng      *storage.Engine
+	recovery storage.RecoveryInfo
+	// degraded latches once the storage engine refuses durability:
+	// the node stops acknowledging writes (retryable busy) so a dead
+	// disk cannot silently count toward quorums. Reads still serve.
+	degraded     atomic.Bool
+	snapInFlight atomic.Bool
+	snapWG       sync.WaitGroup
 
 	peers    []string
 	syncStop chan struct{}
@@ -85,9 +85,14 @@ type Node struct {
 type Config struct {
 	// Daemon is the underlying shell configuration.
 	Daemon daemon.Config
-	// Dir, when non-empty, enables the write-ahead log in this
-	// directory (replayed at startup).
+	// Dir, when non-empty, enables durable storage: the node keeps a
+	// group-commit WAL and compacted snapshots under Dir/<name>/ and
+	// recovers from them at startup.
 	Dir string
+	// Storage tunes the storage engine (segment size, snapshot
+	// threshold, corruption policy, injectable FS). Zero value =
+	// production defaults.
+	Storage storage.Options
 	// SyncInterval is the anti-entropy period; 0 disables the
 	// background loop (Sync can still be driven manually).
 	SyncInterval time.Duration
@@ -117,19 +122,34 @@ func NewNode(cfg Config) (*Node, error) {
 	n.mSyncPulled = tel.Counter(MetricSyncPulled)
 	n.mWrites = tel.Counter(MetricWritesApplied)
 	if cfg.Dir != "" {
-		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
-			return nil, fmt.Errorf("pstore: %w", err)
+		opts := cfg.Storage
+		opts.Metrics = storage.Metrics{
+			Appends:           tel.Counter(MetricWALAppends),
+			AppendErrors:      tel.Counter(MetricWALAppendErrors),
+			Syncs:             tel.Counter(MetricWALSyncs),
+			Snapshots:         tel.Counter(MetricSnapshots),
+			SnapshotErrors:    tel.Counter(MetricSnapshotErrors),
+			SegmentsTruncated: tel.Counter(MetricSegmentsTruncated),
+			Replayed:          tel.Counter(MetricRecoveryReplayed),
+			TornTails:         tel.Counter(MetricRecoveryTornTail),
+			CorruptRecords:    tel.Counter(MetricRecoveryCorrupt),
+			SnapshotsBad:      tel.Counter(MetricRecoveryBadSnaps),
+			WALBytes:          tel.Gauge(MetricWALBytes),
+			WALSegments:       tel.Gauge(MetricWALSegments),
 		}
-		n.walPath = filepath.Join(cfg.Dir, dcfg.Name+".wal")
-		if err := n.replayWAL(); err != nil {
-			return nil, err
-		}
-		f, err := os.OpenFile(n.walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		eng, recovered, info, err := storage.Open(filepath.Join(cfg.Dir, dcfg.Name), opts)
 		if err != nil {
-			return nil, fmt.Errorf("pstore: open wal: %w", err)
+			return nil, fmt.Errorf("pstore: open storage: %w", err)
 		}
-		n.walFile = f
-		n.walEnc = gob.NewEncoder(f)
+		n.eng = eng
+		n.recovery = info
+		// Replay through the same last-writer-wins merge normal writes
+		// use, so recovery is insensitive to log order.
+		n.mu.Lock()
+		for _, rec := range recovered {
+			n.applyMemLocked(Item{Path: rec.Path, Value: rec.Value, Version: rec.Version, Deleted: rec.Deleted})
+		}
+		n.mu.Unlock()
 	}
 	n.install()
 	if cfg.SyncInterval > 0 {
@@ -139,26 +159,12 @@ func NewNode(cfg Config) (*Node, error) {
 	return n, nil
 }
 
-func (n *Node) replayWAL() error {
-	f, err := os.Open(n.walPath)
-	if os.IsNotExist(err) {
-		return nil
-	}
-	if err != nil {
-		return fmt.Errorf("pstore: open wal for replay: %w", err)
-	}
-	defer f.Close()
-	dec := gob.NewDecoder(f)
-	for {
-		var rec walRecord
-		if derr := dec.Decode(&rec); derr != nil {
-			// EOF (clean) or a torn tail record (crash mid-write):
-			// stop replaying either way.
-			return nil
-		}
-		n.applyLocked(Item{Path: rec.Path, Value: rec.Value, Version: rec.Version, Deleted: rec.Deleted}, false)
-	}
-}
+// Recovery reports what the storage engine found at startup.
+func (n *Node) Recovery() storage.RecoveryInfo { return n.recovery }
+
+// Degraded reports whether the node has stopped acknowledging writes
+// because its storage engine refused durability.
+func (n *Node) Degraded() bool { return n.degraded.Load() }
 
 // SetPeers configures the other replicas this node synchronizes with.
 func (n *Node) SetPeers(addrs []string) {
@@ -176,24 +182,40 @@ func (n *Node) Stop() {
 	}
 	n.syncWG.Wait()
 	n.Daemon.Stop()
-	n.mu.Lock()
-	if n.walFile != nil {
-		n.walFile.Close()
-		n.walFile = nil
+	n.snapWG.Wait()
+	if n.eng != nil {
+		_ = n.eng.Close()
 	}
-	n.mu.Unlock()
 }
 
-// apply installs the item if it is newer than what the node holds,
-// returning whether it was applied. Writes are logged to the WAL when
-// toWAL is set.
-func (n *Node) apply(it Item, toWAL bool) bool {
+// Crash abandons the node without clean shutdown: the daemon stops
+// serving, but the storage engine is dropped mid-flight — no final
+// fsync, no close. Combined with an injected FS whose unsynced writes
+// vanish (chaos.DiskFS), this is a process kill. Test hook for
+// kill-and-restart chaos; production shutdown is Stop.
+func (n *Node) Crash() {
+	select {
+	case <-n.syncStop:
+	default:
+		close(n.syncStop)
+	}
+	n.syncWG.Wait()
+	if n.eng != nil {
+		n.eng.Crash()
+	}
+	n.Daemon.Stop()
+	n.snapWG.Wait()
+}
+
+// apply installs the item in memory if it is newer than what the node
+// holds, returning whether it was applied. Durability is applyDurable.
+func (n *Node) apply(it Item) bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.applyLocked(it, toWAL)
+	return n.applyMemLocked(it)
 }
 
-func (n *Node) applyLocked(it Item, toWAL bool) bool {
+func (n *Node) applyMemLocked(it Item) bool {
 	cur, exists := n.items[it.Path]
 	if exists && !newer(it, cur) {
 		return false
@@ -201,10 +223,125 @@ func (n *Node) applyLocked(it Item, toWAL bool) bool {
 	n.items[it.Path] = it
 	n.accepted++
 	n.mWrites.Inc()
-	if toWAL && n.walEnc != nil {
-		n.walEnc.Encode(walRecord(it)) //nolint:errcheck — a lost tail record is recovered by anti-entropy
-	}
 	return true
+}
+
+// applyDurable is the write path: install in memory, then block until
+// the record is fsync-durable in the WAL (group commit batches
+// concurrent callers into shared fsyncs). The commit point for an
+// acknowledgment is the fsync — a write whose append fails is NOT
+// acked, the node latches degraded, and the caller must answer
+// `busy` so the quorum counts someone else. Memory may then be ahead
+// of the log; anti-entropy and the restart replay reconcile that,
+// and last-writer-wins makes the overlap idempotent.
+func (n *Node) applyDurable(it Item) (bool, error) {
+	if n.eng != nil && n.degraded.Load() {
+		return false, fmt.Errorf("pstore: storage degraded: %w", n.eng.Err())
+	}
+	n.mu.Lock()
+	applied := n.applyMemLocked(it)
+	n.mu.Unlock()
+	if !applied || n.eng == nil {
+		return applied, nil
+	}
+	err := n.eng.Append(storage.Record{Path: it.Path, Value: it.Value, Version: it.Version, Deleted: it.Deleted})
+	if err != nil {
+		n.degraded.Store(true)
+		return false, fmt.Errorf("pstore: wal append: %w", err)
+	}
+	n.maybeSnapshot()
+	return true, nil
+}
+
+// degradedRetryAfter is the retry hint sent with busy replies from a
+// node whose disk refused durability: long enough that the client's
+// quorum machinery prefers healthy replicas, short enough that a
+// restarted (recovered) node is retried promptly.
+const degradedRetryAfter = 100 * time.Millisecond
+
+// applyAsync is the handler-side write path: install in memory, then
+// make the record durable WITHOUT holding the daemon's serial control
+// thread through the fsync. The invocation detaches, the engine's
+// commit loop batches this record with every other write in flight
+// (group commit), and the ack goes out when the covering fsync
+// returns. Detaching is what creates the batch: if the control thread
+// blocked per write, the engine would only ever see one append at a
+// time and every write would pay a private fsync.
+func (n *Node) applyAsync(ctx *daemon.Ctx, it Item, reply func(applied bool) *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+	if n.eng == nil {
+		return reply(n.apply(it)), nil
+	}
+	if n.degraded.Load() {
+		return cmdlang.Busy(degradedRetryAfter), nil
+	}
+	n.mu.Lock()
+	applied := n.applyMemLocked(it)
+	n.mu.Unlock()
+	if !applied {
+		// Not newer than what the node already holds (and has already
+		// made durable or is in the middle of making durable): nothing
+		// new to log.
+		return reply(false), nil
+	}
+	rec := storage.Record{Path: it.Path, Value: it.Value, Version: it.Version, Deleted: it.Deleted}
+	finish, ok := ctx.Detach()
+	if !ok {
+		// Local/nested dispatch: pay the fsync on this goroutine.
+		if err := n.eng.Append(rec); err != nil {
+			n.degraded.Store(true)
+			return cmdlang.Busy(degradedRetryAfter), nil
+		}
+		n.maybeSnapshot()
+		return reply(true), nil
+	}
+	n.eng.AppendAsync(rec, func(err error) {
+		if err != nil {
+			n.degraded.Store(true)
+			finish(cmdlang.Busy(degradedRetryAfter))
+			return
+		}
+		n.maybeSnapshot()
+		finish(reply(true))
+	})
+	return nil, nil
+}
+
+// maybeSnapshot starts one background compaction when the log has
+// outgrown its threshold: seal the segments, write the current state
+// as an atomic snapshot, truncate the covered log. Single-flight; a
+// failed snapshot only costs disk space, never data, so it does not
+// degrade the node.
+func (n *Node) maybeSnapshot() {
+	if n.eng == nil || !n.eng.ShouldSnapshot() || !n.snapInFlight.CompareAndSwap(false, true) {
+		return
+	}
+	n.snapWG.Add(1)
+	go func() {
+		defer n.snapWG.Done()
+		defer n.snapInFlight.Store(false)
+		_ = n.eng.Snapshot(n.snapshotRecords) // counted via pstore.snapshot.errors
+	}()
+}
+
+// snapshotRecords collects the node's full state (tombstones
+// included) for a compacted snapshot. Called by the engine after the
+// log is sealed, so it is guaranteed to cover every sealed record.
+func (n *Node) snapshotRecords() []storage.Record {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	recs := make([]storage.Record, 0, len(n.items))
+	for _, it := range n.items {
+		recs = append(recs, storage.Record{Path: it.Path, Value: it.Value, Version: it.Version, Deleted: it.Deleted})
+	}
+	return recs
+}
+
+// CompactNow forces one synchronous snapshot+truncate cycle.
+func (n *Node) CompactNow() error {
+	if n.eng == nil {
+		return nil
+	}
+	return n.eng.Snapshot(n.snapshotRecords)
 }
 
 // get returns the live item at path.
@@ -298,7 +435,13 @@ func (n *Node) SyncWith(peerAddr string) (int, error) {
 			Version: ver,
 			Deleted: itemReply.Bool("deleted", false),
 		}
-		if n.apply(it, true) {
+		applied, aerr := n.applyDurable(it)
+		if aerr != nil {
+			// A node that cannot log what it pulls must not advertise
+			// it either: abort the round.
+			return pulled, aerr
+		}
+		if applied {
 			pulled++
 			n.mSyncPulled.Inc()
 			n.mu.Lock()
@@ -346,7 +489,7 @@ func (n *Node) install() {
 			{Name: "value", Kind: cmdlang.KindString, Required: true, Doc: "hex-encoded bytes"},
 			{Name: "version", Kind: cmdlang.KindInt, Required: true},
 		},
-	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+	}, func(ctx *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
 		path := c.Str("path", "")
 		if err := ValidatePath(path); err != nil {
 			return nil, err
@@ -366,8 +509,11 @@ func (n *Node) install() {
 			Value:   val,
 			Version: uint64(version),
 		}
-		applied := n.apply(it, true)
-		return cmdlang.OK().SetBool("applied", applied).SetInt("version", int64(it.Version)), nil
+		// The disk refusing durability answers busy (retryable, not a
+		// definitive failure) so the quorum counts someone else.
+		return n.applyAsync(ctx, it, func(applied bool) *cmdlang.CmdLine {
+			return cmdlang.OK().SetBool("applied", applied).SetInt("version", int64(it.Version))
+		})
 	})
 
 	n.Handle(cmdlang.CommandSpec{
@@ -390,7 +536,7 @@ func (n *Node) install() {
 			{Name: "path", Kind: cmdlang.KindString, Required: true},
 			{Name: "version", Kind: cmdlang.KindInt, Required: true},
 		},
-	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+	}, func(ctx *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
 		version := c.Int("version", 0)
 		if version < 0 {
 			return cmdlang.Fail(cmdlang.CodeBadArgument, fmt.Sprintf("negative version %d", version)), nil
@@ -400,8 +546,9 @@ func (n *Node) install() {
 			Version: uint64(version),
 			Deleted: true,
 		}
-		applied := n.apply(it, true)
-		return cmdlang.OK().SetBool("applied", applied), nil
+		return n.applyAsync(ctx, it, func(applied bool) *cmdlang.CmdLine {
+			return cmdlang.OK().SetBool("applied", applied)
+		})
 	})
 
 	n.Handle(cmdlang.CommandSpec{

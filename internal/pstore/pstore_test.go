@@ -326,7 +326,7 @@ func TestReadRepairHealsStaleReplica(t *testing.T) {
 	pool := daemon.NewPool(nil)
 	defer pool.Close()
 	for _, n := range cluster.Nodes[:2] {
-		if !n.apply(Item{Path: "/rr", Value: []byte("v2"), Version: 2}, false) {
+		if !n.apply(Item{Path: "/rr", Value: []byte("v2"), Version: 2}) {
 			t.Fatal("direct apply failed")
 		}
 	}

@@ -1,0 +1,104 @@
+// Package storage is the persistent store's durable storage engine:
+// a segmented, CRC-checksummed write-ahead log with group commit,
+// periodic compacted snapshots, and recovery-on-boot that separates
+// the expected crash artifact (a torn tail) from real corruption.
+//
+// The engine talks to disk only through the FS seam, so the chaos
+// harness can inject fsync failures, torn writes, and kill-without-
+// shutdown deterministically (see internal/chaos.DiskFS). Production
+// code uses OS, the passthrough to the real filesystem.
+package storage
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FS is the filesystem seam the engine writes through. Implementations
+// must be safe for concurrent use; paths are slash-joined as by
+// filepath.Join.
+type FS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// List returns the names (not full paths) of the files in dir,
+	// sorted. A missing directory is an empty listing, not an error.
+	List(dir string) ([]string, error)
+	// Open opens name for sequential reading.
+	Open(name string) (File, error)
+	// Create opens name for writing, truncating any previous content.
+	Create(name string) (File, error)
+	// OpenAppend opens name for appending, creating it if absent.
+	OpenAppend(name string) (File, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// SyncDir flushes directory metadata (created/renamed/removed
+	// entries) to stable storage.
+	SyncDir(dir string) error
+}
+
+// File is one open file handle from an FS.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes written data to stable storage. A write is durable
+	// only once Sync has returned nil.
+	Sync() error
+	// Truncate cuts the file to size bytes (used to repair a torn
+	// tail before appending resumes).
+	Truncate(size int64) error
+}
+
+// OS is the production FS: a passthrough to the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) List(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (osFS) Open(name string) (File, error)   { return os.Open(name) }
+func (osFS) Create(name string) (File, error) { return os.Create(name) }
+
+func (osFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (osFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+
+// SyncDir fsyncs the directory so renames and removals survive a
+// crash. Filesystems that cannot fsync a directory get best effort.
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
