@@ -58,10 +58,19 @@ bench-telemetry:
 # replica is back to setting client-visible latency. Also measures a
 # fully durable cluster (every ack costs an fsync) plus single-node
 # recovery time, and fails if group commit stops amortizing fsyncs
-# across concurrent writers.
+# across concurrent writers. The sharding half drives a keyed zipfian
+# storm against rate-pinned nodes and fails unless 4 replica groups
+# deliver ≥2.5x the 1-group put throughput with sharded get latency
+# within 10% of a plain single-group client.
+# The two halves run in separate processes: the quorum half leaves a
+# large heap behind, and the sharding half's 10% latency budget is
+# tighter than the GC noise that heap causes. The sharding half merges
+# its section into the JSON the quorum half wrote.
 bench-pstore:
 	ACE_BENCH_PSTORE=1 ACE_BENCH_PSTORE_OUT=$(CURDIR)/BENCH_pstore.json \
 		$(GO) test -run 'TestBenchPstoreQuorum$$' -count=1 -v ./internal/pstore/
+	ACE_BENCH_PSTORE=1 ACE_BENCH_PSTORE_OUT=$(CURDIR)/BENCH_pstore.json \
+		$(GO) test -run 'TestBenchPstoreSharding$$' -count=1 -v ./internal/pstore/
 
 # Offer a pinned-capacity daemon 1x/2x/4x its capacity and record
 # goodput, shed counts, and p99 admitted latency in BENCH_flow.json.

@@ -1,11 +1,14 @@
 package asd
 
 import (
+	"fmt"
+	"sync"
 	"time"
 
 	"ace/internal/cmdlang"
 	"ace/internal/daemon"
 	"ace/internal/hier"
+	"ace/internal/pstore/placement"
 	"ace/internal/telemetry"
 )
 
@@ -21,9 +24,17 @@ type Service struct {
 	reapEvery time.Duration
 	stopReap  chan struct{}
 
+	// The published pstore placement map. The ASD is its authority:
+	// coordinators publish through placeset, clients fetch through
+	// placeget, and the daemon's notification machinery tells placeset
+	// subscribers to invalidate their caches.
+	placeMu sync.Mutex
+	place   *placement.Map
+
 	mRegistrations *telemetry.Counter
 	mRenewals      *telemetry.Counter
 	mLookupLatency *telemetry.Histogram
+	mPlaceEpoch    *telemetry.Gauge
 }
 
 // Config tailors the directory daemon.
@@ -48,6 +59,9 @@ func New(cfg Config) *Service {
 	if cfg.ReapInterval <= 0 {
 		cfg.ReapInterval = 250 * time.Millisecond
 	}
+	// Placement publication is control-plane: a rebalance must be able
+	// to land its cutover even while the directory is shedding load.
+	dcfg.ControlVerbs = append(dcfg.ControlVerbs, placement.CmdPlaceSet, placement.CmdPlaceGet)
 	s := &Service{
 		Daemon:    daemon.New(dcfg),
 		dir:       NewDirectory(),
@@ -58,6 +72,7 @@ func New(cfg Config) *Service {
 	s.mRegistrations = tel.Counter(MetricRegistrations)
 	s.mRenewals = tel.Counter(MetricRenewals)
 	s.mLookupLatency = tel.Histogram(MetricLookupLatency)
+	s.mPlaceEpoch = tel.Gauge(placement.MetricEpoch)
 	expirations := tel.Counter(MetricExpirations)
 	s.dir.SetOnExpire(func(Entry) { expirations.Inc() })
 	s.install()
@@ -67,6 +82,14 @@ func New(cfg Config) *Service {
 // Directory exposes the underlying listing (read-mostly; used by
 // in-process experiments).
 func (s *Service) Directory() *Directory { return s.dir }
+
+// Placement returns the currently published placement map (nil when
+// none has been published).
+func (s *Service) Placement() *placement.Map {
+	s.placeMu.Lock()
+	defer s.placeMu.Unlock()
+	return s.place
+}
 
 // Start brings the daemon online and starts the lease reaper.
 func (s *Service) Start() error {
@@ -202,6 +225,44 @@ func (s *Service) install() {
 		reply.Set("classes", cmdlang.StringVector(classes...))
 		reply.SetInt("count", int64(len(entries)))
 		return reply, nil
+	})
+
+	s.Handle(cmdlang.CommandSpec{
+		Name: placement.CmdPlaceSet,
+		Doc:  "publish the pstore placement map (epoch must not regress)",
+		Args: []cmdlang.ArgSpec{{Name: "map", Kind: cmdlang.KindString, Required: true}},
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		m, err := placement.DecodeString(c.Str("map", ""))
+		if err != nil {
+			return cmdlang.Fail(cmdlang.CodeBadArgument, err.Error()), nil
+		}
+		s.placeMu.Lock()
+		if s.place != nil && m.Epoch < s.place.Epoch {
+			cur := s.place.Epoch
+			s.placeMu.Unlock()
+			return cmdlang.Fail(cmdlang.CodeConflict,
+				fmt.Sprintf("map epoch %d older than published %d", m.Epoch, cur)).
+				SetInt("epoch", int64(cur)), nil
+		}
+		s.place = m
+		s.placeMu.Unlock()
+		s.mPlaceEpoch.Set(int64(m.Epoch))
+		// Returning ok is what fires the placementChanged notification
+		// to placeset subscribers (§2.6 command-completion events).
+		return cmdlang.OK().SetInt("epoch", int64(m.Epoch)), nil
+	})
+
+	s.Handle(cmdlang.CommandSpec{
+		Name: placement.CmdPlaceGet,
+		Doc:  "fetch the published pstore placement map",
+	}, func(_ *daemon.Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		s.placeMu.Lock()
+		m := s.place
+		s.placeMu.Unlock()
+		if m == nil {
+			return cmdlang.Fail(cmdlang.CodeNotFound, "no placement map published"), nil
+		}
+		return cmdlang.OK().SetString("map", m.EncodeString()).SetInt("epoch", int64(m.Epoch)), nil
 	})
 
 	s.Handle(cmdlang.CommandSpec{

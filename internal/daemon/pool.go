@@ -144,6 +144,7 @@ type Pool struct {
 
 	retries     *telemetry.Counter
 	busyRetries *telemetry.Counter
+	redirects   *telemetry.Counter
 	transitions *telemetry.Counter
 }
 
@@ -151,6 +152,7 @@ type Pool struct {
 const (
 	MetricPoolRetries        = "pool.retries"
 	MetricPoolBusyRetries    = "pool.busy_retries"
+	MetricPoolRedirects      = "pool.redirects"
 	MetricBreakerTransitions = "pool.breaker.transitions"
 )
 
@@ -170,6 +172,7 @@ func NewPoolConfig(cfg PoolConfig) *Pool {
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
 		retries:     cfg.Telemetry.Counter(MetricPoolRetries),
 		busyRetries: cfg.Telemetry.Counter(MetricPoolBusyRetries),
+		redirects:   cfg.Telemetry.Counter(MetricPoolRedirects),
 		transitions: cfg.Telemetry.Counter(MetricBreakerTransitions),
 	}
 }
@@ -314,7 +317,11 @@ func (p *Pool) Call(addr string, cmd *cmdlang.CmdLine) (*cmdlang.CmdLine, error)
 // shedding load before execution, so it is retried like a transport
 // failure (same attempt budget, backoff raised to any server-supplied
 // retry_after hint) but never charges the circuit breaker or drops
-// the connection, because the peer is demonstrably alive. When the
+// the connection, because the peer is demonstrably alive. A
+// "wrong_group" reply (placement redirect) is likewise never a peer
+// failure: it is returned immediately for the caller's routing layer
+// to re-route after a map refresh, counted under pool.redirects, with
+// no retry, no breaker charge, and no connection drop. When the
 // address's circuit breaker is open the call fails fast with
 // ErrCircuitOpen without touching the network.
 //
@@ -356,6 +363,16 @@ func (p *Pool) CallContext(ctx context.Context, addr string, cmd *cmdlang.CmdLin
 			// The daemon answered; the connection and peer are fine.
 			if br != nil {
 				br.success()
+			}
+			if re.Code == cmdlang.CodeWrongGroup {
+				// Placement redirect: the peer is healthy but is not the
+				// partition's group (or the request's epoch is stale).
+				// Retrying the same address cannot help — the caller's
+				// routing layer must refresh its placement map and
+				// re-route — so it is returned immediately, counted, and
+				// never charges the breaker.
+				p.redirects.Inc()
+				return nil, err
 			}
 			if re.Code != cmdlang.CodeBusy {
 				return nil, err

@@ -1,0 +1,22 @@
+// Package placement is a stand-in for ace/internal/pstore/placement:
+// Cache.Get is the allowlisted cached read whose GetContext sibling
+// is a genuinely different (fetching) operation, not a context-aware
+// twin.
+package placement
+
+import "context"
+
+type Map struct{ Epoch uint64 }
+
+type Cache struct{ m *Map }
+
+// Get returns the cached map without touching the network.
+func (c *Cache) Get() (*Map, bool) { return c.m, c.m != nil }
+
+// GetContext returns the cached map or fetches it.
+func (c *Cache) GetContext(ctx context.Context) (*Map, error) {
+	if c.m == nil {
+		c.m = &Map{Epoch: 1}
+	}
+	return c.m, ctx.Err()
+}

@@ -3,6 +3,7 @@ package pstore
 import (
 	"context"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -48,11 +49,34 @@ func replyVersion(reply *cmdlang.CmdLine, addr string) (uint64, error) {
 	return uint64(v), nil
 }
 
+// WrongGroupError reports that an operation could not reach quorum
+// because replicas answered wrong_group redirects: the placement map
+// the request was routed (and epoch-stamped) with is stale. The fix
+// is at the routing layer — refresh the map and re-route — which the
+// sharded client does transparently.
+type WrongGroupError struct {
+	Op string
+}
+
+func (e *WrongGroupError) Error() string {
+	return "pstore: " + e.Op + " redirected: placement map is stale"
+}
+
+// IsWrongGroup reports whether err is (or wraps) a placement redirect.
+func IsWrongGroup(err error) bool {
+	var wg *WrongGroupError
+	return errors.As(err, &wg)
+}
+
 // Client reads and writes the replicated store through majority
 // quorums. It is safe for concurrent use.
 type Client struct {
 	pool     *daemon.Pool
 	replicas []string
+	// epoch, when non-zero, is stamped onto every data-plane command
+	// so nodes can reject requests routed with a placement map older
+	// than the addressed partition's last routing change.
+	epoch uint64
 
 	// repairSem bounds concurrent background read repairs; bg tracks
 	// straggler drains and repairs so Close can wait for them.
@@ -94,6 +118,36 @@ func NewClient(pool *daemon.Pool, replicas []string) *Client {
 		mRepairErrs:       tel.Counter(MetricRepairErrors),
 		mRepairsDropped:   tel.Counter(MetricRepairsDropped),
 	}
+}
+
+// NewGroupClient is NewClient for one replica group of a sharded
+// deployment: every command it issues is stamped with the placement
+// epoch of the map it was routed by.
+func NewGroupClient(pool *daemon.Pool, replicas []string, epoch uint64) *Client {
+	c := NewClient(pool, replicas)
+	c.epoch = epoch
+	return c
+}
+
+// stamp adds the client's placement epoch to a data-plane command;
+// an unsharded client (epoch 0) leaves commands untouched, which
+// nodes admit regardless of placement.
+func (c *Client) stamp(cmd *cmdlang.CmdLine) *cmdlang.CmdLine {
+	if c.epoch > 0 {
+		cmd.SetInt("epoch", int64(c.epoch))
+	}
+	return cmd
+}
+
+// anyRedirect reports whether any consumed reply was a wrong_group
+// placement redirect.
+func anyRedirect(prefix []replicaReply) bool {
+	for _, r := range prefix {
+		if r.err != nil && cmdlang.IsRemoteCode(r.err, cmdlang.CodeWrongGroup) {
+			return true
+		}
+	}
+	return false
 }
 
 // Close waits for the client's background work — straggler drains and
@@ -265,7 +319,7 @@ func (c *Client) GetContext(ctx context.Context, path string) (value []byte, ver
 	start := time.Now()
 	defer func() { c.mReadLatency.Observe(time.Since(start)) }()
 	f := c.streamFanout(ctx, func(cctx context.Context, addr string) replicaReply {
-		reply, callErr := c.pool.CallContext(cctx, addr, cmdlang.New("psget").SetString("path", path))
+		reply, callErr := c.pool.CallContext(cctx, addr, c.stamp(cmdlang.New("psget").SetString("path", path)))
 		if callErr != nil {
 			if cmdlang.IsRemoteCode(callErr, cmdlang.CodeNotFound) {
 				return replicaReply{}
@@ -291,6 +345,9 @@ func (c *Client) GetContext(ctx context.Context, path string) (value []byte, ver
 	prefix, qErr := f.awaitQuorum(c.Quorum(), "quorum read")
 	if qErr != nil {
 		c.finish(f, len(prefix), c.mReadStragglers, c.mReadFullLatency, nil, repairCtx)
+		if anyRedirect(prefix) {
+			return nil, 0, false, &WrongGroupError{Op: "quorum read"}
+		}
 		return nil, 0, false, qErr
 	}
 	var best Item
@@ -323,7 +380,7 @@ func (c *Client) GetContext(ctx context.Context, path string) (value []byte, ver
 func (c *Client) GetAny(path string) (value []byte, version uint64, ok bool, err error) {
 	var lastErr error
 	for _, addr := range c.replicas {
-		reply, callErr := c.pool.Call(addr, cmdlang.New("psget").SetString("path", path))
+		reply, callErr := c.pool.Call(addr, c.stamp(cmdlang.New("psget").SetString("path", path)))
 		if callErr == nil {
 			val, decErr := decodeValue(reply.Str("value", ""))
 			if decErr != nil {
@@ -354,7 +411,7 @@ func (c *Client) GetAny(path string) (value []byte, version uint64, ok bool, err
 // majority.
 func (c *Client) currentVersion(ctx context.Context, path string) (uint64, error) {
 	f := c.streamFanout(ctx, func(cctx context.Context, addr string) replicaReply {
-		reply, callErr := c.pool.CallContext(cctx, addr, cmdlang.New("psfetch").SetString("path", path))
+		reply, callErr := c.pool.CallContext(cctx, addr, c.stamp(cmdlang.New("psfetch").SetString("path", path)))
 		if callErr != nil {
 			if cmdlang.IsRemoteCode(callErr, cmdlang.CodeNotFound) {
 				return replicaReply{}
@@ -370,6 +427,9 @@ func (c *Client) currentVersion(ctx context.Context, path string) (uint64, error
 	prefix, qErr := f.awaitQuorum(c.Quorum(), "quorum version probe")
 	c.finish(f, len(prefix), c.mWriteStragglers, c.mWriteFullLatency, nil, ctx)
 	if qErr != nil {
+		if anyRedirect(prefix) {
+			return 0, &WrongGroupError{Op: "version probe"}
+		}
 		return 0, qErr
 	}
 	var max uint64
@@ -404,14 +464,58 @@ func (c *Client) PutContext(ctx context.Context, path string, value []byte) (uin
 		return 0, err
 	}
 	next := cur + 1
-	acked := c.writeAll(ctx, cmdlang.New("psput").
+	acked, redirected := c.writeAll(ctx, c.stamp(cmdlang.New("psput").
 		SetString("path", path).
 		SetString("value", encodeValue(value)).
-		SetInt("version", int64(next)))
+		SetInt("version", int64(next))))
 	if acked < c.Quorum() {
+		if redirected {
+			return 0, &WrongGroupError{Op: "quorum write"}
+		}
 		return 0, fmt.Errorf("pstore: quorum write failed: %d/%d acks", acked, len(c.replicas))
 	}
 	return next, nil
+}
+
+// PutVersionContext writes value at an explicit version through the
+// write quorum, skipping the version probe. It is the dual-apply arm
+// of a sharded put: the router probes the source group once, then
+// applies the same version to source and destination so the moving
+// partition converges on one winner.
+func (c *Client) PutVersionContext(ctx context.Context, path string, value []byte, version uint64) error {
+	if err := ValidatePath(path); err != nil {
+		return err
+	}
+	start := time.Now()
+	defer func() { c.mWriteLatency.Observe(time.Since(start)) }()
+	acked, redirected := c.writeAll(ctx, c.stamp(cmdlang.New("psput").
+		SetString("path", path).
+		SetString("value", encodeValue(value)).
+		SetInt("version", int64(version))))
+	if acked < c.Quorum() {
+		if redirected {
+			return &WrongGroupError{Op: "quorum write"}
+		}
+		return fmt.Errorf("pstore: quorum write failed: %d/%d acks", acked, len(c.replicas))
+	}
+	return nil
+}
+
+// DeleteVersionContext writes a tombstone at an explicit version, the
+// dual-apply arm of a sharded delete (see PutVersionContext).
+func (c *Client) DeleteVersionContext(ctx context.Context, path string, version uint64) error {
+	start := time.Now()
+	defer func() { c.mWriteLatency.Observe(time.Since(start)) }()
+	acked, redirected := c.writeAll(ctx, c.stamp(cmdlang.New("psdel").
+		SetString("path", path).
+		SetInt("version", int64(version))))
+	if acked < c.Quorum() {
+		if redirected {
+			return &WrongGroupError{Op: "quorum delete"}
+		}
+		return fmt.Errorf("pstore: quorum delete failed: %d/%d acks", acked, len(c.replicas))
+	}
+	return nil
 }
 
 // Delete writes a tombstone at path through a quorum.
@@ -427,10 +531,13 @@ func (c *Client) DeleteContext(ctx context.Context, path string) error {
 	if err != nil {
 		return err
 	}
-	acked := c.writeAll(ctx, cmdlang.New("psdel").
+	acked, redirected := c.writeAll(ctx, c.stamp(cmdlang.New("psdel").
 		SetString("path", path).
-		SetInt("version", int64(cur+1)))
+		SetInt("version", int64(cur+1))))
 	if acked < c.Quorum() {
+		if redirected {
+			return &WrongGroupError{Op: "quorum delete"}
+		}
 		return fmt.Errorf("pstore: quorum delete failed: %d/%d acks", acked, len(c.replicas))
 	}
 	return nil
@@ -441,7 +548,10 @@ func (c *Client) DeleteContext(ctx context.Context, path string) error {
 // cancelling and draining the stragglers in the background. A
 // cancelled straggler that already received the frame still applies
 // the write; one that didn't is healed by repair or anti-entropy.
-func (c *Client) writeAll(ctx context.Context, cmd *cmdlang.CmdLine) int {
+// redirected reports whether any consumed failure was a wrong_group
+// placement redirect, so an under-quorum outcome can be classified as
+// a stale routing decision rather than unavailability.
+func (c *Client) writeAll(ctx context.Context, cmd *cmdlang.CmdLine) (acked int, redirected bool) {
 	f := c.streamFanout(ctx, func(cctx context.Context, addr string) replicaReply {
 		if _, err := c.pool.CallContext(cctx, addr, cmd.Clone()); err != nil {
 			return replicaReply{err: err}
@@ -450,13 +560,12 @@ func (c *Client) writeAll(ctx context.Context, cmd *cmdlang.CmdLine) int {
 	})
 	prefix, _ := f.awaitQuorum(c.Quorum(), "quorum write")
 	c.finish(f, len(prefix), c.mWriteStragglers, c.mWriteFullLatency, nil, ctx)
-	acked := 0
 	for _, r := range prefix {
 		if r.err == nil {
 			acked++
 		}
 	}
-	return acked
+	return acked, anyRedirect(prefix)
 }
 
 // List unions the live paths under prefix across all reachable

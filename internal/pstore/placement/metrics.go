@@ -1,0 +1,25 @@
+package placement
+
+// Metric names recorded by the placement subsystem. The node-side
+// series (epoch, installs, wrong_group, transfer.pulled) live in each
+// store node's registry; the cache and routing series (map_fetches,
+// invalidations, redirects, dual_writes) live in the registry of the
+// pool the sharded client dials through; moves/cutovers are counted
+// by the coordinator's pool registry.
+//
+// pstore.placement.wrong_group ticking on a node is normal during a
+// map change (stale clients being redirected); growing without bound
+// means some client cannot refresh its map. dual_writes counts the
+// writes that paid the double quorum of an in-flight move — nonzero
+// only while rebalancing.
+const (
+	MetricEpoch         = "pstore.placement.epoch"
+	MetricInstalls      = "pstore.placement.installs"
+	MetricRejects       = "pstore.placement.wrong_group"
+	MetricTransferPulls = "pstore.placement.transfer.pulled"
+	MetricMapFetches    = "pstore.placement.map_fetches"
+	MetricInvalidations = "pstore.placement.invalidations"
+	MetricRedirects     = "pstore.placement.redirects"
+	MetricDualWrites    = "pstore.placement.dual_writes"
+	MetricMoves         = "pstore.placement.moves"
+)

@@ -1,0 +1,416 @@
+// Package placement shards the persistent-store namespace across
+// replica groups. It provides the consistent-hash ring that maps
+// namespace paths to fixed partitions and partitions to groups, the
+// versioned placement map (epochs, per-partition change stamps, and
+// in-flight moves) that every router agrees on, a client-side cache
+// of that map fed from the ASD and invalidated by the §2.6
+// notification mechanism, and the rebalancing coordinator that moves
+// partitions between groups over the anti-entropy transfer path
+// without blocking reads.
+//
+// The routing contract, enforced by the store nodes:
+//
+//   - A request stamped with epoch E is served only if E ≥ the
+//     partition's change stamp — the epoch at which that partition's
+//     routing last changed. A staler stamp means the client's map
+//     predates a move and its single-target write could miss the
+//     dual-apply window, so the node answers a retryable
+//     `wrong_group` redirect and the client refetches the map.
+//   - Reads route to the partition's owning group only. While a move
+//     is in flight the owner is still the source group (the dest is
+//     incomplete), so reads never block on rebalancing.
+//   - Writes to a moving partition dual-apply: the client must reach
+//     a write quorum in the source group AND in the destination
+//     group, so cutover cannot lose an acked write even if one whole
+//     group dies.
+package placement
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"ace/internal/cmdlang"
+)
+
+// Defaults for maps built without explicit tuning. The partition
+// count is the unit of rebalancing — small enough that a full
+// partition digest exchange is cheap, large enough that groups can be
+// balanced within a few percent. Virtual nodes smooth the ring so a
+// group's share does not depend on one lucky hash.
+const (
+	DefaultPartitions = 32
+	DefaultVNodes     = 64
+)
+
+// PartitionOf maps a namespace path to its partition: FNV-1a over the
+// path, mod the partition count. Stable across processes and
+// releases — partition membership may never silently change, only
+// partition→group assignment does.
+func PartitionOf(path string, partitions int) int {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(path))
+	return int(h.Sum64() % uint64(partitions))
+}
+
+// hash64 is the ring-point hash: seed and discriminator mixed through
+// FNV-1a, then avalanched. The finalizer matters: FNV inputs that
+// differ only in their last bytes ("vnode g1 7" vs "vnode g1 8")
+// produce outputs that differ only in their low ~40 bits, which
+// clusters a group's vnodes into one arc of the ring and destroys the
+// balance consistent hashing exists to provide.
+func hash64(seed int64, parts ...string) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(uint64(seed) >> (8 * i))
+	}
+	_, _ = h.Write(b[:])
+	for _, p := range parts {
+		_, _ = h.Write([]byte{0})
+		_, _ = h.Write([]byte(p))
+	}
+	return mix64(h.Sum64())
+}
+
+// mix64 is the 64-bit avalanche finalizer (Murmur3 fmix64): every
+// input bit flips every output bit with probability ~1/2.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Group is one replica group: a name and the replica addresses that
+// quorum reads/writes for its partitions fan out to.
+type Group struct {
+	Name     string
+	Replicas []string
+}
+
+// Move is one in-flight partition transfer: while present in a map,
+// writes to Partition dual-apply to both groups and the destination
+// pulls the partition's contents over the anti-entropy path.
+type Move struct {
+	Partition int
+	From, To  int // indices into Map.Groups
+}
+
+// Map is one version of the cluster's placement: which group owns
+// each partition, which partitions are mid-move, and at which epoch
+// each partition's routing last changed. Maps are immutable once
+// published; every change is a new map with a higher epoch.
+type Map struct {
+	Epoch      uint64
+	Seed       int64
+	Partitions int
+	VNodes     int
+	Groups     []Group
+	Assignment []int    // partition → index into Groups
+	Stamp      []uint64 // partition → epoch of its last routing change
+	Moves      []Move
+}
+
+// Assign computes the ring assignment of partitions to groups: each
+// group projects VNodes points onto the ring, each partition hashes
+// to a point, and the partition belongs to the group owning the next
+// vnode clockwise. Deterministic in (seed, partitions, vnodes, group
+// names): same inputs, same assignment, on every node and every run.
+func Assign(seed int64, partitions, vnodes int, groups []Group) []int {
+	type point struct {
+		at    uint64
+		group int
+	}
+	ring := make([]point, 0, len(groups)*vnodes)
+	for gi, g := range groups {
+		for v := 0; v < vnodes; v++ {
+			ring = append(ring, point{hash64(seed, "vnode", g.Name, fmt.Sprint(v)), gi})
+		}
+	}
+	sort.Slice(ring, func(i, j int) bool {
+		if ring[i].at != ring[j].at {
+			return ring[i].at < ring[j].at
+		}
+		// Colliding points tie-break on the group name so the ring
+		// order never depends on slice order.
+		return groups[ring[i].group].Name < groups[ring[j].group].Name
+	})
+	assign := make([]int, partitions)
+	for p := 0; p < partitions; p++ {
+		at := hash64(seed, "partition", fmt.Sprint(p))
+		i := sort.Search(len(ring), func(i int) bool { return ring[i].at >= at })
+		if i == len(ring) {
+			i = 0
+		}
+		assign[p] = ring[i].group
+	}
+	return assign
+}
+
+// NewMap builds the first published map (epoch 1) for the given
+// groups. partitions/vnodes of 0 take the defaults.
+func NewMap(seed int64, partitions, vnodes int, groups []Group) *Map {
+	if partitions <= 0 {
+		partitions = DefaultPartitions
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	m := &Map{
+		Epoch:      1,
+		Seed:       seed,
+		Partitions: partitions,
+		VNodes:     vnodes,
+		Groups:     cloneGroups(groups),
+		Assignment: Assign(seed, partitions, vnodes, groups),
+		Stamp:      make([]uint64, partitions),
+	}
+	for p := range m.Stamp {
+		m.Stamp[p] = 1
+	}
+	return m
+}
+
+func cloneGroups(groups []Group) []Group {
+	out := make([]Group, len(groups))
+	for i, g := range groups {
+		out[i] = Group{Name: g.Name, Replicas: append([]string(nil), g.Replicas...)}
+	}
+	return out
+}
+
+// Clone deep-copies the map so a coordinator can derive the next
+// epoch without mutating the published one.
+func (m *Map) Clone() *Map {
+	n := *m
+	n.Groups = cloneGroups(m.Groups)
+	n.Assignment = append([]int(nil), m.Assignment...)
+	n.Stamp = append([]uint64(nil), m.Stamp...)
+	n.Moves = append([]Move(nil), m.Moves...)
+	return &n
+}
+
+// GroupIndex returns the index of the named group, or -1.
+func (m *Map) GroupIndex(name string) int {
+	for i, g := range m.Groups {
+		if g.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// MoveFor returns the in-flight move covering partition p, or nil.
+func (m *Map) MoveFor(p int) *Move {
+	for i := range m.Moves {
+		if m.Moves[i].Partition == p {
+			return &m.Moves[i]
+		}
+	}
+	return nil
+}
+
+// Owner returns the partition and owning group for a path.
+func (m *Map) Owner(path string) (int, Group) {
+	p := PartitionOf(path, m.Partitions)
+	return p, m.Groups[m.Assignment[p]]
+}
+
+// Counts returns how many partitions each group owns.
+func (m *Map) Counts() []int {
+	out := make([]int, len(m.Groups))
+	for _, gi := range m.Assignment {
+		out[gi]++
+	}
+	return out
+}
+
+// Validate checks the map's structural invariants.
+func (m *Map) Validate() error {
+	if m.Epoch == 0 {
+		return fmt.Errorf("placement: map epoch 0")
+	}
+	if m.Partitions <= 0 || m.VNodes <= 0 {
+		return fmt.Errorf("placement: bad partitions=%d vnodes=%d", m.Partitions, m.VNodes)
+	}
+	if len(m.Groups) == 0 {
+		return fmt.Errorf("placement: no groups")
+	}
+	seen := map[string]bool{}
+	for _, g := range m.Groups {
+		if g.Name == "" || len(g.Replicas) == 0 {
+			return fmt.Errorf("placement: group %q has no replicas", g.Name)
+		}
+		if seen[g.Name] {
+			return fmt.Errorf("placement: duplicate group %q", g.Name)
+		}
+		seen[g.Name] = true
+	}
+	if len(m.Assignment) != m.Partitions || len(m.Stamp) != m.Partitions {
+		return fmt.Errorf("placement: assignment/stamp length mismatch")
+	}
+	for p, gi := range m.Assignment {
+		if gi < 0 || gi >= len(m.Groups) {
+			return fmt.Errorf("placement: partition %d assigned to unknown group %d", p, gi)
+		}
+		if m.Stamp[p] == 0 || m.Stamp[p] > m.Epoch {
+			return fmt.Errorf("placement: partition %d stamp %d outside (0, epoch %d]", p, m.Stamp[p], m.Epoch)
+		}
+	}
+	movesSeen := map[int]bool{}
+	for _, mv := range m.Moves {
+		if mv.Partition < 0 || mv.Partition >= m.Partitions {
+			return fmt.Errorf("placement: move for unknown partition %d", mv.Partition)
+		}
+		if movesSeen[mv.Partition] {
+			return fmt.Errorf("placement: duplicate move for partition %d", mv.Partition)
+		}
+		movesSeen[mv.Partition] = true
+		if mv.From < 0 || mv.From >= len(m.Groups) || mv.To < 0 || mv.To >= len(m.Groups) || mv.From == mv.To {
+			return fmt.Errorf("placement: move for partition %d has bad groups %d→%d", mv.Partition, mv.From, mv.To)
+		}
+		if m.Assignment[mv.Partition] != mv.From {
+			return fmt.Errorf("placement: move for partition %d does not start at its owner", mv.Partition)
+		}
+	}
+	return nil
+}
+
+// MapCmd is the command name a placement map encodes to.
+const MapCmd = "placemap"
+
+// replicaSep joins a group's replica addresses into one vector
+// element (addresses are host:port, so ',' cannot collide).
+const replicaSep = ","
+
+// Encode renders the map as a cmdlang command, the transport form
+// used by the ASD's placeget/placeset and the nodes' psmap.
+func (m *Map) Encode() *cmdlang.CmdLine {
+	names := make([]string, len(m.Groups))
+	replicas := make([]string, len(m.Groups))
+	for i, g := range m.Groups {
+		names[i] = g.Name
+		replicas[i] = strings.Join(g.Replicas, replicaSep)
+	}
+	assign := make([]int64, len(m.Assignment))
+	for i, gi := range m.Assignment {
+		assign[i] = int64(gi)
+	}
+	stamps := make([]int64, len(m.Stamp))
+	for i, s := range m.Stamp {
+		stamps[i] = int64(s)
+	}
+	mparts := make([]int64, len(m.Moves))
+	mfrom := make([]int64, len(m.Moves))
+	mto := make([]int64, len(m.Moves))
+	for i, mv := range m.Moves {
+		mparts[i] = int64(mv.Partition)
+		mfrom[i] = int64(mv.From)
+		mto[i] = int64(mv.To)
+	}
+	return cmdlang.New(MapCmd).
+		SetInt("epoch", int64(m.Epoch)).
+		SetInt("seed", m.Seed).
+		SetInt("partitions", int64(m.Partitions)).
+		SetInt("vnodes", int64(m.VNodes)).
+		Set("groups", cmdlang.StringVector(names...)).
+		Set("replicas", cmdlang.StringVector(replicas...)).
+		Set("assign", cmdlang.IntVector(assign...)).
+		Set("stamps", cmdlang.IntVector(stamps...)).
+		Set("move_parts", cmdlang.IntVector(mparts...)).
+		Set("move_from", cmdlang.IntVector(mfrom...)).
+		Set("move_to", cmdlang.IntVector(mto...))
+}
+
+// EncodeString renders the map to the textual grammar, for embedding
+// as a single string argument of another command.
+func (m *Map) EncodeString() string { return m.Encode().String() }
+
+func intVector(c *cmdlang.CmdLine, name string) ([]int64, error) {
+	elems := c.Vector(name)
+	out := make([]int64, len(elems))
+	for i, e := range elems {
+		n, ok := e.AsInt()
+		if !ok {
+			return nil, fmt.Errorf("placement: %s[%d] is not an int", name, i)
+		}
+		out[i] = n
+	}
+	return out, nil
+}
+
+// Decode reconstructs and validates a map from its command form.
+func Decode(c *cmdlang.CmdLine) (*Map, error) {
+	if c.Name() != MapCmd {
+		return nil, fmt.Errorf("placement: not a %s command: %s", MapCmd, c.Name())
+	}
+	m := &Map{
+		Epoch:      uint64(c.Int("epoch", 0)),
+		Seed:       c.Int("seed", 0),
+		Partitions: int(c.Int("partitions", 0)),
+		VNodes:     int(c.Int("vnodes", 0)),
+	}
+	if e := c.Int("epoch", 0); e < 0 {
+		return nil, fmt.Errorf("placement: negative epoch %d", e)
+	}
+	names := c.Strings("groups")
+	replicas := c.Strings("replicas")
+	if len(names) != len(replicas) {
+		return nil, fmt.Errorf("placement: %d groups but %d replica lists", len(names), len(replicas))
+	}
+	for i, name := range names {
+		m.Groups = append(m.Groups, Group{Name: name, Replicas: strings.Split(replicas[i], replicaSep)})
+	}
+	assign, err := intVector(c, "assign")
+	if err != nil {
+		return nil, err
+	}
+	for _, gi := range assign {
+		m.Assignment = append(m.Assignment, int(gi))
+	}
+	stamps, err := intVector(c, "stamps")
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range stamps {
+		if s < 0 {
+			return nil, fmt.Errorf("placement: negative stamp %d", s)
+		}
+		m.Stamp = append(m.Stamp, uint64(s))
+	}
+	mparts, err := intVector(c, "move_parts")
+	if err != nil {
+		return nil, err
+	}
+	mfrom, err := intVector(c, "move_from")
+	if err != nil {
+		return nil, err
+	}
+	mto, err := intVector(c, "move_to")
+	if err != nil {
+		return nil, err
+	}
+	if len(mfrom) != len(mparts) || len(mto) != len(mparts) {
+		return nil, fmt.Errorf("placement: ragged move vectors")
+	}
+	for i := range mparts {
+		m.Moves = append(m.Moves, Move{Partition: int(mparts[i]), From: int(mfrom[i]), To: int(mto[i])})
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// DecodeString parses and decodes a map from its textual form.
+func DecodeString(s string) (*Map, error) {
+	c, err := cmdlang.Parse(s)
+	if err != nil {
+		return nil, fmt.Errorf("placement: parse map: %w", err)
+	}
+	return Decode(c)
+}

@@ -1,0 +1,273 @@
+package pstore
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"ace/internal/daemon"
+	"ace/internal/pstore/placement"
+	"ace/internal/telemetry"
+)
+
+// shardRetries bounds how many times a sharded operation re-routes
+// after a wrong_group redirect before giving up. Each retry refetches
+// the placement map, so more than a couple means the ASD itself is
+// serving a map the nodes disagree with.
+const shardRetries = 3
+
+// Sharded routes store operations across replica groups using a
+// cached placement map: hash the path to its partition, send the
+// operation to the owning group's quorum client stamped with the
+// map's epoch. A wrong_group redirect invalidates the cache, refetches
+// the map, and re-routes — the client needs no a-priori knowledge of
+// the topology, only the ASD address.
+//
+// During a live rebalance, writes to a moving partition dual-apply:
+// the same version is quorum-written to the source group (still the
+// owner) and the destination group, so an acked write survives even
+// if the move's transfer already passed its path. Reads route to the
+// source only — the destination may not hold history yet.
+type Sharded struct {
+	pool  *daemon.Pool
+	cache *placement.Cache
+
+	// Group clients are built per map epoch and keyed by group name;
+	// an epoch change retires the whole set (kept only so Close can
+	// drain their background work).
+	mu      sync.Mutex
+	epoch   uint64
+	clients map[string]*Client
+	retired []*Client
+
+	mRedirects  *telemetry.Counter
+	mDualWrites *telemetry.Counter
+}
+
+// NewSharded builds a sharded client routing by cache's placement map
+// and dialing through pool. Metrics land in the pool's registry.
+func NewSharded(pool *daemon.Pool, cache *placement.Cache) *Sharded {
+	tel := pool.Telemetry()
+	return &Sharded{
+		pool:        pool,
+		cache:       cache,
+		clients:     make(map[string]*Client),
+		mRedirects:  tel.Counter(placement.MetricRedirects),
+		mDualWrites: tel.Counter(placement.MetricDualWrites),
+	}
+}
+
+// Cache exposes the underlying placement cache (for wiring
+// invalidation notifications onto a host daemon).
+func (s *Sharded) Cache() *placement.Cache { return s.cache }
+
+// Close drains the background work of every group client this router
+// ever built. Close before closing the pool.
+func (s *Sharded) Close() {
+	s.mu.Lock()
+	all := append([]*Client(nil), s.retired...)
+	for _, cl := range s.clients {
+		all = append(all, cl)
+	}
+	s.mu.Unlock()
+	for _, cl := range all {
+		cl.Close()
+	}
+}
+
+// client returns (building if needed) the epoch-stamped quorum client
+// for group index gi of map m.
+func (s *Sharded) client(m *placement.Map, gi int) *Client {
+	g := m.Groups[gi]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m.Epoch != s.epoch {
+		for _, cl := range s.clients {
+			s.retired = append(s.retired, cl)
+		}
+		s.clients = make(map[string]*Client)
+		s.epoch = m.Epoch
+	}
+	cl, ok := s.clients[g.Name]
+	if !ok {
+		cl = NewGroupClient(s.pool, g.Replicas, m.Epoch)
+		s.clients[g.Name] = cl
+	}
+	return cl
+}
+
+// route resolves path to its owning group's client under the current
+// map, plus the move destination's client when the partition is mid
+// -rebalance (nil otherwise).
+func (s *Sharded) route(ctx context.Context, path string) (*placement.Map, *Client, *Client, error) {
+	m, ok := s.cache.Get()
+	if !ok {
+		var err error
+		if m, err = s.cache.GetContext(ctx); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	p := placement.PartitionOf(path, m.Partitions)
+	owner := s.client(m, m.Assignment[p])
+	var dest *Client
+	if mv := m.MoveFor(p); mv != nil {
+		dest = s.client(m, mv.To)
+	}
+	return m, owner, dest, nil
+}
+
+// retry runs op, re-routing (invalidate, refetch, rebuild clients)
+// after each wrong_group redirect, up to shardRetries times.
+func (s *Sharded) retry(op func() error) error {
+	var err error
+	for attempt := 0; attempt <= shardRetries; attempt++ {
+		if err = op(); !IsWrongGroup(err) {
+			return err
+		}
+		s.mRedirects.Inc()
+		s.cache.Invalidate()
+	}
+	return err
+}
+
+// GetContext quorum-reads path from its owning group.
+func (s *Sharded) GetContext(ctx context.Context, path string) (value []byte, version uint64, ok bool, err error) {
+	err = s.retry(func() error {
+		_, owner, _, rerr := s.route(ctx, path)
+		if rerr != nil {
+			return rerr
+		}
+		value, version, ok, rerr = owner.GetContext(ctx, path)
+		return rerr
+	})
+	return value, version, ok, err
+}
+
+// Get is GetContext without a deadline.
+func (s *Sharded) Get(path string) ([]byte, uint64, bool, error) {
+	return s.GetContext(context.Background(), path)
+}
+
+// PutContext quorum-writes value at path. If the partition is moving,
+// the write dual-applies: the version is probed on the source group
+// (the owner — it holds full history), then the same version is
+// quorum-written to source AND destination; both quorums must ack.
+// That is what makes an acked write survive a destination-group crash
+// (the source still has it) and a source cutover (the destination
+// already has it).
+func (s *Sharded) PutContext(ctx context.Context, path string, value []byte) (version uint64, err error) {
+	if verr := ValidatePath(path); verr != nil {
+		return 0, verr
+	}
+	err = s.retry(func() error {
+		_, owner, dest, rerr := s.route(ctx, path)
+		if rerr != nil {
+			return rerr
+		}
+		if dest == nil {
+			version, rerr = owner.PutContext(ctx, path, value)
+			return rerr
+		}
+		cur, rerr := owner.currentVersion(ctx, path)
+		if rerr != nil {
+			return rerr
+		}
+		version = cur + 1
+		return s.dualApply(ctx, owner, dest,
+			func(cl *Client) error { return cl.PutVersionContext(ctx, path, value, version) })
+	})
+	return version, err
+}
+
+// Put is PutContext without a deadline.
+func (s *Sharded) Put(path string, value []byte) (uint64, error) {
+	return s.PutContext(context.Background(), path, value)
+}
+
+// DeleteContext writes a tombstone at path (dual-applied while the
+// partition is moving, like PutContext).
+func (s *Sharded) DeleteContext(ctx context.Context, path string) error {
+	return s.retry(func() error {
+		_, owner, dest, rerr := s.route(ctx, path)
+		if rerr != nil {
+			return rerr
+		}
+		if dest == nil {
+			return owner.DeleteContext(ctx, path)
+		}
+		cur, rerr := owner.currentVersion(ctx, path)
+		if rerr != nil {
+			return rerr
+		}
+		next := cur + 1
+		return s.dualApply(ctx, owner, dest,
+			func(cl *Client) error { return cl.DeleteVersionContext(ctx, path, next) })
+	})
+}
+
+// Delete is DeleteContext without a deadline.
+func (s *Sharded) Delete(path string) error {
+	return s.DeleteContext(context.Background(), path)
+}
+
+// dualApply runs the same versioned write against the source and
+// destination groups concurrently and requires both quorums. An acked
+// dual write is durable on a majority of BOTH groups, so killing
+// either whole group cannot lose it.
+func (s *Sharded) dualApply(ctx context.Context, owner, dest *Client, write func(*Client) error) error {
+	s.mDualWrites.Inc()
+	errs := make(chan error, 1)
+	go func() { errs <- write(dest) }()
+	ownerErr := write(owner)
+	destErr := <-errs
+	if ownerErr != nil {
+		return ownerErr
+	}
+	if destErr != nil {
+		return fmt.Errorf("pstore: dual-apply destination: %w", destErr)
+	}
+	return nil
+}
+
+// ListContext unions live paths under prefix across every group. Each
+// group lists only the partitions it owns under its installed map, so
+// the union has no duplicates to reconcile beyond set semantics.
+func (s *Sharded) ListContext(ctx context.Context, prefix string) ([]string, error) {
+	var out []string
+	err := s.retry(func() error {
+		m, ok := s.cache.Get()
+		if !ok {
+			var rerr error
+			if m, rerr = s.cache.GetContext(ctx); rerr != nil {
+				return rerr
+			}
+		}
+		set := map[string]bool{}
+		for gi := range m.Groups {
+			paths, rerr := s.client(m, gi).ListContext(ctx, prefix)
+			if rerr != nil {
+				return rerr
+			}
+			for _, p := range paths {
+				set[p] = true
+			}
+		}
+		out = make([]string, 0, len(set))
+		for p := range set {
+			out = append(out, p)
+		}
+		sort.Strings(out)
+		return nil
+	})
+	return out, err
+}
+
+// List is ListContext without a deadline.
+func (s *Sharded) List(prefix string) ([]string, error) {
+	return s.ListContext(context.Background(), prefix)
+}
+
+// Epoch returns the epoch of the map the router is currently routing
+// by (0 before the first fetch).
+func (s *Sharded) Epoch() uint64 { return s.cache.Epoch() }

@@ -394,6 +394,31 @@ func (e *Engine) AppendAsync(rec Record, done func(error)) {
 	}
 }
 
+// AppendBatch makes every record in recs durable, sharing fsyncs
+// across the whole batch: all records are enqueued before the first
+// wait, so the commit goroutine coalesces them into as few
+// write+fsync cycles as the segment layout allows. This is the bulk
+// path for partition transfer and anti-entropy pulls — appending a
+// pulled partition record-by-record through Append would pay one
+// ordered wait per record and never batch. Returns the first failure
+// (after which the engine is sealed, like Append).
+func (e *Engine) AppendBatch(recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	errs := make(chan error, len(recs))
+	for _, rec := range recs {
+		e.AppendAsync(rec, func(err error) { errs <- err })
+	}
+	var first error
+	for range recs {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
 // Err reports the sealing failure, if the log has one.
 func (e *Engine) Err() error { return e.w.lastErr() }
 

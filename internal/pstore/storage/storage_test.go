@@ -505,3 +505,35 @@ func TestTornWriteRefusedAndRepaired(t *testing.T) {
 	defer eng3.Close()
 	wantRecords(t, recs3, 0, 1, 5)
 }
+
+// TestAppendBatchDurableAndAmortized: a batch append lands every
+// record durably, shares fsyncs across the batch instead of paying
+// one per record, and recovers intact.
+func TestAppendBatchDurableAndAmortized(t *testing.T) {
+	disk := chaos.NewDiskFS()
+	fs := slowSyncFS{FS: disk, delay: time.Millisecond}
+	eng, _, _ := mustOpen(t, fs, storage.Options{})
+	const n = 100
+	recs := make([]storage.Record, n)
+	for i := range recs {
+		recs[i] = rec(i)
+	}
+	if err := eng.AppendBatch(recs); err != nil {
+		t.Fatalf("AppendBatch: %v", err)
+	}
+	if syncs := disk.Syncs(); syncs >= n/2 {
+		t.Fatalf("batch append paid %d fsyncs for %d records; not batching", syncs, n)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	eng2, got, info := mustOpen(t, disk, storage.Options{})
+	defer eng2.Close()
+	if info.Replayed != n || len(got) != n {
+		t.Fatalf("recovered %d/%d records (replayed %d)", len(got), n, info.Replayed)
+	}
+	// An empty batch is a no-op, not a hang.
+	if err := eng2.AppendBatch(nil); err != nil {
+		t.Fatalf("empty AppendBatch: %v", err)
+	}
+}

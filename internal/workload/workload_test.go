@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestZipfianDeterministic(t *testing.T) {
+	a := NewZipfian(42, 16384, 0.9)
+	b := NewZipfian(42, 16384, 0.9)
+	for i := 0; i < 10000; i++ {
+		if ka, kb := a.Next(), b.Next(); ka != kb {
+			t.Fatalf("draw %d diverged: %d vs %d", i, ka, kb)
+		}
+	}
+	c := NewZipfian(43, 16384, 0.9)
+	same := true
+	a2 := NewZipfian(42, 16384, 0.9)
+	for i := 0; i < 1000; i++ {
+		if a2.Next() != c.Next() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical key sequences")
+	}
+}
+
+func TestZipfianSkewAndRange(t *testing.T) {
+	const n, draws = 16384, 200000
+	z := NewZipfian(7, n, 0.9)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		k := z.Next()
+		if k < 0 || k >= n {
+			t.Fatalf("key %d outside [0, %d)", k, n)
+		}
+		counts[k]++
+	}
+	// Key 0 must be far hotter than uniform (1/n of draws ≈ 12).
+	if counts[0] < draws/100 {
+		t.Fatalf("hottest key drawn %d/%d times — no zipfian head", counts[0], draws)
+	}
+	// But the tail must still be exercised: a large fraction of the
+	// key space appears at least once.
+	touched := 0
+	for _, c := range counts {
+		if c > 0 {
+			touched++
+		}
+	}
+	if touched < n/10 {
+		t.Fatalf("only %d/%d keys ever drawn — skew degenerated to a point mass", touched, n)
+	}
+	// Head mass: the 10 hottest keys carry a meaningful share but not
+	// everything.
+	head := 0
+	for k := 0; k < 10; k++ {
+		head += counts[k]
+	}
+	if head < draws/10 || head > draws*3/4 {
+		t.Fatalf("head-10 share %d/%d outside plausible zipfian(0.9) range", head, draws)
+	}
+}
+
+func TestGeneratorMixAndDeterminism(t *testing.T) {
+	g1 := NewGenerator(11, 1024, 0.9, 0.8)
+	g2 := NewGenerator(11, 1024, 0.9, 0.8)
+	reads := 0
+	const ops = 50000
+	for i := 0; i < ops; i++ {
+		o1, o2 := g1.Next(), g2.Next()
+		if o1 != o2 {
+			t.Fatalf("op %d diverged: %+v vs %+v", i, o1, o2)
+		}
+		if o1.Kind == OpGet {
+			reads++
+		}
+	}
+	frac := float64(reads) / ops
+	if frac < 0.77 || frac > 0.83 {
+		t.Fatalf("read fraction %.3f, want ≈0.8", frac)
+	}
+}
+
+func TestPath(t *testing.T) {
+	if got := Path("/bench/shard", 7); got != "/bench/shard/00007" {
+		t.Fatalf("Path = %q", got)
+	}
+}
+
+func TestZipfianRejectsBadParams(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewZipfian(1, 0, 0.9) },
+		func() { NewZipfian(1, 10, 0) },
+		func() { NewZipfian(1, 10, 1) },
+		func() { NewGenerator(1, 10, 0.9, 1.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid workload parameters did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
