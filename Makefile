@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all check build test race test-race chaos short bench bench-telemetry bench-pstore bench-flow experiments examples fuzz fmt vet lint clean
+.PHONY: all check build test race test-race chaos short bench bench-telemetry bench-pstore bench-flow experiments examples fuzz fmt vet lint lint-docs clean
 
 all: build vet test
 
@@ -17,11 +17,22 @@ build:
 vet:
 	$(GO) vet ./...
 
-# ACE-specific static analysis (docs/LINT.md): context propagation,
-# locks held across blocking I/O, discarded transport errors, verb
-# registration sanity, and nondeterminism in the chaos packages.
+# ACE-specific static analysis (docs/LINT.md): six intraprocedural
+# checks (context propagation, locks held across blocking I/O,
+# discarded transport errors, verb registration sanity, chaos
+# determinism, bounded accept/dispatch spawns) plus four built on the
+# package-set-wide call graph (wire-protocol verb conformance,
+# deadline propagation, goroutine shutdown edges, metric naming).
 lint:
 	$(GO) run ./cmd/acelint ./...
+
+# Regenerate the machine-checked documentation from the extracted
+# registries: the metric table in docs/METRICS.md (rewritten whole)
+# and the verb table spliced between its markers in docs/PROTOCOL.md.
+# CI fails when either file is stale.
+lint-docs:
+	$(GO) run ./cmd/acelint -metrics-doc docs/METRICS.md ./...
+	$(GO) run ./cmd/acelint -verbs-doc docs/PROTOCOL.md ./...
 
 test:
 	$(GO) test ./...

@@ -10,6 +10,7 @@
 //	acectl -asd HOST:PORT call SERVICE 'move pan=10 tilt=5;'
 //	acectl -asd HOST:PORT raw ADDR 'ping;'
 //	acectl -asd HOST:PORT stats SERVICE
+//	acectl -asd HOST:PORT notifications SERVICE [cmd]
 //	acectl -asd HOST:PORT placement
 //	acectl -asd HOST:PORT trace TRACE_ID
 //
@@ -45,7 +46,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fail("missing subcommand (tree | lookup | commands | call | raw | stats | placement | trace)")
+		fail("missing subcommand (tree | lookup | commands | call | raw | stats | notifications | placement | trace)")
 	}
 	if *asdAddr == "" && args[0] != "raw" {
 		fail("-asd is required")
@@ -124,6 +125,28 @@ func main() {
 			fail("resolve %s: %v", args[1], err)
 		}
 		printStats(pool, args[1], addr)
+
+	case "notifications":
+		if len(args) < 2 {
+			fail("notifications SERVICE [cmd]")
+		}
+		addr, err := asd.Resolve(pool, *asdAddr, asd.Query{Name: args[1]})
+		if err != nil {
+			fail("resolve %s: %v", args[1], err)
+		}
+		query := cmdlang.New(daemon.CmdListNotifications)
+		if len(args) > 2 {
+			query.SetWord("cmd", args[2])
+		}
+		reply, err := pool.Call(addr, query)
+		if err != nil {
+			fail("listNotifications: %v", err)
+		}
+		targets := reply.Strings("targets")
+		fmt.Printf("%d subscription(s)\n", len(targets))
+		for _, t := range targets {
+			fmt.Printf("  %s\n", t)
+		}
 
 	case "placement":
 		printPlacement(pool, *asdAddr)

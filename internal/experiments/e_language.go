@@ -25,10 +25,12 @@ func sampleCommands() map[string]*cmdlang.CmdLine {
 			SetWord("name", "ptz_cam_1").SetWord("host", "machine25").
 			SetInt("port", 1225).SetWord("room", "hawk").
 			SetString("class", "Service.Device.PTZCamera.VCC3").SetInt("lease", 10000),
+		//acelint:ignore verbconformance benchmark corpus: serialized and parsed in-process, never dispatched to a daemon
 		"vectors": cmdlang.New("cfg").
 			Set("dims", cmdlang.IntVector(640, 480)).
 			Set("rates", cmdlang.FloatVector(5, 15, 29.97)).
 			Set("modes", cmdlang.WordVector("auto", "manual", "tracking")),
+		//acelint:ignore verbconformance benchmark corpus: serialized and parsed in-process, never dispatched to a daemon
 		"matrix": cmdlang.New("calibrate").Set("m", cmdlang.Array(
 			cmdlang.FloatVector(1, 0, 0), cmdlang.FloatVector(0, 1, 0), cmdlang.FloatVector(0, 0, 1))),
 	}

@@ -114,6 +114,7 @@ func (f *FIU) install() {
 		return nil, nil
 	})
 
+	//acelint:ignore verbconformance operator verb: issued through acectl's dynamic call/raw passthrough
 	f.Handle(cmdlang.CommandSpec{Name: "reloadTable", Doc: "reload enrolled templates from the AUD"},
 		func(_ *daemon.Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
 			if f.audAddr == "" {

@@ -73,6 +73,26 @@ type Program struct {
 	LoadErrors []error
 
 	local map[string]bool // import paths type-checked from the module source
+	graph *Graph          // lazily built interprocedural call graph
+	facts *FactStore      // cross-package fact store, created with the graph
+}
+
+// Graph returns the program-wide call graph, building it on first
+// use. Program-level analyzers receive it through ProgPass; tests and
+// the doc generators call it directly.
+func (p *Program) Graph() *Graph {
+	if p.graph == nil {
+		p.graph = BuildGraph(p)
+	}
+	return p.graph
+}
+
+// Facts returns the program's cross-package fact store.
+func (p *Program) Facts() *FactStore {
+	if p.facts == nil {
+		p.facts = NewFactStore(p.Fset)
+	}
+	return p.facts
 }
 
 // IsLocal reports whether the import path was loaded from the module

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"go/types"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -68,5 +69,53 @@ func TestByName(t *testing.T) {
 	}
 	if _, err := ByName("nosuch"); err == nil {
 		t.Error("ByName(nosuch): expected error")
+	}
+}
+
+// TestFactsFlowAcrossPackages pins the interprocedural contract end to
+// end: verbconformance exports a verb.emits fact against the named
+// handler registered in verbconftest/server, and the fact must contain
+// "not_found" — a reply code emitted by verbconftest/storage, one call
+// and one package boundary away. If call-graph edges stop crossing
+// packages or the fact store's cross-unit object keying breaks, the
+// emitted-code set collapses to the handler's own body and this fails.
+func TestFactsFlowAcrossPackages(t *testing.T) {
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", "verbconformance"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Load(dir, []string{"./..."})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	Run(prog, []*Analyzer{VerbConformance})
+
+	var obj types.Object
+	for _, pkg := range prog.Packages {
+		if pkg.Path == "verbconftest/server" {
+			obj = pkg.Types.Scope().Lookup("HandleRenew")
+		}
+	}
+	if obj == nil {
+		t.Fatal("HandleRenew not found in verbconftest/server scope")
+	}
+	v, ok := prog.Facts().Import(obj, "verb.emits")
+	if !ok {
+		t.Fatalf("no verb.emits fact on HandleRenew; fact keys: %v", prog.Facts().Keys())
+	}
+	codes, ok := v.([]string)
+	if !ok {
+		t.Fatalf("verb.emits fact has type %T, want []string", v)
+	}
+	sawNotFound, sawConflict := false, false
+	for _, c := range codes {
+		sawNotFound = sawNotFound || c == "not_found"
+		sawConflict = sawConflict || c == "conflict"
+	}
+	if !sawNotFound {
+		t.Errorf("verb.emits = %v: missing \"not_found\", the code storage.Lookup emits across the package boundary", codes)
+	}
+	if sawConflict {
+		t.Errorf("verb.emits = %v: contains \"conflict\", which no reachable body emits", codes)
 	}
 }

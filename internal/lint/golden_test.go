@@ -133,6 +133,23 @@ func TestGoldenBoundedSpawn(t *testing.T) {
 	runGolden(t, "boundedspawn", []*Analyzer{BoundedSpawn})
 }
 
+// The interprocedural analyzers: each golden module is loaded with
+// the full driver, so the call graph and fact store are exercised end
+// to end (cross-package emission facts, reverse sink reachability,
+// spawn-to-loop resolution, program-wide metric registries).
+func TestGoldenVerbConformance(t *testing.T) {
+	runGolden(t, "verbconformance", []*Analyzer{VerbConformance})
+}
+func TestGoldenDeadlineCheck(t *testing.T) {
+	runGolden(t, "deadlinecheck", []*Analyzer{DeadlineCheck})
+}
+func TestGoldenGoroutineLeak(t *testing.T) {
+	runGolden(t, "goroutineleak", []*Analyzer{GoroutineLeak})
+}
+func TestGoldenMetricNames(t *testing.T) {
+	runGolden(t, "metricnames", []*Analyzer{MetricNames})
+}
+
 // TestGoldenSuppression is the suppression round trip: the suppress
 // module contains real violations silenced by acelint:ignore (which
 // must not surface), an unused suppression and a reason-less one
@@ -144,7 +161,8 @@ func TestGoldenSuppression(t *testing.T) { runGolden(t, "suppress", All) }
 // proving the findings above come from the named check and not from
 // driver side effects.
 func TestChecksFireOnlyWhenEnabled(t *testing.T) {
-	for _, name := range []string{"ctxpropagation", "lockhold", "droppederr", "verbreg", "detrand", "boundedspawn"} {
+	for _, name := range []string{"ctxpropagation", "lockhold", "droppederr", "verbreg", "detrand", "boundedspawn",
+		"verbconformance", "deadlinecheck", "goroutineleak", "metricnames"} {
 		dir, err := filepath.Abs(filepath.Join("testdata", "src", name))
 		if err != nil {
 			t.Fatal(err)

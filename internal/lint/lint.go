@@ -8,6 +8,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Finding is one analyzer diagnostic, printed as
@@ -79,11 +80,40 @@ func (p *Pass) calleeFunc(call *ast.CallExpr) *types.Func {
 	return fn
 }
 
-// Analyzer is one acelint check.
+// ProgPass carries a program-level analyzer's view of the whole
+// loaded package set: the call graph, the cross-package fact store,
+// and every package at once. Interprocedural checks (deadlinecheck,
+// goroutineleak, verbconformance) run here instead of per package.
+type ProgPass struct {
+	Prog  *Program
+	Fset  *token.FileSet
+	Graph *Graph
+	Facts *FactStore
+
+	check  string
+	report func(Finding)
+}
+
+// Reportf records a finding at pos.
+func (p *ProgPass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Finding{Pos: p.Fset.Position(pos), Check: p.check, Msg: fmt.Sprintf(format, args...)})
+}
+
+// PackagePass builds a per-package Pass for reuse of the intra-
+// procedural helpers (TypeOf, calleeFunc, …) inside a program pass.
+func (p *ProgPass) PackagePass(pkg *Package) *Pass {
+	return &Pass{Prog: p.Prog, Pkg: pkg, Fset: p.Fset, check: p.check, report: p.report}
+}
+
+// Analyzer is one acelint check. Run executes once per package;
+// RunProgram executes once over the whole loaded set with the call
+// graph and fact store available. An analyzer defines one or the
+// other (defining both runs both).
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name       string
+	Doc        string
+	Run        func(*Pass)
+	RunProgram func(*ProgPass)
 }
 
 // All lists every analyzer in the order they run.
@@ -94,6 +124,10 @@ var All = []*Analyzer{
 	VerbReg,
 	DetRand,
 	BoundedSpawn,
+	VerbConformance,
+	DeadlineCheck,
+	GoroutineLeak,
+	MetricNames,
 }
 
 // ByName resolves a comma-separated check list ("ctxpropagation,detrand")
@@ -120,14 +154,16 @@ func ByName(list string) ([]*Analyzer, error) {
 	return out, nil
 }
 
-// IgnoreDirective is the comment prefix that suppresses one finding:
+// IgnoreDirective is the comment prefix that suppresses findings:
 //
-//	//acelint:ignore <check> <reason>
+//	//acelint:ignore <check>[,<check>...] <reason>
 //
 // placed on the flagged line or on its own line directly above. The
-// reason is mandatory, and a suppression that matches nothing is
-// itself reported (check name "ignore") so stale pragmas cannot
-// accumulate.
+// check field is a comma-separated list so one directive can silence
+// several analyzers on the same line. The reason is mandatory, and a
+// suppression that matches nothing is itself reported (check name
+// "ignore") so stale pragmas cannot accumulate — with a multi-check
+// directive, each listed check must match a finding.
 const IgnoreDirective = "acelint:ignore"
 
 type suppression struct {
@@ -188,23 +224,45 @@ func collectSuppressions(fset *token.FileSet, f *ast.File, known map[string]bool
 				report(Finding{Pos: pos, Check: "ignore", Msg: "acelint:ignore needs a check name and a reason"})
 				continue
 			}
-			check := fields[0]
-			if !known[check] {
-				report(Finding{Pos: pos, Check: "ignore", Msg: fmt.Sprintf("acelint:ignore names unknown check %q", check)})
+			var checks []string
+			badName := false
+			for _, check := range strings.Split(fields[0], ",") {
+				check = strings.TrimSpace(check)
+				if check == "" || !known[check] {
+					report(Finding{Pos: pos, Check: "ignore", Msg: fmt.Sprintf("acelint:ignore names unknown check %q", check)})
+					badName = true
+					continue
+				}
+				checks = append(checks, check)
+			}
+			if badName && len(checks) == 0 {
 				continue
 			}
 			if len(fields) < 2 {
-				report(Finding{Pos: pos, Check: "ignore", Msg: fmt.Sprintf("acelint:ignore %s needs a reason", check)})
+				report(Finding{Pos: pos, Check: "ignore", Msg: fmt.Sprintf("acelint:ignore %s needs a reason", fields[0])})
 				continue
 			}
 			line := pos.Line
 			if standaloneComment(lineCache, pos) {
 				line++
 			}
-			sups = append(sups, &suppression{pos: pos, check: check, line: line})
+			// One suppression entry per listed check: each must match a
+			// finding or be reported as unused on its own.
+			for _, check := range checks {
+				sups = append(sups, &suppression{pos: pos, check: check, line: line})
+			}
 		}
 	}
 	return sups
+}
+
+// AnalyzerTiming records how long one analyzer spent across the whole
+// program, for `acelint -json` / `-timing` CI annotations. The
+// pseudo-entry "callgraph" reports the one-time graph construction
+// cost shared by the program-level analyzers.
+type AnalyzerTiming struct {
+	Check   string
+	Elapsed time.Duration
 }
 
 // Run executes the analyzers over every package in prog, applies
@@ -212,6 +270,12 @@ func collectSuppressions(fset *token.FileSet, f *ast.File, known map[string]bool
 // by position. Unused or malformed suppressions are returned as
 // findings of the pseudo-check "ignore".
 func Run(prog *Program, analyzers []*Analyzer) []Finding {
+	findings, _ := RunTimed(prog, analyzers)
+	return findings
+}
+
+// RunTimed is Run plus per-analyzer wall-clock timings.
+func RunTimed(prog *Program, analyzers []*Analyzer) ([]Finding, []AnalyzerTiming) {
 	known := make(map[string]bool)
 	for _, a := range All {
 		known[a.Name] = true
@@ -219,6 +283,17 @@ func Run(prog *Program, analyzers []*Analyzer) []Finding {
 
 	var raw []Finding
 	collect := func(f Finding) { raw = append(raw, f) }
+
+	elapsed := make(map[string]time.Duration)
+	var order []string
+	timed := func(name string, fn func()) {
+		start := time.Now()
+		fn()
+		if _, ok := elapsed[name]; !ok {
+			order = append(order, name)
+		}
+		elapsed[name] += time.Since(start)
+	}
 
 	var sups []*suppression
 	var supFindings []Finding
@@ -236,8 +311,31 @@ func Run(prog *Program, analyzers []*Analyzer) []Finding {
 			})...)
 		}
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{Prog: prog, Pkg: pkg, Fset: prog.Fset, check: a.Name, report: collect}
-			a.Run(pass)
+			timed(a.Name, func() { a.Run(pass) })
+		}
+	}
+
+	// Program-level passes: build the call graph once, lazily, only
+	// when an enabled analyzer actually needs it.
+	needGraph := false
+	for _, a := range analyzers {
+		if a.RunProgram != nil {
+			needGraph = true
+		}
+	}
+	if needGraph {
+		timed("callgraph", func() { prog.Graph() })
+		for _, a := range analyzers {
+			if a.RunProgram == nil {
+				continue
+			}
+			pp := &ProgPass{Prog: prog, Fset: prog.Fset, Graph: prog.Graph(), Facts: prog.Facts(),
+				check: a.Name, report: collect}
+			timed(a.Name, func() { a.RunProgram(pp) })
 		}
 	}
 
@@ -282,5 +380,10 @@ func Run(prog *Program, analyzers []*Analyzer) []Finding {
 		}
 		last = f
 	}
-	return dedup
+
+	timings := make([]AnalyzerTiming, 0, len(order))
+	for _, name := range order {
+		timings = append(timings, AnalyzerTiming{Check: name, Elapsed: elapsed[name]})
+	}
+	return dedup, timings
 }

@@ -1,0 +1,258 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// MetricNames enforces the telemetry naming contract: every metric
+// registered on a *telemetry.Registry (Counter / Gauge / Histogram)
+// must be named by a string constant matching
+//
+//	^[a-z]+(\.[a-z_]+)+$
+//
+// and each name must be registered from exactly one declaration — the
+// same named constant may be registered at many call sites (two
+// constructors sharing one metric is fine), but two independent
+// literals or two different constants spelling the same string is a
+// collision that silently merges two series. A dynamic suffix is
+// allowed as a metric *family* when it extends a constant prefix
+// ending in "." ("daemon.dispatch." + verb); the family's prefix must
+// match the same grammar. Registering one name with two different
+// kinds (Counter here, Gauge there) is always an error. Test files
+// are exempt. The extracted registry also feeds `acelint -metrics-doc`,
+// which generates docs/METRICS.md.
+var MetricNames = &Analyzer{
+	Name:       "metricnames",
+	Doc:        "telemetry metric name not a conforming constant, or registered from conflicting declarations",
+	RunProgram: runMetricNames,
+}
+
+var metricNameRE = regexp.MustCompile(`^[a-z]+(\.[a-z_]+)+$`)
+var metricPrefixRE = regexp.MustCompile(`^[a-z]+(\.[a-z_]+)*\.$`)
+
+// metricSite is one registration call.
+type metricSite struct {
+	name    string // "" for families
+	prefix  string // family prefix when dynamic
+	kind    string // Counter / Gauge / Histogram
+	declKey string // canonical key of the naming const, or "lit:<pos>"
+	doc     string // doc/line comment on the declaring const
+	pkgPath string
+	pos     token.Pos
+}
+
+func runMetricNames(pp *ProgPass) {
+	sites := extractMetricSites(pp, true)
+
+	byName := make(map[string][]*metricSite)
+	for _, s := range sites {
+		if s.name != "" {
+			byName[s.name] = append(byName[s.name], s)
+		}
+	}
+	var names []string
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		group := byName[name]
+		decls := make(map[string]*metricSite)
+		kinds := make(map[string]*metricSite)
+		for _, s := range group {
+			if _, ok := decls[s.declKey]; !ok {
+				decls[s.declKey] = s
+			}
+			if _, ok := kinds[s.kind]; !ok {
+				kinds[s.kind] = s
+			}
+		}
+		if len(decls) > 1 {
+			first := group[0]
+			for _, s := range group[1:] {
+				if s.declKey != first.declKey {
+					pp.Reportf(s.pos, "metric %q is registered from a second independent declaration (first at %s); share one named constant", name, pp.Fset.Position(first.pos))
+				}
+			}
+		}
+		if len(kinds) > 1 {
+			var kindNames []string
+			for k := range kinds {
+				kindNames = append(kindNames, k)
+			}
+			sort.Strings(kindNames)
+			for _, k := range kindNames[1:] {
+				s := kinds[k]
+				pp.Reportf(s.pos, "metric %q is registered as both %s and %s; one name must map to one series kind", name, kindNames[0], k)
+			}
+		}
+	}
+}
+
+// extractMetricSites scans every registration call in the program.
+// When report is set, non-conforming names are flagged; the doc
+// generator calls it with report=false.
+func extractMetricSites(pp *ProgPass, report bool) []*metricSite {
+	constDocs := collectConstDocs(pp)
+	var sites []*metricSite
+	for _, pkg := range pp.Prog.Packages {
+		pass := pp.PackagePass(pkg)
+		for _, file := range pkg.Files {
+			if pkg.IsTestFile(pp.Fset, file.Pos()) {
+				continue
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				kind, ok := metricRegistration(pass, call)
+				if !ok {
+					return true
+				}
+				arg := ast.Unparen(call.Args[0])
+				site := &metricSite{kind: kind, pkgPath: pkg.Path, pos: call.Pos()}
+				if name := constString(pass, arg); name != "" {
+					if !metricNameRE.MatchString(name) {
+						if report {
+							pp.Reportf(call.Pos(), "metric name %q does not match ^[a-z]+(\\.[a-z_]+)+$ (lowercase dotted segments)", name)
+						}
+						return true
+					}
+					site.name = name
+					site.declKey, site.doc = metricDecl(pp, pass, arg, constDocs)
+					sites = append(sites, site)
+					return true
+				}
+				// ConstPrefix + dynamicExpr: a metric family.
+				if bin, ok := arg.(*ast.BinaryExpr); ok && bin.Op == token.ADD {
+					if prefix := constString(pass, bin.X); prefix != "" {
+						if !metricPrefixRE.MatchString(prefix) {
+							if report {
+								pp.Reportf(call.Pos(), "metric family prefix %q must be lowercase dotted segments ending in \".\"", prefix)
+							}
+							return true
+						}
+						site.prefix = prefix
+						site.declKey, site.doc = metricDecl(pp, pass, bin.X, constDocs)
+						sites = append(sites, site)
+						return true
+					}
+				}
+				if report {
+					pp.Reportf(call.Pos(), "metric name must be a string constant (or a constant \"prefix.\" + suffix family); dynamic names fragment the registry")
+				}
+				return true
+			})
+		}
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i].pos < sites[j].pos })
+	return sites
+}
+
+// metricRegistration matches reg.Counter/Gauge/Histogram(name) where
+// the receiver is a module-local *telemetry.Registry. Snapshot reads
+// (Snapshot.Counter) and other same-named methods don't count.
+func metricRegistration(pass *Pass, call *ast.CallExpr) (kind string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel || len(call.Args) < 1 {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Counter", "Gauge", "Histogram":
+	default:
+		return "", false
+	}
+	fn := pass.calleeFunc(call)
+	if fn == nil {
+		return "", false
+	}
+	sig, isSig := fn.Type().(*types.Signature)
+	if !isSig || sig.Recv() == nil {
+		return "", false
+	}
+	t := sig.Recv().Type()
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Registry" || obj.Pkg() == nil || !pass.Prog.IsLocal(obj.Pkg().Path()) {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// metricDecl canonicalizes the naming expression: a reference to a
+// named constant keys on the constant's declaration (shared across
+// call sites and packages); a bare literal keys on its own position.
+func metricDecl(pp *ProgPass, pass *Pass, e ast.Expr, docs map[string]string) (key, doc string) {
+	var obj types.Object
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj = pass.Pkg.Info.Uses[e]
+	case *ast.SelectorExpr:
+		obj = pass.Pkg.Info.Uses[e.Sel]
+	}
+	if c, ok := obj.(*types.Const); ok {
+		k := ObjectKey(pp.Fset, c)
+		return k, docs[k]
+	}
+	pos := pp.Fset.Position(e.Pos())
+	return "lit:" + pos.Filename + ":" + strconv.Itoa(pos.Line) + ":" + strconv.Itoa(pos.Column), ""
+}
+
+// collectConstDocs indexes doc and line comments on every module
+// constant declaration, keyed canonically, for the generated
+// METRICS.md descriptions.
+func collectConstDocs(pp *ProgPass) map[string]string {
+	docs := make(map[string]string)
+	for _, pkg := range pp.Prog.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.CONST {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					text := commentText(vs.Doc)
+					if text == "" {
+						text = commentText(vs.Comment)
+					}
+					if text == "" && len(gd.Specs) == 1 {
+						text = commentText(gd.Doc)
+					}
+					if text == "" {
+						continue
+					}
+					for _, name := range vs.Names {
+						if obj := pkg.Info.Defs[name]; obj != nil {
+							docs[ObjectKey(pp.Fset, obj)] = text
+						}
+					}
+				}
+			}
+		}
+	}
+	return docs
+}
+
+func commentText(cg *ast.CommentGroup) string {
+	if cg == nil {
+		return ""
+	}
+	return strings.TrimSpace(strings.ReplaceAll(cg.Text(), "\n", " "))
+}

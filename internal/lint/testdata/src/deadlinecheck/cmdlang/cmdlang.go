@@ -1,0 +1,9 @@
+// Package cmdlang is a stand-in for ace/internal/cmdlang.
+package cmdlang
+
+type CommandSpec struct {
+	Name string
+	Doc  string
+}
+
+type CmdLine struct{}

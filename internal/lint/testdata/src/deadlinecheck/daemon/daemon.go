@@ -1,0 +1,12 @@
+// Package daemon is a stand-in for ace/internal/daemon.
+package daemon
+
+import "deadlinetest/cmdlang"
+
+type Ctx struct{}
+
+type Handler func(ctx *Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error)
+
+type Daemon struct{}
+
+func (d *Daemon) Handle(spec cmdlang.CommandSpec, h Handler) {}

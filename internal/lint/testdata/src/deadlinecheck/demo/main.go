@@ -1,0 +1,12 @@
+// Command demo is a main-package entry point reaching a blocking
+// frame write with no deadline.
+package main
+
+import "deadlinetest/wire"
+
+func main() { // want `entry point demo.main can reach a blocking call with no deadline on the path: demo.main → wire.WriteFrame`
+	c := &wire.Conn{}
+	if err := wire.WriteFrame(c, nil); err != nil {
+		panic(err)
+	}
+}

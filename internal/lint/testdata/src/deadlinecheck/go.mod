@@ -1,0 +1,3 @@
+module deadlinetest
+
+go 1.22

@@ -1,0 +1,102 @@
+// Package app exercises the goroutine shutdown-edge analysis.
+package app
+
+import (
+	"context"
+	"sync"
+
+	"goroutineleaktest/flow"
+	"goroutineleaktest/worker"
+)
+
+type Server struct {
+	wg     sync.WaitGroup
+	stop   chan struct{}
+	events chan int
+	orphan chan int
+}
+
+func tick() {}
+
+// StartLeaky spawns a loop with no return, no shutdown receive, and no
+// join: the canonical leak.
+func (s *Server) StartLeaky() {
+	go func() { // want `goroutine func literal in \(\*app\.Server\)\.StartLeaky loops forever with no reachable shutdown edge`
+		for {
+			tick()
+		}
+	}()
+}
+
+// StartWorker spawns a named function whose infinite loop sits one
+// call deeper, in another package.
+func (s *Server) StartWorker(w *worker.State) {
+	go worker.Run(w) // want `goroutine worker.Run \(via worker.spin\) loops forever with no reachable shutdown edge`
+}
+
+// StartOrphanRange ranges over a channel nothing ever closes.
+func (s *Server) StartOrphanRange() {
+	go func() { // want `goroutine func literal in \(\*app\.Server\)\.StartOrphanRange loops forever with no reachable shutdown edge`
+		for range s.orphan {
+		}
+	}()
+}
+
+// StartCtx exits when the context is cancelled: not a leak.
+func (s *Server) StartCtx(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case ev := <-s.events:
+				_ = ev
+			}
+		}
+	}()
+}
+
+// StartStopChan ranges over a channel Close closes: the close is the
+// shutdown edge.
+func (s *Server) StartStopChan() {
+	go func() {
+		for range s.events {
+			tick()
+		}
+	}()
+}
+
+// StartJoined never exits on its own, but the goroutine is joined by
+// the WaitGroup Close waits on: its lifecycle is the joiner's problem.
+func (s *Server) StartJoined() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			tick()
+		}
+	}()
+}
+
+// StartBounded consults the flow limiter before spawning: bounded and
+// request-scoped by construction.
+func (s *Server) StartBounded() {
+	slot, err := flow.Acquire()
+	if err != nil {
+		return
+	}
+	go func() {
+		defer slot.Release()
+		for {
+			tick()
+		}
+	}()
+}
+
+// Close is the shutdown edge for StartStopChan and the join for
+// StartJoined.
+func (s *Server) Close() {
+	close(s.events)
+	close(s.stop)
+	s.wg.Wait()
+}

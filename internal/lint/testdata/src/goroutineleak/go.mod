@@ -1,0 +1,3 @@
+module goroutineleaktest
+
+go 1.22

@@ -1,0 +1,17 @@
+// Package worker hides its infinite loop one call away from the spawn
+// site: only the call graph sees the leak.
+package worker
+
+type State struct{}
+
+func Run(s *State) {
+	spin(s)
+}
+
+func spin(s *State) {
+	for {
+		step(s)
+	}
+}
+
+func step(s *State) {}

@@ -1,0 +1,47 @@
+// Package app exercises the telemetry naming contract.
+package app
+
+import "metricnamestest/telemetry"
+
+// MetricRequests counts dispatched requests.
+const MetricRequests = "app.requests"
+
+// MetricDispatchPrefix is the per-verb histogram family prefix.
+const MetricDispatchPrefix = "app.dispatch."
+
+func conforming(tel *telemetry.Registry, verb string) {
+	tel.Counter(MetricRequests).Add(1)
+	tel.Histogram(MetricDispatchPrefix + verb).Observe(1)
+}
+
+// sharedConst registers the same constant from a second call site:
+// one declaration, many sites — fine.
+func sharedConst(tel *telemetry.Registry) {
+	tel.Counter(MetricRequests).Add(1)
+}
+
+func violations(tel *telemetry.Registry, name string) {
+	tel.Counter("app.queue_depth.").Add(1)      // want `metric name "app.queue_depth." does not match`
+	tel.Gauge("UpperCase.Name").Set(1)          // want `metric name "UpperCase.Name" does not match`
+	tel.Counter(name).Add(1)                    // want `metric name must be a string constant`
+	tel.Histogram("dispatch" + name).Observe(1) // want `metric family prefix "dispatch" must be lowercase dotted segments ending in`
+}
+
+// duplicated spells app.requests from an independent literal: two
+// declarations silently merge into one series.
+func duplicated(tel *telemetry.Registry) {
+	tel.Counter("app.requests").Add(1) // want `metric "app.requests" is registered from a second independent declaration`
+}
+
+// kindClash registers a gauge under a name already serving a counter.
+const metricDepth = "app.depth"
+
+func kindClash(tel *telemetry.Registry) {
+	tel.Counter(metricDepth).Add(1)
+	tel.Gauge(metricDepth).Set(1) // want `metric "app.depth" is registered as both Counter and Gauge`
+}
+
+// snapshotRead shares the method name but not the Registry receiver.
+func snapshotRead(s *telemetry.Snapshot, name string) int64 {
+	return s.Counter(name)
+}

@@ -1,0 +1,3 @@
+module metricnamestest
+
+go 1.22

@@ -1,0 +1,26 @@
+// Package telemetry is a stand-in for ace/internal/telemetry.
+package telemetry
+
+type Registry struct{}
+
+func (r *Registry) Counter(name string) *Counter     { return &Counter{} }
+func (r *Registry) Gauge(name string) *Gauge         { return &Gauge{} }
+func (r *Registry) Histogram(name string) *Histogram { return &Histogram{} }
+
+type Counter struct{}
+
+func (c *Counter) Add(n int64) {}
+
+type Gauge struct{}
+
+func (g *Gauge) Set(n int64) {}
+
+type Histogram struct{}
+
+func (h *Histogram) Observe(n int64) {}
+
+// Snapshot reads share the method names but not the Registry receiver;
+// they are not registrations.
+type Snapshot struct{}
+
+func (s *Snapshot) Counter(name string) int64 { return 0 }

@@ -1,6 +1,12 @@
 package app
 
-import "suppresstest/wire"
+import (
+	"context"
+
+	"suppresstest/cmdlang"
+	"suppresstest/telemetry"
+	"suppresstest/wire"
+)
 
 // trailingSuppression silences the finding on its own line.
 func trailingSuppression(c *wire.Client) {
@@ -44,6 +50,42 @@ func dispatchBounded(c *wire.Client, sem chan struct{}) {
 			c.Call("notify")
 		}()
 	}
+}
+
+// phantomPing exercises a comma-separated check list: the single line
+// below trips both droppederr (bare discard of Send's error) and
+// verbconformance ("phantom" is registered nowhere), and one directive
+// silences both.
+func phantomPing(c *wire.Client) {
+	//acelint:ignore droppederr,verbconformance diagnostic ping for a verb served by an out-of-tree daemon
+	c.Send(cmdlang.New("phantom"))
+}
+
+// Probe reaches a wire read with no deadline; the caller bounds the
+// probe with a process watchdog instead, which the suppression records.
+//
+//acelint:ignore deadlinecheck probe is bounded by the caller's process watchdog, not a conn deadline
+func Probe(ctx context.Context, conn *wire.Conn) error {
+	_, err := wire.ReadFrame(conn)
+	return err
+}
+
+// legacyNotifier fans events out for the process lifetime; the loop is
+// intentionally unkillable and torn down only at exit.
+func legacyNotifier(events chan int) {
+	//acelint:ignore goroutineleak process-lifetime fan-out, torn down only at process exit
+	go func() {
+		for {
+			<-events
+		}
+	}()
+}
+
+// legacyMetric keeps a dashboard's historical name until the next
+// breaking release.
+func legacyMetric(tel *telemetry.Registry) {
+	//acelint:ignore metricnames legacy dashboard series name, renamed at the next breaking release
+	tel.Counter("Legacy.Requests").Add(1)
 }
 
 // malformed directives: a missing reason and an unknown check name.

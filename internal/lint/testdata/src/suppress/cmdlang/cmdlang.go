@@ -1,0 +1,6 @@
+// Package cmdlang is a stand-in for ace/internal/cmdlang.
+package cmdlang
+
+type CmdLine struct{}
+
+func New(verb string) *CmdLine { return &CmdLine{} }

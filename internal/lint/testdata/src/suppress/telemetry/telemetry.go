@@ -1,0 +1,10 @@
+// Package telemetry is a stand-in for ace/internal/telemetry.
+package telemetry
+
+type Registry struct{}
+
+func (r *Registry) Counter(name string) *Counter { return &Counter{} }
+
+type Counter struct{}
+
+func (c *Counter) Add(n int64) {}

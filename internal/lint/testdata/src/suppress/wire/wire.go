@@ -1,8 +1,16 @@
 // Package wire is a stand-in for ace/internal/wire.
 package wire
 
+import "suppresstest/cmdlang"
+
 type Client struct{}
 
 func (c *Client) Call(cmd string) (string, error) { return cmd, nil }
 
 func (c *Client) Close() error { return nil }
+
+func (c *Client) Send(cmd *cmdlang.CmdLine) error { return nil }
+
+type Conn struct{}
+
+func ReadFrame(c *Conn) ([]byte, error) { return nil, nil }

@@ -1,0 +1,48 @@
+// Package client invokes the server's verbs; the drift cases below are
+// only detectable by joining this package's uses with the registry
+// extracted from the server package.
+package client
+
+import (
+	"verbconftest/cmdlang"
+	"verbconftest/daemon"
+)
+
+// Renew checks one reply code the handler really emits (via the
+// storage package) and one it never does.
+func Renew(p *daemon.Pool, addr string) error {
+	_, err := p.Call(addr, cmdlang.New("renew").SetInt("lease", 10))
+	if cmdlang.IsRemoteCode(err, cmdlang.CodeNotFound) {
+		return nil // emitted by storage.Lookup, two packages away
+	}
+	if cmdlang.IsRemoteCode(err, cmdlang.CodeConflict) { // want `caller checks reply code "conflict" on verb "renew", but no handler of "renew" ever emits it`
+		return err
+	}
+	return err
+}
+
+// Ghost is the injected protocol drift: nothing registers this verb.
+func Ghost(p *daemon.Pool, addr string) {
+	_, _ = p.Call(addr, cmdlang.New("ghost")) // want `verb "ghost" is called here but no CommandSpec anywhere registers it`
+}
+
+// Status exercises declared and undeclared argument keys, through a
+// chain and through a command-typed variable.
+func Status(p *daemon.Pool, addr string) {
+	_, _ = p.Call(addr, cmdlang.New("status").SetWord("level", "verbose"))
+	cmd := cmdlang.New("status")
+	cmd.SetWord("verbose", "on") // want `verb "status" has no declared argument "verbose"`
+	_, _ = p.Call(addr, cmd)
+}
+
+// Annotate may set anything: its spec opts into AllowExtra.
+func Annotate(p *daemon.Pool, addr string) {
+	_, _ = p.Call(addr, cmdlang.New("annotate").SetString("note", "free-form"))
+}
+
+// Watch subscribes with the callback verb in the method argument: the
+// dispatcher invokes onRenewed dynamically, so its registration is not
+// dead surface.
+func Watch(p *daemon.Pool, addr string) error {
+	return daemon.Subscribe(p, addr, "renew", "watcher", "host:1", "onRenewed")
+}

@@ -1,0 +1,55 @@
+// Package cmdlang is a stand-in for ace/internal/cmdlang.
+package cmdlang
+
+type Kind int
+
+const (
+	KindWord Kind = iota
+	KindString
+	KindInt
+)
+
+type ArgSpec struct {
+	Name     string
+	Kind     Kind
+	Required bool
+	Doc      string
+}
+
+type CommandSpec struct {
+	Name       string
+	Doc        string
+	Args       []ArgSpec
+	AllowExtra bool
+}
+
+type CmdLine struct{}
+
+func New(verb string) *CmdLine { return &CmdLine{} }
+func OK() *CmdLine             { return &CmdLine{} }
+
+func (c *CmdLine) SetWord(key, v string) *CmdLine      { return c }
+func (c *CmdLine) SetString(key, v string) *CmdLine    { return c }
+func (c *CmdLine) SetInt(key string, v int64) *CmdLine { return c }
+func (c *CmdLine) Str(key, def string) string          { return def }
+
+const (
+	CodeNotFound = "not_found"
+	CodeConflict = "conflict"
+)
+
+func Fail(code, msg string) *CmdLine { return &CmdLine{} }
+func FailErr(err error) *CmdLine     { return &CmdLine{} }
+func Busy(msg string) *CmdLine       { return &CmdLine{} }
+
+type RemoteError struct {
+	Code string
+	Msg  string
+}
+
+func (e *RemoteError) Error() string { return e.Msg }
+
+func IsRemoteCode(err error, code string) bool {
+	re, ok := err.(*RemoteError)
+	return ok && re.Code == code
+}

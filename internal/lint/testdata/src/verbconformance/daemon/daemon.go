@@ -1,0 +1,24 @@
+// Package daemon is a stand-in for ace/internal/daemon.
+package daemon
+
+import "verbconftest/cmdlang"
+
+type Ctx struct{}
+
+type Handler func(ctx *Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error)
+
+type Daemon struct{}
+
+func (d *Daemon) Handle(spec cmdlang.CommandSpec, h Handler) {}
+
+type Pool struct{}
+
+func (p *Pool) Call(addr string, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+	return nil, nil
+}
+
+// Subscribe mirrors the real notification helper: the method argument
+// names the callback verb the dispatcher invokes dynamically.
+func Subscribe(p *Pool, addr, cmd, subscriber, subscriberAddr, method string) error {
+	return nil
+}

@@ -1,0 +1,3 @@
+module verbconftest
+
+go 1.22

@@ -1,0 +1,43 @@
+// Package server registers the verb surface the client package calls.
+package server
+
+import (
+	"verbconftest/cmdlang"
+	"verbconftest/daemon"
+	"verbconftest/storage"
+)
+
+func Install(d *daemon.Daemon) {
+	d.Handle(cmdlang.CommandSpec{
+		Name: "renew",
+		Args: []cmdlang.ArgSpec{{Name: "lease", Kind: cmdlang.KindInt, Required: true}},
+	}, HandleRenew)
+
+	d.Handle(cmdlang.CommandSpec{
+		Name: "status",
+		Args: []cmdlang.ArgSpec{{Name: "level", Kind: cmdlang.KindWord}},
+	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		return cmdlang.OK(), nil
+	})
+
+	d.Handle(cmdlang.CommandSpec{Name: "annotate", AllowExtra: true},
+		func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+			return cmdlang.OK(), nil
+		})
+
+	d.Handle(cmdlang.CommandSpec{Name: "onRenewed", AllowExtra: true},
+		func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+			return nil, nil
+		})
+
+	d.Handle(cmdlang.CommandSpec{Name: "orphan"}, // want `verb "orphan" is registered here but never invoked by any in-tree caller`
+		func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+			return cmdlang.OK(), nil
+		})
+}
+
+// HandleRenew is a named handler so the driver test can look up its
+// object and assert the verb.emits fact crossed the package boundary.
+func HandleRenew(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+	return storage.Lookup(c)
+}

@@ -1,0 +1,13 @@
+// Package storage holds the failure path of the renew handler: the
+// not_found emission is only visible to verbconformance through the
+// cross-package call graph.
+package storage
+
+import "verbconftest/cmdlang"
+
+func Lookup(c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+	if c == nil {
+		return cmdlang.Fail(cmdlang.CodeNotFound, "no such lease"), nil
+	}
+	return cmdlang.OK(), nil
+}

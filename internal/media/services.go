@@ -222,6 +222,7 @@ func (d *Distribution) install() {
 		d.AddSink(cl.Str("addr", ""))
 		return nil, nil
 	})
+	//acelint:ignore verbconformance operator verb: issued through acectl's dynamic call/raw passthrough
 	d.Handle(cmdlang.CommandSpec{
 		Name: "removeSink",
 		Args: []cmdlang.ArgSpec{{Name: "addr", Kind: cmdlang.KindString, Required: true}},
@@ -231,6 +232,7 @@ func (d *Distribution) install() {
 		d.mu.Unlock()
 		return nil, nil
 	})
+	//acelint:ignore verbconformance operator verb: issued through acectl's dynamic call/raw passthrough
 	d.Handle(cmdlang.CommandSpec{Name: "listSinks"},
 		func(_ *daemon.Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
 			d.mu.Lock()

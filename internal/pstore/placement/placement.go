@@ -312,6 +312,7 @@ func (m *Map) Encode() *cmdlang.CmdLine {
 		mfrom[i] = int64(mv.From)
 		mto[i] = int64(mv.To)
 	}
+	//acelint:ignore verbconformance placemap is a document encoding carried inside placeget/psmap replies, never dispatched as a command
 	return cmdlang.New(MapCmd).
 		SetInt("epoch", int64(m.Epoch)).
 		SetInt("seed", m.Seed).

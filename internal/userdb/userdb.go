@@ -247,6 +247,7 @@ func (s *Service) install() {
 		return userReply(u), nil
 	})
 
+	//acelint:ignore verbconformance operator verb: issued through acectl's dynamic call/raw passthrough
 	s.Handle(cmdlang.CommandSpec{
 		Name: "removeUser",
 		Args: []cmdlang.ArgSpec{{Name: "username", Kind: cmdlang.KindWord, Required: true}},

@@ -291,6 +291,7 @@ func (v *VNCServer) install() {
 		return nil, nil
 	})
 
+	//acelint:ignore verbconformance operator verb: issued through acectl's dynamic call/raw passthrough
 	v.Handle(cmdlang.CommandSpec{
 		Name: "vncList",
 		Args: []cmdlang.ArgSpec{{Name: "owner", Kind: cmdlang.KindWord, Required: true}},
