@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all check build test race test-race chaos short bench bench-telemetry bench-pstore bench-flow experiments examples fuzz fmt vet lint lint-docs clean
+.PHONY: all check build test race test-race chaos short bench bench-telemetry bench-pstore bench-flow bench-asd experiments examples fuzz fmt vet lint lint-docs clean
 
 all: build vet test
 
@@ -82,6 +82,16 @@ bench-pstore:
 		$(GO) test -run 'TestBenchPstoreQuorum$$' -count=1 -v ./internal/pstore/
 	ACE_BENCH_PSTORE=1 ACE_BENCH_PSTORE_OUT=$(CURDIR)/BENCH_pstore.json \
 		$(GO) test -run 'TestBenchPstoreSharding$$' -count=1 -v ./internal/pstore/
+
+# Measure the replicated directory: p99 of a warm-cache lookup storm
+# versus the same lookups as directory RPCs, and sustained renewal
+# throughput against one replica versus three sharing the store,
+# recording the comparison in BENCH_asd.json. Fails if warm-cache
+# lookups are less than 10x faster than uncached ones, or if fanning
+# renewals across three replicas collapses throughput.
+bench-asd:
+	ACE_BENCH_ASD=1 ACE_BENCH_ASD_OUT=$(CURDIR)/BENCH_asd.json \
+		$(GO) test -run 'TestBenchASD$$' -count=1 -v .
 
 # Offer a pinned-capacity daemon 1x/2x/4x its capacity and record
 # goodput, shed counts, and p99 admitted latency in BENCH_flow.json.

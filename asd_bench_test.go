@@ -1,0 +1,243 @@
+package ace
+
+// Directory bench for the replicated ASD and the edge lookup cache.
+// Two measurements, both against store-backed directory daemons:
+//
+//  1. Lookup storm: p99 latency of name lookups answered by a warm
+//     client-side cache versus the same lookups issued as directory
+//     RPCs. The gate is the reason the cache exists: warm lookups
+//     must be >= 10x faster than uncached ones.
+//  2. Renewal throughput: sustained renewals/s against one directory
+//     replica versus three replicas sharing the same store. The gate
+//     is no-collapse — adding replicas must not cost throughput.
+//
+// `make bench-asd` runs TestBenchASD with ACE_BENCH_ASD=1 and writes
+// the comparison to BENCH_asd.json at the repo root. The plain test
+// suite skips this so tier-1 runs stay fast.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ace/internal/asd"
+	"ace/internal/cmdlang"
+	"ace/internal/daemon"
+	"ace/internal/pstore"
+)
+
+// startBenchDirectories stands up n store-backed directory daemons
+// over a fresh 3-node pstore cluster.
+func startBenchDirectories(t *testing.T, n int) ([]*asd.Service, *daemon.Pool) {
+	t.Helper()
+	cluster, err := pstore.StartCluster(3, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.StopAll)
+	pool := daemon.NewPool(nil)
+	t.Cleanup(pool.Close)
+	store := pstore.NewClient(pool, cluster.Addrs())
+	t.Cleanup(store.Close)
+	var dirs []*asd.Service
+	for i := 0; i < n; i++ {
+		s := asd.New(asd.Config{
+			Daemon:       daemon.Config{Name: fmt.Sprintf("asd_bench%d_%d", n, i+1)},
+			ReapInterval: 250 * time.Millisecond,
+			Store:        store,
+		})
+		if err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(s.Stop)
+		dirs = append(dirs, s)
+	}
+	if n > 1 {
+		if err := asd.SubscribeReplicas(pool, dirs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dirs, pool
+}
+
+func benchRegister(t *testing.T, pool *daemon.Pool, asdAddr, name string) {
+	t.Helper()
+	_, err := pool.Call(asdAddr, cmdlang.New(daemon.CmdRegister).
+		SetWord("name", name).SetWord("host", "h").SetInt("port", 1).
+		SetString("addr", name+":1").SetInt("lease", 600000))
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func p99(latencies []time.Duration) time.Duration {
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	return latencies[len(latencies)*99/100]
+}
+
+// renewStorm drives W workers renewing M leases round-robin against
+// the given directory addresses for the duration and returns the
+// sustained renewals/s.
+func renewStorm(t *testing.T, addrs []string, names []string, duration time.Duration) float64 {
+	const workers = 8
+	var done, failed atomic.Int64
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(duration)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pool := daemon.NewPoolConfig(daemon.PoolConfig{Seed: int64(w + 1)})
+			defer pool.Close()
+			addr := addrs[w%len(addrs)]
+			for i := w; time.Now().Before(deadline); i += workers {
+				cmd := cmdlang.New(daemon.CmdRenew).
+					SetWord("name", names[i%len(names)]).SetInt("lease", 600000)
+				if _, err := pool.Call(addr, cmd); err != nil {
+					failed.Add(1)
+				} else {
+					done.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if n := failed.Load(); n > 0 {
+		t.Fatalf("%d renewals failed during the storm", n)
+	}
+	if done.Load() == 0 {
+		t.Fatal("no renewals completed")
+	}
+	return float64(done.Load()) / elapsed.Seconds()
+}
+
+// TestBenchASD is the gate behind `make bench-asd`. It is skipped
+// unless ACE_BENCH_ASD=1 so the regular test suite never pays for
+// benchmarking.
+func TestBenchASD(t *testing.T) {
+	if os.Getenv("ACE_BENCH_ASD") == "" {
+		t.Skip("set ACE_BENCH_ASD=1 (or run `make bench-asd`) to measure directory replication and caching")
+	}
+
+	// ---- Lookup storm: warm cache vs directory RPC ----
+	dirs, pool := startBenchDirectories(t, 3)
+	const services = 32
+	names := make([]string, services)
+	for i := range names {
+		names[i] = fmt.Sprintf("bench_svc%d", i)
+		benchRegister(t, pool, dirs[i%len(dirs)].Addr(), names[i])
+	}
+
+	// Uncached: every lookup is an RPC to a directory replica.
+	const uncachedLookups = 4000
+	uncached := make([]time.Duration, 0, uncachedLookups)
+	for i := 0; i < uncachedLookups; i++ {
+		cmd := cmdlang.New(daemon.CmdLookup).SetWord("name", names[i%services])
+		t0 := time.Now()
+		if _, err := pool.Call(dirs[i%len(dirs)].Addr(), cmd); err != nil {
+			t.Fatal(err)
+		}
+		uncached = append(uncached, time.Since(t0))
+	}
+
+	// Warm cache: the same queries served from the pool's lookup
+	// cache after one miss each.
+	cpool := daemon.NewPool(nil)
+	defer cpool.Close()
+	client := asd.NewClient(cpool, dirs[0].Addr(), dirs[1].Addr(), dirs[2].Addr())
+	for _, name := range names { // prewarm
+		if _, err := client.Resolve(asd.Query{Name: name}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const warmLookups = 200000
+	warm := make([]time.Duration, 0, warmLookups)
+	for i := 0; i < warmLookups; i++ {
+		t0 := time.Now()
+		if _, err := client.Resolve(asd.Query{Name: names[i%services]}); err != nil {
+			t.Fatal(err)
+		}
+		warm = append(warm, time.Since(t0))
+	}
+
+	uncachedP99, warmP99 := p99(uncached), p99(warm)
+	speedup := float64(uncachedP99) / float64(warmP99)
+	t.Logf("lookup storm: uncached p99 %v  warm-cache p99 %v  speedup %.0fx", uncachedP99, warmP99, speedup)
+
+	// The gate: a warm lookup never leaves the process, so it must be
+	// at least 10x faster than the directory round trip it replaces.
+	if speedup < 10 {
+		t.Errorf("warm-cache lookup p99 %v is only %.1fx faster than uncached %v, want >= 10x",
+			warmP99, speedup, uncachedP99)
+	}
+
+	// ---- Renewal throughput: one replica vs three ----
+	const renewNames = 24
+	const stormLen = 2 * time.Second
+
+	single, spool := startBenchDirectories(t, 1)
+	sNames := make([]string, renewNames)
+	for i := range sNames {
+		sNames[i] = fmt.Sprintf("renew1_svc%d", i)
+		benchRegister(t, spool, single[0].Addr(), sNames[i])
+	}
+	singleRate := renewStorm(t, []string{single[0].Addr()}, sNames, stormLen)
+
+	trio, tpool := startBenchDirectories(t, 3)
+	tNames := make([]string, renewNames)
+	trioAddrs := []string{trio[0].Addr(), trio[1].Addr(), trio[2].Addr()}
+	for i := range tNames {
+		tNames[i] = fmt.Sprintf("renew3_svc%d", i)
+		benchRegister(t, tpool, trioAddrs[i%3], tNames[i])
+	}
+	trioRate := renewStorm(t, trioAddrs, tNames, stormLen)
+
+	ratio := trioRate / singleRate
+	t.Logf("renewal storm: 1 replica %.0f/s  3 replicas %.0f/s  ratio %.2fx", singleRate, trioRate, ratio)
+
+	// The gate is no-collapse: fanning renewals across three replica
+	// frontends must not tank throughput versus funnelling them
+	// through one. (Both setups quorum-write the same store, so the
+	// replicas buy availability, not store capacity — parity, not
+	// scaling, is the expectation.)
+	if ratio < 0.75 {
+		t.Errorf("3-replica renewal throughput %.0f/s is %.2fx the single-replica %.0f/s, want >= 0.75x",
+			trioRate, ratio, singleRate)
+	}
+
+	out := os.Getenv("ACE_BENCH_ASD_OUT")
+	if out == "" {
+		out = "BENCH_asd.json"
+	}
+	payload := map[string]any{
+		"benchmark": "asd-replication-and-cache",
+		"date":      time.Now().UTC().Format(time.RFC3339),
+		"lookup_storm": map[string]any{
+			"services":        services,
+			"uncached_p99_us": float64(uncachedP99) / float64(time.Microsecond),
+			"warm_p99_us":     float64(warmP99) / float64(time.Microsecond),
+			"speedup":         speedup,
+		},
+		"renewal_storm": map[string]any{
+			"leases":             renewNames,
+			"single_replica_rps": singleRate,
+			"three_replica_rps":  trioRate,
+			"three_vs_one_ratio": ratio,
+		},
+	}
+	data, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}

@@ -200,6 +200,7 @@ func printStats(pool *daemon.Pool, name, addr string) {
 	printFlowSummary(snap)
 	printStorageSummary(snap)
 	printPlacementStats(snap)
+	printDirectorySummary(snap)
 	for _, c := range snap.Counters {
 		fmt.Printf("  counter    %-28s %d\n", c.Name, c.Value)
 	}
@@ -282,6 +283,40 @@ func printPlacementStats(snap *telemetry.Snapshot) {
 	if fetches != 0 || invals != 0 || redirects != 0 || duals != 0 || moves != 0 {
 		fmt.Printf("  placement  map_fetches=%d invalidations=%d redirects=%d dual_writes=%d moves=%d\n",
 			fetches, invals, redirects, duals, moves)
+	}
+}
+
+// printDirectorySummary condenses the directory-replication and
+// lookup-cache metrics into a directory-at-a-glance block. On a
+// replicated ASD: entries held, store traffic behind the lease
+// protocol, read-throughs serving sibling registrations, failover
+// rescues (renew_saves — renewals honored from the durable deadline
+// after the acking replica died), and store errors (nonzero means
+// lease operations are failing closed, never expiring). On a client
+// daemon: lookup-cache effectiveness and notification-driven
+// evictions. Standalone directories and cacheless clients print
+// nothing here.
+func printDirectorySummary(snap *telemetry.Snapshot) {
+	reads := snap.Counter(asd.MetricReplicaStoreReads)
+	writes := snap.Counter(asd.MetricReplicaStoreWrites)
+	if reads+writes != 0 || snap.Gauge(asd.MetricReplicaEntries) != 0 {
+		fmt.Printf("  directory  entries=%d store reads=%d writes=%d errors=%d\n",
+			snap.Gauge(asd.MetricReplicaEntries), reads, writes,
+			snap.Counter(asd.MetricReplicaStoreErrors))
+		fmt.Printf("  directory  read_throughs=%d renew_saves=%d sync_rounds=%d\n",
+			snap.Counter(asd.MetricReplicaReadThroughs),
+			snap.Counter(asd.MetricReplicaRenewSaves),
+			snap.Counter(asd.MetricReplicaSyncRounds))
+	}
+	hits := snap.Counter(daemon.MetricLookupCacheHits)
+	misses := snap.Counter(daemon.MetricLookupCacheMisses)
+	negs := snap.Counter(daemon.MetricLookupCacheNegativeHits)
+	if hits+misses+negs != 0 {
+		total := hits + misses + negs
+		fmt.Printf("  lookups    hits=%d negative_hits=%d misses=%d (%.0f%% cached) invalidations=%d evictions=%d\n",
+			hits, negs, misses, float64(hits+negs)*100/float64(total),
+			snap.Counter(daemon.MetricLookupCacheInvalidations),
+			snap.Counter(daemon.MetricLookupCacheEvictions))
 	}
 }
 

@@ -33,6 +33,12 @@ type Entry struct {
 	Expires    time.Time
 	Registered time.Time
 	Renewals   int
+	// Version is the persistent-store version of this entry in a
+	// replicated directory (zero in a standalone in-memory directory).
+	// A replica only overwrites its in-memory copy with an entry whose
+	// version is at least as new, so a lease deadline acked by another
+	// replica can never be regressed by stale local state.
+	Version uint64
 }
 
 // Directory is the lease-managed listing. It is independent of the
@@ -106,21 +112,31 @@ func clampLease(l time.Duration) time.Duration {
 func (d *Directory) Renew(name string, lease time.Duration) (time.Duration, error) {
 	lease = clampLease(lease)
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	e, ok := d.entries[name]
 	if !ok {
+		d.mu.Unlock()
 		return 0, fmt.Errorf("asd: %q is not registered", name)
 	}
 	if d.now().After(e.Expires) {
 		// Lease already lapsed; treat as gone so the caller
-		// re-registers with fresh details.
+		// re-registers with fresh details. This is an expiration like
+		// any Reap discovers, so the expiry callback fires too —
+		// otherwise the asd.expirations telemetry counter and expiry
+		// notifications silently diverge from Counters().
+		reaped := *e
 		delete(d.entries, name)
 		d.expirations++
+		cb := d.onExpire
+		d.mu.Unlock()
+		if cb != nil {
+			cb(reaped)
+		}
 		return 0, fmt.Errorf("asd: lease of %q expired", name)
 	}
 	e.Expires = d.now().Add(lease)
 	e.Lease = lease
 	e.Renewals++
+	d.mu.Unlock()
 	return lease, nil
 }
 
@@ -244,4 +260,85 @@ func (d *Directory) Counters() (registrations, expirations int64) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	return d.registrations, d.expirations
+}
+
+// The methods below are the raw cache surface the replicated
+// directory (replica.go) is built on: they move entries in and out of
+// memory without lease bookkeeping, because in replicated mode the
+// persistent store — not this map — is the authority.
+
+// Peek returns the named entry even when its lease has lapsed. The
+// replica layer uses it to find candidates whose expiry must be
+// confirmed against the store before anything is reaped.
+func (d *Directory) Peek(name string) (Entry, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	e, ok := d.entries[name]
+	if !ok {
+		return Entry{}, false
+	}
+	return *e, true
+}
+
+// Install inserts or replaces the named entry iff it is at least as
+// new (by store version) as what memory holds, reporting whether it
+// was applied. Unlike Register it validates nothing and bumps no
+// counter: the entry was already admitted by whichever replica wrote
+// it to the store.
+func (d *Directory) Install(e Entry) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if cur, ok := d.entries[e.Name]; ok && e.Version < cur.Version {
+		return false
+	}
+	d.entries[e.Name] = &e
+	return true
+}
+
+// Drop removes the named entry iff memory does not hold a version
+// newer than maxVersion, reporting whether it was removed. It bumps
+// no expiration counter — it is for entries some other replica
+// already expired or unregistered (and counted).
+func (d *Directory) Drop(name string, maxVersion uint64) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cur, ok := d.entries[name]
+	if !ok || cur.Version > maxVersion {
+		return false
+	}
+	delete(d.entries, name)
+	return true
+}
+
+// Expire removes the named entry as a confirmed lease expiration:
+// the expiration counter bumps and the expiry callback fires, exactly
+// like a Reap discovery. The replica layer calls it only after the
+// store agreed the lease lapsed.
+func (d *Directory) Expire(name string) (Entry, bool) {
+	d.mu.Lock()
+	e, ok := d.entries[name]
+	if !ok {
+		d.mu.Unlock()
+		return Entry{}, false
+	}
+	reaped := *e
+	delete(d.entries, name)
+	d.expirations++
+	cb := d.onExpire
+	d.mu.Unlock()
+	if cb != nil {
+		cb(reaped)
+	}
+	return reaped, true
+}
+
+// Names returns every listed name, lapsed entries included.
+func (d *Directory) Names() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, 0, len(d.entries))
+	for name := range d.entries {
+		out = append(out, name)
+	}
+	return out
 }

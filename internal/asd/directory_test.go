@@ -248,3 +248,106 @@ func TestLookupScalesToThousands(t *testing.T) {
 		t.Fatalf("got %v", got)
 	}
 }
+
+// Regression: every removal the expiration counter counts must also
+// fire the SetOnExpire callback, whichever path discovered the lapse
+// (Renew, Reap, or Get) — otherwise the asd.expirations telemetry
+// counter and expiry notifications silently diverge from Counters().
+func TestExpiryCounterCallbackAgreement(t *testing.T) {
+	d, c := newTestDir()
+	var fired []string
+	d.SetOnExpire(func(e Entry) { fired = append(fired, e.Name) })
+
+	check := func(step string) {
+		t.Helper()
+		_, exp := d.Counters()
+		if int(exp) != len(fired) {
+			t.Fatalf("%s: expirations counter=%d but callback fired %d times (%v)", step, exp, len(fired), fired)
+		}
+	}
+
+	// Renew discovers the lapse.
+	d.Register(Entry{Name: "a", Lease: time.Second}) //nolint:errcheck
+	c.advance(2 * time.Second)
+	if _, err := d.Renew("a", time.Second); err == nil {
+		t.Fatal("lapsed renewal succeeded")
+	}
+	check("renew")
+	if len(fired) != 1 || fired[0] != "a" {
+		t.Fatalf("fired=%v", fired)
+	}
+
+	// Reap discovers the lapse.
+	d.Register(Entry{Name: "b", Lease: time.Second}) //nolint:errcheck
+	c.advance(2 * time.Second)
+	d.Reap()
+	check("reap")
+
+	// Get filters a lapsed entry without reaping it: neither the
+	// counter nor the callback may move until Reap collects it.
+	d.Register(Entry{Name: "c", Lease: time.Second}) //nolint:errcheck
+	c.advance(2 * time.Second)
+	if _, ok := d.Get("c"); ok {
+		t.Fatal("lapsed entry served")
+	}
+	check("get")
+	d.Reap()
+	check("reap after get")
+	if len(fired) != 3 {
+		t.Fatalf("fired=%v", fired)
+	}
+}
+
+// The replica cache primitives never regress store versions and never
+// touch the expiration counter except through Expire.
+func TestReplicaCachePrimitives(t *testing.T) {
+	d, c := newTestDir()
+	fired := 0
+	d.SetOnExpire(func(Entry) { fired++ })
+	exp := func() time.Time { return c.now().Add(time.Minute) }
+
+	if !d.Install(Entry{Name: "x", Addr: "a:1", Version: 3, Expires: exp()}) {
+		t.Fatal("install rejected")
+	}
+	// An older version must not overwrite.
+	if d.Install(Entry{Name: "x", Addr: "stale:1", Version: 2, Expires: exp()}) {
+		t.Fatal("older version installed")
+	}
+	// Same version re-installs (read-repair idempotence).
+	if !d.Install(Entry{Name: "x", Addr: "a:2", Version: 3, Expires: exp()}) {
+		t.Fatal("same version rejected")
+	}
+	if e, _ := d.Peek("x"); e.Addr != "a:2" {
+		t.Fatalf("addr=%q", e.Addr)
+	}
+	// Drop refuses when memory is newer than the event.
+	if d.Drop("x", 2) {
+		t.Fatal("drop removed a newer entry")
+	}
+	if !d.Drop("x", 3) {
+		t.Fatal("drop refused")
+	}
+	if _, ok := d.Peek("x"); ok {
+		t.Fatal("still present")
+	}
+	if _, exp := d.Counters(); exp != 0 || fired != 0 {
+		t.Fatalf("drop counted as expiration: exp=%d fired=%d", exp, fired)
+	}
+
+	// Expire is the counted, callback-firing removal.
+	d.Install(Entry{Name: "y", Version: 1, Expires: exp()})
+	if _, ok := d.Expire("y"); !ok {
+		t.Fatal("expire missed")
+	}
+	if _, exp := d.Counters(); exp != 1 || fired != 1 {
+		t.Fatalf("exp=%d fired=%d", exp, fired)
+	}
+	// Peek sees lapsed entries that Get filters.
+	d.Install(Entry{Name: "z", Version: 1, Expires: c.now().Add(-time.Second)})
+	if _, ok := d.Get("z"); ok {
+		t.Fatal("Get served a lapsed entry")
+	}
+	if _, ok := d.Peek("z"); !ok {
+		t.Fatal("Peek filtered a lapsed entry")
+	}
+}

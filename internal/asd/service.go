@@ -1,6 +1,8 @@
 package asd
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -16,6 +18,14 @@ import (
 // daemon.
 const ServiceName = "asd"
 
+// CmdExpired is the lease-expiry event verb. The directory executes
+// it through its own dispatch path for every confirmed expiration, so
+// §2.6 subscribers to "expired" hear about reaped services the same
+// way register/unregister subscribers hear about live ones. The
+// handler itself is a no-op — the command exists for its notification
+// side effect.
+const CmdExpired = "expired"
+
 // Service is the ACE Service Directory daemon: the Directory wrapped
 // in the standard daemon shell and exposed through ACE commands.
 type Service struct {
@@ -23,6 +33,12 @@ type Service struct {
 	dir       *Directory
 	reapEvery time.Duration
 	stopReap  chan struct{}
+	stopOnce  sync.Once
+
+	// rep is the store-backed replica layer; nil in standalone
+	// (single in-memory directory) mode.
+	rep          *replica
+	storeTimeout time.Duration
 
 	// The published pstore placement map. The ASD is its authority:
 	// coordinators publish through placeset, clients fetch through
@@ -42,14 +58,26 @@ type Config struct {
 	// Daemon is the underlying shell configuration. ASDAddr is
 	// ignored — the directory never registers with itself.
 	Daemon daemon.Config
-	// ReapInterval is how often expired leases are collected.
+	// ReapInterval is how often expired leases are collected. In
+	// replicated mode it is also the store sync cadence, which bounds
+	// the staleness of scan lookups served from this replica's memory.
 	ReapInterval time.Duration
+	// Store, when set, replicates the directory over the persistent
+	// store: every registration and renewal is quorum-written before
+	// it is acked, and any directory daemon backed by the same store
+	// serves the same entries. Nil keeps the standalone in-memory
+	// directory.
+	Store Store
+	// StoreTimeout bounds each store operation issued on behalf of one
+	// command (default 2s).
+	StoreTimeout time.Duration
 }
 
 // New constructs the directory service.
 func New(cfg Config) *Service {
 	dcfg := cfg.Daemon
 	dcfg.ASDAddr = "" // the ASD is the well-known root; it has no directory above it
+	dcfg.ASDAddrs = nil
 	if dcfg.Name == "" {
 		dcfg.Name = ServiceName
 	}
@@ -59,16 +87,23 @@ func New(cfg Config) *Service {
 	if cfg.ReapInterval <= 0 {
 		cfg.ReapInterval = 250 * time.Millisecond
 	}
+	if cfg.StoreTimeout <= 0 {
+		cfg.StoreTimeout = 2 * time.Second
+	}
 	// Placement publication is control-plane: a rebalance must be able
 	// to land its cutover even while the directory is shedding load.
 	dcfg.ControlVerbs = append(dcfg.ControlVerbs, placement.CmdPlaceSet, placement.CmdPlaceGet)
 	s := &Service{
-		Daemon:    daemon.New(dcfg),
-		dir:       NewDirectory(),
-		reapEvery: cfg.ReapInterval,
-		stopReap:  make(chan struct{}),
+		Daemon:       daemon.New(dcfg),
+		dir:          NewDirectory(),
+		reapEvery:    cfg.ReapInterval,
+		stopReap:     make(chan struct{}),
+		storeTimeout: cfg.StoreTimeout,
 	}
 	tel := s.Telemetry()
+	if cfg.Store != nil {
+		s.rep = newReplica(s.dir, cfg.Store, tel)
+	}
 	s.mRegistrations = tel.Counter(MetricRegistrations)
 	s.mRenewals = tel.Counter(MetricRenewals)
 	s.mLookupLatency = tel.Histogram(MetricLookupLatency)
@@ -82,6 +117,10 @@ func New(cfg Config) *Service {
 // Directory exposes the underlying listing (read-mostly; used by
 // in-process experiments).
 func (s *Service) Directory() *Directory { return s.dir }
+
+// Replicated reports whether this directory is backed by the
+// persistent store.
+func (s *Service) Replicated() bool { return s.rep != nil }
 
 // Placement returns the currently published placement map (nil when
 // none has been published).
@@ -100,9 +139,10 @@ func (s *Service) Start() error {
 	return nil
 }
 
-// Stop halts the reaper and the daemon.
+// Stop halts the reaper and the daemon. Safe to call more than once
+// (chaos drills kill daemons that deferred cleanups stop again).
 func (s *Service) Stop() {
-	close(s.stopReap)
+	s.stopOnce.Do(func() { close(s.stopReap) })
 	s.Daemon.Stop()
 }
 
@@ -114,9 +154,97 @@ func (s *Service) reapLoop() {
 		case <-s.stopReap:
 			return
 		case <-t.C:
-			s.dir.Reap()
+			var reaped []Entry
+			if s.rep != nil {
+				// Replicated: the reap pass is a store sync — expiry is
+				// confirmed against the durable deadline, never local
+				// state alone, and entries registered through sibling
+				// replicas are pulled in.
+				ctx, cancel := context.WithTimeout(context.Background(), s.storeTimeout)
+				reaped = s.rep.sync(ctx)
+				cancel()
+			} else {
+				reaped = s.dir.Reap()
+			}
+			for _, e := range reaped {
+				// Executing the expired verb through the daemon's own
+				// dispatch path is what fires the §2.6 notifications to
+				// expired-subscribers (lookup-cache eviction rides it).
+				s.ExecuteLocal(nil, cmdlang.New(CmdExpired).
+					SetWord("name", e.Name).SetString("addr", e.Addr))
+			}
 		}
 	}
+}
+
+// lookupReply renders a lookup result set (or its not-found failure).
+func lookupReply(entries []Entry, limit int) *cmdlang.CmdLine {
+	if limit > 0 && len(entries) > limit {
+		entries = entries[:limit]
+	}
+	if len(entries) == 0 {
+		return cmdlang.Fail(cmdlang.CodeNotFound, "no matching service")
+	}
+	names := make([]string, len(entries))
+	addrs := make([]string, len(entries))
+	rooms := make([]string, len(entries))
+	classes := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = e.Name
+		addrs[i] = e.Addr
+		rooms[i] = e.Room
+		classes[i] = e.Class
+	}
+	reply := entryReply(entries[0])
+	reply.Set("names", cmdlang.WordVector(names...))
+	reply.Set("addrs", cmdlang.StringVector(addrs...))
+	reply.Set("rooms", cmdlang.WordVector(rooms...))
+	reply.Set("classes", cmdlang.StringVector(classes...))
+	reply.SetInt("count", int64(len(entries)))
+	return reply
+}
+
+// replicaFail maps a replica-layer error to its return command:
+// client-fixable not-found failures keep the standalone directory's
+// code, store trouble is a retryable unavailable.
+func replicaFail(err error) *cmdlang.CmdLine {
+	var nf *notFoundError
+	if errors.As(err, &nf) {
+		return cmdlang.Fail(cmdlang.CodeNotFound, err.Error())
+	}
+	return cmdlang.Fail(cmdlang.CodeUnavailable, err.Error())
+}
+
+// detachStore runs work — a handler continuation ending in one or
+// more quorum store rounds — off the serial control thread when the
+// invocation can detach and a pipeline slot is free, so concurrent
+// renewals overlap their store fan-outs instead of serializing behind
+// one another. With no free slot the work runs inline on the control
+// thread, which is the natural backpressure; ExecuteLocal invocations
+// (which cannot detach) also run inline. The returned reply is nil
+// exactly when the invocation detached (the daemon discards it).
+func (s *Service) detachStore(hctx *daemon.Ctx, work func(ctx context.Context) *cmdlang.CmdLine) *cmdlang.CmdLine {
+	finish, ok := hctx.Detach()
+	if !ok {
+		ctx, cancel := context.WithTimeout(hctx.TraceContext(), s.storeTimeout)
+		defer cancel()
+		return work(ctx)
+	}
+	select {
+	case s.rep.storeSem <- struct{}{}:
+		tctx := hctx.TraceContext()
+		go func() {
+			defer func() { <-s.rep.storeSem }()
+			ctx, cancel := context.WithTimeout(tctx, s.storeTimeout)
+			defer cancel()
+			finish(work(ctx))
+		}()
+	default:
+		ctx, cancel := context.WithTimeout(hctx.TraceContext(), s.storeTimeout)
+		finish(work(ctx))
+		cancel()
+	}
+	return nil
 }
 
 func entryReply(e Entry) *cmdlang.CmdLine {
@@ -143,8 +271,8 @@ func (s *Service) install() {
 			{Name: "class", Kind: cmdlang.KindString},
 			{Name: "lease", Kind: cmdlang.KindInt, Doc: "milliseconds"},
 		},
-	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
-		lease, err := s.dir.Register(Entry{
+	}, func(hctx *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		e := Entry{
 			Name:  c.Str("name", ""),
 			Host:  c.Str("host", ""),
 			Port:  int(c.Int("port", 0)),
@@ -152,12 +280,23 @@ func (s *Service) install() {
 			Room:  c.Str("room", ""),
 			Class: c.Str("class", hier.Root),
 			Lease: time.Duration(c.Int("lease", 0)) * time.Millisecond,
-		})
-		if err != nil {
-			return nil, err
 		}
-		s.mRegistrations.Inc()
-		return cmdlang.OK().SetInt("lease", int64(lease/time.Millisecond)), nil
+		if s.rep == nil {
+			lease, err := s.dir.Register(e)
+			if err != nil {
+				return nil, err
+			}
+			s.mRegistrations.Inc()
+			return cmdlang.OK().SetInt("lease", int64(lease/time.Millisecond)), nil
+		}
+		return s.detachStore(hctx, func(ctx context.Context) *cmdlang.CmdLine {
+			lease, err := s.rep.register(ctx, e)
+			if err != nil {
+				return replicaFail(err)
+			}
+			s.mRegistrations.Inc()
+			return cmdlang.OK().SetInt("lease", int64(lease/time.Millisecond))
+		}), nil
 	})
 
 	s.Handle(cmdlang.CommandSpec{
@@ -167,22 +306,43 @@ func (s *Service) install() {
 			{Name: "name", Kind: cmdlang.KindWord, Required: true},
 			{Name: "lease", Kind: cmdlang.KindInt},
 		},
-	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
-		lease, err := s.dir.Renew(c.Str("name", ""), time.Duration(c.Int("lease", 0))*time.Millisecond)
-		if err != nil {
-			return cmdlang.Fail(cmdlang.CodeNotFound, err.Error()), nil
+	}, func(hctx *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		name := c.Str("name", "")
+		lease := time.Duration(c.Int("lease", 0)) * time.Millisecond
+		if s.rep == nil {
+			granted, err := s.dir.Renew(name, lease)
+			if err != nil {
+				return cmdlang.Fail(cmdlang.CodeNotFound, err.Error()), nil
+			}
+			s.mRenewals.Inc()
+			return cmdlang.OK().SetInt("lease", int64(granted/time.Millisecond)), nil
 		}
-		s.mRenewals.Inc()
-		return cmdlang.OK().SetInt("lease", int64(lease/time.Millisecond)), nil
+		return s.detachStore(hctx, func(ctx context.Context) *cmdlang.CmdLine {
+			granted, err := s.rep.renew(ctx, name, lease)
+			if err != nil {
+				return replicaFail(err)
+			}
+			s.mRenewals.Inc()
+			return cmdlang.OK().SetInt("lease", int64(granted/time.Millisecond))
+		}), nil
 	})
 
 	s.Handle(cmdlang.CommandSpec{
 		Name: daemon.CmdUnregister,
 		Doc:  "leave the directory",
 		Args: []cmdlang.ArgSpec{{Name: "name", Kind: cmdlang.KindWord, Required: true}},
-	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
-		existed := s.dir.Unregister(c.Str("name", ""))
-		return cmdlang.OK().SetBool("existed", existed), nil
+	}, func(hctx *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		name := c.Str("name", "")
+		if s.rep == nil {
+			return cmdlang.OK().SetBool("existed", s.dir.Unregister(name)), nil
+		}
+		return s.detachStore(hctx, func(ctx context.Context) *cmdlang.CmdLine {
+			existed, err := s.rep.unregister(ctx, name)
+			if err != nil {
+				return replicaFail(err)
+			}
+			return cmdlang.OK().SetBool("existed", existed)
+		}), nil
 	})
 
 	s.Handle(cmdlang.CommandSpec{
@@ -194,37 +354,25 @@ func (s *Service) install() {
 			{Name: "room", Kind: cmdlang.KindWord},
 			{Name: "limit", Kind: cmdlang.KindInt},
 		},
-	}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
-		lookupStart := time.Now()
-		entries := s.dir.Lookup(Query{
+	}, func(hctx *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		q := Query{
 			Name:  c.Str("name", ""),
 			Class: c.Str("class", ""),
 			Room:  c.Str("room", ""),
-		})
+		}
+		limit := int(c.Int("limit", 0))
+		lookupStart := time.Now()
+		entries := s.dir.Lookup(q)
 		s.mLookupLatency.Observe(time.Since(lookupStart))
-		if limit := int(c.Int("limit", 0)); limit > 0 && len(entries) > limit {
-			entries = entries[:limit]
+		if len(entries) == 0 && q.Name != "" && s.rep != nil {
+			// The replica may never have cached this name; the miss
+			// reads through to the store (off the control thread — a
+			// quorum read must not stall the lookup hot path).
+			return s.detachStore(hctx, func(ctx context.Context) *cmdlang.CmdLine {
+				return lookupReply(s.rep.lookup(ctx, q), limit)
+			}), nil
 		}
-		if len(entries) == 0 {
-			return cmdlang.Fail(cmdlang.CodeNotFound, "no matching service"), nil
-		}
-		names := make([]string, len(entries))
-		addrs := make([]string, len(entries))
-		rooms := make([]string, len(entries))
-		classes := make([]string, len(entries))
-		for i, e := range entries {
-			names[i] = e.Name
-			addrs[i] = e.Addr
-			rooms[i] = e.Room
-			classes[i] = e.Class
-		}
-		reply := entryReply(entries[0])
-		reply.Set("names", cmdlang.WordVector(names...))
-		reply.Set("addrs", cmdlang.StringVector(addrs...))
-		reply.Set("rooms", cmdlang.WordVector(rooms...))
-		reply.Set("classes", cmdlang.StringVector(classes...))
-		reply.SetInt("count", int64(len(entries)))
-		return reply, nil
+		return lookupReply(entries, limit), nil
 	})
 
 	s.Handle(cmdlang.CommandSpec{
@@ -264,6 +412,38 @@ func (s *Service) install() {
 		}
 		return cmdlang.OK().SetString("map", m.EncodeString()).SetInt("epoch", int64(m.Epoch)), nil
 	})
+
+	s.Handle(cmdlang.CommandSpec{
+		Name: CmdExpired,
+		Doc:  "lease-expiry event (fired internally per reaped entry so §2.6 subscribers hear it)",
+		Args: []cmdlang.ArgSpec{
+			{Name: "name", Kind: cmdlang.KindWord, Required: true},
+			{Name: "addr", Kind: cmdlang.KindString},
+		},
+	}, func(_ *daemon.Ctx, _ *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+		// The command is its notification side effect.
+		return cmdlang.OK(), nil
+	})
+
+	if s.rep != nil {
+		// A sibling replica's change event evicts this replica's
+		// in-memory copy, so the next touch reads the store the
+		// sibling already updated (SubscribeReplicas wires this up).
+		s.Handle(cmdlang.CommandSpec{
+			Name: InvalidateVerb,
+			Doc:  "directory change notification from a sibling replica",
+			Args: []cmdlang.ArgSpec{
+				{Name: daemon.NotifySourceArg, Kind: cmdlang.KindWord},
+				{Name: daemon.NotifyEventArg, Kind: cmdlang.KindWord},
+				{Name: daemon.NotifyDetailArg, Kind: cmdlang.KindString},
+			},
+		}, func(_ *daemon.Ctx, c *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+			if name := invalidationName(c); name != "" {
+				s.rep.invalidate(name, ^uint64(0))
+			}
+			return cmdlang.OK(), nil
+		})
+	}
 
 	s.Handle(cmdlang.CommandSpec{
 		Name: "list",

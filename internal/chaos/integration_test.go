@@ -456,3 +456,148 @@ func TestChaosPstoreBlackholedReplicaDoesNotSetQuorumLatency(t *testing.T) {
 		t.Errorf("write stragglers = %d, want >= 1", n)
 	}
 }
+
+// TestChaosPrimaryDirectoryKillZeroExpirations: the replicated-ASD
+// drill. Three directory daemons share one persistent store; a fleet
+// of service daemons holds short leases against the first (primary)
+// replica with the others as fallbacks. Killing the primary in the
+// middle of the renewal storm must cost ZERO lease expirations — the
+// durable lease state outlives the daemon that acked it, renewals
+// fail over, and the survivors confirm every deadline against the
+// store before reaping anything.
+func TestChaosPrimaryDirectoryKillZeroExpirations(t *testing.T) {
+	cluster, err := pstore.StartCluster(3, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.StopAll()
+
+	pool := chaosPool()
+	defer pool.Close()
+	store := pstore.NewClient(pool, cluster.Addrs())
+	defer store.Close()
+
+	var dirs []*asd.Service
+	for i := 0; i < 3; i++ {
+		s := asd.New(asd.Config{
+			Daemon:       daemon.Config{Name: fmt.Sprintf("asd_chaos%d", i+1)},
+			ReapInterval: 50 * time.Millisecond,
+			Store:        store,
+		})
+		if err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(s.Stop)
+		dirs = append(dirs, s)
+	}
+	if err := asd.SubscribeReplicas(pool, dirs); err != nil {
+		t.Fatal(err)
+	}
+	asdAddrs := []string{dirs[0].Addr(), dirs[1].Addr(), dirs[2].Addr()}
+
+	// A fleet of short-lease daemons: every ~130 ms each one renews,
+	// so the primary dies with renewals in flight.
+	const fleet = 6
+	var svcs []*daemon.Daemon
+	for i := 0; i < fleet; i++ {
+		d := daemon.New(daemon.Config{
+			Name:     fmt.Sprintf("storm%d", i),
+			ASDAddr:  asdAddrs[0],
+			ASDAddrs: asdAddrs[1:],
+			LeaseTTL: 400 * time.Millisecond,
+			PoolConfig: &daemon.PoolConfig{
+				DialTimeout:     200 * time.Millisecond,
+				CallTimeout:     time.Second,
+				MaxRetries:      1,
+				BackoffBase:     5 * time.Millisecond,
+				BackoffMax:      20 * time.Millisecond,
+				BreakerCooldown: 100 * time.Millisecond,
+				Seed:            chaosSeed,
+			},
+		})
+		if err := d.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(d.Stop)
+		svcs = append(svcs, d)
+	}
+
+	// All registered with the primary.
+	for _, d := range svcs {
+		if got := dirs[0].Directory().Lookup(asd.Query{Name: d.Name()}); len(got) != 1 {
+			t.Fatalf("%s not registered: %v", d.Name(), got)
+		}
+	}
+
+	// Let the storm reach steady state, then kill the primary.
+	//acelint:ignore detrand fixed storm warm-up; in-flight renewals are not observable to poll
+	time.Sleep(200 * time.Millisecond)
+	dirs[0].Stop()
+
+	// Hold the fault for several lease periods. Survivors must never
+	// count an expiration: a lease acked by the dead primary is
+	// durable, so a survivor's stale memory reads through instead of
+	// reaping.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		for i := 1; i < 3; i++ {
+			if _, exp := dirs[i].Directory().Counters(); exp != 0 {
+				t.Fatalf("replica %d expired a lease after the primary kill", i+1)
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Every lease is still alive and resolvable through a survivor.
+	for _, d := range svcs {
+		addr, err := asd.Resolve(pool, dirs[1].Addr(), asd.Query{Name: d.Name()})
+		if err != nil || addr != d.Addr() {
+			t.Fatalf("%s lost after primary kill: addr=%q err=%v", d.Name(), addr, err)
+		}
+	}
+
+	// The directory is still writable: a newcomer registers through
+	// the survivors...
+	late := daemon.New(daemon.Config{
+		Name:     "storm_late",
+		ASDAddr:  asdAddrs[0], // still points first at the corpse; must fail over
+		ASDAddrs: asdAddrs[1:],
+		LeaseTTL: 400 * time.Millisecond,
+		PoolConfig: &daemon.PoolConfig{
+			DialTimeout:     200 * time.Millisecond,
+			CallTimeout:     time.Second,
+			MaxRetries:      1,
+			BackoffBase:     5 * time.Millisecond,
+			BackoffMax:      20 * time.Millisecond,
+			BreakerCooldown: 100 * time.Millisecond,
+			Seed:            chaosSeed,
+		},
+	})
+	if err := late.Start(); err != nil {
+		t.Fatalf("registration through survivors failed: %v", err)
+	}
+	t.Cleanup(late.Stop)
+	if addr, err := asd.Resolve(pool, dirs[2].Addr(), asd.Query{Name: "storm_late"}); err != nil || addr != late.Addr() {
+		t.Fatalf("newcomer not resolvable: addr=%q err=%v", addr, err)
+	}
+
+	// ...and reaping still works — it just demands durable
+	// confirmation. A crashed service (registered, never renews)
+	// expires from the survivors.
+	if _, err := pool.Call(dirs[1].Addr(), cmdlang.New(daemon.CmdRegister).
+		SetWord("name", "storm_zombie").SetWord("host", "gone").SetInt("port", 1).
+		SetString("addr", "gone:1").SetInt("lease", 200)); err != nil {
+		t.Fatal(err)
+	}
+	expiry := time.Now().Add(10 * time.Second)
+	for {
+		_, err := asd.Resolve(pool, dirs[1].Addr(), asd.Query{Name: "storm_zombie"})
+		if cmdlang.IsRemoteCode(err, cmdlang.CodeNotFound) {
+			break
+		}
+		if time.Now().After(expiry) {
+			t.Fatal("crashed service's lease never expired on the survivors")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -166,6 +166,12 @@ type Config struct {
 	// ASDAddr is the well-known socket of the ACE Service Directory;
 	// empty disables registration (the ASD itself does this).
 	ASDAddr string
+	// ASDAddrs lists additional directory replicas (replicated ASD
+	// deployments). Registration, lease renewal, and deregistration
+	// prefer ASDAddr (or the first replica) and fail over to the next
+	// on transport failure, so killing one directory daemon never
+	// costs a daemon its lease.
+	ASDAddrs []string
 	// RoomDBAddr is the room database daemon; empty skips step 2 of
 	// the startup sequence.
 	RoomDBAddr string
@@ -259,6 +265,12 @@ type Daemon struct {
 	// controller admits everything).
 	flow         *flow.Controller
 	controlVerbs map[string]bool
+	// asdAddrs is the deduplicated directory replica list (ASDAddr
+	// first); asdPreferred indexes the replica that last answered, so
+	// the lease protocol sticks to a live directory instead of paying
+	// the failover walk every renewal.
+	asdAddrs     []string
+	asdPreferred atomic.Int32
 	// notifySem bounds concurrent notification deliveries; see
 	// dispatchNotifications.
 	notifySem chan struct{}
@@ -386,6 +398,14 @@ func New(cfg Config) *Daemon {
 	}
 	for _, v := range cfg.ControlVerbs {
 		d.controlVerbs[v] = true
+	}
+	seen := map[string]bool{}
+	for _, addr := range append([]string{cfg.ASDAddr}, cfg.ASDAddrs...) {
+		if addr == "" || seen[addr] {
+			continue
+		}
+		seen[addr] = true
+		d.asdAddrs = append(d.asdAddrs, addr)
 	}
 	d.installBuiltins()
 	return d
@@ -531,7 +551,7 @@ func (d *Daemon) Start() error {
 	}
 
 	// Main thread duties continue in the background: lease renewal.
-	if d.cfg.ASDAddr != "" {
+	if len(d.asdAddrs) > 0 {
 		d.wg.Add(1)
 		go d.leaseLoop()
 	}
@@ -553,7 +573,7 @@ func (d *Daemon) startupSequence() error {
 			return fmt.Errorf("daemon %s: room database: %w", d.cfg.Name, err)
 		}
 	}
-	if d.cfg.ASDAddr != "" {
+	if len(d.asdAddrs) > 0 {
 		if err := d.registerASD(); err != nil {
 			return err
 		}
@@ -574,6 +594,32 @@ func (d *Daemon) startupSequence() error {
 	return nil
 }
 
+// asdCall issues one lease-protocol command against the directory,
+// starting at the replica that last answered and failing over to the
+// next on transport failure. A remote error means the directory
+// answered — it is returned immediately, since every replica serves
+// the same replicated state and would say the same.
+func (d *Daemon) asdCall(cmd *cmdlang.CmdLine) (*cmdlang.CmdLine, error) {
+	n := len(d.asdAddrs)
+	start := int(d.asdPreferred.Load()) % n
+	var lastErr error
+	for i := 0; i < n; i++ {
+		idx := (start + i) % n
+		reply, err := d.pool.Call(d.asdAddrs[idx], cmd)
+		if err == nil {
+			d.asdPreferred.Store(int32(idx))
+			return reply, nil
+		}
+		lastErr = err
+		var re *cmdlang.RemoteError
+		if errors.As(err, &re) {
+			d.asdPreferred.Store(int32(idx))
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
 func (d *Daemon) registerASD() error {
 	cmd := cmdlang.New(CmdRegister).
 		SetWord("name", wordOr(d.cfg.Name)).
@@ -585,7 +631,7 @@ func (d *Daemon) registerASD() error {
 	if d.cfg.Room != "" {
 		cmd.SetWord("room", wordOr(d.cfg.Room))
 	}
-	_, err := d.pool.Call(d.cfg.ASDAddr, cmd)
+	_, err := d.asdCall(cmd)
 	if err != nil {
 		return fmt.Errorf("daemon %s: ASD register: %w", d.cfg.Name, err)
 	}
@@ -610,8 +656,14 @@ func (d *Daemon) leaseLoop() {
 			cmd := cmdlang.New(CmdRenew).
 				SetWord("name", d.cfg.Name).
 				SetInt("lease", int64(d.cfg.LeaseTTL/time.Millisecond))
-			if _, err := d.pool.Call(d.cfg.ASDAddr, cmd); err != nil {
-				if cmdlang.IsRemoteCode(err, cmdlang.CodeNotFound) {
+			if _, err := d.asdCall(cmd); err != nil {
+				// A renewal racing Stop's unregister gets not_found
+				// from our own graceful exit; re-registering then
+				// would resurrect the entry we just removed.
+				d.mu.Lock()
+				stopping := d.stopped
+				d.mu.Unlock()
+				if cmdlang.IsRemoteCode(err, cmdlang.CodeNotFound) && !stopping {
 					d.registerASD() //nolint:errcheck — retried next tick
 				}
 			}
@@ -635,8 +687,8 @@ func (d *Daemon) Stop() {
 	// may already be gone). Failures never block shutdown, but they
 	// are counted so an operator can see when services exit without
 	// cleanly leaving the directory.
-	if d.cfg.ASDAddr != "" {
-		if _, err := d.pool.Call(d.cfg.ASDAddr, cmdlang.New(CmdUnregister).SetWord("name", wordOr(d.cfg.Name))); err != nil {
+	if len(d.asdAddrs) > 0 {
+		if _, err := d.asdCall(cmdlang.New(CmdUnregister).SetWord("name", wordOr(d.cfg.Name))); err != nil {
 			d.deregErrs.Inc()
 		}
 	}

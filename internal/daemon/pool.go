@@ -77,6 +77,13 @@ type PoolConfig struct {
 	// transition, with the address and the "closed"/"open"/"half-open"
 	// state names.
 	OnBreakerChange func(addr, from, to string)
+	// LookupPositiveTTL bounds positive entries in the pool's
+	// service-discovery cache; 0 keeps them until an invalidation
+	// event evicts them.
+	LookupPositiveTTL time.Duration
+	// LookupNegativeTTL bounds negative ("no matching service")
+	// entries; 0 means DefaultLookupNegativeTTL.
+	LookupNegativeTTL time.Duration
 }
 
 func (cfg PoolConfig) withDefaults() PoolConfig {
@@ -142,6 +149,10 @@ type Pool struct {
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
+	// lookups is the client-edge service-discovery cache; directory
+	// clients (asd.Client) consult it before calling the directory.
+	lookups *LookupCache
+
 	retries     *telemetry.Counter
 	busyRetries *telemetry.Counter
 	redirects   *telemetry.Counter
@@ -170,12 +181,16 @@ func NewPoolConfig(cfg PoolConfig) *Pool {
 		clients:     make(map[string]*wire.Client),
 		breakers:    make(map[string]*breaker),
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		lookups:     NewLookupCache(cfg.LookupPositiveTTL, cfg.LookupNegativeTTL, cfg.Telemetry),
 		retries:     cfg.Telemetry.Counter(MetricPoolRetries),
 		busyRetries: cfg.Telemetry.Counter(MetricPoolBusyRetries),
 		redirects:   cfg.Telemetry.Counter(MetricPoolRedirects),
 		transitions: cfg.Telemetry.Counter(MetricBreakerTransitions),
 	}
 }
+
+// Lookups returns the pool's service-discovery cache.
+func (p *Pool) Lookups() *LookupCache { return p.lookups }
 
 // Telemetry returns the registry the pool records into (nil when
 // telemetry is disabled).

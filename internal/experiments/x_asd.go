@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ace/internal/asd"
+	"ace/internal/cmdlang"
+	"ace/internal/daemon"
+	"ace/internal/pstore"
+)
+
+func init() {
+	register("X7", "replicated directory: edge-cached lookups and primary-kill lease survival", RunX7)
+}
+
+// RunX7 measures what replicating the service directory over the
+// persistent store buys. Three directory daemons share one 3-node
+// pstore; the lookup half compares directory-RPC latency against the
+// client-side cache that §2.6 notifications keep coherent, and the
+// failover half kills the primary replica in the middle of a renewal
+// storm and counts lease expirations — the paper's robustness claim
+// demands zero, because every lease deadline is durable and survivors
+// confirm expiry against the store, never their own stale memory.
+func RunX7() (*Table, error) {
+	t := &Table{
+		ID:      "X7",
+		Title:   "replicated ASD: lookup caching and primary-kill survival",
+		Source:  "extension: §2.5 directory over the persistent store",
+		Columns: []string{"measure", "value"},
+	}
+
+	const services = 16
+
+	cluster, err := pstore.StartCluster(3, "", 0)
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.StopAll()
+	pool := daemon.NewPool(nil)
+	defer pool.Close()
+	store := pstore.NewClient(pool, cluster.Addrs())
+	defer store.Close()
+
+	var dirs []*asd.Service
+	for i := 0; i < 3; i++ {
+		s := asd.New(asd.Config{
+			Daemon:       daemon.Config{Name: fmt.Sprintf("x7_asd%d", i+1)},
+			ReapInterval: 50 * time.Millisecond,
+			Store:        store,
+		})
+		if err := s.Start(); err != nil {
+			return nil, err
+		}
+		defer s.Stop()
+		dirs = append(dirs, s)
+	}
+	if err := asd.SubscribeReplicas(pool, dirs); err != nil {
+		return nil, err
+	}
+
+	names := make([]string, services)
+	for i := range names {
+		names[i] = fmt.Sprintf("x7_svc%d", i)
+		_, err := pool.Call(dirs[i%3].Addr(), cmdlang.New(daemon.CmdRegister).
+			SetWord("name", names[i]).SetWord("host", "h").SetInt("port", 1).
+			SetString("addr", names[i]+":1").SetInt("lease", 600000))
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Lookup half: directory RPC vs warm edge cache.
+	const uncachedN, warmN = 1000, 20000
+	uncached := make([]time.Duration, 0, uncachedN)
+	for i := 0; i < uncachedN; i++ {
+		cmd := cmdlang.New(daemon.CmdLookup).SetWord("name", names[i%services])
+		t0 := time.Now()
+		if _, err := pool.Call(dirs[i%3].Addr(), cmd); err != nil {
+			return nil, err
+		}
+		uncached = append(uncached, time.Since(t0))
+	}
+	cpool := daemon.NewPool(nil)
+	defer cpool.Close()
+	client := asd.NewClient(cpool, dirs[0].Addr(), dirs[1].Addr(), dirs[2].Addr())
+	for _, name := range names {
+		if _, err := client.Resolve(asd.Query{Name: name}); err != nil {
+			return nil, err
+		}
+	}
+	warm := make([]time.Duration, 0, warmN)
+	for i := 0; i < warmN; i++ {
+		t0 := time.Now()
+		if _, err := client.Resolve(asd.Query{Name: names[i%services]}); err != nil {
+			return nil, err
+		}
+		warm = append(warm, time.Since(t0))
+	}
+	uncachedP99 := percentile(uncached, 99)
+	warmP99 := percentile(warm, 99)
+	t.AddRow("uncached lookup p99", uncachedP99)
+	t.AddRow("warm-cache lookup p99", warmP99)
+	t.AddRow("cache speedup", fmt.Sprintf("%.0fx", float64(uncachedP99)/float64(warmP99)))
+
+	// Failover half: renewal storm, primary killed mid-flight. Workers
+	// walk the replica list on transport failure, like real daemons.
+	const workers = 4
+	const storm = 600 * time.Millisecond
+	addrs := []string{dirs[0].Addr(), dirs[1].Addr(), dirs[2].Addr()}
+	var acked atomic.Int64
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(storm)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wpool := daemon.NewPoolConfig(daemon.PoolConfig{
+				DialTimeout: 200 * time.Millisecond,
+				MaxRetries:  1,
+				Seed:        int64(w + 1),
+			})
+			defer wpool.Close()
+			for i := w; time.Now().Before(deadline); i += workers {
+				cmd := cmdlang.New(daemon.CmdRenew).
+					SetWord("name", names[i%services]).SetInt("lease", 600000)
+				for _, addr := range addrs {
+					if _, err := wpool.Call(addr, cmd.Clone()); err == nil {
+						acked.Add(1)
+						break
+					}
+				}
+			}
+		}(w)
+	}
+	time.Sleep(storm / 3)
+	dirs[0].Stop() // the primary dies mid-storm
+	wg.Wait()
+
+	// Several reap intervals after the kill, every lease must still be
+	// resolvable through a survivor and no survivor may have counted
+	// an expiration.
+	time.Sleep(200 * time.Millisecond)
+	surviving := 0
+	for _, name := range names {
+		if addr, err := asd.Resolve(pool, dirs[1].Addr(), asd.Query{Name: name}); err == nil && addr != "" {
+			surviving++
+		}
+	}
+	var expirations int64
+	for _, d := range dirs[1:] {
+		_, exp := d.Directory().Counters()
+		expirations += exp
+	}
+	t.AddRow("renewals acked through primary kill", acked.Load())
+	t.AddRow("leases surviving primary kill", fmt.Sprintf("%d/%d", surviving, services))
+	t.AddRow("lease expirations after primary kill", expirations)
+	if expirations != 0 {
+		return nil, fmt.Errorf("x7: %d leases expired after the primary kill", expirations)
+	}
+	if surviving != services {
+		return nil, fmt.Errorf("x7: only %d/%d leases survived the primary kill", surviving, services)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("3 directory replicas over a 3-node store; %d services; primary killed %v into a %v renewal storm", services, storm/3, storm))
+	return t, nil
+}
