@@ -66,7 +66,10 @@ bench-telemetry:
 # and against the same cluster with one replica blackholed or dead,
 # recording the comparison in BENCH_pstore.json. Fails if a degraded
 # operation exceeds half the call timeout — i.e. if the slowest
-# replica is back to setting client-visible latency. Also measures a
+# replica is back to setting client-visible latency. The healthy
+# scenario also measures the bounded-staleness read spectrum and fails
+# unless a bounded GET lands under 0.5x the quorum GET with zero
+# staleness-bound violations. Also measures a
 # fully durable cluster (every ack costs an fsync) plus single-node
 # recovery time, and fails if group commit stops amortizing fsyncs
 # across concurrent writers. The sharding half drives a keyed zipfian

@@ -31,7 +31,10 @@ import (
 	"ace/internal/asd"
 	"ace/internal/cmdlang"
 	"ace/internal/daemon"
+	"ace/internal/hlc"
+	"ace/internal/pstore"
 	"ace/internal/pstore/placement"
+	"ace/internal/pstore/staleness"
 	"ace/internal/telemetry"
 )
 
@@ -200,6 +203,7 @@ func printStats(pool *daemon.Pool, name, addr string) {
 	printFlowSummary(snap)
 	printStorageSummary(snap)
 	printPlacementStats(snap)
+	printConsistencySummary(snap)
 	printDirectorySummary(snap)
 	for _, c := range snap.Counters {
 		fmt.Printf("  counter    %-28s %d\n", c.Name, c.Value)
@@ -283,6 +287,35 @@ func printPlacementStats(snap *telemetry.Snapshot) {
 	if fetches != 0 || invals != 0 || redirects != 0 || duals != 0 || moves != 0 {
 		fmt.Printf("  placement  map_fetches=%d invalidations=%d redirects=%d dual_writes=%d moves=%d\n",
 			fetches, invals, redirects, duals, moves)
+	}
+}
+
+// printConsistencySummary condenses the hlc/staleness/bounded-read
+// metrics into a consistency-at-a-glance block. On a store node: the
+// applied HLC watermark and the clock's skew clamps (nonzero means a
+// peer or client is running fast beyond the tolerance) and logical
+// overflows. On a client pool: the bounded read spectrum — hits vs
+// quorum fallbacks, watermark samples, the AIMD controller's current
+// share, and staleness violations. Violations must stay zero; every
+// one was discarded (never served) and narrowed the controller, so a
+// nonzero count means the lag estimator is being fooled — by skew,
+// partition flap, or a replica applying out of order — and bounded
+// traffic has been pushed back to the quorum path. Daemons without
+// these metrics print nothing here.
+func printConsistencySummary(snap *telemetry.Snapshot) {
+	if wm := snap.Gauge(pstore.MetricHLCWatermark); wm != 0 {
+		ts := hlc.Timestamp(wm)
+		fmt.Printf("  hlc        watermark=%s skew_clamps=%d logical_overflows=%d\n",
+			ts, snap.Counter(hlc.MetricSkewClamps), snap.Counter(hlc.MetricOverflows))
+	}
+	hits := snap.Counter(pstore.MetricBoundedHits)
+	falls := snap.Counter(pstore.MetricBoundedFallbacks)
+	samples := snap.Counter(staleness.MetricSamples)
+	if hits != 0 || falls != 0 || samples != 0 {
+		fmt.Printf("  bounded    hits=%d fallbacks=%d samples=%d share=%.3f violations=%d\n",
+			hits, falls, samples,
+			float64(snap.Gauge(staleness.MetricShare))/1000,
+			snap.Counter(staleness.MetricViolations))
 	}
 }
 

@@ -45,6 +45,24 @@ type Store interface {
 	ListContext(ctx context.Context, prefix string) ([]string, error)
 }
 
+// boundedStore is the optional bounded-staleness read surface of a
+// Store (*pstore.Client and *pstore.Sharded both provide it): a
+// single-replica read proven no staler than bound, with a quorum
+// fallback whenever the bound cannot be proven.
+type boundedStore interface {
+	GetBoundedContext(ctx context.Context, path string, bound time.Duration) (value []byte, version uint64, ok bool, err error)
+}
+
+// ResolveStaleness is the staleness bound for resolve-path store
+// reads (name-lookup read-throughs). It is deliberately conservative:
+// directory leases are seconds-scale, so a resolve up to 2s stale is
+// within the liveness slack the lease protocol already tolerates —
+// while the common case drops from a cross-replica quorum round to
+// one replica's RTT. Lease renewals, expiry confirmation, and the
+// sync loop never use it: those reads decide durable state and stay
+// on the quorum path.
+const ResolveStaleness = 2 * time.Second
+
 // StorePrefix is the pstore keyspace holding directory entries, one
 // object per registered service.
 const StorePrefix = "/asd/entries"
@@ -158,11 +176,32 @@ func newReplica(dir *Directory, store Store, tel *telemetry.Registry) *replica {
 	}
 }
 
-// load reads one entry from the store, installing it into memory when
-// found. ok is false when the store holds nothing for the name.
+// load reads one entry from the store through the quorum path,
+// installing it into memory when found. ok is false when the store
+// holds nothing for the name.
 func (r *replica) load(ctx context.Context, name string) (Entry, bool, error) {
+	return r.loadWith(ctx, name, r.store.GetContext)
+}
+
+// loadResolve is load for the resolve path: when the store offers the
+// bounded read spectrum, the entry comes from a single replica proven
+// no staler than ResolveStaleness (quorum fallback inside the store
+// client otherwise). Safe for the directory cache because Install
+// only admits equal-or-newer store versions — a stale read can never
+// regress memory.
+func (r *replica) loadResolve(ctx context.Context, name string) (Entry, bool, error) {
+	bs, ok := r.store.(boundedStore)
+	if !ok {
+		return r.load(ctx, name)
+	}
+	return r.loadWith(ctx, name, func(ctx context.Context, path string) ([]byte, uint64, bool, error) {
+		return bs.GetBoundedContext(ctx, path, ResolveStaleness)
+	})
+}
+
+func (r *replica) loadWith(ctx context.Context, name string, get func(context.Context, string) ([]byte, uint64, bool, error)) (Entry, bool, error) {
 	r.mStoreReads.Inc()
-	value, version, ok, err := r.store.GetContext(ctx, entryPath(name))
+	value, version, ok, err := get(ctx, entryPath(name))
 	if err != nil {
 		r.mStoreErrors.Inc()
 		return Entry{}, false, fmt.Errorf("asd: directory store read: %w", err)
@@ -302,7 +341,7 @@ func (r *replica) lookup(ctx context.Context, q Query) []Entry {
 		return nil
 	}
 	r.mReadThroughs.Inc()
-	if _, ok, err := r.load(ctx, q.Name); err != nil || !ok {
+	if _, ok, err := r.loadResolve(ctx, q.Name); err != nil || !ok {
 		return nil
 	}
 	return r.dir.Lookup(q)

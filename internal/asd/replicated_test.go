@@ -284,3 +284,48 @@ func TestDaemonLeaseFailsOverAcrossReplicas(t *testing.T) {
 		t.Fatalf("lease lost after primary kill: %v", got)
 	}
 }
+
+// The resolve-path read-through takes the store's bounded-staleness
+// entry point (single replica when provably fresh, quorum fallback
+// otherwise), while renewals keep the quorum path: the bounded
+// instruments tick only for the lookup.
+func TestReplicaResolveReadThroughUsesBoundedPath(t *testing.T) {
+	cluster, err := pstore.StartCluster(3, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.StopAll)
+	reg := telemetry.NewRegistry()
+	pool := daemon.NewPoolConfig(daemon.PoolConfig{Telemetry: reg})
+	t.Cleanup(pool.Close)
+	store := pstore.NewClient(pool, cluster.Addrs())
+	t.Cleanup(store.Close)
+
+	var svcs []*Service
+	for i := 0; i < 2; i++ {
+		s := New(Config{
+			Daemon:       daemon.Config{Name: fmt.Sprintf("asdbnd%d", i+1)},
+			ReapInterval: time.Hour,
+			Store:        store,
+		})
+		if err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(s.Stop)
+		svcs = append(svcs, s)
+	}
+
+	registerVia(t, pool, svcs[0].Addr(), "cam7", "m7:1207", 60000)
+	addr, err := Resolve(pool, svcs[1].Addr(), Query{Name: "cam7"})
+	if err != nil || addr != "m7:1207" {
+		t.Fatalf("addr=%q err=%v", addr, err)
+	}
+	if rt := svcs[1].Telemetry().Snapshot().Counter(MetricReplicaReadThroughs); rt != 1 {
+		t.Fatalf("read-throughs = %d, want 1", rt)
+	}
+	snap := reg.Snapshot()
+	bounded := snap.Counter(pstore.MetricBoundedHits) + snap.Counter(pstore.MetricBoundedFallbacks)
+	if bounded != 1 {
+		t.Fatalf("bounded reads = %d, want 1 (resolve read-through must use the bounded path)", bounded)
+	}
+}

@@ -1,0 +1,154 @@
+package chaos_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"ace/internal/chaos"
+	"ace/internal/cmdlang"
+	"ace/internal/daemon"
+	"ace/internal/pstore"
+	"ace/internal/telemetry"
+)
+
+// TestChaosBoundedReadFailsSafeUnderSkewAndPartition: the bounded
+// read spectrum's safety claim is that it never serves data staler
+// than its bound — it falls back to a quorum read instead. This test
+// attacks that claim with the two faults that break naive
+// staleness estimators:
+//
+//   - a partition: one replica stops applying writes, then heals
+//     holding a value older than the bound. Bounded reads must not
+//     serve its stale copy.
+//   - clock skew: a node whose wall clock runs 10s fast self-stamps a
+//     write, inflating its watermark and the client's frontier, which
+//     makes every honest replica look stale. Combined with a
+//     partition of the skewed node, bounded reads must degrade to
+//     quorum fallbacks — conservative, never wrong.
+//
+// Every read in the test asserts the latest committed value: a single
+// stale answer is a failed test, which is exactly the zero-violation
+// guarantee the bench gates on.
+func TestChaosBoundedReadFailsSafeUnderSkewAndPartition(t *testing.T) {
+	fabric := chaos.NewFabric(chaosSeed)
+	defer fabric.Close()
+
+	// Three nodes, each reading wall time through the fabric so skew
+	// is injectable, no anti-entropy (heals must come from quorum
+	// machinery, not a background sync racing the assertions).
+	var nodes []*pstore.Node
+	var proxied []string
+	for i := 1; i <= 3; i++ {
+		name := fmt.Sprintf("r%d", i)
+		n, err := pstore.NewNode(pstore.Config{
+			Daemon:    daemon.Config{Name: "skew" + name},
+			WallClock: fabric.WallClock(name, time.Now),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer n.Stop()
+		nodes = append(nodes, n)
+		if _, err := fabric.Proxy(name, n.Addr()); err != nil {
+			t.Fatal(err)
+		}
+		proxied = append(proxied, fabric.Addr(name))
+	}
+	for i, n := range nodes {
+		var peers []string
+		for j, a := range proxied {
+			if j != i {
+				peers = append(peers, a)
+			}
+		}
+		n.SetPeers(peers)
+	}
+
+	reg := telemetry.NewRegistry()
+	pool := daemon.NewPoolConfig(daemon.PoolConfig{
+		DialTimeout:     300 * time.Millisecond,
+		CallTimeout:     time.Second,
+		MaxRetries:      1,
+		BackoffBase:     5 * time.Millisecond,
+		BackoffMax:      20 * time.Millisecond,
+		BreakerCooldown: 100 * time.Millisecond,
+		Seed:            chaosSeed,
+		Telemetry:       reg,
+	})
+	defer pool.Close()
+	client := pstore.NewClient(pool, proxied)
+	defer client.Close()
+
+	const bound = 1200 * time.Millisecond
+	mode := pstore.ReadBounded(bound)
+	mustRead := func(phase, want string) {
+		t.Helper()
+		val, _, ok, err := client.GetModeContext(context.Background(), "/skew/a", mode)
+		if err != nil || !ok {
+			t.Fatalf("%s: bounded read failed: ok=%v err=%v", phase, ok, err)
+		}
+		if string(val) != want {
+			t.Fatalf("%s: bounded read served %q, want %q — staleness bound violated", phase, val, want)
+		}
+	}
+
+	// Healthy phase: warm the tracker, prove the single-replica path
+	// actually engages.
+	if _, err := client.Put("/skew/a", []byte("a1")); err != nil {
+		t.Fatal(err)
+	}
+	mustRead("healthy", "a1")
+	if h := reg.Snapshot().Counter(pstore.MetricBoundedHits); h != 1 {
+		t.Fatalf("healthy bounded read did not take the fast path (hits=%d)", h)
+	}
+
+	// Partition phase: cut r3 off, age the cluster past the bound,
+	// commit a2 on the surviving majority, then heal r3 still holding
+	// a1 — a copy now provably staler than the bound.
+	fabric.Partition("r3")
+	//acelint:ignore detrand staleness is wall-time lag; the test must age past the bound
+	time.Sleep(bound + 300*time.Millisecond)
+	if _, err := client.Put("/skew/a", []byte("a2")); err != nil {
+		t.Fatalf("quorum write under partition: %v", err)
+	}
+	fabric.Heal("r3")
+	for i := 0; i < 20; i++ {
+		mustRead("healed-stale-replica", "a2")
+	}
+
+	// Skew phase: run r1's clock 10s fast and have it self-stamp a
+	// write (a raw node-level put carries no client HLC, so the node
+	// stamps with its own — skewed — clock). Its watermark, and with
+	// it the client's frontier, jumps 10s ahead, making the honest
+	// replicas look stale. Then partition r1 too: skewed AND
+	// unreachable.
+	fabric.SetClockSkew("r1", 10*time.Second)
+	if _, err := pool.Call(proxied[0], cmdlang.New("psput").
+		SetString("path", "/skew/poison").
+		SetString("value", "00").
+		SetInt("version", 1)); err != nil {
+		t.Fatalf("raw skewed write: %v", err)
+	}
+	// A quorum read of the poisoned path folds r1's inflated
+	// watermark into the frontier.
+	if _, _, _, err := client.GetContext(context.Background(), "/skew/poison"); err != nil {
+		t.Fatalf("quorum read of poisoned path: %v", err)
+	}
+	fabric.Partition("r1")
+	fallbacksBefore := reg.Snapshot().Counter(pstore.MetricBoundedFallbacks)
+	for i := 0; i < 20; i++ {
+		mustRead("skewed+partitioned", "a2")
+	}
+	if f := reg.Snapshot().Counter(pstore.MetricBoundedFallbacks); f <= fallbacksBefore {
+		t.Fatalf("skew+partition produced no quorum fallbacks (before=%d after=%d) — bounded reads are not failing safe", fallbacksBefore, f)
+	}
+	_, ctl := client.Staleness()
+	if ctl.Share() >= 1 {
+		t.Fatal("controller never narrowed under skew+partition")
+	}
+}

@@ -34,6 +34,7 @@ import (
 
 	"ace/internal/cmdlang"
 	"ace/internal/flow"
+	"ace/internal/hlc"
 	"ace/internal/telemetry"
 	"ace/internal/wire"
 )
@@ -82,6 +83,11 @@ type Ctx struct {
 	// downstream services should pass TraceContext() so the remote
 	// spans join the same trace.
 	Trace telemetry.SpanContext
+	// HLC is the hybrid-logical-clock timestamp the command arrived
+	// under (zero when the caller sent none). Pstore nodes use it to
+	// stamp writes so every replica applies the same client-assigned
+	// timestamp.
+	HLC hlc.Timestamp
 
 	// async is armed by the control thread for the duration of one
 	// dispatch; Detach consumes it.
@@ -797,7 +803,7 @@ func (d *Daemon) commandThread(conn net.Conn) {
 			return
 		}
 		d.wireMetrics.FrameRecv(len(payload))
-		sc, text := wire.SplitPayload(payload)
+		sc, hts, text := wire.SplitPayload(payload)
 		cmd, perr := cmdlang.Parse(string(text))
 		if perr != nil {
 			// Syntactically broken input is answered directly by the
@@ -805,14 +811,15 @@ func (d *Daemon) commandThread(conn net.Conn) {
 			respond(cmdlang.FailErr(perr))
 			continue
 		}
-		mctx := ctx
-		if sc.Valid() {
-			// Per-message Ctx copy: the trace context differs call to
-			// call on one connection.
-			c := *ctx
-			c.Trace = sc
-			mctx = &c
-		}
+		// Per-message Ctx copy, unconditionally: the trace context and
+		// HLC stamp differ call to call on one connection, and the
+		// control thread stashes the in-flight invocation on the Ctx
+		// (Detach) — a message sharing the connection Ctx would race
+		// that write against this thread's copy of the next message.
+		c := *ctx
+		c.Trace = sc
+		c.HLC = hts
+		mctx := &c
 		msg := ctlMsg{cmd: cmd, ctx: mctx}
 		if cmd.Has(cmdlang.SeqArg) {
 			seq := cmd.Int(cmdlang.SeqArg, 0)
@@ -870,9 +877,9 @@ func (d *Daemon) controlThread() {
 func (d *Daemon) execute(msg ctlMsg) {
 	start := time.Now()
 	e := d.handlers[msg.cmd.Name()]
-	// Arm Detach for this dispatch. The control thread is serial, so
-	// stashing the invocation on the (possibly connection-shared) Ctx
-	// is race-free; it is cleared before the next dispatch.
+	// Arm Detach for this dispatch. Every message carries its own Ctx
+	// copy (commandThread), so stashing the invocation on it is
+	// race-free; it is cleared before the next dispatch.
 	a := &asyncInvocation{d: d, e: e, msg: msg, ctx: msg.ctx, start: start}
 	msg.ctx.async = a
 	reply := d.dispatch(e, msg.ctx, msg.cmd)

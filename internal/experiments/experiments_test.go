@@ -9,11 +9,11 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 22 {
-		t.Fatalf("registered %d experiments, want 22", len(all))
+	if len(all) != 23 {
+		t.Fatalf("registered %d experiments, want 23", len(all))
 	}
 	// E-series sorted numerically, then the extension X-series.
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "X1", "X2", "X3", "X4", "X5", "X6", "X7"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "X1", "X2", "X3", "X4", "X5", "X6", "X7", "X8"}
 	for i, e := range all {
 		if e.ID != want[i] {
 			t.Errorf("position %d: got %s want %s", i, e.ID, want[i])
@@ -62,7 +62,7 @@ func TestExperimentsSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiments are integration-scale")
 	}
-	for _, id := range []string{"E1", "E7", "E8", "E13", "E14", "E15", "X3", "X4", "X5", "X6", "X7"} {
+	for _, id := range []string{"E1", "E7", "E8", "E13", "E14", "E15", "X3", "X4", "X5", "X6", "X7", "X8"} {
 		e, ok := Find(id)
 		if !ok {
 			t.Fatalf("missing %s", id)

@@ -1,0 +1,20 @@
+package hlc
+
+import "context"
+
+type ctxKey struct{}
+
+// WithTimestamp returns a context carrying ts. The wire client reads
+// it when encoding a frame, so a pstore write stamped by the client's
+// clock arrives at every replica with the same timestamp in the frame
+// header.
+func WithTimestamp(ctx context.Context, ts Timestamp) context.Context {
+	return context.WithValue(ctx, ctxKey{}, ts)
+}
+
+// FromContext returns the timestamp carried by ctx, or zero when the
+// context is unstamped.
+func FromContext(ctx context.Context) Timestamp {
+	ts, _ := ctx.Value(ctxKey{}).(Timestamp)
+	return ts
+}

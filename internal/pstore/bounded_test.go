@@ -1,0 +1,177 @@
+package pstore
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"ace/internal/daemon"
+	"ace/internal/pstore/placement"
+	"ace/internal/pstore/staleness"
+	"ace/internal/telemetry"
+)
+
+// boundedClient builds a client over the cluster with an observable
+// registry (NewPool's default registry is a no-op).
+func boundedClient(t *testing.T, c *Cluster) (*Client, *telemetry.Registry) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	pool := daemon.NewPoolConfig(daemon.PoolConfig{Telemetry: reg})
+	t.Cleanup(pool.Close)
+	client := NewClient(pool, c.Addrs())
+	t.Cleanup(client.Close)
+	return client, reg
+}
+
+func TestReadModeString(t *testing.T) {
+	if s := ReadQuorum().String(); s != "quorum" {
+		t.Fatalf("quorum mode = %q", s)
+	}
+	if s := ReadAny().String(); s != "any" {
+		t.Fatalf("any mode = %q", s)
+	}
+	if s := ReadBounded(2 * time.Second).String(); s != "bounded(2s)" {
+		t.Fatalf("bounded mode = %q", s)
+	}
+}
+
+// A healthy cluster with a warm tracker serves bounded reads off the
+// single-replica path: the write fan-out's acks carry every replica's
+// watermark, so by the time the write returns, all replicas are
+// provably fresh.
+func TestBoundedReadHealthyClusterHits(t *testing.T) {
+	cluster, _ := startCluster(t, 3, "")
+	client, reg := boundedClient(t, cluster)
+	if _, err := client.Put("/bounded/a", []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	val, ver, ok, err := client.GetModeContext(context.Background(), "/bounded/a", ReadBounded(2*time.Second))
+	if err != nil || !ok || ver != 1 || !bytes.Equal(val, []byte("fresh")) {
+		t.Fatalf("bounded get: val=%q ver=%d ok=%v err=%v", val, ver, ok, err)
+	}
+	snap := reg.Snapshot()
+	if hits := snap.Counter(MetricBoundedHits); hits != 1 {
+		t.Fatalf("bounded hits = %d, want 1", hits)
+	}
+	if v := snap.Counter(staleness.MetricViolations); v != 0 {
+		t.Fatalf("violations = %d, want 0", v)
+	}
+	// A bounded miss cannot prove its bound (not-found replies lose
+	// their watermark on the error path) — it falls back to quorum and
+	// still answers correctly.
+	_, _, ok, err = client.GetModeContext(context.Background(), "/bounded/missing", ReadBounded(2*time.Second))
+	if ok || err != nil {
+		t.Fatalf("bounded miss: ok=%v err=%v", ok, err)
+	}
+}
+
+// A client with a cold tracker (no watermark samples yet) must not
+// serve bounded reads — it falls back to quorum and still answers.
+func TestBoundedReadColdTrackerFallsBack(t *testing.T) {
+	c, writer := startCluster(t, 3, "")
+	if _, err := writer.Put("/bounded/cold", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	reader, reg := boundedClient(t, c)
+	val, _, ok, err := reader.GetModeContext(context.Background(), "/bounded/cold", ReadBounded(2*time.Second))
+	if err != nil || !ok || string(val) != "v" {
+		t.Fatalf("cold bounded get: val=%q ok=%v err=%v", val, ok, err)
+	}
+	snap := reg.Snapshot()
+	if f := snap.Counter(MetricBoundedFallbacks); f != 1 {
+		t.Fatalf("fallbacks = %d, want 1", f)
+	}
+	if h := snap.Counter(MetricBoundedHits); h != 0 {
+		t.Fatalf("hits = %d, want 0", h)
+	}
+	// The quorum fallback itself refreshed the samples: the next
+	// bounded read can go single-replica.
+	if _, _, ok, err := reader.GetModeContext(context.Background(), "/bounded/cold", ReadBounded(2*time.Second)); !ok || err != nil {
+		t.Fatalf("warmed bounded get: ok=%v err=%v", ok, err)
+	}
+	if h := reg.Snapshot().Counter(MetricBoundedHits); h != 1 {
+		t.Fatalf("warmed hits = %d, want 1", h)
+	}
+}
+
+// A bound inside the clock-skew tolerance can never be proven: every
+// such read pays the quorum, correctly.
+func TestBoundedReadUnprovableBoundFallsBack(t *testing.T) {
+	cluster, _ := startCluster(t, 3, "")
+	client, reg := boundedClient(t, cluster)
+	if _, err := client.Put("/bounded/tight", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	val, _, ok, err := client.GetModeContext(context.Background(), "/bounded/tight", ReadBounded(100*time.Millisecond))
+	if err != nil || !ok || string(val) != "v" {
+		t.Fatalf("tight bounded get: val=%q ok=%v err=%v", val, ok, err)
+	}
+	snap := reg.Snapshot()
+	if h := snap.Counter(MetricBoundedHits); h != 0 {
+		t.Fatalf("hits = %d, want 0 (bound < skew margin)", h)
+	}
+	if f := snap.Counter(MetricBoundedFallbacks); f != 1 {
+		t.Fatalf("fallbacks = %d, want 1", f)
+	}
+}
+
+func TestReadModeAnyAndQuorumDispatch(t *testing.T) {
+	_, client := startCluster(t, 3, "")
+	if _, err := client.Put("/bounded/d", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []ReadMode{ReadQuorum(), ReadAny()} {
+		val, ver, ok, err := client.GetModeContext(context.Background(), "/bounded/d", mode)
+		if err != nil || !ok || ver != 1 || string(val) != "v" {
+			t.Fatalf("%v get: val=%q ver=%d ok=%v err=%v", mode, val, ver, ok, err)
+		}
+	}
+	if _, _, ok, err := client.GetModeContext(context.Background(), "/bounded/none", ReadAny()); ok || err != nil {
+		t.Fatalf("any miss: ok=%v err=%v", ok, err)
+	}
+}
+
+// Sharded bounded reads route by the placement map, then apply the
+// bounded policy inside the owning group; the staleness machinery is
+// shared across group clients, so write evidence from one group's
+// quorum protects reads in that group after re-routing.
+func TestShardedBoundedRead(t *testing.T) {
+	_, groups := startShardGroups(t, "g1", "g2")
+	dir := startShardASD(t)
+	reg := telemetry.NewRegistry()
+	pool := daemon.NewPoolConfig(daemon.PoolConfig{Telemetry: reg})
+	defer pool.Close()
+	co := NewCoordinator(pool, dir.Addr())
+	if _, err := co.Bootstrap(context.Background(), 7, 32, 64, groups); err != nil {
+		t.Fatalf("bootstrap: %v", err)
+	}
+	sc := NewSharded(pool, placement.NewCache(pool, dir.Addr()))
+	defer sc.Close()
+	const n = 16
+	for i := 0; i < n; i++ {
+		if _, err := sc.Put(shardKey(i), []byte("sv")); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		val, _, ok, err := sc.GetModeContext(context.Background(), shardKey(i), ReadBounded(2*time.Second))
+		if err != nil || !ok || string(val) != "sv" {
+			t.Fatalf("bounded get %d: val=%q ok=%v err=%v", i, val, ok, err)
+		}
+	}
+	snap := reg.Snapshot()
+	if h := snap.Counter(MetricBoundedHits); h == 0 {
+		t.Fatal("sharded bounded reads never took the single-replica path")
+	}
+	if v := snap.Counter(staleness.MetricViolations); v != 0 {
+		t.Fatalf("violations = %d, want 0", v)
+	}
+	tr, ctl := sc.Staleness()
+	if tr == nil || ctl == nil {
+		t.Fatal("sharded staleness machinery not exposed")
+	}
+	if ctl.Share() < 1 {
+		t.Fatalf("healthy cluster narrowed the controller: share=%v", ctl.Share())
+	}
+}

@@ -11,6 +11,8 @@ import (
 
 	"ace/internal/cmdlang"
 	"ace/internal/daemon"
+	"ace/internal/hlc"
+	"ace/internal/pstore/staleness"
 	"ace/internal/telemetry"
 	"ace/internal/wire"
 )
@@ -83,6 +85,15 @@ type Client struct {
 	repairSem chan struct{}
 	bg        sync.WaitGroup
 
+	// clock, lag, and ctl are the bounded-staleness read machinery:
+	// the client's hybrid logical clock (stamps writes, merges reply
+	// watermarks), the per-replica lag estimator, and the AIMD valve
+	// deciding how much traffic may leave the quorum path. A sharded
+	// deployment shares one set across its group clients.
+	clock *hlc.Clock
+	lag   *staleness.Tracker
+	ctl   *staleness.Controller
+
 	mReadLatency      *telemetry.Histogram
 	mReadFullLatency  *telemetry.Histogram
 	mWriteLatency     *telemetry.Histogram
@@ -92,6 +103,12 @@ type Client struct {
 	mReadRepairs      *telemetry.Counter
 	mRepairErrs       *telemetry.Counter
 	mRepairsDropped   *telemetry.Counter
+	mBoundedHits      *telemetry.Counter
+	mBoundedFallbacks *telemetry.Counter
+	mBoundedLatency   *telemetry.Histogram
+	mStaleSamples     *telemetry.Counter
+	mStaleViolations  *telemetry.Counter
+	mStaleShare       *telemetry.Gauge
 }
 
 // NewClient builds a client over the given replica addresses,
@@ -108,6 +125,15 @@ func NewClient(pool *daemon.Pool, replicas []string) *Client {
 		pool:              pool,
 		replicas:          append([]string(nil), replicas...),
 		repairSem:         make(chan struct{}, bound),
+		clock:             hlc.New(nil, 0, tel),
+		lag:               staleness.NewTracker(0, nil),
+		ctl:               staleness.NewController(staleness.ControllerConfig{}),
+		mBoundedHits:      tel.Counter(MetricBoundedHits),
+		mBoundedFallbacks: tel.Counter(MetricBoundedFallbacks),
+		mBoundedLatency:   tel.Histogram(MetricBoundedLatency),
+		mStaleSamples:     tel.Counter(staleness.MetricSamples),
+		mStaleViolations:  tel.Counter(staleness.MetricViolations),
+		mStaleShare:       tel.Gauge(staleness.MetricShare),
 		mReadLatency:      tel.Histogram(MetricReadLatency),
 		mReadFullLatency:  tel.Histogram(MetricReadLatencyFull),
 		mWriteLatency:     tel.Histogram(MetricWriteLatency),
@@ -137,6 +163,20 @@ func (c *Client) stamp(cmd *cmdlang.CmdLine) *cmdlang.CmdLine {
 		cmd.SetInt("epoch", int64(c.epoch))
 	}
 	return cmd
+}
+
+// observe folds a reply's HLC watermark (the "hlc" argument every
+// stamped node attaches) into the client's clock and the per-replica
+// staleness estimate. Replies from pre-HLC nodes carry no watermark
+// and are skipped, which leaves those replicas permanently ineligible
+// for bounded reads — the safe direction.
+func (c *Client) observe(addr string, reply *cmdlang.CmdLine) {
+	if v := reply.Int(watermarkArg, 0); v > 0 {
+		ts := hlc.Timestamp(v)
+		c.clock.Update(ts)
+		c.lag.ObserveApplied(addr, ts)
+		c.mStaleSamples.Inc()
+	}
 }
 
 // anyRedirect reports whether any consumed reply was a wrong_group
@@ -326,6 +366,7 @@ func (c *Client) GetContext(ctx context.Context, path string) (value []byte, ver
 			}
 			return replicaReply{err: callErr}
 		}
+		c.observe(addr, reply)
 		val, decErr := decodeValue(reply.Str("value", ""))
 		if decErr != nil {
 			// A corrupt replica is a failed replica: it must not count
@@ -378,29 +419,7 @@ func (c *Client) GetContext(ctx context.Context, path string) (value []byte, ver
 // quorum — the paper's bottleneck-removal read path, which may return
 // slightly stale data during synchronization windows.
 func (c *Client) GetAny(path string) (value []byte, version uint64, ok bool, err error) {
-	var lastErr error
-	for _, addr := range c.replicas {
-		reply, callErr := c.pool.Call(addr, c.stamp(cmdlang.New("psget").SetString("path", path)))
-		if callErr == nil {
-			val, decErr := decodeValue(reply.Str("value", ""))
-			if decErr != nil {
-				// Corrupt replica: try the next one.
-				lastErr = fmt.Errorf("pstore: replica %s: %w", addr, decErr)
-				continue
-			}
-			ver, verErr := replyVersion(reply, addr)
-			if verErr != nil {
-				lastErr = verErr
-				continue
-			}
-			return val, ver, true, nil
-		}
-		if cmdlang.IsRemoteCode(callErr, cmdlang.CodeNotFound) {
-			return nil, 0, false, nil
-		}
-		lastErr = callErr
-	}
-	return nil, 0, false, fmt.Errorf("pstore: no replica reachable: %w", lastErr)
+	return c.anyGet(context.Background(), path)
 }
 
 // currentVersion determines the highest version any replica holds at
@@ -418,6 +437,7 @@ func (c *Client) currentVersion(ctx context.Context, path string) (uint64, error
 			}
 			return replicaReply{err: callErr}
 		}
+		c.observe(addr, reply)
 		ver, verErr := replyVersion(reply, addr)
 		if verErr != nil {
 			return replicaReply{err: verErr}
@@ -552,10 +572,19 @@ func (c *Client) DeleteContext(ctx context.Context, path string) error {
 // placement redirect, so an under-quorum outcome can be classified as
 // a stale routing decision rather than unavailability.
 func (c *Client) writeAll(ctx context.Context, cmd *cmdlang.CmdLine) (acked int, redirected bool) {
+	// Stamp the write: the timestamp rides the wire frame header to
+	// every replica, so all of them store the same client-assigned
+	// stamp. It also advances the client's write frontier — the
+	// reference point bounded reads measure staleness against.
+	ts := c.clock.Now()
+	ctx = hlc.WithTimestamp(ctx, ts)
+	c.lag.ObserveWrite(ts)
 	f := c.streamFanout(ctx, func(cctx context.Context, addr string) replicaReply {
-		if _, err := c.pool.CallContext(cctx, addr, cmd.Clone()); err != nil {
+		reply, err := c.pool.CallContext(cctx, addr, cmd.Clone())
+		if err != nil {
 			return replicaReply{err: err}
 		}
+		c.observe(addr, reply)
 		return replicaReply{ok: true}
 	})
 	prefix, _ := f.awaitQuorum(c.Quorum(), "quorum write")

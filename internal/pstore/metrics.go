@@ -55,3 +55,24 @@ const (
 	MetricRecoveryCorrupt   = "pstore.recovery.corrupt_records"
 	MetricRecoveryBadSnaps  = "pstore.recovery.bad_snapshots"
 )
+
+// Bounded-staleness read metric names, recorded in the registry of
+// the pool the Client dials through. A bounded GET resolves exactly
+// one of three ways: hit (served from one replica with the bound
+// proven), fallback (the bound could not be proven up front — no
+// fresh-enough replica, controller narrowed, transport error, miss —
+// so the read re-ran as a quorum), or violation (a replica passed the
+// eligibility screen but its reply watermark disproved the bound; the
+// reply was discarded and the read re-ran as a quorum, so a violation
+// never reaches the caller). The node-side hybrid-logical-clock
+// series (pstore.hlc.*) lives in internal/hlc; the client-side
+// staleness estimator series (pstore.staleness.*) in
+// internal/pstore/staleness.
+const (
+	MetricBoundedHits      = "pstore.read.bounded_hits"
+	MetricBoundedFallbacks = "pstore.read.bounded_fallbacks"
+	MetricBoundedLatency   = "pstore.read.bounded_latency"
+	// MetricHLCWatermark is each node's max-applied HLC stamp (packed
+	// timestamp, node registry): the freshness bound it advertises.
+	MetricHLCWatermark = "pstore.hlc.watermark"
+)

@@ -29,6 +29,7 @@ import (
 	"ace/internal/cmdlang"
 	"ace/internal/daemon"
 	"ace/internal/hier"
+	"ace/internal/hlc"
 	"ace/internal/pstore/placement"
 	"ace/internal/pstore/storage"
 	"ace/internal/telemetry"
@@ -40,6 +41,14 @@ type Item struct {
 	Value   []byte
 	Version uint64
 	Deleted bool
+	// HLC is the hybrid-logical-clock stamp of the write that produced
+	// this item (zero for legacy unstamped writes). Stamps are
+	// client-assigned, so all replicas hold the same stamp for the
+	// same write; they feed the per-node applied watermark that the
+	// bounded-staleness read path reasons about. Conflict resolution
+	// stays purely version-based (newer), so stamped and unstamped
+	// writers interoperate.
+	HLC hlc.Timestamp
 }
 
 // newer reports whether a beats b under last-writer-wins with a
@@ -61,6 +70,16 @@ type Node struct {
 
 	mu    sync.Mutex
 	items map[string]Item
+
+	// clock is the node's hybrid logical clock: merged with every
+	// stamped write, the source of stamps for legacy unstamped writes,
+	// forwarded past the WAL high-water mark at recovery.
+	clock *hlc.Clock
+	// appliedHLC is the max HLC stamp over every item this node has
+	// applied (packed hlc.Timestamp). It is the watermark gossiped in
+	// data and digest replies: "everything I hold is at least this
+	// fresh". Atomic so replies read it without taking mu.
+	appliedHLC atomic.Uint64
 
 	eng      *storage.Engine
 	recovery storage.RecoveryInfo
@@ -91,6 +110,7 @@ type Node struct {
 	accepted int64 // writes applied (local or via sync)
 	synced   int64 // items pulled by anti-entropy
 
+	mWatermark     *telemetry.Gauge
 	mSyncRounds    *telemetry.Counter
 	mSyncPulled    *telemetry.Counter
 	mWrites        *telemetry.Counter
@@ -120,6 +140,14 @@ type Config struct {
 	// group is installed (psmap); empty or unmapped, the node behaves
 	// like the classic unsharded store.
 	Group string
+	// WallClock injects the physical-clock source behind the node's
+	// hybrid logical clock (nil = time.Now). The chaos fabric uses it
+	// to skew individual nodes deterministically.
+	WallClock func() time.Time
+	// MaxClockOffset is the HLC skew tolerance (zero =
+	// hlc.DefaultMaxOffset): remote stamps further ahead of this
+	// node's physical clock are clamped when merged.
+	MaxClockOffset time.Duration
 }
 
 // NewNode constructs a store node. If cfg.Dir is set, previous WAL
@@ -148,6 +176,8 @@ func NewNode(cfg Config) (*Node, error) {
 		transferSem: make(chan struct{}, 2),
 	}
 	tel := n.Telemetry()
+	n.clock = hlc.New(cfg.WallClock, cfg.MaxClockOffset, tel)
+	n.mWatermark = tel.Gauge(MetricHLCWatermark)
 	n.mSyncRounds = tel.Counter(MetricSyncRounds)
 	n.mSyncPulled = tel.Counter(MetricSyncPulled)
 	n.mWrites = tel.Counter(MetricWritesApplied)
@@ -178,12 +208,22 @@ func NewNode(cfg Config) (*Node, error) {
 		n.eng = eng
 		n.recovery = info
 		// Replay through the same last-writer-wins merge normal writes
-		// use, so recovery is insensitive to log order.
+		// use, so recovery is insensitive to log order. The max HLC
+		// stamp over the replayed records is the clock high-water mark:
+		// forwarding past it keeps timestamps monotonic across the
+		// restart even when the machine clock went backwards while the
+		// process was down.
+		var mark hlc.Timestamp
 		n.mu.Lock()
 		for _, rec := range recovered {
-			n.applyMemLocked(Item{Path: rec.Path, Value: rec.Value, Version: rec.Version, Deleted: rec.Deleted})
+			ts := hlc.Timestamp(rec.HLC)
+			if ts > mark {
+				mark = ts
+			}
+			n.applyMemLocked(Item{Path: rec.Path, Value: rec.Value, Version: rec.Version, Deleted: rec.Deleted, HLC: ts})
 		}
 		n.mu.Unlock()
+		n.clock.Forward(mark)
 	}
 	n.install()
 	if cfg.SyncInterval > 0 {
@@ -259,7 +299,48 @@ func (n *Node) applyMemLocked(it Item) bool {
 	n.items[it.Path] = it
 	n.accepted++
 	n.mWrites.Inc()
+	if ts := uint64(it.HLC); ts > n.appliedHLC.Load() {
+		// Only this goroutine advances the watermark (mu is held), so
+		// load-then-store cannot regress it.
+		n.appliedHLC.Store(ts)
+		n.mWatermark.Set(int64(ts))
+	}
 	return true
+}
+
+// Watermark returns the node's max-applied HLC: the freshness bound
+// it advertises in data and digest replies.
+func (n *Node) Watermark() hlc.Timestamp { return hlc.Timestamp(n.appliedHLC.Load()) }
+
+// Clock returns the node's hybrid logical clock.
+func (n *Node) Clock() *hlc.Clock { return n.clock }
+
+// stamp resolves the HLC stamp for an incoming write: the client's
+// stamp from the frame header when present (merged into the node's
+// clock so causality propagates), or a fresh local reading for legacy
+// unstamped writers. Client stamps are used verbatim on the item so
+// every replica of the write stores the same stamp.
+func (n *Node) stamp(ctx *daemon.Ctx) hlc.Timestamp {
+	if ctx != nil && !ctx.HLC.IsZero() {
+		n.clock.Update(ctx.HLC)
+		return ctx.HLC
+	}
+	return n.clock.Now()
+}
+
+// watermarkArg is the reply argument carrying the node's max-applied
+// HLC ("hlc"), and itemHLCArg the per-item stamp on psfetch replies.
+const (
+	watermarkArg = "hlc"
+	itemHLCArg   = "item_hlc"
+)
+
+// stampReply attaches the node's applied watermark to an outgoing
+// reply. Every data-plane and digest reply carries it, which is what
+// lets clients maintain per-replica staleness estimates without any
+// dedicated gossip traffic.
+func (n *Node) stampReply(reply *cmdlang.CmdLine) *cmdlang.CmdLine {
+	return reply.SetInt(watermarkArg, int64(n.appliedHLC.Load()))
 }
 
 // applyDurable is the write path: install in memory, then block until
@@ -280,7 +361,7 @@ func (n *Node) applyDurable(it Item) (bool, error) {
 	if !applied || n.eng == nil {
 		return applied, nil
 	}
-	err := n.eng.Append(storage.Record{Path: it.Path, Value: it.Value, Version: it.Version, Deleted: it.Deleted})
+	err := n.eng.Append(storage.Record{Path: it.Path, Value: it.Value, Version: it.Version, Deleted: it.Deleted, HLC: uint64(it.HLC)})
 	if err != nil {
 		n.degraded.Store(true)
 		return false, fmt.Errorf("pstore: wal append: %w", err)
@@ -319,7 +400,7 @@ func (n *Node) applyAsync(ctx *daemon.Ctx, it Item, reply func(applied bool) *cm
 		// new to log.
 		return reply(false), nil
 	}
-	rec := storage.Record{Path: it.Path, Value: it.Value, Version: it.Version, Deleted: it.Deleted}
+	rec := storage.Record{Path: it.Path, Value: it.Value, Version: it.Version, Deleted: it.Deleted, HLC: uint64(it.HLC)}
 	finish, ok := ctx.Detach()
 	if !ok {
 		// Local/nested dispatch: pay the fsync on this goroutine.
@@ -367,7 +448,7 @@ func (n *Node) snapshotRecords() []storage.Record {
 	defer n.mu.Unlock()
 	recs := make([]storage.Record, 0, len(n.items))
 	for _, it := range n.items {
-		recs = append(recs, storage.Record{Path: it.Path, Value: it.Value, Version: it.Version, Deleted: it.Deleted})
+		recs = append(recs, storage.Record{Path: it.Path, Value: it.Value, Version: it.Version, Deleted: it.Deleted, HLC: uint64(it.HLC)})
 	}
 	return recs
 }
@@ -511,11 +592,17 @@ func (n *Node) syncFrom(ctx context.Context, peerAddr string, partition, partiti
 		if verErr != nil {
 			return abort(fmt.Errorf("pstore: sync with %s: %w", peerAddr, verErr))
 		}
+		var its hlc.Timestamp
+		if v := itemReply.Int(itemHLCArg, 0); v > 0 {
+			its = hlc.Timestamp(v)
+			n.clock.Update(its)
+		}
 		batch = append(batch, Item{
 			Path:    p,
 			Value:   val,
 			Version: ver,
 			Deleted: itemReply.Bool("deleted", false),
+			HLC:     its,
 		})
 		if len(batch) >= syncBatch {
 			if ferr := flush(); ferr != nil {
@@ -544,7 +631,7 @@ func (n *Node) applyDurableBatch(items []Item) (int, error) {
 	for _, it := range items {
 		if n.applyMemLocked(it) {
 			applied++
-			recs = append(recs, storage.Record{Path: it.Path, Value: it.Value, Version: it.Version, Deleted: it.Deleted})
+			recs = append(recs, storage.Record{Path: it.Path, Value: it.Value, Version: it.Version, Deleted: it.Deleted, HLC: uint64(it.HLC)})
 		}
 	}
 	n.mu.Unlock()
@@ -680,11 +767,12 @@ func (n *Node) install() {
 			Path:    path,
 			Value:   val,
 			Version: uint64(version),
+			HLC:     n.stamp(ctx),
 		}
 		// The disk refusing durability answers busy (retryable, not a
 		// definitive failure) so the quorum counts someone else.
 		return n.applyAsync(ctx, it, func(applied bool) *cmdlang.CmdLine {
-			return cmdlang.OK().SetBool("applied", applied).SetInt("version", int64(it.Version))
+			return n.stampReply(cmdlang.OK().SetBool("applied", applied).SetInt("version", int64(it.Version)))
 		})
 	})
 
@@ -701,11 +789,13 @@ func (n *Node) install() {
 		}
 		it, ok := n.get(path)
 		if !ok {
-			return cmdlang.Fail(cmdlang.CodeNotFound, "no object at path"), nil
+			// Stamped even on a miss: "this path did not exist as of my
+			// watermark" is itself a bounded-staleness answer.
+			return n.stampReply(cmdlang.Fail(cmdlang.CodeNotFound, "no object at path")), nil
 		}
-		return cmdlang.OK().
+		return n.stampReply(cmdlang.OK().
 			SetString("value", encodeValue(it.Value)).
-			SetInt("version", int64(it.Version)), nil
+			SetInt("version", int64(it.Version))), nil
 	})
 
 	n.Handle(cmdlang.CommandSpec{
@@ -729,9 +819,10 @@ func (n *Node) install() {
 			Path:    path,
 			Version: uint64(version),
 			Deleted: true,
+			HLC:     n.stamp(ctx),
 		}
 		return n.applyAsync(ctx, it, func(applied bool) *cmdlang.CmdLine {
-			return cmdlang.OK().SetBool("applied", applied)
+			return n.stampReply(cmdlang.OK().SetBool("applied", applied))
 		})
 	})
 
@@ -791,9 +882,9 @@ func (n *Node) install() {
 		for i, p := range paths {
 			versions[i] = int64(digest[p])
 		}
-		return cmdlang.OK().
+		return n.stampReply(cmdlang.OK().
 			Set("paths", cmdlang.StringVector(paths...)).
-			Set("versions", cmdlang.IntVector(versions...)), nil
+			Set("versions", cmdlang.IntVector(versions...))), nil
 	})
 
 	n.Handle(cmdlang.CommandSpec{
@@ -818,12 +909,13 @@ func (n *Node) install() {
 		it, ok := n.items[path]
 		n.mu.Unlock()
 		if !ok {
-			return cmdlang.Fail(cmdlang.CodeNotFound, "no item"), nil
+			return n.stampReply(cmdlang.Fail(cmdlang.CodeNotFound, "no item")), nil
 		}
-		return cmdlang.OK().
+		return n.stampReply(cmdlang.OK().
 			SetString("value", encodeValue(it.Value)).
 			SetInt("version", int64(it.Version)).
-			SetBool("deleted", it.Deleted), nil
+			SetInt(itemHLCArg, int64(it.HLC)).
+			SetBool("deleted", it.Deleted)), nil
 	})
 
 	n.Handle(cmdlang.CommandSpec{

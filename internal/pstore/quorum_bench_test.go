@@ -15,6 +15,7 @@ package pstore
 // this so tier-1 runs stay fast and deterministic.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -89,6 +90,26 @@ func runQuorumOps(t testing.TB, client *Client) (getNs, putNs float64) {
 	return getNs, putNs
 }
 
+// runBoundedGets measures the bounded-staleness read path. The
+// preceding quorum traffic warmed the staleness tracker, so on a
+// healthy cluster every read should take the single-replica route.
+func runBoundedGets(t testing.TB, client *Client) float64 {
+	ctx := context.Background()
+	mode := ReadBounded(2 * time.Second)
+	if _, _, ok, err := client.GetModeContext(ctx, "/bench/q", mode); err != nil || !ok {
+		t.Fatalf("bounded warmup: ok=%v err=%v", ok, err)
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, ok, err := client.GetModeContext(ctx, "/bench/q", mode); err != nil || !ok {
+				b.Fatalf("bounded get: ok=%v err=%v", ok, err)
+			}
+		}
+	})
+	return float64(res.T.Nanoseconds()) / float64(res.N)
+}
+
 // runConcurrentPuts measures put latency under writer concurrency —
 // the shape group commit is built for: many writers share each fsync,
 // so per-op cost approaches the in-memory quorum write.
@@ -117,10 +138,12 @@ func runConcurrentPuts(t testing.TB, client *Client) float64 {
 
 // quorumBenchReport is one measured scenario in BENCH_pstore.json.
 type quorumBenchReport struct {
-	Scenario       string  `json:"scenario"`
-	NsPerOpGet     float64 `json:"ns_per_op_get"`
-	NsPerOpPut     float64 `json:"ns_per_op_put"`
-	NsPerOpPutConc float64 `json:"ns_per_op_put_concurrent,omitempty"`
+	Scenario        string  `json:"scenario"`
+	NsPerOpGet      float64 `json:"ns_per_op_get"`
+	NsPerOpPut      float64 `json:"ns_per_op_put"`
+	NsPerOpPutConc  float64 `json:"ns_per_op_put_concurrent,omitempty"`
+	NsPerOpGetBound float64 `json:"ns_per_op_get_bounded,omitempty"`
+	StaleViolations int64   `json:"staleness_violations,omitempty"`
 }
 
 // TestBenchPstoreQuorum is the gate behind `make bench-pstore`. It is
@@ -169,6 +192,23 @@ func TestBenchPstoreQuorum(t *testing.T) {
 		t.Logf("%-16s get %12.0f ns/op   put %12.0f ns/op", sc.name, getNs, putNs)
 		rep := quorumBenchReport{Scenario: sc.name, NsPerOpGet: getNs, NsPerOpPut: putNs}
 		if sc.name == "healthy" {
+			// Bounded-staleness read spectrum: with the tracker warmed
+			// by the quorum traffic above, a bounded GET is one replica
+			// RTT instead of a three-way fan-out. The gate demands at
+			// least the 2x the tentpole claims, with the zero-violation
+			// guarantee intact (every violation is a bounded reply that
+			// was discarded — on a healthy cluster there must be none).
+			boundedNs := runBoundedGets(t, client)
+			rep.NsPerOpGetBound = boundedNs
+			violations, _ := func() (int64, int64) { _, ctl := client.Staleness(); return ctl.Counters() }()
+			rep.StaleViolations = violations
+			t.Logf("%-16s get-bounded %12.0f ns/op (%.2fx quorum)", sc.name, boundedNs, boundedNs/getNs)
+			if boundedNs > 0.5*getNs {
+				t.Errorf("healthy: bounded Get %.0f ns/op is not under 0.5x quorum Get (%.0f ns/op) — the single-replica path is not engaging", boundedNs, getNs)
+			}
+			if violations != 0 {
+				t.Errorf("healthy: %d staleness-bound violations — the bound was disproven on a healthy cluster", violations)
+			}
 			// Concurrent in-memory baseline for the durable gate below.
 			memPutConc = runConcurrentPuts(t, client)
 			rep.NsPerOpPutConc = memPutConc

@@ -1,0 +1,202 @@
+package pstore
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"ace/internal/cmdlang"
+	"ace/internal/hlc"
+	"ace/internal/pstore/staleness"
+)
+
+// ReadMode selects a point on the store's consistency spectrum. The
+// zero value is a quorum read — today's default, unchanged semantics.
+//
+//   - ReadQuorum: query all replicas, decide at a majority, return
+//     the highest version. Linearizable with respect to committed
+//     quorum writes.
+//   - ReadBounded(Δ): serve from a single replica when its estimated
+//     staleness is provably under Δ, falling back to a quorum read
+//     whenever the bound cannot be proven — never serving data staler
+//     than Δ. The cheap path for directory resolves, placement
+//     lookups, and sensor/room state that tolerate bounded lag.
+//   - ReadAny: first reachable replica, best effort, no bound. May
+//     return stale data during synchronization windows.
+type ReadMode struct {
+	kind  readKind
+	bound time.Duration
+}
+
+type readKind int
+
+const (
+	readQuorum readKind = iota
+	readBounded
+	readAny
+)
+
+// ReadQuorum returns the majority-quorum read mode (the default).
+func ReadQuorum() ReadMode { return ReadMode{kind: readQuorum} }
+
+// ReadBounded returns the bounded-staleness read mode: one-replica
+// reads whose staleness is provably at most bound, quorum fallback
+// otherwise.
+func ReadBounded(bound time.Duration) ReadMode {
+	return ReadMode{kind: readBounded, bound: bound}
+}
+
+// ReadAny returns the best-effort single-replica read mode.
+func ReadAny() ReadMode { return ReadMode{kind: readAny} }
+
+// Bound returns the staleness bound (zero unless bounded).
+func (m ReadMode) Bound() time.Duration { return m.bound }
+
+func (m ReadMode) String() string {
+	switch m.kind {
+	case readBounded:
+		return fmt.Sprintf("bounded(%v)", m.bound)
+	case readAny:
+		return "any"
+	default:
+		return "quorum"
+	}
+}
+
+// GetModeContext reads path under the given consistency mode. The
+// quorum mode is exactly GetContext; the other modes trade freshness
+// guarantees for single-replica latency.
+func (c *Client) GetModeContext(ctx context.Context, path string, mode ReadMode) (value []byte, version uint64, ok bool, err error) {
+	switch mode.kind {
+	case readBounded:
+		return c.boundedGet(ctx, path, mode.bound)
+	case readAny:
+		return c.anyGet(ctx, path)
+	default:
+		return c.GetContext(ctx, path)
+	}
+}
+
+// GetBoundedContext is GetModeContext under ReadBounded(bound) — a
+// convenience for callers that keep a store-shaped interface
+// dependency (like the ASD's resolve path) without importing the
+// ReadMode type.
+func (c *Client) GetBoundedContext(ctx context.Context, path string, bound time.Duration) ([]byte, uint64, bool, error) {
+	return c.boundedGet(ctx, path, bound)
+}
+
+// Staleness returns the client's staleness machinery: the lag
+// tracker feeding bounded-read eligibility and the AIMD controller
+// gating the bounded path. Shared by all group clients of a sharded
+// deployment; exposed for inspection (stats, tests).
+func (c *Client) Staleness() (*staleness.Tracker, *staleness.Controller) { return c.lag, c.ctl }
+
+// Clock returns the client's hybrid logical clock.
+func (c *Client) Clock() *hlc.Clock { return c.clock }
+
+// boundedGet is the Bounded(Δ) read path. The staleness proof has two
+// gates, and a replica must pass both:
+//
+//  1. Eligibility: the tracker's conservative lag estimate for some
+//     replica — worst watermark lag in the window, plus the age of
+//     its newest sample, plus the clock skew tolerance — is within
+//     the bound. No such replica, no fresh samples, or the AIMD
+//     controller withholding its share all mean quorum fallback
+//     before any wire traffic is spent.
+//  2. Post-reply proof: the chosen replica's reply carries its
+//     current applied watermark. If the write frontier minus that
+//     watermark (plus the skew margin) exceeds the bound, the reply
+//     is discarded — counted as a violation, never served — and the
+//     read re-runs as a quorum. This second gate is what makes the
+//     zero-violation guarantee hold even when the estimator is
+//     arbitrarily wrong.
+//
+// Misses, redirects, transport errors, and unstamped (pre-HLC)
+// replies all take the quorum fallback too: the bound is only ever
+// claimed when it is proven.
+func (c *Client) boundedGet(ctx context.Context, path string, bound time.Duration) (value []byte, version uint64, ok bool, err error) {
+	start := time.Now()
+	fallback := func() ([]byte, uint64, bool, error) {
+		c.mBoundedFallbacks.Inc()
+		c.mStaleShare.Set(int64(c.ctl.Share() * 1000))
+		return c.GetContext(ctx, path)
+	}
+	margin := c.clock.MaxOffset()
+	if bound <= margin || !c.ctl.Allow() {
+		// A bound inside the skew tolerance can never be proven.
+		return fallback()
+	}
+	addr, eligible := c.lag.Best(c.replicas, bound-margin)
+	if !eligible {
+		return fallback()
+	}
+	reply, callErr := c.pool.CallContext(ctx, addr, c.stamp(cmdlang.New("psget").SetString("path", path)))
+	if callErr != nil {
+		// A not-found fail reply loses its watermark crossing the
+		// error path, so a bounded miss cannot be proven — it pays the
+		// quorum. Real errors and redirects additionally narrow the
+		// controller.
+		if !cmdlang.IsRemoteCode(callErr, cmdlang.CodeNotFound) {
+			c.ctl.Redirect()
+		}
+		return fallback()
+	}
+	c.observe(addr, reply)
+	wm := reply.Int(watermarkArg, 0)
+	if wm <= 0 {
+		return fallback() // pre-HLC replica: no proof possible
+	}
+	if lag := c.lag.Frontier().Sub(hlc.Timestamp(wm)); lag+margin > bound {
+		// The eligibility screen was wrong: the replica's own watermark
+		// disproves the bound. Discard the reply — it is never served.
+		c.mStaleViolations.Inc()
+		c.ctl.Violation()
+		return fallback()
+	}
+	val, decErr := decodeValue(reply.Str("value", ""))
+	if decErr != nil {
+		c.ctl.Redirect()
+		return fallback()
+	}
+	ver, verErr := replyVersion(reply, addr)
+	if verErr != nil {
+		c.ctl.Redirect()
+		return fallback()
+	}
+	c.ctl.Success()
+	c.mBoundedHits.Inc()
+	c.mBoundedLatency.Observe(time.Since(start))
+	c.mStaleShare.Set(int64(c.ctl.Share() * 1000))
+	return val, ver, true, nil
+}
+
+// anyGet is the context-aware single-replica walk behind GetAny and
+// ReadAny: first reachable replica wins, a not-found answer from any
+// replica is final, watermarks are folded into the staleness
+// estimates along the way.
+func (c *Client) anyGet(ctx context.Context, path string) (value []byte, version uint64, ok bool, err error) {
+	var lastErr error
+	for _, addr := range c.replicas {
+		reply, callErr := c.pool.CallContext(ctx, addr, c.stamp(cmdlang.New("psget").SetString("path", path)))
+		if callErr == nil {
+			c.observe(addr, reply)
+			val, decErr := decodeValue(reply.Str("value", ""))
+			if decErr != nil {
+				// Corrupt replica: try the next one.
+				lastErr = fmt.Errorf("pstore: replica %s: %w", addr, decErr)
+				continue
+			}
+			ver, verErr := replyVersion(reply, addr)
+			if verErr != nil {
+				lastErr = verErr
+				continue
+			}
+			return val, ver, true, nil
+		}
+		if cmdlang.IsRemoteCode(callErr, cmdlang.CodeNotFound) {
+			return nil, 0, false, nil
+		}
+		lastErr = callErr
+	}
+	return nil, 0, false, fmt.Errorf("pstore: no replica reachable: %w", lastErr)
+}

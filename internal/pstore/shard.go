@@ -5,9 +5,12 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"ace/internal/daemon"
+	"ace/internal/hlc"
 	"ace/internal/pstore/placement"
+	"ace/internal/pstore/staleness"
 	"ace/internal/telemetry"
 )
 
@@ -41,6 +44,14 @@ type Sharded struct {
 	clients map[string]*Client
 	retired []*Client
 
+	// One clock, lag tracker, and AIMD controller span every group
+	// client the router ever builds: staleness evidence gathered under
+	// one placement epoch keeps protecting reads after a rebalance, and
+	// the write frontier stays global rather than per-group.
+	clock *hlc.Clock
+	lag   *staleness.Tracker
+	ctl   *staleness.Controller
+
 	mRedirects  *telemetry.Counter
 	mDualWrites *telemetry.Counter
 }
@@ -53,6 +64,9 @@ func NewSharded(pool *daemon.Pool, cache *placement.Cache) *Sharded {
 		pool:        pool,
 		cache:       cache,
 		clients:     make(map[string]*Client),
+		clock:       hlc.New(nil, 0, tel),
+		lag:         staleness.NewTracker(0, nil),
+		ctl:         staleness.NewController(staleness.ControllerConfig{}),
 		mRedirects:  tel.Counter(placement.MetricRedirects),
 		mDualWrites: tel.Counter(placement.MetricDualWrites),
 	}
@@ -92,6 +106,8 @@ func (s *Sharded) client(m *placement.Map, gi int) *Client {
 	cl, ok := s.clients[g.Name]
 	if !ok {
 		cl = NewGroupClient(s.pool, g.Replicas, m.Epoch)
+		// Share the router-wide staleness machinery (see the field doc).
+		cl.clock, cl.lag, cl.ctl = s.clock, s.lag, s.ctl
 		s.clients[g.Name] = cl
 	}
 	return cl
@@ -148,6 +164,32 @@ func (s *Sharded) GetContext(ctx context.Context, path string) (value []byte, ve
 func (s *Sharded) Get(path string) ([]byte, uint64, bool, error) {
 	return s.GetContext(context.Background(), path)
 }
+
+// GetModeContext reads path from its owning group under the given
+// consistency mode (see ReadMode). Bounded and any reads still route
+// by the placement map — only the intra-group read policy changes —
+// and a wrong_group redirect re-routes exactly like a quorum read.
+func (s *Sharded) GetModeContext(ctx context.Context, path string, mode ReadMode) (value []byte, version uint64, ok bool, err error) {
+	err = s.retry(func() error {
+		_, owner, _, rerr := s.route(ctx, path)
+		if rerr != nil {
+			return rerr
+		}
+		value, version, ok, rerr = owner.GetModeContext(ctx, path, mode)
+		return rerr
+	})
+	return value, version, ok, err
+}
+
+// GetBoundedContext is GetModeContext under ReadBounded(bound) (see
+// Client.GetBoundedContext).
+func (s *Sharded) GetBoundedContext(ctx context.Context, path string, bound time.Duration) ([]byte, uint64, bool, error) {
+	return s.GetModeContext(ctx, path, ReadBounded(bound))
+}
+
+// Staleness returns the router-wide staleness machinery shared by
+// every group client (for stats and tests).
+func (s *Sharded) Staleness() (*staleness.Tracker, *staleness.Controller) { return s.lag, s.ctl }
 
 // PutContext quorum-writes value at path. If the partition is moving,
 // the write dual-applies: the version is probed on the source group

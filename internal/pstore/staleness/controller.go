@@ -1,0 +1,150 @@
+package staleness
+
+import (
+	"sync"
+	"time"
+)
+
+// ControllerConfig tunes a Controller. Zero fields take the defaults
+// noted on each field.
+type ControllerConfig struct {
+	// Initial seeds the bounded-read share in (0,1] (default 1.0:
+	// start trusting, narrow on evidence).
+	Initial float64
+	// Min floors the share (default 1/64): the controller never stops
+	// probing entirely, or it could not discover recovery.
+	Min float64
+	// Increase is the additive step per successful bounded read
+	// (default 1/32 — reusing the "about one step per round of
+	// successes" shape of internal/flow's AIMD limiter).
+	Increase float64
+	// ViolationFactor is the multiplicative cut when a bounded read's
+	// bound was disproven post-reply (default 0.25 — violations are
+	// the signal the estimator is being fooled, so back off hard).
+	ViolationFactor float64
+	// RedirectFactor is the multiplicative cut when a bounded read hit
+	// a placement redirect or transport failure (default 0.5).
+	RedirectFactor float64
+	// Cooldown spaces multiplicative cuts: one bad burst costs one
+	// backoff, not one per in-flight read (default 100ms).
+	Cooldown time.Duration
+	// Now injects the time source for cooldown spacing (nil =
+	// time.Now).
+	Now func() time.Time
+}
+
+func (c ControllerConfig) withDefaults() ControllerConfig {
+	if c.Initial <= 0 || c.Initial > 1 {
+		c.Initial = 1
+	}
+	if c.Min <= 0 || c.Min > 1 {
+		c.Min = 1.0 / 64
+	}
+	if c.Increase <= 0 {
+		c.Increase = 1.0 / 32
+	}
+	if c.ViolationFactor <= 0 || c.ViolationFactor >= 1 {
+		c.ViolationFactor = 0.25
+	}
+	if c.RedirectFactor <= 0 || c.RedirectFactor >= 1 {
+		c.RedirectFactor = 0.5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 100 * time.Millisecond
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Controller is the AIMD widen-back-to-quorum valve for bounded
+// reads: it maintains a share in [Min,1] of eligible reads that may
+// actually leave the quorum path. While bounded reads keep proving
+// their bounds the share creeps up additively; a staleness violation
+// or a spike of redirects cuts it multiplicatively, so a sick
+// estimator (or a rebalancing cluster) sends traffic back to the
+// quorum path long before it can do damage. Admission is a
+// deterministic token accumulator — share 0.25 admits exactly every
+// fourth eligible read — so chaos tests reproduce run-to-run.
+type Controller struct {
+	cfg ControllerConfig
+
+	mu         sync.Mutex
+	share      float64
+	acc        float64
+	lastCut    time.Time
+	violations int64
+	cuts       int64
+}
+
+// NewController builds a Controller from cfg.
+func NewController(cfg ControllerConfig) *Controller {
+	cfg = cfg.withDefaults()
+	return &Controller{cfg: cfg, share: cfg.Initial}
+}
+
+// Allow reports whether the next eligible read may go bounded.
+func (c *Controller) Allow() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.acc += c.share
+	if c.acc >= 1 {
+		c.acc--
+		return true
+	}
+	return false
+}
+
+// Success records a bounded read whose bound held: additive increase.
+func (c *Controller) Success() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.share += c.cfg.Increase
+	if c.share > 1 {
+		c.share = 1
+	}
+}
+
+// Violation records a disproven bound: hard multiplicative cut.
+func (c *Controller) Violation() {
+	c.cut(c.cfg.ViolationFactor, true)
+}
+
+// Redirect records a placement redirect or transport failure on the
+// bounded path: multiplicative cut (softer than a violation).
+func (c *Controller) Redirect() {
+	c.cut(c.cfg.RedirectFactor, false)
+}
+
+func (c *Controller) cut(factor float64, violation bool) {
+	now := c.cfg.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if violation {
+		c.violations++
+	}
+	if now.Sub(c.lastCut) < c.cfg.Cooldown {
+		return
+	}
+	c.share *= factor
+	if c.share < c.cfg.Min {
+		c.share = c.cfg.Min
+	}
+	c.lastCut = now
+	c.cuts++
+}
+
+// Share returns the current bounded-read share.
+func (c *Controller) Share() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.share
+}
+
+// Counters returns lifetime violation and multiplicative-cut counts.
+func (c *Controller) Counters() (violations, cuts int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.violations, c.cuts
+}

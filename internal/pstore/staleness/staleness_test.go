@@ -1,0 +1,203 @@
+package staleness
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"ace/internal/hlc"
+)
+
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (f *fakeClock) now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+func ts(ms int64) hlc.Timestamp { return hlc.Make(ms, 0) }
+
+func TestTrackerIdleClusterHasZeroLag(t *testing.T) {
+	fc := &fakeClock{t: time.UnixMilli(0)}
+	tr := NewTracker(time.Second, fc.now)
+	// Nothing written anywhere: a replica advertising watermark zero
+	// is perfectly fresh — lag is measured against the frontier, not
+	// the wall clock.
+	tr.ObserveApplied("a", 0)
+	lag, ok := tr.Lag("a")
+	if !ok || lag != 0 {
+		t.Fatalf("idle lag = %v ok=%v, want 0 true", lag, ok)
+	}
+	if addr, ok := tr.Best([]string{"a"}, 0); !ok || addr != "a" {
+		t.Fatalf("Best = %q %v", addr, ok)
+	}
+}
+
+func TestTrackerLagAgainstFrontier(t *testing.T) {
+	fc := &fakeClock{t: time.UnixMilli(0)}
+	tr := NewTracker(time.Minute, fc.now)
+	tr.ObserveWrite(ts(1000)) // our write is the frontier
+	tr.ObserveApplied("fresh", ts(1000))
+	tr.ObserveApplied("behind", ts(400))
+	if lag, ok := tr.Lag("fresh"); !ok || lag != 0 {
+		t.Fatalf("fresh lag = %v ok=%v", lag, ok)
+	}
+	if lag, ok := tr.Lag("behind"); !ok || lag != 600*time.Millisecond {
+		t.Fatalf("behind lag = %v ok=%v, want 600ms", lag, ok)
+	}
+	// Best picks the freshest eligible replica under the bound.
+	if addr, ok := tr.Best([]string{"behind", "fresh"}, 100*time.Millisecond); !ok || addr != "fresh" {
+		t.Fatalf("Best = %q %v", addr, ok)
+	}
+	if _, ok := tr.Best([]string{"behind"}, 100*time.Millisecond); ok {
+		t.Fatal("behind replica passed a 100ms bound")
+	}
+	if addr, ok := tr.Best([]string{"behind"}, time.Second); !ok || addr != "behind" {
+		t.Fatalf("behind should pass a 1s bound: %q %v", addr, ok)
+	}
+}
+
+func TestTrackerSampleAgePenaltyAndExpiry(t *testing.T) {
+	fc := &fakeClock{t: time.UnixMilli(0)}
+	tr := NewTracker(time.Second, fc.now)
+	tr.ObserveWrite(ts(1000))
+	tr.ObserveApplied("a", ts(1000))
+	fc.advance(300 * time.Millisecond)
+	// The sample is 300ms old: the replica may have fallen that far
+	// behind since, so the estimate charges the age.
+	if lag, ok := tr.Lag("a"); !ok || lag != 300*time.Millisecond {
+		t.Fatalf("aged lag = %v ok=%v, want 300ms", lag, ok)
+	}
+	fc.advance(800 * time.Millisecond) // now past the 1s window
+	if _, ok := tr.Lag("a"); ok {
+		t.Fatal("expired sample still eligible")
+	}
+	if _, ok := tr.Best([]string{"a"}, time.Hour); ok {
+		t.Fatal("Best served an expired sample")
+	}
+}
+
+func TestTrackerWorstLagInWindowSticks(t *testing.T) {
+	fc := &fakeClock{t: time.UnixMilli(0)}
+	tr := NewTracker(10*time.Second, fc.now)
+	tr.ObserveWrite(ts(2000))
+	tr.ObserveApplied("a", ts(500)) // 1500ms behind
+	fc.advance(100 * time.Millisecond)
+	tr.ObserveApplied("a", ts(2000)) // caught up
+	// The conservative estimate keeps the worst lag seen in the
+	// window: a replica that oscillates is judged by its bad moments.
+	if lag, ok := tr.Lag("a"); !ok || lag < 1500*time.Millisecond {
+		t.Fatalf("worst-in-window lag = %v ok=%v, want >= 1.5s", lag, ok)
+	}
+}
+
+func TestTrackerUnknownReplica(t *testing.T) {
+	tr := NewTracker(0, nil)
+	if _, ok := tr.Lag("never-seen"); ok {
+		t.Fatal("unknown replica reported a lag")
+	}
+	if _, ok := tr.Best([]string{"never-seen"}, time.Hour); ok {
+		t.Fatal("unknown replica eligible")
+	}
+}
+
+func TestControllerAIMD(t *testing.T) {
+	fc := &fakeClock{t: time.UnixMilli(0)}
+	c := NewController(ControllerConfig{Cooldown: time.Millisecond, Now: fc.now})
+	if c.Share() != 1 {
+		t.Fatalf("initial share = %v", c.Share())
+	}
+	// Full share admits everything.
+	for i := 0; i < 10; i++ {
+		if !c.Allow() {
+			t.Fatal("full share denied a read")
+		}
+	}
+	// A violation cuts hard.
+	c.Violation()
+	if s := c.Share(); s != 0.25 {
+		t.Fatalf("post-violation share = %v, want 0.25", s)
+	}
+	// Deterministic token accumulation: share 0.25 admits exactly one
+	// in four.
+	admitted := 0
+	for i := 0; i < 40; i++ {
+		if c.Allow() {
+			admitted++
+		}
+	}
+	if admitted != 10 {
+		t.Fatalf("share 0.25 admitted %d/40, want 10", admitted)
+	}
+	// Cooldown coalesces a burst of cuts into one.
+	c2 := NewController(ControllerConfig{Cooldown: time.Hour, Now: fc.now})
+	c2.Violation()
+	c2.Violation()
+	c2.Redirect()
+	if s := c2.Share(); s != 0.25 {
+		t.Fatalf("burst share = %v, want one cut (0.25)", s)
+	}
+	if v, cuts := c2.Counters(); v != 2 || cuts != 1 {
+		t.Fatalf("counters = %d violations %d cuts", v, cuts)
+	}
+	// Successes widen additively back toward 1.
+	for i := 0; i < 64; i++ {
+		c.Success()
+	}
+	if s := c.Share(); s != 1 {
+		t.Fatalf("recovered share = %v, want 1", s)
+	}
+	// The floor keeps probing alive.
+	fl := NewController(ControllerConfig{Cooldown: time.Nanosecond, Now: fc.now})
+	for i := 0; i < 100; i++ {
+		fc.advance(time.Millisecond)
+		fl.Violation()
+	}
+	if s := fl.Share(); s < 1.0/64-1e-9 || s > 1.0/16 {
+		t.Fatalf("floored share = %v", s)
+	}
+	saw := false
+	for i := 0; i < 200; i++ {
+		if fl.Allow() {
+			saw = true
+		}
+	}
+	if !saw {
+		t.Fatal("floored controller never probes")
+	}
+}
+
+func TestTrackerConcurrency(t *testing.T) {
+	tr := NewTracker(time.Second, nil)
+	c := NewController(ControllerConfig{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			addr := []string{"a", "b", "c"}[g%3]
+			for i := 0; i < 500; i++ {
+				tr.ObserveWrite(ts(int64(i)))
+				tr.ObserveApplied(addr, ts(int64(i)))
+				tr.Lag(addr)
+				tr.Best([]string{"a", "b", "c"}, time.Second)
+				if c.Allow() {
+					c.Success()
+				} else {
+					c.Redirect()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

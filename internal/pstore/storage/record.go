@@ -17,6 +17,11 @@ type Record struct {
 	Value   []byte
 	Version uint64
 	Deleted bool
+	// HLC is the packed hybrid-logical-clock timestamp the write was
+	// stamped with (zero for unstamped legacy records). Recovery folds
+	// the maximum over all replayed records into the node's clock so
+	// timestamps stay monotonic across crash and restart.
+	HLC uint64
 }
 
 // Framing: every record on disk is
@@ -25,15 +30,20 @@ type Record struct {
 //
 // with the payload encoding
 //
-//	[u8 flags][u64 version][u32 pathLen][path][u32 valueLen][value]
+//	[u8 flags][u64 version][u32 pathLen][path][u32 valueLen][value][u64 hlc]?
 //
-// all big-endian. The CRC covers only the payload; a record whose
+// all big-endian. The trailing hlc column is present exactly when
+// flagHLC is set, so logs written before hybrid logical clocks
+// existed (and unstamped records since) decode unchanged, and old
+// readers reject stamped records as corrupt rather than silently
+// misparsing them. The CRC covers only the payload; a record whose
 // stored CRC disagrees with its payload is either a torn final write
 // (crash artifact) or corruption, and recovery tells the two apart by
 // position (see replaySegment).
 const (
 	frameHeaderSize = 8
 	flagDeleted     = 1 << 0
+	flagHLC         = 1 << 1
 
 	// maxRecordSize bounds a single record's payload. A length prefix
 	// beyond it cannot be trusted (corruption), so replay stops
@@ -55,6 +65,9 @@ var (
 // encodeRecord appends r's framed encoding to buf and returns it.
 func encodeRecord(buf []byte, r Record) []byte {
 	payloadLen := 1 + 8 + 4 + len(r.Path) + 4 + len(r.Value)
+	if r.HLC != 0 {
+		payloadLen += 8
+	}
 	start := len(buf)
 	buf = append(buf, make([]byte, frameHeaderSize+payloadLen)...)
 	binary.BigEndian.PutUint32(buf[start:], uint32(payloadLen))
@@ -63,6 +76,9 @@ func encodeRecord(buf []byte, r Record) []byte {
 	if r.Deleted {
 		flags |= flagDeleted
 	}
+	if r.HLC != 0 {
+		flags |= flagHLC
+	}
 	p[0] = flags
 	binary.BigEndian.PutUint64(p[1:], r.Version)
 	binary.BigEndian.PutUint32(p[9:], uint32(len(r.Path)))
@@ -70,6 +86,9 @@ func encodeRecord(buf []byte, r Record) []byte {
 	off := 13 + len(r.Path)
 	binary.BigEndian.PutUint32(p[off:], uint32(len(r.Value)))
 	copy(p[off+4:], r.Value)
+	if r.HLC != 0 {
+		binary.BigEndian.PutUint64(p[off+4+len(r.Value):], r.HLC)
+	}
 	binary.BigEndian.PutUint32(buf[start+4:], crc32.Checksum(p, crcTable))
 	return buf
 }
@@ -88,18 +107,27 @@ func decodePayload(p []byte) (Record, error) {
 	path := string(p[13 : 13+pathLen])
 	off := 13 + pathLen
 	valueLen := int(binary.BigEndian.Uint32(p[off:]))
-	if valueLen < 0 || off+4+valueLen != len(p) {
+	tail := 0
+	if flags&flagHLC != 0 {
+		tail = 8
+	}
+	if valueLen < 0 || off+4+valueLen+tail != len(p) {
 		return Record{}, errCorruptRecord
 	}
 	var value []byte
 	if valueLen > 0 {
 		value = append([]byte(nil), p[off+4:off+4+valueLen]...)
 	}
+	var hlc uint64
+	if tail != 0 {
+		hlc = binary.BigEndian.Uint64(p[off+4+valueLen:])
+	}
 	return Record{
 		Path:    path,
 		Value:   value,
 		Version: version,
 		Deleted: flags&flagDeleted != 0,
+		HLC:     hlc,
 	}, nil
 }
 

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"ace/internal/cmdlang"
+	"ace/internal/hlc"
 	"ace/internal/telemetry"
 )
 
@@ -156,7 +157,7 @@ func (c *Client) readLoop() {
 			return
 		}
 		c.m().FrameRecv(len(payload))
-		_, text := SplitPayload(payload)
+		_, _, text := SplitPayload(payload)
 		cmd, err := cmdlang.Parse(string(text))
 		if err != nil {
 			c.fail(err)
@@ -269,7 +270,7 @@ func (c *Client) CallRawContext(ctx context.Context, cmd *cmdlang.CmdLine) (*cmd
 	c.mu.Unlock()
 
 	start := time.Now()
-	if err := c.write(ctx, EncodePayload(trace, cmd.String())); err != nil {
+	if err := c.write(ctx, EncodePayload(trace, hlc.FromContext(ctx), cmd.String())); err != nil {
 		c.mu.Lock()
 		delete(c.pending, seq)
 		c.mu.Unlock()
@@ -353,7 +354,7 @@ func (c *Client) SendContext(ctx context.Context, cmd *cmdlang.CmdLine) error {
 	if sc := telemetry.FromContext(ctx); sc.Valid() {
 		trace = sc.NewChild()
 	}
-	return c.write(ctx, EncodePayload(trace, cmd.String()))
+	return c.write(ctx, EncodePayload(trace, hlc.FromContext(ctx), cmd.String()))
 }
 
 // StartHeartbeat begins liveness probing: every interval the client

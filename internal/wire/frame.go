@@ -10,6 +10,7 @@ import (
 	"io"
 
 	"ace/internal/cmdlang"
+	"ace/internal/hlc"
 	"ace/internal/telemetry"
 )
 
@@ -55,60 +56,71 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 	return payload, nil
 }
 
-// Trace header. A frame payload optionally begins with a trace
-// header carrying the caller's span context:
+// Trace header. A frame payload optionally begins with a header
+// carrying the caller's span context and hybrid-logical-clock
+// timestamp:
 //
-//	[0x01][hdrlen:1][traceID:8][spanID:8][parent:8][command text]
+//	[0x01][hdrlen:1][traceID:8][spanID:8][parent:8][hlc:8][command text]
 //
 // The marker byte 0x01 can never begin a headerless payload, because
 // command text always starts with a word character ([A-Za-z_]) or
 // whitespace — so readers accept both forms and old peers that send
 // plain payloads keep round-tripping unchanged. hdrlen counts the
 // bytes between it and the command text; readers skip bytes beyond
-// the 24 they understand, giving future versions room to extend the
-// header without breaking this one. Headers are only emitted for
-// traced calls, so untraced traffic is byte-identical to the old
-// format in both directions.
+// the ones they understand, which is exactly how the 24-byte
+// trace-only header of earlier versions grew the 8-byte packed HLC
+// field (hlc.Timestamp: 48-bit wall milliseconds, 16-bit logical
+// counter) without breaking old peers — a 24-byte header still
+// decodes, with a zero (unstamped) timestamp. Headers are only
+// emitted for traced or HLC-stamped calls, so plain traffic is
+// byte-identical to the old format in both directions.
 const (
 	traceMagic     = 0x01
 	traceHeaderLen = 24
+	hlcHeaderLen   = traceHeaderLen + 8
 )
 
 // EncodePayload renders a frame payload: the command text, prefixed
-// with a trace header when sc is valid.
-func EncodePayload(sc telemetry.SpanContext, cmdText string) []byte {
-	if !sc.Valid() {
+// with a header when sc is valid or ts is a real timestamp.
+func EncodePayload(sc telemetry.SpanContext, ts hlc.Timestamp, cmdText string) []byte {
+	if !sc.Valid() && ts.IsZero() {
 		return []byte(cmdText)
 	}
-	buf := make([]byte, 2+traceHeaderLen+len(cmdText))
+	buf := make([]byte, 2+hlcHeaderLen+len(cmdText))
 	buf[0] = traceMagic
-	buf[1] = traceHeaderLen
+	buf[1] = hlcHeaderLen
 	binary.BigEndian.PutUint64(buf[2:], sc.TraceID)
 	binary.BigEndian.PutUint64(buf[10:], sc.SpanID)
 	binary.BigEndian.PutUint64(buf[18:], sc.Parent)
-	copy(buf[2+traceHeaderLen:], cmdText)
+	binary.BigEndian.PutUint64(buf[26:], uint64(ts))
+	copy(buf[2+hlcHeaderLen:], cmdText)
 	return buf
 }
 
 // SplitPayload separates a frame payload into its trace context (the
-// zero SpanContext when the payload carries no header) and the
-// command text. Payloads that merely look like they start a header
-// but are malformed are returned whole, so the command parser
-// reports them instead of this layer guessing.
-func SplitPayload(payload []byte) (telemetry.SpanContext, []byte) {
+// zero SpanContext when the payload carries no header), its HLC
+// timestamp (zero when absent, including headers from peers that
+// predate the HLC field), and the command text. Payloads that merely
+// look like they start a header but are malformed are returned whole,
+// so the command parser reports them instead of this layer guessing.
+func SplitPayload(payload []byte) (telemetry.SpanContext, hlc.Timestamp, []byte) {
 	if len(payload) < 2 || payload[0] != traceMagic {
-		return telemetry.SpanContext{}, payload
+		return telemetry.SpanContext{}, 0, payload
 	}
 	hlen := int(payload[1])
 	if hlen < traceHeaderLen || len(payload) < 2+hlen {
-		return telemetry.SpanContext{}, payload
+		return telemetry.SpanContext{}, 0, payload
 	}
 	sc := telemetry.SpanContext{
 		TraceID: binary.BigEndian.Uint64(payload[2:]),
 		SpanID:  binary.BigEndian.Uint64(payload[10:]),
 		Parent:  binary.BigEndian.Uint64(payload[18:]),
 	}
-	return sc, payload[2+hlen:]
+	var ts hlc.Timestamp
+	if hlen >= hlcHeaderLen {
+		ts = hlc.Timestamp(binary.BigEndian.Uint64(payload[26:]))
+	}
+	return sc, ts, payload[2+hlen:]
 }
 
 // WriteCmd renders the command line and writes it as one frame.
@@ -123,6 +135,6 @@ func ReadCmd(r io.Reader) (*cmdlang.CmdLine, error) {
 	if err != nil {
 		return nil, err
 	}
-	_, text := SplitPayload(payload)
+	_, _, text := SplitPayload(payload)
 	return cmdlang.Parse(string(text))
 }

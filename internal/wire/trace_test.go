@@ -3,19 +3,24 @@ package wire
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"net"
 	"testing"
 	"time"
 
 	"ace/internal/cmdlang"
+	"ace/internal/hlc"
 	"ace/internal/telemetry"
 )
 
 func TestTracePayloadRoundTrip(t *testing.T) {
 	sc := telemetry.SpanContext{TraceID: 0xDEADBEEFCAFEF00D, SpanID: 0x1234, Parent: 0x5678}
 	text := `move pan=45.5 tilt=-10.25;`
-	payload := EncodePayload(sc, text)
-	got, rest := SplitPayload(payload)
+	payload := EncodePayload(sc, 0, text)
+	got, hts, rest := SplitPayload(payload)
+	if !hts.IsZero() {
+		t.Fatalf("unstamped payload decoded an HLC: %v", hts)
+	}
 	if got != sc {
 		t.Fatalf("trace context lost: %+v != %+v", got, sc)
 	}
@@ -26,11 +31,11 @@ func TestTracePayloadRoundTrip(t *testing.T) {
 
 func TestUntracedPayloadIsPlainText(t *testing.T) {
 	text := `ping;`
-	payload := EncodePayload(telemetry.SpanContext{}, text)
+	payload := EncodePayload(telemetry.SpanContext{}, 0, text)
 	if string(payload) != text {
 		t.Fatalf("untraced payload must be byte-identical to the command text, got %q", payload)
 	}
-	sc, rest := SplitPayload(payload)
+	sc, _, rest := SplitPayload(payload)
 	if sc.Valid() {
 		t.Fatalf("plain payload decoded a trace context: %+v", sc)
 	}
@@ -47,7 +52,7 @@ func TestSplitPayloadMalformedHeader(t *testing.T) {
 		append([]byte{0x01, 30}, make([]byte, 10)...), // hdrlen beyond payload
 	}
 	for _, payload := range cases {
-		sc, rest := SplitPayload(payload)
+		sc, _, rest := SplitPayload(payload)
 		if sc.Valid() {
 			t.Fatalf("malformed payload %v decoded a trace context", payload)
 		}
@@ -61,18 +66,68 @@ func TestSplitPayloadSkipsExtendedHeader(t *testing.T) {
 	// A future version may append bytes after the 24 this version
 	// understands; current readers must skip them.
 	sc := telemetry.SpanContext{TraceID: 7, SpanID: 8, Parent: 9}
-	base := EncodePayload(sc, "ping;")
+	base := EncodePayload(sc, 0, "ping;")
 	extended := make([]byte, 0, len(base)+4)
-	extended = append(extended, base[:2+24]...)
+	extended = append(extended, base[:2+hlcHeaderLen]...)
 	extended = append(extended, 0xAA, 0xBB, 0xCC, 0xDD) // future header bytes
-	extended = append(extended, base[2+24:]...)
-	extended[1] = 28 // header now 28 bytes
-	got, rest := SplitPayload(extended)
+	extended = append(extended, base[2+hlcHeaderLen:]...)
+	extended[1] = hlcHeaderLen + 4
+	got, _, rest := SplitPayload(extended)
 	if got != sc {
 		t.Fatalf("extended header lost the trace context: %+v", got)
 	}
 	if string(rest) != "ping;" {
 		t.Fatalf("extended header misaligned the text: %q", rest)
+	}
+}
+
+func TestHLCPayloadRoundTrip(t *testing.T) {
+	sc := telemetry.SpanContext{TraceID: 1, SpanID: 2, Parent: 3}
+	ts := hlc.Make(1720000000123, 42)
+	payload := EncodePayload(sc, ts, "psput path=/a value=62;")
+	gotSC, gotTS, rest := SplitPayload(payload)
+	if gotSC != sc || gotTS != ts {
+		t.Fatalf("header lost: %+v %v", gotSC, gotTS)
+	}
+	if string(rest) != "psput path=/a value=62;" {
+		t.Fatalf("command text lost: %q", rest)
+	}
+
+	// A stamp with no trace still earns a header: the zero trace IDs
+	// decode as an invalid SpanContext, the timestamp survives.
+	payload = EncodePayload(telemetry.SpanContext{}, ts, "psput path=/a value=62;")
+	gotSC, gotTS, _ = SplitPayload(payload)
+	if gotSC.Valid() {
+		t.Fatalf("stampless trace decoded valid: %+v", gotSC)
+	}
+	if gotTS != ts {
+		t.Fatalf("timestamp lost without trace: %v", gotTS)
+	}
+}
+
+// TestLegacyTraceOnlyHeader pins backward compatibility with peers
+// that emit the original 24-byte trace-only header: it must decode
+// with a zero (unstamped) timestamp.
+func TestLegacyTraceOnlyHeader(t *testing.T) {
+	sc := telemetry.SpanContext{TraceID: 7, SpanID: 8, Parent: 9}
+	text := "ping;"
+	legacy := make([]byte, 0, 2+traceHeaderLen+len(text))
+	legacy = append(legacy, traceMagic, traceHeaderLen)
+	var fld [8]byte
+	for _, v := range []uint64{sc.TraceID, sc.SpanID, sc.Parent} {
+		binary.BigEndian.PutUint64(fld[:], v)
+		legacy = append(legacy, fld[:]...)
+	}
+	legacy = append(legacy, text...)
+	gotSC, gotTS, rest := SplitPayload(legacy)
+	if gotSC != sc {
+		t.Fatalf("legacy header lost the trace context: %+v", gotSC)
+	}
+	if !gotTS.IsZero() {
+		t.Fatalf("legacy header conjured a timestamp: %v", gotTS)
+	}
+	if string(rest) != text {
+		t.Fatalf("legacy header misaligned the text: %q", rest)
 	}
 }
 
@@ -157,7 +212,7 @@ func TestMixedVersionFraming(t *testing.T) {
 // interoperate as long as no trace context is in play.
 func TestOldReaderAcceptsUntracedNewClient(t *testing.T) {
 	cmd := cmdlang.New("lookup").SetWord("name", "asd")
-	payload := EncodePayload(telemetry.SpanContext{}, cmd.String())
+	payload := EncodePayload(telemetry.SpanContext{}, 0, cmd.String())
 	parsed, err := cmdlang.Parse(string(payload))
 	if err != nil {
 		t.Fatalf("old reader rejects new untraced frame: %v", err)
