@@ -298,10 +298,10 @@ func printPlacementStats(snap *telemetry.Snapshot) {
 // quorum fallbacks, watermark samples, the AIMD controller's current
 // share, and staleness violations. Violations must stay zero; every
 // one was discarded (never served) and narrowed the controller, so a
-// nonzero count means the lag estimator is being fooled — by skew,
-// partition flap, or a replica applying out of order — and bounded
-// traffic has been pushed back to the quorum path. Daemons without
-// these metrics print nothing here.
+// nonzero count means a lease-holding replica answered below the
+// version a quorum proved it held — lost state, a wiped disk, a
+// split-brain replica — and bounded traffic has been pushed back to
+// the quorum path. Daemons without these metrics print nothing here.
 func printConsistencySummary(snap *telemetry.Snapshot) {
 	if wm := snap.Gauge(pstore.MetricHLCWatermark); wm != 0 {
 		ts := hlc.Timestamp(wm)

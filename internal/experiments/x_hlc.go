@@ -18,12 +18,12 @@ func init() {
 
 // RunX8 measures the pstore read spectrum on a healthy three-replica
 // cluster: the same keyed GET workload under quorum (all replicas, a
-// majority decides), bounded staleness (single replica when its lag
-// is provably under the bound), and any (first replica, no bound).
-// The bounded column is the tentpole claim — with fresh watermark
-// samples it collapses a three-way fan-out into one replica RTT — and
-// the violations column is the safety claim: on a healthy cluster the
-// bound must never be disproven after the fact.
+// majority decides), bounded staleness (single replica when a
+// freshness lease proves the bound), and any (first replica, no
+// bound). The bounded column is the tentpole claim — with live
+// leases it collapses a three-way fan-out into one replica RTT — and
+// the violations column is the safety claim: on a healthy cluster no
+// lease holder may ever answer below its quorum-proven version.
 func RunX8() (*Table, error) {
 	t := &Table{
 		ID:      "X8",

@@ -36,10 +36,9 @@ func TestReadModeString(t *testing.T) {
 	}
 }
 
-// A healthy cluster with a warm tracker serves bounded reads off the
-// single-replica path: the write fan-out's acks carry every replica's
-// watermark, so by the time the write returns, all replicas are
-// provably fresh.
+// A healthy cluster serves bounded reads off the single-replica path:
+// the quorum write grants a freshness lease to its ackers, so by the
+// time the write returns, a holder set is provably fresh.
 func TestBoundedReadHealthyClusterHits(t *testing.T) {
 	cluster, _ := startCluster(t, 3, "")
 	client, reg := boundedClient(t, cluster)
@@ -57,17 +56,19 @@ func TestBoundedReadHealthyClusterHits(t *testing.T) {
 	if v := snap.Counter(staleness.MetricViolations); v != 0 {
 		t.Fatalf("violations = %d, want 0", v)
 	}
-	// A bounded miss cannot prove its bound (not-found replies lose
-	// their watermark on the error path) — it falls back to quorum and
-	// still answers correctly.
+	// A path never touched by quorum traffic holds no lease, so a
+	// bounded miss cannot prove its bound — it falls back to quorum
+	// and still answers correctly.
 	_, _, ok, err = client.GetModeContext(context.Background(), "/bounded/missing", ReadBounded(2*time.Second))
 	if ok || err != nil {
 		t.Fatalf("bounded miss: ok=%v err=%v", ok, err)
 	}
 }
 
-// A client with a cold tracker (no watermark samples yet) must not
+// A fresh client (no freshness leases, no watermark samples) must not
 // serve bounded reads — it falls back to quorum and still answers.
+// The fallback itself is a quorum round, so it re-arms the bounded
+// path for the next read.
 func TestBoundedReadColdTrackerFallsBack(t *testing.T) {
 	c, writer := startCluster(t, 3, "")
 	if _, err := writer.Put("/bounded/cold", []byte("v")); err != nil {
@@ -85,8 +86,8 @@ func TestBoundedReadColdTrackerFallsBack(t *testing.T) {
 	if h := snap.Counter(MetricBoundedHits); h != 0 {
 		t.Fatalf("hits = %d, want 0", h)
 	}
-	// The quorum fallback itself refreshed the samples: the next
-	// bounded read can go single-replica.
+	// The quorum fallback granted a lease (and refreshed the lag
+	// samples): the next bounded read can go single-replica.
 	if _, _, ok, err := reader.GetModeContext(context.Background(), "/bounded/cold", ReadBounded(2*time.Second)); !ok || err != nil {
 		t.Fatalf("warmed bounded get: ok=%v err=%v", ok, err)
 	}
@@ -113,6 +114,92 @@ func TestBoundedReadUnprovableBoundFallsBack(t *testing.T) {
 	}
 	if f := snap.Counter(MetricBoundedFallbacks); f != 1 {
 		t.Fatalf("fallbacks = %d, want 1", f)
+	}
+}
+
+// TestBoundedReadReplicaMissedWriteNeverServed is the regression for
+// the watermark-as-proof design this package moved away from: a
+// replica that missed a quorum write to the read key keeps advancing
+// its max-applied watermark via unrelated writes, so any
+// watermark-vs-frontier comparison judges it fresh. The lease proof
+// is per-path, so the stale replica is simply never a holder for the
+// key — bounded reads must return the newest committed value once the
+// old lease ages out, with zero violations.
+func TestBoundedReadReplicaMissedWriteNeverServed(t *testing.T) {
+	cluster, _ := startCluster(t, 3, "") // no anti-entropy: the gap persists
+	client, reg := boundedClient(t, cluster)
+	addrs := cluster.Addrs()
+
+	const bound = 700 * time.Millisecond
+	// a1 commits everywhere; the client's lease covers its ackers.
+	if _, err := client.Put("/bounded/gap", []byte("a1")); err != nil {
+		t.Fatal(err)
+	}
+	// a2 commits on the first two replicas only: a second client scoped
+	// to them has quorum 2, so the write succeeds without the third
+	// replica ever seeing it.
+	sidePool := daemon.NewPoolConfig(daemon.PoolConfig{Telemetry: telemetry.NewRegistry()})
+	defer sidePool.Close()
+	side := NewClient(sidePool, addrs[:2])
+	defer side.Close()
+	if _, err := side.Put("/bounded/gap", []byte("a2")); err != nil {
+		t.Fatal(err)
+	}
+	// Age past the bound so a1 is now provably staler than Δ, while
+	// filler writes keep every replica's watermark — including the
+	// stale one's — and the client's lag samples advancing throughout.
+	deadline := time.Now().Add(bound + 200*time.Millisecond)
+	for time.Now().Before(deadline) {
+		if _, err := client.Put("/bounded/filler", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	// Every bounded read must now see a2: the a1 lease has expired, so
+	// the first read falls back to a quorum (which sees a2 and grants a
+	// fresh lease), and the rest are served only by proven a2 holders.
+	for i := 0; i < 10; i++ {
+		val, _, ok, err := client.GetModeContext(context.Background(), "/bounded/gap", ReadBounded(bound))
+		if err != nil || !ok {
+			t.Fatalf("read %d: ok=%v err=%v", i, ok, err)
+		}
+		if string(val) != "a2" {
+			t.Fatalf("read %d served stale %q — staleness bound violated", i, val)
+		}
+	}
+	snap := reg.Snapshot()
+	if v := snap.Counter(staleness.MetricViolations); v != 0 {
+		t.Fatalf("violations = %d, want 0", v)
+	}
+	if h := snap.Counter(MetricBoundedHits); h == 0 {
+		t.Fatal("bounded reads never re-engaged the single-replica path")
+	}
+}
+
+// A delete retires the path's freshness lease immediately — before
+// the tombstone even reaches a quorum — so bounded reads never
+// consult holders that may still answer the old value.
+func TestBoundedReadDeleteDropsLease(t *testing.T) {
+	cluster, _ := startCluster(t, 3, "")
+	client, reg := boundedClient(t, cluster)
+	if _, err := client.Put("/bounded/del", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok, err := client.GetModeContext(context.Background(), "/bounded/del", ReadBounded(2*time.Second)); !ok || err != nil {
+		t.Fatalf("pre-delete bounded get: ok=%v err=%v", ok, err)
+	}
+	if err := client.Delete("/bounded/del"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, ok := client.Leases().Holders("/bounded/del", time.Minute); ok {
+		t.Fatal("delete left the freshness lease in place")
+	}
+	val, _, ok, err := client.GetModeContext(context.Background(), "/bounded/del", ReadBounded(2*time.Second))
+	if err != nil || ok {
+		t.Fatalf("deleted path still served: val=%q ok=%v err=%v", val, ok, err)
+	}
+	if v := reg.Snapshot().Counter(staleness.MetricViolations); v != 0 {
+		t.Fatalf("violations = %d, want 0", v)
 	}
 }
 

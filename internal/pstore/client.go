@@ -85,14 +85,17 @@ type Client struct {
 	repairSem chan struct{}
 	bg        sync.WaitGroup
 
-	// clock, lag, and ctl are the bounded-staleness read machinery:
-	// the client's hybrid logical clock (stamps writes, merges reply
-	// watermarks), the per-replica lag estimator, and the AIMD valve
-	// deciding how much traffic may leave the quorum path. A sharded
-	// deployment shares one set across its group clients.
-	clock *hlc.Clock
-	lag   *staleness.Tracker
-	ctl   *staleness.Controller
+	// clock, lag, ctl, and leases are the bounded-staleness read
+	// machinery: the client's hybrid logical clock (stamps writes,
+	// merges reply watermarks), the per-replica advisory lag
+	// estimator, the AIMD valve deciding how much traffic may leave
+	// the quorum path, and the per-path freshness-lease table holding
+	// the proof bounded reads rely on. A sharded deployment shares one
+	// set across its group clients.
+	clock  *hlc.Clock
+	lag    *staleness.Tracker
+	ctl    *staleness.Controller
+	leases *staleness.Leases
 
 	mReadLatency      *telemetry.Histogram
 	mReadFullLatency  *telemetry.Histogram
@@ -128,6 +131,7 @@ func NewClient(pool *daemon.Pool, replicas []string) *Client {
 		clock:             hlc.New(nil, 0, tel),
 		lag:               staleness.NewTracker(0, nil),
 		ctl:               staleness.NewController(staleness.ControllerConfig{}),
+		leases:            staleness.NewLeases(0, nil),
 		mBoundedHits:      tel.Counter(MetricBoundedHits),
 		mBoundedFallbacks: tel.Counter(MetricBoundedFallbacks),
 		mBoundedLatency:   tel.Histogram(MetricBoundedLatency),
@@ -407,11 +411,19 @@ func (c *Client) GetContext(ctx context.Context, path string) (value []byte, ver
 	// with an older (or no) version — here for quorum members, in the
 	// detached drain for stragglers that answer late.
 	c.finish(f, len(prefix), c.mReadStragglers, c.mReadFullLatency, &best, repairCtx)
+	holders := make([]string, 0, len(prefix))
 	for _, r := range prefix {
 		if r.err == nil && (!r.ok || r.item.Version < best.Version) {
 			c.repairAsync(repairCtx, c.replicas[r.idx], best)
+		} else if r.err == nil && r.ok && r.item.Version == best.Version {
+			holders = append(holders, c.replicas[r.idx])
 		}
 	}
+	// Grant a freshness lease: any write the winning-version responders
+	// could be missing was committed after this read's fan-out launch
+	// (quorum intersection — see staleness.Leases), so bounded reads
+	// may serve them for the next Δ.
+	c.leases.Grant(path, best.Version, holders, start)
 	return best.Value, best.Version, true, nil
 }
 
@@ -488,12 +500,18 @@ func (c *Client) PutContext(ctx context.Context, path string, value []byte) (uin
 		SetString("path", path).
 		SetString("value", encodeValue(value)).
 		SetInt("version", int64(next))))
-	if acked < c.Quorum() {
+	if len(acked) < c.Quorum() {
 		if redirected {
 			return 0, &WrongGroupError{Op: "quorum write"}
 		}
-		return 0, fmt.Errorf("pstore: quorum write failed: %d/%d acks", acked, len(c.replicas))
+		return 0, fmt.Errorf("pstore: quorum write failed: %d/%d acks", len(acked), len(c.replicas))
 	}
+	// Grant a freshness lease to the ackers, dated at the version
+	// probe's launch: the probe's quorum proves every write committed
+	// before `start` has version ≤ cur, so the acked `next` supersedes
+	// them all and a rival committing between probe and ack is younger
+	// than `start` — the conservative grant time bounded reads need.
+	c.leases.Grant(path, next, acked, start)
 	return next, nil
 }
 
@@ -512,12 +530,16 @@ func (c *Client) PutVersionContext(ctx context.Context, path string, value []byt
 		SetString("path", path).
 		SetString("value", encodeValue(value)).
 		SetInt("version", int64(version))))
-	if acked < c.Quorum() {
+	if len(acked) < c.Quorum() {
 		if redirected {
 			return &WrongGroupError{Op: "quorum write"}
 		}
-		return fmt.Errorf("pstore: quorum write failed: %d/%d acks", acked, len(c.replicas))
+		return fmt.Errorf("pstore: quorum write failed: %d/%d acks", len(acked), len(c.replicas))
 	}
+	// No lease: the version was probed by the router against another
+	// group at a time this client cannot see, so there is no sound
+	// grant instant. Dual-apply traffic just leaves bounded reads to
+	// re-validate through a quorum.
 	return nil
 }
 
@@ -526,14 +548,15 @@ func (c *Client) PutVersionContext(ctx context.Context, path string, value []byt
 func (c *Client) DeleteVersionContext(ctx context.Context, path string, version uint64) error {
 	start := time.Now()
 	defer func() { c.mWriteLatency.Observe(time.Since(start)) }()
+	c.leases.Drop(path)
 	acked, redirected := c.writeAll(ctx, c.stamp(cmdlang.New("psdel").
 		SetString("path", path).
 		SetInt("version", int64(version))))
-	if acked < c.Quorum() {
+	if len(acked) < c.Quorum() {
 		if redirected {
 			return &WrongGroupError{Op: "quorum delete"}
 		}
-		return fmt.Errorf("pstore: quorum delete failed: %d/%d acks", acked, len(c.replicas))
+		return fmt.Errorf("pstore: quorum delete failed: %d/%d acks", len(acked), len(c.replicas))
 	}
 	return nil
 }
@@ -551,27 +574,30 @@ func (c *Client) DeleteContext(ctx context.Context, path string) error {
 	if err != nil {
 		return err
 	}
+	// A tombstone invalidates any lease immediately — even a write that
+	// ends up under quorum may have landed on a holder.
+	c.leases.Drop(path)
 	acked, redirected := c.writeAll(ctx, c.stamp(cmdlang.New("psdel").
 		SetString("path", path).
 		SetInt("version", int64(cur+1))))
-	if acked < c.Quorum() {
+	if len(acked) < c.Quorum() {
 		if redirected {
 			return &WrongGroupError{Op: "quorum delete"}
 		}
-		return fmt.Errorf("pstore: quorum delete failed: %d/%d acks", acked, len(c.replicas))
+		return fmt.Errorf("pstore: quorum delete failed: %d/%d acks", len(acked), len(c.replicas))
 	}
 	return nil
 }
 
-// writeAll streams cmd to every replica and returns the ack count as
-// soon as the write quorum is reached — or provably unreachable —
-// cancelling and draining the stragglers in the background. A
-// cancelled straggler that already received the frame still applies
-// the write; one that didn't is healed by repair or anti-entropy.
-// redirected reports whether any consumed failure was a wrong_group
-// placement redirect, so an under-quorum outcome can be classified as
-// a stale routing decision rather than unavailability.
-func (c *Client) writeAll(ctx context.Context, cmd *cmdlang.CmdLine) (acked int, redirected bool) {
+// writeAll streams cmd to every replica and returns the addresses
+// that acked as soon as the write quorum is reached — or provably
+// unreachable — cancelling and draining the stragglers in the
+// background. A cancelled straggler that already received the frame
+// still applies the write; one that didn't is healed by repair or
+// anti-entropy. redirected reports whether any consumed failure was a
+// wrong_group placement redirect, so an under-quorum outcome can be
+// classified as a stale routing decision rather than unavailability.
+func (c *Client) writeAll(ctx context.Context, cmd *cmdlang.CmdLine) (ackedAddrs []string, redirected bool) {
 	// Stamp the write: the timestamp rides the wire frame header to
 	// every replica, so all of them store the same client-assigned
 	// stamp. It also advances the client's write frontier — the
@@ -591,10 +617,10 @@ func (c *Client) writeAll(ctx context.Context, cmd *cmdlang.CmdLine) (acked int,
 	c.finish(f, len(prefix), c.mWriteStragglers, c.mWriteFullLatency, nil, ctx)
 	for _, r := range prefix {
 		if r.err == nil {
-			acked++
+			ackedAddrs = append(ackedAddrs, c.replicas[r.idx])
 		}
 	}
-	return acked, anyRedirect(prefix)
+	return ackedAddrs, anyRedirect(prefix)
 }
 
 // List unions the live paths under prefix across all reachable

@@ -42,12 +42,15 @@ type Item struct {
 	Version uint64
 	Deleted bool
 	// HLC is the hybrid-logical-clock stamp of the write that produced
-	// this item (zero for legacy unstamped writes). Stamps are
-	// client-assigned, so all replicas hold the same stamp for the
-	// same write; they feed the per-node applied watermark that the
-	// bounded-staleness read path reasons about. Conflict resolution
-	// stays purely version-based (newer), so stamped and unstamped
-	// writers interoperate.
+	// this item (zero for legacy unstamped writes). Client-assigned
+	// stamps are stored verbatim, so all replicas hold the same stamp
+	// for the same write; legacy unstamped writes are stamped
+	// independently by each replica, so replicas may durably hold
+	// DIFFERENT stamps for the same version of the same item, and
+	// anti-entropy never reconciles them. Conflict resolution stays
+	// purely version-based (newer) and stamps only feed the advisory
+	// applied watermark, so the divergence can skew lag estimates but
+	// never the data.
 	HLC hlc.Timestamp
 }
 
@@ -77,8 +80,11 @@ type Node struct {
 	clock *hlc.Clock
 	// appliedHLC is the max HLC stamp over every item this node has
 	// applied (packed hlc.Timestamp). It is the watermark gossiped in
-	// data and digest replies: "everything I hold is at least this
-	// fresh". Atomic so replies read it without taking mu.
+	// data and digest replies — an advisory freshness signal, and a
+	// maximum, not a prefix guarantee: it can run ahead of writes the
+	// node missed, which is why clients treat it as a replica-selection
+	// hint rather than a staleness proof. Atomic so replies read it
+	// without taking mu.
 	appliedHLC atomic.Uint64
 
 	eng      *storage.Engine
@@ -308,8 +314,8 @@ func (n *Node) applyMemLocked(it Item) bool {
 	return true
 }
 
-// Watermark returns the node's max-applied HLC: the freshness bound
-// it advertises in data and digest replies.
+// Watermark returns the node's max-applied HLC: the advisory
+// freshness signal it attaches to data and digest replies.
 func (n *Node) Watermark() hlc.Timestamp { return hlc.Timestamp(n.appliedHLC.Load()) }
 
 // Clock returns the node's hybrid logical clock.
@@ -337,8 +343,8 @@ const (
 
 // stampReply attaches the node's applied watermark to an outgoing
 // reply. Every data-plane and digest reply carries it, which is what
-// lets clients maintain per-replica staleness estimates without any
-// dedicated gossip traffic.
+// lets clients maintain per-replica advisory staleness estimates
+// without any dedicated gossip traffic.
 func (n *Node) stampReply(reply *cmdlang.CmdLine) *cmdlang.CmdLine {
 	return reply.SetInt(watermarkArg, int64(n.appliedHLC.Load()))
 }
@@ -789,8 +795,8 @@ func (n *Node) install() {
 		}
 		it, ok := n.get(path)
 		if !ok {
-			// Stamped even on a miss: "this path did not exist as of my
-			// watermark" is itself a bounded-staleness answer.
+			// Stamped even on a miss so the reply still refreshes the
+			// client's advisory lag sample for this replica.
 			return n.stampReply(cmdlang.Fail(cmdlang.CodeNotFound, "no object at path")), nil
 		}
 		return n.stampReply(cmdlang.OK().

@@ -91,8 +91,10 @@ func runQuorumOps(t testing.TB, client *Client) (getNs, putNs float64) {
 }
 
 // runBoundedGets measures the bounded-staleness read path. The
-// preceding quorum traffic warmed the staleness tracker, so on a
-// healthy cluster every read should take the single-replica route.
+// preceding quorum traffic granted a freshness lease (and warmed the
+// advisory lag samples), so on a healthy cluster nearly every read
+// takes the single-replica route, re-validating through a quorum
+// only when the lease ages out.
 func runBoundedGets(t testing.TB, client *Client) float64 {
 	ctx := context.Background()
 	mode := ReadBounded(2 * time.Second)
@@ -192,12 +194,13 @@ func TestBenchPstoreQuorum(t *testing.T) {
 		t.Logf("%-16s get %12.0f ns/op   put %12.0f ns/op", sc.name, getNs, putNs)
 		rep := quorumBenchReport{Scenario: sc.name, NsPerOpGet: getNs, NsPerOpPut: putNs}
 		if sc.name == "healthy" {
-			// Bounded-staleness read spectrum: with the tracker warmed
-			// by the quorum traffic above, a bounded GET is one replica
-			// RTT instead of a three-way fan-out. The gate demands at
-			// least the 2x the tentpole claims, with the zero-violation
-			// guarantee intact (every violation is a bounded reply that
-			// was discarded — on a healthy cluster there must be none).
+			// Bounded-staleness read spectrum: with a freshness lease
+			// granted by the quorum traffic above, a bounded GET is one
+			// replica RTT instead of a three-way fan-out. The gate
+			// demands at least the 2x the tentpole claims, with the
+			// zero-violation guarantee intact (every violation is a
+			// bounded reply that was discarded — on a healthy cluster
+			// there must be none).
 			boundedNs := runBoundedGets(t, client)
 			rep.NsPerOpGetBound = boundedNs
 			violations, _ := func() (int64, int64) { _, ctl := client.Staleness(); return ctl.Counters() }()
@@ -207,7 +210,7 @@ func TestBenchPstoreQuorum(t *testing.T) {
 				t.Errorf("healthy: bounded Get %.0f ns/op is not under 0.5x quorum Get (%.0f ns/op) — the single-replica path is not engaging", boundedNs, getNs)
 			}
 			if violations != 0 {
-				t.Errorf("healthy: %d staleness-bound violations — the bound was disproven on a healthy cluster", violations)
+				t.Errorf("healthy: %d staleness-bound violations — a lease holder regressed on a healthy cluster", violations)
 			}
 			// Concurrent in-memory baseline for the durable gate below.
 			memPutConc = runConcurrentPuts(t, client)

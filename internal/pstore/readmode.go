@@ -16,11 +16,14 @@ import (
 //   - ReadQuorum: query all replicas, decide at a majority, return
 //     the highest version. Linearizable with respect to committed
 //     quorum writes.
-//   - ReadBounded(Δ): serve from a single replica when its estimated
-//     staleness is provably under Δ, falling back to a quorum read
-//     whenever the bound cannot be proven — never serving data staler
-//     than Δ. The cheap path for directory resolves, placement
-//     lookups, and sensor/room state that tolerate bounded lag.
+//   - ReadBounded(Δ): serve from a single replica when a freshness
+//     lease — granted by a quorum round this client ran within the
+//     last Δ — proves the replica can be missing at most Δ of
+//     history; fall back to a quorum read whenever no proof exists.
+//     The bound is measured on this process's own clock, so it holds
+//     under arbitrary replica clock skew. The cheap path for
+//     directory resolves, placement lookups, and sensor/room state
+//     that tolerate bounded lag.
 //   - ReadAny: first reachable replica, best effort, no bound. May
 //     return stale data during synchronization windows.
 type ReadMode struct {
@@ -40,8 +43,8 @@ const (
 func ReadQuorum() ReadMode { return ReadMode{kind: readQuorum} }
 
 // ReadBounded returns the bounded-staleness read mode: one-replica
-// reads whose staleness is provably at most bound, quorum fallback
-// otherwise.
+// reads whose staleness is provably at most bound (see boundedGet for
+// the proof rule), quorum fallback otherwise.
 func ReadBounded(bound time.Duration) ReadMode {
 	return ReadMode{kind: readBounded, bound: bound}
 }
@@ -86,34 +89,46 @@ func (c *Client) GetBoundedContext(ctx context.Context, path string, bound time.
 }
 
 // Staleness returns the client's staleness machinery: the lag
-// tracker feeding bounded-read eligibility and the AIMD controller
-// gating the bounded path. Shared by all group clients of a sharded
-// deployment; exposed for inspection (stats, tests).
+// tracker feeding bounded-read replica selection and the AIMD
+// controller gating the bounded path. Shared by all group clients of
+// a sharded deployment; exposed for inspection (stats, tests).
 func (c *Client) Staleness() (*staleness.Tracker, *staleness.Controller) { return c.lag, c.ctl }
+
+// Leases returns the client's freshness-lease table — the proof
+// bounded reads rely on. Shared by all group clients of a sharded
+// deployment; exposed for inspection (stats, tests).
+func (c *Client) Leases() *staleness.Leases { return c.leases }
 
 // Clock returns the client's hybrid logical clock.
 func (c *Client) Clock() *hlc.Clock { return c.clock }
 
-// boundedGet is the Bounded(Δ) read path. The staleness proof has two
-// gates, and a replica must pass both:
+// boundedGet is the Bounded(Δ) read path. The staleness proof is a
+// freshness lease (staleness.Leases): a quorum round this client ran
+// — a quorum read, or its own quorum write — that started at time T
+// and established version v of the path records which replicas
+// answered holding v. By quorum intersection, a write those holders
+// could be missing was committed after T, so serving a holder's copy
+// before T+Δ serves data at most Δ stale. Both T and "now" are
+// readings of this process's own clock: the bound holds under
+// arbitrary replica clock skew and needs no prefix guarantee from
+// any watermark.
 //
-//  1. Eligibility: the tracker's conservative lag estimate for some
-//     replica — worst watermark lag in the window, plus the age of
-//     its newest sample, plus the clock skew tolerance — is within
-//     the bound. No such replica, no fresh samples, or the AIMD
-//     controller withholding its share all mean quorum fallback
-//     before any wire traffic is spent.
-//  2. Post-reply proof: the chosen replica's reply carries its
-//     current applied watermark. If the write frontier minus that
-//     watermark (plus the skew margin) exceeds the bound, the reply
-//     is discarded — counted as a violation, never served — and the
-//     read re-runs as a quorum. This second gate is what makes the
-//     zero-violation guarantee hold even when the estimator is
-//     arbitrarily wrong.
+// Around the proof sit three cheaper screens, all of which fail over
+// to the quorum path (conservative, never wrong):
 //
-// Misses, redirects, transport errors, and unstamped (pre-HLC)
-// replies all take the quorum fallback too: the bound is only ever
-// claimed when it is proven.
+//   - no live lease for the path, or a bound inside the clock skew
+//     tolerance — the proof cannot engage;
+//   - the HLC lag tracker finds no lease holder whose advisory lag
+//     estimate fits the bound — this is how clock skew and
+//     partitions degrade the bounded path to quorum fallbacks;
+//   - the AIMD controller withholds its share after recent trouble.
+//
+// A violation is now a version regression: a lease holder answering
+// below the quorum-validated version means the replica lost state
+// (or the lease lied). The reply is discarded — counted, never
+// served — the lease is dropped, and the read re-runs as a quorum.
+// Misses, redirects, and transport errors take the quorum fallback
+// too: the bound is only ever claimed when it is proven.
 func (c *Client) boundedGet(ctx context.Context, path string, bound time.Duration) (value []byte, version uint64, ok bool, err error) {
 	start := time.Now()
 	fallback := func() ([]byte, uint64, bool, error) {
@@ -122,37 +137,53 @@ func (c *Client) boundedGet(ctx context.Context, path string, bound time.Duratio
 		return c.GetContext(ctx, path)
 	}
 	margin := c.clock.MaxOffset()
-	if bound <= margin || !c.ctl.Allow() {
-		// A bound inside the skew tolerance can never be proven.
+	if bound <= margin {
+		// Leave bounds inside the skew tolerance to the quorum path:
+		// the advisory screen below would pass nothing anyway.
 		return fallback()
 	}
-	addr, eligible := c.lag.Best(c.replicas, bound-margin)
+	leaseVer, grantedAt, holders, live := c.leases.Holders(path, bound)
+	if !live {
+		return fallback()
+	}
+	// A sharded router shares the lease table across group clients, and
+	// a rebalance can record holders outside this client's group; only
+	// replicas this client serves are candidates.
+	candidates := make([]string, 0, len(holders))
+	for _, h := range holders {
+		for _, r := range c.replicas {
+			if h == r {
+				candidates = append(candidates, h)
+				break
+			}
+		}
+	}
+	// Advisory screen: the tracker's conservative lag estimate picks
+	// the freshest-looking holder and fails the read over to quorum
+	// when skew or partition makes every holder look stale. The lease
+	// carries the proof; this only chooses and degrades. Admission is
+	// checked after eligibility so a fallback with no candidate never
+	// debits the AIMD share.
+	addr, eligible := c.lag.Best(candidates, bound-margin)
 	if !eligible {
+		return fallback()
+	}
+	if !c.ctl.Allow() {
 		return fallback()
 	}
 	reply, callErr := c.pool.CallContext(ctx, addr, c.stamp(cmdlang.New("psget").SetString("path", path)))
 	if callErr != nil {
-		// A not-found fail reply loses its watermark crossing the
-		// error path, so a bounded miss cannot be proven — it pays the
-		// quorum. Real errors and redirects additionally narrow the
-		// controller.
-		if !cmdlang.IsRemoteCode(callErr, cmdlang.CodeNotFound) {
-			c.ctl.Redirect()
+		if cmdlang.IsRemoteCode(callErr, cmdlang.CodeNotFound) {
+			// A proven holder with no live value: either the path was
+			// deleted (tombstones hide at the node) or the replica lost
+			// state. Both retire the lease and let the quorum decide.
+			c.leases.Drop(path)
+			return fallback()
 		}
+		c.ctl.Redirect()
 		return fallback()
 	}
 	c.observe(addr, reply)
-	wm := reply.Int(watermarkArg, 0)
-	if wm <= 0 {
-		return fallback() // pre-HLC replica: no proof possible
-	}
-	if lag := c.lag.Frontier().Sub(hlc.Timestamp(wm)); lag+margin > bound {
-		// The eligibility screen was wrong: the replica's own watermark
-		// disproves the bound. Discard the reply — it is never served.
-		c.mStaleViolations.Inc()
-		c.ctl.Violation()
-		return fallback()
-	}
 	val, decErr := decodeValue(reply.Str("value", ""))
 	if decErr != nil {
 		c.ctl.Redirect()
@@ -161,6 +192,21 @@ func (c *Client) boundedGet(ctx context.Context, path string, bound time.Duratio
 	ver, verErr := replyVersion(reply, addr)
 	if verErr != nil {
 		c.ctl.Redirect()
+		return fallback()
+	}
+	if ver < leaseVer {
+		// Version regression below the quorum-validated lease: the
+		// replica no longer holds what a quorum proved it held. Discard
+		// the reply — it is never served.
+		c.mStaleViolations.Inc()
+		c.ctl.Violation()
+		c.leases.Drop(path)
+		return fallback()
+	}
+	if time.Since(grantedAt) > bound {
+		// The lease expired while the read was in flight; the proof no
+		// longer covers the reply. Not a violation — nothing stale was
+		// observed — just an unproven answer.
 		return fallback()
 	}
 	c.ctl.Success()

@@ -44,13 +44,16 @@ type Sharded struct {
 	clients map[string]*Client
 	retired []*Client
 
-	// One clock, lag tracker, and AIMD controller span every group
-	// client the router ever builds: staleness evidence gathered under
-	// one placement epoch keeps protecting reads after a rebalance, and
-	// the write frontier stays global rather than per-group.
-	clock *hlc.Clock
-	lag   *staleness.Tracker
-	ctl   *staleness.Controller
+	// One clock, lag tracker, AIMD controller, and lease table span
+	// every group client the router ever builds: staleness evidence
+	// gathered under one placement epoch keeps protecting reads after
+	// a rebalance, and the write frontier stays global rather than
+	// per-group. Leases alone are reset on an epoch change — a holder
+	// set recorded under the old map may no longer serve the path.
+	clock  *hlc.Clock
+	lag    *staleness.Tracker
+	ctl    *staleness.Controller
+	leases *staleness.Leases
 
 	mRedirects  *telemetry.Counter
 	mDualWrites *telemetry.Counter
@@ -67,6 +70,7 @@ func NewSharded(pool *daemon.Pool, cache *placement.Cache) *Sharded {
 		clock:       hlc.New(nil, 0, tel),
 		lag:         staleness.NewTracker(0, nil),
 		ctl:         staleness.NewController(staleness.ControllerConfig{}),
+		leases:      staleness.NewLeases(0, nil),
 		mRedirects:  tel.Counter(placement.MetricRedirects),
 		mDualWrites: tel.Counter(placement.MetricDualWrites),
 	}
@@ -102,12 +106,15 @@ func (s *Sharded) client(m *placement.Map, gi int) *Client {
 		}
 		s.clients = make(map[string]*Client)
 		s.epoch = m.Epoch
+		// Freshness proofs don't survive a rebalance: lease holder sets
+		// were recorded against the old assignment.
+		s.leases.Reset()
 	}
 	cl, ok := s.clients[g.Name]
 	if !ok {
 		cl = NewGroupClient(s.pool, g.Replicas, m.Epoch)
 		// Share the router-wide staleness machinery (see the field doc).
-		cl.clock, cl.lag, cl.ctl = s.clock, s.lag, s.ctl
+		cl.clock, cl.lag, cl.ctl, cl.leases = s.clock, s.lag, s.ctl, s.leases
 		s.clients[g.Name] = cl
 	}
 	return cl
@@ -190,6 +197,10 @@ func (s *Sharded) GetBoundedContext(ctx context.Context, path string, bound time
 // Staleness returns the router-wide staleness machinery shared by
 // every group client (for stats and tests).
 func (s *Sharded) Staleness() (*staleness.Tracker, *staleness.Controller) { return s.lag, s.ctl }
+
+// Leases returns the router-wide freshness-lease table shared by
+// every group client (for stats and tests).
+func (s *Sharded) Leases() *staleness.Leases { return s.leases }
 
 // PutContext quorum-writes value at path. If the partition is moving,
 // the write dual-applies: the version is probed on the source group

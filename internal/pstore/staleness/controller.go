@@ -18,9 +18,9 @@ type ControllerConfig struct {
 	// (default 1/32 — reusing the "about one step per round of
 	// successes" shape of internal/flow's AIMD limiter).
 	Increase float64
-	// ViolationFactor is the multiplicative cut when a bounded read's
-	// bound was disproven post-reply (default 0.25 — violations are
-	// the signal the estimator is being fooled, so back off hard).
+	// ViolationFactor is the multiplicative cut when a lease holder
+	// answered below its quorum-proven version (default 0.25 —
+	// violations mean a replica lost state, so back off hard).
 	ViolationFactor float64
 	// RedirectFactor is the multiplicative cut when a bounded read hit
 	// a placement redirect or transport failure (default 0.5).
@@ -106,7 +106,8 @@ func (c *Controller) Success() {
 	}
 }
 
-// Violation records a disproven bound: hard multiplicative cut.
+// Violation records a lease holder contradicting its quorum-proven
+// version: hard multiplicative cut.
 func (c *Controller) Violation() {
 	c.cut(c.cfg.ViolationFactor, true)
 }

@@ -1,0 +1,129 @@
+package staleness
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fakeNow returns a controllable time source starting at a fixed
+// instant, so expiry is driven deterministically.
+func fakeNow() (func() time.Time, func(d time.Duration)) {
+	cur := time.Unix(1_700_000_000, 0)
+	return func() time.Time { return cur }, func(d time.Duration) { cur = cur.Add(d) }
+}
+
+func TestLeasesGrantAndExpiry(t *testing.T) {
+	now, advance := fakeNow()
+	l := NewLeases(0, now)
+
+	at := now()
+	l.Grant("/a", 3, []string{"r1", "r2"}, at)
+
+	ver, gotAt, holders, ok := l.Holders("/a", time.Second)
+	if !ok || ver != 3 || !gotAt.Equal(at) || len(holders) != 2 {
+		t.Fatalf("fresh lease not returned: ver=%d at=%v holders=%v ok=%v", ver, gotAt, holders, ok)
+	}
+
+	advance(1500 * time.Millisecond)
+	if _, _, _, ok := l.Holders("/a", time.Second); ok {
+		t.Fatal("expired lease still returned")
+	}
+	if l.Len() != 0 {
+		t.Fatalf("expired lease not lazily deleted: len=%d", l.Len())
+	}
+}
+
+func TestLeasesVersionPrecedence(t *testing.T) {
+	now, _ := fakeNow()
+	l := NewLeases(0, now)
+	t0 := now()
+
+	l.Grant("/a", 5, []string{"r1", "r2"}, t0)
+	// An older-version grant (a late quorum round) must not clobber.
+	l.Grant("/a", 4, []string{"r3"}, t0.Add(time.Millisecond))
+	if ver, _, holders, _ := l.Holders("/a", time.Minute); ver != 5 || holders[0] != "r1" {
+		t.Fatalf("older-version grant clobbered lease: ver=%d holders=%v", ver, holders)
+	}
+	// Same version, newer observation: keep the newer grant time.
+	l.Grant("/a", 5, []string{"r3"}, t0.Add(time.Second))
+	if ver, at, holders, _ := l.Holders("/a", time.Minute); ver != 5 || !at.Equal(t0.Add(time.Second)) || holders[0] != "r3" {
+		t.Fatalf("same-version newer grant ignored: ver=%d at=%v holders=%v", ver, at, holders)
+	}
+	// Same version, older observation: ignored.
+	l.Grant("/a", 5, []string{"r9"}, t0)
+	if _, _, holders, _ := l.Holders("/a", time.Minute); holders[0] == "r9" {
+		t.Fatalf("same-version older grant clobbered lease: holders=%v", holders)
+	}
+	// Newer version always wins.
+	l.Grant("/a", 6, []string{"r4"}, t0)
+	if ver, _, holders, _ := l.Holders("/a", time.Minute); ver != 6 || holders[0] != "r4" {
+		t.Fatalf("newer-version grant ignored: ver=%d holders=%v", ver, holders)
+	}
+}
+
+func TestLeasesEmptyHoldersIgnored(t *testing.T) {
+	now, _ := fakeNow()
+	l := NewLeases(0, now)
+	l.Grant("/a", 1, nil, now())
+	if l.Len() != 0 {
+		t.Fatal("empty-holder grant created a lease")
+	}
+}
+
+func TestLeasesDropAndReset(t *testing.T) {
+	now, _ := fakeNow()
+	l := NewLeases(0, now)
+	l.Grant("/a", 1, []string{"r1"}, now())
+	l.Grant("/b", 1, []string{"r1"}, now())
+
+	l.Drop("/a")
+	if _, _, _, ok := l.Holders("/a", time.Minute); ok {
+		t.Fatal("dropped lease still returned")
+	}
+	if _, _, _, ok := l.Holders("/b", time.Minute); !ok {
+		t.Fatal("drop removed an unrelated lease")
+	}
+
+	l.Reset()
+	if l.Len() != 0 {
+		t.Fatalf("reset left %d leases", l.Len())
+	}
+}
+
+func TestLeasesCapEviction(t *testing.T) {
+	now, advance := fakeNow()
+	l := NewLeases(8, now)
+	for i := 0; i < 8; i++ {
+		l.Grant(fmt.Sprintf("/k%d", i), 1, []string{"r1"}, now())
+		advance(time.Millisecond)
+	}
+	if l.Len() != 8 {
+		t.Fatalf("precondition: len=%d", l.Len())
+	}
+	// A grant for a new path at capacity evicts one sampled entry
+	// rather than growing without bound.
+	l.Grant("/overflow", 1, []string{"r1"}, now())
+	if l.Len() != 8 {
+		t.Fatalf("cap not enforced: len=%d", l.Len())
+	}
+	if _, _, _, ok := l.Holders("/overflow", time.Minute); !ok {
+		t.Fatal("new grant lost at capacity")
+	}
+	// Re-granting an existing path at capacity must not evict.
+	l.Grant("/overflow", 2, []string{"r2"}, now())
+	if l.Len() != 8 {
+		t.Fatalf("replacement grant changed len: %d", l.Len())
+	}
+}
+
+func TestLeasesHoldersCopiedOnGrant(t *testing.T) {
+	now, _ := fakeNow()
+	l := NewLeases(0, now)
+	hs := []string{"r1", "r2"}
+	l.Grant("/a", 1, hs, now())
+	hs[0] = "clobbered"
+	if _, _, got, _ := l.Holders("/a", time.Minute); got[0] != "r1" {
+		t.Fatalf("lease aliases caller slice: %v", got)
+	}
+}

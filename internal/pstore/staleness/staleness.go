@@ -1,10 +1,24 @@
 // Package staleness is the client half of pstore's bounded-staleness
-// read machinery: a per-replica lag estimator fed by the HLC
-// watermarks that nodes attach to every data and digest reply, and an
-// AIMD controller that decides how much read traffic may leave the
-// quorum path at all.
+// read machinery, split into a proof and a screen:
 //
-// The estimator's frame of reference is the write frontier — the
+//   - Leases (leases.go) carry the proof. A quorum round pins which
+//     replicas held the newest committed version of a path as of the
+//     round's start; a single-replica read served from a holder
+//     within Δ of that instant is at most Δ stale, by quorum
+//     intersection, on this process's own clock — sound under
+//     arbitrary replica clock skew.
+//   - The Tracker is an advisory per-replica lag estimator fed by
+//     the max-applied HLC watermarks nodes attach to every data and
+//     digest reply. It chooses among lease holders and fails reads
+//     over to the quorum path when skew, partition, or silence makes
+//     a replica look behind. It is deliberately NOT the proof: a
+//     max-applied watermark is a maximum, not a prefix guarantee, so
+//     it can run ahead of a gap (a missed write to the very key
+//     being read) — which is why leases exist.
+//   - An AIMD Controller decides how much read traffic may leave the
+//     quorum path at all, narrowing sharply on any sign of trouble.
+//
+// The Tracker's frame of reference is the write frontier — the
 // maximum HLC stamp this client has observed anywhere (its own
 // writes, any replica's watermark) — NOT the local wall clock. An
 // idle cluster therefore shows zero lag everywhere: nothing was
@@ -29,11 +43,12 @@ const (
 	// MetricSamples counts watermark observations folded into the
 	// tracker (one per stamped reply).
 	MetricSamples = "pstore.staleness.samples"
-	// MetricViolations counts bounded reads whose reply watermark
-	// disproved the staleness bound after the eligibility screen had
-	// passed. Each one was discarded and re-run as a quorum read — the
+	// MetricViolations counts bounded replies that contradicted their
+	// freshness lease: the replica answered with a version below the
+	// one a quorum proved it held, meaning it lost state. Each one was
+	// discarded and re-run as a quorum read (never served) — the
 	// counter must stay zero for the zero-violation guarantee, and any
-	// tick multiplicatively narrows the controller.
+	// tick multiplicatively narrows the controller and drops the lease.
 	MetricViolations = "pstore.staleness.violations"
 	// MetricShare is the AIMD controller's current bounded-read share,
 	// in thousandths (1000 = every eligible read may go bounded).
@@ -56,7 +71,9 @@ type replicaState struct {
 }
 
 // Tracker maintains the write frontier and per-replica lag estimates.
-// All methods are safe for concurrent use.
+// Estimates are advisory: they select replicas and force conservative
+// fallbacks, while the staleness bound itself is proven by the Leases
+// table. All methods are safe for concurrent use.
 type Tracker struct {
 	now    func() time.Time
 	window time.Duration
